@@ -1,0 +1,61 @@
+// Ablation: the proactive component as starvation protection (§1, §3.3.1,
+// §6).
+//
+// The paper's core argument for hybrid strategies: a purely reactive
+// scheme (classic token bucket included) sends only in response to other
+// messages, so when messages are lost — to faults or to application
+// filters — circulation decays and the system can come to a complete
+// standstill. The simple token account is IDENTICAL to the token bucket on
+// the reactive side but adds proactive sends when the account is full,
+// which re-seeds circulation.
+//
+// We run push gossip under increasing message-loss rates and compare the
+// classic token bucket against the simple token account, reporting the
+// steady-state lag and the per-period send rate (a dying system's send
+// rate collapses toward zero).
+//
+// Usage: ablation_starvation [--n=2000] [--seeds=3] [--quick]
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace toka;
+  const util::Args args(argc, argv);
+  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 3));
+
+  std::printf(
+      "# Ablation: starvation under message loss (push gossip)\n"
+      "# token bucket = same reactive rule, NO proactive fallback\n");
+  std::printf("%-22s %8s %14s %14s\n", "strategy", "loss", "late lag",
+              "sends/period");
+
+  for (const double loss : {0.0, 0.2, 0.5, 0.8}) {
+    for (const bool bucket : {true, false}) {
+      apps::ExperimentConfig cfg;
+      cfg.app = apps::AppKind::kPushGossip;
+      cfg.node_count = 2000;
+      bench::apply_common_args(args, cfg);
+      cfg.strategy.kind = bucket ? core::StrategyKind::kTokenBucket
+                                 : core::StrategyKind::kSimple;
+      cfg.strategy.c_param = 10;
+      // Both variants start with a full balance and one bootstrap send per
+      // node: a purely reactive scheme cannot start by itself, and the
+      // identical bootstrap keeps the comparison fair.
+      cfg.initial_tokens = 10;
+      cfg.bootstrap_circulation = true;
+      cfg.drop_probability = loss;
+      const auto result = apps::run_averaged(cfg, seeds);
+      const TimeUs end = cfg.timing.horizon;
+      std::printf("%-22s %8.2f %14.5g %14.4f\n",
+                  cfg.strategy.label().c_str(), loss,
+                  result.metric.mean_over(end / 2, end).value_or(0.0),
+                  result.cost_per_online_period);
+    }
+  }
+  std::printf(
+      "\n# expected: the token bucket's send rate collapses as loss grows "
+      "(starvation);\n# the simple token account keeps sending at ~1/period "
+      "and its lag degrades gracefully.\n");
+  return 0;
+}

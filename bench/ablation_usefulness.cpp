@@ -1,0 +1,54 @@
+// Ablation: the usefulness signal.
+//
+// The framework forwards an application-defined usefulness bit to the
+// reactive function; generalized/randomized spend less (or nothing) on
+// useless messages. This bench disables the signal (every message treated
+// as useful) and measures the damage: tokens get burnt reacting to stale
+// information, so convergence slows at equal cost.
+//
+// Usage: ablation_usefulness [--n=2000] [--seeds=3] [--quick]
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace toka;
+  const util::Args args(argc, argv);
+  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 3));
+
+  std::printf("# Ablation: usefulness signal on vs off (force_useful)\n");
+  std::printf("%-12s %-22s %12s %14s %10s\n", "app", "variant", "usefulness",
+              "late metric", "cost");
+
+  for (apps::AppKind app :
+       {apps::AppKind::kGossipLearning, apps::AppKind::kPushGossip}) {
+    for (core::StrategyKind kind : {core::StrategyKind::kGeneralized,
+                                    core::StrategyKind::kRandomized}) {
+      for (const bool force : {false, true}) {
+        apps::ExperimentConfig cfg;
+        cfg.app = app;
+        cfg.node_count = 2000;
+        bench::apply_common_args(args, cfg);
+        cfg.strategy.kind = kind;
+        cfg.strategy.a_param = 5;
+        cfg.strategy.c_param = 10;
+        cfg.force_useful = force;
+        const auto result = apps::run_averaged(cfg, seeds);
+        const TimeUs end = cfg.timing.horizon;
+        std::printf("%-12s %-22s %12s %14.5g %10.4f\n",
+                    apps::to_string(app).c_str(),
+                    cfg.strategy.label().c_str(), force ? "ignored" : "used",
+                    result.metric.mean_over(end / 2, end).value_or(0.0),
+                    result.cost_per_online_period);
+      }
+    }
+  }
+  std::printf(
+      "\n# expected: application-dependent. For push gossip, ignoring the "
+      "signal wastes tokens on stale\n# updates. For gossip learning at "
+      "small N, reacting to a 'useless' (younger) model re-broadcasts\n# "
+      "the node's better model — extra replication that can offset walk "
+      "stalling; the generalized\n# strategy's half-rate response to "
+      "useless messages (Eq. 3) is the paper's middle ground.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every figure/table bench prints (a) a machine-readable CSV block with the
+// full series and (b) a human-readable summary that mirrors what the paper
+// reports: which strategy wins, by what factor, at what cost.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/experiment.hpp"
+#include "core/strategy.hpp"
+#include "metrics/timeseries.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+namespace toka::bench {
+
+/// The representative (strategy, A, C) selection plotted in Figures 2-4.
+/// The paper explores A in {1,2,5,10,15,20,40} x C-A in
+/// {0,1,2,5,10,15,20,40,80}; the figures show a representative subset,
+/// always against the proactive baseline.
+struct Variant {
+  core::StrategyConfig strategy;
+  std::string label;
+};
+
+inline Variant proactive_variant() {
+  core::StrategyConfig cfg;
+  cfg.kind = core::StrategyKind::kProactive;
+  return Variant{cfg, "proactive"};
+}
+
+inline Variant make_variant(core::StrategyKind kind, Tokens a, Tokens c) {
+  core::StrategyConfig cfg;
+  cfg.kind = kind;
+  cfg.a_param = a;
+  cfg.c_param = c;
+  return Variant{cfg, cfg.label()};
+}
+
+/// Figure 2/3 selection: one simple variant plus generalized/randomized at
+/// the (A,C) combinations the paper discusses by name.
+inline std::vector<Variant> figure_selection(bool full_grid) {
+  std::vector<Variant> out;
+  out.push_back(proactive_variant());
+  if (!full_grid) {
+    out.push_back(make_variant(core::StrategyKind::kSimple, 1, 10));
+    out.push_back(make_variant(core::StrategyKind::kSimple, 1, 20));
+    for (core::StrategyKind kind : {core::StrategyKind::kGeneralized,
+                                    core::StrategyKind::kRandomized}) {
+      out.push_back(make_variant(kind, 1, 5));
+      out.push_back(make_variant(kind, 1, 10));
+      out.push_back(make_variant(kind, 5, 10));
+      out.push_back(make_variant(kind, 10, 10));
+      out.push_back(make_variant(kind, 10, 20));
+      out.push_back(make_variant(kind, 20, 40));
+    }
+    return out;
+  }
+  // Full paper grid.
+  for (Tokens gap : {0, 1, 2, 5, 10, 15, 20, 40, 80})
+    out.push_back(make_variant(core::StrategyKind::kSimple, 1, 1 + gap));
+  for (core::StrategyKind kind :
+       {core::StrategyKind::kGeneralized, core::StrategyKind::kRandomized}) {
+    for (Tokens a : {1, 2, 5, 10, 15, 20, 40})
+      for (Tokens gap : {0, 1, 2, 5, 10, 15, 20, 40, 80})
+        out.push_back(make_variant(kind, a, a + gap));
+  }
+  return out;
+}
+
+/// Applies the standard bench CLI overrides to an experiment config:
+/// --n, --periods, --seed, plus optional --quick downscaling.
+inline void apply_common_args(const util::Args& args,
+                              apps::ExperimentConfig& cfg) {
+  cfg.node_count =
+      static_cast<std::size_t>(args.get_int("n", static_cast<std::int64_t>(
+                                                     cfg.node_count)));
+  const std::int64_t periods =
+      args.get_int("periods", cfg.timing.horizon / cfg.timing.delta);
+  cfg.timing.horizon = periods * cfg.timing.delta;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (args.get_flag("quick")) {
+    cfg.node_count = std::min<std::size_t>(cfg.node_count, 1000);
+    cfg.timing.horizon = 300 * cfg.timing.delta;
+  }
+}
+
+/// Prints a series as CSV rows tagged with the variant label:
+///   series,<label>,<t_seconds>,<value>
+inline void print_series(const std::string& label,
+                         const metrics::TimeSeries& series,
+                         std::size_t max_rows = 100) {
+  const std::size_t stride =
+      series.size() <= max_rows ? 1 : series.size() / max_rows;
+  util::CsvWriter csv(std::cout);
+  for (std::size_t i = 0; i < series.size(); i += stride) {
+    csv.field(std::string("series"))
+        .field(label)
+        .field(to_seconds(series[i].t))
+        .field(series[i].value);
+    csv.end_row();
+  }
+}
+
+/// One summary row per variant.
+struct SummaryRow {
+  std::string label;
+  double final_metric = 0.0;
+  double late_mean = 0.0;  ///< metric averaged over the last half
+  double cost = 0.0;       ///< data messages per online node-period
+};
+
+inline void print_summary(const std::string& title,
+                          const std::vector<SummaryRow>& rows,
+                          const std::string& metric_name) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-28s %14s %14s %10s\n", "strategy",
+              ("final " + metric_name).c_str(),
+              ("late-half " + metric_name).c_str(), "cost/period");
+  for (const SummaryRow& row : rows) {
+    std::printf("%-28s %14.5g %14.5g %10.4f\n", row.label.c_str(),
+                row.final_metric, row.late_mean, row.cost);
+  }
+}
+
+}  // namespace toka::bench

@@ -1,0 +1,129 @@
+// Extension bench: push vs push-pull (paper §2.3).
+//
+// The paper states that (a) push-pull is superior to push on a number of
+// metrics, but (b) its benefits show mainly in the FINAL phase of
+// convergence, which the continuous-injection setup never reaches — hence
+// plain push was a fair simplification. This bench checks both statements:
+//
+//   1. continuous injections (the paper's setup): the steady-state lag of
+//      push and push-pull should be close;
+//   2. single-shot spreading: one update injected at t=0; the time for the
+//      LAST nodes to learn it (the final phase) should favour push-pull.
+//
+// Usage: extension_push_pull [--n=2000] [--seed=1] [--quick]
+#include <cstdio>
+
+#include "apps/push_gossip.hpp"
+#include "apps/push_pull_gossip.hpp"
+#include "bench_common.hpp"
+#include "net/graph.hpp"
+
+namespace {
+
+using namespace toka;
+
+sim::SimConfig paper_config(std::uint64_t seed) {
+  sim::SimConfig cfg;
+  cfg.strategy.kind = core::StrategyKind::kRandomized;
+  cfg.strategy.a_param = 5;
+  cfg.strategy.c_param = 10;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace toka;
+  const util::Args args(argc, argv);
+  const auto n = static_cast<std::size_t>(
+      args.get_int("n", args.get_flag("quick") ? 1000 : 2000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  util::Rng graph_rng(seed);
+  const auto graph = net::random_k_out(n, 20, graph_rng);
+
+  // --- 1. continuous injections --------------------------------------------
+  {
+    auto cfg = paper_config(seed);
+    cfg.timing.horizon = 300 * cfg.timing.delta;
+
+    apps::PushGossipApp push(n);
+    apps::PushGossipApp::Sim push_sim(graph, push, cfg);
+    push.start_injections(push_sim, cfg.timing.delta / 10);
+    push_sim.run();
+
+    apps::PushPullGossipApp pushpull(n);
+    apps::PushPullGossipApp::Sim pp_sim(graph, pushpull, cfg);
+    pushpull.start_injections(pp_sim, cfg.timing.delta / 10);
+    pp_sim.run();
+
+    std::printf("# continuous injections (N=%zu, 300 periods)\n", n);
+    std::printf("  push       lag %8.3f   data msgs %llu\n",
+                push.metric(push_sim),
+                static_cast<unsigned long long>(
+                    push_sim.counters().data_messages_sent));
+    std::printf("  push-pull  lag %8.3f   data msgs %llu   corrections %llu\n",
+                pushpull.metric(pp_sim),
+                static_cast<unsigned long long>(
+                    pp_sim.counters().data_messages_sent),
+                static_cast<unsigned long long>(pushpull.pull_corrections()));
+    std::printf("  paper: pull brings little in this regime\n\n");
+  }
+
+  // --- 2. single-shot spreading: the final phase ---------------------------
+  {
+    std::printf("# single update injected once (final-phase comparison)\n");
+    std::printf("  %-10s %14s %14s\n", "variant", "t(99% informed)",
+                "t(100% informed)");
+    for (const bool use_pull : {false, true}) {
+      auto cfg = paper_config(seed);
+      cfg.timing.horizon = 400 * cfg.timing.delta;
+      cfg.initial_tokens = 10;  // warm accounts: we study spreading only
+
+      // Plain push uses PushGossipApp; push-pull uses PushPullGossipApp.
+      // Both run the same strategy, overlay, seed and warm accounts.
+      TimeUs t99 = -1, t100 = -1;
+      if (!use_pull) {
+        apps::PushGossipApp push_app(n);
+        apps::PushGossipApp::Sim push_sim(graph, push_app, cfg);
+        push_sim.schedule(1, [&] { push_app.inject(push_sim); });
+        for (TimeUs t = cfg.timing.delta; t <= cfg.timing.horizon;
+             t += cfg.timing.delta / 10) {
+          push_sim.run_until(t);
+          std::size_t informed = 0;
+          for (NodeId v = 0; v < n; ++v)
+            if (push_app.stored_ts(v) == 1) ++informed;
+          const double frac = static_cast<double>(informed) /
+                              static_cast<double>(n);
+          if (t99 < 0 && frac >= 0.99) t99 = t;
+          if (frac >= 1.0) {
+            t100 = t;
+            break;
+          }
+        }
+      } else {
+        apps::PushPullGossipApp app(n);
+        apps::PushPullGossipApp::Sim sim(graph, app, cfg);
+        sim.schedule(1, [&] { app.inject(sim); });
+        for (TimeUs t = cfg.timing.delta; t <= cfg.timing.horizon;
+             t += cfg.timing.delta / 10) {
+          sim.run_until(t);
+          const double frac = app.informed_fraction(sim);
+          if (t99 < 0 && frac >= 0.99) t99 = t;
+          if (frac >= 1.0) {
+            t100 = t;
+            break;
+          }
+        }
+      }
+      auto fmt = [](TimeUs t) {
+        return t < 0 ? -1.0 : to_seconds(t) / 60.0;  // minutes
+      };
+      std::printf("  %-10s %12.1f m %12.1f m\n",
+                  use_pull ? "push-pull" : "push", fmt(t99), fmt(t100));
+    }
+    std::printf("  paper: pull variants help mainly in this final phase\n");
+  }
+  return 0;
+}

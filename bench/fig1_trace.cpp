@@ -1,0 +1,47 @@
+// Figure 1 reproduction: proportion of users online and that have been
+// online as a function of time over the virtual two-day period, plus the
+// per-bucket login/logout proportions (the bars of the paper's figure).
+//
+// The paper computed this over 40,658 two-day STUNner segments; we compute
+// it over the synthetic trace that substitutes for it (see DESIGN.md §5).
+//
+// Usage: fig1_trace [--users=40658] [--bucket-minutes=60] [--seed=1]
+#include <cstdio>
+
+#include "trace/synthetic.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace toka;
+  const util::Args args(argc, argv);
+  const auto users = static_cast<std::size_t>(args.get_int("users", 40658));
+  const TimeUs bucket =
+      args.get_int("bucket-minutes", 60) * duration::kMinute;
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+
+  trace::SyntheticTraceConfig cfg;
+  const auto segments = trace::generate_segments(cfg, users, rng);
+  const auto stats = trace::trace_statistics(segments, cfg.horizon, bucket);
+
+  std::printf("# Figure 1: smartphone availability over 48 h (%zu users)\n",
+              users);
+  std::printf("%10s %10s %16s %10s %10s\n", "hour", "online",
+              "has_been_online", "login", "logout");
+  for (const auto& b : stats) {
+    std::printf("%10.2f %10.4f %16.4f %10.4f %10.4f\n",
+                to_seconds(b.start) / 3600.0, b.online_fraction,
+                b.has_been_online_fraction, b.login_fraction,
+                b.logout_fraction);
+  }
+
+  std::printf("\n# summary\n");
+  std::printf("never_online_fraction   %.4f   (paper: ~0.30)\n",
+              trace::never_online_fraction(segments));
+  std::printf("final_has_been_online   %.4f   (paper: plateau ~0.70)\n",
+              stats.back().has_been_online_fraction);
+  std::printf("mean_online_share       %.4f   (ever-online users)\n",
+              trace::mean_online_share(segments, cfg.horizon));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 2 reproduction: token account strategies in the failure-free
+// scenario for gossip learning (top row), push gossip (middle row) and
+// chaotic iteration (bottom row) at N = 5000, Δ = 172.8 s, 1000 periods.
+//
+// Each strategy/parameter variant is run `--seeds` times (paper: 10) and
+// the metric series are averaged. Push gossip curves are smoothed over 15
+// minutes like the paper's plots.
+//
+// Usage: fig2_failure_free [--n=5000] [--seeds=3] [--periods=1000]
+//                          [--apps=learning,push,chaotic] [--full-grid]
+//                          [--quick]
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace toka;
+
+void run_app(apps::AppKind app, const util::Args& args) {
+  apps::ExperimentConfig base;
+  base.app = app;
+  base.scenario = apps::Scenario::kFailureFree;
+  base.node_count = app == apps::AppKind::kChaoticIteration ? 5000 : 5000;
+  bench::apply_common_args(args, base);
+  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 2));
+
+  std::printf("\n#### app=%s N=%zu periods=%lld seeds=%zu\n",
+              apps::to_string(app).c_str(), base.node_count,
+              static_cast<long long>(base.timing.periods()), seeds);
+
+  std::vector<bench::SummaryRow> summary;
+  for (const auto& variant :
+       bench::figure_selection(args.get_flag("full-grid"))) {
+    apps::ExperimentConfig cfg = base;
+    cfg.strategy = variant.strategy;
+    const auto result = apps::run_averaged(cfg, seeds);
+    metrics::TimeSeries series = result.metric;
+    if (app == apps::AppKind::kPushGossip)
+      series = series.smoothed(15 * duration::kMinute);
+    bench::print_series(apps::to_string(app) + "/" + variant.label, series);
+    bench::SummaryRow row;
+    row.label = variant.label;
+    row.final_metric = series.final_value();
+    row.late_mean = series
+                        .mean_over(cfg.timing.horizon / 2, cfg.timing.horizon)
+                        .value_or(0.0);
+    row.cost = result.cost_per_online_period;
+    summary.push_back(row);
+  }
+  const char* metric_name = app == apps::AppKind::kGossipLearning
+                                ? "rel.speed"
+                                : (app == apps::AppKind::kPushGossip
+                                       ? "lag(updates)"
+                                       : "angle(rad)");
+  std::ostringstream title;
+  title << "Figure 2 (" << apps::to_string(app)
+        << ", failure-free, N=" << base.node_count << ")";
+  bench::print_summary(title.str(), summary, metric_name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const toka::util::Args args(argc, argv);
+  const std::string apps_arg =
+      args.get_string("apps", "learning,push,chaotic");
+  if (apps_arg.find("learning") != std::string::npos)
+    run_app(toka::apps::AppKind::kGossipLearning, args);
+  if (apps_arg.find("push") != std::string::npos)
+    run_app(toka::apps::AppKind::kPushGossip, args);
+  if (apps_arg.find("chaotic") != std::string::npos)
+    run_app(toka::apps::AppKind::kChaoticIteration, args);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 3 reproduction: token account strategies over the smartphone
+// availability trace for gossip learning (top row) and push gossip
+// (bottom row). Chaotic iteration is excluded like in the paper: under
+// aggressive churn its convergence metric is not defined.
+//
+// Metrics are computed over online nodes only; nodes earn tokens only
+// while online; rejoining nodes issue the initial pull request (§4.1.2).
+//
+// Usage: fig3_trace [--n=5000] [--seeds=3] [--full-grid] [--quick]
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace toka;
+
+void run_app(apps::AppKind app, const util::Args& args) {
+  apps::ExperimentConfig base;
+  base.app = app;
+  base.scenario = apps::Scenario::kSmartphoneTrace;
+  base.node_count = 5000;
+  bench::apply_common_args(args, base);
+  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 2));
+
+  std::printf("\n#### app=%s N=%zu trace-scenario seeds=%zu\n",
+              apps::to_string(app).c_str(), base.node_count, seeds);
+
+  std::vector<bench::SummaryRow> summary;
+  for (const auto& variant :
+       bench::figure_selection(args.get_flag("full-grid"))) {
+    apps::ExperimentConfig cfg = base;
+    cfg.strategy = variant.strategy;
+    const auto result = apps::run_averaged(cfg, seeds);
+    metrics::TimeSeries series = result.metric;
+    if (app == apps::AppKind::kPushGossip)
+      series = series.smoothed(15 * duration::kMinute);
+    bench::print_series(apps::to_string(app) + "/" + variant.label, series);
+    bench::SummaryRow row;
+    row.label = variant.label;
+    row.final_metric = series.final_value();
+    row.late_mean = series
+                        .mean_over(cfg.timing.horizon / 2, cfg.timing.horizon)
+                        .value_or(0.0);
+    row.cost = result.cost_per_online_period;
+    summary.push_back(row);
+  }
+  std::ostringstream title;
+  title << "Figure 3 (" << apps::to_string(app) << ", smartphone trace)";
+  bench::print_summary(title.str(), summary,
+                       app == apps::AppKind::kGossipLearning
+                           ? "rel.speed"
+                           : "lag(updates)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const toka::util::Args args(argc, argv);
+  const std::string apps_arg = args.get_string("apps", "learning,push");
+  if (apps_arg.find("learning") != std::string::npos)
+    run_app(toka::apps::AppKind::kGossipLearning, args);
+  if (apps_arg.find("push") != std::string::npos)
+    run_app(toka::apps::AppKind::kPushGossip, args);
+  return 0;
+}

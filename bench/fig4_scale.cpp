@@ -1,0 +1,85 @@
+// Figure 4 reproduction: scalability in the failure-free scenario at
+// N = 500,000 for gossip learning and push gossip.
+//
+// The paper's headline finding here: the most aggressive reactive variants
+// (A=1, C=5 and A=1, C=10) are among the WORST at N=5000 (finite-size
+// stalling of random walks) but among the BEST at N=500,000; robust
+// settings like A=5, C=10 perform similarly at both scales; push gossip
+// lag grows only logarithmically with N.
+//
+// Full paper scale takes a while (5*10^8 ticks), so the default runs
+// N=50,000 with one seed; pass --full for N=500,000.
+//
+// Usage: fig4_scale [--n=50000] [--full] [--seeds=1] [--quick]
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace toka;
+
+std::vector<bench::Variant> scale_selection() {
+  using core::StrategyKind;
+  return {
+      bench::proactive_variant(),
+      bench::make_variant(StrategyKind::kRandomized, 1, 5),
+      bench::make_variant(StrategyKind::kRandomized, 1, 10),
+      bench::make_variant(StrategyKind::kRandomized, 5, 10),
+      bench::make_variant(StrategyKind::kRandomized, 10, 20),
+      bench::make_variant(StrategyKind::kGeneralized, 1, 10),
+      bench::make_variant(StrategyKind::kGeneralized, 5, 10),
+  };
+}
+
+void run_app(apps::AppKind app, const util::Args& args) {
+  apps::ExperimentConfig base;
+  base.app = app;
+  base.scenario = apps::Scenario::kFailureFree;
+  base.node_count = args.get_flag("full") ? 500'000 : 25'000;
+  bench::apply_common_args(args, base);
+  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 1));
+
+  std::printf("\n#### app=%s N=%zu periods=%lld seeds=%zu\n",
+              apps::to_string(app).c_str(), base.node_count,
+              static_cast<long long>(base.timing.periods()), seeds);
+
+  std::vector<bench::SummaryRow> summary;
+  for (const auto& variant : scale_selection()) {
+    apps::ExperimentConfig cfg = base;
+    cfg.strategy = variant.strategy;
+    const auto result = apps::run_averaged(cfg, seeds);
+    metrics::TimeSeries series = result.metric;
+    if (app == apps::AppKind::kPushGossip)
+      series = series.smoothed(15 * duration::kMinute);
+    bench::print_series(apps::to_string(app) + "/" + variant.label, series);
+    bench::SummaryRow row;
+    row.label = variant.label;
+    row.final_metric = series.final_value();
+    row.late_mean = series
+                        .mean_over(cfg.timing.horizon / 2, cfg.timing.horizon)
+                        .value_or(0.0);
+    row.cost = result.cost_per_online_period;
+    summary.push_back(row);
+  }
+  std::ostringstream title;
+  title << "Figure 4 (" << apps::to_string(app)
+        << ", failure-free, N=" << base.node_count << ")";
+  bench::print_summary(title.str(), summary,
+                       app == apps::AppKind::kGossipLearning
+                           ? "rel.speed"
+                           : "lag(updates)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const toka::util::Args args(argc, argv);
+  const std::string apps_arg = args.get_string("apps", "learning,push");
+  if (apps_arg.find("learning") != std::string::npos)
+    run_app(toka::apps::AppKind::kGossipLearning, args);
+  if (apps_arg.find("push") != std::string::npos)
+    run_app(toka::apps::AppKind::kPushGossip, args);
+  return 0;
+}

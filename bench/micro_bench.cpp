@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the library:
+// strategy evaluation, account operations, rounding, peer sampling, event
+// processing throughput, graph construction, and the analysis kernels.
+#include <benchmark/benchmark.h>
+
+#include "analysis/eigen.hpp"
+#include "core/account.hpp"
+#include "core/rand_round.hpp"
+#include "core/strategies.hpp"
+#include "net/graph.hpp"
+#include "net/peer_sampling.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace toka;
+
+void BM_RngNextU64(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngBelow(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.below(20));
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_StrategyEval(benchmark::State& state) {
+  core::RandomizedTokenAccount strategy(5, 10);
+  Tokens a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy.proactive(a));
+    benchmark::DoNotOptimize(strategy.reactive(a, true));
+    a = (a + 1) % 11;
+  }
+}
+BENCHMARK(BM_StrategyEval);
+
+void BM_RandRound(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(core::rand_round(2.7, rng));
+}
+BENCHMARK(BM_RandRound);
+
+void BM_AccountTick(benchmark::State& state) {
+  core::RandomizedTokenAccount strategy(5, 10);
+  core::TokenAccount account(strategy);
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(account.on_tick(rng));
+}
+BENCHMARK(BM_AccountTick);
+
+void BM_AccountMessage(benchmark::State& state) {
+  core::RandomizedTokenAccount strategy(5, 10);
+  core::TokenAccount account(strategy, 10);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(account.on_message(true, rng));
+    account.refund_reactive(0);  // keep the loop honest
+    if (account.balance() == 0) account = core::TokenAccount(strategy, 10);
+  }
+}
+BENCHMARK(BM_AccountMessage);
+
+void BM_PeerSampling(benchmark::State& state) {
+  util::Rng graph_rng(1);
+  const auto graph =
+      net::random_k_out(10'000, static_cast<std::size_t>(state.range(0)),
+                        graph_rng);
+  net::UniformNeighborSampler sampler(graph);
+  util::Rng rng(2);
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.select(v, rng));
+    v = (v + 1) % 10'000;
+  }
+}
+BENCHMARK(BM_PeerSampling)->Arg(20)->Arg(4);
+
+void BM_GraphKOut(benchmark::State& state) {
+  for (auto _ : state) {
+    util::Rng rng(1);
+    const auto g =
+        net::random_k_out(static_cast<std::size_t>(state.range(0)), 20, rng);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GraphKOut)->Arg(1000)->Arg(10'000);
+
+void BM_GraphWattsStrogatz(benchmark::State& state) {
+  for (auto _ : state) {
+    util::Rng rng(1);
+    const auto g = net::watts_strogatz(
+        static_cast<std::size_t>(state.range(0)), 4, 0.01, rng);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GraphWattsStrogatz)->Arg(5000);
+
+struct NullBody {};
+
+class NullLogic final : public sim::NodeLogic<NullBody> {
+ public:
+  NullBody create_message(NodeId, sim::Simulator<NullBody>&) override {
+    return {};
+  }
+  bool update_state(NodeId, const sim::Arrival<NullBody>&,
+                    sim::Simulator<NullBody>&) override {
+    return true;
+  }
+};
+
+/// End-to-end engine throughput: events per second for a proactive sim.
+void BM_SimulatorThroughput(benchmark::State& state) {
+  util::Rng graph_rng(1);
+  const auto graph = net::random_k_out(
+      static_cast<std::size_t>(state.range(0)), 20, graph_rng);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    NullLogic logic;
+    sim::SimConfig cfg;
+    cfg.timing.delta = 1000;
+    cfg.timing.transfer = 10;
+    cfg.timing.horizon = 100 * 1000;
+    cfg.strategy.kind = core::StrategyKind::kProactive;
+    sim::Simulator<NullBody> simulator(graph, logic, cfg);
+    simulator.run();
+    events += simulator.counters().events_processed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SimulatorThroughput)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.2);
+
+void BM_PowerIteration(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto g = net::watts_strogatz(
+      static_cast<std::size_t>(state.range(0)), 4, 0.01, rng);
+  const net::InWeights weights(g);
+  const analysis::SparseMatrix m(weights);
+  for (auto _ : state) {
+    const auto result = analysis::power_iteration(m, 2000, 1e-10);
+    benchmark::DoNotOptimize(result.eigenvalue);
+  }
+  state.SetLabel("n=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_PowerIteration)->Arg(1000)->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

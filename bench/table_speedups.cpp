@@ -1,0 +1,116 @@
+// Headline-claims table. The paper has no numbered tables; its quantitative
+// claims (abstract + §6) are:
+//
+//   * push gossip: up to ~4x speedup — the delay of receiving the freshest
+//     update is about one third of the proactive implementation's;
+//   * gossip learning: an order of magnitude speedup vs purely proactive,
+//     approaching the "hot potato" (never-delayed) walk;
+//   * chaotic iteration: significant speedup for most parameter settings;
+//   * all of this at the same overall communication cost (rate 1/Δ).
+//
+// This bench regenerates those numbers at the paper's N=5000 scale.
+//
+// Usage: table_speedups [--n=5000] [--seeds=3] [--periods=1000] [--quick]
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace toka;
+
+apps::ExperimentResult run(const util::Args& args, apps::AppKind app,
+                           const bench::Variant& variant,
+                           std::size_t seeds) {
+  apps::ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.node_count = 5000;
+  bench::apply_common_args(args, cfg);
+  cfg.strategy = variant.strategy;
+  return apps::run_averaged(cfg, seeds);
+}
+
+double late_mean(const apps::ExperimentResult& r) {
+  const TimeUs end = r.metric.points().back().t;
+  return r.metric.mean_over(end / 2, end).value_or(0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace toka;
+  const util::Args args(argc, argv);
+  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 3));
+  const auto best = bench::make_variant(core::StrategyKind::kRandomized, 5, 10);
+  const auto best_gen =
+      bench::make_variant(core::StrategyKind::kGeneralized, 5, 10);
+
+  std::printf("# Headline claims (N=5000 failure-free, %zu seeds)\n\n", seeds);
+
+  // --- push gossip delay ratio --------------------------------------------
+  {
+    const auto pro =
+        run(args, apps::AppKind::kPushGossip, bench::proactive_variant(),
+            seeds);
+    const auto gen = run(args, apps::AppKind::kPushGossip, best_gen, seeds);
+    const auto rnd = run(args, apps::AppKind::kPushGossip, best, seeds);
+    const double lag_pro = late_mean(pro);
+    const double lag_gen = late_mean(gen);
+    const double lag_rnd = late_mean(rnd);
+    std::printf("push gossip steady-state lag (updates behind freshest):\n");
+    std::printf("  proactive            %8.3f   cost %.4f\n", lag_pro,
+                pro.cost_per_online_period);
+    std::printf("  %-20s %8.3f   cost %.4f   ratio %.2fx\n",
+                best_gen.label.c_str(), lag_gen,
+                gen.cost_per_online_period, lag_pro / lag_gen);
+    std::printf("  %-20s %8.3f   cost %.4f   ratio %.2fx\n",
+                best.label.c_str(), lag_rnd, rnd.cost_per_online_period,
+                lag_pro / lag_rnd);
+    std::printf("  paper claim: delay ~1/3 of proactive (ratio ~3x)\n\n");
+  }
+
+  // --- gossip learning speed ratio ----------------------------------------
+  {
+    const auto pro =
+        run(args, apps::AppKind::kGossipLearning, bench::proactive_variant(),
+            seeds);
+    const auto rnd = run(args, apps::AppKind::kGossipLearning, best, seeds);
+    const auto gen =
+        run(args, apps::AppKind::kGossipLearning, best_gen, seeds);
+    const double v_pro = pro.metric.final_value();
+    const double v_rnd = rnd.metric.final_value();
+    const double v_gen = gen.metric.final_value();
+    std::printf(
+        "gossip learning relative walk speed (1.0 = ideal hot-potato):\n");
+    std::printf("  proactive            %8.4f   cost %.4f\n", v_pro,
+                pro.cost_per_online_period);
+    std::printf("  %-20s %8.4f   cost %.4f   ratio %.1fx\n",
+                best_gen.label.c_str(), v_gen, gen.cost_per_online_period,
+                v_gen / v_pro);
+    std::printf("  %-20s %8.4f   cost %.4f   ratio %.1fx\n",
+                best.label.c_str(), v_rnd, rnd.cost_per_online_period,
+                v_rnd / v_pro);
+    std::printf("  paper claim: order-of-magnitude speedup (~10x)\n\n");
+  }
+
+  // --- chaotic iteration time-to-angle speedup ----------------------------
+  {
+    const auto pro = run(args, apps::AppKind::kChaoticIteration,
+                         bench::proactive_variant(), seeds);
+    const auto rnd =
+        run(args, apps::AppKind::kChaoticIteration, best, seeds);
+    std::printf("chaotic iteration angle to true eigenvector (rad):\n");
+    std::printf("  proactive            final %.5f\n",
+                pro.metric.final_value());
+    std::printf("  %-20s final %.5f\n", best.label.c_str(),
+                rnd.metric.final_value());
+    const double target = pro.metric.final_value();
+    const auto speedup =
+        metrics::speedup_at_threshold(pro.metric, rnd.metric, target, false);
+    if (speedup)
+      std::printf("  time to reach proactive's final angle: %.2fx faster\n",
+                  *speedup);
+    std::printf("  paper claim: significant speedup\n");
+  }
+  return 0;
+}

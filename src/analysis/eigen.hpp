@@ -1,0 +1,61 @@
+// Centralized reference computation for chaotic iteration: sparse power
+// iteration producing the true dominant eigenvector that the decentralized
+// protocol should converge to (paper §2.4, §4.1.3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/weights.hpp"
+#include "util/types.hpp"
+
+namespace toka::analysis {
+
+/// Row-major CSR sparse matrix.
+class SparseMatrix {
+ public:
+  /// Builds the weighted neighborhood matrix A with A[i][k] = w(k->i)
+  /// from per-node in-edges (column-stochastic when built via
+  /// net::InWeights).
+  explicit SparseMatrix(const net::InWeights& weights);
+
+  /// Builds from explicit triplets (row, col, value).
+  SparseMatrix(std::size_t n,
+               const std::vector<std::tuple<NodeId, NodeId, double>>& entries);
+
+  std::size_t size() const { return row_ptr_.size() - 1; }
+
+  /// y = A x.
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+
+ private:
+  std::vector<std::size_t> row_ptr_;
+  std::vector<NodeId> col_;
+  std::vector<double> val_;
+};
+
+struct PowerIterationResult {
+  std::vector<double> eigenvector;  ///< unit 2-norm, first component >= 0
+  double eigenvalue = 0.0;          ///< Rayleigh estimate
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Power iteration with 2-norm normalization. Stops when consecutive
+/// normalized iterates differ by less than `tol` (infinity norm) or after
+/// `max_iterations`.
+PowerIterationResult power_iteration(const SparseMatrix& m,
+                                     std::size_t max_iterations = 100000,
+                                     double tol = 1e-12);
+
+/// Angle in radians between two vectors (0 = parallel). This is the
+/// convergence metric of the chaotic iteration experiments; sign is
+/// ignored (eigenvectors are direction-only).
+double angle_between(const std::vector<double>& a,
+                     const std::vector<double>& b);
+
+/// 1 - |cos| of the angle between two vectors.
+double cosine_distance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+}  // namespace toka::analysis

@@ -1,0 +1,138 @@
+#include "analysis/mean_field.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace toka::analysis {
+
+using core::StrategyConfig;
+using core::StrategyKind;
+
+double continuous_proactive(const StrategyConfig& config, double a) {
+  const auto A = static_cast<double>(config.a_param);
+  const auto C = static_cast<double>(config.c_param);
+  switch (config.kind) {
+    case StrategyKind::kProactive:
+      return 1.0;
+    case StrategyKind::kSimple:
+    case StrategyKind::kGeneralized:
+      return a >= C ? 1.0 : 0.0;
+    case StrategyKind::kRandomized:
+      if (a < A - 1.0) return 0.0;
+      if (a > C) return 1.0;
+      return (a - A + 1.0) / (C - A + 1.0);
+    case StrategyKind::kPureReactive:
+    case StrategyKind::kTokenBucket:
+      return 0.0;
+  }
+  throw util::InvariantError("invalid StrategyKind");
+}
+
+double continuous_reactive(const StrategyConfig& config, double a,
+                           bool useful) {
+  const auto A = static_cast<double>(config.a_param);
+  switch (config.kind) {
+    case StrategyKind::kProactive:
+      return 0.0;
+    case StrategyKind::kSimple:
+    case StrategyKind::kTokenBucket:
+      return a > 0.0 ? 1.0 : 0.0;
+    case StrategyKind::kGeneralized: {
+      // Continuous extension drops the floor of Eq. 3.
+      const double value = (A - 1.0 + a) / (useful ? A : 2.0 * A);
+      return std::max(0.0, std::min(value, a));
+    }
+    case StrategyKind::kRandomized:
+      return useful ? std::max(0.0, a) / A : 0.0;
+    case StrategyKind::kPureReactive:
+      return static_cast<double>(config.reactive_k);
+  }
+  throw util::InvariantError("invalid StrategyKind");
+}
+
+EquilibriumRange equilibrium_balance(const StrategyConfig& config,
+                                     bool useful) {
+  TOKA_CHECK_MSG(config.kind != StrategyKind::kPureReactive &&
+                     config.kind != StrategyKind::kTokenBucket,
+                 "equilibrium requires a bounded-capacity strategy");
+  const auto C = static_cast<double>(config.c_param);
+  auto f = [&](double a) {
+    return continuous_reactive(config, a, useful) +
+           continuous_proactive(config, a);
+  };
+  // f is monotone non-decreasing. The solution set of f(a) = 1 within
+  // [0, C] is the interval [lo, hi] where
+  //   lo = inf { a : f(a) >= 1 },  hi = sup { a : f(a) <= 1 }.
+  constexpr int kIters = 200;
+  double lo_lo = 0.0, lo_hi = C;
+  if (f(0.0) >= 1.0) {
+    lo_hi = 0.0;
+  } else {
+    for (int i = 0; i < kIters; ++i) {
+      const double mid = 0.5 * (lo_lo + lo_hi);
+      (f(mid) >= 1.0 ? lo_hi : lo_lo) = mid;
+    }
+  }
+  double hi_lo = 0.0, hi_hi = C;
+  if (f(C) <= 1.0) {
+    hi_lo = C;
+  } else {
+    for (int i = 0; i < kIters; ++i) {
+      const double mid = 0.5 * (hi_lo + hi_hi);
+      (f(mid) <= 1.0 ? hi_lo : hi_hi) = mid;
+    }
+  }
+  return EquilibriumRange{lo_hi, hi_lo};
+}
+
+double randomized_equilibrium(Tokens a_param, Tokens c_param) {
+  TOKA_CHECK(a_param >= 1 && a_param <= c_param);
+  const auto A = static_cast<double>(a_param);
+  const auto C = static_cast<double>(c_param);
+  return A * C / (C + 1.0);
+}
+
+std::vector<MeanFieldPoint> mean_field_trajectory(
+    const StrategyConfig& config, bool useful, double delta_seconds,
+    double t_end_seconds, double a0, double sample_dt) {
+  TOKA_CHECK(delta_seconds > 0.0);
+  TOKA_CHECK(t_end_seconds >= 0.0);
+  TOKA_CHECK(sample_dt > 0.0);
+
+  // State y = (a, s) with s = dw/dt:
+  //   a' = 1/Δ − s
+  //   s' = s (reactive(a,u) − 1) + proactive(a)/Δ
+  auto deriv = [&](double a, double s, double& da, double& ds) {
+    da = 1.0 / delta_seconds - s;
+    ds = s * (continuous_reactive(config, a, useful) - 1.0) +
+         continuous_proactive(config, a) / delta_seconds;
+  };
+
+  // Integration step well below the period keeps RK4 stable across the
+  // kinks of the piecewise-linear strategy functions.
+  const double dt = std::min(sample_dt, delta_seconds / 20.0);
+  std::vector<MeanFieldPoint> out;
+  double a = a0, s = 0.0, t = 0.0, next_sample = 0.0;
+  while (t <= t_end_seconds + 1e-9) {
+    if (t + 1e-9 >= next_sample) {
+      out.push_back(MeanFieldPoint{t, a, s});
+      next_sample += sample_dt;
+    }
+    double k1a, k1s, k2a, k2s, k3a, k3s, k4a, k4s;
+    deriv(a, s, k1a, k1s);
+    deriv(a + 0.5 * dt * k1a, s + 0.5 * dt * k1s, k2a, k2s);
+    deriv(a + 0.5 * dt * k2a, s + 0.5 * dt * k2s, k3a, k3s);
+    deriv(a + dt * k3a, s + dt * k3s, k4a, k4s);
+    a += dt / 6.0 * (k1a + 2 * k2a + 2 * k3a + k4a);
+    s += dt / 6.0 * (k1s + 2 * k2s + 2 * k3s + k4s);
+    // The physical state is non-negative; RK4 can overshoot at the kinks.
+    a = std::max(a, 0.0);
+    s = std::max(s, 0.0);
+    t += dt;
+  }
+  return out;
+}
+
+}  // namespace toka::analysis

@@ -1,0 +1,63 @@
+// Mean-field model of the average token count (paper §4.3).
+//
+// The paper models the failure-free system by
+//
+//     da/dt   = 1/Δ − dw/dt                                   (Eq. 8)
+//     d²w/dt² = dw/dt · (reactive(a,u) − 1) + proactive(a)/Δ  (Eq. 9)
+//
+// where a(t) is the average balance and w(t) the average number of messages
+// sent per node. At equilibrium, 1 = reactive(a,u) + proactive(a) (Eq. 10);
+// for the randomized strategy with u = 1 the closed form is
+// a = A·C/(C+1).
+//
+// These functions operate on the *continuous extensions* of the strategy
+// formulas (no flooring or randomized rounding), which is what the
+// mean-field approximation describes.
+#pragma once
+
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "util/types.hpp"
+
+namespace toka::analysis {
+
+/// Continuous extension of the configured strategy's proactive function at
+/// a real-valued balance.
+double continuous_proactive(const core::StrategyConfig& config, double a);
+
+/// Continuous extension of the reactive function.
+double continuous_reactive(const core::StrategyConfig& config, double a,
+                           bool useful);
+
+/// Solutions of Eq. 10 form a (possibly degenerate) interval because both
+/// functions are monotone non-decreasing; e.g. for the simple strategy
+/// every balance in (0, C) is an equilibrium.
+struct EquilibriumRange {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Solves 1 = reactive(a,u) + proactive(a) for a in [0, C] by bisection on
+/// the continuous extensions. Requires a bounded-capacity strategy.
+EquilibriumRange equilibrium_balance(const core::StrategyConfig& config,
+                                     bool useful);
+
+/// Closed-form equilibrium of the randomized strategy for useful messages:
+/// A·C/(C+1) (paper §4.3).
+double randomized_equilibrium(Tokens a_param, Tokens c_param);
+
+/// One mean-field state sample.
+struct MeanFieldPoint {
+  double t = 0.0;         ///< seconds
+  double balance = 0.0;   ///< a(t)
+  double send_rate = 0.0; ///< dw/dt, messages per second
+};
+
+/// Integrates Eqs. 8–9 with RK4 from a(0) = a0, dw/dt(0) = 0.
+/// `delta_seconds` is the period Δ; samples every `sample_dt` seconds.
+std::vector<MeanFieldPoint> mean_field_trajectory(
+    const core::StrategyConfig& config, bool useful, double delta_seconds,
+    double t_end_seconds, double a0 = 0.0, double sample_dt = 60.0);
+
+}  // namespace toka::analysis

@@ -1,0 +1,52 @@
+#include "apps/chaotic_iteration.hpp"
+
+#include "analysis/eigen.hpp"
+#include "util/error.hpp"
+
+namespace toka::apps {
+
+ChaoticIterationApp::ChaoticIterationApp(const net::InWeights& weights)
+    : weights_(&weights) {
+  const std::size_t n = weights.node_count();
+  buffer_offset_.assign(n + 1, 0);
+  for (NodeId i = 0; i < n; ++i)
+    buffer_offset_[i + 1] = buffer_offset_[i] + weights.in_edges(i).size();
+  buffer_.assign(buffer_offset_[n], 1.0);
+  x_.resize(n);
+  for (NodeId i = 0; i < n; ++i) x_[i] = recompute(i);
+}
+
+double ChaoticIterationApp::recompute(NodeId i) const {
+  const auto edges = weights_->in_edges(i);
+  const std::size_t base = buffer_offset_[i];
+  double acc = 0.0;
+  for (std::size_t j = 0; j < edges.size(); ++j)
+    acc += edges[j].weight * buffer_[base + j];
+  return acc;
+}
+
+WeightMsg ChaoticIterationApp::create_message(NodeId self, Sim&) {
+  return WeightMsg{x_[self]};
+}
+
+bool ChaoticIterationApp::update_state(NodeId self,
+                                       const sim::Arrival<WeightMsg>& msg,
+                                       Sim&) {
+  const std::ptrdiff_t idx = weights_->in_index(self, msg.from);
+  TOKA_CHECK_MSG(idx >= 0, "message from " << msg.from << " to " << self
+                                           << " without an edge");
+  buffer_[buffer_offset_[self] + static_cast<std::size_t>(idx)] = msg.body.x;
+  const double new_x = recompute(self);
+  // Useful iff the local state changed (§3.2). Exact comparison: any
+  // numerical change counts, matching the paper's Boolean usefulness.
+  if (new_x == x_[self]) return false;
+  x_[self] = new_x;
+  return true;
+}
+
+double ChaoticIterationApp::angle_to(
+    const std::vector<double>& reference) const {
+  return analysis::angle_between(x_, reference);
+}
+
+}  // namespace toka::apps

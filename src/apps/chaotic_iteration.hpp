@@ -1,0 +1,60 @@
+// Chaotic asynchronous power iteration over the token account API
+// (paper §2.4, Algorithm 3, §4.1.3).
+//
+// Each node holds one element x_i of the evolving eigenvector estimate and
+// a buffer b[k] of the last value received from every in-neighbor k.
+// On any message from k, the node stores b[k] and recomputes
+// x_i = sum_k A[i][k] * b[k]; a message is useful iff it changed x_i.
+// Following Lubachevsky–Mitra, A is the non-negative column-stochastic
+// weighted neighborhood matrix (spectral radius 1), so x converges to the
+// dominant eigenvector direction.
+//
+// Convergence metric: the angle between the global vector x and the true
+// dominant eigenvector (computed centrally; see analysis::power_iteration).
+#pragma once
+
+#include <vector>
+
+#include "net/weights.hpp"
+#include "sim/simulator.hpp"
+#include "util/types.hpp"
+
+namespace toka::apps {
+
+/// Payload: the sender's current vector element.
+struct WeightMsg {
+  double x = 0.0;
+};
+
+class ChaoticIterationApp final : public sim::NodeLogic<WeightMsg> {
+ public:
+  using Sim = sim::Simulator<WeightMsg>;
+
+  /// `weights` must outlive the app. Buffers start at 1.0 ("any positive
+  /// value", Algorithm 3 line 1); x is initialized consistently.
+  explicit ChaoticIterationApp(const net::InWeights& weights);
+
+  WeightMsg create_message(NodeId self, Sim& sim) override;
+  bool update_state(NodeId self, const sim::Arrival<WeightMsg>& msg,
+                    Sim& sim) override;
+
+  /// Current global estimate (one element per node).
+  const std::vector<double>& state() const { return x_; }
+
+  double value(NodeId node) const { return x_.at(node); }
+
+  /// Angle (radians) between the current estimate and `reference`.
+  double angle_to(const std::vector<double>& reference) const;
+
+ private:
+  /// x_i = sum over in-edges of weight * buffered value.
+  double recompute(NodeId i) const;
+
+  const net::InWeights* weights_;
+  std::vector<double> x_;
+  /// Buffered b values, flattened in the same CSR layout as weights_.
+  std::vector<double> buffer_;
+  std::vector<std::size_t> buffer_offset_;
+};
+
+}  // namespace toka::apps

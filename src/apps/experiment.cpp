@@ -1,0 +1,235 @@
+#include "apps/experiment.hpp"
+
+#include <sstream>
+
+#include "analysis/eigen.hpp"
+#include "apps/chaotic_iteration.hpp"
+#include "apps/gossip_learning.hpp"
+#include "apps/push_gossip.hpp"
+#include "net/graph.hpp"
+#include "net/weights.hpp"
+#include "trace/churn_adapter.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace toka::apps {
+
+AppKind parse_app_kind(const std::string& text) {
+  if (text == "learning") return AppKind::kGossipLearning;
+  if (text == "push") return AppKind::kPushGossip;
+  if (text == "chaotic") return AppKind::kChaoticIteration;
+  throw util::IoError("unknown app kind: '" + text + "'");
+}
+
+std::string to_string(AppKind kind) {
+  switch (kind) {
+    case AppKind::kGossipLearning: return "learning";
+    case AppKind::kPushGossip: return "push";
+    case AppKind::kChaoticIteration: return "chaotic";
+  }
+  throw util::InvariantError("invalid AppKind");
+}
+
+std::string ExperimentConfig::describe() const {
+  std::ostringstream os;
+  os << to_string(app) << " N=" << node_count << ' ' << strategy.label()
+     << (scenario == Scenario::kSmartphoneTrace ? " [trace]" : "")
+     << " seed=" << seed;
+  return os.str();
+}
+
+namespace {
+
+/// Seeds derived deterministically from the experiment seed so that every
+/// random component has its own stream.
+struct Seeds {
+  explicit Seeds(std::uint64_t master) : root(master) {}
+  util::Rng root;
+  util::Rng graph() { return root.fork(0x6A11); }
+  util::Rng churn() { return root.fork(0xC4A1); }
+  std::uint64_t sim() { return root.fork(0x51A1).next_u64(); }
+};
+
+sim::ChurnSchedule make_churn(const ExperimentConfig& cfg, util::Rng rng) {
+  if (cfg.scenario == Scenario::kFailureFree) return {};
+  trace::SyntheticTraceConfig trace_cfg;
+  trace_cfg.horizon = cfg.timing.horizon;
+  const std::size_t users =
+      cfg.trace_users == 0 ? cfg.node_count : cfg.trace_users;
+  util::Rng gen_rng = rng.fork(1);
+  const auto segments =
+      trace::generate_segments(trace_cfg, users, gen_rng);
+  util::Rng assign_rng = rng.fork(2);
+  return trace::make_churn_schedule(segments, cfg.node_count,
+                                    cfg.timing.horizon, assign_rng);
+}
+
+TimeUs metric_interval(const ExperimentConfig& cfg) {
+  if (cfg.sample_interval > 0) return cfg.sample_interval;
+  return cfg.app == AppKind::kPushGossip ? cfg.timing.delta / 10
+                                         : cfg.timing.delta;
+}
+
+TimeUs token_interval(const ExperimentConfig& cfg) {
+  if (cfg.token_sample_interval > 0) return cfg.token_sample_interval;
+  // Balance sampling walks all nodes; keep it to <= ~1000 sweeps and make
+  // sweeps rarer for very large networks.
+  TimeUs interval = cfg.timing.delta;
+  if (cfg.node_count > 50'000) interval *= 10;
+  return interval;
+}
+
+template <typename Body, typename App, typename MetricFn, typename SetupFn>
+ExperimentResult run_sim(const ExperimentConfig& cfg,
+                         const net::Digraph& graph, App& app,
+                         sim::ChurnSchedule churn, std::uint64_t sim_seed,
+                         MetricFn metric_fn, SetupFn setup_fn) {
+  sim::SimConfig sc;
+  sc.timing = cfg.timing;
+  sc.strategy = cfg.strategy;
+  sc.initial_tokens = cfg.initial_tokens;
+  sc.allow_overdraft =
+      cfg.strategy.kind == core::StrategyKind::kPureReactive;
+  sc.force_useful = cfg.force_useful;
+  sc.rounding = cfg.rounding;
+  sc.drop_probability = cfg.drop_probability;
+  sc.seed = sim_seed;
+
+  sim::Simulator<Body> s(graph, app, sc, std::move(churn));
+  setup_fn(s);
+  if (cfg.bootstrap_circulation) {
+    s.schedule(1, [&s] {
+      for (NodeId v = 0; v < s.node_count(); ++v) {
+        if (!s.online(v)) continue;
+        if (s.try_spend(v, 1) != 1) continue;
+        const NodeId peer = s.select_peer(v);
+        if (peer != kNoNode) s.send_app_message(v, peer);
+      }
+    });
+  }
+
+  ExperimentResult result;
+  const TimeUs mi = metric_interval(cfg);
+  s.schedule_repeating(mi, mi, [&result, &s, &app, metric_fn] {
+    result.metric.add(s.now(), metric_fn(app, s));
+  });
+  const TimeUs ti = token_interval(cfg);
+  s.schedule_repeating(ti, ti, [&result, &s] {
+    if (s.online_count() == 0) {
+      result.avg_tokens.add(s.now(), 0.0);
+      return;
+    }
+    double sum = 0.0;
+    std::size_t online = 0;
+    for (NodeId v = 0; v < s.node_count(); ++v) {
+      if (!s.online(v)) continue;
+      sum += static_cast<double>(s.balance(v));
+      ++online;
+    }
+    result.avg_tokens.add(s.now(), sum / static_cast<double>(online));
+  });
+
+  s.run();
+
+  result.sim_counters = s.counters();
+  for (NodeId v = 0; v < s.node_count(); ++v)
+    result.total_ticks += s.account(v).counters().ticks;
+  result.cost_per_online_period =
+      result.total_ticks == 0
+          ? 0.0
+          : static_cast<double>(result.sim_counters.data_messages_sent) /
+                static_cast<double>(result.total_ticks);
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  config.timing.check();
+  TOKA_CHECK_MSG(config.node_count > 1, "need at least two nodes");
+  Seeds seeds(config.seed);
+
+  switch (config.app) {
+    case AppKind::kGossipLearning: {
+      util::Rng graph_rng = seeds.graph();
+      const auto graph =
+          net::random_k_out(config.node_count, config.k_out, graph_rng);
+      GossipLearningApp app(config.node_count);
+      return run_sim<ModelMsg>(
+          config, graph, app, make_churn(config, seeds.churn()), seeds.sim(),
+          [](const GossipLearningApp& a, const GossipLearningApp::Sim& s) {
+            return a.metric(s);
+          },
+          [](GossipLearningApp::Sim&) {});
+    }
+    case AppKind::kPushGossip: {
+      util::Rng graph_rng = seeds.graph();
+      const auto graph =
+          net::random_k_out(config.node_count, config.k_out, graph_rng);
+      PushGossipApp app(config.node_count, config.enable_rejoin_pull);
+      const TimeUs period = config.injection_period > 0
+                                ? config.injection_period
+                                : config.timing.delta / 10;
+      return run_sim<GossipBody>(
+          config, graph, app, make_churn(config, seeds.churn()), seeds.sim(),
+          [](const PushGossipApp& a, const PushGossipApp::Sim& s) {
+            return a.metric(s);
+          },
+          [&app, period](PushGossipApp::Sim& s) {
+            app.start_injections(s, period);
+          });
+    }
+    case AppKind::kChaoticIteration: {
+      util::Rng graph_rng = seeds.graph();
+      const auto graph = net::watts_strogatz(config.node_count, config.ws_k,
+                                             config.ws_beta, graph_rng);
+      const net::InWeights weights(graph);
+      const analysis::SparseMatrix matrix(weights);
+      const auto reference = analysis::power_iteration(matrix);
+      ChaoticIterationApp app(weights);
+      return run_sim<WeightMsg>(
+          config, graph, app, make_churn(config, seeds.churn()), seeds.sim(),
+          [eig = reference.eigenvector](const ChaoticIterationApp& a,
+                                        const ChaoticIterationApp::Sim&) {
+            return a.angle_to(eig);
+          },
+          [](ChaoticIterationApp::Sim&) {});
+    }
+  }
+  throw util::InvariantError("invalid AppKind");
+}
+
+ExperimentResult run_averaged(const ExperimentConfig& config,
+                              std::size_t seeds) {
+  TOKA_CHECK_MSG(seeds >= 1, "need at least one seed");
+  std::vector<metrics::TimeSeries> metric_runs;
+  std::vector<metrics::TimeSeries> token_runs;
+  ExperimentResult combined;
+  double cost_sum = 0.0;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    ExperimentConfig run_cfg = config;
+    run_cfg.seed = config.seed + i;
+    ExperimentResult r = run_experiment(run_cfg);
+    cost_sum += r.cost_per_online_period;
+    combined.total_ticks += r.total_ticks;
+    combined.sim_counters.data_messages_sent +=
+        r.sim_counters.data_messages_sent;
+    combined.sim_counters.control_messages_sent +=
+        r.sim_counters.control_messages_sent;
+    combined.sim_counters.messages_dropped += r.sim_counters.messages_dropped;
+    combined.sim_counters.proactive_skipped +=
+        r.sim_counters.proactive_skipped;
+    combined.sim_counters.reactive_refunded +=
+        r.sim_counters.reactive_refunded;
+    combined.sim_counters.events_processed += r.sim_counters.events_processed;
+    metric_runs.push_back(std::move(r.metric));
+    token_runs.push_back(std::move(r.avg_tokens));
+  }
+  combined.metric = metrics::average(metric_runs);
+  combined.avg_tokens = metrics::average(token_runs);
+  combined.cost_per_online_period = cost_sum / static_cast<double>(seeds);
+  return combined;
+}
+
+}  // namespace toka::apps

@@ -1,0 +1,103 @@
+// One-call experiment harness: configures topology, churn, application and
+// strategy, runs the simulation, and returns the paper's metric series plus
+// cost counters. All bench binaries and most integration tests go through
+// this API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "metrics/timeseries.hpp"
+#include "sim/config.hpp"
+#include "sim/simulator.hpp"
+#include "util/types.hpp"
+
+namespace toka::apps {
+
+enum class AppKind { kGossipLearning, kPushGossip, kChaoticIteration };
+
+/// Parses "learning" / "push" / "chaotic"; throws util::IoError otherwise.
+AppKind parse_app_kind(const std::string& text);
+std::string to_string(AppKind kind);
+
+enum class Scenario {
+  kFailureFree,      ///< everyone online, reliable delivery (§4.1)
+  kSmartphoneTrace,  ///< synthetic STUNner-style churn (§4.1, Fig. 1)
+};
+
+struct ExperimentConfig {
+  AppKind app = AppKind::kPushGossip;
+  Scenario scenario = Scenario::kFailureFree;
+
+  /// Network size N (paper: 5000 or 500,000).
+  std::size_t node_count = 5000;
+  /// Out-degree of the fixed random overlay (paper: 20).
+  std::size_t k_out = 20;
+  /// Watts–Strogatz parameters for chaotic iteration (paper: 4, 0.01).
+  std::size_t ws_k = 4;
+  double ws_beta = 0.01;
+
+  sim::Timing timing{};  ///< Δ = 172.8 s, transfer = 1.728 s, 1000 periods
+  core::StrategyConfig strategy{};
+  Tokens initial_tokens = 0;
+  /// Ablation switches (see bench/ablation_*): override usefulness to
+  /// always-true / use floor instead of randomized rounding / disable the
+  /// push-gossip rejoin pull protocol.
+  bool force_useful = false;
+  core::RoundingMode rounding = core::RoundingMode::kRandomized;
+  bool enable_rejoin_pull = true;
+  /// Fault injection: independent per-message loss probability.
+  double drop_probability = 0.0;
+  /// Bootstrap: shortly after t = 0 every node spends one token (if it has
+  /// one) to send one message, seeding circulation. Required by purely
+  /// reactive strategies (token bucket) that cannot start by themselves;
+  /// harmless for the paper's hybrid strategies.
+  bool bootstrap_circulation = false;
+
+  /// Metric sampling interval; 0 = app default (Δ/10 for push gossip —
+  /// matching the 10 injections per period — Δ otherwise).
+  TimeUs sample_interval = 0;
+  /// Average-balance sampling interval; 0 = auto (Δ, coarsened for very
+  /// large networks so sampling stays o(total work)).
+  TimeUs token_sample_interval = 0;
+  /// Push gossip injection period; 0 = auto (Δ/10, i.e. 10 fresh updates
+  /// per proactive period — 17.28 s at paper scale, §4.1.2).
+  TimeUs injection_period = 0;
+
+  /// Trace scenario: number of distinct synthetic 2-day segments to draw
+  /// node assignments from; 0 = one private segment per node.
+  std::size_t trace_users = 0;
+
+  std::uint64_t seed = 1;
+
+  /// Human-readable one-line description.
+  std::string describe() const;
+};
+
+struct ExperimentResult {
+  /// The application's paper metric over time: Eq. 6 ratio (learning,
+  /// higher is better), Eq. 7 lag in updates (push, lower is better), or
+  /// angle to the true eigenvector in radians (chaotic, lower is better).
+  metrics::TimeSeries metric;
+  /// Average token balance over online nodes.
+  metrics::TimeSeries avg_tokens;
+  sim::SimCounters sim_counters;
+  /// Sum over nodes of online periods experienced (token grants).
+  std::uint64_t total_ticks = 0;
+  /// Data messages per online node-period — the communication cost in
+  /// units of the proactive baseline's budget (== 1 send per period).
+  double cost_per_online_period = 0.0;
+};
+
+/// Runs a single seed.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Runs `seeds` independent repetitions (seed, seed+1, ...) and averages
+/// the series pointwise (the paper averages 10 runs); counters are summed
+/// and the cost is averaged.
+ExperimentResult run_averaged(const ExperimentConfig& config,
+                              std::size_t seeds);
+
+}  // namespace toka::apps

@@ -1,0 +1,43 @@
+#include "apps/gossip_learning.hpp"
+
+namespace toka::apps {
+
+GossipLearningApp::GossipLearningApp(std::size_t node_count)
+    : age_(node_count, 0) {}
+
+ModelMsg GossipLearningApp::create_message(NodeId self, Sim&) {
+  return ModelMsg{age_[self]};
+}
+
+bool GossipLearningApp::update_state(NodeId self,
+                                     const sim::Arrival<ModelMsg>& msg,
+                                     Sim&) {
+  // The node keeps the *most trained* model: a received model younger than
+  // the local one (fewer visited nodes) is discarded and useless; otherwise
+  // it is trained on the local example (age + 1) and adopted (§3.2).
+  if (msg.body.age < age_[self]) return false;
+  const std::int64_t new_age = msg.body.age + 1;
+  online_age_sum_ += new_age - age_[self];  // node is online when receiving
+  age_[self] = new_age;
+  return true;
+}
+
+void GossipLearningApp::on_online(NodeId self, Sim&) {
+  online_age_sum_ += age_[self];
+}
+
+void GossipLearningApp::on_offline(NodeId self, Sim&) {
+  online_age_sum_ -= age_[self];
+}
+
+double GossipLearningApp::metric(const Sim& sim) const {
+  const TimeUs t = sim.now();
+  if (t <= 0 || sim.online_count() == 0) return 0.0;
+  const double n_star = static_cast<double>(t) /
+                        static_cast<double>(sim.config().timing.transfer);
+  const double mean_age = static_cast<double>(online_age_sum_) /
+                          static_cast<double>(sim.online_count());
+  return mean_age / n_star;
+}
+
+}  // namespace toka::apps

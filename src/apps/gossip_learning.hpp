@@ -1,0 +1,55 @@
+// Gossip learning over the token account API (paper §2.2, §3.2, §4.1.1).
+//
+// Models perform random walks; each visit "trains" the model on the local
+// example. As in the paper's simulations, no actual machine learning is
+// needed for the evaluation metric: a model is just an age counter (the
+// number of nodes it has visited), and a node adopts a received model iff
+// it is at least as trained as the local one. See gossip_learning_ml.hpp
+// for the real-SGD extension.
+//
+// Performance metric (Eq. 6): mean over (online) nodes of n_i(t) / n*(t),
+// where n_i is the age of the model held by node i and n*(t) = t/transfer
+// is the hop count of an ideal never-delayed walk.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/types.hpp"
+
+namespace toka::apps {
+
+/// Message payload: the model's age (number of nodes visited).
+struct ModelMsg {
+  std::int64_t age = 0;
+};
+
+class GossipLearningApp final : public sim::NodeLogic<ModelMsg> {
+ public:
+  using Sim = sim::Simulator<ModelMsg>;
+
+  explicit GossipLearningApp(std::size_t node_count);
+
+  ModelMsg create_message(NodeId self, Sim& sim) override;
+  bool update_state(NodeId self, const sim::Arrival<ModelMsg>& msg,
+                    Sim& sim) override;
+  void on_online(NodeId self, Sim& sim) override;
+  void on_offline(NodeId self, Sim& sim) override;
+
+  /// Age of the model currently held by `node`.
+  std::int64_t age(NodeId node) const { return age_.at(node); }
+
+  /// Eq. 6 at simulated time t (> 0): mean_i n_i(t) / n*(t) over online
+  /// nodes, with n*(t) = t / transfer_time.
+  double metric(const Sim& sim) const;
+
+  /// Sum of ages over online nodes (O(1), maintained incrementally).
+  std::int64_t online_age_sum() const { return online_age_sum_; }
+
+ private:
+  std::vector<std::int64_t> age_;
+  std::int64_t online_age_sum_ = 0;
+};
+
+}  // namespace toka::apps

@@ -1,0 +1,124 @@
+#include "apps/ml.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace toka::apps {
+
+double LinearModel::raw(const std::vector<double>& x) const {
+  TOKA_CHECK_MSG(x.size() == weights.size(), "feature dimension mismatch");
+  double acc = bias;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += weights[i] * x[i];
+  return acc;
+}
+
+void LinearModel::sgd_step(MlTask task, const std::vector<double>& x,
+                           double y, double eta) {
+  const double step = eta / std::sqrt(static_cast<double>(age) + 1.0);
+  const double z = raw(x);
+  double grad_z = 0.0;  // d loss / d z
+  switch (task) {
+    case MlTask::kLinearRegression:
+      grad_z = z - y;  // 1/2 (z-y)^2
+      break;
+    case MlTask::kLogisticRegression: {
+      // log(1 + exp(-y z)), y in {-1, +1}
+      const double margin = y * z;
+      grad_z = -y / (1.0 + std::exp(margin));
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < x.size(); ++i)
+    weights[i] -= step * grad_z * x[i];
+  bias -= step * grad_z;
+  ++age;
+}
+
+double LinearModel::loss(MlTask task, const std::vector<double>& x,
+                         double y) const {
+  const double z = raw(x);
+  switch (task) {
+    case MlTask::kLinearRegression: {
+      const double d = z - y;
+      return 0.5 * d * d;
+    }
+    case MlTask::kLogisticRegression: {
+      const double margin = y * z;
+      // Numerically stable log(1 + exp(-margin)).
+      return margin > 0 ? std::log1p(std::exp(-margin))
+                        : -margin + std::log1p(std::exp(margin));
+    }
+  }
+  throw util::InvariantError("invalid MlTask");
+}
+
+double SyntheticDataset::mean_loss(const LinearModel& model) const {
+  TOKA_CHECK(!examples.empty());
+  double sum = 0.0;
+  for (const Example& e : examples) sum += model.loss(task, e.x, e.y);
+  return sum / static_cast<double>(examples.size());
+}
+
+SyntheticDataset make_dataset(MlTask task, std::size_t count, std::size_t dim,
+                              double noise, util::Rng& rng) {
+  TOKA_CHECK(count > 0 && dim > 0);
+  SyntheticDataset ds;
+  ds.task = task;
+  ds.ground_truth = LinearModel(dim);
+  for (double& w : ds.ground_truth.weights) w = rng.normal(0.0, 1.0);
+  ds.ground_truth.bias = rng.normal(0.0, 0.5);
+  ds.examples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Example e;
+    e.x.resize(dim);
+    for (double& v : e.x) v = rng.normal(0.0, 1.0);
+    const double clean = ds.ground_truth.raw(e.x);
+    switch (task) {
+      case MlTask::kLinearRegression:
+        e.y = clean + rng.normal(0.0, noise);
+        break;
+      case MlTask::kLogisticRegression:
+        e.y = (clean + rng.normal(0.0, noise)) >= 0.0 ? 1.0 : -1.0;
+        break;
+    }
+    ds.examples.push_back(std::move(e));
+  }
+  return ds;
+}
+
+MlGossipApp::MlGossipApp(const SyntheticDataset& dataset, double eta)
+    : dataset_(&dataset), eta_(eta) {
+  TOKA_CHECK(!dataset.examples.empty());
+  const std::size_t dim = dataset.examples.front().x.size();
+  models_.assign(dataset.examples.size(), LinearModel(dim));
+}
+
+LinearModel MlGossipApp::create_message(NodeId self, Sim&) {
+  return models_[self];
+}
+
+bool MlGossipApp::update_state(NodeId self,
+                               const sim::Arrival<LinearModel>& msg, Sim&) {
+  if (msg.body.age < models_[self].age) return false;
+  LinearModel incoming = msg.body;
+  const Example& e = dataset_->examples[self];
+  incoming.sgd_step(dataset_->task, e.x, e.y, eta_);
+  models_[self] = std::move(incoming);
+  return true;
+}
+
+double MlGossipApp::mean_loss() const {
+  double sum = 0.0;
+  for (const LinearModel& m : models_) sum += dataset_->mean_loss(m);
+  return sum / static_cast<double>(models_.size());
+}
+
+double MlGossipApp::mean_age() const {
+  double sum = 0.0;
+  for (const LinearModel& m : models_)
+    sum += static_cast<double>(m.age);
+  return sum / static_cast<double>(models_.size());
+}
+
+}  // namespace toka::apps

@@ -1,0 +1,74 @@
+#include "apps/push_gossip.hpp"
+
+namespace toka::apps {
+
+PushGossipApp::PushGossipApp(std::size_t node_count, bool enable_rejoin_pull)
+    : ts_(node_count, 0), enable_rejoin_pull_(enable_rejoin_pull) {}
+
+GossipBody PushGossipApp::create_message(NodeId self, Sim&) {
+  return GossipBody{ts_[self], GossipBody::kUpdate};
+}
+
+bool PushGossipApp::update_state(NodeId self,
+                                 const sim::Arrival<GossipBody>& msg, Sim&) {
+  // Useful iff strictly fresher than the stored update (§3.2).
+  if (msg.body.ts <= ts_[self]) return false;
+  online_ts_sum_ += msg.body.ts - ts_[self];
+  ts_[self] = msg.body.ts;
+  return true;
+}
+
+bool PushGossipApp::handle_special(NodeId self,
+                                   const sim::Arrival<GossipBody>& msg,
+                                   Sim& sim) {
+  if (msg.body.kind != GossipBody::kPullRequest) return false;
+  // Answer with the stored update iff a token can be burnt for it
+  // (§4.1.2); otherwise the pull goes unanswered.
+  if (sim.try_spend(self, 1) == 1) sim.send_app_message(self, msg.from);
+  return true;
+}
+
+void PushGossipApp::on_online(NodeId self, Sim& sim) {
+  online_ts_sum_ += ts_[self];
+  if (!enable_rejoin_pull_) return;
+  // One free initial pull request to a random online neighbor (§4.1.2).
+  const NodeId peer = sim.select_peer(self);
+  if (peer != kNoNode)
+    sim.send_control_message(self, peer,
+                             GossipBody{0, GossipBody::kPullRequest});
+}
+
+void PushGossipApp::on_offline(NodeId self, Sim&) {
+  online_ts_sum_ -= ts_[self];
+}
+
+void PushGossipApp::inject(Sim& sim) {
+  // Uniform random online node; offline nodes cannot receive updates.
+  const std::size_t n = sim.node_count();
+  if (sim.online_count() == 0) {
+    ++injected_;  // the update happened, nobody heard about it
+    return;
+  }
+  NodeId target;
+  do {
+    target = static_cast<NodeId>(sim.app_rng().below(n));
+  } while (!sim.online(target));
+  ++injected_;
+  if (injected_ > ts_[target]) {
+    online_ts_sum_ += injected_ - ts_[target];
+    ts_[target] = injected_;
+  }
+}
+
+void PushGossipApp::start_injections(Sim& sim, TimeUs period) {
+  sim.schedule_repeating(period, period, [this, &sim] { inject(sim); });
+}
+
+double PushGossipApp::metric(const Sim& sim) const {
+  if (sim.online_count() == 0) return static_cast<double>(injected_);
+  const double mean_ts = static_cast<double>(online_ts_sum_) /
+                         static_cast<double>(sim.online_count());
+  return static_cast<double>(injected_) - mean_ts;
+}
+
+}  // namespace toka::apps

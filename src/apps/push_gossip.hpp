@@ -1,0 +1,69 @@
+// Push gossip broadcast over the token account API (paper §2.3, §4.1.2).
+//
+// Fresh updates are injected at random online nodes in regular intervals
+// (10 per proactive period); nodes store only the freshest update they have
+// seen and push it on. A received update is useful iff it is strictly newer
+// than the stored one.
+//
+// Performance metric (Eq. 7): the average lag, over online nodes, between
+// the globally freshest injected update and the update stored at the node
+// (in injection sequence numbers).
+//
+// Churn behaviour (§4.1.2): a node coming back online sends one free pull
+// request to a random online neighbor; the neighbor answers with its
+// stored update iff it can burn a token for it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/types.hpp"
+
+namespace toka::apps {
+
+/// Payload: either a data update (timestamped) or a pull request.
+struct GossipBody {
+  std::int64_t ts = 0;  ///< injection sequence number; 0 = "no update yet"
+  enum : std::uint8_t { kUpdate = 0, kPullRequest = 1 } kind = kUpdate;
+};
+
+class PushGossipApp final : public sim::NodeLogic<GossipBody> {
+ public:
+  using Sim = sim::Simulator<GossipBody>;
+
+  /// `enable_rejoin_pull` toggles the §4.1.2 pull-on-rejoin protocol
+  /// (disabled only by the ablation bench).
+  explicit PushGossipApp(std::size_t node_count,
+                         bool enable_rejoin_pull = true);
+
+  GossipBody create_message(NodeId self, Sim& sim) override;
+  bool update_state(NodeId self, const sim::Arrival<GossipBody>& msg,
+                    Sim& sim) override;
+  bool handle_special(NodeId self, const sim::Arrival<GossipBody>& msg,
+                      Sim& sim) override;
+  void on_online(NodeId self, Sim& sim) override;
+  void on_offline(NodeId self, Sim& sim) override;
+
+  /// Injects the next update at a uniformly random online node (no-op when
+  /// everyone is offline, like a news source that cannot reach anyone).
+  void inject(Sim& sim);
+
+  /// Registers the repeating injection task (period: sim config).
+  void start_injections(Sim& sim, TimeUs period);
+
+  std::int64_t stored_ts(NodeId node) const { return ts_.at(node); }
+  std::int64_t injected_count() const { return injected_; }
+
+  /// Eq. 7: average lag in updates behind the freshest injected update,
+  /// over online nodes.
+  double metric(const Sim& sim) const;
+
+ private:
+  std::vector<std::int64_t> ts_;
+  std::int64_t online_ts_sum_ = 0;
+  std::int64_t injected_ = 0;
+  bool enable_rejoin_pull_;
+};
+
+}  // namespace toka::apps

@@ -1,0 +1,101 @@
+#include "apps/push_pull_gossip.hpp"
+
+namespace toka::apps {
+
+PushPullGossipApp::PushPullGossipApp(std::size_t node_count)
+    : ts_(node_count, 0) {}
+
+PushPullBody PushPullGossipApp::create_message(NodeId self, Sim&) {
+  return PushPullBody{ts_[self], PushPullBody::kUpdate};
+}
+
+bool PushPullGossipApp::adopt(NodeId self, std::int64_t ts) {
+  if (ts <= ts_[self]) return false;
+  online_ts_sum_ += ts - ts_[self];
+  ts_[self] = ts;
+  return true;
+}
+
+bool PushPullGossipApp::update_state(NodeId self,
+                                     const sim::Arrival<PushPullBody>& msg,
+                                     Sim& sim) {
+  const bool useful = adopt(self, msg.body.ts);
+  // Pull-style correction: the pushed update was older than ours, so the
+  // sender is behind — answer with our fresher update if a token allows.
+  // Replies are marked so that a stale reply cannot trigger reply loops.
+  if (!useful && msg.body.ts < ts_[self] &&
+      msg.body.kind == PushPullBody::kUpdate) {
+    if (sim.try_spend(self, 1) == 1) {
+      sim.send_control_message(self, msg.from,
+                               PushPullBody{ts_[self], PushPullBody::kPullReply});
+      ++pull_corrections_;
+    }
+  }
+  return useful;
+}
+
+bool PushPullGossipApp::handle_special(NodeId self,
+                                       const sim::Arrival<PushPullBody>& msg,
+                                       Sim& sim) {
+  switch (msg.body.kind) {
+    case PushPullBody::kPullRequest:
+      if (sim.try_spend(self, 1) == 1) sim.send_app_message(self, msg.from);
+      return true;
+    case PushPullBody::kPullReply:
+      // Adopt silently; replies are corrections, not gossip triggers (the
+      // token was already burnt by the replier).
+      adopt(self, msg.body.ts);
+      return true;
+    case PushPullBody::kUpdate:
+      return false;
+  }
+  return false;
+}
+
+void PushPullGossipApp::on_online(NodeId self, Sim& sim) {
+  online_ts_sum_ += ts_[self];
+  const NodeId peer = sim.select_peer(self);
+  if (peer != kNoNode)
+    sim.send_control_message(self, peer,
+                             PushPullBody{0, PushPullBody::kPullRequest});
+}
+
+void PushPullGossipApp::on_offline(NodeId self, Sim&) {
+  online_ts_sum_ -= ts_[self];
+}
+
+void PushPullGossipApp::inject(Sim& sim) {
+  const std::size_t n = sim.node_count();
+  ++injected_;
+  if (sim.online_count() == 0) return;
+  NodeId target;
+  do {
+    target = static_cast<NodeId>(sim.app_rng().below(n));
+  } while (!sim.online(target));
+  adopt(target, injected_);
+}
+
+void PushPullGossipApp::start_injections(Sim& sim, TimeUs period) {
+  sim.schedule_repeating(period, period, [this, &sim] { inject(sim); });
+}
+
+double PushPullGossipApp::metric(const Sim& sim) const {
+  if (sim.online_count() == 0) return static_cast<double>(injected_);
+  const double mean_ts = static_cast<double>(online_ts_sum_) /
+                         static_cast<double>(sim.online_count());
+  return static_cast<double>(injected_) - mean_ts;
+}
+
+double PushPullGossipApp::informed_fraction(const Sim& sim) const {
+  if (sim.online_count() == 0) return 0.0;
+  std::size_t informed = 0;
+  std::size_t online = 0;
+  for (NodeId v = 0; v < ts_.size(); ++v) {
+    if (!sim.online(v)) continue;
+    ++online;
+    if (ts_[v] == injected_) ++informed;
+  }
+  return static_cast<double>(informed) / static_cast<double>(online);
+}
+
+}  // namespace toka::apps

@@ -1,0 +1,70 @@
+// Push-pull gossip broadcast over the token account API.
+//
+// The paper chose plain push for simplicity and notes (§2.3) that the
+// push-pull variant is superior on several metrics, with benefits mainly
+// in the final phase of convergence — a phase its continuous-injection
+// setup never reaches. This extension implements the variant so that both
+// claims can be checked (see bench/extension_push_pull):
+//
+//   * on receiving an update OLDER than the stored one, the receiver
+//     replies with its own fresher update — if it can burn a token for
+//     the reply (pull-style correction, token-governed);
+//   * everything else is identical to PushGossipApp, including injections
+//     and the rejoin pull protocol.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/types.hpp"
+
+namespace toka::apps {
+
+struct PushPullBody {
+  std::int64_t ts = 0;
+  enum : std::uint8_t {
+    kUpdate = 0,
+    kPullRequest = 1,
+    kPullReply = 2,  ///< correction reply; does not trigger further pulls
+  } kind = kUpdate;
+};
+
+class PushPullGossipApp final : public sim::NodeLogic<PushPullBody> {
+ public:
+  using Sim = sim::Simulator<PushPullBody>;
+
+  explicit PushPullGossipApp(std::size_t node_count);
+
+  PushPullBody create_message(NodeId self, Sim& sim) override;
+  bool update_state(NodeId self, const sim::Arrival<PushPullBody>& msg,
+                    Sim& sim) override;
+  bool handle_special(NodeId self, const sim::Arrival<PushPullBody>& msg,
+                      Sim& sim) override;
+  void on_online(NodeId self, Sim& sim) override;
+  void on_offline(NodeId self, Sim& sim) override;
+
+  void inject(Sim& sim);
+  void start_injections(Sim& sim, TimeUs period);
+
+  std::int64_t stored_ts(NodeId node) const { return ts_.at(node); }
+  std::int64_t injected_count() const { return injected_; }
+  std::uint64_t pull_corrections() const { return pull_corrections_; }
+
+  /// Average lag over online nodes (same metric as push gossip, Eq. 7).
+  double metric(const Sim& sim) const;
+
+  /// Fraction of online nodes storing the globally freshest update —
+  /// the single-shot spreading metric for the final-phase comparison.
+  double informed_fraction(const Sim& sim) const;
+
+ private:
+  bool adopt(NodeId self, std::int64_t ts);
+
+  std::vector<std::int64_t> ts_;
+  std::int64_t online_ts_sum_ = 0;
+  std::int64_t injected_ = 0;
+  std::uint64_t pull_corrections_ = 0;
+};
+
+}  // namespace toka::apps

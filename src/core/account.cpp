@@ -1,0 +1,74 @@
+#include "core/account.hpp"
+
+#include <algorithm>
+
+#include "core/rand_round.hpp"
+#include "util/error.hpp"
+
+namespace toka::core {
+
+TokenAccount::TokenAccount(const Strategy& strategy, Tokens initial,
+                           bool allow_overdraft, RoundingMode rounding,
+                           Tokens bucket_cap)
+    : strategy_(&strategy),
+      balance_(initial),
+      allow_overdraft_(allow_overdraft),
+      rounding_(rounding),
+      bucket_cap_(bucket_cap) {
+  TOKA_CHECK_MSG(allow_overdraft || initial >= 0,
+                 "initial balance must be non-negative, got " << initial);
+  TOKA_CHECK_MSG(bucket_cap >= 0,
+                 "bucket cap must be non-negative, got " << bucket_cap);
+}
+
+bool TokenAccount::on_tick(util::Rng& rng) {
+  ++counters_.ticks;
+  if (rng.bernoulli(strategy_->proactive(balance_))) {
+    // The period's token is consumed by the proactive send; the balance is
+    // unchanged (Algorithm 4 lines 4-7).
+    ++counters_.proactive_sends;
+    return true;
+  }
+  if (bucket_cap_ > 0 && balance_ >= bucket_cap_) {
+    ++counters_.overflowed_tokens;  // classic bucket overflow: token lost
+    return false;
+  }
+  ++counters_.banked_tokens;
+  ++balance_;  // Algorithm 4 line 9.
+  return false;
+}
+
+Tokens TokenAccount::on_message(bool useful, util::Rng& rng) {
+  ++counters_.messages_received;
+  const double r = strategy_->reactive(balance_, useful);
+  Tokens x = rounding_ == RoundingMode::kRandomized
+                 ? rand_round(r, rng)
+                 : static_cast<Tokens>(std::floor(r));
+  if (!allow_overdraft_) {
+    // The strategy contract already guarantees r <= a; the cap also absorbs
+    // the +1 that randomized rounding can add at the boundary.
+    x = std::min(x, std::max<Tokens>(balance_, 0));
+  }
+  balance_ -= x;
+  counters_.reactive_sends += static_cast<std::uint64_t>(x);
+  return x;
+}
+
+void TokenAccount::refund_reactive(Tokens n) {
+  TOKA_CHECK_MSG(n >= 0, "refund requires n >= 0, got " << n);
+  TOKA_CHECK_MSG(static_cast<std::uint64_t>(n) <= counters_.reactive_sends,
+                 "refunding more reactive sends than recorded");
+  balance_ += n;
+  counters_.reactive_sends -= static_cast<std::uint64_t>(n);
+}
+
+Tokens TokenAccount::try_spend(Tokens n) {
+  TOKA_CHECK_MSG(n >= 0, "try_spend requires n >= 0, got " << n);
+  Tokens x = n;
+  if (!allow_overdraft_) x = std::min(x, std::max<Tokens>(balance_, 0));
+  balance_ -= x;
+  counters_.direct_spends += static_cast<std::uint64_t>(x);
+  return x;
+}
+
+}  // namespace toka::core

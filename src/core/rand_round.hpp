@@ -1,0 +1,21 @@
+// Probabilistic rounding (paper Algorithm 4, line 13).
+#pragma once
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace toka::core {
+
+/// Rounds r >= 0 to an integer with the correct expectation:
+/// returns floor(r) + Bernoulli(r - floor(r)).
+inline Tokens rand_round(double r, util::Rng& rng) {
+  TOKA_CHECK_MSG(r >= 0.0, "rand_round requires r >= 0, got " << r);
+  const double floored = std::floor(r);
+  const double frac = r - floored;
+  return static_cast<Tokens>(floored) + (rng.bernoulli(frac) ? 1 : 0);
+}
+
+}  // namespace toka::core

@@ -1,0 +1,58 @@
+#include "core/rate_limit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace toka::core {
+
+std::string RateLimitViolation::describe() const {
+  std::ostringstream os;
+  os << "rate limit violated: " << sends << " sends in ["
+     << to_seconds(window_start) << "s, " << to_seconds(window_end)
+     << "s] but bound is " << bound;
+  return os.str();
+}
+
+RateLimitAuditor::RateLimitAuditor(TimeUs delta, Tokens capacity)
+    : delta_(delta), capacity_(capacity) {
+  TOKA_CHECK_MSG(delta > 0, "period must be positive, got " << delta);
+  TOKA_CHECK_MSG(capacity >= 0,
+                 "capacity must be non-negative, got " << capacity);
+}
+
+void RateLimitAuditor::record(TimeUs t) {
+  TOKA_CHECK_MSG(sends_.empty() || t >= sends_.back(),
+                 "send timestamps must be non-decreasing");
+  sends_.push_back(t);
+}
+
+std::optional<RateLimitViolation> RateLimitAuditor::first_violation() const {
+  const auto cap = static_cast<std::uint64_t>(capacity_);
+  for (std::size_t i = 0; i < sends_.size(); ++i) {
+    for (std::size_t j = i; j < sends_.size(); ++j) {
+      const std::uint64_t count = j - i + 1;
+      const TimeUs elapsed = sends_[j] - sends_[i];
+      const std::uint64_t bound =
+          static_cast<std::uint64_t>(elapsed / delta_) + 1 + cap;
+      if (count > bound) {
+        return RateLimitViolation{sends_[i], sends_[j], count, bound};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t RateLimitAuditor::max_in_window(TimeUs window) const {
+  TOKA_CHECK(window >= 0);
+  std::uint64_t best = 0;
+  std::size_t lo = 0;
+  for (std::size_t hi = 0; hi < sends_.size(); ++hi) {
+    while (sends_[hi] - sends_[lo] > window) ++lo;
+    best = std::max(best, static_cast<std::uint64_t>(hi - lo + 1));
+  }
+  return best;
+}
+
+}  // namespace toka::core

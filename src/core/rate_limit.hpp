@@ -1,0 +1,60 @@
+// Auditor for the burst bound of paper §3.4.
+//
+// A token-capacity-C strategy guarantees that a node sends at most
+// ceil(t/Δ) + C messages within any time window of length t. For closed
+// windows [t_i, t_j] that both contain a send, the equivalent discrete bound
+// checked here is
+//
+//     count(i..j) <= (t_j - t_i)/Δ + 1 + C      (integer division)
+//
+// (+1 because a closed window of length 0 still contains one tick's worth of
+// granted token; e.g. a tick-send and a full-balance reactive burst can land
+// at the same instant, giving C+1 sends at one timestamp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace toka::core {
+
+/// Description of a window that exceeded the bound.
+struct RateLimitViolation {
+  TimeUs window_start = 0;
+  TimeUs window_end = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t bound = 0;
+
+  std::string describe() const;
+};
+
+/// Records send timestamps and checks every send-anchored window against
+/// the §3.4 bound. Intended for tests and the runtime demo; the O(n^2)
+/// exhaustive check is fine at those scales.
+class RateLimitAuditor {
+ public:
+  /// Δ is the token period, C the token capacity of the strategy under
+  /// audit.
+  RateLimitAuditor(TimeUs delta, Tokens capacity);
+
+  /// Records a send at time t. Timestamps must be non-decreasing.
+  void record(TimeUs t);
+
+  std::size_t send_count() const { return sends_.size(); }
+
+  /// Exhaustively checks all send-anchored windows. Returns the first
+  /// violation found, or nullopt if the trace satisfies the bound.
+  std::optional<RateLimitViolation> first_violation() const;
+
+  /// Largest number of sends observed in any window of length `window`.
+  std::uint64_t max_in_window(TimeUs window) const;
+
+ private:
+  TimeUs delta_;
+  Tokens capacity_;
+  std::vector<TimeUs> sends_;
+};
+
+}  // namespace toka::core

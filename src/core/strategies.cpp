@@ -1,0 +1,230 @@
+#include "core/strategies.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace toka::core {
+
+namespace {
+std::string ac_suffix(Tokens a, Tokens c) {
+  return "(A=" + std::to_string(a) + ",C=" + std::to_string(c) + ")";
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SimpleTokenAccount
+
+SimpleTokenAccount::SimpleTokenAccount(Tokens c) : c_(c) {
+  TOKA_CHECK_MSG(c >= 0, "simple token account requires C >= 0, got " << c);
+}
+
+std::string SimpleTokenAccount::name() const {
+  return "simple(C=" + std::to_string(c_) + ")";
+}
+
+// ---------------------------------------------------------------------------
+// GeneralizedTokenAccount
+
+GeneralizedTokenAccount::GeneralizedTokenAccount(Tokens a, Tokens c)
+    : a_(a), c_(c) {
+  TOKA_CHECK_MSG(a >= 1, "generalized token account requires A >= 1, got "
+                             << a);
+  TOKA_CHECK_MSG(a <= c, "generalized token account requires A <= C, got A="
+                             << a << " C=" << c);
+}
+
+double GeneralizedTokenAccount::reactive(Tokens bal, bool useful) const {
+  if (bal < 0) return 0.0;
+  // Integer floor division; operands are non-negative.
+  const Tokens numerator = a_ - 1 + bal;
+  const Tokens value = useful ? numerator / a_ : numerator / (2 * a_);
+  return static_cast<double>(value);
+}
+
+std::string GeneralizedTokenAccount::name() const {
+  return "generalized" + ac_suffix(a_, c_);
+}
+
+// ---------------------------------------------------------------------------
+// RandomizedTokenAccount
+
+RandomizedTokenAccount::RandomizedTokenAccount(Tokens a, Tokens c)
+    : a_(a), c_(c) {
+  TOKA_CHECK_MSG(a >= 1, "randomized token account requires A >= 1, got "
+                             << a);
+  TOKA_CHECK_MSG(a <= c, "randomized token account requires A <= C, got A="
+                             << a << " C=" << c);
+}
+
+double RandomizedTokenAccount::proactive(Tokens bal) const {
+  if (bal < a_ - 1) return 0.0;
+  if (bal > c_) return 1.0;
+  // Linear ramp from 0 at a = A-1 to 1 at a = C. C = A-1 cannot happen
+  // (A <= C), so the denominator is at least 1.
+  return static_cast<double>(bal - a_ + 1) / static_cast<double>(c_ - a_ + 1);
+}
+
+double RandomizedTokenAccount::reactive(Tokens bal, bool useful) const {
+  if (!useful || bal <= 0) return 0.0;
+  return static_cast<double>(bal) / static_cast<double>(a_);
+}
+
+std::string RandomizedTokenAccount::name() const {
+  return "randomized" + ac_suffix(a_, c_);
+}
+
+// ---------------------------------------------------------------------------
+// TokenBucketStrategy
+
+TokenBucketStrategy::TokenBucketStrategy(Tokens bucket) : bucket_(bucket) {
+  TOKA_CHECK_MSG(bucket >= 1, "token bucket requires size >= 1, got "
+                                  << bucket);
+}
+
+std::string TokenBucketStrategy::name() const {
+  return "token-bucket(C=" + std::to_string(bucket_) + ")";
+}
+
+// ---------------------------------------------------------------------------
+// PureReactiveStrategy
+
+PureReactiveStrategy::PureReactiveStrategy(Tokens k, bool useful_only)
+    : k_(k), useful_only_(useful_only) {
+  TOKA_CHECK_MSG(k >= 1, "pure reactive strategy requires k >= 1, got " << k);
+}
+
+double PureReactiveStrategy::reactive(Tokens, bool useful) const {
+  if (useful_only_ && !useful) return 0.0;
+  return static_cast<double>(k_);
+}
+
+std::string PureReactiveStrategy::name() const {
+  return "reactive(k=" + std::to_string(k_) +
+         (useful_only_ ? ",useful-only)" : ")");
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+
+std::vector<std::string> validate_strategy(const Strategy& s, Tokens max_a) {
+  std::vector<std::string> issues;
+  auto complain = [&issues](const std::string& what) {
+    issues.push_back(what);
+  };
+
+  const Tokens cap = s.capacity();
+  double prev_proactive = -1.0;
+  double prev_reactive_true = -1.0;
+  double prev_reactive_false = -1.0;
+  const bool bounded = cap != kUnboundedCapacity;
+
+  for (Tokens a = 0; a <= max_a; ++a) {
+    const double p = s.proactive(a);
+    if (p < 0.0 || p > 1.0)
+      complain("proactive(" + std::to_string(a) + ") = " + std::to_string(p) +
+               " outside [0,1]");
+    if (p < prev_proactive)
+      complain("proactive not monotone at a=" + std::to_string(a));
+    prev_proactive = p;
+
+    const double rt = s.reactive(a, true);
+    const double rf = s.reactive(a, false);
+    if (rt < 0.0 || rf < 0.0)
+      complain("reactive(" + std::to_string(a) + ",·) negative");
+    if (rt < prev_reactive_true || rf < prev_reactive_false)
+      complain("reactive not monotone in a at a=" + std::to_string(a));
+    if (rf > rt)
+      complain("reactive not monotone in usefulness at a=" +
+               std::to_string(a));
+    // No overspending: only required of deployable (bounded) strategies;
+    // the pure-reactive reference deliberately overdrafts.
+    if (bounded && rt > static_cast<double>(a) + 1e-12)
+      complain("reactive(" + std::to_string(a) + ",true) = " +
+               std::to_string(rt) + " exceeds balance");
+    prev_reactive_true = rt;
+    prev_reactive_false = rf;
+  }
+
+  if (bounded) {
+    if (cap < 0) {
+      complain("negative capacity");
+    } else {
+      if (cap <= max_a && s.proactive(cap) != 1.0)
+        complain("proactive(capacity) != 1");
+      if (cap > 0 && cap - 1 <= max_a && s.proactive(cap - 1) >= 1.0)
+        complain("capacity not minimal: proactive(capacity-1) == 1");
+    }
+  } else {
+    for (Tokens a = 0; a <= max_a; ++a)
+      if (s.proactive(a) >= 1.0)
+        complain("unbounded-capacity strategy reaches proactive == 1 at a=" +
+                 std::to_string(a));
+  }
+  return issues;
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+
+StrategyKind parse_strategy_kind(const std::string& text) {
+  if (text == "proactive") return StrategyKind::kProactive;
+  if (text == "simple") return StrategyKind::kSimple;
+  if (text == "generalized") return StrategyKind::kGeneralized;
+  if (text == "randomized") return StrategyKind::kRandomized;
+  if (text == "reactive") return StrategyKind::kPureReactive;
+  if (text == "bucket") return StrategyKind::kTokenBucket;
+  throw util::IoError("unknown strategy kind: '" + text + "'");
+}
+
+std::string to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kProactive: return "proactive";
+    case StrategyKind::kSimple: return "simple";
+    case StrategyKind::kGeneralized: return "generalized";
+    case StrategyKind::kRandomized: return "randomized";
+    case StrategyKind::kPureReactive: return "reactive";
+    case StrategyKind::kTokenBucket: return "bucket";
+  }
+  throw util::InvariantError("invalid StrategyKind");
+}
+
+std::string StrategyConfig::label() const {
+  switch (kind) {
+    case StrategyKind::kProactive: return "proactive";
+    case StrategyKind::kSimple: return "simple C=" + std::to_string(c_param);
+    case StrategyKind::kGeneralized:
+    case StrategyKind::kRandomized:
+      return to_string(kind) + " A=" + std::to_string(a_param) +
+             " C=" + std::to_string(c_param);
+    case StrategyKind::kPureReactive:
+      return "reactive k=" + std::to_string(reactive_k);
+    case StrategyKind::kTokenBucket:
+      return "token-bucket C=" + std::to_string(c_param);
+  }
+  throw util::InvariantError("invalid StrategyKind");
+}
+
+std::unique_ptr<Strategy> make_strategy(const StrategyConfig& config) {
+  switch (config.kind) {
+    case StrategyKind::kProactive:
+      return std::make_unique<ProactiveStrategy>();
+    case StrategyKind::kSimple:
+      return std::make_unique<SimpleTokenAccount>(config.c_param);
+    case StrategyKind::kGeneralized:
+      return std::make_unique<GeneralizedTokenAccount>(config.a_param,
+                                                       config.c_param);
+    case StrategyKind::kRandomized:
+      return std::make_unique<RandomizedTokenAccount>(config.a_param,
+                                                      config.c_param);
+    case StrategyKind::kPureReactive:
+      return std::make_unique<PureReactiveStrategy>(
+          config.reactive_k, config.reactive_useful_only);
+    case StrategyKind::kTokenBucket:
+      return std::make_unique<TokenBucketStrategy>(config.c_param);
+  }
+  throw util::InvariantError("invalid StrategyKind");
+}
+
+}  // namespace toka::core

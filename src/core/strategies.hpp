@@ -1,0 +1,131 @@
+// Concrete strategies from the paper (§3.3) plus the two reference extremes.
+#pragma once
+
+#include "core/strategy.hpp"
+
+namespace toka::core {
+
+/// Purely proactive baseline: send exactly one message per period,
+/// never react. PROACTIVE(a) == 1, REACTIVE(a,u) == 0. Capacity 0.
+/// Identical in behaviour to SimpleTokenAccount with C = 0.
+class ProactiveStrategy final : public Strategy {
+ public:
+  double proactive(Tokens) const override { return 1.0; }
+  double reactive(Tokens, bool) const override { return 0.0; }
+  Tokens capacity() const override { return 0; }
+  std::string name() const override { return "proactive"; }
+};
+
+/// Simple token account (§3.3.1): token-bucket-like reactive behaviour
+/// (one response per message while tokens last) plus proactive sends when
+/// the account is full.
+///
+///   proactive(a) = 1 if a >= C else 0
+///   reactive(a,u) = 1 if a > 0 else 0
+class SimpleTokenAccount final : public Strategy {
+ public:
+  /// C >= 0 is the token capacity; C = 0 degenerates to the proactive
+  /// baseline.
+  explicit SimpleTokenAccount(Tokens c);
+
+  double proactive(Tokens a) const override { return a >= c_ ? 1.0 : 0.0; }
+  double reactive(Tokens a, bool) const override { return a > 0 ? 1.0 : 0.0; }
+  Tokens capacity() const override { return c_; }
+  std::string name() const override;
+
+ private:
+  Tokens c_;
+};
+
+/// Generalized token account (§3.3.2): spends a tunable fraction of the
+/// balance per reaction, and half as much for non-useful messages.
+///
+///   proactive(a) = 1 if a >= C else 0
+///   reactive(a,u) = floor((A-1+a)/A)   if u
+///                   floor((A-1+a)/(2A)) otherwise
+///
+/// A = 1 spends everything; A = C makes it equivalent to the simple
+/// strategy's reactive function.
+class GeneralizedTokenAccount final : public Strategy {
+ public:
+  /// Requires 1 <= A <= C (the paper notes A > C is never meaningful).
+  GeneralizedTokenAccount(Tokens a, Tokens c);
+
+  double proactive(Tokens bal) const override { return bal >= c_ ? 1.0 : 0.0; }
+  double reactive(Tokens bal, bool useful) const override;
+  Tokens capacity() const override { return c_; }
+  std::string name() const override;
+
+ private:
+  Tokens a_;
+  Tokens c_;
+};
+
+/// Randomized token account (§3.3.3): linear proactive ramp on [A-1, C] and
+/// fractional reactive spending resolved by randomized rounding.
+///
+///   proactive(a) = 0                     if a < A-1
+///                  (a-A+1)/(C-A+1)       if A-1 <= a <= C
+///                  1                     if a > C
+///   reactive(a,u) = a/A if u else 0
+class RandomizedTokenAccount final : public Strategy {
+ public:
+  /// Requires 1 <= A <= C.
+  RandomizedTokenAccount(Tokens a, Tokens c);
+
+  double proactive(Tokens bal) const override;
+  double reactive(Tokens bal, bool useful) const override;
+  Tokens capacity() const override { return c_; }
+  std::string name() const override;
+
+ private:
+  Tokens a_;
+  Tokens c_;
+};
+
+/// Classic token bucket (the networking algorithm the framework
+/// generalizes, §1/§3): tokens accrue up to the bucket size, one reactive
+/// message is sent per incoming message while tokens last, and there is NO
+/// proactive behaviour at all. Within the token account framework this
+/// means proactive == 0 everywhere, so the *framework* capacity is
+/// unbounded; the bucket size is enforced by the account's bucket cap
+/// instead (TokenAccount bucket_cap). Kept as a reference: it rate-limits
+/// exactly like the simple token account but cannot recover from
+/// starvation when messages stop circulating.
+class TokenBucketStrategy final : public Strategy {
+ public:
+  /// `bucket` is the classic bucket size (used by name() and by callers to
+  /// configure the account cap); it does not affect the functions below.
+  explicit TokenBucketStrategy(Tokens bucket);
+
+  double proactive(Tokens) const override { return 0.0; }
+  double reactive(Tokens a, bool) const override { return a > 0 ? 1.0 : 0.0; }
+  Tokens capacity() const override { return kUnboundedCapacity; }
+  std::string name() const override;
+
+  Tokens bucket_size() const { return bucket_; }
+
+ private:
+  Tokens bucket_;
+};
+
+/// Pure reactive reference (flooding): never sends proactively, always
+/// responds with k messages (optionally only to useful ones). The balance
+/// is ignored and may go negative — use an overdrafting TokenAccount. Not a
+/// deployable strategy (unbounded bursts); provided as the speed reference
+/// the paper compares against analytically (n*(t) in Eq. 6).
+class PureReactiveStrategy final : public Strategy {
+ public:
+  explicit PureReactiveStrategy(Tokens k = 1, bool useful_only = false);
+
+  double proactive(Tokens) const override { return 0.0; }
+  double reactive(Tokens, bool useful) const override;
+  Tokens capacity() const override { return kUnboundedCapacity; }
+  std::string name() const override;
+
+ private:
+  Tokens k_;
+  bool useful_only_;
+};
+
+}  // namespace toka::core

@@ -1,0 +1,97 @@
+// The token account strategy interface (paper §3.1).
+//
+// A strategy is a pair of functions over the account balance `a`:
+//
+//   proactive(a)   — probability of sending a proactive message in a period.
+//                    Monotone non-decreasing in a, range [0,1].
+//   reactive(a,u)  — (possibly fractional) number of messages to send in
+//                    response to an incoming message of usefulness u.
+//                    Monotone non-decreasing in a and in u; never exceeds a
+//                    (no overspending) for strategies with bounded capacity.
+//
+// The *token capacity* C of a strategy is the smallest balance with
+// proactive(C) = 1; it bounds both the stored tokens and the largest
+// possible burst (§3.4): a node sends at most ceil(t/Δ) + C messages in any
+// time window of length t.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace toka::core {
+
+/// Capacity value meaning "proactive(a) never reaches 1": the balance may
+/// grow without bound. Only the pure-reactive reference strategy has this.
+inline constexpr Tokens kUnboundedCapacity = -1;
+
+/// Abstract proactive/reactive function pair. Implementations are immutable
+/// and thread-safe; one instance can be shared by any number of accounts.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Probability in [0,1] of sending a proactive message given balance `a`.
+  virtual double proactive(Tokens a) const = 0;
+
+  /// Number of reactive messages (before probabilistic rounding) to send in
+  /// response to a message of usefulness `useful`, given balance `a`.
+  virtual double reactive(Tokens a, bool useful) const = 0;
+
+  /// Smallest balance at which proactive() returns exactly 1, or
+  /// kUnboundedCapacity if no such balance exists.
+  virtual Tokens capacity() const = 0;
+
+  /// Human-readable identifier, e.g. "randomized(A=5,C=10)".
+  virtual std::string name() const = 0;
+};
+
+/// Checks the framework's contract over balances [0, max_a]: probability
+/// range, monotonicity in `a` and in usefulness, the no-overspending bound
+/// reactive(a,u) <= a, and minimality of capacity(). Returns a list of
+/// human-readable violations (empty if the strategy is well-formed).
+/// Used by tests and by debug assertions in the experiment harness.
+std::vector<std::string> validate_strategy(const Strategy& s, Tokens max_a);
+
+/// Identifiers for the strategies shipped with toka.
+enum class StrategyKind {
+  kProactive,     ///< baseline: proactive == 1, reactive == 0 (paper §3.1)
+  kSimple,        ///< simple token account (§3.3.1)
+  kGeneralized,   ///< generalized token account (§3.3.2)
+  kRandomized,    ///< randomized token account (§3.3.3)
+  kPureReactive,  ///< flooding reference, overdrafting account (§3.1)
+  kTokenBucket,   ///< classic token bucket: no proactive component (§3);
+                  ///< starves under message loss — the paper's motivation
+                  ///< for the proactive fallback. Bucket size = C.
+};
+
+/// Parses "proactive" / "simple" / "generalized" / "randomized" /
+/// "reactive"; throws util::IoError on anything else.
+StrategyKind parse_strategy_kind(const std::string& text);
+
+/// Short lowercase name of a kind ("simple", ...).
+std::string to_string(StrategyKind kind);
+
+/// Value-type description of a strategy, usable as an experiment parameter.
+struct StrategyConfig {
+  StrategyKind kind = StrategyKind::kProactive;
+  /// Spending-aggressiveness parameter A (generalized/randomized). A >= 1.
+  Tokens a_param = 1;
+  /// Token capacity C (simple/generalized/randomized). C >= 0; A <= C.
+  Tokens c_param = 0;
+  /// Messages per incoming message for the pure-reactive reference.
+  Tokens reactive_k = 1;
+  /// Pure reactive: respond only to useful messages (REACTIVE == u*k).
+  bool reactive_useful_only = false;
+
+  /// Compact label, e.g. "randomized A=5 C=10" (matches paper legends).
+  std::string label() const;
+};
+
+/// Instantiates the configured strategy. Throws util::InvariantError on
+/// invalid parameter combinations (A < 1, C < 0, A > C where applicable).
+std::unique_ptr<Strategy> make_strategy(const StrategyConfig& config);
+
+}  // namespace toka::core

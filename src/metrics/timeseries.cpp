@@ -1,0 +1,121 @@
+#include "metrics/timeseries.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace toka::metrics {
+
+TimeSeries::TimeSeries(std::vector<TimePoint> points)
+    : points_(std::move(points)) {
+  for (std::size_t i = 1; i < points_.size(); ++i)
+    TOKA_CHECK_MSG(points_[i - 1].t <= points_[i].t,
+                   "time series must be sorted by time");
+}
+
+void TimeSeries::add(TimeUs t, double value) {
+  TOKA_CHECK_MSG(points_.empty() || t >= points_.back().t,
+                 "time series times must be non-decreasing");
+  points_.push_back(TimePoint{t, value});
+}
+
+double TimeSeries::final_value() const {
+  TOKA_CHECK(!points_.empty());
+  return points_.back().value;
+}
+
+std::optional<double> TimeSeries::mean_over(TimeUs from, TimeUs to) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const TimePoint& p : points_) {
+    if (p.t < from || p.t > to) continue;
+    sum += p.value;
+    ++count;
+  }
+  if (count == 0) return std::nullopt;
+  return sum / static_cast<double>(count);
+}
+
+std::optional<TimeUs> TimeSeries::time_to_threshold(double threshold,
+                                                    bool rising) const {
+  for (const TimePoint& p : points_) {
+    if (rising ? p.value >= threshold : p.value <= threshold) return p.t;
+  }
+  return std::nullopt;
+}
+
+TimeSeries TimeSeries::smoothed(TimeUs window) const {
+  TOKA_CHECK(window >= 0);
+  TimeSeries out;
+  std::size_t lo = 0;
+  double sum = 0.0;
+  for (std::size_t hi = 0; hi < points_.size(); ++hi) {
+    sum += points_[hi].value;
+    while (points_[hi].t - points_[lo].t > window) {
+      sum -= points_[lo].value;
+      ++lo;
+    }
+    out.add(points_[hi].t, sum / static_cast<double>(hi - lo + 1));
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::bucketed(TimeUs bucket) const {
+  TOKA_CHECK(bucket > 0);
+  TimeSeries out;
+  std::size_t i = 0;
+  while (i < points_.size()) {
+    const TimeUs bucket_index = points_[i].t / bucket;
+    double sum = 0.0;
+    std::size_t count = 0;
+    while (i < points_.size() && points_[i].t / bucket == bucket_index) {
+      sum += points_[i].value;
+      ++count;
+      ++i;
+    }
+    out.add(bucket_index * bucket + bucket / 2,
+            sum / static_cast<double>(count));
+  }
+  return out;
+}
+
+TimeSeries average(const std::vector<TimeSeries>& runs) {
+  TOKA_CHECK_MSG(!runs.empty(), "average of zero runs");
+  const std::size_t n = runs.front().size();
+  for (const TimeSeries& run : runs)
+    TOKA_CHECK_MSG(run.size() == n, "runs have different sample counts");
+  TimeSeries out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TimeUs t = runs.front()[i].t;
+    double sum = 0.0;
+    for (const TimeSeries& run : runs) {
+      TOKA_CHECK_MSG(run[i].t == t, "runs sampled at different times");
+      sum += run[i].value;
+    }
+    out.add(t, sum / static_cast<double>(runs.size()));
+  }
+  return out;
+}
+
+std::optional<double> speedup_at_threshold(const TimeSeries& slow,
+                                           const TimeSeries& fast,
+                                           double threshold, bool rising) {
+  const auto ts = slow.time_to_threshold(threshold, rising);
+  const auto tf = fast.time_to_threshold(threshold, rising);
+  if (!ts || !tf || *tf <= 0) return std::nullopt;
+  return static_cast<double>(*ts) / static_cast<double>(*tf);
+}
+
+void write_csv(std::ostream& out, const TimeSeries& series,
+               const std::string& value_name) {
+  util::CsvWriter csv(out);
+  csv.row({"t_seconds", value_name});
+  for (const TimePoint& p : series.points()) {
+    csv.field(to_seconds(p.t)).field(p.value);
+    csv.end_row();
+  }
+}
+
+}  // namespace toka::metrics

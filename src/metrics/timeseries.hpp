@@ -1,0 +1,72 @@
+// Time series of experiment metrics: collection, cross-run averaging,
+// smoothing, and the summary statistics used to compare strategies.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace toka::metrics {
+
+struct TimePoint {
+  TimeUs t = 0;
+  double value = 0.0;
+  friend bool operator==(const TimePoint&, const TimePoint&) = default;
+};
+
+/// An append-only series of (time, value) samples with non-decreasing times.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::vector<TimePoint> points);
+
+  void add(TimeUs t, double value);
+
+  const std::vector<TimePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+  const TimePoint& operator[](std::size_t i) const { return points_.at(i); }
+
+  /// Last sampled value; requires a non-empty series.
+  double final_value() const;
+
+  /// Mean of values sampled in [from, to]; nullopt if no samples there.
+  std::optional<double> mean_over(TimeUs from, TimeUs to) const;
+
+  /// First time the value reaches the threshold (>= if `rising`, <= if
+  /// falling); nullopt if never.
+  std::optional<TimeUs> time_to_threshold(double threshold, bool rising) const;
+
+  /// Sliding-window average: each output point is the mean of all input
+  /// points within [t - window, t]. The paper smooths push-gossip curves
+  /// over 15-minute windows.
+  TimeSeries smoothed(TimeUs window) const;
+
+  /// Bucketed average: one output point per `bucket` of time, at the bucket
+  /// midpoint, averaging all samples falling inside.
+  TimeSeries bucketed(TimeUs bucket) const;
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+/// Pointwise average of several runs of the same experiment. All series
+/// must have identical sample times (the harness samples on a fixed grid).
+TimeSeries average(const std::vector<TimeSeries>& runs);
+
+/// Ratio of times-to-threshold: how much faster `fast` reaches `threshold`
+/// than `slow` (e.g. 4.0 = fourfold speedup). nullopt if either never
+/// reaches it.
+std::optional<double> speedup_at_threshold(const TimeSeries& slow,
+                                           const TimeSeries& fast,
+                                           double threshold, bool rising);
+
+/// Writes "t_seconds,value" rows (with header) for plotting.
+void write_csv(std::ostream& out, const TimeSeries& series,
+               const std::string& value_name);
+
+}  // namespace toka::metrics

@@ -1,0 +1,124 @@
+#include "net/gossip_view.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace toka::net {
+
+GossipViewService::GossipViewService(std::size_t node_count,
+                                     std::size_t view_size)
+    : view_size_(view_size), views_(node_count) {
+  TOKA_CHECK_MSG(view_size >= 1, "view size must be >= 1");
+  TOKA_CHECK_MSG(node_count > view_size,
+                 "need more nodes than the view size");
+  for (NodeId v = 0; v < node_count; ++v) {
+    views_[v].reserve(view_size);
+    for (std::size_t i = 1; i <= view_size; ++i)
+      views_[v].push_back(
+          Descriptor{static_cast<NodeId>((v + i) % node_count), 0});
+  }
+}
+
+const std::vector<Descriptor>& GossipViewService::view(NodeId v) const {
+  TOKA_CHECK_MSG(v < views_.size(), "node " << v << " out of range");
+  return views_[v];
+}
+
+void GossipViewService::merge_views(NodeId a, NodeId b, util::Rng& rng) {
+  // Cyclon-style swap: the initiator `a` removes `b`'s entry plus up to
+  // L-1 random others and ships them together with a fresh self
+  // descriptor; `b` ships up to L random entries of its own. Each side
+  // inserts what it received (skipping itself and peers it already knows)
+  // and refills leftover slots from what it shipped. Swapping — instead of
+  // keep-the-freshest merging — conserves descriptor copies, which keeps
+  // the in-degree distribution balanced and every node represented.
+  const std::size_t kShip = std::max<std::size_t>(1, view_size_ / 2);
+  std::vector<Descriptor>& va = views_[a];
+  std::vector<Descriptor>& vb = views_[b];
+
+  std::vector<Descriptor> ship_a;
+  std::erase_if(va, [&](const Descriptor& d) { return d.peer == b; });
+  rng.shuffle(va);
+  while (ship_a.size() + 1 < kShip && !va.empty()) {
+    ship_a.push_back(va.back());
+    va.pop_back();
+  }
+  ship_a.push_back(Descriptor{a, 0});
+
+  std::vector<Descriptor> ship_b;
+  rng.shuffle(vb);
+  while (ship_b.size() < kShip && !vb.empty()) {
+    ship_b.push_back(vb.back());
+    vb.pop_back();
+  }
+
+  auto insert_into = [this](NodeId owner, std::vector<Descriptor>& view,
+                            const std::vector<Descriptor>& incoming,
+                            const std::vector<Descriptor>& filler) {
+    auto known = [&view](NodeId peer) {
+      return std::any_of(view.begin(), view.end(),
+                         [peer](const Descriptor& d) { return d.peer == peer; });
+    };
+    for (const auto* batch : {&incoming, &filler}) {
+      for (const Descriptor& d : *batch) {
+        if (view.size() >= view_size_) return;
+        if (d.peer == owner || known(d.peer)) continue;
+        view.push_back(d);
+      }
+    }
+  };
+  insert_into(a, va, ship_b, ship_a);
+  insert_into(b, vb, ship_a, ship_b);
+}
+
+void GossipViewService::shuffle_round(util::Rng& rng) {
+  std::vector<NodeId> order(views_.size());
+  for (NodeId v = 0; v < views_.size(); ++v) order[v] = v;
+  rng.shuffle(order);
+  for (NodeId v : order) {
+    for (Descriptor& d : views_[v]) ++d.age;
+    if (views_[v].empty()) continue;
+    // Classic healing heuristic: shuffle with the oldest view member.
+    const auto oldest = std::max_element(
+        views_[v].begin(), views_[v].end(),
+        [](const Descriptor& x, const Descriptor& y) { return x.age < y.age; });
+    merge_views(v, oldest->peer, rng);
+  }
+}
+
+void GossipViewService::run(std::size_t rounds, util::Rng& rng) {
+  for (std::size_t i = 0; i < rounds; ++i) shuffle_round(rng);
+}
+
+NodeId GossipViewService::sample(NodeId from, util::Rng& rng) const {
+  const auto& v = view(from);
+  if (v.empty()) return kNoNode;
+  return v[rng.index(v.size())].peer;
+}
+
+Digraph GossipViewService::snapshot_overlay(std::size_t k,
+                                            util::Rng& rng) const {
+  TOKA_CHECK_MSG(k <= view_size_,
+                 "cannot snapshot " << k << "-out from views of size "
+                                    << view_size_);
+  Digraph g(views_.size());
+  std::vector<NodeId> pool;
+  for (NodeId v = 0; v < views_.size(); ++v) {
+    pool.clear();
+    for (const Descriptor& d : views_[v]) pool.push_back(d.peer);
+    rng.shuffle(pool);
+    for (std::size_t i = 0; i < k && i < pool.size(); ++i)
+      g.add_edge(v, pool[i]);
+  }
+  return g;
+}
+
+std::vector<std::size_t> GossipViewService::indegree_histogram() const {
+  std::vector<std::size_t> indegree(views_.size(), 0);
+  for (const auto& view : views_)
+    for (const Descriptor& d : view) ++indegree[d.peer];
+  return indegree;
+}
+
+}  // namespace toka::net

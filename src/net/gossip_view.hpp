@@ -1,0 +1,71 @@
+// Decentralized peer sampling: a Newscast-style partial-view shuffle.
+//
+// The paper treats SELECTPEER() as a black box provided by a peer sampling
+// service (§2.1, refs [2][3]) and approximates it with a fixed random
+// 20-out overlay. This module implements the service itself: every node
+// keeps a small partial view of (peer, age) descriptors; in every round it
+// exchanges half of its view with a random view member and keeps the
+// freshest descriptors. After a few rounds the views approximate
+// independent uniform samples, and a fixed k-out overlay can be snapshotted
+// from them — which is exactly how the paper's overlay would be obtained in
+// a deployment.
+//
+// The shuffle here runs as a standalone round-based process (it is a
+// bootstrap/maintenance substrate, not part of the measured experiments).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace toka::net {
+
+/// One view entry: a known peer and how many rounds ago it was heard of.
+struct Descriptor {
+  NodeId peer = kNoNode;
+  std::uint32_t age = 0;
+};
+
+class GossipViewService {
+ public:
+  /// `node_count` nodes, each holding at most `view_size` descriptors.
+  /// Views are bootstrapped from a ring (each node initially knows its
+  /// `view_size` clockwise successors), the classic worst-case start.
+  GossipViewService(std::size_t node_count, std::size_t view_size);
+
+  std::size_t node_count() const { return views_.size(); }
+  std::size_t view_size() const { return view_size_; }
+
+  /// Current view of a node (unordered).
+  const std::vector<Descriptor>& view(NodeId v) const;
+
+  /// Executes one shuffle round: every node (in random order) ages its
+  /// view, picks its oldest view member, and swaps half-views with it;
+  /// both keep the freshest distinct descriptors, never themselves.
+  void shuffle_round(util::Rng& rng);
+
+  /// Runs `rounds` shuffle rounds.
+  void run(std::size_t rounds, util::Rng& rng);
+
+  /// SELECTPEER(): uniform choice from the node's current view.
+  NodeId sample(NodeId from, util::Rng& rng) const;
+
+  /// Snapshots a k-out overlay from the views (k <= view_size): each
+  /// node's out-neighbors are k distinct uniform picks from its view.
+  Digraph snapshot_overlay(std::size_t k, util::Rng& rng) const;
+
+  /// Diagnostics: the in-degree distribution across all views. A healthy
+  /// service has mean == view_size and no heavy tail.
+  std::vector<std::size_t> indegree_histogram() const;
+
+ private:
+  void merge_views(NodeId a, NodeId b, util::Rng& rng);
+
+  std::size_t view_size_;
+  std::vector<std::vector<Descriptor>> views_;
+};
+
+}  // namespace toka::net

@@ -1,0 +1,149 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace toka::net {
+
+Digraph::Digraph(std::size_t node_count) : out_(node_count) {}
+
+void Digraph::add_edge(NodeId from, NodeId to) {
+  TOKA_CHECK_MSG(from < out_.size() && to < out_.size(),
+                 "edge (" << from << "," << to << ") out of range, n="
+                          << out_.size());
+  out_[from].push_back(to);
+  ++edge_count_;
+}
+
+const std::vector<NodeId>& Digraph::out_view(NodeId v) const {
+  TOKA_CHECK_MSG(v < out_.size(), "node " << v << " out of range");
+  return out_[v];
+}
+
+std::span<const NodeId> Digraph::out(NodeId v) const {
+  const auto& lst = out_view(v);
+  return {lst.data(), lst.size()};
+}
+
+Digraph Digraph::reversed() const {
+  Digraph rev(node_count());
+  for (NodeId v = 0; v < node_count(); ++v)
+    for (NodeId w : out_[v]) rev.add_edge(w, v);
+  return rev;
+}
+
+Digraph random_k_out(std::size_t n, std::size_t k, util::Rng& rng) {
+  TOKA_CHECK_MSG(k < n, "random_k_out requires k < n, got k=" << k
+                                                              << " n=" << n);
+  Digraph g(n);
+  std::vector<NodeId> picked;
+  picked.reserve(k);
+  for (NodeId v = 0; v < n; ++v) {
+    picked.clear();
+    while (picked.size() < k) {
+      const auto cand = static_cast<NodeId>(rng.below(n));
+      if (cand == v) continue;
+      if (std::find(picked.begin(), picked.end(), cand) != picked.end())
+        continue;
+      picked.push_back(cand);
+      g.add_edge(v, cand);
+    }
+  }
+  return g;
+}
+
+Digraph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                       util::Rng& rng) {
+  TOKA_CHECK_MSG(k % 2 == 0, "watts_strogatz requires even k, got " << k);
+  TOKA_CHECK_MSG(k >= 2 && k < n,
+                 "watts_strogatz requires 2 <= k < n, got k=" << k
+                                                              << " n=" << n);
+  TOKA_CHECK_MSG(beta >= 0.0 && beta <= 1.0,
+                 "rewiring probability must be in [0,1], got " << beta);
+  Digraph g(n);
+  std::vector<NodeId> targets;
+  targets.reserve(k);
+  const std::size_t half = k / 2;
+  for (NodeId v = 0; v < n; ++v) {
+    targets.clear();
+    for (std::size_t d = 1; d <= half; ++d) {
+      targets.push_back(static_cast<NodeId>((v + d) % n));
+      targets.push_back(static_cast<NodeId>((v + n - d) % n));
+    }
+    for (NodeId& t : targets) {
+      if (!rng.bernoulli(beta)) continue;
+      // Rewire to a fresh uniform target: not self, not already linked.
+      for (;;) {
+        const auto cand = static_cast<NodeId>(rng.below(n));
+        if (cand == v) continue;
+        if (std::find(targets.begin(), targets.end(), cand) != targets.end())
+          continue;
+        t = cand;
+        break;
+      }
+    }
+    for (NodeId t : targets) g.add_edge(v, t);
+  }
+  return g;
+}
+
+namespace {
+// Number of nodes reachable from `start` (BFS).
+std::size_t reachable_count(const Digraph& g, NodeId start) {
+  std::vector<char> seen(g.node_count(), 0);
+  std::queue<NodeId> frontier;
+  frontier.push(start);
+  seen[start] = 1;
+  std::size_t count = 1;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId w : g.out(v)) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        ++count;
+        frontier.push(w);
+      }
+    }
+  }
+  return count;
+}
+}  // namespace
+
+bool is_strongly_connected(const Digraph& g) {
+  if (g.node_count() == 0) return true;
+  if (reachable_count(g, 0) != g.node_count()) return false;
+  return reachable_count(g.reversed(), 0) == g.node_count();
+}
+
+std::size_t estimate_diameter(const Digraph& g, std::size_t samples,
+                              util::Rng& rng) {
+  if (g.node_count() == 0) return 0;
+  std::size_t best = 0;
+  std::vector<std::int32_t> dist(g.node_count());
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto start = static_cast<NodeId>(
+        samples >= g.node_count() ? s % g.node_count()
+                                  : rng.below(g.node_count()));
+    std::fill(dist.begin(), dist.end(), -1);
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    dist[start] = 0;
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (NodeId w : g.out(v)) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          best = std::max(best, static_cast<std::size_t>(dist[w]));
+          frontier.push(w);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace toka::net

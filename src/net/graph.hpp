@@ -1,0 +1,66 @@
+// Directed overlay graphs and the builders used in the paper's evaluation
+// (§4.1): the fixed random 20-out network and the directed Watts–Strogatz
+// small-world ring for chaotic iteration.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace toka::net {
+
+/// Simple directed graph with per-node out-adjacency lists. Nodes are dense
+/// ids [0, node_count). Immutable after construction through builders;
+/// add_edge is exposed for tests and custom topologies.
+class Digraph {
+ public:
+  explicit Digraph(std::size_t node_count);
+
+  std::size_t node_count() const { return out_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Appends a directed edge from -> to. Duplicate edges are allowed at
+  /// this level; builders avoid them.
+  void add_edge(NodeId from, NodeId to);
+
+  /// Out-neighbors of `v` in insertion order.
+  std::span<const NodeId> out(NodeId v) const;
+
+  std::size_t out_degree(NodeId v) const { return out_view(v).size(); }
+
+  /// Graph with every edge reversed (out-lists become in-lists).
+  Digraph reversed() const;
+
+ private:
+  const std::vector<NodeId>& out_view(NodeId v) const;
+
+  std::vector<std::vector<NodeId>> out_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Fixed random k-out overlay (§4.1): each node draws k distinct out-
+/// neighbors uniformly at random (no self-loops, no duplicate targets).
+/// The paper's experiments use k = 20. Requires k < n.
+Digraph random_k_out(std::size_t n, std::size_t k, util::Rng& rng);
+
+/// Directed Watts–Strogatz overlay (§4.1.3): a ring where every node links
+/// to its `k` closest neighbors (k/2 on each side; k must be even), then
+/// every link is rewired to a uniformly random target with probability
+/// `beta` (the paper uses k = 4, beta = 0.01). No self-loops or duplicate
+/// targets are produced.
+Digraph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                       util::Rng& rng);
+
+/// True if every node can reach every other node following edge directions
+/// (Kosaraju-style double BFS from node 0). Empty graphs are connected.
+bool is_strongly_connected(const Digraph& g);
+
+/// Longest shortest-path distance found from `samples` random start nodes
+/// (lower bound on the true directed diameter; exact when samples >= n).
+std::size_t estimate_diameter(const Digraph& g, std::size_t samples,
+                              util::Rng& rng);
+
+}  // namespace toka::net

@@ -1,0 +1,22 @@
+#include "net/peer_sampling.hpp"
+
+namespace toka::net {
+
+UniformNeighborSampler::UniformNeighborSampler(const Digraph& graph,
+                                               OnlinePredicate online)
+    : graph_(&graph), online_(std::move(online)) {}
+
+NodeId UniformNeighborSampler::select(NodeId from, util::Rng& rng) const {
+  NodeId chosen = kNoNode;
+  std::uint64_t eligible = 0;
+  for (NodeId w : graph_->out(from)) {
+    if (online_ && !online_(w)) continue;
+    ++eligible;
+    // Reservoir sampling: replace with probability 1/eligible keeps the
+    // choice uniform over all eligible neighbors.
+    if (rng.below(eligible) == 0) chosen = w;
+  }
+  return chosen;
+}
+
+}  // namespace toka::net

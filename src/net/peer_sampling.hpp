@@ -1,0 +1,44 @@
+// Peer sampling service (the paper's SELECTPEER() black box, §2.1).
+//
+// The evaluation approximates uniform peer sampling with a fixed random
+// 20-out overlay; SELECTPEER() draws a uniform out-neighbor, restricted to
+// currently-online neighbors in the churn scenario.
+#pragma once
+
+#include <functional>
+
+#include "net/graph.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace toka::net {
+
+/// Abstract peer selector.
+class PeerSampler {
+ public:
+  virtual ~PeerSampler() = default;
+
+  /// Returns a peer for `from`, or kNoNode if none is available.
+  virtual NodeId select(NodeId from, util::Rng& rng) const = 0;
+};
+
+/// Uniform choice among the out-neighbors of `from` that pass the online
+/// predicate (all neighbors, if no predicate is set). Single pass
+/// reservoir sampling; O(out-degree) per call, no allocation.
+class UniformNeighborSampler final : public PeerSampler {
+ public:
+  using OnlinePredicate = std::function<bool(NodeId)>;
+
+  /// The graph must outlive the sampler. An empty predicate means every
+  /// neighbor is eligible.
+  explicit UniformNeighborSampler(const Digraph& graph,
+                                  OnlinePredicate online = {});
+
+  NodeId select(NodeId from, util::Rng& rng) const override;
+
+ private:
+  const Digraph* graph_;
+  OnlinePredicate online_;
+};
+
+}  // namespace toka::net

@@ -1,0 +1,45 @@
+#include "net/weights.hpp"
+
+#include "util/error.hpp"
+
+namespace toka::net {
+
+InWeights::InWeights(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::size_t> in_degree(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    TOKA_CHECK_MSG(g.out_degree(v) > 0,
+                   "node " << v << " has no out-edges; column-stochastic "
+                              "weights are undefined");
+    for (NodeId w : g.out(v)) ++in_degree[w];
+  }
+  offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) offsets_[i + 1] = offsets_[i] + in_degree[i];
+  edges_.resize(offsets_[n]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    const double w = 1.0 / static_cast<double>(g.out_degree(v));
+    for (NodeId dst : g.out(v)) edges_[cursor[dst]++] = InEdge{v, w};
+  }
+}
+
+std::span<const InEdge> InWeights::in_edges(NodeId i) const {
+  TOKA_CHECK_MSG(i + 1 < offsets_.size(), "node " << i << " out of range");
+  return {edges_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+}
+
+std::ptrdiff_t InWeights::in_index(NodeId i, NodeId src) const {
+  const auto edges = in_edges(i);
+  for (std::size_t j = 0; j < edges.size(); ++j)
+    if (edges[j].src == src) return static_cast<std::ptrdiff_t>(j);
+  return -1;
+}
+
+double InWeights::column_sum(NodeId k) const {
+  double sum = 0.0;
+  for (const InEdge& e : edges_)
+    if (e.src == k) sum += e.weight;
+  return sum;
+}
+
+}  // namespace toka::net

@@ -1,0 +1,47 @@
+// Column-stochastic edge weights for chaotic iteration (paper §2.4).
+//
+// The weighted neighborhood matrix A has A[i][k] = weight of the link
+// k -> i. With A[i][k] = 1/outdeg(k), every column sums to 1, so A is
+// non-negative with spectral radius 1 — exactly the class for which the
+// Lubachevsky–Mitra chaotic iteration converges to the dominant
+// eigenvector.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "util/types.hpp"
+
+namespace toka::net {
+
+/// One incoming weighted link of a node.
+struct InEdge {
+  NodeId src = kNoNode;  ///< sender k
+  double weight = 0.0;   ///< A[i][k]
+};
+
+/// Per-node incoming weighted edges with column-stochastic normalization.
+class InWeights {
+ public:
+  /// Builds A[i][k] = 1/outdeg(k) over all edges k->i of `g`.
+  /// Requires every node to have at least one out-edge.
+  explicit InWeights(const Digraph& g);
+
+  std::size_t node_count() const { return offsets_.size() - 1; }
+
+  /// Incoming edges of node i (sender + weight), in stable order.
+  std::span<const InEdge> in_edges(NodeId i) const;
+
+  /// Index of sender `src` within in_edges(i), or -1 if absent.
+  std::ptrdiff_t in_index(NodeId i, NodeId src) const;
+
+  /// Sum of column k (== 1 for every node with out-edges); for tests.
+  double column_sum(NodeId k) const;
+
+ private:
+  std::vector<std::size_t> offsets_;  // CSR offsets, size node_count+1
+  std::vector<InEdge> edges_;         // grouped by destination node
+};
+
+}  // namespace toka::net

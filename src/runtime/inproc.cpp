@@ -1,0 +1,109 @@
+#include "runtime/inproc.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace toka::runtime {
+
+class InProcNetwork::Endpoint final : public Transport {
+ public:
+  Endpoint(InProcNetwork& net, NodeId id) : net_(&net), id_(id) {}
+
+  NodeId self() const override { return id_; }
+
+  void send(NodeId to, std::vector<std::byte> payload) override {
+    net_->enqueue(id_, to, std::move(payload));
+  }
+
+  void set_handler(Handler handler) override {
+    handler_ = std::move(handler);
+  }
+
+  void deliver(NodeId from, std::vector<std::byte> payload) {
+    if (handler_) handler_(from, std::move(payload));
+  }
+
+ private:
+  InProcNetwork* net_;
+  NodeId id_;
+  Handler handler_;
+};
+
+InProcNetwork::InProcNetwork(std::size_t node_count, TimeUs latency_us)
+    : latency_us_(latency_us) {
+  TOKA_CHECK(latency_us >= 0);
+  endpoints_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i)
+    endpoints_.push_back(
+        std::make_unique<Endpoint>(*this, static_cast<NodeId>(i)));
+}
+
+InProcNetwork::~InProcNetwork() { stop(); }
+
+Transport& InProcNetwork::endpoint(NodeId id) {
+  TOKA_CHECK_MSG(id < endpoints_.size(), "endpoint " << id << " out of range");
+  return *endpoints_[id];
+}
+
+void InProcNetwork::start() {
+  std::lock_guard lock(mutex_);
+  TOKA_CHECK_MSG(!running_, "network already started");
+  running_ = true;
+  stopping_ = false;
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+void InProcNetwork::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+  std::lock_guard lock(mutex_);
+  running_ = false;
+}
+
+void InProcNetwork::drain() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return queue_.empty() || !running_; });
+}
+
+void InProcNetwork::enqueue(NodeId from, NodeId to,
+                            std::vector<std::byte> payload) {
+  if (to >= endpoints_.size()) return;  // best-effort fabric: drop
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push(Parcel{std::chrono::steady_clock::now() +
+                           std::chrono::microseconds(latency_us_),
+                       next_seq_++, from, to, std::move(payload)});
+  }
+  cv_.notify_all();
+}
+
+void InProcNetwork::dispatch_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (stopping_) return;
+    if (queue_.empty()) {
+      cv_.notify_all();  // wake drain()
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      continue;
+    }
+    const auto due = queue_.top().deliver_at;
+    if (std::chrono::steady_clock::now() < due) {
+      cv_.wait_until(lock, due);
+      continue;
+    }
+    Parcel parcel = queue_.top();
+    queue_.pop();
+    Endpoint* target = endpoints_[parcel.to].get();
+    lock.unlock();
+    target->deliver(parcel.from, std::move(parcel.payload));
+    lock.lock();
+  }
+}
+
+}  // namespace toka::runtime

@@ -1,0 +1,72 @@
+// In-process transport: a message fabric connecting endpoints within one
+// process through a dispatcher thread, with optional simulated latency.
+// Used by tests and by examples that don't want sockets.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "runtime/transport.hpp"
+#include "util/types.hpp"
+
+namespace toka::runtime {
+
+class InProcNetwork {
+ public:
+  /// Creates `node_count` endpoints. Messages are delivered `latency_us`
+  /// after send, in send order for equal delivery times.
+  explicit InProcNetwork(std::size_t node_count, TimeUs latency_us = 0);
+
+  /// Stops the dispatcher and drops undelivered messages.
+  ~InProcNetwork();
+
+  InProcNetwork(const InProcNetwork&) = delete;
+  InProcNetwork& operator=(const InProcNetwork&) = delete;
+
+  std::size_t node_count() const { return endpoints_.size(); }
+  Transport& endpoint(NodeId id);
+
+  /// Starts the dispatcher thread. Handlers should be installed first.
+  void start();
+
+  /// Stops and joins the dispatcher. Idempotent.
+  void stop();
+
+  /// Blocks until the in-flight queue is empty (for tests).
+  void drain();
+
+ private:
+  class Endpoint;
+  struct Parcel {
+    std::chrono::steady_clock::time_point deliver_at;
+    std::uint64_t seq;
+    NodeId from;
+    NodeId to;
+    std::vector<std::byte> payload;
+    friend bool operator>(const Parcel& a, const Parcel& b) {
+      if (a.deliver_at != b.deliver_at) return a.deliver_at > b.deliver_at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void enqueue(NodeId from, NodeId to, std::vector<std::byte> payload);
+  void dispatch_loop();
+
+  TimeUs latency_us_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Parcel, std::vector<Parcel>, std::greater<>> queue_;
+  std::uint64_t next_seq_ = 0;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace toka::runtime

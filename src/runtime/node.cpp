@@ -1,0 +1,118 @@
+#include "runtime/node.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace toka::runtime {
+
+Node::Node(Transport& transport, NodeApp& app, NodeConfig config)
+    : transport_(&transport),
+      app_(&app),
+      config_(std::move(config)),
+      strategy_(core::make_strategy(config_.strategy)),
+      account_(*strategy_, config_.initial_tokens,
+               config_.strategy.kind == core::StrategyKind::kPureReactive),
+      rng_(config_.seed),
+      epoch_(std::chrono::steady_clock::now()) {
+  TOKA_CHECK_MSG(config_.delta_us > 0, "delta must be positive");
+  if (config_.audit && strategy_->capacity() != core::kUnboundedCapacity) {
+    auditor_ = std::make_unique<core::RateLimitAuditor>(
+        config_.delta_us, strategy_->capacity());
+  }
+}
+
+Node::~Node() { stop(); }
+
+NodeId Node::id() const { return transport_->self(); }
+
+TimeUs Node::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Node::start() {
+  bool expected = false;
+  TOKA_CHECK_MSG(running_.compare_exchange_strong(expected, true),
+                 "node already started");
+  transport_->set_handler([this](NodeId from, std::vector<std::byte> payload) {
+    on_receive(from, std::move(payload));
+  });
+  {
+    std::lock_guard lock(stop_mutex_);
+    stop_requested_ = false;
+  }
+  timer_ = std::thread([this] { timer_loop(); });
+}
+
+void Node::stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard lock(stop_mutex_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+  transport_->set_handler({});
+}
+
+void Node::send_one(TimeUs now) {
+  // Caller holds mutex_. SELECTPEER() over the configured neighbors.
+  if (config_.neighbors.empty()) return;
+  const NodeId peer =
+      config_.neighbors[rng_.index(config_.neighbors.size())];
+  std::vector<std::byte> payload = app_->create_message();
+  ++sent_;
+  if (auditor_) auditor_->record(now);
+  transport_->send(peer, std::move(payload));
+}
+
+void Node::timer_loop() {
+  auto next = std::chrono::steady_clock::now() +
+              std::chrono::microseconds(config_.delta_us);
+  for (;;) {
+    {
+      std::unique_lock lock(stop_mutex_);
+      if (stop_cv_.wait_until(lock, next,
+                              [this] { return stop_requested_; }))
+        return;
+    }
+    next += std::chrono::microseconds(config_.delta_us);
+    std::lock_guard lock(mutex_);
+    if (account_.on_tick(rng_)) send_one(now_us());
+  }
+}
+
+void Node::on_receive(NodeId from, std::vector<std::byte> payload) {
+  if (!running_.load()) return;
+  std::lock_guard lock(mutex_);
+  const bool useful = app_->update_state(from, payload);
+  const Tokens x = account_.on_message(useful, rng_);
+  const TimeUs now = now_us();
+  for (Tokens i = 0; i < x; ++i) send_one(now);
+}
+
+Tokens Node::balance() const {
+  std::lock_guard lock(mutex_);
+  return account_.balance();
+}
+
+core::AccountCounters Node::counters() const {
+  std::lock_guard lock(mutex_);
+  return account_.counters();
+}
+
+std::uint64_t Node::messages_sent() const {
+  std::lock_guard lock(mutex_);
+  return sent_;
+}
+
+std::string Node::audit_violation() const {
+  std::lock_guard lock(mutex_);
+  if (!auditor_) return {};
+  const auto violation = auditor_->first_violation();
+  return violation ? violation->describe() : std::string{};
+}
+
+}  // namespace toka::runtime

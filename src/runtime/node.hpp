@@ -1,0 +1,104 @@
+// A live token-account node: Algorithm 4 over wall-clock time and a real
+// transport. The traffic-shaping loop is identical to the simulated one —
+// period ticks grant/spend tokens, incoming messages trigger reactive
+// sends — demonstrating that toka::core is directly deployable.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/account.hpp"
+#include "core/rate_limit.hpp"
+#include "core/strategy.hpp"
+#include "runtime/transport.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace toka::runtime {
+
+/// Application callbacks. Both run under the node's internal lock; keep
+/// them short.
+class NodeApp {
+ public:
+  virtual ~NodeApp() = default;
+
+  /// CREATEMESSAGE(): serialize the current state.
+  virtual std::vector<std::byte> create_message() = 0;
+
+  /// UPDATESTATE(m): apply a received payload; return its usefulness.
+  virtual bool update_state(NodeId from, std::span<const std::byte> payload) = 0;
+};
+
+struct NodeConfig {
+  /// Token period Δ in wall-clock microseconds (demos use milliseconds-
+  /// scale periods; the algorithm is timescale-free).
+  TimeUs delta_us = 100'000;
+  core::StrategyConfig strategy{};
+  Tokens initial_tokens = 0;
+  /// Out-neighbors used by SELECTPEER().
+  std::vector<NodeId> neighbors;
+  std::uint64_t seed = 1;
+  /// Record every send in a RateLimitAuditor (§3.4 verification).
+  bool audit = true;
+};
+
+class Node {
+ public:
+  /// The transport and app must outlive the node.
+  Node(Transport& transport, NodeApp& app, NodeConfig config);
+
+  /// Stops the node if still running.
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Starts the period timer thread and begins processing messages.
+  void start();
+
+  /// Stops the timer and detaches the receive handler. Idempotent.
+  void stop();
+
+  NodeId id() const;
+  Tokens balance() const;
+  core::AccountCounters counters() const;
+  std::uint64_t messages_sent() const;
+
+  /// Checks the recorded sends against the §3.4 burst bound (only
+  /// meaningful when config.audit is true and the strategy has bounded
+  /// capacity). Returns the first violation's description, or empty.
+  std::string audit_violation() const;
+
+ private:
+  void timer_loop();
+  void on_receive(NodeId from, std::vector<std::byte> payload);
+  void send_one(TimeUs now_us);
+  TimeUs now_us() const;
+
+  Transport* transport_;
+  NodeApp* app_;
+  NodeConfig config_;
+  std::unique_ptr<core::Strategy> strategy_;
+
+  mutable std::mutex mutex_;
+  core::TokenAccount account_;
+  util::Rng rng_;
+  std::unique_ptr<core::RateLimitAuditor> auditor_;
+  std::uint64_t sent_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::condition_variable stop_cv_;
+  std::mutex stop_mutex_;
+  bool stop_requested_ = false;
+  std::thread timer_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace toka::runtime

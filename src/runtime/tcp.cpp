@@ -1,0 +1,254 @@
+#include "runtime/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace toka::runtime {
+
+namespace {
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got <= 0) return false;  // EOF or error: connection is done
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t put = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (put <= 0) return false;
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity limit
+
+}  // namespace
+
+class TcpMesh::Endpoint final : public Transport {
+ public:
+  Endpoint(TcpMesh& mesh, NodeId id) : mesh_(&mesh), id_(id) {
+    listen_fd_ = Fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!listen_fd_.valid())
+      throw util::IoError("socket(): " + std::string(std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(listen_fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    if (::bind(listen_fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0)
+      throw util::IoError("bind(): " + std::string(std::strerror(errno)));
+    socklen_t len = sizeof addr;
+    if (::getsockname(listen_fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+                      &len) != 0)
+      throw util::IoError("getsockname(): " +
+                          std::string(std::strerror(errno)));
+    port_ = ntohs(addr.sin_port);
+    if (::listen(listen_fd_.get(), 64) != 0)
+      throw util::IoError("listen(): " + std::string(std::strerror(errno)));
+    acceptor_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~Endpoint() override { shutdown(); }
+
+  NodeId self() const override { return id_; }
+  std::uint16_t port() const { return port_; }
+
+  void set_handler(Handler handler) override {
+    handler_ = std::move(handler);
+  }
+
+  void send(NodeId to, std::vector<std::byte> payload) override {
+    if (stopping_.load()) return;
+    const int fd = connection_to(to);
+    if (fd < 0) return;  // unknown/dead peer: drop (best effort)
+    std::uint8_t header[8];
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i) header[i] = (len >> (8 * i)) & 0xFF;
+    for (int i = 0; i < 4; ++i) header[4 + i] = (id_ >> (8 * i)) & 0xFF;
+    std::lock_guard lock(send_mutex_);
+    if (!write_exact(fd, header, sizeof header) ||
+        !write_exact(fd, payload.data(), payload.size())) {
+      drop_connection(to);
+    }
+  }
+
+  void shutdown() {
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true)) return;
+    ::shutdown(listen_fd_.get(), SHUT_RDWR);
+    listen_fd_.reset();
+    if (acceptor_.joinable()) acceptor_.join();
+    {
+      std::lock_guard lock(conn_mutex_);
+      for (auto& [peer, fd] : outgoing_) ::shutdown(fd.get(), SHUT_RDWR);
+      outgoing_.clear();
+    }
+    {
+      std::lock_guard lock(reader_mutex_);
+      for (auto& [fd, thread] : readers_) {
+        ::shutdown(fd, SHUT_RDWR);
+      }
+    }
+    // Readers exit on EOF after shutdown; join them.
+    for (;;) {
+      std::thread t;
+      int fd = -1;
+      {
+        std::lock_guard lock(reader_mutex_);
+        if (readers_.empty()) break;
+        fd = readers_.begin()->first;
+        t = std::move(readers_.begin()->second);
+        readers_.erase(readers_.begin());
+      }
+      if (t.joinable()) t.join();
+      ::close(fd);
+    }
+  }
+
+ private:
+  void accept_loop() {
+    for (;;) {
+      const int conn = ::accept(listen_fd_.get(), nullptr, nullptr);
+      if (conn < 0) return;  // socket closed: shutting down
+      std::lock_guard lock(reader_mutex_);
+      readers_.emplace(conn, std::thread([this, conn] { read_loop(conn); }));
+    }
+  }
+
+  void read_loop(int fd) {
+    for (;;) {
+      std::uint8_t header[8];
+      if (!read_exact(fd, header, sizeof header)) break;
+      std::uint32_t len = 0, from = 0;
+      for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+      for (int i = 0; i < 4; ++i)
+        from |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
+      if (len > kMaxFrame) break;  // corrupt stream
+      std::vector<std::byte> payload(len);
+      if (len > 0 && !read_exact(fd, payload.data(), len)) break;
+      if (handler_ && !stopping_.load()) handler_(from, std::move(payload));
+    }
+  }
+
+  /// Returns a connected fd to `to`, opening one if needed. -1 on failure.
+  int connection_to(NodeId to) {
+    std::lock_guard lock(conn_mutex_);
+    auto it = outgoing_.find(to);
+    if (it != outgoing_.end()) return it->second.get();
+    if (to >= mesh_->node_count()) return -1;
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) return -1;
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(mesh_->port_of(to));
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr) != 0)
+      return -1;
+    const int raw = fd.get();
+    outgoing_.emplace(to, std::move(fd));
+    return raw;
+  }
+
+  void drop_connection(NodeId to) {
+    // send_mutex_ held by caller; conn changes take conn_mutex_.
+    std::lock_guard lock(conn_mutex_);
+    outgoing_.erase(to);
+  }
+
+  TcpMesh* mesh_;
+  NodeId id_;
+  std::uint16_t port_ = 0;
+  Fd listen_fd_;
+  std::thread acceptor_;
+  Handler handler_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mutex_;
+  std::map<NodeId, Fd> outgoing_;
+  std::mutex send_mutex_;
+
+  std::mutex reader_mutex_;
+  std::map<int, std::thread> readers_;
+};
+
+TcpMesh::TcpMesh(std::size_t node_count) {
+  endpoints_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i)
+    endpoints_.push_back(
+        std::make_unique<Endpoint>(*this, static_cast<NodeId>(i)));
+}
+
+TcpMesh::~TcpMesh() {
+  for (auto& ep : endpoints_) ep->shutdown();
+}
+
+Transport& TcpMesh::endpoint(NodeId id) {
+  TOKA_CHECK_MSG(id < endpoints_.size(), "endpoint " << id << " out of range");
+  return *endpoints_[id];
+}
+
+std::uint16_t TcpMesh::port_of(NodeId id) const {
+  TOKA_CHECK_MSG(id < endpoints_.size(), "endpoint " << id << " out of range");
+  return endpoints_[id]->port();
+}
+
+}  // namespace toka::runtime

@@ -1,0 +1,46 @@
+// TCP mesh transport: every node listens on a loopback port; connections
+// are opened lazily on first send and kept for reuse. Wire format per
+// message: u32 payload length (LE), u32 sender id (LE), payload bytes.
+//
+// This is the "more boilerplate" path of a real deployment: the token
+// account node (node.hpp) runs unchanged over this transport or the
+// in-process one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/transport.hpp"
+#include "util/types.hpp"
+
+namespace toka::runtime {
+
+class TcpMesh {
+ public:
+  /// Binds `node_count` listening sockets on 127.0.0.1 with ephemeral
+  /// ports and starts their acceptor threads. Throws util::IoError on
+  /// socket failures.
+  explicit TcpMesh(std::size_t node_count);
+
+  /// Closes sockets and joins all threads.
+  ~TcpMesh();
+
+  TcpMesh(const TcpMesh&) = delete;
+  TcpMesh& operator=(const TcpMesh&) = delete;
+
+  std::size_t node_count() const { return endpoints_.size(); }
+  Transport& endpoint(NodeId id);
+
+  /// Port the given node listens on (for diagnostics).
+  std::uint16_t port_of(NodeId id) const;
+
+ private:
+  class Endpoint;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace toka::runtime

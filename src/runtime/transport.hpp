@@ -1,0 +1,36 @@
+// Message transport abstraction for the real (non-simulated) runtime.
+//
+// A Transport is one node's endpoint in some messaging fabric. Payloads are
+// opaque byte vectors (serialize with util::BinaryWriter). Delivery is
+// asynchronous and at-most-once; the receive handler runs on a transport-
+// owned thread, so handlers must be thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace toka::runtime {
+
+class Transport {
+ public:
+  /// (sender, payload). Runs on a transport-internal thread.
+  using Handler = std::function<void(NodeId, std::vector<std::byte>)>;
+
+  virtual ~Transport() = default;
+
+  /// This endpoint's node id.
+  virtual NodeId self() const = 0;
+
+  /// Queues `payload` for delivery to `to`. Non-blocking; messages to
+  /// unknown or dead peers are dropped (best-effort fabric).
+  virtual void send(NodeId to, std::vector<std::byte> payload) = 0;
+
+  /// Installs the receive handler. Must be called before traffic flows;
+  /// not thread-safe against concurrent send/receive.
+  virtual void set_handler(Handler handler) = 0;
+};
+
+}  // namespace toka::runtime

@@ -1,0 +1,25 @@
+// Availability input format for the simulator's churn scenario.
+//
+// Produced by toka::trace (real or synthetic smartphone traces) and consumed
+// by toka::sim::Simulator; defined here so that sim does not depend on trace.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace toka::sim {
+
+/// One node's availability over the simulated interval.
+struct NodeAvailability {
+  /// State at t = 0.
+  bool initially_online = true;
+  /// Strictly increasing times at which the online state flips.
+  std::vector<TimeUs> toggle_times;
+};
+
+/// Per-node availability; empty means "everyone online throughout"
+/// (the failure-free scenario).
+using ChurnSchedule = std::vector<NodeAvailability>;
+
+}  // namespace toka::sim

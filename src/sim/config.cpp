@@ -1,0 +1,13 @@
+#include "sim/config.hpp"
+
+#include "util/error.hpp"
+
+namespace toka::sim {
+
+void Timing::check() const {
+  TOKA_CHECK_MSG(delta > 0, "period delta must be positive");
+  TOKA_CHECK_MSG(transfer >= 0, "transfer time must be non-negative");
+  TOKA_CHECK_MSG(horizon >= 0, "horizon must be non-negative");
+}
+
+}  // namespace toka::sim

@@ -1,0 +1,54 @@
+// Simulation configuration: the paper's timing model (§4.1) and the
+// experiment knobs shared by all applications.
+#pragma once
+
+#include <cstdint>
+
+#include "core/account.hpp"
+#include "core/strategy.hpp"
+#include "util/types.hpp"
+
+namespace toka::sim {
+
+/// Timing model of the evaluation (§4.1): a virtual two-day period split
+/// into 1000 proactive rounds of Δ = 172.80 s; one message transfer takes
+/// Δ/100 = 1.728 s (low bandwidth utilization by design).
+struct Timing {
+  TimeUs delta = 172'800'000;      ///< proactive period Δ
+  TimeUs transfer = 1'728'000;     ///< per-message transfer time
+  TimeUs horizon = 172'800'000'000;  ///< total simulated time (1000 Δ)
+
+  /// Number of whole periods within the horizon.
+  std::int64_t periods() const { return horizon / delta; }
+
+  /// Validates delta > 0, transfer >= 0, horizon >= 0.
+  void check() const;
+};
+
+/// Everything a Simulator needs besides the graph, logic and churn.
+struct SimConfig {
+  Timing timing;
+  core::StrategyConfig strategy;
+  /// Starting balance of every account (the paper uses 0 and notes the
+  /// resulting handicap for large C).
+  Tokens initial_tokens = 0;
+  /// Allows negative balances; only meaningful with the pure-reactive
+  /// reference strategy.
+  bool allow_overdraft = false;
+  /// Ablation: treat every received message as useful, discarding the
+  /// application's usefulness signal.
+  bool force_useful = false;
+  /// Fault injection: probability that a data/control message is lost in
+  /// transit (independently per message). The paper's model assumes
+  /// reliable transfer (§2.1); this knob exercises the starvation argument
+  /// — purely reactive schemes die out under loss, the proactive component
+  /// keeps the system alive.
+  double drop_probability = 0.0;
+  /// Ablation: replace the randomized rounding of Algorithm 4 by floor.
+  core::RoundingMode rounding = core::RoundingMode::kRandomized;
+  /// Master seed; all node phases, account decisions and peer choices
+  /// derive from it deterministically.
+  std::uint64_t seed = 1;
+};
+
+}  // namespace toka::sim

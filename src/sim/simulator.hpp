@@ -1,0 +1,399 @@
+// Discrete-event simulator for token account protocols.
+//
+// This is toka's substitute for the PeerSim environment used in the paper:
+// an event-driven engine with per-node unsynchronized periodic timers, a
+// fixed message transfer delay, node churn, and external (injected) events.
+// It drives Algorithm 4 — the token account loop — against an
+// application-provided NodeLogic that supplies CREATEMESSAGE / UPDATESTATE
+// (§3.2) plus hooks for churn-specific behaviour (§4.1.2's rejoin pull).
+//
+// The engine is deterministic: given the same graph, logic, config and
+// churn schedule it produces identical event sequences and counters.
+//
+// Template parameter `Body` is the application message payload; the three
+// paper applications use small PODs, keeping the event heap allocation-free.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/account.hpp"
+#include "core/strategy.hpp"
+#include "net/graph.hpp"
+#include "sim/churn.hpp"
+#include "sim/config.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace toka::sim {
+
+template <typename Body>
+class Simulator;
+
+/// A delivered application message.
+template <typename Body>
+struct Arrival {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  TimeUs sent_at = 0;
+  Body body{};
+};
+
+/// Application behaviour, shared across all nodes (per-node state lives in
+/// the implementation, indexed by NodeId). Mirrors the framework API of
+/// paper §3.2.
+template <typename Body>
+class NodeLogic {
+ public:
+  virtual ~NodeLogic() = default;
+
+  /// CREATEMESSAGE(): builds the payload node `self` sends right now.
+  virtual Body create_message(NodeId self, Simulator<Body>& sim) = 0;
+
+  /// UPDATESTATE(m): applies the message to `self`'s state and returns its
+  /// usefulness (drives the reactive function).
+  virtual bool update_state(NodeId self, const Arrival<Body>& msg,
+                            Simulator<Body>& sim) = 0;
+
+  /// Intercepts control messages (e.g. pull requests) before the token
+  /// account flow. Return true to consume the message.
+  virtual bool handle_special(NodeId /*self*/, const Arrival<Body>& /*msg*/,
+                              Simulator<Body>& /*sim*/) {
+    return false;
+  }
+
+  /// Called when a node transitions offline -> online (churn scenario).
+  /// Not called for the initial state at t = 0.
+  virtual void on_online(NodeId /*self*/, Simulator<Body>& /*sim*/) {}
+
+  /// Called when a node transitions online -> offline.
+  virtual void on_offline(NodeId /*self*/, Simulator<Body>& /*sim*/) {}
+};
+
+/// Global engine counters.
+struct SimCounters {
+  std::uint64_t data_messages_sent = 0;  ///< token-governed messages
+  std::uint64_t control_messages_sent = 0;  ///< free messages (pull requests)
+  std::uint64_t messages_dropped = 0;    ///< arrivals at offline nodes
+  std::uint64_t proactive_skipped = 0;   ///< proactive send with no online peer
+  std::uint64_t reactive_refunded = 0;   ///< reactive tokens refunded (no peer)
+  std::uint64_t events_processed = 0;
+};
+
+template <typename Body>
+class Simulator {
+ public:
+  /// The graph and logic must outlive the simulator. An empty churn
+  /// schedule means every node is online for the whole run; otherwise the
+  /// schedule must have exactly one entry per node.
+  Simulator(const net::Digraph& graph, NodeLogic<Body>& logic,
+            const SimConfig& config, ChurnSchedule churn = {})
+      : graph_(&graph),
+        logic_(&logic),
+        config_(config),
+        strategy_(core::make_strategy(config.strategy)),
+        rng_(config.seed),
+        acct_rng_(rng_.fork(0xACC7)),
+        app_rng_(rng_.fork(0xA44)) {
+    config_.timing.check();
+    TOKA_CHECK_MSG(
+        config_.drop_probability >= 0.0 && config_.drop_probability <= 1.0,
+        "drop probability must be in [0,1]");
+    // The pure-reactive reference only makes sense with the relaxed
+    // non-negativity constraint (§3.1), so overdraft is implied.
+    if (config_.strategy.kind == core::StrategyKind::kPureReactive)
+      config_.allow_overdraft = true;
+    // The classic token bucket bounds its balance via the bucket size, not
+    // via proactive(C) = 1.
+    const Tokens bucket_cap =
+        config_.strategy.kind == core::StrategyKind::kTokenBucket
+            ? config_.strategy.c_param
+            : 0;
+    const std::size_t n = graph.node_count();
+    TOKA_CHECK_MSG(churn.empty() || churn.size() == n,
+                   "churn schedule size " << churn.size()
+                                          << " != node count " << n);
+    accounts_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      accounts_.emplace_back(*strategy_, config_.initial_tokens,
+                             config_.allow_overdraft, config_.rounding,
+                             bucket_cap);
+    online_.assign(n, 1);
+    tick_gen_.assign(n, 0);
+    phase_.resize(n);
+    sends_per_node_.assign(n, 0);
+    util::Rng phase_rng = rng_.fork(0x5A5E);
+    for (std::size_t i = 0; i < n; ++i) {
+      // First tick uniformly in (0, delta]: unsynchronized rounds (§2.1).
+      phase_[i] = static_cast<TimeUs>(
+                      phase_rng.below(static_cast<std::uint64_t>(
+                          config_.timing.delta))) +
+                  1;
+    }
+    if (!churn.empty()) {
+      for (NodeId v = 0; v < n; ++v) {
+        online_[v] = churn[v].initially_online ? 1 : 0;
+        TimeUs prev = -1;
+        for (TimeUs t : churn[v].toggle_times) {
+          TOKA_CHECK_MSG(t > prev, "toggle times must be strictly increasing");
+          prev = t;
+          push_event(Event{t, next_seq_++, EventKind::kToggle, v, 0, kNoNode,
+                           0, Body{}});
+        }
+      }
+    }
+    online_count_ = 0;
+    for (std::size_t i = 0; i < n; ++i) online_count_ += online_[i];
+    for (NodeId v = 0; v < n; ++v)
+      if (online_[v]) schedule_tick(v, phase_[v]);
+  }
+
+  // -- Introspection --------------------------------------------------------
+
+  TimeUs now() const { return now_; }
+  const SimConfig& config() const { return config_; }
+  std::size_t node_count() const { return graph_->node_count(); }
+  bool online(NodeId v) const { return online_[v] != 0; }
+  std::size_t online_count() const { return online_count_; }
+  Tokens balance(NodeId v) const { return accounts_[v].balance(); }
+  const core::TokenAccount& account(NodeId v) const { return accounts_[v]; }
+  const SimCounters& counters() const { return counters_; }
+  std::uint32_t sends_of(NodeId v) const { return sends_per_node_[v]; }
+  /// RNG stream reserved for application logic (injections etc.).
+  util::Rng& app_rng() { return app_rng_; }
+
+  // -- Actions available to NodeLogic --------------------------------------
+
+  /// SELECTPEER(): uniform online out-neighbor of `from`, or kNoNode.
+  NodeId select_peer(NodeId from) {
+    NodeId chosen = kNoNode;
+    std::uint64_t eligible = 0;
+    for (NodeId w : graph_->out(from)) {
+      if (!online_[w]) continue;
+      ++eligible;
+      if (acct_rng_.below(eligible) == 0) chosen = w;
+    }
+    return chosen;
+  }
+
+  /// Sends a token-governed application message (payload built via
+  /// CREATEMESSAGE). Used by the engine itself and by logic that spends
+  /// tokens manually (pull replies). Counts toward the data-message budget.
+  void send_app_message(NodeId from, NodeId to) {
+    Body body = logic_->create_message(from, *this);
+    push_event(Event{now_ + config_.timing.transfer, next_seq_++,
+                     EventKind::kArrival, to, 0, from, now_,
+                     std::move(body)});
+    ++counters_.data_messages_sent;
+    ++sends_per_node_[from];
+    if (send_observer_) send_observer_(from, now_);
+  }
+
+  /// Sends a free control message with an explicit payload (e.g. a pull
+  /// request). Not counted in the data-message budget, not rate-limited.
+  void send_control_message(NodeId from, NodeId to, Body body) {
+    push_event(Event{now_ + config_.timing.transfer, next_seq_++,
+                     EventKind::kArrival, to, 0, from, now_,
+                     std::move(body)});
+    ++counters_.control_messages_sent;
+  }
+
+  /// Spends up to n tokens of `v` outside the tick/reactive flow.
+  Tokens try_spend(NodeId v, Tokens n) { return accounts_[v].try_spend(n); }
+
+  // -- External events ------------------------------------------------------
+
+  /// Runs `fn` at simulated time `at` (>= now).
+  void schedule(TimeUs at, std::function<void()> fn) {
+    TOKA_CHECK_MSG(at >= now_, "cannot schedule in the past");
+    const auto idx = static_cast<std::uint32_t>(tasks_.size());
+    tasks_.push_back(Task{std::move(fn), 0});
+    push_event(
+        Event{at, next_seq_++, EventKind::kExternal, 0, idx, kNoNode, 0,
+              Body{}});
+  }
+
+  /// Runs `fn` at `first`, then every `interval` (until the horizon).
+  void schedule_repeating(TimeUs first, TimeUs interval,
+                          std::function<void()> fn) {
+    TOKA_CHECK_MSG(interval > 0, "repeat interval must be positive");
+    TOKA_CHECK_MSG(first >= now_, "cannot schedule in the past");
+    const auto idx = static_cast<std::uint32_t>(tasks_.size());
+    tasks_.push_back(Task{std::move(fn), interval});
+    push_event(
+        Event{first, next_seq_++, EventKind::kExternal, 0, idx, kNoNode, 0,
+              Body{}});
+  }
+
+  /// Observer invoked for every data-message send: (sender, time).
+  void set_send_observer(std::function<void(NodeId, TimeUs)> fn) {
+    send_observer_ = std::move(fn);
+  }
+
+  // -- Execution ------------------------------------------------------------
+
+  /// Processes events up to and including time `until`.
+  void run_until(TimeUs until) {
+    while (!events_.empty() && events_.top().at <= until) {
+      Event e = events_.top();
+      events_.pop();
+      now_ = e.at;
+      ++counters_.events_processed;
+      dispatch(e);
+    }
+    now_ = std::max(now_, until);
+  }
+
+  /// Runs to the configured horizon.
+  void run() { run_until(config_.timing.horizon); }
+
+ private:
+  enum class EventKind : std::uint8_t { kTick, kArrival, kToggle, kExternal };
+
+  struct Event {
+    TimeUs at;
+    std::uint64_t seq;  // tie-breaker: FIFO among simultaneous events
+    EventKind kind;
+    NodeId node;        // tick/toggle subject or arrival destination
+    std::uint32_t aux;  // tick generation or task index
+    NodeId from;        // arrival source
+    TimeUs sent_at;     // arrival send time
+    Body body;
+
+    // min-heap order: earliest time first, then insertion order.
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Task {
+    std::function<void()> fn;
+    TimeUs interval;  // 0 = one-shot
+  };
+
+  void push_event(Event e) { events_.push(std::move(e)); }
+
+  void schedule_tick(NodeId v, TimeUs at) {
+    push_event(Event{at, next_seq_++, EventKind::kTick, v, tick_gen_[v],
+                     kNoNode, 0, Body{}});
+  }
+
+  /// First grid point phase_[v] + k*delta strictly after `t`.
+  TimeUs next_tick_after(NodeId v, TimeUs t) const {
+    const TimeUs delta = config_.timing.delta;
+    if (t < phase_[v]) return phase_[v];
+    const TimeUs k = (t - phase_[v]) / delta + 1;
+    return phase_[v] + k * delta;
+  }
+
+  void dispatch(Event& e) {
+    switch (e.kind) {
+      case EventKind::kTick: handle_tick(e); break;
+      case EventKind::kArrival: handle_arrival(e); break;
+      case EventKind::kToggle: handle_toggle(e); break;
+      case EventKind::kExternal: handle_external(e); break;
+    }
+  }
+
+  void handle_tick(const Event& e) {
+    const NodeId v = e.node;
+    if (!online_[v] || e.aux != tick_gen_[v]) return;  // stale timer
+    schedule_tick(v, e.at + config_.timing.delta);
+    if (accounts_[v].on_tick(acct_rng_)) {
+      const NodeId peer = select_peer(v);
+      if (peer != kNoNode) {
+        send_app_message(v, peer);
+      } else {
+        // No online peer: the period's token is lost. Banking it instead
+        // could push the balance above the capacity C and void the §3.4
+        // burst bound, so we deliberately drop it (see DESIGN.md).
+        ++counters_.proactive_skipped;
+      }
+    }
+  }
+
+  void handle_arrival(Event& e) {
+    const NodeId to = e.node;
+    if (!online_[to]) {
+      ++counters_.messages_dropped;
+      return;
+    }
+    if (config_.drop_probability > 0.0 &&
+        acct_rng_.bernoulli(config_.drop_probability)) {
+      ++counters_.messages_dropped;
+      return;
+    }
+    const Arrival<Body> msg{e.from, to, e.sent_at, std::move(e.body)};
+    if (logic_->handle_special(to, msg, *this)) return;
+    const bool useful =
+        logic_->update_state(to, msg, *this) || config_.force_useful;
+    const Tokens x = accounts_[to].on_message(useful, acct_rng_);
+    Tokens failed = 0;
+    for (Tokens i = 0; i < x; ++i) {
+      const NodeId peer = select_peer(to);
+      if (peer == kNoNode) {
+        ++failed;
+        continue;
+      }
+      send_app_message(to, peer);
+    }
+    if (failed > 0) {
+      accounts_[to].refund_reactive(failed);
+      counters_.reactive_refunded += static_cast<std::uint64_t>(failed);
+    }
+  }
+
+  void handle_toggle(const Event& e) {
+    const NodeId v = e.node;
+    ++tick_gen_[v];  // invalidate any pending timer either way
+    if (online_[v]) {
+      online_[v] = 0;
+      --online_count_;
+      logic_->on_offline(v, *this);
+    } else {
+      online_[v] = 1;
+      ++online_count_;
+      schedule_tick(v, next_tick_after(v, e.at));
+      logic_->on_online(v, *this);
+    }
+  }
+
+  void handle_external(const Event& e) {
+    Task& task = tasks_[e.aux];
+    if (task.interval > 0)
+      push_event(Event{e.at + task.interval, next_seq_++,
+                       EventKind::kExternal, 0, e.aux, kNoNode, 0, Body{}});
+    task.fn();
+  }
+
+  const net::Digraph* graph_;
+  NodeLogic<Body>* logic_;
+  SimConfig config_;
+  std::unique_ptr<core::Strategy> strategy_;
+  util::Rng rng_;       // master stream (forked below)
+  util::Rng acct_rng_;  // account decisions + peer selection
+  util::Rng app_rng_;   // application logic
+
+  std::vector<core::TokenAccount> accounts_;
+  std::vector<std::uint8_t> online_;
+  std::size_t online_count_ = 0;
+  std::vector<std::uint32_t> tick_gen_;
+  std::vector<TimeUs> phase_;
+  std::vector<std::uint32_t> sends_per_node_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t next_seq_ = 0;
+  TimeUs now_ = 0;
+  std::vector<Task> tasks_;
+  SimCounters counters_;
+  std::function<void(NodeId, TimeUs)> send_observer_;
+};
+
+}  // namespace toka::sim

@@ -1,0 +1,59 @@
+#include "trace/availability.hpp"
+
+#include <algorithm>
+
+namespace toka::trace {
+
+Segment::Segment(std::vector<Interval> intervals) {
+  std::erase_if(intervals, [](const Interval& iv) { return iv.length() <= 0; });
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+  for (const Interval& iv : intervals) {
+    if (!intervals_.empty() && iv.start <= intervals_.back().end) {
+      intervals_.back().end = std::max(intervals_.back().end, iv.end);
+    } else {
+      intervals_.push_back(iv);
+    }
+  }
+}
+
+bool Segment::online_at(TimeUs t) const {
+  // Binary search for the last interval starting at or before t.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](TimeUs value, const Interval& iv) { return value < iv.start; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return t < it->end;
+}
+
+TimeUs Segment::online_time() const {
+  TimeUs total = 0;
+  for (const Interval& iv : intervals_) total += iv.length();
+  return total;
+}
+
+TimeUs Segment::first_online() const {
+  return intervals_.empty() ? -1 : intervals_.front().start;
+}
+
+Segment Segment::with_warmup(TimeUs warmup) const {
+  std::vector<Interval> out;
+  out.reserve(intervals_.size());
+  for (const Interval& iv : intervals_)
+    out.push_back(Interval{iv.start + warmup, iv.end});
+  return Segment(std::move(out));
+}
+
+Segment Segment::clipped(TimeUs horizon) const {
+  std::vector<Interval> out;
+  out.reserve(intervals_.size());
+  for (const Interval& iv : intervals_)
+    out.push_back(Interval{std::max<TimeUs>(iv.start, 0),
+                           std::min(iv.end, horizon)});
+  return Segment(std::move(out));
+}
+
+}  // namespace toka::trace

@@ -1,0 +1,62 @@
+// Availability segments: per-user online intervals over a fixed horizon.
+//
+// The paper simulates a virtual two-day period by assigning one 2-day
+// availability segment (derived from the STUNner smartphone trace) to every
+// node. This module is the segment algebra; see synthetic.hpp for the trace
+// generator that stands in for the proprietary STUNner data.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace toka::trace {
+
+/// Half-open online interval [start, end), microseconds from segment start.
+struct Interval {
+  TimeUs start = 0;
+  TimeUs end = 0;
+
+  TimeUs length() const { return end - start; }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// One user's availability over the simulated horizon: a normalized
+/// (sorted, disjoint, non-empty) list of online intervals.
+class Segment {
+ public:
+  Segment() = default;
+
+  /// Builds from arbitrary intervals: sorts, drops empty, merges overlaps
+  /// and abutting intervals.
+  explicit Segment(std::vector<Interval> intervals);
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  bool empty() const { return intervals_.empty(); }
+
+  /// True if the user is online at time t.
+  bool online_at(TimeUs t) const;
+
+  /// Total online time.
+  TimeUs online_time() const;
+
+  /// Time of first coming online, or -1 if never online.
+  TimeUs first_online() const;
+
+  /// Number of online sessions.
+  std::size_t session_count() const { return intervals_.size(); }
+
+  /// Applies the paper's "at least one minute on a charger" rule: each
+  /// interval starts `warmup` later; intervals that become empty are
+  /// dropped. Returns the filtered segment.
+  Segment with_warmup(TimeUs warmup) const;
+
+  /// Clamps all intervals to [0, horizon).
+  Segment clipped(TimeUs horizon) const;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace toka::trace

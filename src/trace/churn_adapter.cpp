@@ -1,0 +1,34 @@
+#include "trace/churn_adapter.hpp"
+
+#include "util/error.hpp"
+
+namespace toka::trace {
+
+sim::NodeAvailability to_node_availability(const Segment& segment,
+                                           TimeUs horizon) {
+  sim::NodeAvailability out;
+  out.initially_online = segment.online_at(0);
+  for (const Interval& iv : segment.intervals()) {
+    if (iv.start > 0 && iv.start < horizon)
+      out.toggle_times.push_back(iv.start);
+    if (iv.end > 0 && iv.end < horizon) out.toggle_times.push_back(iv.end);
+  }
+  // Intervals are sorted and disjoint, so the toggles are already strictly
+  // increasing; an interval starting exactly at 0 contributes only its end.
+  return out;
+}
+
+sim::ChurnSchedule make_churn_schedule(const std::vector<Segment>& segments,
+                                       std::size_t node_count, TimeUs horizon,
+                                       util::Rng& rng) {
+  TOKA_CHECK_MSG(!segments.empty(), "cannot assign from an empty trace");
+  sim::ChurnSchedule schedule;
+  schedule.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const Segment& seg = segments[rng.index(segments.size())];
+    schedule.push_back(to_node_availability(seg, horizon));
+  }
+  return schedule;
+}
+
+}  // namespace toka::trace

@@ -1,0 +1,24 @@
+// Converts availability segments into the simulator's churn schedule.
+#pragma once
+
+#include <vector>
+
+#include "sim/churn.hpp"
+#include "trace/availability.hpp"
+#include "util/rng.hpp"
+
+namespace toka::trace {
+
+/// Assigns one segment to each of `node_count` nodes (drawn uniformly with
+/// replacement from `segments`, like the paper assigns trace segments to
+/// simulated nodes) and converts to per-node toggle schedules over
+/// [0, horizon).
+sim::ChurnSchedule make_churn_schedule(const std::vector<Segment>& segments,
+                                       std::size_t node_count, TimeUs horizon,
+                                       util::Rng& rng);
+
+/// Converts a single segment into one node's availability over [0, horizon).
+sim::NodeAvailability to_node_availability(const Segment& segment,
+                                           TimeUs horizon);
+
+}  // namespace toka::trace

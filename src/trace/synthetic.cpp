@@ -1,0 +1,133 @@
+#include "trace/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace toka::trace {
+
+namespace {
+
+using util::Rng;
+
+constexpr TimeUs hours(double h) {
+  return static_cast<TimeUs>(h * static_cast<double>(duration::kHour));
+}
+
+/// Overnight charging session for day `day` (0-based): starts around
+/// night_start_hour +- ~1.5h, lasts ~9h +- ~1.5h.
+Interval night_session(const SyntheticTraceConfig& cfg, int day, Rng& rng) {
+  const double start_h = 24.0 * day + cfg.night_start_hour +
+                         rng.normal(0.0, 1.5);
+  const double len_h = std::max(4.0, rng.normal(9.0, 1.5));
+  return Interval{hours(start_h), hours(start_h + len_h)};
+}
+
+/// Short daytime charge session on day `day`, between ~08:00 and ~20:00.
+Interval day_session(int day, Rng& rng, double min_len_h, double max_len_h) {
+  const double start_h = 24.0 * day + rng.uniform(8.0, 20.0);
+  const double len_h = rng.uniform(min_len_h, max_len_h);
+  return Interval{hours(start_h), hours(start_h + len_h)};
+}
+
+Segment never_online_segment() { return Segment{}; }
+
+Segment night_charger_segment(const SyntheticTraceConfig& cfg, Rng& rng) {
+  std::vector<Interval> ivs;
+  const int days = static_cast<int>(
+      (cfg.horizon + duration::kDay - 1) / duration::kDay);
+  // A night session may start the evening before the segment begins;
+  // include day -1 so t = 0 can already be inside one.
+  for (int day = -1; day < days; ++day) {
+    if (rng.uniform01() < 0.9) ivs.push_back(night_session(cfg, day, rng));
+    // Occasional daytime top-up charge.
+    if (day >= 0 && rng.uniform01() < 0.5)
+      ivs.push_back(day_session(day, rng, 0.5, 1.5));
+  }
+  return Segment(std::move(ivs));
+}
+
+Segment day_sporadic_segment(const SyntheticTraceConfig& cfg, Rng& rng) {
+  std::vector<Interval> ivs;
+  const int days = static_cast<int>(
+      (cfg.horizon + duration::kDay - 1) / duration::kDay);
+  for (int day = 0; day < days; ++day) {
+    const int sessions = static_cast<int>(rng.range(2, 6));
+    for (int s = 0; s < sessions; ++s)
+      ivs.push_back(day_session(day, rng, 0.4, 2.0));
+  }
+  return Segment(std::move(ivs));
+}
+
+Segment always_on_segment(const SyntheticTraceConfig& cfg, Rng& rng) {
+  std::vector<Interval> ivs{Interval{0, cfg.horizon}};
+  Segment base(std::move(ivs));
+  // Carve out a couple of brief outages (reboot, brief unplug).
+  const int outages = static_cast<int>(rng.range(0, 3));
+  std::vector<Interval> holes;
+  for (int i = 0; i < outages; ++i) {
+    const TimeUs start = static_cast<TimeUs>(
+        rng.below(static_cast<std::uint64_t>(cfg.horizon)));
+    const TimeUs len = duration::kMinute * rng.range(5, 30);
+    holes.push_back(Interval{start, start + len});
+  }
+  if (holes.empty()) return base;
+  Segment hole_seg(std::move(holes));
+  // Subtract holes from [0, horizon).
+  std::vector<Interval> out;
+  TimeUs cursor = 0;
+  for (const Interval& h : hole_seg.intervals()) {
+    if (h.start > cursor) out.push_back(Interval{cursor, h.start});
+    cursor = std::max(cursor, h.end);
+  }
+  if (cursor < cfg.horizon) out.push_back(Interval{cursor, cfg.horizon});
+  return Segment(std::move(out));
+}
+
+}  // namespace
+
+Segment generate_archetype_segment(const SyntheticTraceConfig& config,
+                                   int archetype, util::Rng& rng) {
+  Segment raw = [&]() -> Segment {
+    switch (archetype) {
+      case 0: return never_online_segment();
+      case 1: return night_charger_segment(config, rng);
+      case 2: return day_sporadic_segment(config, rng);
+      case 3: return always_on_segment(config, rng);
+      default:
+        throw util::InvariantError("unknown archetype " +
+                                   std::to_string(archetype));
+    }
+  }();
+  return raw.with_warmup(config.warmup).clipped(config.horizon);
+}
+
+std::vector<Segment> generate_segments(const SyntheticTraceConfig& config,
+                                       std::size_t count, util::Rng& rng) {
+  const ArchetypeMix& m = config.mix;
+  const double sum =
+      m.never_online + m.night_charger + m.day_sporadic + m.always_on;
+  TOKA_CHECK_MSG(std::abs(sum - 1.0) < 1e-9,
+                 "archetype mix must sum to 1, got " << sum);
+  std::vector<Segment> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    util::Rng user_rng = rng.fork(i + 1);
+    const double roll = user_rng.uniform01();
+    int archetype = 0;
+    if (roll < m.never_online) {
+      archetype = 0;
+    } else if (roll < m.never_online + m.night_charger) {
+      archetype = 1;
+    } else if (roll < m.never_online + m.night_charger + m.day_sporadic) {
+      archetype = 2;
+    } else {
+      archetype = 3;
+    }
+    out.push_back(generate_archetype_segment(config, archetype, user_rng));
+  }
+  return out;
+}
+
+}  // namespace toka::trace

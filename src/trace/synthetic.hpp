@@ -1,0 +1,57 @@
+// Synthetic smartphone availability trace — the STUNner substitute.
+//
+// The paper's churn scenario replays 40,658 two-day segments collected by
+// the STUNner measurement app (Berta et al., P2P 2014); that data set is
+// not publicly distributed. This generator produces statistically similar
+// two-day segments from a mixture of user archetypes, calibrated against
+// the published aggregate behaviour (paper Fig. 1):
+//
+//   * ~30% of users are permanently offline over the two days
+//     ("online" = on charger + network + >= 1 Mbit/s, so many phones never
+//     qualify);
+//   * availability follows a diurnal pattern peaking during the night
+//     (phones on chargers), online fraction roughly 0.3–0.55;
+//   * the has-been-online curve rises quickly and plateaus near 0.70;
+//   * login/logout churn is higher during the day than at night.
+//
+// The simulation consumes traces only through per-node online/offline
+// toggles, so matching these aggregates exercises exactly the code paths
+// the paper's trace does: token accrual gated by availability, message
+// loss to offline nodes, and rejoin pulls.
+#pragma once
+
+#include <vector>
+
+#include "trace/availability.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace toka::trace {
+
+/// User behaviour classes in the mixture. Fractions sum to 1.
+struct ArchetypeMix {
+  double never_online = 0.30;  ///< phone never qualifies as online
+  double night_charger = 0.33; ///< charges overnight, rare day sessions
+  double day_sporadic = 0.15;  ///< several short charge sessions in daytime
+  double always_on = 0.22;     ///< effectively always available (desk phone)
+};
+
+struct SyntheticTraceConfig {
+  TimeUs horizon = 2 * duration::kDay;  ///< segment length (paper: 2 days)
+  ArchetypeMix mix;
+  /// "Online only after one minute on a charger" (paper §4.1).
+  TimeUs warmup = duration::kMinute;
+  /// Hour (GMT) at which night-charging typically begins.
+  double night_start_hour = 21.0;
+};
+
+/// Generates `count` independent two-day segments. Deterministic in `rng`.
+std::vector<Segment> generate_segments(const SyntheticTraceConfig& config,
+                                       std::size_t count, util::Rng& rng);
+
+/// Generates one segment of the given archetype (0 = never, 1 = night
+/// charger, 2 = day sporadic, 3 = always on). Exposed for tests.
+Segment generate_archetype_segment(const SyntheticTraceConfig& config,
+                                   int archetype, util::Rng& rng);
+
+}  // namespace toka::trace

@@ -1,0 +1,70 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace toka::trace {
+
+void write_segments(std::ostream& out, const std::vector<Segment>& segments) {
+  out << "# toka availability trace, " << segments.size() << " segments\n";
+  for (const Segment& seg : segments) {
+    out << "segment\n";
+    for (const Interval& iv : seg.intervals())
+      out << "iv " << iv.start << ' ' << iv.end << '\n';
+  }
+  if (!out) throw util::IoError("failed writing trace stream");
+}
+
+std::vector<Segment> read_segments(std::istream& in) {
+  std::vector<Segment> out;
+  std::vector<Interval> current;
+  bool in_segment = false;
+  std::string line;
+  std::size_t line_no = 0;
+  auto flush = [&] {
+    if (in_segment) out.emplace_back(std::move(current));
+    current.clear();
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "segment") {
+      flush();
+      in_segment = true;
+    } else if (tag == "iv") {
+      if (!in_segment)
+        throw util::IoError("trace line " + std::to_string(line_no) +
+                            ": interval before first segment");
+      TimeUs start = 0, end = 0;
+      if (!(ls >> start >> end) || start < 0 || end < start)
+        throw util::IoError("trace line " + std::to_string(line_no) +
+                            ": malformed interval");
+      current.push_back(Interval{start, end});
+    } else {
+      throw util::IoError("trace line " + std::to_string(line_no) +
+                          ": unknown tag '" + tag + "'");
+    }
+  }
+  flush();
+  return out;
+}
+
+void save_segments(const std::string& path,
+                   const std::vector<Segment>& segments) {
+  std::ofstream f(path);
+  if (!f) throw util::IoError("cannot open for writing: " + path);
+  write_segments(f, segments);
+}
+
+std::vector<Segment> load_segments(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw util::IoError("cannot open for reading: " + path);
+  return read_segments(f);
+}
+
+}  // namespace toka::trace

@@ -1,0 +1,33 @@
+// Text serialization of availability traces.
+//
+// Format (line-oriented, '#' comments):
+//   segment
+//   iv <start_us> <end_us>
+//   iv <start_us> <end_us>
+//   segment
+//   ...
+// An empty segment (never-online user) is a `segment` line with no `iv`
+// lines. This keeps real traces (converted from other sources) and the
+// synthetic generator interchangeable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/availability.hpp"
+
+namespace toka::trace {
+
+/// Writes segments to a stream. Throws util::IoError on stream failure.
+void write_segments(std::ostream& out, const std::vector<Segment>& segments);
+
+/// Reads segments from a stream. Throws util::IoError on malformed input.
+std::vector<Segment> read_segments(std::istream& in);
+
+/// File convenience wrappers.
+void save_segments(const std::string& path,
+                   const std::vector<Segment>& segments);
+std::vector<Segment> load_segments(const std::string& path);
+
+}  // namespace toka::trace

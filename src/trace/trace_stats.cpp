@@ -1,0 +1,65 @@
+#include "trace/trace_stats.hpp"
+
+#include "util/error.hpp"
+
+namespace toka::trace {
+
+std::vector<TraceBucket> trace_statistics(const std::vector<Segment>& segments,
+                                          TimeUs horizon, TimeUs bucket) {
+  TOKA_CHECK(bucket > 0);
+  TOKA_CHECK(horizon > 0);
+  const std::size_t buckets =
+      static_cast<std::size_t>((horizon + bucket - 1) / bucket);
+  std::vector<TraceBucket> out(buckets);
+  const double n = static_cast<double>(segments.size());
+  if (segments.empty()) return out;
+
+  for (std::size_t b = 0; b < buckets; ++b)
+    out[b].start = static_cast<TimeUs>(b) * bucket;
+
+  for (const Segment& seg : segments) {
+    const TimeUs first = seg.first_online();
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const TimeUs t = out[b].start;
+      if (seg.online_at(t)) out[b].online_fraction += 1.0;
+      if (first >= 0 && first <= t) out[b].has_been_online_fraction += 1.0;
+    }
+    for (const Interval& iv : seg.intervals()) {
+      const auto login_bucket = static_cast<std::size_t>(iv.start / bucket);
+      if (login_bucket < buckets) out[login_bucket].login_fraction += 1.0;
+      const auto logout_bucket = static_cast<std::size_t>(iv.end / bucket);
+      if (logout_bucket < buckets) out[logout_bucket].logout_fraction += 1.0;
+    }
+  }
+  for (TraceBucket& tb : out) {
+    tb.online_fraction /= n;
+    tb.has_been_online_fraction /= n;
+    tb.login_fraction /= n;
+    tb.logout_fraction /= n;
+  }
+  return out;
+}
+
+double never_online_fraction(const std::vector<Segment>& segments) {
+  if (segments.empty()) return 0.0;
+  std::size_t never = 0;
+  for (const Segment& seg : segments)
+    if (seg.empty()) ++never;
+  return static_cast<double>(never) / static_cast<double>(segments.size());
+}
+
+double mean_online_share(const std::vector<Segment>& segments,
+                         TimeUs horizon) {
+  TOKA_CHECK(horizon > 0);
+  double sum = 0.0;
+  std::size_t ever = 0;
+  for (const Segment& seg : segments) {
+    if (seg.empty()) continue;
+    ++ever;
+    sum += static_cast<double>(seg.online_time()) /
+           static_cast<double>(horizon);
+  }
+  return ever == 0 ? 0.0 : sum / static_cast<double>(ever);
+}
+
+}  // namespace toka::trace

@@ -1,0 +1,33 @@
+// Aggregate trace statistics — the series of paper Figure 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/availability.hpp"
+#include "util/types.hpp"
+
+namespace toka::trace {
+
+/// One time bucket of Figure 1.
+struct TraceBucket {
+  TimeUs start = 0;
+  double online_fraction = 0.0;          ///< users online at bucket start
+  double has_been_online_fraction = 0.0; ///< users online at any point <= start
+  double login_fraction = 0.0;           ///< users logging in within bucket
+  double logout_fraction = 0.0;          ///< users logging out within bucket
+};
+
+/// Computes Figure-1-style statistics over `segments` with the given bucket
+/// width (the paper plots roughly hourly resolution over 48 h).
+std::vector<TraceBucket> trace_statistics(const std::vector<Segment>& segments,
+                                          TimeUs horizon, TimeUs bucket);
+
+/// Fraction of users with no online interval at all.
+double never_online_fraction(const std::vector<Segment>& segments);
+
+/// Mean fraction of time online across users that are ever online.
+double mean_online_share(const std::vector<Segment>& segments,
+                         TimeUs horizon);
+
+}  // namespace toka::trace

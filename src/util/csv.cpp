@@ -1,0 +1,72 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace toka::util {
+
+std::string format_double(double v) {
+  char buf[64];
+  // %.17g always round-trips but is noisy; try shorter forms first.
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::raw_field(const std::string& escaped) {
+  if (row_open_) out_ << ',';
+  out_ << escaped;
+  row_open_ = true;
+}
+
+CsvWriter& CsvWriter::field(const std::string& s) {
+  raw_field(escape(s));
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  raw_field(format_double(v));
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t v) {
+  raw_field(std::to_string(v));
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t v) {
+  raw_field(std::to_string(v));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  row_open_ = false;
+}
+
+void CsvWriter::row(std::initializer_list<std::string> fields) {
+  for (const auto& f : fields) field(f);
+  end_row();
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (const auto& f : fields) field(f);
+  end_row();
+}
+
+}  // namespace toka::util

@@ -1,0 +1,42 @@
+// Minimal CSV emission for bench/experiment output.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace toka::util {
+
+/// Streams rows of comma-separated values. Fields containing commas, quotes
+/// or newlines are quoted per RFC 4180. Numeric overloads format with enough
+/// precision to round-trip.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Emits a header (or any all-string) row.
+  void row(std::initializer_list<std::string> fields);
+  void row(const std::vector<std::string>& fields);
+
+  /// Incremental row construction.
+  CsvWriter& field(const std::string& s);
+  CsvWriter& field(double v);
+  CsvWriter& field(std::int64_t v);
+  CsvWriter& field(std::uint64_t v);
+  /// Terminates the current row.
+  void end_row();
+
+ private:
+  void raw_field(const std::string& escaped);
+  static std::string escape(const std::string& s);
+
+  std::ostream& out_;
+  bool row_open_ = false;
+};
+
+/// Formats a double compactly but losslessly (shortest round-trip-ish).
+std::string format_double(double v);
+
+}  // namespace toka::util

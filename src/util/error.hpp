@@ -1,0 +1,57 @@
+// Error types and invariant-checking macros.
+//
+// Programming errors (broken preconditions/invariants) throw InvariantError;
+// environmental failures (I/O, sockets) throw IoError. Both derive from
+// std::runtime_error / std::logic_error so generic handlers keep working.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace toka::util {
+
+/// Thrown when a precondition, postcondition or internal invariant is
+/// violated. Indicates a bug in the caller or in toka itself.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown on environmental failures: file I/O, socket errors, bad input data.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace toka::util
+
+/// Checks a condition that must hold; throws InvariantError otherwise.
+/// Always enabled (these guard API misuse, not hot inner loops).
+#define TOKA_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::toka::util::detail::throw_invariant(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Like TOKA_CHECK but with a streamed context message:
+///   TOKA_CHECK_MSG(a <= c, "A=" << a << " must not exceed C=" << c);
+#define TOKA_CHECK_MSG(cond, stream_expr)                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream toka_check_os_;                                   \
+      toka_check_os_ << stream_expr;                                       \
+      ::toka::util::detail::throw_invariant(#cond, __FILE__, __LINE__,     \
+                                            toka_check_os_.str());         \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,38 @@
+// Leveled logging to stderr. Thread-safe, no global mutable configuration
+// beyond the level (atomic). Intended for the runtime and benches; the
+// simulator hot path never logs.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace toka::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Returns the process-wide minimum level that is emitted.
+LogLevel log_level();
+/// Sets the process-wide minimum level.
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace toka::util
+
+#define TOKA_LOG(level, stream_expr)                                       \
+  do {                                                                     \
+    if (static_cast<int>(level) >=                                         \
+        static_cast<int>(::toka::util::log_level())) {                     \
+      std::ostringstream toka_log_os_;                                     \
+      toka_log_os_ << stream_expr;                                         \
+      ::toka::util::detail::log_emit(level, toka_log_os_.str());           \
+    }                                                                      \
+  } while (false)
+
+#define TOKA_DEBUG(s) TOKA_LOG(::toka::util::LogLevel::kDebug, s)
+#define TOKA_INFO(s) TOKA_LOG(::toka::util::LogLevel::kInfo, s)
+#define TOKA_WARN(s) TOKA_LOG(::toka::util::LogLevel::kWarn, s)
+#define TOKA_ERROR(s) TOKA_LOG(::toka::util::LogLevel::kError, s)

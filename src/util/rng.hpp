@@ -1,0 +1,90 @@
+// Deterministic pseudo-random number generation.
+//
+// toka never uses global RNG state: every stochastic component receives an
+// explicit Rng (or derives a sub-stream from one), so experiments replay
+// byte-identically from a seed. The generator is xoshiro256** seeded via
+// splitmix64 — fast, high quality, and trivially forkable into independent
+// streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace toka::util {
+
+/// xoshiro256** PRNG with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator, so it also works with <random>
+/// distributions, but the built-in helpers below are preferred: they are
+/// guaranteed stable across platforms and standard-library versions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initialises the state from a 64-bit seed.
+  void reseed(std::uint64_t seed);
+
+  /// Returns the next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  // UniformRandomBitGenerator interface.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Standard normal via Box–Muller (no cached spare: stable stream shape).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  std::size_t index(std::size_t size) {
+    TOKA_CHECK(size > 0);
+    return static_cast<std::size_t>(below(size));
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent sub-stream: hash-mixes (current state, tag).
+  /// Used to give each node / component its own generator so that adding a
+  /// draw in one place does not perturb every other stream.
+  Rng fork(std::uint64_t tag);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// splitmix64 step — also useful on its own for seed derivation.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace toka::util

@@ -1,0 +1,42 @@
+#include "util/serde.hpp"
+
+namespace toka::util {
+
+void BinaryWriter::bytes(std::span<const std::byte> data) {
+  TOKA_CHECK(data.size() <= 0xFFFFFFFFu);
+  u32(static_cast<std::uint32_t>(data.size()));
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void BinaryWriter::str(const std::string& s) {
+  bytes(std::as_bytes(std::span(s.data(), s.size())));
+}
+
+std::uint8_t BinaryReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+double BinaryReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::vector<std::byte> BinaryReader::bytes() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                             data_.begin() +
+                                 static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string BinaryReader::str() {
+  const auto raw = bytes();
+  return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
+}
+
+}  // namespace toka::util

@@ -1,0 +1,70 @@
+// Streaming statistics and histograms used by metrics and tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace toka::util {
+
+/// Welford online accumulator: mean / variance / min / max without storing
+/// the samples.
+class RunningStat {
+ public:
+  void add(double x);
+
+  /// Number of samples seen.
+  std::size_t count() const { return n_; }
+  /// Sample mean; 0 when empty.
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const;
+  /// Standard deviation (sqrt of variance()).
+  double stddev() const;
+  /// Smallest sample; +inf when empty.
+  double min() const { return min_; }
+  /// Largest sample; -inf when empty.
+  double max() const { return max_; }
+  /// Sum of all samples.
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bucket. Used for burst-size and degree distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  /// Count in bucket i.
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::size_t bucket_count() const { return counts_.size(); }
+  /// Inclusive lower edge of bucket i.
+  double bucket_lo(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+  /// Approximate p-quantile (q in [0,1]) from bucket midpoints.
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact quantile of a sample vector (copies and sorts).
+/// q in [0,1]; uses the nearest-rank method.
+double quantile(std::vector<double> samples, double q);
+
+}  // namespace toka::util

@@ -1,0 +1,45 @@
+// Fundamental identifiers and time units shared by every toka module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace toka {
+
+/// Index of a node in a network/simulation. Dense, 0-based.
+using NodeId = std::uint32_t;
+
+/// Sentinel "no node" value, returned e.g. by peer sampling when no
+/// eligible peer exists.
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Simulated (or wall-clock, in the runtime) time in microseconds.
+/// Integer microseconds keep event ordering exact and replays deterministic.
+using TimeUs = std::int64_t;
+
+/// Token balances are signed so the pure-reactive reference strategy can
+/// overdraft (the paper relaxes non-negativity for that special case);
+/// ordinary accounts never go negative.
+using Tokens = std::int64_t;
+
+namespace duration {
+/// One second, in microseconds.
+inline constexpr TimeUs kSecond = 1'000'000;
+/// One minute, in microseconds.
+inline constexpr TimeUs kMinute = 60 * kSecond;
+/// One hour, in microseconds.
+inline constexpr TimeUs kHour = 60 * kMinute;
+/// One day, in microseconds.
+inline constexpr TimeUs kDay = 24 * kHour;
+}  // namespace duration
+
+/// Converts microseconds to floating-point seconds (for reporting only;
+/// all arithmetic stays in integer microseconds).
+constexpr double to_seconds(TimeUs t) { return static_cast<double>(t) / 1e6; }
+
+/// Converts floating-point seconds to microseconds, rounding to nearest.
+constexpr TimeUs from_seconds(double s) {
+  return static_cast<TimeUs>(s * 1e6 + (s >= 0 ? 0.5 : -0.5));
+}
+
+}  // namespace toka

@@ -1,0 +1,223 @@
+#include "core/account.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rand_round.hpp"
+#include "core/strategies.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace toka::core {
+namespace {
+
+using util::Rng;
+
+TEST(RandRound, ExactIntegersUnchanged) {
+  Rng rng(1);
+  for (Tokens v : {0, 1, 5, 100}) {
+    for (int i = 0; i < 50; ++i)
+      EXPECT_EQ(rand_round(static_cast<double>(v), rng), v);
+  }
+}
+
+TEST(RandRound, RejectsNegative) {
+  Rng rng(1);
+  EXPECT_THROW(rand_round(-0.1, rng), util::InvariantError);
+}
+
+TEST(RandRound, FractionHasCorrectExpectation) {
+  Rng rng(2);
+  constexpr int kN = 200000;
+  std::int64_t sum = 0;
+  for (int i = 0; i < kN; ++i) sum += rand_round(2.3, rng);
+  EXPECT_NEAR(static_cast<double>(sum) / kN, 2.3, 0.01);
+}
+
+TEST(RandRound, OutputIsFloorOrCeil) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const Tokens v = rand_round(4.7, rng);
+    EXPECT_TRUE(v == 4 || v == 5) << v;
+  }
+}
+
+TEST(TokenAccount, BanksTokenWhenProactiveDoesNotFire) {
+  SimpleTokenAccount strategy(10);
+  TokenAccount account(strategy);
+  Rng rng(1);
+  // Balance below capacity: proactive = 0, every tick banks.
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_FALSE(account.on_tick(rng));
+    EXPECT_EQ(account.balance(), i);
+  }
+  EXPECT_EQ(account.counters().banked_tokens, 5u);
+  EXPECT_EQ(account.counters().proactive_sends, 0u);
+}
+
+TEST(TokenAccount, ProactiveSendConsumesTickToken) {
+  SimpleTokenAccount strategy(0);  // proactive baseline
+  TokenAccount account(strategy);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(account.on_tick(rng));
+    EXPECT_EQ(account.balance(), 0);  // Algorithm 4: token spent on the send
+  }
+  EXPECT_EQ(account.counters().proactive_sends, 10u);
+}
+
+TEST(TokenAccount, BalanceNeverExceedsCapacity) {
+  SimpleTokenAccount strategy(3);
+  TokenAccount account(strategy);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    account.on_tick(rng);
+    EXPECT_LE(account.balance(), 3);
+  }
+}
+
+TEST(TokenAccount, ReactiveSpendsAndReturnsCount) {
+  GeneralizedTokenAccount strategy(1, 10);  // spend everything when useful
+  TokenAccount account(strategy, /*initial=*/7);
+  Rng rng(1);
+  const Tokens x = account.on_message(true, rng);
+  EXPECT_EQ(x, 7);
+  EXPECT_EQ(account.balance(), 0);
+  EXPECT_EQ(account.counters().reactive_sends, 7u);
+}
+
+TEST(TokenAccount, NoOverspendingEvenWithRounding) {
+  // randomized reactive a/A can round up to ceil(a/A); the account must
+  // still never go negative.
+  RandomizedTokenAccount strategy(1, 5);
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    TokenAccount account(strategy, 5);
+    while (account.balance() > 0) {
+      account.on_message(true, rng);
+      EXPECT_GE(account.balance(), 0);
+    }
+  }
+}
+
+TEST(TokenAccount, UselessMessageSpendsNothingWhenScarce) {
+  GeneralizedTokenAccount strategy(5, 10);
+  TokenAccount account(strategy, 4);
+  Rng rng(1);
+  EXPECT_EQ(account.on_message(false, rng), 0);
+  EXPECT_EQ(account.balance(), 4);
+}
+
+TEST(TokenAccount, InitialBalanceRespected) {
+  SimpleTokenAccount strategy(10);
+  TokenAccount account(strategy, 6);
+  EXPECT_EQ(account.balance(), 6);
+}
+
+TEST(TokenAccount, NegativeInitialRequiresOverdraft) {
+  SimpleTokenAccount strategy(10);
+  EXPECT_THROW(TokenAccount(strategy, -1), util::InvariantError);
+  TokenAccount overdraft(strategy, -1, /*allow_overdraft=*/true);
+  EXPECT_EQ(overdraft.balance(), -1);
+}
+
+TEST(TokenAccount, OverdraftAllowsNegativeBalance) {
+  PureReactiveStrategy strategy(2);
+  TokenAccount account(strategy, 0, /*allow_overdraft=*/true);
+  Rng rng(1);
+  EXPECT_EQ(account.on_message(true, rng), 2);
+  EXPECT_EQ(account.balance(), -2);
+  EXPECT_EQ(account.on_message(false, rng), 2);
+  EXPECT_EQ(account.balance(), -4);
+}
+
+TEST(TokenAccount, TrySpendCapsAtBalance) {
+  SimpleTokenAccount strategy(10);
+  TokenAccount account(strategy, 3);
+  EXPECT_EQ(account.try_spend(5), 3);
+  EXPECT_EQ(account.balance(), 0);
+  EXPECT_EQ(account.try_spend(5), 0);
+  EXPECT_EQ(account.counters().direct_spends, 3u);
+}
+
+TEST(TokenAccount, TrySpendRejectsNegative) {
+  SimpleTokenAccount strategy(10);
+  TokenAccount account(strategy, 3);
+  EXPECT_THROW(account.try_spend(-1), util::InvariantError);
+}
+
+TEST(TokenAccount, RefundRestoresBalanceAndCounters) {
+  GeneralizedTokenAccount strategy(1, 10);
+  TokenAccount account(strategy, 5);
+  Rng rng(1);
+  const Tokens x = account.on_message(true, rng);
+  EXPECT_EQ(x, 5);
+  account.refund_reactive(2);
+  EXPECT_EQ(account.balance(), 2);
+  EXPECT_EQ(account.counters().reactive_sends, 3u);
+}
+
+TEST(TokenAccount, RefundCannotExceedRecordedSends) {
+  SimpleTokenAccount strategy(10);
+  TokenAccount account(strategy, 5);
+  EXPECT_THROW(account.refund_reactive(1), util::InvariantError);
+}
+
+TEST(TokenAccount, CountersTrackEverything) {
+  SimpleTokenAccount strategy(2);
+  TokenAccount account(strategy);
+  Rng rng(5);
+  account.on_tick(rng);  // banks (a=1)
+  account.on_tick(rng);  // banks (a=2)
+  account.on_tick(rng);  // a == C: proactive send
+  account.on_message(true, rng);   // spends 1 (a=1)
+  account.on_message(false, rng);  // simple: spends 1 regardless (a=0)
+  account.on_message(true, rng);   // a == 0: nothing
+  const AccountCounters& c = account.counters();
+  EXPECT_EQ(c.ticks, 3u);
+  EXPECT_EQ(c.banked_tokens, 2u);
+  EXPECT_EQ(c.proactive_sends, 1u);
+  EXPECT_EQ(c.reactive_sends, 2u);
+  EXPECT_EQ(c.messages_received, 3u);
+  EXPECT_EQ(c.total_sends(), 3u);
+}
+
+TEST(TokenAccount, RandomizedProbabilisticTickExpectation) {
+  // With the randomized ramp, at balance in the middle of [A-1, C] the
+  // proactive probability is ~0.5; verify the empirical tick behaviour.
+  RandomizedTokenAccount strategy(3, 10);
+  Rng rng(9);
+  int sends = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    TokenAccount account(strategy, 6);  // proactive(6) = (6-2)/8 = 0.5
+    if (account.on_tick(rng)) ++sends;
+  }
+  EXPECT_NEAR(static_cast<double>(sends) / kTrials, 0.5, 0.02);
+}
+
+// Conservation property: banked tokens equal ticks minus proactive sends,
+// and every reactive send consumes exactly one banked token.
+TEST(TokenAccount, TokenConservationUnderRandomWorkload) {
+  GeneralizedTokenAccount strategy(2, 8);
+  TokenAccount account(strategy);
+  Rng rng(21);
+  Rng workload(22);
+  for (int step = 0; step < 10000; ++step) {
+    if (workload.bernoulli(0.5)) {
+      account.on_tick(rng);
+    } else {
+      account.on_message(workload.bernoulli(0.7), rng);
+    }
+    const AccountCounters& c = account.counters();
+    // banked - spent == balance
+    EXPECT_EQ(static_cast<Tokens>(c.banked_tokens) -
+                  static_cast<Tokens>(c.reactive_sends) -
+                  static_cast<Tokens>(c.direct_spends),
+              account.balance());
+    EXPECT_GE(account.balance(), 0);
+    EXPECT_LE(account.balance(), 8);
+  }
+}
+
+}  // namespace
+}  // namespace toka::core

@@ -1,0 +1,88 @@
+#include "trace/availability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace toka::trace {
+namespace {
+
+using duration::kHour;
+using duration::kMinute;
+
+TEST(Segment, NormalizesSortsAndMerges) {
+  Segment seg({{50, 60}, {10, 20}, {15, 30}, {30, 40}});
+  // {10,20}+{15,30}+{30,40} merge into {10,40} (abutting intervals merge).
+  ASSERT_EQ(seg.intervals().size(), 2u);
+  EXPECT_EQ(seg.intervals()[0], (Interval{10, 40}));
+  EXPECT_EQ(seg.intervals()[1], (Interval{50, 60}));
+}
+
+TEST(Segment, DropsEmptyIntervals) {
+  Segment seg({{10, 10}, {20, 15}, {30, 40}});
+  ASSERT_EQ(seg.intervals().size(), 1u);
+  EXPECT_EQ(seg.intervals()[0], (Interval{30, 40}));
+}
+
+TEST(Segment, OnlineAtBoundaries) {
+  Segment seg({{10, 20}});
+  EXPECT_FALSE(seg.online_at(9));
+  EXPECT_TRUE(seg.online_at(10));   // half-open: start inclusive
+  EXPECT_TRUE(seg.online_at(19));
+  EXPECT_FALSE(seg.online_at(20));  // end exclusive
+}
+
+TEST(Segment, OnlineAtAcrossManyIntervals) {
+  Segment seg({{0, 5}, {10, 15}, {20, 25}});
+  EXPECT_TRUE(seg.online_at(0));
+  EXPECT_FALSE(seg.online_at(7));
+  EXPECT_TRUE(seg.online_at(12));
+  EXPECT_FALSE(seg.online_at(17));
+  EXPECT_TRUE(seg.online_at(24));
+  EXPECT_FALSE(seg.online_at(25));
+}
+
+TEST(Segment, EmptySegmentNeverOnline) {
+  Segment seg;
+  EXPECT_TRUE(seg.empty());
+  EXPECT_FALSE(seg.online_at(0));
+  EXPECT_EQ(seg.online_time(), 0);
+  EXPECT_EQ(seg.first_online(), -1);
+}
+
+TEST(Segment, OnlineTimeSumsIntervals) {
+  Segment seg({{0, 10}, {20, 25}});
+  EXPECT_EQ(seg.online_time(), 15);
+}
+
+TEST(Segment, FirstOnline) {
+  Segment seg({{30, 40}, {10, 20}});
+  EXPECT_EQ(seg.first_online(), 10);
+}
+
+TEST(Segment, WarmupShiftsStartsAndDropsShortSessions) {
+  Segment seg({{0, 2 * kMinute}, {kHour, kHour + 30'000'000}});
+  // 30 s < 1 min session disappears; the 2 min session loses its first min.
+  const Segment filtered = seg.with_warmup(kMinute);
+  ASSERT_EQ(filtered.intervals().size(), 1u);
+  EXPECT_EQ(filtered.intervals()[0], (Interval{kMinute, 2 * kMinute}));
+}
+
+TEST(Segment, ClippedToHorizon) {
+  Segment seg({{-5, 10}, {20, 100}});
+  const Segment clipped = seg.clipped(50);
+  ASSERT_EQ(clipped.intervals().size(), 2u);
+  EXPECT_EQ(clipped.intervals()[0], (Interval{0, 10}));
+  EXPECT_EQ(clipped.intervals()[1], (Interval{20, 50}));
+}
+
+TEST(Segment, ClippedDropsOutOfRange) {
+  Segment seg({{60, 80}});
+  EXPECT_TRUE(seg.clipped(50).empty());
+}
+
+TEST(Segment, SessionCount) {
+  Segment seg({{0, 5}, {10, 15}, {20, 25}});
+  EXPECT_EQ(seg.session_count(), 3u);
+}
+
+}  // namespace
+}  // namespace toka::trace

@@ -1,0 +1,125 @@
+#include "apps/chaotic_iteration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/eigen.hpp"
+#include "net/graph.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace toka::apps {
+namespace {
+
+sim::SimConfig fast_config() {
+  sim::SimConfig cfg;
+  cfg.timing.delta = 1000;
+  cfg.timing.transfer = 10;
+  cfg.timing.horizon = 2000 * 1000;
+  cfg.strategy.kind = core::StrategyKind::kProactive;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(ChaoticIteration, InitialStateConsistentWithUnitBuffers) {
+  // b = 1 everywhere, so x_i = sum of in-weights = column sums of A^T row.
+  net::Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  net::InWeights w(g);
+  ChaoticIterationApp app(w);
+  // Ring with out-degree 1: every weight is 1, x_i = 1.
+  for (NodeId v = 0; v < 3; ++v) EXPECT_DOUBLE_EQ(app.value(v), 1.0);
+}
+
+TEST(ChaoticIteration, UpdateRecomputesWeightedSum) {
+  net::Digraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(0, 1);  // node 0 out-degree 2 -> weight 1/2
+  g.add_edge(1, 2);  // node 1 out-degree 1 -> weight 1
+  g.add_edge(2, 0);  // normalization requires out-edges everywhere
+  net::InWeights w(g);
+  ChaoticIterationApp app(w);
+  auto cfg = fast_config();
+  ChaoticIterationApp::Sim sim(g, app, cfg);
+
+  // x_2 initially = 1/2 * 1 + 1 * 1 = 1.5
+  EXPECT_DOUBLE_EQ(app.value(2), 1.5);
+  sim::Arrival<WeightMsg> msg{0, 2, 0, WeightMsg{3.0}};
+  EXPECT_TRUE(app.update_state(2, msg, sim));
+  EXPECT_DOUBLE_EQ(app.value(2), 0.5 * 3.0 + 1.0 * 1.0);
+}
+
+TEST(ChaoticIteration, UnchangedStateIsUseless) {
+  net::Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  net::InWeights w(g);
+  ChaoticIterationApp app(w);
+  auto cfg = fast_config();
+  ChaoticIterationApp::Sim sim(g, app, cfg);
+  // Sending the same value as buffered (1.0) changes nothing.
+  sim::Arrival<WeightMsg> msg{0, 1, 0, WeightMsg{1.0}};
+  EXPECT_FALSE(app.update_state(1, msg, sim));
+  // A different value is useful.
+  msg.body.x = 2.0;
+  EXPECT_TRUE(app.update_state(1, msg, sim));
+}
+
+TEST(ChaoticIteration, MessageWithoutEdgeThrows) {
+  net::Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  net::InWeights w(g);
+  ChaoticIterationApp app(w);
+  auto cfg = fast_config();
+  ChaoticIterationApp::Sim sim(g, app, cfg);
+  sim::Arrival<WeightMsg> msg{0, 2, 0, WeightMsg{1.0}};  // no edge 0->2
+  EXPECT_THROW(app.update_state(2, msg, sim), util::InvariantError);
+}
+
+TEST(ChaoticIteration, CreateMessageCopiesState) {
+  net::Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  net::InWeights w(g);
+  ChaoticIterationApp app(w);
+  auto cfg = fast_config();
+  ChaoticIterationApp::Sim sim(g, app, cfg);
+  EXPECT_DOUBLE_EQ(app.create_message(0, sim).x, app.value(0));
+}
+
+TEST(ChaoticIteration, ConvergesToDominantEigenvectorOnSmallWorld) {
+  // End-to-end: the decentralized protocol drives the angle to the true
+  // eigenvector toward zero (Lubachevsky–Mitra convergence).
+  util::Rng rng(3);
+  const auto g = net::watts_strogatz(100, 4, 0.05, rng);
+  net::InWeights w(g);
+  const analysis::SparseMatrix m(w);
+  const auto reference = analysis::power_iteration(m);
+  ASSERT_TRUE(reference.converged);
+
+  ChaoticIterationApp app(w);
+  auto cfg = fast_config();
+  ChaoticIterationApp::Sim sim(g, app, cfg);
+  const double initial_angle = app.angle_to(reference.eigenvector);
+  sim.run();
+  const double final_angle = app.angle_to(reference.eigenvector);
+  EXPECT_LT(final_angle, initial_angle / 10);
+  EXPECT_LT(final_angle, 0.05);
+}
+
+TEST(ChaoticIteration, AngleToSelfIsZero) {
+  net::Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  net::InWeights w(g);
+  ChaoticIterationApp app(w);
+  EXPECT_NEAR(app.angle_to(app.state()), 0.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace toka::apps

@@ -1,0 +1,92 @@
+#include "trace/churn_adapter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace toka::trace {
+namespace {
+
+TEST(ChurnAdapter, InitiallyOnlineDetected) {
+  Segment seg({{0, 100}});
+  const auto avail = to_node_availability(seg, 1000);
+  EXPECT_TRUE(avail.initially_online);
+  ASSERT_EQ(avail.toggle_times.size(), 1u);
+  EXPECT_EQ(avail.toggle_times[0], 100);
+}
+
+TEST(ChurnAdapter, InitiallyOfflineDetected) {
+  Segment seg({{50, 100}});
+  const auto avail = to_node_availability(seg, 1000);
+  EXPECT_FALSE(avail.initially_online);
+  ASSERT_EQ(avail.toggle_times.size(), 2u);
+  EXPECT_EQ(avail.toggle_times[0], 50);
+  EXPECT_EQ(avail.toggle_times[1], 100);
+}
+
+TEST(ChurnAdapter, TogglesStrictlyIncreasing) {
+  Segment seg({{10, 20}, {30, 40}, {50, 60}});
+  const auto avail = to_node_availability(seg, 1000);
+  ASSERT_EQ(avail.toggle_times.size(), 6u);
+  for (std::size_t i = 1; i < avail.toggle_times.size(); ++i)
+    EXPECT_LT(avail.toggle_times[i - 1], avail.toggle_times[i]);
+}
+
+TEST(ChurnAdapter, HorizonTruncatesToggles) {
+  Segment seg({{10, 20}, {900, 1500}});
+  const auto avail = to_node_availability(seg, 1000);
+  // End of the second interval (1500) exceeds the horizon: no toggle; the
+  // node stays online past 900 until the end of the simulation.
+  ASSERT_EQ(avail.toggle_times.size(), 3u);
+  EXPECT_EQ(avail.toggle_times[2], 900);
+}
+
+TEST(ChurnAdapter, NeverOnlineSegment) {
+  Segment seg;
+  const auto avail = to_node_availability(seg, 1000);
+  EXPECT_FALSE(avail.initially_online);
+  EXPECT_TRUE(avail.toggle_times.empty());
+}
+
+TEST(ChurnAdapter, ToggleParityMatchesOnlineState) {
+  // After an even number of toggles the node is in its initial state.
+  Segment seg({{100, 200}, {300, 400}});
+  const auto avail = to_node_availability(seg, 1000);
+  bool online = avail.initially_online;
+  std::size_t toggles_before_250 = 0;
+  for (TimeUs t : avail.toggle_times)
+    if (t <= 250) ++toggles_before_250;
+  for (std::size_t i = 0; i < toggles_before_250; ++i) online = !online;
+  EXPECT_EQ(online, seg.online_at(250));
+}
+
+TEST(ChurnAdapter, ScheduleAssignsEveryNode) {
+  util::Rng rng(1);
+  util::Rng gen(2);
+  const auto segments = generate_segments(SyntheticTraceConfig{}, 50, gen);
+  const auto schedule =
+      make_churn_schedule(segments, 200, 2 * duration::kDay, rng);
+  EXPECT_EQ(schedule.size(), 200u);
+}
+
+TEST(ChurnAdapter, EmptyTraceRejected) {
+  util::Rng rng(1);
+  EXPECT_THROW(make_churn_schedule({}, 10, 1000, rng),
+               util::InvariantError);
+}
+
+TEST(ChurnAdapter, ScheduleDeterministicInRng) {
+  util::Rng gen(3);
+  const auto segments = generate_segments(SyntheticTraceConfig{}, 20, gen);
+  util::Rng rng_a(7), rng_b(7);
+  const auto a = make_churn_schedule(segments, 30, 1000000, rng_a);
+  const auto b = make_churn_schedule(segments, 30, 1000000, rng_b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].initially_online, b[i].initially_online);
+    EXPECT_EQ(a[i].toggle_times, b[i].toggle_times);
+  }
+}
+
+}  // namespace
+}  // namespace toka::trace

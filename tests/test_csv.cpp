@@ -1,0 +1,58 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace toka::util {
+namespace {
+
+TEST(Csv, PlainRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(os.str(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(Csv, MixedFieldTypes) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.field(std::string("x"))
+      .field(std::int64_t{-5})
+      .field(std::uint64_t{7})
+      .field(1.5);
+  csv.end_row();
+  EXPECT_EQ(os.str(), "x,-5,7,1.5\n");
+}
+
+TEST(Csv, MultipleRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"h1", "h2"});
+  csv.field(1.0).field(2.0);
+  csv.end_row();
+  EXPECT_EQ(os.str(), "h1,h2\n1,2\n");
+}
+
+TEST(FormatDouble, RoundTrips) {
+  for (double v : {0.0, 1.0, -1.5, 0.1, 1e-9, 123456.789, 1e300}) {
+    const std::string s = format_double(v);
+    EXPECT_DOUBLE_EQ(std::stod(s), v) << s;
+  }
+}
+
+TEST(FormatDouble, CompactWhenPossible) {
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.5), "0.5");
+}
+
+}  // namespace
+}  // namespace toka::util

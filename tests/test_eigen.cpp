@@ -1,0 +1,126 @@
+#include "analysis/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/graph.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace toka::analysis {
+namespace {
+
+TEST(SparseMatrix, MultiplyFromTriplets) {
+  // [[2, 1], [0, 3]]
+  SparseMatrix m(2, {{0, 0, 2.0}, {0, 1, 1.0}, {1, 1, 3.0}});
+  std::vector<double> x{1.0, 2.0}, y;
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(SparseMatrix, RejectsOutOfRange) {
+  EXPECT_THROW(SparseMatrix(2, {{0, 5, 1.0}}), util::InvariantError);
+}
+
+TEST(SparseMatrix, RejectsDimensionMismatch) {
+  SparseMatrix m(2, {{0, 0, 1.0}});
+  std::vector<double> x{1.0, 2.0, 3.0}, y;
+  EXPECT_THROW(m.multiply(x, y), util::InvariantError);
+}
+
+TEST(PowerIteration, DiagonalDominantEigenvector) {
+  // diag(3, 1): dominant eigenvector is e_0 with eigenvalue 3.
+  SparseMatrix m(2, {{0, 0, 3.0}, {1, 1, 1.0}});
+  const auto result = power_iteration(m);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.eigenvalue, 3.0, 1e-9);
+  EXPECT_NEAR(std::abs(result.eigenvector[0]), 1.0, 1e-6);
+  EXPECT_NEAR(result.eigenvector[1], 0.0, 1e-6);
+}
+
+TEST(PowerIteration, SymmetricKnownEigenvector) {
+  // [[2,1],[1,2]]: eigenvalues 3 and 1; dominant eigenvector (1,1)/sqrt(2).
+  SparseMatrix m(2, {{0, 0, 2.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 2.0}});
+  const auto result = power_iteration(m);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.eigenvalue, 3.0, 1e-9);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(result.eigenvector[0], inv_sqrt2, 1e-6);
+  EXPECT_NEAR(result.eigenvector[1], inv_sqrt2, 1e-6);
+}
+
+TEST(PowerIteration, UniformRingStationary) {
+  // Directed ring with column-stochastic weights: every column sums to 1
+  // and by symmetry the dominant eigenvector is uniform.
+  util::Rng rng(1);
+  net::Digraph g(20);
+  for (NodeId v = 0; v < 20; ++v)
+    g.add_edge(v, static_cast<NodeId>((v + 1) % 20));
+  net::InWeights w(g);
+  SparseMatrix m(w);
+  const auto result = power_iteration(m);
+  EXPECT_NEAR(result.eigenvalue, 1.0, 1e-9);
+  for (double v : result.eigenvector)
+    EXPECT_NEAR(v, 1.0 / std::sqrt(20.0), 1e-6);
+}
+
+TEST(PowerIteration, ColumnStochasticHasUnitSpectralRadius) {
+  util::Rng rng(2);
+  const auto g = net::watts_strogatz(500, 4, 0.01, rng);
+  net::InWeights w(g);
+  SparseMatrix m(w);
+  const auto result = power_iteration(m, 200000, 1e-13);
+  EXPECT_NEAR(result.eigenvalue, 1.0, 1e-6);
+}
+
+TEST(PowerIteration, SignCanonicalization) {
+  SparseMatrix m(2, {{0, 0, 2.0}, {1, 1, 1.0}});
+  const auto result = power_iteration(m);
+  // Largest-magnitude component is positive by convention.
+  EXPECT_GT(result.eigenvector[0], 0.0);
+}
+
+TEST(Angle, IdenticalVectorsZero) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_NEAR(angle_between(a, a), 0.0, 1e-12);
+}
+
+TEST(Angle, OppositeVectorsZero) {
+  // Eigenvector direction ignores sign. acos near 1 amplifies the last-bit
+  // rounding of dot/norm to ~sqrt(eps), hence the 1e-7 tolerance.
+  std::vector<double> a{1.0, 2.0};
+  std::vector<double> b{-1.0, -2.0};
+  EXPECT_NEAR(angle_between(a, b), 0.0, 1e-7);
+}
+
+TEST(Angle, OrthogonalVectorsHalfPi) {
+  std::vector<double> a{1.0, 0.0};
+  std::vector<double> b{0.0, 5.0};
+  EXPECT_NEAR(angle_between(a, b), std::acos(0.0), 1e-12);
+}
+
+TEST(Angle, ScaleInvariant) {
+  std::vector<double> a{1.0, 1.0};
+  std::vector<double> b{3.0, 3.0};
+  EXPECT_NEAR(angle_between(a, b), 0.0, 1e-12);
+}
+
+TEST(Angle, RejectsMismatchedOrZero) {
+  std::vector<double> a{1.0, 2.0};
+  std::vector<double> b{1.0};
+  EXPECT_THROW(angle_between(a, b), util::InvariantError);
+  std::vector<double> z{0.0, 0.0};
+  EXPECT_THROW(angle_between(a, z), util::InvariantError);
+}
+
+TEST(CosineDistance, RangeAndExtremes) {
+  std::vector<double> a{1.0, 0.0};
+  std::vector<double> b{0.0, 1.0};
+  EXPECT_NEAR(cosine_distance(a, a), 0.0, 1e-12);
+  EXPECT_NEAR(cosine_distance(a, b), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace toka::analysis

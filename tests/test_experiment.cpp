@@ -1,0 +1,218 @@
+#include "apps/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/mean_field.hpp"
+#include "util/error.hpp"
+
+namespace toka::apps {
+namespace {
+
+/// Scaled-down paper timing: same Δ/transfer ratio (100), 200 periods.
+sim::Timing small_timing() {
+  sim::Timing t;
+  t.delta = 10'000;
+  t.transfer = 100;
+  t.horizon = 200 * 10'000;
+  return t;
+}
+
+ExperimentConfig base_config(AppKind app) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.node_count = 200;
+  cfg.k_out = 20;
+  cfg.timing = small_timing();
+  cfg.strategy.kind = core::StrategyKind::kRandomized;
+  cfg.strategy.a_param = 5;
+  cfg.strategy.c_param = 10;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(Experiment, ParseAppKindRoundTrip) {
+  for (AppKind kind : {AppKind::kGossipLearning, AppKind::kPushGossip,
+                       AppKind::kChaoticIteration}) {
+    EXPECT_EQ(parse_app_kind(to_string(kind)), kind);
+  }
+  EXPECT_THROW(parse_app_kind("nope"), util::IoError);
+}
+
+TEST(Experiment, DescribeMentionsKeyParameters) {
+  auto cfg = base_config(AppKind::kPushGossip);
+  cfg.scenario = Scenario::kSmartphoneTrace;
+  const std::string desc = cfg.describe();
+  EXPECT_NE(desc.find("push"), std::string::npos);
+  EXPECT_NE(desc.find("N=200"), std::string::npos);
+  EXPECT_NE(desc.find("randomized"), std::string::npos);
+  EXPECT_NE(desc.find("[trace]"), std::string::npos);
+}
+
+TEST(Experiment, SampleGridMatchesConfig) {
+  auto cfg = base_config(AppKind::kGossipLearning);
+  const auto result = run_experiment(cfg);
+  // Default learning sampling: one sample per period, 200 periods.
+  EXPECT_EQ(result.metric.size(), 200u);
+  EXPECT_EQ(result.metric[0].t, cfg.timing.delta);
+}
+
+TEST(Experiment, PushGossipSamplesTenPerPeriod) {
+  auto cfg = base_config(AppKind::kPushGossip);
+  const auto result = run_experiment(cfg);
+  EXPECT_EQ(result.metric.size(), 2000u);
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  const auto cfg = base_config(AppKind::kPushGossip);
+  const auto a = run_experiment(cfg);
+  const auto b = run_experiment(cfg);
+  ASSERT_EQ(a.metric.size(), b.metric.size());
+  for (std::size_t i = 0; i < a.metric.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.metric[i].value, b.metric[i].value);
+  EXPECT_EQ(a.sim_counters.data_messages_sent,
+            b.sim_counters.data_messages_sent);
+}
+
+TEST(Experiment, DifferentSeedsDiffer) {
+  // Total message counts can coincide across seeds (token conservation
+  // pins them near N * periods), so compare the metric trajectories.
+  auto cfg = base_config(AppKind::kPushGossip);
+  const auto a = run_experiment(cfg);
+  cfg.seed = 99;
+  const auto b = run_experiment(cfg);
+  ASSERT_EQ(a.metric.size(), b.metric.size());
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.metric.size(); ++i)
+    if (a.metric[i].value != b.metric[i].value) ++differing;
+  EXPECT_GT(differing, a.metric.size() / 2);
+}
+
+TEST(Experiment, CostNeverExceedsOneMessagePerOnlinePeriod) {
+  // Tokens are only granted by ticks (initial balance 0), so data messages
+  // can never exceed total online periods — the paper's "same overall
+  // communication cost" guarantee.
+  for (AppKind app : {AppKind::kGossipLearning, AppKind::kPushGossip}) {
+    for (core::StrategyKind kind :
+         {core::StrategyKind::kProactive, core::StrategyKind::kSimple,
+          core::StrategyKind::kGeneralized, core::StrategyKind::kRandomized}) {
+      auto cfg = base_config(app);
+      cfg.strategy.kind = kind;
+      if (kind == core::StrategyKind::kSimple) cfg.strategy.a_param = 1;
+      const auto result = run_experiment(cfg);
+      EXPECT_LE(result.cost_per_online_period, 1.0 + 1e-12)
+          << to_string(app) << " / " << core::to_string(kind);
+    }
+  }
+}
+
+TEST(Experiment, ProactiveBaselineCostIsExactlyOne) {
+  auto cfg = base_config(AppKind::kPushGossip);
+  cfg.strategy = core::StrategyConfig{};  // proactive
+  const auto result = run_experiment(cfg);
+  EXPECT_DOUBLE_EQ(result.cost_per_online_period, 1.0);
+}
+
+TEST(Experiment, TokenAccountBeatsProactiveOnPushGossip) {
+  // The paper's headline: token account lag is a fraction of proactive lag
+  // at identical cost.
+  auto proactive_cfg = base_config(AppKind::kPushGossip);
+  proactive_cfg.strategy = core::StrategyConfig{};
+  const auto proactive = run_experiment(proactive_cfg);
+
+  const auto randomized = run_experiment(base_config(AppKind::kPushGossip));
+
+  const TimeUs half = small_timing().horizon / 2;
+  const double lag_proactive =
+      *proactive.metric.mean_over(half, small_timing().horizon);
+  const double lag_randomized =
+      *randomized.metric.mean_over(half, small_timing().horizon);
+  // At this reduced scale (N=200, 200 periods) the margin is smaller than
+  // the paper's ~3x at N=5000/1000 periods; the full factor is reproduced
+  // by bench/fig2_failure_free and recorded in EXPERIMENTS.md.
+  EXPECT_LT(lag_randomized, lag_proactive * 0.8);
+}
+
+TEST(Experiment, TokenAccountBeatsProactiveOnGossipLearning) {
+  auto proactive_cfg = base_config(AppKind::kGossipLearning);
+  proactive_cfg.strategy = core::StrategyConfig{};
+  const auto proactive = run_experiment(proactive_cfg);
+  const auto randomized =
+      run_experiment(base_config(AppKind::kGossipLearning));
+  EXPECT_GT(randomized.metric.final_value(),
+            proactive.metric.final_value() * 2.0);
+}
+
+TEST(Experiment, ChaoticIterationRunsOnWattsStrogatz) {
+  auto cfg = base_config(AppKind::kChaoticIteration);
+  cfg.node_count = 100;
+  const auto result = run_experiment(cfg);
+  // Angle must shrink substantially from its initial value.
+  EXPECT_LT(result.metric.final_value(), result.metric[0].value);
+  EXPECT_LT(result.metric.final_value(), 0.5);
+}
+
+TEST(Experiment, AverageTokensApproachEquilibrium) {
+  // Paper §4.3 / Fig. 5: randomized equilibrium at A*C/(C+1), validated in
+  // the gossip learning app where most messages are useful.
+  auto cfg = base_config(AppKind::kGossipLearning);
+  cfg.strategy.a_param = 5;
+  cfg.strategy.c_param = 10;
+  const auto result = run_experiment(cfg);
+  const double predicted = analysis::randomized_equilibrium(5, 10);
+  const double late_mean = *result.avg_tokens.mean_over(
+      small_timing().horizon / 2, small_timing().horizon);
+  EXPECT_NEAR(late_mean, predicted, 1.5);
+}
+
+TEST(Experiment, RunAveragedSmoothsAcrossSeeds) {
+  auto cfg = base_config(AppKind::kPushGossip);
+  const auto averaged = run_averaged(cfg, 3);
+  const auto single = run_experiment(cfg);
+  EXPECT_EQ(averaged.metric.size(), single.metric.size());
+  // Counters accumulate over seeds.
+  EXPECT_GT(averaged.sim_counters.data_messages_sent,
+            single.sim_counters.data_messages_sent * 2);
+}
+
+TEST(Experiment, RunAveragedRequiresSeeds) {
+  EXPECT_THROW(run_averaged(base_config(AppKind::kPushGossip), 0),
+               util::InvariantError);
+}
+
+TEST(Experiment, TraceScenarioRuns) {
+  auto cfg = base_config(AppKind::kPushGossip);
+  cfg.scenario = Scenario::kSmartphoneTrace;
+  cfg.timing.horizon = 2 * duration::kDay;
+  cfg.timing.delta = duration::kDay / 50;  // keep the run small
+  cfg.timing.transfer = cfg.timing.delta / 100;
+  const auto result = run_experiment(cfg);
+  // Churn must actually drop messages / lose some proactive sends.
+  EXPECT_GT(result.sim_counters.messages_dropped +
+                result.sim_counters.proactive_skipped,
+            0u);
+  EXPECT_LE(result.cost_per_online_period, 1.0 + 1e-12);
+}
+
+TEST(Experiment, TraceScenarioTickCountReflectsAvailability) {
+  auto cfg = base_config(AppKind::kGossipLearning);
+  cfg.scenario = Scenario::kSmartphoneTrace;
+  cfg.timing.horizon = 2 * duration::kDay;
+  cfg.timing.delta = duration::kDay / 50;
+  cfg.timing.transfer = cfg.timing.delta / 100;
+  const auto result = run_experiment(cfg);
+  const auto max_ticks = static_cast<std::uint64_t>(
+      cfg.node_count * (cfg.timing.horizon / cfg.timing.delta));
+  // ~30% never online and diurnal availability: far fewer ticks than the
+  // failure-free ceiling, but not zero.
+  EXPECT_LT(result.total_ticks, max_ticks * 7 / 10);
+  EXPECT_GT(result.total_ticks, max_ticks / 10);
+}
+
+TEST(Experiment, RejectsDegenerateNetwork) {
+  auto cfg = base_config(AppKind::kPushGossip);
+  cfg.node_count = 1;
+  EXPECT_THROW(run_experiment(cfg), util::InvariantError);
+}
+
+}  // namespace
+}  // namespace toka::apps

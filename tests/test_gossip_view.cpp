@@ -1,0 +1,143 @@
+#include "net/gossip_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace toka::net {
+namespace {
+
+TEST(GossipView, BootstrapRingViews) {
+  GossipViewService svc(10, 3);
+  const auto& v0 = svc.view(0);
+  ASSERT_EQ(v0.size(), 3u);
+  EXPECT_EQ(v0[0].peer, 1u);
+  EXPECT_EQ(v0[1].peer, 2u);
+  EXPECT_EQ(v0[2].peer, 3u);
+}
+
+TEST(GossipView, RejectsDegenerateConfig) {
+  EXPECT_THROW(GossipViewService(5, 0), util::InvariantError);
+  EXPECT_THROW(GossipViewService(3, 3), util::InvariantError);
+}
+
+TEST(GossipView, ViewsNeverContainSelfOrDuplicates) {
+  GossipViewService svc(100, 8);
+  util::Rng rng(1);
+  svc.run(30, rng);
+  for (NodeId v = 0; v < 100; ++v) {
+    std::set<NodeId> seen;
+    for (const Descriptor& d : svc.view(v)) {
+      EXPECT_NE(d.peer, v) << "self in view of " << v;
+      EXPECT_LT(d.peer, 100u);
+      EXPECT_TRUE(seen.insert(d.peer).second) << "duplicate in view of " << v;
+    }
+  }
+}
+
+TEST(GossipView, ViewSizeMaintained) {
+  GossipViewService svc(200, 10);
+  util::Rng rng(2);
+  svc.run(20, rng);
+  for (NodeId v = 0; v < 200; ++v) {
+    // Swapping refills from shipped entries; duplicate collisions can
+    // transiently cost an entry or two, never more.
+    EXPECT_GE(svc.view(v).size(), 8u) << "node " << v;
+    EXPECT_LE(svc.view(v).size(), 10u) << "node " << v;
+  }
+}
+
+TEST(GossipView, ShufflingMixesBeyondTheRing) {
+  // After enough rounds, views must contain peers far from the initial
+  // ring successors.
+  constexpr std::size_t kN = 500;
+  GossipViewService svc(kN, 10);
+  util::Rng rng(3);
+  svc.run(30, rng);
+  std::size_t far_entries = 0, total = 0;
+  for (NodeId v = 0; v < kN; ++v) {
+    for (const Descriptor& d : svc.view(v)) {
+      const std::size_t dist =
+          std::min<std::size_t>((d.peer + kN - v) % kN, (v + kN - d.peer) % kN);
+      if (dist > 20) ++far_entries;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(far_entries) / static_cast<double>(total),
+            0.5);
+}
+
+TEST(GossipView, IndegreeBalanced) {
+  // A healthy peer sampling service keeps the in-degree distribution
+  // concentrated around the view size (no hub collapse).
+  constexpr std::size_t kN = 500;
+  constexpr std::size_t kView = 10;
+  GossipViewService svc(kN, kView);
+  util::Rng rng(4);
+  svc.run(40, rng);
+  const auto indegree = svc.indegree_histogram();
+  const std::size_t forgotten = static_cast<std::size_t>(
+      std::count(indegree.begin(), indegree.end(), 0u));
+  const auto hi = *std::max_element(indegree.begin(), indegree.end());
+  EXPECT_EQ(forgotten, 0u);   // nobody forgotten
+  EXPECT_LT(hi, kView * 4);   // nobody dominates (swap conserves copies)
+}
+
+TEST(GossipView, SampleReturnsViewMembers) {
+  GossipViewService svc(50, 5);
+  util::Rng rng(5);
+  svc.run(10, rng);
+  for (int i = 0; i < 100; ++i) {
+    const NodeId peer = svc.sample(7, rng);
+    const auto& view = svc.view(7);
+    EXPECT_TRUE(std::any_of(view.begin(), view.end(), [&](const Descriptor& d) {
+      return d.peer == peer;
+    }));
+  }
+}
+
+TEST(GossipView, SnapshotOverlayHasRequestedDegree) {
+  GossipViewService svc(300, 20);
+  util::Rng rng(6);
+  svc.run(30, rng);
+  const auto overlay = svc.snapshot_overlay(20, rng);
+  for (NodeId v = 0; v < 300; ++v)
+    EXPECT_EQ(overlay.out_degree(v), 20u);
+  EXPECT_TRUE(is_strongly_connected(overlay));
+}
+
+TEST(GossipView, SnapshotRejectsTooLargeK) {
+  GossipViewService svc(50, 5);
+  util::Rng rng(7);
+  EXPECT_THROW(svc.snapshot_overlay(6, rng), util::InvariantError);
+}
+
+TEST(GossipView, SnapshotApproximatesRandomKOut) {
+  // The service exists to stand in for uniform sampling: its snapshot
+  // should have small diameter like a true random k-out graph.
+  GossipViewService svc(2000, 20);
+  util::Rng rng(8);
+  svc.run(40, rng);
+  const auto overlay = svc.snapshot_overlay(20, rng);
+  EXPECT_LE(estimate_diameter(overlay, 5, rng), 7u);
+}
+
+TEST(GossipView, DeterministicGivenRng) {
+  GossipViewService a(100, 8), b(100, 8);
+  util::Rng ra(9), rb(9);
+  a.run(15, ra);
+  b.run(15, rb);
+  for (NodeId v = 0; v < 100; ++v) {
+    const auto& va = a.view(v);
+    const auto& vb = b.view(v);
+    ASSERT_EQ(va.size(), vb.size());
+    for (std::size_t i = 0; i < va.size(); ++i)
+      EXPECT_EQ(va[i].peer, vb[i].peer);
+  }
+}
+
+}  // namespace
+}  // namespace toka::net

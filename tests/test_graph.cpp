@@ -1,0 +1,206 @@
+#include "net/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace toka::net {
+namespace {
+
+using util::Rng;
+
+TEST(Digraph, EmptyGraph) {
+  Digraph g(0);
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Digraph, AddAndQueryEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 0);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+  const auto out0 = g.out(0);
+  EXPECT_EQ(out0[0], 1u);
+  EXPECT_EQ(out0[1], 2u);
+}
+
+TEST(Digraph, RejectsOutOfRangeEdges) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), util::InvariantError);
+  EXPECT_THROW(g.add_edge(2, 0), util::InvariantError);
+  EXPECT_THROW(g.out(5), util::InvariantError);
+}
+
+TEST(Digraph, ReversedFlipsEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const Digraph rev = g.reversed();
+  EXPECT_EQ(rev.edge_count(), 2u);
+  EXPECT_EQ(rev.out(1)[0], 0u);
+  EXPECT_EQ(rev.out(2)[0], 1u);
+  EXPECT_EQ(rev.out_degree(0), 0u);
+}
+
+TEST(RandomKOut, DegreeIsExactlyK) {
+  Rng rng(1);
+  const auto g = random_k_out(200, 20, rng);
+  for (NodeId v = 0; v < 200; ++v) EXPECT_EQ(g.out_degree(v), 20u);
+  EXPECT_EQ(g.edge_count(), 200u * 20u);
+}
+
+TEST(RandomKOut, NoSelfLoopsOrDuplicates) {
+  Rng rng(2);
+  const auto g = random_k_out(100, 10, rng);
+  for (NodeId v = 0; v < 100; ++v) {
+    std::set<NodeId> targets;
+    for (NodeId w : g.out(v)) {
+      EXPECT_NE(w, v);
+      EXPECT_TRUE(targets.insert(w).second) << "duplicate target";
+    }
+  }
+}
+
+TEST(RandomKOut, TwentyOutIsStronglyConnected) {
+  // The paper argues 20-out gives a robustly connected overlay.
+  Rng rng(3);
+  const auto g = random_k_out(2000, 20, rng);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(RandomKOut, RejectsKGreaterOrEqualN) {
+  Rng rng(4);
+  EXPECT_THROW(random_k_out(5, 5, rng), util::InvariantError);
+}
+
+TEST(RandomKOut, TargetsApproximatelyUniform) {
+  Rng rng(5);
+  constexpr std::size_t kN = 2000, kK = 20;
+  const auto g = random_k_out(kN, kK, rng);
+  std::vector<int> indegree(kN, 0);
+  for (NodeId v = 0; v < kN; ++v)
+    for (NodeId w : g.out(v)) ++indegree[w];
+  // In-degree is Binomial(~N*K/N = K); nearly all mass within [2, 60].
+  const auto [lo, hi] = std::minmax_element(indegree.begin(), indegree.end());
+  EXPECT_GT(*lo, 0);
+  EXPECT_LT(*hi, 60);
+}
+
+TEST(WattsStrogatz, ZeroBetaIsPureRing) {
+  Rng rng(6);
+  const auto g = watts_strogatz(20, 4, 0.0, rng);
+  for (NodeId v = 0; v < 20; ++v) {
+    std::set<NodeId> expect{static_cast<NodeId>((v + 1) % 20),
+                            static_cast<NodeId>((v + 19) % 20),
+                            static_cast<NodeId>((v + 2) % 20),
+                            static_cast<NodeId>((v + 18) % 20)};
+    std::set<NodeId> got(g.out(v).begin(), g.out(v).end());
+    EXPECT_EQ(got, expect) << "node " << v;
+  }
+}
+
+TEST(WattsStrogatz, DegreePreservedUnderRewiring) {
+  Rng rng(7);
+  const auto g = watts_strogatz(500, 4, 0.3, rng);
+  for (NodeId v = 0; v < 500; ++v) EXPECT_EQ(g.out_degree(v), 4u);
+}
+
+TEST(WattsStrogatz, RewiringRateMatchesBeta) {
+  Rng rng(8);
+  constexpr std::size_t kN = 5000;
+  const auto g = watts_strogatz(kN, 4, 0.01, rng);
+  // Count edges that are not ring edges (distance > 2 on the ring).
+  std::size_t rewired = 0;
+  for (NodeId v = 0; v < kN; ++v) {
+    for (NodeId w : g.out(v)) {
+      const std::size_t d = std::min<std::size_t>(
+          (w + kN - v) % kN, (v + kN - w) % kN);
+      if (d > 2) ++rewired;
+    }
+  }
+  const double rate = static_cast<double>(rewired) / (kN * 4.0);
+  // Rewired edges land near the ring with tiny probability; expect ~beta.
+  EXPECT_NEAR(rate, 0.01, 0.004);
+}
+
+TEST(WattsStrogatz, NoSelfLoopsOrDuplicates) {
+  Rng rng(9);
+  const auto g = watts_strogatz(300, 4, 0.5, rng);
+  for (NodeId v = 0; v < 300; ++v) {
+    std::set<NodeId> targets;
+    for (NodeId w : g.out(v)) {
+      EXPECT_NE(w, v);
+      EXPECT_TRUE(targets.insert(w).second);
+    }
+  }
+}
+
+TEST(WattsStrogatz, PaperTopologyStronglyConnected) {
+  Rng rng(10);
+  const auto g = watts_strogatz(5000, 4, 0.01, rng);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(WattsStrogatz, RejectsBadParameters) {
+  Rng rng(11);
+  EXPECT_THROW(watts_strogatz(10, 3, 0.0, rng), util::InvariantError);
+  EXPECT_THROW(watts_strogatz(10, 0, 0.0, rng), util::InvariantError);
+  EXPECT_THROW(watts_strogatz(4, 4, 0.0, rng), util::InvariantError);
+  EXPECT_THROW(watts_strogatz(10, 4, 1.5, rng), util::InvariantError);
+}
+
+TEST(StrongConnectivity, DetectsDisconnection) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  EXPECT_FALSE(is_strongly_connected(g));
+  g.add_edge(1, 2);
+  EXPECT_FALSE(is_strongly_connected(g));  // no way back
+  g.add_edge(3, 0);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(StrongConnectivity, OneWayRing) {
+  Digraph g(5);
+  for (NodeId v = 0; v < 5; ++v) g.add_edge(v, (v + 1) % 5);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Diameter, RingDiameterExact) {
+  Rng rng(12);
+  Digraph g(10);
+  for (NodeId v = 0; v < 10; ++v) g.add_edge(v, (v + 1) % 10);
+  // Directed ring of 10: longest shortest path = 9.
+  EXPECT_EQ(estimate_diameter(g, 10, rng), 9u);
+}
+
+TEST(Diameter, SmallWorldShrinksDiameter) {
+  Rng rng(13);
+  const auto ring = watts_strogatz(2000, 4, 0.0, rng);
+  const auto small_world = watts_strogatz(2000, 4, 0.05, rng);
+  const auto d_ring = estimate_diameter(ring, 8, rng);
+  const auto d_sw = estimate_diameter(small_world, 8, rng);
+  EXPECT_LT(d_sw, d_ring / 2);
+}
+
+TEST(Diameter, LogarithmicForKOut) {
+  // The paper notes the 20-out overlay has logarithmic diameter.
+  Rng rng(14);
+  const auto g = random_k_out(5000, 20, rng);
+  const auto d = estimate_diameter(g, 5, rng);
+  EXPECT_LE(d, 6u);
+  EXPECT_GE(d, 3u);
+}
+
+}  // namespace
+}  // namespace toka::net

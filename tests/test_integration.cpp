@@ -1,0 +1,230 @@
+// Cross-module integration tests: network-wide token conservation, the
+// §3.4 burst bound inside full simulations, qualitative paper findings at
+// reduced scale, and failure injection.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/experiment.hpp"
+#include "apps/push_gossip.hpp"
+#include "core/rate_limit.hpp"
+#include "net/graph.hpp"
+#include "trace/churn_adapter.hpp"
+#include "trace/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace toka {
+namespace {
+
+sim::SimConfig small_sim_config(core::StrategyKind kind, Tokens a, Tokens c) {
+  sim::SimConfig cfg;
+  cfg.timing.delta = 10'000;
+  cfg.timing.transfer = 100;
+  cfg.timing.horizon = 100 * 10'000;
+  cfg.strategy.kind = kind;
+  cfg.strategy.a_param = a;
+  cfg.strategy.c_param = c;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Integration, NetworkWideTokenConservation) {
+  // With zero initial tokens, every data message in the whole network is
+  // paid for by some tick: messages <= sum of ticks, and per-account
+  // bookkeeping is exact.
+  util::Rng rng(1);
+  const auto g = net::random_k_out(100, 10, rng);
+  apps::PushGossipApp app(100);
+  auto cfg = small_sim_config(core::StrategyKind::kGeneralized, 2, 10);
+  apps::PushGossipApp::Sim sim(g, app, cfg);
+  app.start_injections(sim, cfg.timing.delta / 10);
+  sim.run();
+
+  std::uint64_t ticks = 0, sends = 0;
+  for (NodeId v = 0; v < 100; ++v) {
+    const auto& c = sim.account(v).counters();
+    ticks += c.ticks;
+    sends += c.total_sends();
+    // Per-account conservation: banked - spent == balance >= 0.
+    EXPECT_EQ(static_cast<Tokens>(c.banked_tokens) -
+                  static_cast<Tokens>(c.reactive_sends) -
+                  static_cast<Tokens>(c.direct_spends),
+              sim.balance(v));
+    EXPECT_GE(sim.balance(v), 0);
+    EXPECT_LE(sim.balance(v), 10);
+  }
+  EXPECT_LE(sends, ticks);
+  // The engine's global counter agrees with the per-account totals minus
+  // sends that failed for lack of a peer (none in the failure-free case).
+  EXPECT_EQ(sim.counters().data_messages_sent, sends);
+}
+
+TEST(Integration, BurstBoundHoldsInsideFullSimulation) {
+  // Attach rate-limit auditors to a handful of nodes during a bursty
+  // push-gossip run and assert the §3.4 guarantee end to end.
+  util::Rng rng(2);
+  const auto g = net::random_k_out(100, 10, rng);
+  apps::PushGossipApp app(100);
+  auto cfg = small_sim_config(core::StrategyKind::kRandomized, 1, 10);
+  apps::PushGossipApp::Sim sim(g, app, cfg);
+  app.start_injections(sim, cfg.timing.delta / 10);
+
+  std::map<NodeId, core::RateLimitAuditor> auditors;
+  for (NodeId v = 0; v < 8; ++v)
+    auditors.emplace(v, core::RateLimitAuditor(cfg.timing.delta, 10));
+  sim.set_send_observer([&auditors](NodeId v, TimeUs t) {
+    auto it = auditors.find(v);
+    if (it != auditors.end()) it->second.record(t);
+  });
+  sim.run();
+
+  for (auto& [v, auditor] : auditors) {
+    const auto violation = auditor.first_violation();
+    EXPECT_FALSE(violation.has_value())
+        << "node " << v << ": " << violation->describe();
+    EXPECT_GT(auditor.send_count(), 0u);
+  }
+}
+
+TEST(Integration, SimpleBeatsProactiveAndGeneralizedBeatsSimple) {
+  // Qualitative ordering from §4.2 (push gossip): even SIMPLE improves on
+  // proactive significantly, and GENERALIZED improves on SIMPLE.
+  apps::ExperimentConfig cfg;
+  cfg.app = apps::AppKind::kPushGossip;
+  cfg.node_count = 300;
+  cfg.timing.delta = 10'000;
+  cfg.timing.transfer = 100;
+  cfg.timing.horizon = 150 * 10'000;
+  cfg.seed = 3;
+
+  cfg.strategy = core::StrategyConfig{};  // proactive
+  const auto proactive = apps::run_experiment(cfg);
+
+  cfg.strategy.kind = core::StrategyKind::kSimple;
+  cfg.strategy.c_param = 10;
+  const auto simple = apps::run_experiment(cfg);
+
+  cfg.strategy.kind = core::StrategyKind::kGeneralized;
+  cfg.strategy.a_param = 5;
+  cfg.strategy.c_param = 10;
+  const auto generalized = apps::run_experiment(cfg);
+
+  const TimeUs half = cfg.timing.horizon / 2;
+  const double lag_pro = *proactive.metric.mean_over(half, cfg.timing.horizon);
+  const double lag_simple = *simple.metric.mean_over(half, cfg.timing.horizon);
+  const double lag_gen =
+      *generalized.metric.mean_over(half, cfg.timing.horizon);
+  EXPECT_LT(lag_simple, lag_pro);
+  EXPECT_LT(lag_gen, lag_simple);
+}
+
+TEST(Integration, AEqualsCIsWeakForPushGossip) {
+  // §4.2: with A = C at most one reactive message is sent, losing the
+  // exponential spreading that the broadcast application needs.
+  apps::ExperimentConfig cfg;
+  cfg.app = apps::AppKind::kPushGossip;
+  cfg.node_count = 300;
+  cfg.timing.delta = 10'000;
+  cfg.timing.transfer = 100;
+  cfg.timing.horizon = 150 * 10'000;
+  cfg.seed = 4;
+  cfg.strategy.kind = core::StrategyKind::kGeneralized;
+
+  cfg.strategy.a_param = 10;
+  cfg.strategy.c_param = 10;  // A == C
+  const auto weak = apps::run_experiment(cfg);
+
+  cfg.strategy.a_param = 5;
+  cfg.strategy.c_param = 10;  // C > A: multi-send possible
+  const auto strong = apps::run_experiment(cfg);
+
+  const TimeUs half = cfg.timing.horizon / 2;
+  EXPECT_LT(*strong.metric.mean_over(half, cfg.timing.horizon),
+            *weak.metric.mean_over(half, cfg.timing.horizon));
+}
+
+TEST(Integration, ChurnWithEveryoneOfflineIsSafe) {
+  // Failure injection: an entire network that never comes online must not
+  // crash, send anything, or divide by zero in metrics.
+  util::Rng rng(6);
+  const auto g = net::random_k_out(20, 5, rng);
+  apps::PushGossipApp app(20);
+  auto cfg = small_sim_config(core::StrategyKind::kRandomized, 1, 5);
+  sim::ChurnSchedule churn(20);  // all initially_online = true by default
+  for (auto& node : churn) node.initially_online = false;
+  apps::PushGossipApp::Sim sim(g, app, cfg, churn);
+  app.start_injections(sim, cfg.timing.delta);
+  sim.run();
+  EXPECT_EQ(sim.counters().data_messages_sent, 0u);
+  EXPECT_EQ(sim.online_count(), 0u);
+  EXPECT_GT(app.injected_count(), 0);
+  EXPECT_DOUBLE_EQ(app.metric(sim),
+                   static_cast<double>(app.injected_count()));
+}
+
+TEST(Integration, FlappingNodeSurvives) {
+  // A node that toggles every half period exercises the stale-tick logic.
+  util::Rng rng(7);
+  net::Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(1, 0);
+  g.add_edge(2, 1);
+  g.add_edge(0, 2);
+  apps::PushGossipApp app(3);
+  auto cfg = small_sim_config(core::StrategyKind::kSimple, 1, 3);
+  sim::ChurnSchedule churn(3);
+  for (TimeUs t = 5'000; t < 1'000'000; t += 5'000)
+    churn[1].toggle_times.push_back(t);
+  apps::PushGossipApp::Sim sim(g, app, cfg, churn);
+  app.start_injections(sim, cfg.timing.delta);
+  sim.run();
+  // The flapping node earned at most ~half the periods' tokens.
+  EXPECT_LT(sim.account(1).counters().ticks,
+            sim.account(0).counters().ticks);
+}
+
+TEST(Integration, TraceScenarioMessageLossIsRecovered) {
+  // In the churn scenario the proactive component keeps the system alive:
+  // lag stays bounded even though messages are constantly lost.
+  apps::ExperimentConfig cfg;
+  cfg.app = apps::AppKind::kPushGossip;
+  cfg.scenario = apps::Scenario::kSmartphoneTrace;
+  cfg.node_count = 200;
+  cfg.timing.delta = 2 * duration::kDay / 100;
+  cfg.timing.transfer = cfg.timing.delta / 100;
+  cfg.timing.horizon = 2 * duration::kDay;
+  cfg.strategy.kind = core::StrategyKind::kRandomized;
+  cfg.strategy.a_param = 5;
+  cfg.strategy.c_param = 10;
+  cfg.seed = 8;
+  const auto result = apps::run_experiment(cfg);
+  EXPECT_GT(result.sim_counters.messages_dropped, 0u);
+  // Lag in updates at the end of day 2 stays below the total injected
+  // (i.e. the system did not stall): 100 periods * 10 injections = 1000.
+  EXPECT_LT(result.metric.final_value(), 500.0);
+}
+
+TEST(Integration, FullExperimentDeterminismAcrossApps) {
+  for (apps::AppKind app :
+       {apps::AppKind::kGossipLearning, apps::AppKind::kPushGossip}) {
+    apps::ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.node_count = 100;
+    cfg.timing.delta = 10'000;
+    cfg.timing.transfer = 100;
+    cfg.timing.horizon = 50 * 10'000;
+    cfg.strategy.kind = core::StrategyKind::kGeneralized;
+    cfg.strategy.a_param = 2;
+    cfg.strategy.c_param = 5;
+    cfg.seed = 11;
+    const auto a = apps::run_experiment(cfg);
+    const auto b = apps::run_experiment(cfg);
+    EXPECT_EQ(a.sim_counters.events_processed, b.sim_counters.events_processed)
+        << apps::to_string(app);
+  }
+}
+
+}  // namespace
+}  // namespace toka

@@ -1,0 +1,70 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace toka::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Logging, LevelRoundTrip) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(Logging, MacrosRespectLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto observe = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  // Below the threshold the stream expression must not be evaluated.
+  TOKA_DEBUG(observe());
+  TOKA_INFO(observe());
+  TOKA_WARN(observe());
+  EXPECT_EQ(evaluations, 0);
+  TOKA_ERROR(observe());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Logging, EmitsWithoutCrashingAtAllLevels) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  TOKA_DEBUG("debug message " << 1);
+  TOKA_INFO("info message " << 2.5);
+  TOKA_WARN("warn message " << "text");
+  TOKA_ERROR("error message");
+  SUCCEED();
+}
+
+TEST(Logging, ConcurrentEmissionIsSafe) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);  // keep test output quiet
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 50; ++i) TOKA_DEBUG("thread " << t << " msg " << i);
+    });
+  }
+  for (auto& th : threads) th.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace toka::util

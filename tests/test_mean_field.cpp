@@ -1,0 +1,151 @@
+#include "analysis/mean_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace toka::analysis {
+namespace {
+
+using core::StrategyConfig;
+using core::StrategyKind;
+
+StrategyConfig randomized(Tokens a, Tokens c) {
+  StrategyConfig cfg;
+  cfg.kind = StrategyKind::kRandomized;
+  cfg.a_param = a;
+  cfg.c_param = c;
+  return cfg;
+}
+
+TEST(ContinuousExtensions, MatchDiscreteOnIntegers) {
+  // On integer balances the continuous extensions agree with the discrete
+  // strategies for the randomized kind (which has no flooring).
+  const auto cfg = randomized(3, 10);
+  const auto strategy = core::make_strategy(cfg);
+  for (Tokens a = 0; a <= 12; ++a) {
+    EXPECT_NEAR(continuous_proactive(cfg, static_cast<double>(a)),
+                strategy->proactive(a), 1e-12);
+    EXPECT_NEAR(continuous_reactive(cfg, static_cast<double>(a), true),
+                strategy->reactive(a, true), 1e-12);
+  }
+}
+
+TEST(ClosedForm, RandomizedEquilibriumFormula) {
+  EXPECT_DOUBLE_EQ(randomized_equilibrium(5, 10), 5.0 * 10 / 11);
+  EXPECT_DOUBLE_EQ(randomized_equilibrium(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(randomized_equilibrium(10, 20), 200.0 / 21);
+}
+
+TEST(ClosedForm, ApproachesAForLargeC) {
+  // Paper: a = A*C/(C+1) ~= A.
+  EXPECT_NEAR(randomized_equilibrium(10, 1000), 10.0, 0.01);
+}
+
+// The bisection solver must match the closed form over the paper grid.
+class EquilibriumGrid
+    : public testing::TestWithParam<std::pair<Tokens, Tokens>> {};
+
+TEST_P(EquilibriumGrid, SolverMatchesClosedForm) {
+  const auto [a, c] = GetParam();
+  const auto range = equilibrium_balance(randomized(a, c), true);
+  const double expected = randomized_equilibrium(a, c);
+  EXPECT_NEAR(range.lo, expected, 1e-6);
+  EXPECT_NEAR(range.hi, expected, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, EquilibriumGrid,
+    testing::Values(std::pair<Tokens, Tokens>{1, 1}, std::pair<Tokens, Tokens>{1, 5},
+                    std::pair<Tokens, Tokens>{2, 4}, std::pair<Tokens, Tokens>{5, 10},
+                    std::pair<Tokens, Tokens>{10, 10},
+                    std::pair<Tokens, Tokens>{10, 20},
+                    std::pair<Tokens, Tokens>{20, 40},
+                    std::pair<Tokens, Tokens>{40, 120}),
+    [](const testing::TestParamInfo<std::pair<Tokens, Tokens>>& info) {
+      return "A" + std::to_string(info.param.first) + "_C" +
+             std::to_string(info.param.second);
+    });
+
+TEST(Equilibrium, SimpleStrategyIsIntervalOfSolutions) {
+  StrategyConfig cfg;
+  cfg.kind = StrategyKind::kSimple;
+  cfg.c_param = 10;
+  const auto range = equilibrium_balance(cfg, true);
+  // reactive + proactive == 1 on the whole open interval (0, C).
+  EXPECT_NEAR(range.lo, 0.0, 1e-6);
+  EXPECT_NEAR(range.hi, 10.0, 1e-6);
+}
+
+TEST(Equilibrium, ProactiveBaselineIsZero) {
+  StrategyConfig cfg;
+  cfg.kind = StrategyKind::kProactive;
+  const auto range = equilibrium_balance(cfg, true);
+  EXPECT_NEAR(range.lo, 0.0, 1e-9);
+  EXPECT_NEAR(range.hi, 0.0, 1e-9);
+}
+
+TEST(Equilibrium, PureReactiveRejected) {
+  StrategyConfig cfg;
+  cfg.kind = StrategyKind::kPureReactive;
+  EXPECT_THROW(equilibrium_balance(cfg, true), util::InvariantError);
+}
+
+TEST(Equilibrium, NotUsefulShiftsEquilibriumUp) {
+  // With u = 0 the randomized reactive function is 0, so balance climbs
+  // until proactive(a) alone reaches 1, i.e. a -> C.
+  const auto cfg = randomized(5, 10);
+  const auto range = equilibrium_balance(cfg, false);
+  EXPECT_NEAR(range.lo, 10.0, 1e-6);
+}
+
+TEST(MeanFieldTrajectory, ConvergesToEquilibrium) {
+  // Paper Fig. 5 validation: the ODE settles at A*C/(C+1).
+  const auto cfg = randomized(5, 10);
+  const double delta = 172.8;
+  const auto traj =
+      mean_field_trajectory(cfg, true, delta, /*t_end=*/200 * delta);
+  ASSERT_FALSE(traj.empty());
+  const double expected = randomized_equilibrium(5, 10);
+  EXPECT_NEAR(traj.back().balance, expected, 0.15);
+}
+
+TEST(MeanFieldTrajectory, EquilibriumSendRateIsOnePerPeriod) {
+  // At steady state every granted token is spent: dw/dt = 1/Δ.
+  const auto cfg = randomized(10, 20);
+  const double delta = 172.8;
+  const auto traj = mean_field_trajectory(cfg, true, delta, 300 * delta);
+  EXPECT_NEAR(traj.back().send_rate, 1.0 / delta, 0.1 / delta);
+}
+
+TEST(MeanFieldTrajectory, StartsAtInitialBalance) {
+  const auto cfg = randomized(3, 6);
+  const auto traj = mean_field_trajectory(cfg, true, 100.0, 1000.0, 4.0);
+  ASSERT_FALSE(traj.empty());
+  EXPECT_DOUBLE_EQ(traj.front().balance, 4.0);
+  EXPECT_DOUBLE_EQ(traj.front().t, 0.0);
+}
+
+TEST(MeanFieldTrajectory, BalanceStaysWithinBounds) {
+  const auto cfg = randomized(2, 8);
+  const auto traj = mean_field_trajectory(cfg, true, 100.0, 50000.0);
+  for (const auto& p : traj) {
+    EXPECT_GE(p.balance, 0.0);
+    EXPECT_LE(p.balance, 8.5);  // capacity + small RK overshoot slack
+  }
+}
+
+TEST(MeanFieldTrajectory, RejectsBadArguments) {
+  const auto cfg = randomized(2, 8);
+  EXPECT_THROW(mean_field_trajectory(cfg, true, 0.0, 10.0),
+               util::InvariantError);
+  EXPECT_THROW(mean_field_trajectory(cfg, true, 1.0, -5.0),
+               util::InvariantError);
+  EXPECT_THROW(mean_field_trajectory(cfg, true, 1.0, 10.0, 0.0, 0.0),
+               util::InvariantError);
+}
+
+}  // namespace
+}  // namespace toka::analysis

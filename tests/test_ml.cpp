@@ -1,0 +1,136 @@
+#include "apps/ml.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/graph.hpp"
+#include "util/error.hpp"
+
+namespace toka::apps {
+namespace {
+
+TEST(LinearModel, RawIsAffine) {
+  LinearModel m(2);
+  m.weights = {2.0, -1.0};
+  m.bias = 0.5;
+  EXPECT_DOUBLE_EQ(m.raw({1.0, 1.0}), 1.5);
+  EXPECT_DOUBLE_EQ(m.raw({0.0, 0.0}), 0.5);
+}
+
+TEST(LinearModel, RawRejectsDimensionMismatch) {
+  LinearModel m(2);
+  EXPECT_THROW(m.raw({1.0}), util::InvariantError);
+}
+
+TEST(LinearModel, SgdStepReducesLossOnExample) {
+  LinearModel m(1);
+  const std::vector<double> x{1.0};
+  const double y = 2.0;
+  const double before = m.loss(MlTask::kLinearRegression, x, y);
+  m.sgd_step(MlTask::kLinearRegression, x, y, 0.1);
+  const double after = m.loss(MlTask::kLinearRegression, x, y);
+  EXPECT_LT(after, before);
+  EXPECT_EQ(m.age, 1);
+}
+
+TEST(LinearModel, LogisticStepMovesTowardCorrectSide) {
+  LinearModel m(1);
+  const std::vector<double> x{1.0};
+  m.sgd_step(MlTask::kLogisticRegression, x, 1.0, 1.0);
+  EXPECT_GT(m.raw(x), 0.0);
+  LinearModel m2(1);
+  m2.sgd_step(MlTask::kLogisticRegression, x, -1.0, 1.0);
+  EXPECT_LT(m2.raw(x), 0.0);
+}
+
+TEST(LinearModel, LogLossStableForLargeMargins) {
+  LinearModel m(1);
+  m.weights = {100.0};
+  const double loss_good = m.loss(MlTask::kLogisticRegression, {1.0}, 1.0);
+  const double loss_bad = m.loss(MlTask::kLogisticRegression, {1.0}, -1.0);
+  EXPECT_NEAR(loss_good, 0.0, 1e-9);
+  EXPECT_NEAR(loss_bad, 100.0, 1e-6);
+}
+
+TEST(Dataset, GeneratedShapes) {
+  util::Rng rng(1);
+  const auto ds = make_dataset(MlTask::kLinearRegression, 50, 4, 0.1, rng);
+  EXPECT_EQ(ds.examples.size(), 50u);
+  EXPECT_EQ(ds.examples[0].x.size(), 4u);
+  EXPECT_EQ(ds.ground_truth.weights.size(), 4u);
+}
+
+TEST(Dataset, GroundTruthHasLowLoss) {
+  util::Rng rng(2);
+  const auto ds = make_dataset(MlTask::kLinearRegression, 200, 4, 0.05, rng);
+  // Loss of the generator model is just the noise variance / 2.
+  EXPECT_LT(ds.mean_loss(ds.ground_truth), 0.01);
+}
+
+TEST(Dataset, LogisticLabelsAreSigns) {
+  util::Rng rng(3);
+  const auto ds =
+      make_dataset(MlTask::kLogisticRegression, 100, 3, 0.1, rng);
+  for (const auto& e : ds.examples)
+    EXPECT_TRUE(e.y == 1.0 || e.y == -1.0);
+}
+
+TEST(Dataset, RejectsEmpty) {
+  util::Rng rng(4);
+  EXPECT_THROW(make_dataset(MlTask::kLinearRegression, 0, 3, 0.1, rng),
+               util::InvariantError);
+  EXPECT_THROW(make_dataset(MlTask::kLinearRegression, 5, 0, 0.1, rng),
+               util::InvariantError);
+}
+
+TEST(MlGossip, SgdWalkLearnsOverSimulation) {
+  util::Rng rng(5);
+  constexpr std::size_t kN = 64;
+  const auto ds = make_dataset(MlTask::kLinearRegression, kN, 3, 0.05, rng);
+  util::Rng graph_rng(6);
+  const auto g = net::random_k_out(kN, 5, graph_rng);
+  MlGossipApp app(ds, /*eta=*/0.3);
+
+  sim::SimConfig cfg;
+  cfg.timing.delta = 1000;
+  cfg.timing.transfer = 10;
+  cfg.timing.horizon = 300 * 1000;
+  cfg.strategy.kind = core::StrategyKind::kRandomized;
+  cfg.strategy.a_param = 1;
+  cfg.strategy.c_param = 5;
+  cfg.seed = 7;
+  MlGossipApp::Sim sim(g, app, cfg);
+
+  const double before = app.mean_loss();
+  sim.run();
+  const double after = app.mean_loss();
+  EXPECT_LT(after, before * 0.5);
+  EXPECT_GT(app.mean_age(), 1.0);
+}
+
+TEST(MlGossip, AdoptionFollowsAgeRule) {
+  util::Rng rng(8);
+  const auto ds = make_dataset(MlTask::kLinearRegression, 4, 2, 0.1, rng);
+  util::Rng graph_rng(9);
+  const auto g = net::random_k_out(4, 2, graph_rng);
+  MlGossipApp app(ds, 0.1);
+  sim::SimConfig cfg;
+  cfg.timing.delta = 1000;
+  cfg.timing.transfer = 10;
+  cfg.timing.horizon = 1000;
+  MlGossipApp::Sim sim(g, app, cfg);
+
+  LinearModel experienced(2);
+  experienced.age = 10;
+  sim::Arrival<LinearModel> msg{1, 0, 0, experienced};
+  EXPECT_TRUE(app.update_state(0, msg, sim));
+  EXPECT_EQ(app.model(0).age, 11);  // trained once more locally
+
+  LinearModel rookie(2);
+  rookie.age = 2;
+  sim::Arrival<LinearModel> msg2{1, 0, 0, rookie};
+  EXPECT_FALSE(app.update_state(0, msg2, sim));
+  EXPECT_EQ(app.model(0).age, 11);
+}
+
+}  // namespace
+}  // namespace toka::apps

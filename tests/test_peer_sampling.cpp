@@ -1,0 +1,78 @@
+#include "net/peer_sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace toka::net {
+namespace {
+
+using util::Rng;
+
+Digraph star_graph() {
+  // Node 0 points at 1..4.
+  Digraph g(5);
+  for (NodeId w = 1; w < 5; ++w) g.add_edge(0, w);
+  return g;
+}
+
+TEST(UniformNeighborSampler, ReturnsOnlyNeighbors) {
+  const auto g = star_graph();
+  UniformNeighborSampler sampler(g);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId peer = sampler.select(0, rng);
+    EXPECT_GE(peer, 1u);
+    EXPECT_LE(peer, 4u);
+  }
+}
+
+TEST(UniformNeighborSampler, NoNeighborsGivesNoNode) {
+  const auto g = star_graph();
+  UniformNeighborSampler sampler(g);
+  Rng rng(2);
+  EXPECT_EQ(sampler.select(3, rng), kNoNode);  // leaf has no out-edges
+}
+
+TEST(UniformNeighborSampler, ApproximatelyUniform) {
+  const auto g = star_graph();
+  UniformNeighborSampler sampler(g);
+  Rng rng(3);
+  std::map<NodeId, int> counts;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[sampler.select(0, rng)];
+  for (NodeId w = 1; w < 5; ++w) {
+    EXPECT_NEAR(static_cast<double>(counts[w]) / kN, 0.25, 0.02);
+  }
+}
+
+TEST(UniformNeighborSampler, OnlinePredicateFilters) {
+  const auto g = star_graph();
+  UniformNeighborSampler sampler(g, [](NodeId v) { return v % 2 == 0; });
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const NodeId peer = sampler.select(0, rng);
+    EXPECT_TRUE(peer == 2 || peer == 4) << peer;
+  }
+}
+
+TEST(UniformNeighborSampler, AllOfflineGivesNoNode) {
+  const auto g = star_graph();
+  UniformNeighborSampler sampler(g, [](NodeId) { return false; });
+  Rng rng(5);
+  EXPECT_EQ(sampler.select(0, rng), kNoNode);
+}
+
+TEST(UniformNeighborSampler, UniformOverOnlineSubset) {
+  const auto g = star_graph();
+  UniformNeighborSampler sampler(g, [](NodeId v) { return v >= 3; });
+  Rng rng(6);
+  std::map<NodeId, int> counts;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) ++counts[sampler.select(0, rng)];
+  EXPECT_NEAR(static_cast<double>(counts[3]) / kN, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[4]) / kN, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace toka::net

@@ -1,0 +1,179 @@
+#include "apps/push_gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/graph.hpp"
+
+namespace toka::apps {
+namespace {
+
+net::Digraph pair_graph() {
+  net::Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  return g;
+}
+
+sim::SimConfig fast_config() {
+  sim::SimConfig cfg;
+  cfg.timing.delta = 1000;
+  cfg.timing.transfer = 10;
+  cfg.timing.horizon = 100 * 1000;
+  cfg.strategy.kind = core::StrategyKind::kProactive;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(PushGossip, FresherUpdateIsUsefulAndAdopted) {
+  PushGossipApp app(2);
+  const auto g = pair_graph();
+  auto cfg = fast_config();
+  PushGossipApp::Sim sim(g, app, cfg);
+  sim::Arrival<GossipBody> msg{1, 0, 0, GossipBody{5, GossipBody::kUpdate}};
+  EXPECT_TRUE(app.update_state(0, msg, sim));
+  EXPECT_EQ(app.stored_ts(0), 5);
+}
+
+TEST(PushGossip, StaleOrEqualUpdateIsUseless) {
+  PushGossipApp app(2);
+  const auto g = pair_graph();
+  auto cfg = fast_config();
+  PushGossipApp::Sim sim(g, app, cfg);
+  sim::Arrival<GossipBody> msg{1, 0, 0, GossipBody{5, GossipBody::kUpdate}};
+  app.update_state(0, msg, sim);
+  // Equal timestamp: not fresher.
+  EXPECT_FALSE(app.update_state(0, msg, sim));
+  // Older timestamp.
+  msg.body.ts = 3;
+  EXPECT_FALSE(app.update_state(0, msg, sim));
+  EXPECT_EQ(app.stored_ts(0), 5);
+}
+
+TEST(PushGossip, NullUpdateIsUseless) {
+  PushGossipApp app(2);
+  const auto g = pair_graph();
+  auto cfg = fast_config();
+  PushGossipApp::Sim sim(g, app, cfg);
+  sim::Arrival<GossipBody> msg{1, 0, 0, GossipBody{0, GossipBody::kUpdate}};
+  EXPECT_FALSE(app.update_state(0, msg, sim));
+}
+
+TEST(PushGossip, InjectionTargetsOnlineNode) {
+  PushGossipApp app(2);
+  const auto g = pair_graph();
+  auto cfg = fast_config();
+  sim::ChurnSchedule churn(2);
+  churn[0].initially_online = false;
+  churn[1].initially_online = true;
+  PushGossipApp::Sim sim(g, app, cfg, churn);
+  app.inject(sim);
+  EXPECT_EQ(app.injected_count(), 1);
+  EXPECT_EQ(app.stored_ts(0), 0);  // offline node untouched
+  EXPECT_EQ(app.stored_ts(1), 1);
+}
+
+TEST(PushGossip, InjectionWithEveryoneOfflineStillCounts) {
+  PushGossipApp app(2);
+  const auto g = pair_graph();
+  auto cfg = fast_config();
+  sim::ChurnSchedule churn(2);
+  churn[0].initially_online = false;
+  churn[1].initially_online = false;
+  PushGossipApp::Sim sim(g, app, cfg, churn);
+  app.inject(sim);
+  EXPECT_EQ(app.injected_count(), 1);
+  EXPECT_EQ(app.stored_ts(0), 0);
+  EXPECT_EQ(app.stored_ts(1), 0);
+}
+
+TEST(PushGossip, MetricIsAverageLag) {
+  PushGossipApp app(2);
+  const auto g = pair_graph();
+  auto cfg = fast_config();
+  PushGossipApp::Sim sim(g, app, cfg);
+  for (int i = 0; i < 10; ++i) app.inject(sim);
+  // Injections were random among both (online) nodes; lag = 10 - mean(ts).
+  const double lag = app.metric(sim);
+  EXPECT_GE(lag, 0.0);
+  EXPECT_LE(lag, 10.0);
+  // Propagate the freshest update everywhere: lag becomes 10 - 10 = 0 only
+  // if both nodes store ts=10.
+  sim::Arrival<GossipBody> msg{1, 0, 0, GossipBody{10, GossipBody::kUpdate}};
+  app.update_state(0, msg, sim);
+  sim::Arrival<GossipBody> msg2{0, 1, 0, GossipBody{10, GossipBody::kUpdate}};
+  app.update_state(1, msg2, sim);
+  EXPECT_DOUBLE_EQ(app.metric(sim), 0.0);
+}
+
+TEST(PushGossip, PullRequestAnsweredWhenTokensAvailable) {
+  PushGossipApp app(2);
+  const auto g = pair_graph();
+  auto cfg = fast_config();
+  cfg.strategy.kind = core::StrategyKind::kSimple;
+  cfg.strategy.c_param = 10;
+  cfg.initial_tokens = 1;
+  PushGossipApp::Sim sim(g, app, cfg);
+  // Give node 0 a fresh update, then deliver a pull request from node 1.
+  sim::Arrival<GossipBody> update{1, 0, 0, GossipBody{7, GossipBody::kUpdate}};
+  app.update_state(0, update, sim);
+  sim.schedule(1, [&] {
+    sim.send_control_message(1, 0, GossipBody{0, GossipBody::kPullRequest});
+  });
+  sim.run_until(50);
+  // Node 0 burnt its token answering; node 1 received ts=7.
+  EXPECT_EQ(app.stored_ts(1), 7);
+  EXPECT_EQ(sim.account(0).counters().direct_spends, 1u);
+}
+
+TEST(PushGossip, PullRequestUnansweredWithoutTokens) {
+  PushGossipApp app(2);
+  const auto g = pair_graph();
+  auto cfg = fast_config();
+  cfg.strategy.kind = core::StrategyKind::kSimple;
+  cfg.strategy.c_param = 10;
+  cfg.initial_tokens = 0;
+  PushGossipApp::Sim sim(g, app, cfg);
+  sim::Arrival<GossipBody> update{1, 0, 0, GossipBody{7, GossipBody::kUpdate}};
+  app.update_state(0, update, sim);
+  sim.schedule(1, [&] {
+    sim.send_control_message(1, 0, GossipBody{0, GossipBody::kPullRequest});
+  });
+  sim.run_until(50);
+  EXPECT_EQ(app.stored_ts(1), 0);  // no answer
+}
+
+TEST(PushGossip, RejoiningNodeSendsPullRequest) {
+  PushGossipApp app(2);
+  const auto g = pair_graph();
+  auto cfg = fast_config();
+  cfg.strategy.kind = core::StrategyKind::kSimple;
+  cfg.strategy.c_param = 10;
+  cfg.initial_tokens = 5;
+  sim::ChurnSchedule churn(2);
+  churn[0].initially_online = true;
+  churn[1].initially_online = false;
+  churn[1].toggle_times = {5'000};  // node 1 rejoins at t=5000
+  PushGossipApp::Sim sim(g, app, cfg, churn);
+  // Node 0 holds update 3.
+  sim::Arrival<GossipBody> update{1, 0, 0, GossipBody{3, GossipBody::kUpdate}};
+  app.update_state(0, update, sim);
+  sim.run_until(10'000);
+  // The rejoin pull triggered an answer carrying ts=3.
+  EXPECT_EQ(app.stored_ts(1), 3);
+  EXPECT_GE(sim.counters().control_messages_sent, 1u);
+}
+
+TEST(PushGossip, StartInjectionsFollowsConfiguredPeriod) {
+  PushGossipApp app(2);
+  const auto g = pair_graph();
+  auto cfg = fast_config();
+  cfg.strategy.kind = core::StrategyKind::kSimple;
+  cfg.strategy.c_param = 1000;  // quiet network
+  PushGossipApp::Sim sim(g, app, cfg);
+  app.start_injections(sim, 100);
+  sim.run_until(1000);
+  EXPECT_EQ(app.injected_count(), 10);
+}
+
+}  // namespace
+}  // namespace toka::apps

@@ -1,0 +1,167 @@
+#include "apps/push_pull_gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/push_gossip.hpp"
+#include "net/graph.hpp"
+#include "util/rng.hpp"
+
+namespace toka::apps {
+namespace {
+
+net::Digraph pair_graph() {
+  net::Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  return g;
+}
+
+sim::SimConfig fast_config() {
+  sim::SimConfig cfg;
+  cfg.timing.delta = 1000;
+  cfg.timing.transfer = 10;
+  cfg.timing.horizon = 100 * 1000;
+  cfg.strategy.kind = core::StrategyKind::kSimple;
+  cfg.strategy.c_param = 10;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(PushPull, FresherUpdateAdopted) {
+  PushPullGossipApp app(2);
+  const auto g = pair_graph();
+  auto cfg = fast_config();
+  PushPullGossipApp::Sim sim(g, app, cfg);
+  sim::Arrival<PushPullBody> msg{1, 0, 0,
+                                 PushPullBody{5, PushPullBody::kUpdate}};
+  EXPECT_TRUE(app.update_state(0, msg, sim));
+  EXPECT_EQ(app.stored_ts(0), 5);
+}
+
+TEST(PushPull, StalePushTriggersCorrectionWhenTokensAvailable) {
+  PushPullGossipApp app(2);
+  const auto g = pair_graph();
+  auto cfg = fast_config();
+  cfg.initial_tokens = 2;
+  PushPullGossipApp::Sim sim(g, app, cfg);
+  // Node 0 holds update 9; node 1 pushes stale update 2 to node 0.
+  sim::Arrival<PushPullBody> fresh{1, 0, 0,
+                                   PushPullBody{9, PushPullBody::kUpdate}};
+  app.update_state(0, fresh, sim);
+  sim.schedule(1, [&] {
+    sim.send_control_message(1, 0, PushPullBody{2, PushPullBody::kUpdate});
+  });
+  sim.run_until(50);
+  // Node 0 burnt a token to correct node 1.
+  EXPECT_EQ(app.pull_corrections(), 1u);
+  EXPECT_EQ(app.stored_ts(1), 9);
+}
+
+TEST(PushPull, NoCorrectionWithoutTokens) {
+  PushPullGossipApp app(2);
+  const auto g = pair_graph();
+  auto cfg = fast_config();
+  cfg.initial_tokens = 0;
+  PushPullGossipApp::Sim sim(g, app, cfg);
+  sim::Arrival<PushPullBody> fresh{1, 0, 0,
+                                   PushPullBody{9, PushPullBody::kUpdate}};
+  app.update_state(0, fresh, sim);
+  sim.schedule(1, [&] {
+    sim.send_control_message(1, 0, PushPullBody{2, PushPullBody::kUpdate});
+  });
+  sim.run_until(50);
+  EXPECT_EQ(app.pull_corrections(), 0u);
+  EXPECT_EQ(app.stored_ts(1), 0);
+}
+
+TEST(PushPull, EqualTimestampNoCorrection) {
+  // Equal knowledge: no one is behind, no token wasted.
+  PushPullGossipApp app(2);
+  const auto g = pair_graph();
+  auto cfg = fast_config();
+  cfg.initial_tokens = 5;
+  PushPullGossipApp::Sim sim(g, app, cfg);
+  sim::Arrival<PushPullBody> m{1, 0, 0, PushPullBody{4, PushPullBody::kUpdate}};
+  app.update_state(0, m, sim);
+  sim.schedule(1, [&] {
+    sim.send_control_message(1, 0, PushPullBody{4, PushPullBody::kUpdate});
+  });
+  sim.run_until(50);
+  EXPECT_EQ(app.pull_corrections(), 0u);
+}
+
+TEST(PushPull, PullReplyDoesNotTriggerFurtherReplies) {
+  // A stale PullReply must be absorbed silently (no reply loops).
+  PushPullGossipApp app(2);
+  const auto g = pair_graph();
+  auto cfg = fast_config();
+  cfg.initial_tokens = 5;
+  PushPullGossipApp::Sim sim(g, app, cfg);
+  sim::Arrival<PushPullBody> fresh{1, 0, 0,
+                                   PushPullBody{9, PushPullBody::kUpdate}};
+  app.update_state(0, fresh, sim);
+  sim.schedule(1, [&] {
+    sim.send_control_message(1, 0, PushPullBody{2, PushPullBody::kPullReply});
+  });
+  sim.run_until(50);
+  EXPECT_EQ(app.pull_corrections(), 0u);
+  EXPECT_EQ(sim.counters().control_messages_sent, 1u);
+}
+
+TEST(PushPull, InformedFractionTracksSpread) {
+  PushPullGossipApp app(3);
+  net::Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  auto cfg = fast_config();
+  PushPullGossipApp::Sim sim(g, app, cfg);
+  app.inject(sim);
+  EXPECT_NEAR(app.informed_fraction(sim), 1.0 / 3.0, 1e-12);
+}
+
+TEST(PushPull, SingleShotSpreadBeatsPlainPushInFinalPhase) {
+  // The paper's §2.3 claim: pull helps the final phase. With one injected
+  // update and warm accounts, push-pull should reach full coverage no
+  // later than plain push (usually strictly earlier).
+  constexpr std::size_t kN = 300;
+  util::Rng graph_rng(5);
+  const auto g = net::random_k_out(kN, 10, graph_rng);
+  auto cfg = fast_config();
+  cfg.strategy.kind = core::StrategyKind::kRandomized;
+  cfg.strategy.a_param = 5;
+  cfg.strategy.c_param = 10;
+  cfg.initial_tokens = 10;
+  cfg.timing.horizon = 400 * cfg.timing.delta;
+
+  auto time_to_full_pushpull = [&]() -> TimeUs {
+    PushPullGossipApp app(kN);
+    PushPullGossipApp::Sim sim(g, app, cfg);
+    sim.schedule(1, [&] { app.inject(sim); });
+    for (TimeUs t = cfg.timing.delta; t <= cfg.timing.horizon;
+         t += cfg.timing.delta) {
+      sim.run_until(t);
+      if (app.informed_fraction(sim) >= 1.0) return t;
+    }
+    return cfg.timing.horizon * 2;
+  };
+  auto time_to_full_push = [&]() -> TimeUs {
+    PushGossipApp app(kN);
+    PushGossipApp::Sim sim(g, app, cfg);
+    sim.schedule(1, [&] { app.inject(sim); });
+    for (TimeUs t = cfg.timing.delta; t <= cfg.timing.horizon;
+         t += cfg.timing.delta) {
+      sim.run_until(t);
+      std::size_t informed = 0;
+      for (NodeId v = 0; v < kN; ++v)
+        if (app.stored_ts(v) == 1) ++informed;
+      if (informed == kN) return t;
+    }
+    return cfg.timing.horizon * 2;
+  };
+
+  EXPECT_LE(time_to_full_pushpull(), time_to_full_push());
+}
+
+}  // namespace
+}  // namespace toka::apps

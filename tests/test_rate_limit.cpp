@@ -1,0 +1,137 @@
+#include "core/rate_limit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/account.hpp"
+#include "core/strategies.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace toka::core {
+namespace {
+
+constexpr TimeUs kDelta = 1'000'000;  // 1 s period for readability
+
+TEST(RateLimitAuditor, AcceptsPeriodicSends) {
+  RateLimitAuditor auditor(kDelta, 0);
+  for (int i = 0; i < 100; ++i) auditor.record(i * kDelta);
+  EXPECT_FALSE(auditor.first_violation().has_value());
+}
+
+TEST(RateLimitAuditor, AcceptsBurstUpToCapacity) {
+  // C tokens can be burnt at one instant on top of the tick send.
+  constexpr Tokens kCap = 5;
+  RateLimitAuditor auditor(kDelta, kCap);
+  for (int i = 0; i < kCap + 1; ++i) auditor.record(1000);
+  EXPECT_FALSE(auditor.first_violation().has_value());
+}
+
+TEST(RateLimitAuditor, RejectsBurstBeyondCapacity) {
+  constexpr Tokens kCap = 5;
+  RateLimitAuditor auditor(kDelta, kCap);
+  for (int i = 0; i < kCap + 2; ++i) auditor.record(1000);
+  const auto violation = auditor.first_violation();
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->sends, static_cast<std::uint64_t>(kCap) + 2);
+  EXPECT_EQ(violation->bound, static_cast<std::uint64_t>(kCap) + 1);
+  EXPECT_FALSE(violation->describe().empty());
+}
+
+TEST(RateLimitAuditor, RejectsSustainedOverRate) {
+  // 2 sends per period with capacity 3 must eventually violate.
+  RateLimitAuditor auditor(kDelta, 3);
+  for (int i = 0; i < 20; ++i) auditor.record(i * kDelta / 2);
+  EXPECT_TRUE(auditor.first_violation().has_value());
+}
+
+TEST(RateLimitAuditor, WindowBoundScalesWithLength) {
+  // ~1 send per period plus a C-burst at the end stays legal.
+  constexpr Tokens kCap = 4;
+  RateLimitAuditor auditor(kDelta, kCap);
+  for (int i = 0; i < 10; ++i) auditor.record(i * kDelta);
+  for (int i = 0; i < kCap; ++i) auditor.record(9 * kDelta);
+  EXPECT_FALSE(auditor.first_violation().has_value());
+}
+
+TEST(RateLimitAuditor, RequiresMonotoneTimestamps) {
+  RateLimitAuditor auditor(kDelta, 1);
+  auditor.record(100);
+  EXPECT_THROW(auditor.record(50), util::InvariantError);
+}
+
+TEST(RateLimitAuditor, RejectsBadConstruction) {
+  EXPECT_THROW(RateLimitAuditor(0, 1), util::InvariantError);
+  EXPECT_THROW(RateLimitAuditor(kDelta, -1), util::InvariantError);
+}
+
+TEST(RateLimitAuditor, MaxInWindow) {
+  RateLimitAuditor auditor(kDelta, 10);
+  for (TimeUs t : {0, 100, 200, 5000, 5100}) auditor.record(t);
+  EXPECT_EQ(auditor.max_in_window(250), 3u);
+  EXPECT_EQ(auditor.max_in_window(10'000), 5u);
+  EXPECT_EQ(auditor.max_in_window(0), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's §3.4 guarantee as an executable property: an adversarial
+// message flood against a real TokenAccount can never produce a send trace
+// that violates ceil(t/Δ)+C, for any shipped bounded strategy.
+
+struct FloodParam {
+  StrategyKind kind;
+  Tokens a;
+  Tokens c;
+};
+
+class BurstBound : public testing::TestWithParam<FloodParam> {};
+
+TEST_P(BurstBound, HoldsUnderAdversarialFlood) {
+  const FloodParam& p = GetParam();
+  StrategyConfig cfg;
+  cfg.kind = p.kind;
+  cfg.a_param = p.a;
+  cfg.c_param = p.c;
+  const auto strategy = make_strategy(cfg);
+  TokenAccount account(*strategy);
+  RateLimitAuditor auditor(kDelta, strategy->capacity());
+  util::Rng rng(1234);
+  util::Rng workload(99);
+
+  TimeUs now = 0;
+  TimeUs next_tick = kDelta;
+  for (int step = 0; step < 5000; ++step) {
+    // Adversary: bursts of useful messages between ticks, concentrated
+    // right after the account has had time to fill.
+    now += workload.bernoulli(0.2) ? kDelta / 3 : 1;
+    while (now >= next_tick) {
+      if (account.on_tick(rng)) auditor.record(next_tick);
+      next_tick += kDelta;
+    }
+    const Tokens x = account.on_message(true, rng);
+    for (Tokens i = 0; i < x; ++i) auditor.record(now);
+  }
+  const auto violation = auditor.first_violation();
+  EXPECT_FALSE(violation.has_value())
+      << violation->describe() << " for " << strategy->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, BurstBound,
+    testing::Values(FloodParam{StrategyKind::kSimple, 1, 0},
+                    FloodParam{StrategyKind::kSimple, 1, 1},
+                    FloodParam{StrategyKind::kSimple, 1, 10},
+                    FloodParam{StrategyKind::kGeneralized, 1, 5},
+                    FloodParam{StrategyKind::kGeneralized, 5, 10},
+                    FloodParam{StrategyKind::kGeneralized, 10, 10},
+                    FloodParam{StrategyKind::kRandomized, 1, 5},
+                    FloodParam{StrategyKind::kRandomized, 5, 10},
+                    FloodParam{StrategyKind::kRandomized, 10, 20},
+                    FloodParam{StrategyKind::kProactive, 1, 0}),
+    [](const testing::TestParamInfo<FloodParam>& info) {
+      return to_string(info.param.kind) + "_A" +
+             std::to_string(info.param.a) + "_C" +
+             std::to_string(info.param.c);
+    });
+
+}  // namespace
+}  // namespace toka::core

@@ -1,0 +1,139 @@
+#include "runtime/inproc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "util/serde.hpp"
+
+namespace toka::runtime {
+namespace {
+
+std::vector<std::byte> payload_of(int v) {
+  util::BinaryWriter w;
+  w.u32(static_cast<std::uint32_t>(v));
+  return w.take();
+}
+
+int value_of(const std::vector<std::byte>& payload) {
+  util::BinaryReader r(payload);
+  return static_cast<int>(r.u32());
+}
+
+TEST(InProc, DeliversMessages) {
+  InProcNetwork net(2);
+  std::atomic<int> received{-1};
+  std::atomic<NodeId> from{kNoNode};
+  net.endpoint(1).set_handler(
+      [&](NodeId f, std::vector<std::byte> p) {
+        from = f;
+        received = value_of(p);
+      });
+  net.start();
+  net.endpoint(0).send(1, payload_of(42));
+  net.drain();
+  net.stop();
+  EXPECT_EQ(received.load(), 42);
+  EXPECT_EQ(from.load(), 0u);
+}
+
+TEST(InProc, PreservesSendOrder) {
+  InProcNetwork net(2);
+  std::vector<int> received;
+  std::mutex mu;
+  net.endpoint(1).set_handler([&](NodeId, std::vector<std::byte> p) {
+    std::lock_guard lock(mu);
+    received.push_back(value_of(p));
+  });
+  net.start();
+  for (int i = 0; i < 100; ++i) net.endpoint(0).send(1, payload_of(i));
+  net.drain();
+  net.stop();
+  ASSERT_EQ(received.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(InProc, DropsMessagesToUnknownPeer) {
+  InProcNetwork net(2);
+  net.start();
+  net.endpoint(0).send(57, payload_of(1));  // out of range: silently dropped
+  net.drain();
+  net.stop();
+  SUCCEED();
+}
+
+TEST(InProc, LatencyDelaysDelivery) {
+  InProcNetwork net(2, /*latency_us=*/30'000);
+  std::atomic<bool> got{false};
+  net.endpoint(1).set_handler(
+      [&](NodeId, std::vector<std::byte>) { got = true; });
+  net.start();
+  const auto start = std::chrono::steady_clock::now();
+  net.endpoint(0).send(1, payload_of(1));
+  net.drain();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  net.stop();
+  EXPECT_TRUE(got.load());
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            25'000);
+}
+
+TEST(InProc, BidirectionalTraffic) {
+  InProcNetwork net(2);
+  std::atomic<int> at0{0}, at1{0};
+  net.endpoint(0).set_handler(
+      [&](NodeId, std::vector<std::byte>) { ++at0; });
+  net.endpoint(1).set_handler(
+      [&](NodeId, std::vector<std::byte>) { ++at1; });
+  net.start();
+  for (int i = 0; i < 10; ++i) {
+    net.endpoint(0).send(1, payload_of(i));
+    net.endpoint(1).send(0, payload_of(i));
+  }
+  net.drain();
+  net.stop();
+  EXPECT_EQ(at0.load(), 10);
+  EXPECT_EQ(at1.load(), 10);
+}
+
+TEST(InProc, StopIsIdempotentAndRestartable) {
+  InProcNetwork net(2);
+  net.start();
+  net.stop();
+  net.stop();
+  net.start();
+  std::atomic<bool> got{false};
+  net.endpoint(1).set_handler(
+      [&](NodeId, std::vector<std::byte>) { got = true; });
+  net.endpoint(0).send(1, payload_of(1));
+  net.drain();
+  net.stop();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(InProc, HandlerlessEndpointDiscards) {
+  InProcNetwork net(2);
+  net.start();
+  net.endpoint(0).send(1, payload_of(5));  // endpoint 1 has no handler
+  net.drain();
+  net.stop();
+  SUCCEED();
+}
+
+TEST(InProc, SelfSendDelivered) {
+  InProcNetwork net(1);
+  std::atomic<int> got{-1};
+  net.endpoint(0).set_handler(
+      [&](NodeId, std::vector<std::byte> p) { got = value_of(p); });
+  net.start();
+  net.endpoint(0).send(0, payload_of(9));
+  net.drain();
+  net.stop();
+  EXPECT_EQ(got.load(), 9);
+}
+
+}  // namespace
+}  // namespace toka::runtime

@@ -1,0 +1,96 @@
+#include "util/serde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace toka::util {
+namespace {
+
+TEST(Serde, ScalarRoundTrip) {
+  BinaryWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, StringRoundTrip) {
+  BinaryWriter w;
+  w.str("hello");
+  w.str("");
+  w.str(std::string("with\0null", 9));
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), std::string("with\0null", 9));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, BytesRoundTrip) {
+  BinaryWriter w;
+  std::vector<std::byte> data{std::byte{1}, std::byte{2}, std::byte{3}};
+  w.bytes(data);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.bytes(), data);
+}
+
+TEST(Serde, FloatSpecialValues) {
+  BinaryWriter w;
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::denorm_min());
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(Serde, TruncatedReadThrows) {
+  BinaryWriter w;
+  w.u32(5);
+  BinaryReader r(w.data());
+  EXPECT_THROW(r.u64(), IoError);
+}
+
+TEST(Serde, TruncatedBytesThrows) {
+  BinaryWriter w;
+  w.u32(100);  // length prefix promises 100 bytes that are not there
+  BinaryReader r(w.data());
+  EXPECT_THROW(r.bytes(), IoError);
+}
+
+TEST(Serde, RemainingTracksConsumption) {
+  BinaryWriter w;
+  w.u32(1);
+  w.u32(2);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u32();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, LittleEndianLayout) {
+  BinaryWriter w;
+  w.u32(0x04030201);
+  const auto& d = w.data();
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_EQ(static_cast<int>(d[0]), 1);
+  EXPECT_EQ(static_cast<int>(d[3]), 4);
+}
+
+}  // namespace
+}  // namespace toka::util

@@ -1,0 +1,294 @@
+#include "core/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace toka::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Exact value tables (paper equations 1-5)
+
+TEST(ProactiveStrategy, IsConstantOne) {
+  ProactiveStrategy s;
+  for (Tokens a = 0; a <= 100; ++a) {
+    EXPECT_DOUBLE_EQ(s.proactive(a), 1.0);
+    EXPECT_DOUBLE_EQ(s.reactive(a, true), 0.0);
+    EXPECT_DOUBLE_EQ(s.reactive(a, false), 0.0);
+  }
+  EXPECT_EQ(s.capacity(), 0);
+}
+
+TEST(SimpleTokenAccount, Equation1And2) {
+  SimpleTokenAccount s(5);
+  // proactive: 1 iff a >= C
+  EXPECT_DOUBLE_EQ(s.proactive(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.proactive(4), 0.0);
+  EXPECT_DOUBLE_EQ(s.proactive(5), 1.0);
+  EXPECT_DOUBLE_EQ(s.proactive(6), 1.0);
+  // reactive: 1 iff a > 0, independent of usefulness
+  EXPECT_DOUBLE_EQ(s.reactive(0, true), 0.0);
+  EXPECT_DOUBLE_EQ(s.reactive(1, true), 1.0);
+  EXPECT_DOUBLE_EQ(s.reactive(100, true), 1.0);
+  EXPECT_DOUBLE_EQ(s.reactive(1, false), 1.0);
+  EXPECT_EQ(s.capacity(), 5);
+}
+
+TEST(SimpleTokenAccount, CZeroIsProactiveBaseline) {
+  // The paper defines the proactive baseline as simple with C = 0 (§3.3.1).
+  SimpleTokenAccount simple(0);
+  ProactiveStrategy proactive;
+  for (Tokens a = 0; a <= 50; ++a) {
+    EXPECT_DOUBLE_EQ(simple.proactive(a), proactive.proactive(a));
+  }
+  EXPECT_EQ(simple.capacity(), proactive.capacity());
+  // Behavioural equivalence: with C = 0 the balance never leaves 0 (every
+  // tick sends proactively), so reactive(0, u) = 0 is the only value used.
+  EXPECT_DOUBLE_EQ(simple.reactive(0, true), 0.0);
+}
+
+TEST(SimpleTokenAccount, RejectsNegativeCapacity) {
+  EXPECT_THROW(SimpleTokenAccount(-1), util::InvariantError);
+}
+
+TEST(GeneralizedTokenAccount, Equation3Useful) {
+  GeneralizedTokenAccount s(/*a=*/3, /*c=*/10);
+  // reactive(a, true) = floor((A-1+a)/A) with A = 3
+  EXPECT_DOUBLE_EQ(s.reactive(0, true), 0.0);   // floor(2/3)
+  EXPECT_DOUBLE_EQ(s.reactive(1, true), 1.0);   // floor(3/3)
+  EXPECT_DOUBLE_EQ(s.reactive(2, true), 1.0);   // floor(4/3)
+  EXPECT_DOUBLE_EQ(s.reactive(3, true), 1.0);   // floor(5/3)
+  EXPECT_DOUBLE_EQ(s.reactive(4, true), 2.0);   // floor(6/3)
+  EXPECT_DOUBLE_EQ(s.reactive(10, true), 4.0);  // floor(12/3)
+}
+
+TEST(GeneralizedTokenAccount, Equation3NotUseful) {
+  GeneralizedTokenAccount s(/*a=*/3, /*c=*/10);
+  // reactive(a, false) = floor((A-1+a)/(2A)) with 2A = 6
+  EXPECT_DOUBLE_EQ(s.reactive(0, false), 0.0);  // floor(2/6)
+  EXPECT_DOUBLE_EQ(s.reactive(3, false), 0.0);  // floor(5/6)
+  EXPECT_DOUBLE_EQ(s.reactive(4, false), 1.0);  // floor(6/6)
+  EXPECT_DOUBLE_EQ(s.reactive(10, false), 2.0); // floor(12/6)
+}
+
+TEST(GeneralizedTokenAccount, AEqualsOneSpendsEverything) {
+  GeneralizedTokenAccount s(1, 10);
+  for (Tokens a = 0; a <= 10; ++a)
+    EXPECT_DOUBLE_EQ(s.reactive(a, true), static_cast<double>(a));
+}
+
+TEST(GeneralizedTokenAccount, AEqualsCMatchesSimpleReactive) {
+  // The paper notes A = C makes Eq. 3 equivalent to Eq. 2 for balances in
+  // the feasible range [0, C].
+  const Tokens c = 7;
+  GeneralizedTokenAccount gen(c, c);
+  SimpleTokenAccount simple(c);
+  for (Tokens a = 0; a <= c; ++a) {
+    EXPECT_DOUBLE_EQ(gen.reactive(a, true), simple.reactive(a, true))
+        << "a=" << a;
+  }
+}
+
+TEST(GeneralizedTokenAccount, ScarcityIgnoresUselessMessages) {
+  // When A >= a the useless branch returns 0: no tokens wasted (§3.3.2).
+  GeneralizedTokenAccount s(5, 10);
+  for (Tokens a = 0; a <= 5; ++a)
+    EXPECT_DOUBLE_EQ(s.reactive(a, false), 0.0) << "a=" << a;
+}
+
+TEST(GeneralizedTokenAccount, RejectsBadParameters) {
+  EXPECT_THROW(GeneralizedTokenAccount(0, 5), util::InvariantError);
+  EXPECT_THROW(GeneralizedTokenAccount(6, 5), util::InvariantError);
+}
+
+TEST(RandomizedTokenAccount, Equation4Ramp) {
+  RandomizedTokenAccount s(/*a=*/3, /*c=*/10);
+  // 0 below A-1 = 2
+  EXPECT_DOUBLE_EQ(s.proactive(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.proactive(1), 0.0);
+  // linear (a-A+1)/(C-A+1) = (a-2)/8 on [2, 10]
+  EXPECT_DOUBLE_EQ(s.proactive(2), 0.0);
+  EXPECT_DOUBLE_EQ(s.proactive(6), 0.5);
+  EXPECT_DOUBLE_EQ(s.proactive(10), 1.0);
+  // 1 above C
+  EXPECT_DOUBLE_EQ(s.proactive(11), 1.0);
+}
+
+TEST(RandomizedTokenAccount, Equation5Reactive) {
+  RandomizedTokenAccount s(4, 12);
+  EXPECT_DOUBLE_EQ(s.reactive(0, true), 0.0);
+  EXPECT_DOUBLE_EQ(s.reactive(2, true), 0.5);
+  EXPECT_DOUBLE_EQ(s.reactive(12, true), 3.0);
+  // Not useful: always 0.
+  for (Tokens a = 0; a <= 12; ++a)
+    EXPECT_DOUBLE_EQ(s.reactive(a, false), 0.0);
+}
+
+TEST(RandomizedTokenAccount, AEqualsCProactiveStep) {
+  RandomizedTokenAccount s(5, 5);
+  EXPECT_DOUBLE_EQ(s.proactive(3), 0.0);
+  EXPECT_DOUBLE_EQ(s.proactive(4), 0.0);  // (4-4)/1
+  EXPECT_DOUBLE_EQ(s.proactive(5), 1.0);  // (5-4)/1
+}
+
+TEST(RandomizedTokenAccount, RejectsBadParameters) {
+  EXPECT_THROW(RandomizedTokenAccount(0, 5), util::InvariantError);
+  EXPECT_THROW(RandomizedTokenAccount(6, 5), util::InvariantError);
+}
+
+TEST(PureReactiveStrategy, ConstantResponse) {
+  PureReactiveStrategy s(3);
+  for (Tokens a = -5; a <= 5; ++a) {
+    EXPECT_DOUBLE_EQ(s.proactive(a), 0.0);
+    EXPECT_DOUBLE_EQ(s.reactive(a, true), 3.0);
+    EXPECT_DOUBLE_EQ(s.reactive(a, false), 3.0);
+  }
+  EXPECT_EQ(s.capacity(), kUnboundedCapacity);
+}
+
+TEST(PureReactiveStrategy, UsefulOnlyVariant) {
+  PureReactiveStrategy s(2, /*useful_only=*/true);
+  EXPECT_DOUBLE_EQ(s.reactive(0, true), 2.0);
+  EXPECT_DOUBLE_EQ(s.reactive(0, false), 0.0);
+}
+
+TEST(PureReactiveStrategy, RejectsNonPositiveK) {
+  EXPECT_THROW(PureReactiveStrategy(0), util::InvariantError);
+}
+
+// ---------------------------------------------------------------------------
+// Factory and config
+
+TEST(StrategyFactory, BuildsEveryKind) {
+  StrategyConfig cfg;
+  cfg.kind = StrategyKind::kProactive;
+  EXPECT_EQ(make_strategy(cfg)->name(), "proactive");
+  cfg.kind = StrategyKind::kSimple;
+  cfg.c_param = 4;
+  EXPECT_EQ(make_strategy(cfg)->name(), "simple(C=4)");
+  cfg.kind = StrategyKind::kGeneralized;
+  cfg.a_param = 2;
+  EXPECT_EQ(make_strategy(cfg)->name(), "generalized(A=2,C=4)");
+  cfg.kind = StrategyKind::kRandomized;
+  EXPECT_EQ(make_strategy(cfg)->name(), "randomized(A=2,C=4)");
+  cfg.kind = StrategyKind::kPureReactive;
+  cfg.reactive_k = 2;
+  EXPECT_EQ(make_strategy(cfg)->name(), "reactive(k=2)");
+}
+
+TEST(StrategyFactory, ParseRoundTrip) {
+  for (StrategyKind kind :
+       {StrategyKind::kProactive, StrategyKind::kSimple,
+        StrategyKind::kGeneralized, StrategyKind::kRandomized,
+        StrategyKind::kPureReactive}) {
+    EXPECT_EQ(parse_strategy_kind(to_string(kind)), kind);
+  }
+  EXPECT_THROW(parse_strategy_kind("bogus"), util::IoError);
+}
+
+TEST(StrategyConfig, Labels) {
+  StrategyConfig cfg;
+  cfg.kind = StrategyKind::kRandomized;
+  cfg.a_param = 5;
+  cfg.c_param = 10;
+  EXPECT_EQ(cfg.label(), "randomized A=5 C=10");
+  cfg.kind = StrategyKind::kProactive;
+  EXPECT_EQ(cfg.label(), "proactive");
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep over the paper's parameter grid: every shipped strategy
+// must satisfy the framework contract of §3.1 (probability range,
+// monotonicity in a and u, no overspending, capacity minimality).
+
+struct GridParam {
+  StrategyKind kind;
+  Tokens a;
+  Tokens c;
+};
+
+std::string param_name(const testing::TestParamInfo<GridParam>& info) {
+  return to_string(info.param.kind) + "_A" + std::to_string(info.param.a) +
+         "_C" + std::to_string(info.param.c);
+}
+
+class StrategyContract : public testing::TestWithParam<GridParam> {};
+
+TEST_P(StrategyContract, SatisfiesFrameworkInvariants) {
+  const GridParam& p = GetParam();
+  StrategyConfig cfg;
+  cfg.kind = p.kind;
+  cfg.a_param = p.a;
+  cfg.c_param = p.c;
+  const auto strategy = make_strategy(cfg);
+  const auto issues = validate_strategy(*strategy, p.c + 50);
+  EXPECT_TRUE(issues.empty()) << issues.front();
+}
+
+TEST_P(StrategyContract, CapacityIsExplicitParameter) {
+  const GridParam& p = GetParam();
+  StrategyConfig cfg;
+  cfg.kind = p.kind;
+  cfg.a_param = p.a;
+  cfg.c_param = p.c;
+  EXPECT_EQ(make_strategy(cfg)->capacity(), p.c);
+}
+
+std::vector<GridParam> make_grid() {
+  // The paper's exploration: A in {1,2,5,10,15,20,40},
+  // C-A in {0,1,2,5,10,15,20,40,80}.
+  std::vector<GridParam> grid;
+  for (StrategyKind kind : {StrategyKind::kSimple, StrategyKind::kGeneralized,
+                            StrategyKind::kRandomized}) {
+    for (Tokens a : {1, 2, 5, 10, 15, 20, 40}) {
+      for (Tokens gap : {0, 1, 2, 5, 10, 15, 20, 40, 80}) {
+        if (kind == StrategyKind::kSimple && a != 1) continue;  // A unused
+        grid.push_back(GridParam{kind, a, a + gap});
+      }
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperGrid, StrategyContract,
+                         testing::ValuesIn(make_grid()), param_name);
+
+// Validation must actually catch violations.
+
+class BrokenStrategy final : public Strategy {
+ public:
+  double proactive(Tokens a) const override {
+    return a == 3 ? 0.2 : (a >= 5 ? 1.0 : 0.5);  // dip at 3: not monotone
+  }
+  double reactive(Tokens a, bool) const override {
+    return static_cast<double>(a + 1);  // overspends
+  }
+  Tokens capacity() const override { return 5; }
+  std::string name() const override { return "broken"; }
+};
+
+TEST(ValidateStrategy, DetectsViolations) {
+  BrokenStrategy s;
+  const auto issues = validate_strategy(s, 10);
+  EXPECT_GE(issues.size(), 2u);
+}
+
+class OverclaimedCapacity final : public Strategy {
+ public:
+  double proactive(Tokens a) const override { return a >= 2 ? 1.0 : 0.0; }
+  double reactive(Tokens, bool) const override { return 0.0; }
+  Tokens capacity() const override { return 5; }  // true capacity is 2
+  std::string name() const override { return "overclaimed"; }
+};
+
+TEST(ValidateStrategy, DetectsNonMinimalCapacity) {
+  OverclaimedCapacity s;
+  const auto issues = validate_strategy(s, 10);
+  ASSERT_FALSE(issues.empty());
+}
+
+}  // namespace
+}  // namespace toka::core

@@ -1,0 +1,143 @@
+#include "trace/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.hpp"
+
+namespace toka::trace {
+namespace {
+
+using duration::kDay;
+using duration::kHour;
+
+SyntheticTraceConfig default_config() { return SyntheticTraceConfig{}; }
+
+TEST(SyntheticTrace, Deterministic) {
+  util::Rng rng_a(42), rng_b(42);
+  const auto a = generate_segments(default_config(), 50, rng_a);
+  const auto b = generate_segments(default_config(), 50, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].intervals().size(), b[i].intervals().size());
+}
+
+TEST(SyntheticTrace, SegmentsStayWithinHorizon) {
+  util::Rng rng(1);
+  const auto cfg = default_config();
+  const auto segments = generate_segments(cfg, 500, rng);
+  for (const Segment& seg : segments) {
+    for (const Interval& iv : seg.intervals()) {
+      EXPECT_GE(iv.start, 0);
+      EXPECT_LE(iv.end, cfg.horizon);
+      EXPECT_LT(iv.start, iv.end);
+    }
+  }
+}
+
+TEST(SyntheticTrace, NeverOnlineFractionNearThirty) {
+  // Paper: ~30% of users remain permanently offline over the two days.
+  util::Rng rng(2);
+  const auto segments = generate_segments(default_config(), 5000, rng);
+  EXPECT_NEAR(never_online_fraction(segments), 0.30, 0.03);
+}
+
+TEST(SyntheticTrace, MinimumSessionLengthRespectsWarmup) {
+  // Warmup shaves a minute; no session shorter than a few seconds should
+  // survive (exact zero-length ones are dropped by normalization).
+  util::Rng rng(3);
+  const auto segments = generate_segments(default_config(), 500, rng);
+  for (const Segment& seg : segments)
+    for (const Interval& iv : seg.intervals()) EXPECT_GT(iv.length(), 0);
+}
+
+TEST(SyntheticTrace, DiurnalPatternPeaksAtNight) {
+  // Paper Fig. 1: more phones available during the night (chargers).
+  util::Rng rng(4);
+  const auto segments = generate_segments(default_config(), 8000, rng);
+  const auto stats = trace_statistics(segments, 2 * kDay, kHour);
+  // Compare ~02:00 (night) against ~14:00 (afternoon) on both days.
+  const double night = (stats[2].online_fraction + stats[26].online_fraction) / 2;
+  const double day = (stats[14].online_fraction + stats[38].online_fraction) / 2;
+  EXPECT_GT(night, day + 0.1);
+}
+
+TEST(SyntheticTrace, OnlineFractionInPlausibleEnvelope) {
+  util::Rng rng(5);
+  const auto segments = generate_segments(default_config(), 8000, rng);
+  const auto stats = trace_statistics(segments, 2 * kDay, kHour);
+  double mean = 0.0;
+  for (const auto& b : stats) mean += b.online_fraction;
+  mean /= static_cast<double>(stats.size());
+  // Paper Fig. 1 oscillates roughly between 0.3 and 0.55.
+  EXPECT_GT(mean, 0.25);
+  EXPECT_LT(mean, 0.60);
+}
+
+TEST(SyntheticTrace, HasBeenOnlinePlateausNearSeventy) {
+  util::Rng rng(6);
+  const auto segments = generate_segments(default_config(), 8000, rng);
+  const auto stats = trace_statistics(segments, 2 * kDay, kHour);
+  const double final_fraction = stats.back().has_been_online_fraction;
+  EXPECT_NEAR(final_fraction, 0.70, 0.05);
+  // Monotone non-decreasing by definition.
+  for (std::size_t i = 1; i < stats.size(); ++i)
+    EXPECT_GE(stats[i].has_been_online_fraction,
+              stats[i - 1].has_been_online_fraction);
+}
+
+TEST(SyntheticTrace, ArchetypesBehaveAsDocumented) {
+  const auto cfg = default_config();
+  util::Rng rng(7);
+  // never-online
+  EXPECT_TRUE(generate_archetype_segment(cfg, 0, rng).empty());
+  // always-on: nearly the whole horizon
+  const auto always = generate_archetype_segment(cfg, 3, rng);
+  EXPECT_GT(always.online_time(), cfg.horizon * 9 / 10);
+  // night charger: some availability, mostly under half the horizon
+  const auto night = generate_archetype_segment(cfg, 1, rng);
+  EXPECT_GT(night.online_time(), 0);
+  // day sporadic: several short sessions
+  const auto day = generate_archetype_segment(cfg, 2, rng);
+  EXPECT_GE(day.session_count(), 2u);
+}
+
+TEST(SyntheticTrace, UnknownArchetypeThrows) {
+  util::Rng rng(8);
+  EXPECT_THROW(generate_archetype_segment(default_config(), 9, rng),
+               util::InvariantError);
+}
+
+TEST(SyntheticTrace, BadMixRejected) {
+  SyntheticTraceConfig cfg;
+  cfg.mix.always_on = 0.9;  // sums > 1
+  util::Rng rng(9);
+  EXPECT_THROW(generate_segments(cfg, 10, rng), util::InvariantError);
+}
+
+TEST(TraceStats, LoginLogoutChurnVisible) {
+  util::Rng rng(10);
+  const auto segments = generate_segments(default_config(), 4000, rng);
+  const auto stats = trace_statistics(segments, 2 * kDay, kHour);
+  double total_logins = 0.0;
+  for (const auto& b : stats) total_logins += b.login_fraction;
+  // Every ever-online user logs in at least once -> >= ~0.7 logins/user.
+  EXPECT_GT(total_logins, 0.6);
+}
+
+TEST(TraceStats, MeanOnlineShare) {
+  std::vector<Segment> segments;
+  segments.emplace_back(std::vector<Interval>{{0, 50}});
+  segments.emplace_back(std::vector<Interval>{{0, 100}});
+  segments.emplace_back();  // never online: excluded
+  EXPECT_NEAR(mean_online_share(segments, 100), 0.75, 1e-12);
+}
+
+TEST(TraceStats, EmptyInput) {
+  const auto stats = trace_statistics({}, kDay, kHour);
+  EXPECT_EQ(stats.size(), 24u);
+  EXPECT_DOUBLE_EQ(stats[0].online_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(never_online_fraction({}), 0.0);
+}
+
+}  // namespace
+}  // namespace toka::trace

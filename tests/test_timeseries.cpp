@@ -1,0 +1,125 @@
+#include "metrics/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace toka::metrics {
+namespace {
+
+TEST(TimeSeries, AddAndAccess) {
+  TimeSeries ts;
+  ts.add(0, 1.0);
+  ts.add(10, 2.0);
+  ts.add(20, 3.0);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(ts.final_value(), 3.0);
+}
+
+TEST(TimeSeries, RejectsTimeTravel) {
+  TimeSeries ts;
+  ts.add(10, 1.0);
+  EXPECT_THROW(ts.add(5, 2.0), util::InvariantError);
+}
+
+TEST(TimeSeries, ConstructorValidatesOrder) {
+  EXPECT_THROW(TimeSeries({{10, 1.0}, {5, 2.0}}), util::InvariantError);
+}
+
+TEST(TimeSeries, FinalValueRequiresData) {
+  TimeSeries ts;
+  EXPECT_THROW(ts.final_value(), util::InvariantError);
+}
+
+TEST(TimeSeries, MeanOverWindow) {
+  TimeSeries ts({{0, 1.0}, {10, 2.0}, {20, 3.0}, {30, 4.0}});
+  EXPECT_DOUBLE_EQ(*ts.mean_over(10, 20), 2.5);
+  EXPECT_DOUBLE_EQ(*ts.mean_over(0, 30), 2.5);
+  EXPECT_FALSE(ts.mean_over(100, 200).has_value());
+}
+
+TEST(TimeSeries, TimeToThresholdRising) {
+  TimeSeries ts({{0, 0.1}, {10, 0.5}, {20, 0.9}});
+  EXPECT_EQ(*ts.time_to_threshold(0.5, true), 10);
+  EXPECT_EQ(*ts.time_to_threshold(0.05, true), 0);
+  EXPECT_FALSE(ts.time_to_threshold(1.0, true).has_value());
+}
+
+TEST(TimeSeries, TimeToThresholdFalling) {
+  TimeSeries ts({{0, 10.0}, {10, 5.0}, {20, 1.0}});
+  EXPECT_EQ(*ts.time_to_threshold(5.0, false), 10);
+  EXPECT_FALSE(ts.time_to_threshold(0.5, false).has_value());
+}
+
+TEST(TimeSeries, SmoothedWindowAverage) {
+  TimeSeries ts({{0, 2.0}, {10, 4.0}, {20, 6.0}, {100, 100.0}});
+  const TimeSeries sm = ts.smoothed(20);
+  ASSERT_EQ(sm.size(), 4u);
+  EXPECT_DOUBLE_EQ(sm[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(sm[1].value, 3.0);
+  EXPECT_DOUBLE_EQ(sm[2].value, 4.0);
+  EXPECT_DOUBLE_EQ(sm[3].value, 100.0);  // old points fell out of window
+}
+
+TEST(TimeSeries, SmoothedZeroWindowIsIdentityForDistinctTimes) {
+  TimeSeries ts({{0, 1.0}, {10, 5.0}});
+  const TimeSeries sm = ts.smoothed(0);
+  EXPECT_DOUBLE_EQ(sm[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(sm[1].value, 5.0);
+}
+
+TEST(TimeSeries, BucketedAverages) {
+  TimeSeries ts({{0, 1.0}, {5, 3.0}, {10, 10.0}, {15, 20.0}, {25, 7.0}});
+  const TimeSeries b = ts.bucketed(10);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_DOUBLE_EQ(b[0].value, 2.0);    // bucket [0,10)
+  EXPECT_DOUBLE_EQ(b[1].value, 15.0);   // bucket [10,20)
+  EXPECT_DOUBLE_EQ(b[2].value, 7.0);    // bucket [20,30)
+  EXPECT_EQ(b[0].t, 5);                 // midpoint
+}
+
+TEST(Average, PointwiseMean) {
+  TimeSeries a({{0, 1.0}, {10, 3.0}});
+  TimeSeries b({{0, 3.0}, {10, 5.0}});
+  const TimeSeries avg = average({a, b});
+  ASSERT_EQ(avg.size(), 2u);
+  EXPECT_DOUBLE_EQ(avg[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(avg[1].value, 4.0);
+}
+
+TEST(Average, RejectsMismatchedRuns) {
+  TimeSeries a({{0, 1.0}, {10, 3.0}});
+  TimeSeries b({{0, 3.0}});
+  EXPECT_THROW(average({a, b}), util::InvariantError);
+  TimeSeries c({{0, 3.0}, {11, 5.0}});
+  EXPECT_THROW(average({a, c}), util::InvariantError);
+  EXPECT_THROW(average({}), util::InvariantError);
+}
+
+TEST(Speedup, RatioOfThresholdTimes) {
+  TimeSeries slow({{0, 0.0}, {100, 1.0}});
+  TimeSeries fast({{0, 0.0}, {25, 1.0}});
+  const auto s = speedup_at_threshold(slow, fast, 1.0, true);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_DOUBLE_EQ(*s, 4.0);
+}
+
+TEST(Speedup, UnreachedThresholdGivesNullopt) {
+  TimeSeries slow({{0, 0.0}, {100, 0.5}});
+  TimeSeries fast({{0, 0.0}, {25, 1.0}});
+  EXPECT_FALSE(speedup_at_threshold(slow, fast, 1.0, true).has_value());
+  EXPECT_FALSE(speedup_at_threshold(fast, slow, 1.0, true).has_value());
+}
+
+TEST(WriteCsv, EmitsHeaderAndRows) {
+  TimeSeries ts({{1'000'000, 0.5}, {2'000'000, 0.75}});
+  std::ostringstream os;
+  write_csv(os, ts, "metric");
+  EXPECT_EQ(os.str(), "t_seconds,metric\n1,0.5\n2,0.75\n");
+}
+
+}  // namespace
+}  // namespace toka::metrics

@@ -1,0 +1,93 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace toka::trace {
+namespace {
+
+TEST(TraceIo, RoundTripBasic) {
+  std::vector<Segment> segments;
+  segments.emplace_back(std::vector<Interval>{{0, 10}, {20, 30}});
+  segments.emplace_back();  // never-online
+  segments.emplace_back(std::vector<Interval>{{5, 6}});
+
+  std::stringstream ss;
+  write_segments(ss, segments);
+  const auto loaded = read_segments(ss);
+
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0].intervals(), segments[0].intervals());
+  EXPECT_TRUE(loaded[1].empty());
+  EXPECT_EQ(loaded[2].intervals(), segments[2].intervals());
+}
+
+TEST(TraceIo, RoundTripSyntheticTrace) {
+  util::Rng rng(1);
+  const auto segments =
+      generate_segments(SyntheticTraceConfig{}, 100, rng);
+  std::stringstream ss;
+  write_segments(ss, segments);
+  const auto loaded = read_segments(ss);
+  ASSERT_EQ(loaded.size(), segments.size());
+  for (std::size_t i = 0; i < segments.size(); ++i)
+    EXPECT_EQ(loaded[i].intervals(), segments[i].intervals());
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "segment\n"
+      "# interior comment\n"
+      "iv 1 2\n");
+  const auto loaded = read_segments(in);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].intervals()[0], (Interval{1, 2}));
+}
+
+TEST(TraceIo, IntervalBeforeSegmentThrows) {
+  std::istringstream in("iv 1 2\n");
+  EXPECT_THROW(read_segments(in), util::IoError);
+}
+
+TEST(TraceIo, MalformedIntervalThrows) {
+  std::istringstream in("segment\niv 5\n");
+  EXPECT_THROW(read_segments(in), util::IoError);
+}
+
+TEST(TraceIo, NegativeIntervalThrows) {
+  std::istringstream in("segment\niv -3 5\n");
+  EXPECT_THROW(read_segments(in), util::IoError);
+}
+
+TEST(TraceIo, InvertedIntervalThrows) {
+  std::istringstream in("segment\niv 10 5\n");
+  EXPECT_THROW(read_segments(in), util::IoError);
+}
+
+TEST(TraceIo, UnknownTagThrows) {
+  std::istringstream in("segment\nbogus 1 2\n");
+  EXPECT_THROW(read_segments(in), util::IoError);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  std::vector<Segment> segments;
+  segments.emplace_back(std::vector<Interval>{{100, 200}});
+  const std::string path = testing::TempDir() + "/toka_trace_test.txt";
+  save_segments(path, segments);
+  const auto loaded = load_segments(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].intervals(), segments[0].intervals());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_segments("/nonexistent/path/trace.txt"), util::IoError);
+}
+
+}  // namespace
+}  // namespace toka::trace

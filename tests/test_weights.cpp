@@ -1,0 +1,84 @@
+#include "net/weights.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace toka::net {
+namespace {
+
+TEST(InWeights, SimpleTriangle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  InWeights w(g);
+  // Node 1 receives only from 0 (out-degree 2): weight 1/2.
+  const auto in1 = w.in_edges(1);
+  ASSERT_EQ(in1.size(), 1u);
+  EXPECT_EQ(in1[0].src, 0u);
+  EXPECT_DOUBLE_EQ(in1[0].weight, 0.5);
+  // Node 2 receives from 0 (1/2) and 1 (out-degree 1 -> 1.0).
+  const auto in2 = w.in_edges(2);
+  ASSERT_EQ(in2.size(), 2u);
+}
+
+TEST(InWeights, ColumnsAreStochastic) {
+  util::Rng rng(1);
+  const auto g = random_k_out(100, 5, rng);
+  InWeights w(g);
+  for (NodeId k = 0; k < 100; ++k)
+    EXPECT_NEAR(w.column_sum(k), 1.0, 1e-12) << "column " << k;
+}
+
+TEST(InWeights, WattsStrogatzColumnsStochastic) {
+  util::Rng rng(2);
+  const auto g = watts_strogatz(200, 4, 0.1, rng);
+  InWeights w(g);
+  for (NodeId k = 0; k < 200; ++k)
+    EXPECT_NEAR(w.column_sum(k), 1.0, 1e-12);
+}
+
+TEST(InWeights, InIndexFindsSender) {
+  Digraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);  // every node needs an out-edge for normalization
+  InWeights w(g);
+  const auto idx0 = w.in_index(2, 0);
+  const auto idx1 = w.in_index(2, 1);
+  EXPECT_GE(idx0, 0);
+  EXPECT_GE(idx1, 0);
+  EXPECT_NE(idx0, idx1);
+  EXPECT_EQ(w.in_index(2, 2), -1);
+  EXPECT_EQ(w.in_index(0, 1), -1);
+}
+
+TEST(InWeights, RejectsNodeWithoutOutEdges) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(InWeights{g}, util::InvariantError);
+}
+
+TEST(InWeights, NodeCountMatches) {
+  util::Rng rng(3);
+  const auto g = random_k_out(42, 3, rng);
+  InWeights w(g);
+  EXPECT_EQ(w.node_count(), 42u);
+}
+
+TEST(InWeights, TotalEdgeWeightEqualsNodeCount) {
+  // Sum over all columns of a column-stochastic matrix = n.
+  util::Rng rng(4);
+  const auto g = random_k_out(50, 4, rng);
+  InWeights w(g);
+  double total = 0.0;
+  for (NodeId i = 0; i < 50; ++i)
+    for (const InEdge& e : w.in_edges(i)) total += e.weight;
+  EXPECT_NEAR(total, 50.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace toka::net
