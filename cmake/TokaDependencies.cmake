@@ -1,0 +1,33 @@
+# Third-party dependencies: googletest (required, offline-friendly) and
+# Google Benchmark (optional, system package only).
+
+find_package(Threads REQUIRED)
+
+include(FetchContent)
+# Prefer the distro-bundled googletest sources so configure works offline
+# (Debian/Ubuntu `googletest` package); fall back to downloading a pinned
+# release when they are absent.
+if(NOT DEFINED FETCHCONTENT_SOURCE_DIR_GOOGLETEST
+   AND EXISTS /usr/src/googletest/CMakeLists.txt)
+  set(FETCHCONTENT_SOURCE_DIR_GOOGLETEST /usr/src/googletest
+      CACHE PATH "Local googletest source tree")
+endif()
+FetchContent_Declare(
+  googletest
+  URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+  URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)
+
+# gtest is third-party code; don't subject it to our warning policy.
+foreach(gtest_target gtest gtest_main)
+  if(TARGET ${gtest_target})
+    target_compile_options(${gtest_target} PRIVATE -w)
+  endif()
+endforeach()
+
+# Google Benchmark is only needed by micro_bench; treat it as optional so a
+# bare toolchain can still build and test everything else.
+find_package(benchmark QUIET)

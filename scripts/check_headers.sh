@@ -1,0 +1,26 @@
+#!/bin/sh
+# Verifies that every header under src/ is self-contained: a translation
+# unit consisting of just that #include must compile under the project's
+# warning policy. Catches includes that only work transitively.
+#
+# Usage: check_headers.sh <repo-root> [compiler]
+set -eu
+
+root=${1:?usage: check_headers.sh <repo-root> [compiler]}
+cxx=${2:-${CXX:-c++}}
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+status=0
+for header in $(find "$root/src" -name '*.hpp' | LC_ALL=C sort); do
+  rel=${header#"$root"/src/}
+  printf '#include "%s"\n' "$rel" > "$tmpdir/tu.cpp"
+  if ! "$cxx" -std=c++20 -I"$root/src" -Wall -Wextra -Werror -fsyntax-only \
+      "$tmpdir/tu.cpp" 2> "$tmpdir/err"; then
+    echo "NOT SELF-CONTAINED: $rel"
+    cat "$tmpdir/err"
+    status=1
+  fi
+done
+
+exit $status

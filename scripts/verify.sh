@@ -1,0 +1,8 @@
+#!/bin/sh
+# Tier-1 verification: configure, build everything, run the full suite.
+# Run from the repository root. Extra arguments are passed to ctest.
+set -eu
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build && ctest --output-on-failure -j "$(nproc)" "$@"

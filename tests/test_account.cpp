@@ -219,5 +219,66 @@ TEST(TokenAccount, TokenConservationUnderRandomWorkload) {
   }
 }
 
+// Invariant: refund_reactive restores at most what on_message deducted, so
+// the balance never ends up above its pre-deduction value — a full refund
+// lands exactly on it, partial refunds strictly below. Checked across a
+// random workload, including mid-stream refunds.
+TEST(TokenAccount, RefundNeverExceedsPreDeductionBalance) {
+  GeneralizedTokenAccount strategy(2, 8);
+  TokenAccount account(strategy);
+  Rng rng(31);
+  Rng workload(32);
+  for (int step = 0; step < 5000; ++step) {
+    if (workload.bernoulli(0.4)) {
+      account.on_tick(rng);
+      continue;
+    }
+    const Tokens before = account.balance();
+    const Tokens x = account.on_message(workload.bernoulli(0.7), rng);
+    // Refund anywhere from nothing to the whole deduction.
+    const Tokens refund =
+        x > 0 ? static_cast<Tokens>(
+                    workload.below(static_cast<std::uint64_t>(x) + 1))
+              : 0;
+    account.refund_reactive(refund);
+    EXPECT_LE(account.balance(), before) << "step " << step;
+    if (refund == x) {
+      EXPECT_EQ(account.balance(), before) << "step " << step;
+    }
+  }
+}
+
+// Invariant: with a bucket cap, a tick at a full balance loses its token and
+// records the loss in overflowed_tokens exactly once; the balance stays
+// pinned at the cap and every tick is accounted for as banked, overflowed or
+// proactive.
+TEST(TokenAccount, BucketCapOverflowCountsEachLostTickOnce) {
+  constexpr Tokens kCap = 4;
+  TokenBucketStrategy strategy(kCap);  // proactive == 0: every tick banks
+  TokenAccount account(strategy, 0, false, RoundingMode::kRandomized, kCap);
+  Rng rng(41);
+  // Fill the bucket: no overflow while below the cap.
+  for (Tokens i = 0; i < kCap; ++i) {
+    EXPECT_FALSE(account.on_tick(rng));
+    EXPECT_EQ(account.counters().overflowed_tokens, 0u);
+  }
+  EXPECT_EQ(account.balance(), kCap);
+  // Every further tick overflows exactly once and leaves the balance alone.
+  for (std::uint64_t lost = 1; lost <= 10; ++lost) {
+    EXPECT_FALSE(account.on_tick(rng));
+    EXPECT_EQ(account.counters().overflowed_tokens, lost);
+    EXPECT_EQ(account.balance(), kCap);
+  }
+  // Draining below the cap re-enables banking (no spurious overflow).
+  EXPECT_EQ(account.on_message(true, rng), 1);
+  EXPECT_FALSE(account.on_tick(rng));
+  EXPECT_EQ(account.balance(), kCap);
+  EXPECT_EQ(account.counters().overflowed_tokens, 10u);
+  // Full accounting: every tick is banked, overflowed, or proactive.
+  const AccountCounters& c = account.counters();
+  EXPECT_EQ(c.ticks,
+            c.banked_tokens + c.overflowed_tokens + c.proactive_sends);
+}
+
 }  // namespace
 }  // namespace toka::core

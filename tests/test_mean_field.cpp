@@ -65,8 +65,13 @@ INSTANTIATE_TEST_SUITE_P(
                     std::pair<Tokens, Tokens>{20, 40},
                     std::pair<Tokens, Tokens>{40, 120}),
     [](const testing::TestParamInfo<std::pair<Tokens, Tokens>>& info) {
-      return "A" + std::to_string(info.param.first) + "_C" +
-             std::to_string(info.param.second);
+      // Built by append rather than operator+ to dodge GCC 12's spurious
+      // -Wrestrict warning on `const char* + std::string&&` under -O2.
+      std::string name = "A";
+      name += std::to_string(info.param.first);
+      name += "_C";
+      name += std::to_string(info.param.second);
+      return name;
     });
 
 TEST(Equilibrium, SimpleStrategyIsIntervalOfSolutions) {

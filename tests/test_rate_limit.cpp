@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/account.hpp"
 #include "core/strategies.hpp"
+#include "net/graph.hpp"
+#include "sim/simulator.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -132,6 +136,60 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.a) + "_C" +
              std::to_string(info.param.c);
     });
+
+// ---------------------------------------------------------------------------
+// End-to-end audit: a full Simulator run over a random overlay — ticks,
+// reactive cascades, randomized rounding and all — must keep every node's
+// send trace within the §3.4 bound. This is the engine-level counterpart of
+// the adversarial flood above, and exercises the drop-the-token-when-no-peer
+// decision documented in DESIGN.md (banking those tokens would break it).
+
+struct AuditBody {};
+
+class EchoLogic final : public sim::NodeLogic<AuditBody> {
+ public:
+  AuditBody create_message(NodeId, sim::Simulator<AuditBody>&) override {
+    return {};
+  }
+  bool update_state(NodeId, const sim::Arrival<AuditBody>&,
+                    sim::Simulator<AuditBody>&) override {
+    return true;  // every message is useful: maximal reactive pressure
+  }
+};
+
+TEST(RateLimitAuditor, SimulatorRunObeysBurstBoundPerNode) {
+  util::Rng graph_rng(3);
+  const auto g = net::random_k_out(30, 4, graph_rng);
+
+  sim::SimConfig cfg;
+  cfg.timing.delta = kDelta;
+  cfg.timing.transfer = kDelta / 100;
+  cfg.timing.horizon = 100 * kDelta;
+  cfg.strategy.kind = StrategyKind::kRandomized;
+  cfg.strategy.a_param = 3;
+  cfg.strategy.c_param = 12;
+  cfg.seed = 7;
+
+  EchoLogic logic;
+  sim::Simulator<AuditBody> sim(g, logic, cfg);
+
+  const auto strategy = make_strategy(cfg.strategy);
+  std::vector<RateLimitAuditor> auditors(
+      g.node_count(), RateLimitAuditor(kDelta, strategy->capacity()));
+  sim.set_send_observer(
+      [&](NodeId from, TimeUs at) { auditors[from].record(at); });
+  sim.run();
+
+  ASSERT_GT(sim.counters().data_messages_sent, 0u);
+  std::size_t audited_sends = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto violation = auditors[v].first_violation();
+    EXPECT_FALSE(violation.has_value())
+        << "node " << v << ": " << violation->describe();
+    audited_sends += auditors[v].send_count();
+  }
+  EXPECT_EQ(audited_sends, sim.counters().data_messages_sent);
+}
 
 }  // namespace
 }  // namespace toka::core
