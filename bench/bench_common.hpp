@@ -73,7 +73,9 @@ inline std::vector<Variant> figure_selection(bool full_grid) {
 }
 
 /// Applies the standard bench CLI overrides to an experiment config:
-/// --n, --periods, --seed, plus optional --quick downscaling.
+/// --n, --periods, --seed, --threads (run_averaged workers; 0 = one per
+/// hardware thread — results are identical for every value), plus optional
+/// --quick downscaling.
 inline void apply_common_args(const util::Args& args,
                               apps::ExperimentConfig& cfg) {
   cfg.node_count =
@@ -83,6 +85,8 @@ inline void apply_common_args(const util::Args& args,
       args.get_int("periods", cfg.timing.horizon / cfg.timing.delta);
   cfg.timing.horizon = periods * cfg.timing.delta;
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.threads = static_cast<std::size_t>(
+      args.get_int("threads", static_cast<std::int64_t>(cfg.threads)));
   if (args.get_flag("quick")) {
     cfg.node_count = std::min<std::size_t>(cfg.node_count, 1000);
     cfg.timing.horizon = 300 * cfg.timing.delta;

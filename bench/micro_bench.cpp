@@ -8,7 +8,9 @@
 #include "core/rand_round.hpp"
 #include "core/strategies.hpp"
 #include "net/graph.hpp"
+#include "net/online_peer_view.hpp"
 #include "net/peer_sampling.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -64,6 +66,111 @@ void BM_AccountMessage(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AccountMessage);
+
+// -- SELECTPEER(): old O(out-degree) scan vs. the O(1) indexed view -------
+
+/// The pre-refactor send path, replicated verbatim: an inline reservoir
+/// scan over the adjacency list with a direct online-array lookup (the
+/// deleted Simulator::select_peer loop — no predicate indirection), so
+/// the view's speedup is measured against an honest baseline.
+void BM_SelectPeerScan(benchmark::State& state) {
+  util::Rng graph_rng(1);
+  const auto graph =
+      net::random_k_out(10'000, static_cast<std::size_t>(state.range(0)),
+                        graph_rng);
+  std::vector<std::uint8_t> online(10'000, 1);
+  for (std::size_t v = 0; v < online.size(); v += 10) online[v] = 0;
+  util::Rng rng(2);
+  NodeId v = 0;
+  for (auto _ : state) {
+    NodeId chosen = kNoNode;
+    std::uint64_t eligible = 0;
+    for (NodeId w : graph.out(v)) {
+      if (!online[w]) continue;
+      ++eligible;
+      if (rng.below(eligible) == 0) chosen = w;
+    }
+    benchmark::DoNotOptimize(chosen);
+    v = (v + 1) % 10'000;
+  }
+}
+BENCHMARK(BM_SelectPeerScan)->Arg(20)->Arg(4);
+
+/// The post-refactor send path: one random index into the online prefix.
+void BM_SelectPeerView(benchmark::State& state) {
+  util::Rng graph_rng(1);
+  const auto graph =
+      net::random_k_out(10'000, static_cast<std::size_t>(state.range(0)),
+                        graph_rng);
+  net::OnlinePeerView view(graph, {}, /*enable_updates=*/true);
+  for (NodeId v = 0; v < 10'000; v += 10) view.set_online(v, false);
+  util::Rng rng(2);
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.pick(v, rng));
+    v = (v + 1) % 10'000;
+  }
+}
+BENCHMARK(BM_SelectPeerView)->Arg(20)->Arg(4);
+
+/// Cost of one churn transition: node flips state and every in-neighbor's
+/// online prefix is updated (the price paid for O(1) picks).
+void BM_ChurnToggle(benchmark::State& state) {
+  util::Rng graph_rng(1);
+  const auto graph = net::random_k_out(10'000, 20, graph_rng);
+  net::OnlinePeerView view(graph, {}, /*enable_updates=*/true);
+  NodeId v = 0;
+  for (auto _ : state) {
+    view.set_online(v, false);
+    view.set_online(v, true);
+    v = (v + 1) % 10'000;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ChurnToggle);
+
+// -- Event queue push/pop --------------------------------------------------
+
+struct BenchEvent {
+  TimeUs at;
+  std::uint64_t seq;
+  std::uint64_t payload[3];  // roughly an arrival-sized record
+};
+
+/// Steady-state main-lane throughput: one push + one pop per iteration
+/// against a standing population of range(0) events.
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue<BenchEvent> queue;
+  util::Rng rng(1);
+  std::uint64_t seq = 0;
+  for (std::int64_t i = 0; i < state.range(0); ++i)
+    queue.push(BenchEvent{static_cast<TimeUs>(rng.below(1'000'000)), seq++,
+                          {}});
+  for (auto _ : state) {
+    const TimeUs base = queue.next_time();
+    queue.push(BenchEvent{base + static_cast<TimeUs>(rng.below(1000)), seq++,
+                          {}});
+    benchmark::DoNotOptimize(queue.pop());
+  }
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1 << 10)->Arg(1 << 16);
+
+/// Same workload on the tick lane (small fixed-size records).
+void BM_EventQueueTickLane(benchmark::State& state) {
+  sim::EventQueue<BenchEvent> queue;
+  util::Rng rng(1);
+  std::uint64_t seq = 0;
+  for (std::int64_t i = 0; i < state.range(0); ++i)
+    queue.push_tick(sim::TickEntry{
+        static_cast<TimeUs>(rng.below(1'000'000)), seq++, 0, 0});
+  for (auto _ : state) {
+    const TimeUs base = queue.next_time();
+    queue.push_tick(sim::TickEntry{
+        base + static_cast<TimeUs>(rng.below(1000)), seq++, 0, 0});
+    benchmark::DoNotOptimize(queue.pop_tick());
+  }
+}
+BENCHMARK(BM_EventQueueTickLane)->Arg(1 << 16);
 
 void BM_PeerSampling(benchmark::State& state) {
   util::Rng graph_rng(1);

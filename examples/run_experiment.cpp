@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
         "  [--strategy=proactive|simple|generalized|randomized|reactive|"
         "bucket]\n"
         "  [--A=5] [--C=10] [--n=5000] [--periods=1000] [--seeds=1]\n"
-        "  [--seed=1] [--trace] [--drop=0.0] [--initial-tokens=0] [--csv]\n");
+        "  [--seed=1] [--threads=1 (0 = hardware)] [--trace] [--drop=0.0]\n"
+        "  [--initial-tokens=0] [--csv]\n");
     return 0;
   }
 
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
   cfg.drop_probability = args.get_double("drop", 0.0);
   cfg.initial_tokens = args.get_int("initial-tokens", 0);
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.threads = static_cast<std::size_t>(args.get_int("threads", 1));
   if (cfg.strategy.kind == core::StrategyKind::kTokenBucket)
     cfg.bootstrap_circulation = true;  // reactive-only needs seeding
 

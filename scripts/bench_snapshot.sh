@@ -1,0 +1,66 @@
+#!/bin/sh
+# Captures an engine performance snapshot as a single JSON document,
+# starting the perf trajectory the ROADMAP asks for. Records wall-clock
+# times for the figure-driver smokes that stress the engine hot paths,
+# plus (when the Google-Benchmark binary was built) the engine
+# micro-benchmarks: select_peer, event queue push/pop, churn toggles.
+#
+# Usage: bench_snapshot.sh [build-dir] [output.json]
+# CI uploads the output (BENCH_engine.json) as an artifact per commit.
+set -eu
+
+build_dir=${1:-build}
+out=${2:-BENCH_engine.json}
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Milliseconds of wall clock for a command, output discarded. GNU date
+# gives nanoseconds via %N; BSD/macOS date prints a literal 'N', so fall
+# back to whole seconds there.
+case $(date +%N) in
+  *N*) have_ns=0 ;;
+  *)   have_ns=1 ;;
+esac
+time_ms() {
+  if [ "$have_ns" = 1 ]; then
+    start=$(date +%s%N)
+    "$@" > /dev/null 2>&1
+    end=$(date +%s%N)
+    echo $(( (end - start) / 1000000 ))
+  else
+    start=$(date +%s)
+    "$@" > /dev/null 2>&1
+    end=$(date +%s)
+    echo $(( (end - start) * 1000 ))
+  fi
+}
+
+fig4_ms=$(time_ms "$build_dir/fig4_scale" --quick)
+fig2_ms=$(time_ms "$build_dir/fig2_failure_free" --quick)
+fig3_ms=$(time_ms "$build_dir/fig3_trace" --quick)
+
+micro_json=null
+if [ -x "$build_dir/micro_bench" ]; then
+  "$build_dir/micro_bench" \
+      --benchmark_filter='BM_(SelectPeer|EventQueue|ChurnToggle|SimulatorThroughput)' \
+      --benchmark_out="$tmpdir/micro.json" --benchmark_out_format=json \
+      > /dev/null 2>&1
+  micro_json=$(cat "$tmpdir/micro.json")
+fi
+
+cat > "$out" <<EOF
+{
+  "schema": "toka-bench-engine-v1",
+  "timestamp": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "commit": "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)",
+  "host_cpus": $(nproc 2>/dev/null || echo 1),
+  "wall_ms": {
+    "fig4_scale_quick": $fig4_ms,
+    "fig2_failure_free_quick": $fig2_ms,
+    "fig3_trace_quick": $fig3_ms
+  },
+  "micro_bench": $micro_json
+}
+EOF
+
+echo "wrote $out (fig4_scale --quick: ${fig4_ms} ms)"

@@ -1,5 +1,6 @@
 #include "apps/experiment.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "analysis/eigen.hpp"
@@ -12,6 +13,7 @@
 #include "trace/synthetic.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace toka::apps {
 
@@ -203,14 +205,34 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 ExperimentResult run_averaged(const ExperimentConfig& config,
                               std::size_t seeds) {
   TOKA_CHECK_MSG(seeds >= 1, "need at least one seed");
+
+  // Each repetition is self-contained (own graph, app, simulator, RNG
+  // streams), so they can run concurrently. Every run writes to its own
+  // pre-sized slot and the reduction below walks the slots in seed order,
+  // so the combined result — including floating-point summation order —
+  // is byte-identical for every thread count.
+  std::vector<ExperimentResult> runs(seeds);
+  auto run_one = [&config, &runs](std::size_t i) {
+    ExperimentConfig run_cfg = config;
+    run_cfg.seed = config.seed + i;
+    runs[i] = run_experiment(run_cfg);
+  };
+  const std::size_t threads =
+      std::min(util::ThreadPool::resolve(config.threads), seeds);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < seeds; ++i) run_one(i);
+  } else {
+    util::ThreadPool pool(threads);
+    for (std::size_t i = 0; i < seeds; ++i)
+      pool.submit([&run_one, i] { run_one(i); });
+    pool.wait_idle();
+  }
+
   std::vector<metrics::TimeSeries> metric_runs;
   std::vector<metrics::TimeSeries> token_runs;
   ExperimentResult combined;
   double cost_sum = 0.0;
-  for (std::size_t i = 0; i < seeds; ++i) {
-    ExperimentConfig run_cfg = config;
-    run_cfg.seed = config.seed + i;
-    ExperimentResult r = run_experiment(run_cfg);
+  for (ExperimentResult& r : runs) {
     cost_sum += r.cost_per_online_period;
     combined.total_ticks += r.total_ticks;
     combined.sim_counters.data_messages_sent +=

@@ -72,6 +72,12 @@ struct ExperimentConfig {
 
   std::uint64_t seed = 1;
 
+  /// Worker threads for run_averaged's independent seed repetitions
+  /// (0 = one per hardware thread). Results are byte-identical for every
+  /// value: each seed's run is self-contained and the reduction happens in
+  /// seed order after all runs finish.
+  std::size_t threads = 1;
+
   /// Human-readable one-line description.
   std::string describe() const;
 };
@@ -96,7 +102,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config);
 
 /// Runs `seeds` independent repetitions (seed, seed+1, ...) and averages
 /// the series pointwise (the paper averages 10 runs); counters are summed
-/// and the cost is averaged.
+/// and the cost is averaged. Repetitions run on `config.threads` workers;
+/// the result is byte-identical regardless of the thread count.
 ExperimentResult run_averaged(const ExperimentConfig& config,
                               std::size_t seeds);
 

@@ -1,0 +1,103 @@
+#include "net/online_peer_view.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace toka::net {
+
+OnlinePeerView::OnlinePeerView(const Digraph& graph,
+                               const std::vector<std::uint8_t>& online,
+                               bool enable_updates)
+    : updates_enabled_(enable_updates) {
+  const std::size_t n = graph.node_count();
+  TOKA_CHECK_MSG(online.empty() || online.size() == n,
+                 "online vector size " << online.size() << " != node count "
+                                       << n);
+  TOKA_CHECK_MSG(
+      graph.edge_count() < std::numeric_limits<EdgeId>::max(),
+      "graph too large for 32-bit edge ids");
+
+  row_.resize(n + 1);
+  row_[0] = 0;
+  for (NodeId v = 0; v < n; ++v)
+    row_[v + 1] = row_[v] + graph.out_degree(v);
+  const std::size_t m = row_[n];
+
+  target_.reserve(m);
+  for (NodeId v = 0; v < n; ++v)
+    for (NodeId w : graph.out(v)) target_.push_back(w);
+
+  online_.assign(n, 1);
+  online_nodes_ = n;
+  online_count_.resize(n);
+  for (NodeId v = 0; v < n; ++v) online_count_[v] = row_[v + 1] - row_[v];
+
+  if (updates_enabled_) {
+    edge_at_.resize(m);
+    pos_.resize(m);
+    src_.resize(m);
+    for (std::size_t e = 0; e < m; ++e) {
+      edge_at_[e] = static_cast<EdgeId>(e);
+      pos_[e] = static_cast<std::uint32_t>(e);
+    }
+    for (NodeId v = 0; v < n; ++v)
+      for (std::size_t s = row_[v]; s < row_[v + 1]; ++s) src_[s] = v;
+
+    in_row_.assign(n + 1, 0);
+    for (std::size_t e = 0; e < m; ++e) ++in_row_[target_[e] + 1];
+    for (std::size_t v = 0; v < n; ++v) in_row_[v + 1] += in_row_[v];
+    in_edge_.resize(m);
+    std::vector<std::size_t> fill(in_row_.begin(), in_row_.end() - 1);
+    for (std::size_t e = 0; e < m; ++e)
+      in_edge_[fill[target_[e]]++] = static_cast<EdgeId>(e);
+  }
+
+  if (!online.empty()) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (online[v]) continue;
+      TOKA_CHECK_MSG(updates_enabled_,
+                     "initially-offline nodes require enable_updates");
+      set_online(v, false);
+    }
+  }
+}
+
+void OnlinePeerView::swap_slots(std::size_t a, std::size_t b) {
+  if (a == b) return;
+  std::swap(target_[a], target_[b]);
+  std::swap(edge_at_[a], edge_at_[b]);
+  pos_[edge_at_[a]] = static_cast<std::uint32_t>(a);
+  pos_[edge_at_[b]] = static_cast<std::uint32_t>(b);
+}
+
+void OnlinePeerView::set_online(NodeId w, bool is_online) {
+  TOKA_CHECK_MSG(updates_enabled_,
+                 "OnlinePeerView was built without update support");
+  TOKA_CHECK(w < online_.size());
+  if (node_online(w) == is_online) return;
+  online_[w] = is_online ? 1 : 0;
+  if (is_online)
+    ++online_nodes_;
+  else
+    --online_nodes_;
+  for (std::size_t k = in_row_[w]; k < in_row_[w + 1]; ++k) {
+    const EdgeId e = in_edge_[k];
+    const NodeId v = src_[e];
+    const std::size_t slot = pos_[e];
+    if (is_online) {
+      // Move the edge to the first offline slot and grow the prefix.
+      const std::size_t boundary = row_[v] + online_count_[v];
+      TOKA_CHECK(slot >= boundary);
+      swap_slots(slot, boundary);
+      ++online_count_[v];
+    } else {
+      // Move the edge to the last online slot and shrink the prefix.
+      const std::size_t boundary = row_[v] + online_count_[v] - 1;
+      TOKA_CHECK(slot <= boundary);
+      swap_slots(slot, boundary);
+      --online_count_[v];
+    }
+  }
+}
+
+}  // namespace toka::net

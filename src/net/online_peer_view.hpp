@@ -1,0 +1,99 @@
+// Incrementally maintained online-neighbor view for SELECTPEER().
+//
+// The simulator's hot path used to scan a node's full adjacency list on
+// every send to reservoir-sample an online out-neighbor — O(out-degree)
+// per message. This view keeps, for every node, its out-neighbors in a
+// flat CSR array partitioned so the currently-online targets occupy the
+// row's prefix. A uniform pick is then one random index into that prefix
+// (O(1)); a churn toggle of node w swaps w in or out of the online prefix
+// of each of w's in-neighbors (O(in-degree(w)), paid only when state
+// actually changes, which is orders of magnitude rarer than sends).
+//
+// Invariants (enforced by tests/test_online_peer_view.cpp):
+//  * For every node v, the first online_out_degree(v) slots of v's row
+//    hold exactly the out-neighbors of v that are currently online.
+//  * pos_/edge_at_ stay mutually inverse under swaps, so each edge is
+//    relocated in O(1) no matter how many toggles occurred before.
+//
+// The update machinery (reverse edge index, ~16 extra bytes per edge) is
+// only built when requested; the failure-free scenario, where nobody ever
+// toggles, pays for nothing but the CSR copy of the adjacency lists.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace toka::net {
+
+class OnlinePeerView {
+ public:
+  /// Empty view; assign a real one before use.
+  OnlinePeerView() = default;
+
+  /// Builds the view over `graph`. `online` gives the initial per-node
+  /// state (empty = everyone online; otherwise one entry per node).
+  /// `enable_updates` builds the reverse edge index needed by
+  /// set_online(); it is required whenever `online` marks anyone offline.
+  /// The graph is copied into CSR form, so it need not outlive the view.
+  OnlinePeerView(const Digraph& graph, const std::vector<std::uint8_t>& online,
+                 bool enable_updates);
+
+  std::size_t node_count() const { return online_.size(); }
+  bool node_online(NodeId v) const { return online_[v] != 0; }
+
+  /// Number of currently-online nodes (maintained by set_online, so it
+  /// cannot drift from the per-node states).
+  std::size_t online_node_count() const { return online_nodes_; }
+
+  /// Number of currently-online out-neighbors of `v`.
+  std::size_t online_out_degree(NodeId v) const { return online_count_[v]; }
+
+  /// The currently-online out-neighbors of `v` (contiguous row prefix).
+  /// Order is an artifact of toggle history; treat as a set.
+  std::span<const NodeId> online_out(NodeId v) const {
+    return {target_.data() + row_[v], online_count_[v]};
+  }
+
+  /// Uniform online out-neighbor of `from`, or kNoNode if none. O(1):
+  /// consumes exactly one rng draw when any neighbor is online, none
+  /// otherwise.
+  NodeId pick(NodeId from, util::Rng& rng) const {
+    const std::size_t count = online_count_[from];
+    if (count == 0) return kNoNode;
+    return target_[row_[from] + rng.below(count)];
+  }
+
+  /// Flips node `w` online/offline, updating the online prefix of every
+  /// in-neighbor of `w`. No-op if the state is unchanged. Requires the
+  /// view to have been built with enable_updates.
+  void set_online(NodeId w, bool is_online);
+
+ private:
+  using EdgeId = std::uint32_t;
+
+  void swap_slots(std::size_t a, std::size_t b);
+
+  std::vector<std::size_t> row_;           // CSR offsets, node_count()+1
+  std::vector<NodeId> target_;             // edge target by current slot
+  std::vector<std::size_t> online_count_;  // online prefix length per row
+  std::vector<std::uint8_t> online_;       // per-node state
+  std::size_t online_nodes_ = 0;           // count of 1s in online_
+
+  // Update machinery (enable_updates only). Edge ids are the edges'
+  // construction-time slots; pos_/edge_at_ track their current slots.
+  bool updates_enabled_ = false;
+  std::vector<EdgeId> edge_at_;       // edge id by current slot
+  std::vector<std::uint32_t> pos_;    // current slot by edge id
+  std::vector<NodeId> src_;           // edge source by edge id
+  std::vector<std::size_t> in_row_;   // reverse CSR offsets, node_count()+1
+  std::vector<EdgeId> in_edge_;       // edge ids targeting each node
+};
+
+}  // namespace toka::net

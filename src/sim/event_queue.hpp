@@ -1,0 +1,181 @@
+// Indexed event queue for the discrete-event engine.
+//
+// Two structural choices replace the old monolithic std::priority_queue:
+//
+//  * A flat-array 4-ary min-heap (QuadHeap). A 4-ary heap is ~half the
+//    depth of a binary heap, and each sift step compares four children that
+//    sit in adjacent slots of one vector — index arithmetic only, no
+//    pointers, friendly to the cache and the prefetcher.
+//
+//  * Two lanes. Periodic tick timers dominate the event population (one
+//    live timer per online node for the whole run) but carry no payload, so
+//    they get their own heap of small fixed-size TickEntry records. That
+//    keeps the payload-carrying main lane (arrivals, toggles, external
+//    tasks) much shorter, and tick churn stops moving message bodies around
+//    during sift operations.
+//
+// Ordering is identical to the old single queue: events are dispatched by
+// (time, global insertion sequence number), with the sequence counter
+// shared across both lanes. Determinism is therefore unaffected by the
+// split — see DESIGN.md "Engine architecture".
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace toka::sim {
+
+/// Flat-array 4-ary min-heap ordered by (at, seq). `T` must expose public
+/// members `TimeUs at` and `std::uint64_t seq`.
+template <typename T>
+class QuadHeap {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  const T& top() const {
+    TOKA_CHECK(!heap_.empty());
+    return heap_.front();
+  }
+
+  void push(T value) {
+    heap_.push_back(std::move(value));
+    sift_up(heap_.size() - 1);
+  }
+
+  T pop() {
+    TOKA_CHECK(!heap_.empty());
+    T out = std::move(heap_.front());
+    if (heap_.size() > 1) {
+      heap_.front() = std::move(heap_.back());
+      heap_.pop_back();
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
+    return out;
+  }
+
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+ private:
+  static bool earlier(const T& a, const T& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    T value = std::move(heap_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!earlier(value, heap_[parent])) break;
+      heap_[i] = std::move(heap_[parent]);
+      i = parent;
+    }
+    heap_[i] = std::move(value);
+  }
+
+  void sift_down(std::size_t i) {
+    T value = std::move(heap_[i]);
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = (i << 2) + 1;
+      if (first >= n) break;
+      const std::size_t last = std::min(first + 4, n);
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c)
+        if (earlier(heap_[c], heap_[best])) best = c;
+      if (!earlier(heap_[best], value)) break;
+      heap_[i] = std::move(heap_[best]);
+      i = best;
+    }
+    heap_[i] = std::move(value);
+  }
+
+  std::vector<T> heap_;
+};
+
+/// A pending periodic-timer firing: no payload, just the subject node and
+/// the timer generation used to invalidate stale timers after churn.
+struct TickEntry {
+  TimeUs at = 0;
+  std::uint64_t seq = 0;
+  NodeId node = kNoNode;
+  std::uint32_t gen = 0;
+};
+
+/// Which lane holds the next entry to dispatch.
+enum class Lane : std::uint8_t { kNone, kMain, kTick };
+
+/// Two-lane event queue: a main lane for payload-carrying events and a
+/// tick lane for TickEntry timers. The caller assigns every pushed entry a
+/// sequence number from one shared counter; the queue then yields entries
+/// in exact (at, seq) order across both lanes.
+template <typename Event>
+class EventQueue {
+ public:
+  bool empty() const { return main_.empty() && ticks_.empty(); }
+  std::size_t size() const { return main_.size() + ticks_.size(); }
+
+  /// Fused dispatch decision for the hot loop: one cross-lane comparison
+  /// deciding both "is there anything due by `until`" and "which lane".
+  Lane next_lane(TimeUs until) const {
+    if (ticks_.empty()) {
+      if (main_.empty() || main_.top().at > until) return Lane::kNone;
+      return Lane::kMain;
+    }
+    if (main_.empty())
+      return ticks_.top().at <= until ? Lane::kTick : Lane::kNone;
+    if (earlier_tick())
+      return ticks_.top().at <= until ? Lane::kTick : Lane::kNone;
+    return main_.top().at <= until ? Lane::kMain : Lane::kNone;
+  }
+
+  /// Timestamp of the next entry across both lanes. Requires !empty().
+  TimeUs next_time() const {
+    if (ticks_.empty()) return main_.top().at;
+    if (main_.empty()) return ticks_.top().at;
+    return earlier_tick() ? ticks_.top().at : main_.top().at;
+  }
+
+  /// True if the next entry in (at, seq) order is a tick. Requires !empty().
+  bool next_is_tick() const {
+    if (ticks_.empty()) return false;
+    if (main_.empty()) return true;
+    return earlier_tick();
+  }
+
+  void push(Event e) { main_.push(std::move(e)); }
+  void push_tick(TickEntry t) { ticks_.push(t); }
+
+  /// Requires !next_is_tick().
+  Event pop() {
+    TOKA_CHECK(!next_is_tick());
+    return main_.pop();
+  }
+
+  /// Requires next_is_tick().
+  TickEntry pop_tick() {
+    TOKA_CHECK(next_is_tick());
+    return ticks_.pop();
+  }
+
+ private:
+  bool earlier_tick() const {
+    const TickEntry& t = ticks_.top();
+    const Event& e = main_.top();
+    if (t.at != e.at) return t.at < e.at;
+    return t.seq < e.seq;
+  }
+
+  QuadHeap<Event> main_;
+  QuadHeap<TickEntry> ticks_;
+};
+
+}  // namespace toka::sim

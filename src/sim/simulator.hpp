@@ -7,6 +7,13 @@
 // application-provided NodeLogic that supplies CREATEMESSAGE / UPDATESTATE
 // (§3.2) plus hooks for churn-specific behaviour (§4.1.2's rejoin pull).
 //
+// The engine is layered (see DESIGN.md "Engine architecture"):
+//  * sim::EventQueue — a two-lane 4-ary heap; periodic ticks live in a
+//    payload-free lane so they stop churning the main heap.
+//  * net::OnlinePeerView — incrementally maintained online out-neighbor
+//    lists, making SELECTPEER() an O(1) random pick instead of an
+//    O(out-degree) adjacency scan per send.
+//
 // The engine is deterministic: given the same graph, logic, config and
 // churn schedule it produces identical event sequences and counters.
 //
@@ -18,15 +25,16 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <utility>
 #include <vector>
 
 #include "core/account.hpp"
 #include "core/strategy.hpp"
 #include "net/graph.hpp"
+#include "net/online_peer_view.hpp"
 #include "sim/churn.hpp"
 #include "sim/config.hpp"
+#include "sim/event_queue.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
@@ -124,7 +132,6 @@ class Simulator {
       accounts_.emplace_back(*strategy_, config_.initial_tokens,
                              config_.allow_overdraft, config_.rounding,
                              bucket_cap);
-    online_.assign(n, 1);
     tick_gen_.assign(n, 0);
     phase_.resize(n);
     sends_per_node_.assign(n, 0);
@@ -136,9 +143,10 @@ class Simulator {
                           config_.timing.delta))) +
                   1;
     }
+    std::vector<std::uint8_t> initially_online(n, 1);
     if (!churn.empty()) {
       for (NodeId v = 0; v < n; ++v) {
-        online_[v] = churn[v].initially_online ? 1 : 0;
+        initially_online[v] = churn[v].initially_online ? 1 : 0;
         TimeUs prev = -1;
         for (TimeUs t : churn[v].toggle_times) {
           TOKA_CHECK_MSG(t > prev, "toggle times must be strictly increasing");
@@ -148,10 +156,13 @@ class Simulator {
         }
       }
     }
-    online_count_ = 0;
-    for (std::size_t i = 0; i < n; ++i) online_count_ += online_[i];
+    // The view is the single source of truth for online state (per-node
+    // flags and the online-node count alike). Only churn runs mutate it;
+    // failure-free runs skip the reverse edge index.
+    peers_ = net::OnlinePeerView(graph, initially_online,
+                                 /*enable_updates=*/!churn.empty());
     for (NodeId v = 0; v < n; ++v)
-      if (online_[v]) schedule_tick(v, phase_[v]);
+      if (initially_online[v]) schedule_tick(v, phase_[v]);
   }
 
   // -- Introspection --------------------------------------------------------
@@ -159,28 +170,24 @@ class Simulator {
   TimeUs now() const { return now_; }
   const SimConfig& config() const { return config_; }
   std::size_t node_count() const { return graph_->node_count(); }
-  bool online(NodeId v) const { return online_[v] != 0; }
-  std::size_t online_count() const { return online_count_; }
+  bool online(NodeId v) const { return peers_.node_online(v); }
+  std::size_t online_count() const { return peers_.online_node_count(); }
   Tokens balance(NodeId v) const { return accounts_[v].balance(); }
   const core::TokenAccount& account(NodeId v) const { return accounts_[v]; }
   const SimCounters& counters() const { return counters_; }
   std::uint32_t sends_of(NodeId v) const { return sends_per_node_[v]; }
+  /// High-water mark of allocated task slots (one-shot slots are recycled
+  /// after firing, so this stays bounded by the number of *concurrently*
+  /// pending tasks). Diagnostic/test hook.
+  std::size_t task_slot_count() const { return tasks_.size(); }
   /// RNG stream reserved for application logic (injections etc.).
   util::Rng& app_rng() { return app_rng_; }
 
   // -- Actions available to NodeLogic --------------------------------------
 
   /// SELECTPEER(): uniform online out-neighbor of `from`, or kNoNode.
-  NodeId select_peer(NodeId from) {
-    NodeId chosen = kNoNode;
-    std::uint64_t eligible = 0;
-    for (NodeId w : graph_->out(from)) {
-      if (!online_[w]) continue;
-      ++eligible;
-      if (acct_rng_.below(eligible) == 0) chosen = w;
-    }
-    return chosen;
-  }
+  /// O(1) via the incrementally maintained OnlinePeerView.
+  NodeId select_peer(NodeId from) { return peers_.pick(from, acct_rng_); }
 
   /// Sends a token-governed application message (payload built via
   /// CREATEMESSAGE). Used by the engine itself and by logic that spends
@@ -209,11 +216,11 @@ class Simulator {
 
   // -- External events ------------------------------------------------------
 
-  /// Runs `fn` at simulated time `at` (>= now).
+  /// Runs `fn` at simulated time `at` (>= now). The closure's storage is
+  /// released right after it fires (one-shot tasks do not accumulate).
   void schedule(TimeUs at, std::function<void()> fn) {
     TOKA_CHECK_MSG(at >= now_, "cannot schedule in the past");
-    const auto idx = static_cast<std::uint32_t>(tasks_.size());
-    tasks_.push_back(Task{std::move(fn), 0});
+    const std::uint32_t idx = alloc_task(Task{std::move(fn), 0});
     push_event(
         Event{at, next_seq_++, EventKind::kExternal, 0, idx, kNoNode, 0,
               Body{}});
@@ -224,8 +231,7 @@ class Simulator {
                           std::function<void()> fn) {
     TOKA_CHECK_MSG(interval > 0, "repeat interval must be positive");
     TOKA_CHECK_MSG(first >= now_, "cannot schedule in the past");
-    const auto idx = static_cast<std::uint32_t>(tasks_.size());
-    tasks_.push_back(Task{std::move(fn), interval});
+    const std::uint32_t idx = alloc_task(Task{std::move(fn), interval});
     push_event(
         Event{first, next_seq_++, EventKind::kExternal, 0, idx, kNoNode, 0,
               Body{}});
@@ -240,12 +246,19 @@ class Simulator {
 
   /// Processes events up to and including time `until`.
   void run_until(TimeUs until) {
-    while (!events_.empty() && events_.top().at <= until) {
-      Event e = events_.top();
-      events_.pop();
-      now_ = e.at;
+    for (;;) {
+      const Lane lane = events_.next_lane(until);
+      if (lane == Lane::kNone) break;
       ++counters_.events_processed;
-      dispatch(e);
+      if (lane == Lane::kTick) {
+        const TickEntry tick = events_.pop_tick();
+        now_ = tick.at;
+        handle_tick(tick);
+      } else {
+        Event e = events_.pop();
+        now_ = e.at;
+        dispatch(e);
+      }
     }
     now_ = std::max(now_, until);
   }
@@ -254,23 +267,17 @@ class Simulator {
   void run() { run_until(config_.timing.horizon); }
 
  private:
-  enum class EventKind : std::uint8_t { kTick, kArrival, kToggle, kExternal };
+  enum class EventKind : std::uint8_t { kArrival, kToggle, kExternal };
 
   struct Event {
     TimeUs at;
     std::uint64_t seq;  // tie-breaker: FIFO among simultaneous events
     EventKind kind;
-    NodeId node;        // tick/toggle subject or arrival destination
-    std::uint32_t aux;  // tick generation or task index
+    NodeId node;        // toggle subject or arrival destination
+    std::uint32_t aux;  // task index
     NodeId from;        // arrival source
     TimeUs sent_at;     // arrival send time
     Body body;
-
-    // min-heap order: earliest time first, then insertion order.
-    friend bool operator>(const Event& a, const Event& b) {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
   };
 
   struct Task {
@@ -281,8 +288,19 @@ class Simulator {
   void push_event(Event e) { events_.push(std::move(e)); }
 
   void schedule_tick(NodeId v, TimeUs at) {
-    push_event(Event{at, next_seq_++, EventKind::kTick, v, tick_gen_[v],
-                     kNoNode, 0, Body{}});
+    events_.push_tick(TickEntry{at, next_seq_++, v, tick_gen_[v]});
+  }
+
+  std::uint32_t alloc_task(Task task) {
+    if (!free_tasks_.empty()) {
+      const std::uint32_t idx = free_tasks_.back();
+      free_tasks_.pop_back();
+      tasks_[idx] = std::move(task);
+      return idx;
+    }
+    const auto idx = static_cast<std::uint32_t>(tasks_.size());
+    tasks_.push_back(std::move(task));
+    return idx;
   }
 
   /// First grid point phase_[v] + k*delta strictly after `t`.
@@ -295,17 +313,17 @@ class Simulator {
 
   void dispatch(Event& e) {
     switch (e.kind) {
-      case EventKind::kTick: handle_tick(e); break;
       case EventKind::kArrival: handle_arrival(e); break;
       case EventKind::kToggle: handle_toggle(e); break;
       case EventKind::kExternal: handle_external(e); break;
     }
   }
 
-  void handle_tick(const Event& e) {
-    const NodeId v = e.node;
-    if (!online_[v] || e.aux != tick_gen_[v]) return;  // stale timer
-    schedule_tick(v, e.at + config_.timing.delta);
+  void handle_tick(const TickEntry& tick) {
+    const NodeId v = tick.node;
+    if (!peers_.node_online(v) || tick.gen != tick_gen_[v])
+      return;  // stale timer
+    schedule_tick(v, tick.at + config_.timing.delta);
     if (accounts_[v].on_tick(acct_rng_)) {
       const NodeId peer = select_peer(v);
       if (peer != kNoNode) {
@@ -321,7 +339,7 @@ class Simulator {
 
   void handle_arrival(Event& e) {
     const NodeId to = e.node;
-    if (!online_[to]) {
+    if (!peers_.node_online(to)) {
       ++counters_.messages_dropped;
       return;
     }
@@ -353,13 +371,11 @@ class Simulator {
   void handle_toggle(const Event& e) {
     const NodeId v = e.node;
     ++tick_gen_[v];  // invalidate any pending timer either way
-    if (online_[v]) {
-      online_[v] = 0;
-      --online_count_;
+    if (peers_.node_online(v)) {
+      peers_.set_online(v, false);
       logic_->on_offline(v, *this);
     } else {
-      online_[v] = 1;
-      ++online_count_;
+      peers_.set_online(v, true);
       schedule_tick(v, next_tick_after(v, e.at));
       logic_->on_online(v, *this);
     }
@@ -367,10 +383,29 @@ class Simulator {
 
   void handle_external(const Event& e) {
     Task& task = tasks_[e.aux];
-    if (task.interval > 0)
+    if (task.interval > 0) {
       push_event(Event{e.at + task.interval, next_seq_++,
                        EventKind::kExternal, 0, e.aux, kNoNode, 0, Body{}});
-    task.fn();
+      // Run via a local handle: the callback may schedule new tasks and
+      // reallocate tasks_, which must not invalidate the running closure.
+      // Restore it even if the callback throws — the repeat event is
+      // already queued and must find its closure on the next firing.
+      std::function<void()> fn = std::move(task.fn);
+      try {
+        fn();
+      } catch (...) {
+        tasks_[e.aux].fn = std::move(fn);
+        throw;
+      }
+      tasks_[e.aux].fn = std::move(fn);
+    } else {
+      // One-shot: release the slot (and the closure's captures) before
+      // running, so the callback can immediately reuse the storage.
+      std::function<void()> fn = std::move(task.fn);
+      tasks_[e.aux] = Task{};
+      free_tasks_.push_back(e.aux);
+      fn();
+    }
   }
 
   const net::Digraph* graph_;
@@ -382,16 +417,16 @@ class Simulator {
   util::Rng app_rng_;   // application logic
 
   std::vector<core::TokenAccount> accounts_;
-  std::vector<std::uint8_t> online_;
-  std::size_t online_count_ = 0;
+  net::OnlinePeerView peers_;  // single source of truth for online state
   std::vector<std::uint32_t> tick_gen_;
   std::vector<TimeUs> phase_;
   std::vector<std::uint32_t> sends_per_node_;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  EventQueue<Event> events_;
   std::uint64_t next_seq_ = 0;
   TimeUs now_ = 0;
   std::vector<Task> tasks_;
+  std::vector<std::uint32_t> free_tasks_;
   SimCounters counters_;
   std::function<void(NodeId, TimeUs)> send_observer_;
 };

@@ -1,0 +1,63 @@
+// Minimal fixed-size thread pool (no work stealing, one mutex, FIFO queue).
+//
+// Built for coarse-grained, embarrassingly parallel jobs — e.g. running
+// the paper's 10 independent seed repetitions concurrently — where queue
+// contention is negligible and predictability beats throughput tricks.
+// Determinism is the caller's job: submit tasks that write to disjoint,
+// pre-sized slots and reduce in a fixed order after wait_idle(); see
+// apps::run_averaged for the pattern.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace toka::util {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue, then stops and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks may themselves submit further tasks.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle. If any task
+  /// threw since the last wait_idle(), rethrows the first such exception.
+  /// Deliberate tradeoff: queued tasks still run after a failure (no
+  /// cancellation machinery), so the error surfaces only once the batch
+  /// drains. Callers whose tasks are expensive and share a failure cause
+  /// should validate inputs before submitting.
+  void wait_idle();
+
+  /// Maps a user-facing thread-count request to an actual count:
+  /// 0 = one per hardware thread, otherwise the request itself (>= 1).
+  static std::size_t resolve(std::size_t requested);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for tasks / stop
+  std::condition_variable idle_cv_;  // wait_idle waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace toka::util

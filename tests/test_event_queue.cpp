@@ -1,0 +1,162 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace toka::sim {
+namespace {
+
+struct TestEvent {
+  TimeUs at = 0;
+  std::uint64_t seq = 0;
+  int payload = 0;
+};
+
+TEST(QuadHeap, PopsInTimeOrder) {
+  QuadHeap<TestEvent> heap;
+  for (TimeUs t : {50, 10, 30, 20, 40})
+    heap.push(TestEvent{t, static_cast<std::uint64_t>(t), 0});
+  std::vector<TimeUs> order;
+  while (!heap.empty()) order.push_back(heap.pop().at);
+  EXPECT_EQ(order, (std::vector<TimeUs>{10, 20, 30, 40, 50}));
+}
+
+TEST(QuadHeap, BreaksTimeTiesBySequence) {
+  QuadHeap<TestEvent> heap;
+  // Same timestamp, inserted out of sequence order.
+  heap.push(TestEvent{5, 2, 20});
+  heap.push(TestEvent{5, 0, 0});
+  heap.push(TestEvent{5, 3, 30});
+  heap.push(TestEvent{5, 1, 10});
+  std::vector<int> order;
+  while (!heap.empty()) order.push_back(heap.pop().payload);
+  EXPECT_EQ(order, (std::vector<int>{0, 10, 20, 30}));
+}
+
+TEST(QuadHeap, PopOnEmptyThrows) {
+  QuadHeap<TestEvent> heap;
+  EXPECT_THROW(heap.pop(), util::InvariantError);
+  EXPECT_THROW(heap.top(), util::InvariantError);
+}
+
+TEST(QuadHeap, RandomizedAgainstStdPriorityQueue) {
+  // The 4-ary heap must yield exactly the order of a reference binary
+  // heap over (at, seq) under a mixed push/pop workload.
+  auto later = [](const TestEvent& a, const TestEvent& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  };
+  std::priority_queue<TestEvent, std::vector<TestEvent>, decltype(later)>
+      reference(later);
+  QuadHeap<TestEvent> heap;
+  util::Rng rng(99);
+  std::uint64_t seq = 0;
+  for (int step = 0; step < 20'000; ++step) {
+    if (reference.empty() || rng.below(3) != 0) {
+      const TestEvent e{static_cast<TimeUs>(rng.below(1000)), seq++,
+                        static_cast<int>(rng.below(1 << 20))};
+      reference.push(e);
+      heap.push(e);
+    } else {
+      const TestEvent expected = reference.top();
+      reference.pop();
+      const TestEvent got = heap.pop();
+      ASSERT_EQ(got.at, expected.at);
+      ASSERT_EQ(got.seq, expected.seq);
+      ASSERT_EQ(got.payload, expected.payload);
+    }
+  }
+  while (!reference.empty()) {
+    const TestEvent expected = reference.top();
+    reference.pop();
+    ASSERT_FALSE(heap.empty());
+    const TestEvent got = heap.pop();
+    ASSERT_EQ(got.seq, expected.seq);
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(EventQueue, MergesLanesByTimeThenSequence) {
+  EventQueue<TestEvent> queue;
+  std::uint64_t seq = 0;
+  // Interleave: tick@10, main@10 (later seq), main@5, tick@20.
+  queue.push_tick(TickEntry{10, seq++, 1, 0});
+  queue.push(TestEvent{10, seq++, 100});
+  queue.push(TestEvent{5, seq++, 50});
+  queue.push_tick(TickEntry{20, seq++, 2, 0});
+
+  ASSERT_FALSE(queue.empty());
+  EXPECT_EQ(queue.size(), 4u);
+
+  EXPECT_EQ(queue.next_time(), 5);
+  EXPECT_FALSE(queue.next_is_tick());
+  EXPECT_EQ(queue.pop().payload, 50);
+
+  EXPECT_EQ(queue.next_time(), 10);
+  EXPECT_TRUE(queue.next_is_tick());  // same time, earlier seq than main
+  EXPECT_EQ(queue.pop_tick().node, 1u);
+
+  EXPECT_EQ(queue.next_time(), 10);
+  EXPECT_FALSE(queue.next_is_tick());
+  EXPECT_EQ(queue.pop().payload, 100);
+
+  EXPECT_TRUE(queue.next_is_tick());
+  EXPECT_EQ(queue.pop_tick().node, 2u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, PopFromWrongLaneThrows) {
+  EventQueue<TestEvent> queue;
+  queue.push_tick(TickEntry{1, 0, 0, 0});
+  EXPECT_THROW(queue.pop(), util::InvariantError);
+  queue.push(TestEvent{0, 1, 7});
+  EXPECT_THROW(queue.pop_tick(), util::InvariantError);
+}
+
+TEST(EventQueue, RandomizedGlobalOrderMatchesSingleQueue) {
+  // Splitting ticks into their own lane must not change the dispatch
+  // order: compare against one merged reference queue over (at, seq).
+  struct Ref {
+    TimeUs at;
+    std::uint64_t seq;
+    bool is_tick;
+  };
+  auto later = [](const Ref& a, const Ref& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  };
+  std::priority_queue<Ref, std::vector<Ref>, decltype(later)> reference(
+      later);
+  EventQueue<TestEvent> queue;
+  util::Rng rng(7);
+  std::uint64_t seq = 0;
+  for (int step = 0; step < 20'000; ++step) {
+    if (reference.empty() || rng.below(3) != 0) {
+      const TimeUs at = static_cast<TimeUs>(rng.below(500));
+      const bool is_tick = rng.below(2) == 0;
+      reference.push(Ref{at, seq, is_tick});
+      if (is_tick)
+        queue.push_tick(TickEntry{at, seq, 0, 0});
+      else
+        queue.push(TestEvent{at, seq, 0});
+      ++seq;
+    } else {
+      const Ref expected = reference.top();
+      reference.pop();
+      ASSERT_EQ(queue.next_time(), expected.at);
+      ASSERT_EQ(queue.next_is_tick(), expected.is_tick);
+      const std::uint64_t got_seq =
+          expected.is_tick ? queue.pop_tick().seq : queue.pop().seq;
+      ASSERT_EQ(got_seq, expected.seq);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace toka::sim

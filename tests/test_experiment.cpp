@@ -179,6 +179,63 @@ TEST(Experiment, RunAveragedRequiresSeeds) {
                util::InvariantError);
 }
 
+/// run_averaged must be a pure function of (config minus threads, seeds):
+/// byte-identical series and counters for every worker count.
+TEST(Experiment, RunAveragedIsByteIdenticalAcrossThreadCounts) {
+  auto cfg = base_config(AppKind::kPushGossip);
+  cfg.node_count = 100;  // keep 8 repetitions cheap
+
+  cfg.threads = 1;
+  const auto serial = run_averaged(cfg, 8);
+  for (std::size_t threads : {2u, 8u}) {
+    cfg.threads = threads;
+    const auto parallel = run_averaged(cfg, 8);
+
+    EXPECT_EQ(parallel.sim_counters.data_messages_sent,
+              serial.sim_counters.data_messages_sent);
+    EXPECT_EQ(parallel.sim_counters.control_messages_sent,
+              serial.sim_counters.control_messages_sent);
+    EXPECT_EQ(parallel.sim_counters.messages_dropped,
+              serial.sim_counters.messages_dropped);
+    EXPECT_EQ(parallel.sim_counters.proactive_skipped,
+              serial.sim_counters.proactive_skipped);
+    EXPECT_EQ(parallel.sim_counters.reactive_refunded,
+              serial.sim_counters.reactive_refunded);
+    EXPECT_EQ(parallel.sim_counters.events_processed,
+              serial.sim_counters.events_processed);
+    EXPECT_EQ(parallel.total_ticks, serial.total_ticks);
+    // Bitwise double equality, not EXPECT_DOUBLE_EQ: the reduction order
+    // is fixed, so even the floating-point rounding must match.
+    EXPECT_EQ(parallel.cost_per_online_period, serial.cost_per_online_period);
+    ASSERT_EQ(parallel.metric.size(), serial.metric.size());
+    for (std::size_t i = 0; i < serial.metric.size(); ++i) {
+      EXPECT_EQ(parallel.metric[i].t, serial.metric[i].t) << "sample " << i;
+      EXPECT_EQ(parallel.metric[i].value, serial.metric[i].value)
+          << "sample " << i;
+    }
+    ASSERT_EQ(parallel.avg_tokens.size(), serial.avg_tokens.size());
+    for (std::size_t i = 0; i < serial.avg_tokens.size(); ++i) {
+      EXPECT_EQ(parallel.avg_tokens[i].t, serial.avg_tokens[i].t);
+      EXPECT_EQ(parallel.avg_tokens[i].value, serial.avg_tokens[i].value)
+          << "sample " << i;
+    }
+  }
+}
+
+TEST(Experiment, ThreadsZeroMeansHardwareConcurrency) {
+  auto cfg = base_config(AppKind::kGossipLearning);
+  cfg.node_count = 100;
+  cfg.threads = 1;
+  const auto serial = run_averaged(cfg, 3);
+  cfg.threads = 0;
+  const auto parallel = run_averaged(cfg, 3);
+  EXPECT_EQ(parallel.sim_counters.events_processed,
+            serial.sim_counters.events_processed);
+  ASSERT_EQ(parallel.metric.size(), serial.metric.size());
+  for (std::size_t i = 0; i < serial.metric.size(); ++i)
+    EXPECT_EQ(parallel.metric[i].value, serial.metric[i].value);
+}
+
 TEST(Experiment, TraceScenarioRuns) {
   auto cfg = base_config(AppKind::kPushGossip);
   cfg.scenario = Scenario::kSmartphoneTrace;

@@ -1,0 +1,192 @@
+#include "net/online_peer_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace toka::net {
+namespace {
+
+/// Reference implementation: the old per-send adjacency scan.
+std::vector<NodeId> scan_online_out(const Digraph& g, NodeId v,
+                                    const std::vector<std::uint8_t>& online) {
+  std::vector<NodeId> out;
+  for (NodeId w : g.out(v))
+    if (online[w]) out.push_back(w);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> sorted_view_out(const OnlinePeerView& view, NodeId v) {
+  const auto span = view.online_out(v);
+  std::vector<NodeId> out(span.begin(), span.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(OnlinePeerView, AllOnlineMatchesAdjacency) {
+  util::Rng rng(1);
+  const auto g = random_k_out(50, 8, rng);
+  const OnlinePeerView view(g, {}, /*enable_updates=*/false);
+  const std::vector<std::uint8_t> online(50, 1);
+  for (NodeId v = 0; v < 50; ++v) {
+    EXPECT_EQ(view.online_out_degree(v), g.out_degree(v));
+    EXPECT_EQ(sorted_view_out(view, v), scan_online_out(g, v, online));
+  }
+}
+
+TEST(OnlinePeerView, InitialOfflineNodesExcluded) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  std::vector<std::uint8_t> online{1, 0, 1, 0};
+  const OnlinePeerView view(g, online, /*enable_updates=*/true);
+  EXPECT_EQ(view.online_out_degree(0), 1u);
+  EXPECT_EQ(sorted_view_out(view, 0), (std::vector<NodeId>{2}));
+  EXPECT_FALSE(view.node_online(1));
+  EXPECT_TRUE(view.node_online(2));
+}
+
+TEST(OnlinePeerView, InitialOfflineWithoutUpdatesThrows) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  std::vector<std::uint8_t> online{1, 0};
+  EXPECT_THROW(OnlinePeerView(g, online, /*enable_updates=*/false),
+               util::InvariantError);
+}
+
+TEST(OnlinePeerView, SetOnlineWithoutUpdatesThrows) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  OnlinePeerView view(g, {}, /*enable_updates=*/false);
+  EXPECT_THROW(view.set_online(1, false), util::InvariantError);
+}
+
+TEST(OnlinePeerView, PickReturnsNoNodeWhenNoPeerOnline) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  OnlinePeerView view(g, {}, /*enable_updates=*/true);
+  view.set_online(1, false);
+  util::Rng rng(1);
+  EXPECT_EQ(view.pick(0, rng), kNoNode);
+  EXPECT_EQ(view.pick(1, rng), kNoNode);  // no out-edges at all
+}
+
+TEST(OnlinePeerView, PickOnlyReturnsOnlineNeighbors) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  OnlinePeerView view(g, {}, /*enable_updates=*/true);
+  view.set_online(2, false);
+  util::Rng rng(3);
+  std::map<NodeId, int> hits;
+  for (int i = 0; i < 600; ++i) ++hits[view.pick(0, rng)];
+  EXPECT_EQ(hits.count(2), 0u);
+  EXPECT_EQ(hits.count(kNoNode), 0u);
+  // Uniformity sanity: both online neighbors drawn often.
+  EXPECT_GT(hits[1], 200);
+  EXPECT_GT(hits[3], 200);
+}
+
+TEST(OnlinePeerView, OnlineNodeCountTracksToggles) {
+  util::Rng graph_rng(2);
+  const auto g = random_k_out(20, 4, graph_rng);
+  OnlinePeerView view(g, {}, /*enable_updates=*/true);
+  EXPECT_EQ(view.online_node_count(), 20u);
+  view.set_online(3, false);
+  view.set_online(7, false);
+  view.set_online(3, false);  // no-op must not double-count
+  EXPECT_EQ(view.online_node_count(), 18u);
+  view.set_online(3, true);
+  EXPECT_EQ(view.online_node_count(), 19u);
+
+  std::vector<std::uint8_t> online(20, 1);
+  online[0] = online[5] = 0;
+  const OnlinePeerView seeded(g, online, /*enable_updates=*/true);
+  EXPECT_EQ(seeded.online_node_count(), 18u);
+}
+
+TEST(OnlinePeerView, ToggleIsIdempotent) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);
+  OnlinePeerView view(g, {}, /*enable_updates=*/true);
+  view.set_online(1, false);
+  view.set_online(1, false);  // no-op
+  EXPECT_EQ(view.online_out_degree(0), 0u);
+  view.set_online(1, true);
+  view.set_online(1, true);  // no-op
+  EXPECT_EQ(view.online_out_degree(0), 1u);
+  EXPECT_EQ(view.online_out_degree(2), 1u);
+}
+
+TEST(OnlinePeerView, RandomizedTogglesMatchScanReference) {
+  // The incremental view must agree with the old full adjacency scan
+  // after any toggle sequence — same online out-sets for every node.
+  util::Rng graph_rng(11);
+  const auto g = random_k_out(80, 10, graph_rng);
+  const std::size_t n = g.node_count();
+
+  OnlinePeerView view(g, {}, /*enable_updates=*/true);
+  std::vector<std::uint8_t> online(n, 1);
+
+  util::Rng rng(22);
+  for (int step = 0; step < 2000; ++step) {
+    const NodeId w = static_cast<NodeId>(rng.below(n));
+    const bool target = rng.below(2) == 0;
+    online[w] = target ? 1 : 0;
+    view.set_online(w, target);
+
+    // Full cross-check every 100 steps, spot-check one node otherwise.
+    if (step % 100 == 0) {
+      for (NodeId v = 0; v < n; ++v)
+        ASSERT_EQ(sorted_view_out(view, v), scan_online_out(g, v, online))
+            << "node " << v << " after step " << step;
+    } else {
+      const NodeId v = static_cast<NodeId>(rng.below(n));
+      ASSERT_EQ(sorted_view_out(view, v), scan_online_out(g, v, online))
+          << "node " << v << " after step " << step;
+    }
+  }
+}
+
+TEST(OnlinePeerView, PickIsDeterministicGivenRngState) {
+  util::Rng graph_rng(5);
+  const auto g = random_k_out(30, 6, graph_rng);
+  OnlinePeerView view(g, {}, /*enable_updates=*/true);
+  view.set_online(3, false);
+  view.set_online(17, false);
+  util::Rng rng_a(42), rng_b(42);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId v = static_cast<NodeId>(i % 30);
+    EXPECT_EQ(view.pick(v, rng_a), view.pick(v, rng_b));
+  }
+}
+
+TEST(OnlinePeerView, HandlesDuplicateEdges) {
+  // Digraph allows duplicate edges at the API level; the view must keep
+  // its slot bookkeeping consistent when several edges share (src, dst).
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  OnlinePeerView view(g, {}, /*enable_updates=*/true);
+  EXPECT_EQ(view.online_out_degree(0), 3u);
+  view.set_online(1, false);
+  EXPECT_EQ(view.online_out_degree(0), 1u);
+  EXPECT_EQ(sorted_view_out(view, 0), (std::vector<NodeId>{2}));
+  view.set_online(1, true);
+  EXPECT_EQ(view.online_out_degree(0), 3u);
+  EXPECT_EQ(sorted_view_out(view, 0), (std::vector<NodeId>{1, 1, 2}));
+}
+
+}  // namespace
+}  // namespace toka::net

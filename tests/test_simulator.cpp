@@ -352,6 +352,62 @@ TEST(Simulator, OneShotTaskFiresOnce) {
   EXPECT_EQ(fires, 1);
 }
 
+TEST(Simulator, OneShotTaskStorageReleasedAfterFiring) {
+  // Long-running drivers (live_cluster-style) schedule one-shot tasks
+  // continuously; the engine must release each closure right after it
+  // fires instead of retaining every std::function until teardown.
+  const auto g = pair_graph();
+  RecordingLogic logic;
+  Simulator<ProbeBody> sim(g, logic, fast_config());
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  sim.schedule(10, [token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(watch.expired());  // alive while pending
+  sim.run_until(10);
+  EXPECT_TRUE(watch.expired());  // closure destroyed once fired
+}
+
+TEST(Simulator, OneShotTaskSlotsAreReused) {
+  // Chained one-shots (each firing schedules the next) must not grow the
+  // task table: every firing frees its slot before the next schedule, so
+  // the high-water mark stays at the concurrent-pending maximum (here the
+  // chain slot plus the repeating slot), not at one slot per task ever.
+  const auto g = pair_graph();
+  RecordingLogic logic;
+  Simulator<ProbeBody> sim(g, logic, fast_config());
+  int chain_fires = 0;
+  std::function<void()> chain = [&] {
+    ++chain_fires;
+    if (chain_fires < 50) sim.schedule(sim.now() + 100, chain);
+  };
+  sim.schedule(100, chain);
+  int repeat_fires = 0;
+  sim.schedule_repeating(50, 200, [&] { ++repeat_fires; });
+  sim.run_until(20'000);
+  EXPECT_EQ(chain_fires, 50);
+  EXPECT_EQ(repeat_fires, 100);
+  EXPECT_EQ(sim.task_slot_count(), 2u);
+}
+
+TEST(Simulator, RepeatingTaskSurvivesItsOwnException) {
+  // A repeating callback that throws must keep its closure: the next
+  // occurrence is already queued, and resuming the run must fire it
+  // normally instead of hitting an empty std::function.
+  const auto g = pair_graph();
+  RecordingLogic logic;
+  Simulator<ProbeBody> sim(g, logic, fast_config());
+  int fires = 0;
+  sim.schedule_repeating(100, 100, [&] {
+    ++fires;
+    if (fires == 2) throw std::runtime_error("transient");
+  });
+  EXPECT_THROW(sim.run_until(250), std::runtime_error);
+  EXPECT_EQ(fires, 2);
+  sim.run_until(450);  // resumes: fires at 300 and 400
+  EXPECT_EQ(fires, 4);
+}
+
 TEST(Simulator, SchedulingInPastThrows) {
   const auto g = pair_graph();
   RecordingLogic logic;

@@ -1,0 +1,104 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace toka::util {
+namespace {
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool(0), InvariantError);
+}
+
+TEST(ThreadPool, ResolveMapsZeroToHardware) {
+  EXPECT_GE(ThreadPool::resolve(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve(7), 7u);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  constexpr std::size_t kTasks = 500;
+  std::vector<int> hits(kTasks, 0);
+  {
+    ThreadPool pool(4);
+    for (std::size_t i = 0; i < kTasks; ++i)
+      pool.submit([&hits, i] { ++hits[i]; });
+    pool.wait_idle();
+    for (std::size_t i = 0; i < kTasks; ++i)
+      EXPECT_EQ(hits[i], 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPool, DisjointSlotWritesAreDeterministic) {
+  // The run_averaged pattern: each task fills its own slot; the reduced
+  // value must not depend on scheduling. Repeat to give races a chance.
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::uint64_t> slots(64, 0);
+    ThreadPool pool(8);
+    for (std::size_t i = 0; i < slots.size(); ++i)
+      pool.submit([&slots, i] { slots[i] = i * i; });
+    pool.wait_idle();
+    const std::uint64_t sum =
+        std::accumulate(slots.begin(), slots.end(), std::uint64_t{0});
+    EXPECT_EQ(sum, 85344u);  // sum of squares 0..63
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&done] { ++done; });
+    // No wait_idle: the destructor must still run all queued tasks.
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskError) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed; the pool stays usable.
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, TasksCanSubmitMoreTasks) {
+  std::atomic<int> count{0};
+  ThreadPool pool(3);
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&pool, &count] {
+      ++count;
+      pool.submit([&count] { ++count; });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) pool.submit([&total] { ++total; });
+    pool.wait_idle();
+    EXPECT_EQ(total.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPool, SubmittingEmptyTaskThrows) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), InvariantError);
+}
+
+}  // namespace
+}  // namespace toka::util
