@@ -1,0 +1,475 @@
+// Multi-threaded open- and closed-loop load generator for the tokend
+// service layer: 1M+ distinct keys with Zipf popularity against the sharded
+// AccountTable, measured raw (direct calls), batched, open-loop at a target
+// arrival rate, and through the wire protocol (Server/Client over the
+// in-process fabric or TCP loopback).
+//
+//   $ ./service_load --quick            # CI snapshot: preload,table,batch,open,wire
+//   $ ./service_load --modes=table,tcp --threads=16 --seconds=5 --keys=4194304
+//
+// Reports per-mode throughput and latency percentiles, and with --json=FILE
+// writes the BENCH_service.json document the release-bench CI job uploads.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metrics/timeseries.hpp"
+#include "runtime/inproc.hpp"
+#include "runtime/tcp.hpp"
+#include "service/account_table.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+#include "util/zipf.hpp"
+
+namespace {
+
+using namespace toka;
+using Clock = std::chrono::steady_clock;
+
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count() /
+         1e3;
+}
+
+struct LatencySummary {
+  std::size_t samples = 0;
+  double mean_us = 0, p50_us = 0, p90_us = 0, p99_us = 0, max_us = 0;
+};
+
+LatencySummary summarize(std::vector<double> samples_us) {
+  LatencySummary out;
+  out.samples = samples_us.size();
+  if (samples_us.empty()) return out;
+  util::RunningStat stat;
+  for (double v : samples_us) stat.add(v);
+  out.mean_us = stat.mean();
+  out.max_us = stat.max();
+  out.p50_us = util::quantile(samples_us, 0.50);
+  out.p90_us = util::quantile(samples_us, 0.90);
+  out.p99_us = util::quantile(samples_us, 0.99);
+  return out;
+}
+
+struct ModeResult {
+  std::string mode;
+  std::size_t threads = 0;
+  double seconds = 0;      ///< wall time of the measured phase
+  std::uint64_t ops = 0;   ///< acquire ops (each batch element counts)
+  std::uint64_t calls = 0; ///< API calls / wire round trips
+  std::int64_t granted = 0;
+  LatencySummary latency;
+  /// Instantaneous throughput (ops/s per 100 ms bucket) over the run, for
+  /// modes that sample it; "sustained" is the worst bucket.
+  metrics::TimeSeries throughput;
+
+  double ops_per_sec() const { return seconds > 0 ? ops / seconds : 0; }
+
+  double sustained_ops_per_sec() const {
+    if (throughput.empty()) return 0;
+    double worst = throughput[0].value;
+    for (std::size_t i = 1; i < throughput.size(); ++i)
+      worst = std::min(worst, throughput[i].value);
+    return worst;
+  }
+};
+
+/// Padded so neighbouring threads' counters (read by the throughput
+/// sampler while workers run) never share a cache line.
+struct alignas(64) PerThread {
+  std::atomic<std::uint64_t> ops{0};
+  std::uint64_t calls = 0;
+  std::int64_t granted = 0;
+  std::vector<double> lat_us;
+};
+
+/// Runs `body(thread_index, tally)` on `threads` OS threads and merges;
+/// meanwhile a sampler thread on the side records instantaneous throughput
+/// into the result's TimeSeries every 100 ms.
+ModeResult run_threads(const std::string& mode, std::size_t threads,
+                       const std::function<void(std::size_t, PerThread&)>& body) {
+  std::vector<PerThread> tallies(threads);
+  std::atomic<bool> done{false};
+  metrics::TimeSeries throughput;
+  const auto start = Clock::now();
+  std::thread sampler([&] {
+    std::uint64_t prev_total = 0;
+    auto prev_time = start;
+    while (!done.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      std::uint64_t total = 0;
+      for (const PerThread& tally : tallies)
+        total += tally.ops.load(std::memory_order_relaxed);
+      const auto now = Clock::now();
+      const double dt_s = us_between(prev_time, now) / 1e6;
+      if (dt_s <= 0) continue;
+      throughput.add(static_cast<TimeUs>(us_between(start, now)),
+                     static_cast<double>(total - prev_total) / dt_s);
+      prev_total = total;
+      prev_time = now;
+    }
+  });
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t)
+    workers.emplace_back([&, t] { body(t, tallies[t]); });
+  for (auto& w : workers) w.join();
+  const auto stop = Clock::now();
+  done.store(true);
+  sampler.join();
+
+  ModeResult res;
+  res.mode = mode;
+  res.threads = threads;
+  res.seconds = us_between(start, stop) / 1e6;
+  res.throughput = std::move(throughput);
+  std::vector<double> all_lat;
+  for (PerThread& tally : tallies) {
+    res.ops += tally.ops.load();
+    res.calls += tally.calls;
+    res.granted += tally.granted;
+    all_lat.insert(all_lat.end(), tally.lat_us.begin(), tally.lat_us.end());
+  }
+  res.latency = summarize(std::move(all_lat));
+  return res;
+}
+
+struct LoadConfig {
+  std::size_t threads = 0;
+  std::uint64_t keys = 0;
+  double zipf = 0;
+  double seconds = 0;
+  std::size_t batch = 0;
+  double open_rate = 0;  ///< total target ops/s for open-loop mode
+};
+
+/// Preload: batch-create every key once so the timed phases run against a
+/// fully populated store (and so "distinct keys served" covers the whole
+/// keyspace). Reported as its own mode: creation throughput matters too.
+ModeResult run_preload(service::AccountTable& table, const LoadConfig& load) {
+  return run_threads("preload", load.threads, [&](std::size_t t, PerThread& tally) {
+    constexpr std::size_t kChunk = 4096;
+    std::vector<service::AcquireOp> ops;
+    ops.reserve(kChunk);
+    for (std::uint64_t key = t * kChunk; key < load.keys;
+         key += load.threads * kChunk) {
+      ops.clear();
+      const std::uint64_t end = std::min<std::uint64_t>(key + kChunk, load.keys);
+      for (std::uint64_t k = key; k < end; ++k)
+        ops.push_back(service::AcquireOp{k, 0});
+      table.acquire_batch(ops);
+      tally.ops += ops.size();
+      ++tally.calls;
+    }
+  });
+}
+
+ModeResult run_table_closed(service::AccountTable& table,
+                            const util::ZipfSampler& sampler,
+                            const LoadConfig& load) {
+  const auto deadline =
+      Clock::now() + std::chrono::microseconds(from_seconds(load.seconds));
+  return run_threads("table", load.threads, [&](std::size_t t, PerThread& tally) {
+    util::Rng rng(1000 + t);
+    for (std::uint64_t i = 0;; ++i) {
+      if ((i & 0xFF) == 0 && Clock::now() >= deadline) break;
+      const std::uint64_t key = sampler.next(rng);
+      if ((i & 0x3F) == 0) {
+        const auto t0 = Clock::now();
+        tally.granted += table.acquire(key, 1).granted;
+        tally.lat_us.push_back(us_between(t0, Clock::now()));
+      } else {
+        tally.granted += table.acquire(key, 1).granted;
+      }
+      ++tally.ops;
+      ++tally.calls;
+    }
+  });
+}
+
+ModeResult run_table_batched(service::AccountTable& table,
+                             const util::ZipfSampler& sampler,
+                             const LoadConfig& load) {
+  const auto deadline =
+      Clock::now() + std::chrono::microseconds(from_seconds(load.seconds));
+  return run_threads("batch", load.threads, [&](std::size_t t, PerThread& tally) {
+    util::Rng rng(2000 + t);
+    std::vector<service::AcquireOp> ops(load.batch);
+    while (Clock::now() < deadline) {
+      for (service::AcquireOp& op : ops)
+        op = service::AcquireOp{sampler.next(rng), 1};
+      const auto t0 = Clock::now();
+      const auto results = table.acquire_batch(ops);
+      tally.lat_us.push_back(us_between(t0, Clock::now()));
+      for (const service::AcquireResult& r : results) tally.granted += r.granted;
+      tally.ops += ops.size();
+      ++tally.calls;
+    }
+  });
+}
+
+/// Open loop: arrivals on a fixed schedule; latency is measured from the
+/// *scheduled* arrival, so queueing delay when the generator falls behind is
+/// included (no coordinated omission).
+ModeResult run_table_open(service::AccountTable& table,
+                          const util::ZipfSampler& sampler,
+                          const LoadConfig& load) {
+  const double per_thread_rate = load.open_rate / load.threads;
+  const auto interval = std::chrono::nanoseconds(
+      std::max<std::int64_t>(static_cast<std::int64_t>(1e9 / per_thread_rate), 1));
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::microseconds(from_seconds(load.seconds));
+  ModeResult res =
+      run_threads("open", load.threads, [&](std::size_t t, PerThread& tally) {
+        util::Rng rng(3000 + t);
+        auto scheduled = start + interval * static_cast<std::int64_t>(t) /
+                                     static_cast<std::int64_t>(load.threads);
+        while (scheduled < deadline) {
+          std::this_thread::sleep_until(scheduled);
+          const std::uint64_t key = sampler.next(rng);
+          tally.granted += table.acquire(key, 1).granted;
+          tally.lat_us.push_back(us_between(scheduled, Clock::now()));
+          ++tally.ops;
+          ++tally.calls;
+          scheduled += interval;
+        }
+      });
+  res.seconds = load.seconds;  // open loop is defined by its schedule
+  return res;
+}
+
+/// Closed loop through the wire protocol. `make_transport(i)` yields the
+/// client endpoint for thread i; the server is already listening on node 0.
+ModeResult run_wire(const std::string& mode, const util::ZipfSampler& sampler,
+                    const LoadConfig& load,
+                    const std::function<runtime::Transport&(std::size_t)>& endpoint_of) {
+  const auto deadline =
+      Clock::now() + std::chrono::microseconds(from_seconds(load.seconds));
+  return run_threads(mode, load.threads, [&](std::size_t t, PerThread& tally) {
+    service::Client client(endpoint_of(t), 0);
+    util::Rng rng(4000 + t);
+    std::vector<service::AcquireOp> ops(load.batch);
+    while (Clock::now() < deadline) {
+      for (service::AcquireOp& op : ops)
+        op = service::AcquireOp{sampler.next(rng), 1};
+      const auto t0 = Clock::now();
+      const auto results = client.acquire_batch(ops);
+      tally.lat_us.push_back(us_between(t0, Clock::now()));
+      for (const service::AcquireResult& r : results) tally.granted += r.granted;
+      tally.ops += ops.size();
+      ++tally.calls;
+    }
+  });
+}
+
+void print_result(const ModeResult& res) {
+  std::printf("%-8s %3zu thr %8.2fs %12llu ops %12.0f ops/s", res.mode.c_str(),
+              res.threads, res.seconds,
+              static_cast<unsigned long long>(res.ops), res.ops_per_sec());
+  if (res.latency.samples > 0) {
+    std::printf("   lat p50 %8.1fus  p99 %8.1fus  max %9.1fus",
+                res.latency.p50_us, res.latency.p99_us, res.latency.max_us);
+  }
+  if (!res.throughput.empty()) {
+    std::printf("   sustained %10.0f ops/s", res.sustained_ops_per_sec());
+  }
+  std::printf("\n");
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<ModeResult>& runs,
+                const service::AccountTable& table, const LoadConfig& load,
+                bool quick) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  const service::TableStats stats = table.stats();
+  double table_ops_per_sec = 0;
+  for (const ModeResult& r : runs)
+    if (r.mode == "table") table_ops_per_sec = r.ops_per_sec();
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"toka-bench-service-v1\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"host_cpus\": %u, \n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"keys\": %llu,\n",
+               static_cast<unsigned long long>(load.keys));
+  std::fprintf(f, "  \"zipf\": %g,\n", load.zipf);
+  std::fprintf(f, "  \"threads\": %zu,\n", load.threads);
+  std::fprintf(f, "  \"batch\": %zu,\n", load.batch);
+  std::fprintf(f, "  \"strategy\": \"%s\",\n",
+               json_escape(table.config().strategy.label()).c_str());
+  std::fprintf(f, "  \"shards\": %zu,\n", table.shard_count());
+  std::fprintf(f, "  \"delta_us\": %lld,\n",
+               static_cast<long long>(table.config().delta_us));
+  std::fprintf(f, "  \"acquire_ops_per_sec\": %.0f,\n", table_ops_per_sec);
+  std::fprintf(f, "  \"distinct_keys_served\": %llu,\n",
+               static_cast<unsigned long long>(stats.accounts));
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ModeResult& r = runs[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"threads\": %zu, \"seconds\": %.3f, "
+                 "\"ops\": %llu, \"calls\": %llu, \"ops_per_sec\": %.0f, "
+                 "\"granted_tokens\": %lld,\n",
+                 r.mode.c_str(), r.threads, r.seconds,
+                 static_cast<unsigned long long>(r.ops),
+                 static_cast<unsigned long long>(r.calls), r.ops_per_sec(),
+                 static_cast<long long>(r.granted));
+    std::fprintf(f,
+                 "     \"sustained_ops_per_sec\": %.0f, \"throughput_series\": [",
+                 r.sustained_ops_per_sec());
+    for (std::size_t p = 0; p < r.throughput.size(); ++p) {
+      std::fprintf(f, "%s[%.2f, %.0f]", p > 0 ? ", " : "",
+                   to_seconds(r.throughput[p].t), r.throughput[p].value);
+    }
+    std::fprintf(f, "],\n");
+    std::fprintf(f,
+                 "     \"latency_us\": {\"samples\": %zu, \"mean\": %.2f, "
+                 "\"p50\": %.2f, \"p90\": %.2f, \"p99\": %.2f, \"max\": "
+                 "%.2f}}%s\n",
+                 r.latency.samples, r.latency.mean_us, r.latency.p50_us,
+                 r.latency.p90_us, r.latency.p99_us, r.latency.max_us,
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"table_stats\": {\"accounts\": %llu, \"acquires\": %llu, "
+               "\"tokens_requested\": %llu, \"tokens_granted\": %llu, "
+               "\"proactive_dropped\": %llu, \"ticks_forfeited\": %llu}\n",
+               static_cast<unsigned long long>(stats.accounts),
+               static_cast<unsigned long long>(stats.acquires),
+               static_cast<unsigned long long>(stats.tokens_requested),
+               static_cast<unsigned long long>(stats.tokens_granted),
+               static_cast<unsigned long long>(stats.proactive_dropped),
+               static_cast<unsigned long long>(stats.ticks_forfeited));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const bool quick = args.get_flag("quick");
+
+  LoadConfig load;
+  load.threads = util::ThreadPool::resolve(
+      static_cast<std::size_t>(args.get_int("threads", 0)));
+  load.keys = static_cast<std::uint64_t>(
+      args.get_int("keys", 1 << 20));  // >= 1M distinct keys by default
+  load.zipf = args.get_double("zipf", 0.99);
+  load.seconds = args.get_double("seconds", quick ? 1.0 : 4.0);
+  load.batch = static_cast<std::size_t>(args.get_int("batch", 16));
+  load.open_rate = args.get_double("rate", 200'000);
+
+  service::ServiceConfig cfg;
+  cfg.shards = static_cast<std::size_t>(args.get_int("shards", 256));
+  cfg.delta_us = args.get_int("delta-ms", 10) * 1000;
+  cfg.strategy.kind =
+      core::parse_strategy_kind(args.get_string("strategy", "generalized"));
+  cfg.strategy.a_param = args.get_int("a", 4);
+  cfg.strategy.c_param = args.get_int("c", 16);
+  cfg.idle_ttl_us = args.get_int("ttl-ms", 0) * 1000;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  const std::string modes_arg =
+      args.get_string("modes", "preload,table,batch,open,wire");
+  std::vector<std::string> modes;
+  std::stringstream modes_stream(modes_arg);
+  for (std::string m; std::getline(modes_stream, m, ',');) modes.push_back(m);
+
+  service::AccountTable table(cfg);
+  service::ClockDriver driver(table, /*resolution_us=*/1000);
+  driver.start();
+  const util::ZipfSampler sampler(load.keys, load.zipf);
+
+  std::printf("service_load: %s, %zu shards, Δ=%lldms | %llu keys zipf %.2f | "
+              "%zu threads, %.1fs per mode\n\n",
+              cfg.strategy.label().c_str(), table.shard_count(),
+              static_cast<long long>(cfg.delta_us / 1000),
+              static_cast<unsigned long long>(load.keys), load.zipf,
+              load.threads, load.seconds);
+
+  std::vector<ModeResult> runs;
+  for (const std::string& mode : modes) {
+    if (mode == "preload") {
+      runs.push_back(run_preload(table, load));
+    } else if (mode == "table") {
+      runs.push_back(run_table_closed(table, sampler, load));
+    } else if (mode == "batch") {
+      runs.push_back(run_table_batched(table, sampler, load));
+    } else if (mode == "open") {
+      runs.push_back(run_table_open(table, sampler, load));
+    } else if (mode == "wire") {
+      runtime::InProcNetwork net(1 + load.threads);
+      service::Server server(table, net.endpoint(0));
+      net.start();
+      runs.push_back(run_wire("wire", sampler, load, [&](std::size_t t) -> runtime::Transport& {
+        return net.endpoint(static_cast<NodeId>(1 + t));
+      }));
+      net.stop();
+    } else if (mode == "tcp") {
+      runtime::TcpMesh mesh(1 + load.threads);
+      service::Server server(table, mesh.endpoint(0));
+      runs.push_back(run_wire("tcp", sampler, load, [&](std::size_t t) -> runtime::Transport& {
+        return mesh.endpoint(static_cast<NodeId>(1 + t));
+      }));
+    } else {
+      std::fprintf(stderr, "unknown mode '%s' (skipped)\n", mode.c_str());
+      continue;
+    }
+    print_result(runs.back());
+  }
+  driver.stop();
+
+  const service::TableStats stats = table.stats();
+  std::printf("\n%llu live accounts, %llu/%llu tokens granted, "
+              "%llu proactive drops, %llu ticks forfeited\n",
+              static_cast<unsigned long long>(stats.accounts),
+              static_cast<unsigned long long>(stats.tokens_granted),
+              static_cast<unsigned long long>(stats.tokens_requested),
+              static_cast<unsigned long long>(stats.proactive_dropped),
+              static_cast<unsigned long long>(stats.ticks_forfeited));
+
+  const std::string json_path = args.get_string("json", "");
+  if (!json_path.empty()) write_json(json_path, runs, table, load, quick);
+
+  // Release-bench CI passes --min-table-ops=100000: the acceptance floor
+  // for the raw store on CI hardware.
+  const double min_table_ops = args.get_double("min-table-ops", 0);
+  if (min_table_ops > 0) {
+    double table_ops = 0;
+    for (const ModeResult& r : runs)
+      if (r.mode == "table") table_ops = r.ops_per_sec();
+    if (table_ops < min_table_ops) {
+      std::fprintf(stderr, "FAIL: table mode %.0f ops/s below floor %.0f\n",
+                   table_ops, min_table_ops);
+      return 1;
+    }
+    std::printf("table mode sustains %.0f ops/s (floor %.0f): OK\n", table_ops,
+                min_table_ops);
+  }
+  return 0;
+}

@@ -1,16 +1,23 @@
 #!/bin/sh
-# Captures an engine performance snapshot as a single JSON document,
-# starting the perf trajectory the ROADMAP asks for. Records wall-clock
-# times for the figure-driver smokes that stress the engine hot paths,
-# plus (when the Google-Benchmark binary was built) the engine
-# micro-benchmarks: select_peer, event queue push/pop, churn toggles.
+# Captures performance snapshots as JSON documents, starting the perf
+# trajectory the ROADMAP asks for:
 #
-# Usage: bench_snapshot.sh [build-dir] [output.json]
-# CI uploads the output (BENCH_engine.json) as an artifact per commit.
+#  - BENCH_engine.json: wall-clock times for the figure-driver smokes that
+#    stress the engine hot paths, plus (when the Google-Benchmark binary was
+#    built) the engine micro-benchmarks: select_peer, event queue push/pop,
+#    churn toggles.
+#  - BENCH_service.json: the tokend service load generator (service_load
+#    --quick): acquire throughput and latency percentiles over 1M+ Zipf-
+#    distributed keys, raw / batched / open-loop / wire-protocol. Also
+#    enforces the 100k acquire-ops/s floor on CI hardware.
+#
+# Usage: bench_snapshot.sh [build-dir] [engine.json] [service.json]
+# CI uploads both outputs as artifacts per commit.
 set -eu
 
 build_dir=${1:-build}
 out=${2:-BENCH_engine.json}
+service_out=${3:-BENCH_service.json}
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
@@ -64,3 +71,11 @@ cat > "$out" <<EOF
 EOF
 
 echo "wrote $out (fig4_scale --quick: ${fig4_ms} ms)"
+
+# Service-layer snapshot: the load generator writes the JSON itself (it has
+# the latency samples); --min-table-ops is the CI acceptance floor for raw
+# acquire throughput.
+"$build_dir/service_load" --quick --json="$service_out" \
+    --min-table-ops=100000 > /dev/null
+acquire_ops=$(sed -n 's/.*"acquire_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
+echo "wrote $service_out (table mode: ${acquire_ops} acquire ops/s)"

@@ -62,6 +62,15 @@ void TokenAccount::refund_reactive(Tokens n) {
   counters_.reactive_sends -= static_cast<std::uint64_t>(n);
 }
 
+Tokens TokenAccount::refund_spend(Tokens n) {
+  TOKA_CHECK_MSG(n >= 0, "refund requires n >= 0, got " << n);
+  const Tokens accepted = std::min(
+      n, static_cast<Tokens>(counters_.direct_spends));
+  balance_ += accepted;
+  counters_.direct_spends -= static_cast<std::uint64_t>(accepted);
+  return accepted;
+}
+
 Tokens TokenAccount::try_spend(Tokens n) {
   TOKA_CHECK_MSG(n >= 0, "try_spend requires n >= 0, got " << n);
   Tokens x = n;

@@ -76,6 +76,14 @@ class TokenAccount {
   /// pre-deduction value, so the capacity invariant is preserved.
   void refund_reactive(Tokens n);
 
+  /// Returns up to `n` tokens previously taken with try_spend() (the
+  /// service's refund path: a client giving back admission tokens it did
+  /// not use). Accepts at most the spends still recorded in the counters,
+  /// restores the balance, decrements direct_spends, and returns the amount
+  /// actually accepted. Callers that must preserve a balance cap (the
+  /// service's capacity invariant) clamp `n` before calling.
+  Tokens refund_spend(Tokens n);
+
  private:
   const Strategy* strategy_;
   Tokens balance_;

@@ -28,6 +28,12 @@ void RateLimitAuditor::record(TimeUs t) {
   sends_.push_back(t);
 }
 
+void RateLimitAuditor::retract(std::size_t n) {
+  TOKA_CHECK_MSG(n <= sends_.size(),
+                 "retracting " << n << " of " << sends_.size() << " records");
+  sends_.resize(sends_.size() - n);
+}
+
 std::optional<RateLimitViolation> RateLimitAuditor::first_violation() const {
   const auto cap = static_cast<std::uint64_t>(capacity_);
   for (std::size_t i = 0; i < sends_.size(); ++i) {

@@ -42,6 +42,13 @@ class RateLimitAuditor {
   /// Records a send at time t. Timestamps must be non-decreasing.
   void record(TimeUs t);
 
+  /// Strikes the `n` most recent records from the trace. Used by the
+  /// service's refund path: a returned token's admission never happened,
+  /// and newest-first matches the account's fungible-token accounting
+  /// (refund_spend), so the trace always holds exactly the outstanding
+  /// spends. Requires n <= send_count().
+  void retract(std::size_t n);
+
   std::size_t send_count() const { return sends_.size(); }
 
   /// Exhaustively checks all send-anchored windows. Returns the first

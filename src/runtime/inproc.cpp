@@ -1,6 +1,7 @@
 #include "runtime/inproc.hpp"
 
 #include <chrono>
+#include <shared_mutex>
 
 #include "util/error.hpp"
 
@@ -17,16 +18,22 @@ class InProcNetwork::Endpoint final : public Transport {
   }
 
   void set_handler(Handler handler) override {
+    // Exclusive lock: blocks until an in-flight delivery (shared lock in
+    // deliver) has finished, so after a detach returns the old handler is
+    // guaranteed to never run again.
+    std::unique_lock lock(handler_mutex_);
     handler_ = std::move(handler);
   }
 
   void deliver(NodeId from, std::vector<std::byte> payload) {
+    std::shared_lock lock(handler_mutex_);
     if (handler_) handler_(from, std::move(payload));
   }
 
  private:
   InProcNetwork* net_;
   NodeId id_;
+  std::shared_mutex handler_mutex_;
   Handler handler_;
 };
 

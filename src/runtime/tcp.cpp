@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 #include <map>
+#include <shared_mutex>
 
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -109,6 +110,10 @@ class TcpMesh::Endpoint final : public Transport {
   std::uint16_t port() const { return port_; }
 
   void set_handler(Handler handler) override {
+    // Exclusive lock: blocks until every in-flight delivery (shared lock
+    // in read_loop) has finished, so after a detach returns the old
+    // handler is guaranteed to never run again.
+    std::unique_lock lock(handler_mutex_);
     handler_ = std::move(handler);
   }
 
@@ -130,9 +135,11 @@ class TcpMesh::Endpoint final : public Transport {
   void shutdown() {
     bool expected = false;
     if (!stopping_.compare_exchange_strong(expected, true)) return;
+    // shutdown() wakes the blocked accept(); only close the fd after the
+    // acceptor has been joined, so the thread never reads a dead handle.
     ::shutdown(listen_fd_.get(), SHUT_RDWR);
-    listen_fd_.reset();
     if (acceptor_.joinable()) acceptor_.join();
+    listen_fd_.reset();
     {
       std::lock_guard lock(conn_mutex_);
       for (auto& [peer, fd] : outgoing_) ::shutdown(fd.get(), SHUT_RDWR);
@@ -182,6 +189,9 @@ class TcpMesh::Endpoint final : public Transport {
       if (len > kMaxFrame) break;  // corrupt stream
       std::vector<std::byte> payload(len);
       if (len > 0 && !read_exact(fd, payload.data(), len)) break;
+      // Deliver under a shared lock: readers stay concurrent with each
+      // other, but set_handler's exclusive lock waits them out.
+      std::shared_lock lock(handler_mutex_);
       if (handler_ && !stopping_.load()) handler_(from, std::move(payload));
     }
   }
@@ -219,6 +229,7 @@ class TcpMesh::Endpoint final : public Transport {
   std::uint16_t port_ = 0;
   Fd listen_fd_;
   std::thread acceptor_;
+  std::shared_mutex handler_mutex_;
   Handler handler_;
   std::atomic<bool> stopping_{false};
 

@@ -28,8 +28,12 @@ class Transport {
   /// unknown or dead peers are dropped (best-effort fabric).
   virtual void send(NodeId to, std::vector<std::byte> payload) = 0;
 
-  /// Installs the receive handler. Must be called before traffic flows;
-  /// not thread-safe against concurrent send/receive.
+  /// Installs (or, with an empty Handler, detaches) the receive handler.
+  /// Implementations synchronize this against their receive threads and
+  /// only return once no in-flight invocation of the previous handler
+  /// remains, so after a detach the old handler is guaranteed to never run
+  /// again. Frames arriving with no handler installed are dropped; install
+  /// before sending if no frame may be lost.
   virtual void set_handler(Handler handler) = 0;
 };
 

@@ -1,0 +1,334 @@
+#include "service/account_table.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace toka::service {
+
+void CoarseClock::advance_to(TimeUs t) {
+  TimeUs cur = now_.load(std::memory_order_relaxed);
+  while (t > cur &&
+         !now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+    // cur reloaded by the failed CAS; retry until t is not ahead anymore.
+  }
+}
+
+void CoarseClock::advance(TimeUs dt) {
+  TOKA_CHECK_MSG(dt >= 0, "clock cannot retreat, got dt=" << dt);
+  advance_to(now_.load(std::memory_order_relaxed) + dt);
+}
+
+AccountTable::AccountTable(ServiceConfig config)
+    : config_(std::move(config)), strategy_(core::make_strategy(config_.strategy)) {
+  TOKA_CHECK_MSG(config_.delta_us > 0,
+                 "token period must be positive, got " << config_.delta_us);
+  // The effective balance cap: the framework capacity for the paper's
+  // strategies, the bucket size for the classic token bucket (whose
+  // framework capacity is unbounded — the account's bucket_cap enforces
+  // the bound instead, as in the simulator).
+  if (config_.strategy.kind == core::StrategyKind::kTokenBucket) {
+    capacity_ = config_.strategy.c_param;
+    bucket_cap_ = config_.strategy.c_param;
+  } else {
+    capacity_ = strategy_->capacity();
+    bucket_cap_ = 0;
+  }
+  TOKA_CHECK_MSG(capacity_ != core::kUnboundedCapacity,
+                 "the service requires a bounded-capacity strategy; "
+                     << strategy_->name() << " has unbounded bursts");
+  TOKA_CHECK_MSG(config_.initial_tokens >= 0 &&
+                     config_.initial_tokens <= capacity_,
+                 "initial balance " << config_.initial_tokens
+                                    << " outside [0, C=" << capacity_ << "]");
+  TOKA_CHECK_MSG(config_.idle_ttl_us >= 0,
+                 "idle TTL must be non-negative, got " << config_.idle_ttl_us);
+  catchup_limit_ = config_.max_catchup_ticks > 0
+                       ? config_.max_catchup_ticks
+                       : std::max<Tokens>(2 * capacity_, 16);
+
+  const std::size_t shards = std::bit_ceil(std::max<std::size_t>(config_.shards, 1));
+  shard_mask_ = shards - 1;
+  util::Rng seeder(config_.seed);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->rng = seeder.fork(i);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::size_t AccountTable::shard_index(std::uint64_t key) const {
+  // splitmix64 finalizer: keys are caller-controlled, so the shard index
+  // must not depend on low-entropy low bits.
+  std::uint64_t state = key;
+  return static_cast<std::size_t>(util::splitmix64(state)) & shard_mask_;
+}
+
+AccountTable::Shard& AccountTable::shard_for(std::uint64_t key) {
+  return *shards_[shard_index(key)];
+}
+
+AccountTable::Entry& AccountTable::find_or_create(Shard& shard,
+                                                  std::uint64_t key,
+                                                  std::int64_t tick,
+                                                  TimeUs now) {
+  auto it = shard.accounts.find(key);
+  if (it == shard.accounts.end()) {
+    Entry entry{core::TokenAccount(*strategy_, config_.initial_tokens,
+                                   /*allow_overdraft=*/false,
+                                   core::RoundingMode::kRandomized,
+                                   bucket_cap_),
+                tick, now, nullptr};
+    if (config_.audit) {
+      entry.auditor = std::make_unique<core::RateLimitAuditor>(
+          config_.delta_us, capacity_);
+    }
+    it = shard.accounts.emplace(key, std::move(entry)).first;
+    ++shard.stats.accounts_created;
+  }
+  return it->second;
+}
+
+void AccountTable::settle(Shard& shard, Entry& entry, std::int64_t tick,
+                          TimeUs now) {
+  const std::int64_t due = tick - entry.last_tick;
+  if (due > 0) {
+    const std::int64_t apply = std::min<std::int64_t>(due, catchup_limit_);
+    shard.stats.ticks_forfeited += static_cast<std::uint64_t>(due - apply);
+    for (std::int64_t i = 0; i < apply; ++i) {
+      // A proactive decision has no message to pay for here: the period's
+      // token is dropped (never banked), exactly like the simulator's
+      // no-online-peer rule, preserving balance <= C and with it §3.4.
+      if (entry.account.on_tick(shard.rng)) ++shard.stats.proactive_dropped;
+    }
+    entry.last_tick = tick;
+  }
+  entry.last_access_us = now;
+}
+
+AcquireResult AccountTable::acquire_locked(Shard& shard, std::uint64_t key,
+                                           Tokens n, std::int64_t tick,
+                                           TimeUs now) {
+  TOKA_CHECK_MSG(n >= 0, "acquire requires n >= 0, got " << n);
+  Entry& entry = find_or_create(shard, key, tick, now);
+  settle(shard, entry, tick, now);
+  const Tokens granted = entry.account.try_spend(n);
+  ++shard.stats.acquires;
+  shard.stats.tokens_requested += static_cast<std::uint64_t>(n);
+  shard.stats.tokens_granted += static_cast<std::uint64_t>(granted);
+  if (entry.auditor) {
+    for (Tokens i = 0; i < granted; ++i) entry.auditor->record(now);
+  }
+  return AcquireResult{granted, entry.account.balance()};
+}
+
+AcquireResult AccountTable::acquire(std::uint64_t key, Tokens n) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mu);
+  // Read the clock only while holding the shard lock: lock ordering plus
+  // atomic read coherence then guarantee non-decreasing times per account,
+  // which settle()'s bookkeeping and the auditor's record() rely on.
+  const TimeUs now = clock_.now_us();
+  const std::int64_t tick = now / config_.delta_us;
+  return acquire_locked(shard, key, n, tick, now);
+}
+
+RefundResult AccountTable::refund(std::uint64_t key, Tokens n) {
+  TOKA_CHECK_MSG(n >= 0, "refund requires n >= 0, got " << n);
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mu);
+  const TimeUs now = clock_.now_us();
+  const std::int64_t tick = now / config_.delta_us;
+  ++shard.stats.refunds;
+  auto it = shard.accounts.find(key);
+  if (it == shard.accounts.end()) {
+    // Unknown or already-evicted account: the refund is dropped. Creating
+    // an account here would let arbitrary keys mint balance from thin air.
+    shard.stats.tokens_refund_dropped += static_cast<std::uint64_t>(n);
+    return RefundResult{0, 0};
+  }
+  Entry& entry = it->second;
+  settle(shard, entry, tick, now);
+  // Cap at the capacity headroom: ticks banked since the acquire may have
+  // refilled the balance, and a late refund must not push it past C (that
+  // would mint burst allowance past the §3.4 bound). refund_spend further
+  // caps at the spends still outstanding.
+  const Tokens headroom =
+      std::max<Tokens>(capacity_ - entry.account.balance(), 0);
+  const Tokens accepted = entry.account.refund_spend(std::min(n, headroom));
+  if (entry.auditor) {
+    // The returned tokens' admissions never happened: strike them from the
+    // audit trace so first_violation() checks *net* admissions. accepted
+    // <= outstanding spends == recorded sends, so retract cannot underflow.
+    entry.auditor->retract(static_cast<std::size_t>(accepted));
+  }
+  shard.stats.tokens_refunded += static_cast<std::uint64_t>(accepted);
+  shard.stats.tokens_refund_dropped += static_cast<std::uint64_t>(n - accepted);
+  return RefundResult{accepted, entry.account.balance()};
+}
+
+QueryResult AccountTable::query(std::uint64_t key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mu);
+  const TimeUs now = clock_.now_us();
+  const std::int64_t tick = now / config_.delta_us;
+  ++shard.stats.queries;
+  auto it = shard.accounts.find(key);
+  if (it == shard.accounts.end()) return QueryResult{0, false};
+  settle(shard, it->second, tick, now);
+  return QueryResult{it->second.account.balance(), true};
+}
+
+std::vector<AcquireResult> AccountTable::acquire_batch(
+    std::span<const AcquireOp> ops) {
+  std::vector<AcquireResult> results(ops.size());
+  // Order ops by shard so each touched shard is locked exactly once per
+  // batch; within a shard the original op order is preserved (stable sort
+  // by shard index via counting pairs).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> order;  // (shard, op)
+  order.reserve(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    order.emplace_back(static_cast<std::uint32_t>(shard_index(ops[i].key)),
+                       static_cast<std::uint32_t>(i));
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const std::uint32_t shard_idx = order[i].first;
+    Shard& shard = *shards_[shard_idx];
+    std::lock_guard lock(shard.mu);
+    // Clock read under the shard lock, as in acquire(): keeps per-account
+    // times non-decreasing across concurrent batches.
+    const TimeUs now = clock_.now_us();
+    const std::int64_t tick = now / config_.delta_us;
+    for (; i < order.size() && order[i].first == shard_idx; ++i) {
+      const AcquireOp& op = ops[order[i].second];
+      results[order[i].second] =
+          acquire_locked(shard, op.key, op.tokens, tick, now);
+    }
+  }
+  return results;
+}
+
+std::size_t AccountTable::evict_idle() {
+  if (config_.idle_ttl_us == 0) return 0;
+  const TimeUs now = clock_.now_us();
+  std::size_t evicted = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    const std::size_t removed = std::erase_if(
+        shard->accounts, [&](const auto& kv) {
+          return now - kv.second.last_access_us >= config_.idle_ttl_us;
+        });
+    shard->stats.accounts_evicted += removed;
+    evicted += removed;
+  }
+  return evicted;
+}
+
+std::size_t AccountTable::account_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    total += shard->accounts.size();
+  }
+  return total;
+}
+
+void TableStats::merge(const TableStats& other) {
+  accounts += other.accounts;
+  accounts_created += other.accounts_created;
+  accounts_evicted += other.accounts_evicted;
+  acquires += other.acquires;
+  tokens_requested += other.tokens_requested;
+  tokens_granted += other.tokens_granted;
+  refunds += other.refunds;
+  tokens_refunded += other.tokens_refunded;
+  tokens_refund_dropped += other.tokens_refund_dropped;
+  queries += other.queries;
+  proactive_dropped += other.proactive_dropped;
+  ticks_forfeited += other.ticks_forfeited;
+}
+
+TableStats AccountTable::stats() const {
+  TableStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    out.merge(shard->stats);
+    out.accounts += shard->accounts.size();
+  }
+  return out;
+}
+
+std::optional<std::string> AccountTable::audit_violation() const {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    for (const auto& [key, entry] : shard->accounts) {
+      if (!entry.auditor) continue;
+      if (auto v = entry.auditor->first_violation()) {
+        std::ostringstream os;
+        os << "key=" << key << ": " << v->describe();
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+ClockDriver::ClockDriver(AccountTable& table, TimeUs resolution_us)
+    : table_(&table), resolution_us_(resolution_us) {
+  TOKA_CHECK_MSG(resolution_us > 0,
+                 "clock resolution must be positive, got " << resolution_us);
+}
+
+ClockDriver::~ClockDriver() { stop(); }
+
+void ClockDriver::start() {
+  std::lock_guard lock(mu_);
+  TOKA_CHECK_MSG(!running_, "clock driver already started");
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void ClockDriver::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard lock(mu_);
+  running_ = false;
+}
+
+void ClockDriver::loop() {
+  const auto epoch = std::chrono::steady_clock::now();
+  const TimeUs ttl = table_->config().idle_ttl_us;
+  const TimeUs evict_every = ttl > 0 ? std::max(ttl / 4, resolution_us_) : 0;
+  TimeUs next_evict = evict_every;
+  std::unique_lock lock(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::microseconds(resolution_us_),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) return;
+    const TimeUs elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::steady_clock::now() - epoch)
+                               .count();
+    table_->clock().advance_to(elapsed);
+    if (evict_every > 0 && elapsed >= next_evict) {
+      lock.unlock();  // sweeps take shard locks; don't hold ours across them
+      table_->evict_idle();
+      lock.lock();
+      next_evict = elapsed + evict_every;
+    }
+  }
+}
+
+}  // namespace toka::service

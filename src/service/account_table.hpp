@@ -1,0 +1,251 @@
+// tokend's in-memory store: millions of token accounts behind striped locks.
+//
+// The table maps opaque 64-bit keys (users, API tokens, flows) to
+// core::TokenAccount instances backed by one shared core::Strategy. Keys are
+// hash-partitioned over N shards (N rounded up to a power of two); each
+// shard owns its accounts behind its own mutex, so concurrent requests for
+// different shards never contend and a shard critical section is a handful
+// of arithmetic operations.
+//
+// Token granting is *lazy*, driven by a coarse shared clock instead of a
+// timer per account: every account remembers the tick index it last settled
+// at, and any access first replays the elapsed ticks through
+// TokenAccount::on_tick (capped — see ServiceConfig::max_catchup_ticks).
+// A proactive decision during replay has no message to pay for in an
+// admission-control service, so the period's token is dropped, mirroring
+// the simulator's "drop the token when no peer is online" rule that keeps
+// the §3.4 burst bound intact (see DESIGN.md, "The tokend service layer").
+//
+// Accounts idle longer than ServiceConfig::idle_ttl_us are evicted by
+// evict_idle() sweeps (the daemon's ClockDriver runs them periodically);
+// a re-created account restarts from the initial balance, which only
+// under-grants, never over-grants.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/account.hpp"
+#include "core/rate_limit.hpp"
+#include "core/strategy.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace toka::service {
+
+/// The service time source: microseconds since the table's epoch, advanced
+/// monotonically by one writer (the ClockDriver or a test) and read by
+/// every request thread. Deliberately coarse — accounts settle against the
+/// tick index now_us()/delta, so sub-period precision is never needed.
+class CoarseClock {
+ public:
+  TimeUs now_us() const { return now_.load(std::memory_order_relaxed); }
+
+  /// Moves the clock forward to `t`; calls that would move it backwards
+  /// are ignored (the clock never retreats).
+  void advance_to(TimeUs t);
+
+  /// Moves the clock forward by `dt` >= 0.
+  void advance(TimeUs dt);
+
+ private:
+  std::atomic<TimeUs> now_{0};
+};
+
+/// Configuration for an AccountTable / tokend instance.
+struct ServiceConfig {
+  /// Number of lock stripes; rounded up to a power of two. More shards
+  /// mean less contention but a bigger fixed footprint; 64-256 covers a
+  /// large multicore comfortably.
+  std::size_t shards = 64;
+  /// Token period Δ: every account earns one token decision per delta_us.
+  TimeUs delta_us = 100'000;
+  /// Strategy backing every account. Must have bounded effective capacity:
+  /// any paper strategy or the classic token bucket works, the pure
+  /// reactive reference (unbounded burst) is rejected.
+  core::StrategyConfig strategy{};
+  /// Starting balance of a freshly created (or re-created) account.
+  /// Must not exceed the effective capacity.
+  Tokens initial_tokens = 0;
+  /// Accounts untouched for this long are eligible for evict_idle();
+  /// 0 disables eviction.
+  TimeUs idle_ttl_us = 0;
+  /// Seeds the per-shard RNG streams (tick decisions, randomized rounding).
+  std::uint64_t seed = 1;
+  /// Replay cap for lazy granting: an access settles at most this many
+  /// elapsed ticks (0 = auto: 2*capacity, at least 16). Ticks beyond the
+  /// cap are forfeited — conservative, an idle account's balance has
+  /// converged to the capacity region long before the cap anyway.
+  Tokens max_catchup_ticks = 0;
+  /// Debug: attach a core::RateLimitAuditor to every account and record
+  /// each granted token, so audit_violation() can verify the §3.4 burst
+  /// bound end-to-end. O(sends²) memory/time per account — tests only.
+  bool audit = false;
+};
+
+/// One acquire request (also the wire/batch unit).
+struct AcquireOp {
+  std::uint64_t key = 0;
+  Tokens tokens = 0;
+};
+
+struct AcquireResult {
+  Tokens granted = 0;  ///< tokens actually deducted, in [0, requested]
+  Tokens balance = 0;  ///< balance after the deduction
+};
+
+struct RefundResult {
+  Tokens accepted = 0;  ///< tokens actually restored, in [0, offered]
+  Tokens balance = 0;   ///< balance after the restore
+};
+
+struct QueryResult {
+  Tokens balance = 0;
+  bool exists = false;  ///< false: no live account for the key (balance 0)
+};
+
+/// Service counters: kept per shard (under its lock) and summed into a
+/// snapshot by AccountTable::stats().
+struct TableStats {
+  std::uint64_t accounts = 0;           ///< live accounts right now
+  std::uint64_t accounts_created = 0;
+  std::uint64_t accounts_evicted = 0;
+  std::uint64_t acquires = 0;           ///< acquire calls (incl. batch ops)
+  std::uint64_t tokens_requested = 0;
+  std::uint64_t tokens_granted = 0;
+  std::uint64_t refunds = 0;
+  std::uint64_t tokens_refunded = 0;
+  std::uint64_t tokens_refund_dropped = 0;  ///< offered but not accepted
+  std::uint64_t queries = 0;
+  std::uint64_t proactive_dropped = 0;  ///< replayed ticks spent proactively
+  std::uint64_t ticks_forfeited = 0;    ///< elapsed ticks past the replay cap
+
+  /// Adds every counter of `other` into this snapshot.
+  void merge(const TableStats& other);
+};
+
+class AccountTable {
+ public:
+  /// Validates the config (bounded capacity, initial balance within it)
+  /// and builds the empty shards. Throws util::InvariantError on misuse.
+  explicit AccountTable(ServiceConfig config);
+
+  AccountTable(const AccountTable&) = delete;
+  AccountTable& operator=(const AccountTable&) = delete;
+
+  const ServiceConfig& config() const { return config_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// The effective balance cap: strategy capacity, or the bucket size for
+  /// the classic token bucket.
+  Tokens capacity_bound() const { return capacity_; }
+
+  CoarseClock& clock() { return clock_; }
+  const CoarseClock& clock() const { return clock_; }
+
+  /// Tries to take `n` >= 0 tokens for `key`, creating the account on
+  /// first contact. Grants min(n, balance) after settling elapsed ticks.
+  AcquireResult acquire(std::uint64_t key, Tokens n);
+
+  /// Gives back up to `n` >= 0 previously granted tokens. The accepted
+  /// amount is capped by what the account still has outstanding *and* by
+  /// the capacity headroom, so the balance never exceeds capacity_bound()
+  /// (late refunds cannot mint burst allowance; see DESIGN.md). Refunds to
+  /// unknown/evicted keys are dropped.
+  RefundResult refund(std::uint64_t key, Tokens n);
+
+  /// Reads the settled balance without creating an account.
+  QueryResult query(std::uint64_t key);
+
+  /// Executes `ops` with one lock acquisition per touched shard instead of
+  /// one per op; results are positionally aligned with `ops`.
+  std::vector<AcquireResult> acquire_batch(std::span<const AcquireOp> ops);
+
+  /// Removes accounts idle for at least idle_ttl_us (no-op when the TTL is
+  /// 0). Locks one shard at a time. Returns the number evicted.
+  std::size_t evict_idle();
+
+  std::size_t account_count() const;
+  TableStats stats() const;
+
+  /// When ServiceConfig::audit is on: checks every live account's grant
+  /// trace against the §3.4 bound; returns the first violation description
+  /// ("key=... : ...") or nullopt. Exhaustive — test-sized tables only.
+  std::optional<std::string> audit_violation() const;
+
+ private:
+  struct Entry {
+    core::TokenAccount account;
+    std::int64_t last_tick = 0;   ///< tick index last settled at
+    TimeUs last_access_us = 0;    ///< for TTL eviction
+    std::unique_ptr<core::RateLimitAuditor> auditor;
+  };
+
+  /// Padded to a cache line so neighbouring shards' mutexes don't false-
+  /// share under contention. `stats.accounts` is unused per shard (the
+  /// live count is accounts.size()); everything else accumulates here.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Entry> accounts;
+    util::Rng rng{0};
+    TableStats stats;
+  };
+
+  Shard& shard_for(std::uint64_t key);
+  std::size_t shard_index(std::uint64_t key) const;
+  Entry& find_or_create(Shard& shard, std::uint64_t key, std::int64_t tick,
+                        TimeUs now);
+  /// Replays elapsed ticks up to the cap; updates last_tick/last_access.
+  void settle(Shard& shard, Entry& entry, std::int64_t tick, TimeUs now);
+  AcquireResult acquire_locked(Shard& shard, std::uint64_t key, Tokens n,
+                               std::int64_t tick, TimeUs now);
+
+  ServiceConfig config_;
+  std::unique_ptr<core::Strategy> strategy_;
+  Tokens capacity_;        ///< effective balance cap
+  Tokens bucket_cap_;      ///< TokenAccount bucket cap (token bucket only)
+  Tokens catchup_limit_;   ///< resolved max_catchup_ticks
+  CoarseClock clock_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t shard_mask_;
+};
+
+/// Wall-clock driver for a live tokend: a background thread that advances
+/// the table's CoarseClock to the elapsed wall time every `resolution_us`
+/// and runs idle-account eviction sweeps every TTL/4 (when a TTL is set).
+class ClockDriver {
+ public:
+  explicit ClockDriver(AccountTable& table, TimeUs resolution_us = 1'000);
+
+  /// Stops the thread if still running.
+  ~ClockDriver();
+
+  ClockDriver(const ClockDriver&) = delete;
+  ClockDriver& operator=(const ClockDriver&) = delete;
+
+  void start();
+  /// Idempotent.
+  void stop();
+
+ private:
+  void loop();
+
+  AccountTable* table_;
+  TimeUs resolution_us_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace toka::service

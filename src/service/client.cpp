@@ -1,0 +1,114 @@
+#include "service/client.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace toka::service {
+
+Client::Client(runtime::Transport& transport, NodeId server, TimeUs timeout_us)
+    : transport_(&transport), server_(server), timeout_us_(timeout_us) {
+  TOKA_CHECK_MSG(timeout_us > 0,
+                 "client timeout must be positive, got " << timeout_us);
+  transport_->set_handler([this](NodeId from, std::vector<std::byte> payload) {
+    on_frame(from, std::move(payload));
+  });
+}
+
+Client::~Client() { transport_->set_handler({}); }
+
+void Client::on_frame(NodeId from, std::vector<std::byte> payload) {
+  if (from != server_) return;  // stray frame from elsewhere on the fabric
+  protocol::Response response;
+  try {
+    response = protocol::decode_response(payload);
+  } catch (const util::IoError&) {
+    return;  // malformed reply: let the caller's timeout handle it
+  }
+  const std::uint64_t id = protocol::request_id(response);
+  std::lock_guard lock(mu_);
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // timed out or duplicate: drop
+  it->second = std::move(response);
+  // Notify while still holding the lock: the waiter may destroy this
+  // Client right after its call returns, and the woken waiter cannot
+  // re-acquire mu_ (and thus return) until this thread has fully left
+  // both the mutex and the condition variable.
+  cv_.notify_all();
+}
+
+protocol::Response Client::call(std::uint64_t id, std::vector<std::byte> frame) {
+  {
+    std::lock_guard lock(mu_);
+    pending_.emplace(id, std::nullopt);
+  }
+  transport_->send(server_, std::move(frame));
+  std::unique_lock lock(mu_);
+  const bool arrived = cv_.wait_for(
+      lock, std::chrono::microseconds(timeout_us_),
+      [&] { return pending_.at(id).has_value(); });
+  if (!arrived) {
+    pending_.erase(id);
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    throw util::IoError("tokend call " + std::to_string(id) +
+                        " timed out after " + std::to_string(timeout_us_) +
+                        "us");
+  }
+  protocol::Response response = std::move(*pending_.at(id));
+  pending_.erase(id);
+  return response;
+}
+
+namespace {
+/// Extracts the expected alternative or reports a protocol breach.
+template <typename T>
+T expect(protocol::Response response, const char* what) {
+  T* msg = std::get_if<T>(&response);
+  if (msg == nullptr)
+    throw util::IoError(std::string("tokend: server answered with the wrong "
+                                    "message type for ") +
+                        what);
+  return std::move(*msg);
+}
+}  // namespace
+
+AcquireResult Client::acquire(std::uint64_t key, Tokens n) {
+  const std::uint64_t id = next_id();
+  const auto resp = expect<protocol::AcquireResponse>(
+      call(id, protocol::encode(protocol::AcquireRequest{id, key, n})),
+      "acquire");
+  return AcquireResult{resp.granted, resp.balance};
+}
+
+RefundResult Client::refund(std::uint64_t key, Tokens n) {
+  const std::uint64_t id = next_id();
+  const auto resp = expect<protocol::RefundResponse>(
+      call(id, protocol::encode(protocol::RefundRequest{id, key, n})),
+      "refund");
+  return RefundResult{resp.accepted, resp.balance};
+}
+
+QueryResult Client::query(std::uint64_t key) {
+  const std::uint64_t id = next_id();
+  const auto resp = expect<protocol::QueryResponse>(
+      call(id, protocol::encode(protocol::QueryRequest{id, key})), "query");
+  return QueryResult{resp.balance, resp.exists};
+}
+
+std::vector<AcquireResult> Client::acquire_batch(
+    std::span<const AcquireOp> ops) {
+  const std::uint64_t id = next_id();
+  protocol::BatchAcquireRequest request;
+  request.id = id;
+  request.ops.assign(ops.begin(), ops.end());
+  auto resp = expect<protocol::BatchAcquireResponse>(
+      call(id, protocol::encode(request)), "acquire_batch");
+  if (resp.results.size() != ops.size())
+    throw util::IoError("tokend: batch response has " +
+                        std::to_string(resp.results.size()) + " results for " +
+                        std::to_string(ops.size()) + " ops");
+  return std::move(resp.results);
+}
+
+}  // namespace toka::service

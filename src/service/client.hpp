@@ -1,0 +1,83 @@
+// Client library for tokend: synchronous request/response over a Transport.
+//
+// A Client owns one transport endpoint and talks to one server endpoint.
+// It is safe to call from any number of application threads concurrently:
+// every call gets a fresh request id, outstanding calls are correlated by
+// id when responses arrive on the transport's receive thread, and a call
+// that receives no response within the timeout throws util::IoError
+// (the fabric is best-effort, so a lost frame surfaces as a timeout, not
+// a hang).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/transport.hpp"
+#include "service/account_table.hpp"
+#include "service/protocol.hpp"
+#include "util/types.hpp"
+
+namespace toka::service {
+
+class Client {
+ public:
+  /// Installs the response handler on `transport` (which must be the
+  /// client's own endpoint, not the server's) and remembers the server's
+  /// node id. The transport must outlive the client; destroy the client
+  /// only after its calls have returned.
+  Client(runtime::Transport& transport, NodeId server,
+         TimeUs timeout_us = 5 * duration::kSecond);
+
+  /// Detaches the response handler and waits out any in-flight delivery,
+  /// so a straggler frame (e.g. a reply arriving after a timeout) can
+  /// never touch a dead client.
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Tries to take `n` tokens for `key`. Throws util::IoError on timeout
+  /// or a mismatched response.
+  AcquireResult acquire(std::uint64_t key, Tokens n);
+
+  /// Gives back up to `n` previously granted tokens.
+  RefundResult refund(std::uint64_t key, Tokens n);
+
+  /// Reads the balance without creating an account.
+  QueryResult query(std::uint64_t key);
+
+  /// Executes all ops in one round trip; results align with `ops`.
+  std::vector<AcquireResult> acquire_batch(std::span<const AcquireOp> ops);
+
+  /// Calls that timed out so far (each also threw util::IoError).
+  std::uint64_t timeouts() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Sends `frame` under a fresh slot for `id` and blocks for the reply.
+  protocol::Response call(std::uint64_t id, std::vector<std::byte> frame);
+  void on_frame(NodeId from, std::vector<std::byte> payload);
+  std::uint64_t next_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  runtime::Transport* transport_;
+  NodeId server_;
+  TimeUs timeout_us_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> timeouts_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  /// Outstanding calls: id -> response slot (nullopt until it arrives).
+  std::unordered_map<std::uint64_t, std::optional<protocol::Response>> pending_;
+};
+
+}  // namespace toka::service

@@ -1,0 +1,220 @@
+#include "service/protocol.hpp"
+
+#include "util/error.hpp"
+#include "util/serde.hpp"
+
+namespace toka::service::protocol {
+
+namespace {
+
+util::BinaryWriter header(MsgType type, bool response, std::uint64_t id) {
+  util::BinaryWriter w;
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(type) | (response ? kResponseBit : 0));
+  w.u64(id);
+  return w;
+}
+
+Tokens read_tokens(util::BinaryReader& r) {
+  const Tokens n = r.i64();
+  if (n < 0) throw util::IoError("tokend frame: negative token count");
+  return n;
+}
+
+std::uint32_t read_batch_count(util::BinaryReader& r) {
+  const std::uint32_t count = r.u32();
+  if (count > kMaxBatchOps)
+    throw util::IoError("tokend frame: batch of " + std::to_string(count) +
+                        " ops exceeds the limit");
+  return count;
+}
+
+/// Consumes the common header and returns the raw type byte.
+std::uint8_t read_header(util::BinaryReader& r) {
+  const std::uint8_t version = r.u8();
+  if (version != kProtocolVersion)
+    throw util::IoError("tokend frame: unsupported protocol version " +
+                        std::to_string(version));
+  return r.u8();
+}
+
+void expect_done(const util::BinaryReader& r) {
+  if (!r.done())
+    throw util::IoError("tokend frame: " + std::to_string(r.remaining()) +
+                        " trailing bytes");
+}
+
+}  // namespace
+
+std::vector<std::byte> encode(const AcquireRequest& m) {
+  util::BinaryWriter w = header(MsgType::kAcquire, false, m.id);
+  w.u64(m.key);
+  w.i64(m.tokens);
+  return w.take();
+}
+
+std::vector<std::byte> encode(const AcquireResponse& m) {
+  util::BinaryWriter w = header(MsgType::kAcquire, true, m.id);
+  w.i64(m.granted);
+  w.i64(m.balance);
+  return w.take();
+}
+
+std::vector<std::byte> encode(const RefundRequest& m) {
+  util::BinaryWriter w = header(MsgType::kRefund, false, m.id);
+  w.u64(m.key);
+  w.i64(m.tokens);
+  return w.take();
+}
+
+std::vector<std::byte> encode(const RefundResponse& m) {
+  util::BinaryWriter w = header(MsgType::kRefund, true, m.id);
+  w.i64(m.accepted);
+  w.i64(m.balance);
+  return w.take();
+}
+
+std::vector<std::byte> encode(const QueryRequest& m) {
+  util::BinaryWriter w = header(MsgType::kQuery, false, m.id);
+  w.u64(m.key);
+  return w.take();
+}
+
+std::vector<std::byte> encode(const QueryResponse& m) {
+  util::BinaryWriter w = header(MsgType::kQuery, true, m.id);
+  w.i64(m.balance);
+  w.u8(m.exists ? 1 : 0);
+  return w.take();
+}
+
+std::vector<std::byte> encode(const BatchAcquireRequest& m) {
+  // Fail fast on the sender: a frame above the batch limit would only be
+  // dropped as malformed by the receiver, surfacing as a timeout.
+  TOKA_CHECK_MSG(m.ops.size() <= kMaxBatchOps,
+                 "batch of " << m.ops.size() << " ops exceeds the limit of "
+                             << kMaxBatchOps);
+  util::BinaryWriter w = header(MsgType::kBatchAcquire, false, m.id);
+  w.u32(static_cast<std::uint32_t>(m.ops.size()));
+  for (const AcquireOp& op : m.ops) {
+    w.u64(op.key);
+    w.i64(op.tokens);
+  }
+  return w.take();
+}
+
+std::vector<std::byte> encode(const BatchAcquireResponse& m) {
+  TOKA_CHECK_MSG(m.results.size() <= kMaxBatchOps,
+                 "batch of " << m.results.size()
+                             << " results exceeds the limit of "
+                             << kMaxBatchOps);
+  util::BinaryWriter w = header(MsgType::kBatchAcquire, true, m.id);
+  w.u32(static_cast<std::uint32_t>(m.results.size()));
+  for (const AcquireResult& res : m.results) {
+    w.i64(res.granted);
+    w.i64(res.balance);
+  }
+  return w.take();
+}
+
+std::vector<std::byte> encode(const Request& m) {
+  return std::visit([](const auto& msg) { return encode(msg); }, m);
+}
+
+std::vector<std::byte> encode(const Response& m) {
+  return std::visit([](const auto& msg) { return encode(msg); }, m);
+}
+
+Request decode_request(std::span<const std::byte> payload) {
+  util::BinaryReader r(payload);
+  const std::uint8_t type = read_header(r);
+  const std::uint64_t id = r.u64();
+  Request out;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kAcquire: {
+      AcquireRequest m{id, r.u64(), read_tokens(r)};
+      out = m;
+      break;
+    }
+    case MsgType::kRefund: {
+      RefundRequest m{id, r.u64(), read_tokens(r)};
+      out = m;
+      break;
+    }
+    case MsgType::kQuery: {
+      out = QueryRequest{id, r.u64()};
+      break;
+    }
+    case MsgType::kBatchAcquire: {
+      BatchAcquireRequest m;
+      m.id = id;
+      const std::uint32_t count = read_batch_count(r);
+      m.ops.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint64_t key = r.u64();
+        m.ops.push_back(AcquireOp{key, read_tokens(r)});
+      }
+      out = std::move(m);
+      break;
+    }
+    default:
+      throw util::IoError("tokend frame: unknown request type " +
+                          std::to_string(type));
+  }
+  expect_done(r);
+  return out;
+}
+
+Response decode_response(std::span<const std::byte> payload) {
+  util::BinaryReader r(payload);
+  const std::uint8_t type = read_header(r);
+  if ((type & kResponseBit) == 0)
+    throw util::IoError("tokend frame: request type " + std::to_string(type) +
+                        " where a response was expected");
+  const std::uint64_t id = r.u64();
+  Response out;
+  switch (static_cast<MsgType>(type & ~kResponseBit)) {
+    case MsgType::kAcquire: {
+      out = AcquireResponse{id, r.i64(), r.i64()};
+      break;
+    }
+    case MsgType::kRefund: {
+      out = RefundResponse{id, r.i64(), r.i64()};
+      break;
+    }
+    case MsgType::kQuery: {
+      const Tokens balance = r.i64();
+      const std::uint8_t exists = r.u8();
+      if (exists > 1)
+        throw util::IoError("tokend frame: boolean byte out of range");
+      out = QueryResponse{id, balance, exists != 0};
+      break;
+    }
+    case MsgType::kBatchAcquire: {
+      BatchAcquireResponse m;
+      m.id = id;
+      const std::uint32_t count = read_batch_count(r);
+      m.results.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const Tokens granted = r.i64();
+        m.results.push_back(AcquireResult{granted, r.i64()});
+      }
+      out = std::move(m);
+      break;
+    }
+    default:
+      throw util::IoError("tokend frame: unknown response type " +
+                          std::to_string(type));
+  }
+  expect_done(r);
+  return out;
+}
+
+std::uint64_t request_id(const Request& m) {
+  return std::visit([](const auto& msg) { return msg.id; }, m);
+}
+
+std::uint64_t request_id(const Response& m) {
+  return std::visit([](const auto& msg) { return msg.id; }, m);
+}
+
+}  // namespace toka::service::protocol

@@ -1,0 +1,134 @@
+// tokend's compact binary wire protocol.
+//
+// One request or response per transport payload, serialized with
+// util::BinaryWriter/BinaryReader (fixed little-endian layout):
+//
+//   u8  version (kProtocolVersion)
+//   u8  message type (requests 1..4; responses are request | 0x80)
+//   u64 request id (echoed verbatim in the response for correlation)
+//   ... type-specific body
+//
+// Decoding is strict: wrong version, unknown type, negative token counts,
+// oversized batches, truncated bodies and trailing bytes all throw
+// util::IoError — a malformed frame can never partially apply.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "service/account_table.hpp"
+#include "util/types.hpp"
+
+namespace toka::service::protocol {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Upper bound on ops per batch frame; a decoded count above this is
+/// rejected before any allocation happens.
+inline constexpr std::size_t kMaxBatchOps = 1 << 16;
+
+enum class MsgType : std::uint8_t {
+  kAcquire = 1,
+  kRefund = 2,
+  kQuery = 3,
+  kBatchAcquire = 4,
+};
+
+/// Bit set on a request's type byte to form its response's type byte.
+inline constexpr std::uint8_t kResponseBit = 0x80;
+
+struct AcquireRequest {
+  std::uint64_t id = 0;
+  std::uint64_t key = 0;
+  Tokens tokens = 0;
+  friend bool operator==(const AcquireRequest&, const AcquireRequest&) = default;
+};
+
+struct AcquireResponse {
+  std::uint64_t id = 0;
+  Tokens granted = 0;
+  Tokens balance = 0;
+  friend bool operator==(const AcquireResponse&, const AcquireResponse&) = default;
+};
+
+struct RefundRequest {
+  std::uint64_t id = 0;
+  std::uint64_t key = 0;
+  Tokens tokens = 0;
+  friend bool operator==(const RefundRequest&, const RefundRequest&) = default;
+};
+
+struct RefundResponse {
+  std::uint64_t id = 0;
+  Tokens accepted = 0;
+  Tokens balance = 0;
+  friend bool operator==(const RefundResponse&, const RefundResponse&) = default;
+};
+
+struct QueryRequest {
+  std::uint64_t id = 0;
+  std::uint64_t key = 0;
+  friend bool operator==(const QueryRequest&, const QueryRequest&) = default;
+};
+
+struct QueryResponse {
+  std::uint64_t id = 0;
+  Tokens balance = 0;
+  bool exists = false;
+  friend bool operator==(const QueryResponse&, const QueryResponse&) = default;
+};
+
+struct BatchAcquireRequest {
+  std::uint64_t id = 0;
+  std::vector<AcquireOp> ops;
+  friend bool operator==(const BatchAcquireRequest&,
+                         const BatchAcquireRequest&) = default;
+};
+
+struct BatchAcquireResponse {
+  std::uint64_t id = 0;
+  std::vector<AcquireResult> results;
+  friend bool operator==(const BatchAcquireResponse&,
+                         const BatchAcquireResponse&) = default;
+};
+
+using Request =
+    std::variant<AcquireRequest, RefundRequest, QueryRequest, BatchAcquireRequest>;
+using Response = std::variant<AcquireResponse, RefundResponse, QueryResponse,
+                              BatchAcquireResponse>;
+
+std::vector<std::byte> encode(const AcquireRequest& m);
+std::vector<std::byte> encode(const AcquireResponse& m);
+std::vector<std::byte> encode(const RefundRequest& m);
+std::vector<std::byte> encode(const RefundResponse& m);
+std::vector<std::byte> encode(const QueryRequest& m);
+std::vector<std::byte> encode(const QueryResponse& m);
+std::vector<std::byte> encode(const BatchAcquireRequest& m);
+std::vector<std::byte> encode(const BatchAcquireResponse& m);
+std::vector<std::byte> encode(const Request& m);
+std::vector<std::byte> encode(const Response& m);
+
+/// Parses a request frame; throws util::IoError on any malformation.
+Request decode_request(std::span<const std::byte> payload);
+
+/// Parses a response frame; throws util::IoError on any malformation.
+Response decode_response(std::span<const std::byte> payload);
+
+/// The request id of either frame kind (for correlation/logging).
+std::uint64_t request_id(const Request& m);
+std::uint64_t request_id(const Response& m);
+
+}  // namespace toka::service::protocol
+
+namespace toka::service {
+/// Positional result equality, used by protocol round-trip tests.
+inline bool operator==(const AcquireOp& a, const AcquireOp& b) {
+  return a.key == b.key && a.tokens == b.tokens;
+}
+inline bool operator==(const AcquireResult& a, const AcquireResult& b) {
+  return a.granted == b.granted && a.balance == b.balance;
+}
+}  // namespace toka::service

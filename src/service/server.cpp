@@ -1,0 +1,65 @@
+#include "service/server.hpp"
+
+#include <utility>
+
+#include "service/protocol.hpp"
+#include "util/error.hpp"
+
+namespace toka::service {
+
+namespace {
+template <class... Fs>
+struct Overloaded : Fs... {
+  using Fs::operator()...;
+};
+template <class... Fs>
+Overloaded(Fs...) -> Overloaded<Fs...>;
+}  // namespace
+
+Server::Server(AccountTable& table, runtime::Transport& transport)
+    : table_(&table), transport_(&transport) {
+  transport_->set_handler([this](NodeId from, std::vector<std::byte> payload) {
+    on_frame(from, std::move(payload));
+  });
+}
+
+Server::~Server() { transport_->set_handler({}); }
+
+void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
+  protocol::Request request;
+  try {
+    request = protocol::decode_request(payload);
+  } catch (const util::IoError&) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::vector<std::byte> reply = std::visit(
+      Overloaded{
+          [&](const protocol::AcquireRequest& r) {
+            const AcquireResult res = table_->acquire(r.key, r.tokens);
+            return protocol::encode(
+                protocol::AcquireResponse{r.id, res.granted, res.balance});
+          },
+          [&](const protocol::RefundRequest& r) {
+            const RefundResult res = table_->refund(r.key, r.tokens);
+            return protocol::encode(
+                protocol::RefundResponse{r.id, res.accepted, res.balance});
+          },
+          [&](const protocol::QueryRequest& r) {
+            const QueryResult res = table_->query(r.key);
+            return protocol::encode(
+                protocol::QueryResponse{r.id, res.balance, res.exists});
+          },
+          [&](const protocol::BatchAcquireRequest& r) {
+            protocol::BatchAcquireResponse resp;
+            resp.id = r.id;
+            resp.results = table_->acquire_batch(r.ops);
+            return protocol::encode(resp);
+          },
+      },
+      request);
+  served_.fetch_add(1, std::memory_order_relaxed);
+  transport_->send(from, std::move(reply));
+}
+
+}  // namespace toka::service

@@ -1,0 +1,56 @@
+// tokend's request loop: an AccountTable exposed over a runtime::Transport.
+//
+// The server installs itself as the transport's receive handler; each
+// incoming frame is decoded, executed against the table and answered to
+// the sender. Handlers run on transport-owned threads (one per TCP
+// connection, the dispatcher for the in-process fabric) — the table's
+// shard locks make concurrent execution safe, so the same server runs
+// in-process for tests and as the real tokend daemon over runtime::Tcp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/transport.hpp"
+#include "service/account_table.hpp"
+#include "util/types.hpp"
+
+namespace toka::service {
+
+class Server {
+ public:
+  /// Installs the request handler on `transport`. The table and the
+  /// transport must outlive the server.
+  Server(AccountTable& table, runtime::Transport& transport);
+
+  /// Detaches the handler and waits out any in-flight request, so frames
+  /// still arriving afterwards are dropped by the transport instead of
+  /// reaching a dead server.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Frames executed and answered.
+  std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+  /// Frames dropped because they failed to decode. A malformed frame is
+  /// never partially applied and never answered (the fabric is best-effort
+  /// at-most-once; the client's timeout covers this case).
+  std::uint64_t requests_malformed() const {
+    return malformed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void on_frame(NodeId from, std::vector<std::byte> payload);
+
+  AccountTable* table_;
+  runtime::Transport* transport_;
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+};
+
+}  // namespace toka::service

@@ -1,0 +1,77 @@
+#include "util/zipf.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace toka::util {
+
+namespace {
+
+/// log1p(x)/x with its removable singularity at 0 filled in by the Taylor
+/// expansion (keeps full precision for the tiny arguments that appear when
+/// the exponent is close to 1).
+double helper1(double x) {
+  if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x / 2.0 + x * x / 3.0 - x * x * x / 4.0;
+}
+
+/// expm1(x)/x with the singularity at 0 filled in, analogously.
+double helper2(double x) {
+  if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x / 2.0 + x * x / 6.0 + x * x * x / 24.0;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double exponent)
+    : n_(n), s_(exponent) {
+  TOKA_CHECK_MSG(n >= 1, "Zipf sampler needs at least one rank");
+  TOKA_CHECK_MSG(exponent >= 0.0,
+                 "Zipf exponent must be non-negative, got " << exponent);
+  if (s_ == 0.0) return;  // uniform fast path, no envelope needed
+  h_x1_ = h_integral(1.5) - 1.0;
+  h_n_ = h_integral(static_cast<double>(n_) + 0.5);
+  s0_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+// H(x) = integral of 1/t^s from 1 to x: ((x^(1-s)) - 1)/(1-s), computed as
+// helper2((1-s) ln x) * ln x so the s -> 1 limit (ln x) is exact.
+double ZipfSampler::h_integral(double x) const {
+  const double log_x = std::log(x);
+  return helper2((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfSampler::h(double x) const { return std::exp(-s_ * std::log(x)); }
+
+double ZipfSampler::h_integral_inverse(double x) const {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) t = -1.0;  // guard numerical drift past the pole
+  return std::exp(helper1(t) * x);
+}
+
+std::uint64_t ZipfSampler::next(Rng& rng) const {
+  if (s_ == 0.0) return rng.below(n_);
+  for (;;) {
+    // u uniform in (h_x1_, h_n_]: the envelope integral over rank k covers
+    // (h_integral(k - 0.5), h_integral(k + 0.5)].
+    const double u = h_n_ + rng.uniform01() * (h_x1_ - h_n_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = 1;
+    if (x >= static_cast<double>(n_)) {
+      k = n_;
+    } else if (x > 1.0) {
+      k = static_cast<std::uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+    }
+    // Accept when x landed close enough to k that the envelope equals the
+    // mass (the common case), or by the exact rejection test.
+    if (static_cast<double>(k) - x <= s0_ ||
+        u >= h_integral(static_cast<double>(k) + 0.5) - h(static_cast<double>(k))) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+}  // namespace toka::util

@@ -1,0 +1,46 @@
+// Zipf-distributed integer sampling for skewed-key workloads.
+//
+// The service load generator draws keys from a Zipf distribution over
+// millions of ranks, so the sampler must be O(1) per draw with O(1) setup —
+// no O(n) zeta-table precomputation. This implements rejection-inversion
+// sampling for monotone discrete distributions (Hörmann & Derflinger 1996),
+// the same scheme used by Apache Commons' RejectionInversionZipfSampler and
+// YCSB-style benchmarks: invert the integral of the density envelope, then
+// accept/reject against the true probability mass.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace toka::util {
+
+/// Samples 0-based ranks in [0, n) with P(rank k) proportional to
+/// 1/(k+1)^s. Immutable after construction; one instance can be shared by
+/// any number of threads, each drawing with its own Rng.
+class ZipfSampler {
+ public:
+  /// `n` >= 1 ranks; `exponent` s >= 0. s = 0 degenerates to the uniform
+  /// distribution, s = 1 is the classic Zipf law.
+  ZipfSampler(std::uint64_t n, double exponent);
+
+  std::uint64_t n() const { return n_; }
+  double exponent() const { return s_; }
+
+  /// Draws one rank. Expected number of rejection rounds is < 2 for every
+  /// (n, s); typically ~1.1.
+  std::uint64_t next(Rng& rng) const;
+
+ private:
+  double h_integral(double x) const;
+  double h(double x) const;
+  double h_integral_inverse(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_ = 0.0;  ///< h_integral(1.5) - 1
+  double h_n_ = 0.0;   ///< h_integral(n + 0.5)
+  double s0_ = 0.0;    ///< acceptance shortcut threshold
+};
+
+}  // namespace toka::util

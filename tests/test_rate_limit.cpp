@@ -57,6 +57,22 @@ TEST(RateLimitAuditor, WindowBoundScalesWithLength) {
   EXPECT_FALSE(auditor.first_violation().has_value());
 }
 
+TEST(RateLimitAuditor, RetractStrikesNewestRecords) {
+  constexpr Tokens kCap = 5;
+  RateLimitAuditor auditor(kDelta, kCap);
+  for (int i = 0; i < kCap + 1; ++i) auditor.record(1000);
+  auditor.record(2000);  // one too many for the [1000, 2000] window
+  ASSERT_TRUE(auditor.first_violation().has_value());
+  // Refunding (retracting) the newest admission restores legality, and the
+  // trace can keep growing afterwards with earlier timestamps intact.
+  auditor.retract(1);
+  EXPECT_EQ(auditor.send_count(), static_cast<std::size_t>(kCap) + 1);
+  EXPECT_FALSE(auditor.first_violation().has_value());
+  auditor.record(kDelta + 1000);
+  EXPECT_FALSE(auditor.first_violation().has_value());
+  EXPECT_THROW(auditor.retract(100), util::InvariantError);
+}
+
 TEST(RateLimitAuditor, RequiresMonotoneTimestamps) {
   RateLimitAuditor auditor(kDelta, 1);
   auditor.record(100);

@@ -14,12 +14,14 @@ namespace {
 
 using namespace std::chrono_literals;
 
-/// Push-gossip-style app: stores the freshest integer seen.
+/// Push-gossip-style app: stores the freshest integer seen. State is
+/// atomic because tests inject values from the main thread while the
+/// node's timer/receive threads run the callbacks.
 class CounterApp final : public NodeApp {
  public:
   std::vector<std::byte> create_message() override {
     util::BinaryWriter w;
-    w.i64(value);
+    w.i64(value.load());
     return w.take();
   }
 
@@ -27,15 +29,15 @@ class CounterApp final : public NodeApp {
     util::BinaryReader r(payload);
     const std::int64_t incoming = r.i64();
     ++updates;
-    if (incoming > value) {
-      value = incoming;
+    if (incoming > value.load()) {
+      value.store(incoming);
       return true;
     }
     return false;
   }
 
-  std::int64_t value = 0;
-  int updates = 0;
+  std::atomic<std::int64_t> value{0};
+  std::atomic<int> updates{0};
 };
 
 NodeConfig demo_config(std::vector<NodeId> neighbors, TimeUs delta_us) {

@@ -2,6 +2,7 @@
 // sockets (the live_cluster example, in miniature and asserted).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -16,21 +17,23 @@ namespace {
 
 using namespace std::chrono_literals;
 
+/// State is atomic: the test seeds values from the main thread while the
+/// node's timer/receive threads run the callbacks.
 class FreshestValueApp final : public NodeApp {
  public:
   std::vector<std::byte> create_message() override {
     util::BinaryWriter w;
-    w.i64(value);
+    w.i64(value.load());
     return w.take();
   }
   bool update_state(NodeId, std::span<const std::byte> payload) override {
     util::BinaryReader r(payload);
     const std::int64_t incoming = r.i64();
-    if (incoming <= value) return false;
-    value = incoming;
+    if (incoming <= value.load()) return false;
+    value.store(incoming);
     return true;
   }
-  std::int64_t value = 0;
+  std::atomic<std::int64_t> value{0};
 };
 
 TEST(RuntimeTcpNode, ClusterConvergesAndObeysBurstBound) {

@@ -3,7 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <variant>
+#include <vector>
+
+#include "util/rng.hpp"
 
 namespace toka::util {
 namespace {
@@ -81,6 +86,122 @@ TEST(Serde, RemainingTracksConsumption) {
   EXPECT_EQ(r.remaining(), 4u);
   r.u32();
   EXPECT_TRUE(r.done());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized round-trips: arbitrary field sequences must decode to the same
+// values and re-encode to the identical byte string, and every strictly
+// truncated buffer must be rejected with IoError.
+
+using Field = std::variant<std::uint8_t, std::uint32_t, std::uint64_t,
+                           std::int64_t, double, std::string,
+                           std::vector<std::byte>>;
+
+Field random_field(Rng& rng) {
+  switch (rng.below(7)) {
+    case 0: return static_cast<std::uint8_t>(rng.below(256));
+    case 1: return static_cast<std::uint32_t>(rng.next_u64());
+    case 2: return rng.next_u64();
+    case 3: return static_cast<std::int64_t>(rng.next_u64());
+    case 4: {
+      // Random bit pattern, NaNs excluded so == comparison stays valid.
+      double v;
+      const std::uint64_t bits = rng.next_u64();
+      std::memcpy(&v, &bits, sizeof v);
+      if (std::isnan(v)) v = 0.25;
+      return v;
+    }
+    case 5: {
+      std::string s(rng.below(40), '\0');
+      for (char& c : s) c = static_cast<char>(rng.below(256));
+      return s;
+    }
+    default: {
+      std::vector<std::byte> b(rng.below(40));
+      for (std::byte& x : b) x = static_cast<std::byte>(rng.below(256));
+      return b;
+    }
+  }
+}
+
+void write_field(BinaryWriter& w, const Field& f) {
+  std::visit([&](const auto& v) {
+    using T = std::decay_t<decltype(v)>;
+    if constexpr (std::is_same_v<T, std::uint8_t>) w.u8(v);
+    else if constexpr (std::is_same_v<T, std::uint32_t>) w.u32(v);
+    else if constexpr (std::is_same_v<T, std::uint64_t>) w.u64(v);
+    else if constexpr (std::is_same_v<T, std::int64_t>) w.i64(v);
+    else if constexpr (std::is_same_v<T, double>) w.f64(v);
+    else if constexpr (std::is_same_v<T, std::string>) w.str(v);
+    else w.bytes(v);
+  }, f);
+}
+
+void read_and_check_field(BinaryReader& r, const Field& f) {
+  std::visit([&](const auto& v) {
+    using T = std::decay_t<decltype(v)>;
+    if constexpr (std::is_same_v<T, std::uint8_t>) EXPECT_EQ(r.u8(), v);
+    else if constexpr (std::is_same_v<T, std::uint32_t>) EXPECT_EQ(r.u32(), v);
+    else if constexpr (std::is_same_v<T, std::uint64_t>) EXPECT_EQ(r.u64(), v);
+    else if constexpr (std::is_same_v<T, std::int64_t>) EXPECT_EQ(r.i64(), v);
+    else if constexpr (std::is_same_v<T, double>) EXPECT_EQ(r.f64(), v);
+    else if constexpr (std::is_same_v<T, std::string>) EXPECT_EQ(r.str(), v);
+    else EXPECT_EQ(r.bytes(), v);
+  }, f);
+}
+
+void read_field_discarding(BinaryReader& r, const Field& f) {
+  std::visit([&](const auto& v) {
+    using T = std::decay_t<decltype(v)>;
+    if constexpr (std::is_same_v<T, std::uint8_t>) r.u8();
+    else if constexpr (std::is_same_v<T, std::uint32_t>) r.u32();
+    else if constexpr (std::is_same_v<T, std::uint64_t>) r.u64();
+    else if constexpr (std::is_same_v<T, std::int64_t>) r.i64();
+    else if constexpr (std::is_same_v<T, double>) r.f64();
+    else if constexpr (std::is_same_v<T, std::string>) r.str();
+    else r.bytes();
+  }, f);
+}
+
+TEST(Serde, RandomizedRoundTripAndReencodeByteIdentity) {
+  Rng rng(777);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<Field> fields(1 + rng.below(12));
+    for (Field& f : fields) f = random_field(rng);
+
+    BinaryWriter w;
+    for (const Field& f : fields) write_field(w, f);
+    const std::vector<std::byte> wire = w.data();
+
+    BinaryReader r(wire);
+    for (const Field& f : fields) read_and_check_field(r, f);
+    EXPECT_TRUE(r.done());
+
+    BinaryWriter again;
+    for (const Field& f : fields) write_field(again, f);
+    EXPECT_EQ(again.data(), wire) << "re-encode diverged, iteration " << iter;
+  }
+}
+
+TEST(Serde, RandomizedTruncationAlwaysThrows) {
+  Rng rng(778);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<Field> fields(1 + rng.below(8));
+    for (Field& f : fields) f = random_field(rng);
+    BinaryWriter w;
+    for (const Field& f : fields) write_field(w, f);
+    const std::vector<std::byte>& wire = w.data();
+    if (wire.empty()) continue;
+
+    const std::size_t cut = rng.below(wire.size());  // strictly shorter
+    BinaryReader r(std::span(wire.data(), cut));
+    EXPECT_THROW(
+        {
+          for (const Field& f : fields) read_field_discarding(r, f);
+        },
+        IoError)
+        << "cut " << cut << "/" << wire.size() << " decoded cleanly";
+  }
 }
 
 TEST(Serde, LittleEndianLayout) {

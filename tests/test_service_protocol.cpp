@@ -1,0 +1,198 @@
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+
+namespace toka::service::protocol {
+namespace {
+
+using util::IoError;
+using util::Rng;
+
+TEST(Protocol, AcquireRoundTrip) {
+  const AcquireRequest req{77, 0xDEADBEEFCAFEULL, 12};
+  const Request decoded = decode_request(encode(req));
+  ASSERT_TRUE(std::holds_alternative<AcquireRequest>(decoded));
+  EXPECT_EQ(std::get<AcquireRequest>(decoded), req);
+
+  const AcquireResponse resp{77, 3, 9};
+  const Response decoded_resp = decode_response(encode(resp));
+  ASSERT_TRUE(std::holds_alternative<AcquireResponse>(decoded_resp));
+  EXPECT_EQ(std::get<AcquireResponse>(decoded_resp), resp);
+}
+
+TEST(Protocol, QueryAndRefundRoundTrip) {
+  const RefundRequest refund{1, 2, 3};
+  EXPECT_EQ(std::get<RefundRequest>(decode_request(encode(refund))), refund);
+  const RefundResponse refund_resp{1, 2, 3};
+  EXPECT_EQ(std::get<RefundResponse>(decode_response(encode(refund_resp))),
+            refund_resp);
+  const QueryRequest query{9, 42};
+  EXPECT_EQ(std::get<QueryRequest>(decode_request(encode(query))), query);
+  for (bool exists : {false, true}) {
+    const QueryResponse query_resp{9, 5, exists};
+    EXPECT_EQ(std::get<QueryResponse>(decode_response(encode(query_resp))),
+              query_resp);
+  }
+}
+
+TEST(Protocol, BatchRoundTripIncludingEmpty) {
+  BatchAcquireRequest req;
+  req.id = 5;
+  EXPECT_EQ(std::get<BatchAcquireRequest>(decode_request(encode(req))), req);
+  req.ops = {{1, 2}, {3, 0}, {~0ULL, 100}};
+  EXPECT_EQ(std::get<BatchAcquireRequest>(decode_request(encode(req))), req);
+
+  BatchAcquireResponse resp;
+  resp.id = 5;
+  resp.results = {{2, 0}, {0, 7}};
+  EXPECT_EQ(std::get<BatchAcquireResponse>(decode_response(encode(resp))),
+            resp);
+}
+
+Request random_request(Rng& rng) {
+  switch (rng.below(4)) {
+    case 0:
+      return AcquireRequest{rng.next_u64(), rng.next_u64(),
+                            static_cast<Tokens>(rng.below(1 << 20))};
+    case 1:
+      return RefundRequest{rng.next_u64(), rng.next_u64(),
+                           static_cast<Tokens>(rng.below(1 << 20))};
+    case 2:
+      return QueryRequest{rng.next_u64(), rng.next_u64()};
+    default: {
+      BatchAcquireRequest m;
+      m.id = rng.next_u64();
+      const std::size_t ops = rng.below(20);
+      for (std::size_t i = 0; i < ops; ++i)
+        m.ops.push_back(
+            {rng.next_u64(), static_cast<Tokens>(rng.below(1000))});
+      return m;
+    }
+  }
+}
+
+Response random_response(Rng& rng) {
+  switch (rng.below(4)) {
+    case 0:
+      return AcquireResponse{rng.next_u64(),
+                             static_cast<Tokens>(rng.below(1000)),
+                             static_cast<Tokens>(rng.below(1000))};
+    case 1:
+      return RefundResponse{rng.next_u64(),
+                            static_cast<Tokens>(rng.below(1000)),
+                            static_cast<Tokens>(rng.below(1000))};
+    case 2:
+      return QueryResponse{rng.next_u64(),
+                           static_cast<Tokens>(rng.below(1000)),
+                           rng.bernoulli(0.5)};
+    default: {
+      BatchAcquireResponse m;
+      m.id = rng.next_u64();
+      const std::size_t results = rng.below(20);
+      for (std::size_t i = 0; i < results; ++i)
+        m.results.push_back({static_cast<Tokens>(rng.below(1000)),
+                             static_cast<Tokens>(rng.below(1000))});
+      return m;
+    }
+  }
+}
+
+TEST(Protocol, RandomizedRequestReencodeByteIdentity) {
+  Rng rng(2024);
+  for (int i = 0; i < 500; ++i) {
+    const Request msg = random_request(rng);
+    const std::vector<std::byte> wire = encode(msg);
+    const Request decoded = decode_request(wire);
+    EXPECT_EQ(decoded, msg);
+    EXPECT_EQ(encode(decoded), wire) << "re-encode diverged, iteration " << i;
+  }
+}
+
+TEST(Protocol, RandomizedResponseReencodeByteIdentity) {
+  Rng rng(4048);
+  for (int i = 0; i < 500; ++i) {
+    const Response msg = random_response(rng);
+    const std::vector<std::byte> wire = encode(msg);
+    const Response decoded = decode_response(wire);
+    EXPECT_EQ(decoded, msg);
+    EXPECT_EQ(encode(decoded), wire) << "re-encode diverged, iteration " << i;
+  }
+}
+
+TEST(Protocol, EveryTruncationIsRejected) {
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<std::byte> wire = encode(random_request(rng));
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+      EXPECT_THROW(
+          decode_request(std::span(wire.data(), cut)), IoError)
+          << "prefix of " << cut << "/" << wire.size() << " bytes decoded";
+    }
+    const std::vector<std::byte> resp_wire = encode(random_response(rng));
+    for (std::size_t cut = 0; cut < resp_wire.size(); ++cut) {
+      EXPECT_THROW(decode_response(std::span(resp_wire.data(), cut)), IoError);
+    }
+  }
+}
+
+TEST(Protocol, TrailingBytesRejected) {
+  std::vector<std::byte> wire = encode(AcquireRequest{1, 2, 3});
+  wire.push_back(std::byte{0});
+  EXPECT_THROW(decode_request(wire), IoError);
+}
+
+TEST(Protocol, WrongVersionRejected) {
+  std::vector<std::byte> wire = encode(AcquireRequest{1, 2, 3});
+  wire[0] = std::byte{kProtocolVersion + 1};
+  EXPECT_THROW(decode_request(wire), IoError);
+}
+
+TEST(Protocol, UnknownTypeRejected) {
+  std::vector<std::byte> wire = encode(AcquireRequest{1, 2, 3});
+  wire[1] = std::byte{0x7F};
+  EXPECT_THROW(decode_request(wire), IoError);
+}
+
+TEST(Protocol, RequestAndResponseFramesAreNotInterchangeable) {
+  EXPECT_THROW(decode_response(encode(AcquireRequest{1, 2, 3})), IoError);
+  EXPECT_THROW(decode_request(encode(AcquireResponse{1, 2, 3})), IoError);
+}
+
+TEST(Protocol, NegativeTokenCountRejected) {
+  // A well-behaved client cannot produce this; craft the frame by hand.
+  util::BinaryWriter w;
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kAcquire));
+  w.u64(1);
+  w.u64(42);
+  w.i64(-5);
+  EXPECT_THROW(decode_request(w.data()), IoError);
+}
+
+TEST(Protocol, OversizedBatchRejectedAtEncodeTime) {
+  // The sender fails fast instead of producing a frame the server would
+  // silently drop (which would surface as an opaque client timeout).
+  BatchAcquireRequest req;
+  req.id = 1;
+  req.ops.resize(kMaxBatchOps + 1);
+  EXPECT_THROW(encode(req), util::InvariantError);
+}
+
+TEST(Protocol, OversizedBatchCountRejectedBeforeAllocation) {
+  util::BinaryWriter w;
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kBatchAcquire));
+  w.u64(1);
+  w.u32(0xFFFFFFFF);  // promises 4 billion ops
+  EXPECT_THROW(decode_request(w.data()), IoError);
+}
+
+}  // namespace
+}  // namespace toka::service::protocol

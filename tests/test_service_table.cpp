@@ -1,0 +1,301 @@
+#include "service/account_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace toka::service {
+namespace {
+
+ServiceConfig simple_config(Tokens c, TimeUs delta = 1000) {
+  ServiceConfig cfg;
+  cfg.shards = 8;
+  cfg.delta_us = delta;
+  cfg.strategy.kind = core::StrategyKind::kSimple;
+  cfg.strategy.c_param = c;
+  return cfg;
+}
+
+TEST(CoarseClock, MonotoneAdvance) {
+  CoarseClock clock;
+  EXPECT_EQ(clock.now_us(), 0);
+  clock.advance_to(50);
+  EXPECT_EQ(clock.now_us(), 50);
+  clock.advance_to(20);  // ignored: the clock never retreats
+  EXPECT_EQ(clock.now_us(), 50);
+  clock.advance(10);
+  EXPECT_EQ(clock.now_us(), 60);
+}
+
+TEST(AccountTable, RejectsUnboundedAndBadConfigs) {
+  ServiceConfig cfg;
+  cfg.strategy.kind = core::StrategyKind::kPureReactive;
+  EXPECT_THROW(AccountTable{cfg}, util::InvariantError);
+
+  ServiceConfig high = simple_config(5);
+  high.initial_tokens = 6;  // above capacity
+  EXPECT_THROW(AccountTable{high}, util::InvariantError);
+
+  ServiceConfig zero = simple_config(5);
+  zero.delta_us = 0;
+  EXPECT_THROW(AccountTable{zero}, util::InvariantError);
+}
+
+TEST(AccountTable, ShardCountRoundsUpToPowerOfTwo) {
+  ServiceConfig cfg = simple_config(4);
+  cfg.shards = 12;
+  AccountTable table(cfg);
+  EXPECT_EQ(table.shard_count(), 16u);
+}
+
+TEST(AccountTable, FreshAccountStartsAtInitialBalance) {
+  AccountTable table(simple_config(10));
+  // Balance 0, nothing to grant yet.
+  const AcquireResult res = table.acquire(42, 5);
+  EXPECT_EQ(res.granted, 0);
+  EXPECT_EQ(res.balance, 0);
+  EXPECT_EQ(table.account_count(), 1u);
+
+  ServiceConfig warm = simple_config(10);
+  warm.initial_tokens = 3;
+  AccountTable table2(warm);
+  EXPECT_EQ(table2.acquire(42, 5).granted, 3);
+}
+
+TEST(AccountTable, TokensAccrueWithTheClock) {
+  AccountTable table(simple_config(10, /*delta=*/1000));
+  table.acquire(7, 0);  // create at tick 0
+  table.clock().advance(3000);  // 3 periods elapse
+  const AcquireResult res = table.acquire(7, 100);
+  // The simple strategy banks every tick below C: exactly 3 tokens.
+  EXPECT_EQ(res.granted, 3);
+  EXPECT_EQ(res.balance, 0);
+}
+
+TEST(AccountTable, BalanceNeverExceedsCapacity) {
+  AccountTable table(simple_config(10, 1000));
+  table.acquire(7, 0);
+  table.clock().advance(1'000'000);  // 1000 periods, far past C and the cap
+  EXPECT_EQ(table.query(7).balance, 10);
+  EXPECT_EQ(table.acquire(7, 1000).granted, 10);
+}
+
+TEST(AccountTable, CatchupCapForfeitsAncientTicks) {
+  ServiceConfig cfg = simple_config(10, 1000);
+  cfg.max_catchup_ticks = 4;
+  AccountTable table(cfg);
+  table.acquire(7, 0);
+  table.clock().advance(100'000);  // 100 periods due, only 4 replayed
+  EXPECT_EQ(table.acquire(7, 100).granted, 4);
+  EXPECT_EQ(table.stats().ticks_forfeited, 96u);
+}
+
+TEST(AccountTable, RefundRestoresUpToOutstanding) {
+  AccountTable table(simple_config(10, 1000));
+  table.acquire(1, 0);
+  table.clock().advance(5000);
+  ASSERT_EQ(table.acquire(1, 5).granted, 5);
+
+  EXPECT_EQ(table.refund(1, 3).accepted, 3);
+  EXPECT_EQ(table.query(1).balance, 3);
+  // Only 2 of the original 5 remain outstanding.
+  const RefundResult rest = table.refund(1, 10);
+  EXPECT_EQ(rest.accepted, 2);
+  EXPECT_EQ(rest.balance, 5);
+  EXPECT_EQ(table.stats().tokens_refund_dropped, 8u);
+}
+
+TEST(AccountTable, LateRefundCappedByCapacityHeadroom) {
+  AccountTable table(simple_config(4, 1000));
+  table.acquire(1, 0);
+  table.clock().advance(4000);
+  ASSERT_EQ(table.acquire(1, 4).granted, 4);
+  // The balance refills to C while the client sits on its tokens...
+  table.clock().advance(100'000);
+  ASSERT_EQ(table.query(1).balance, 4);
+  // ...so a late refund has no headroom and is dropped entirely.
+  EXPECT_EQ(table.refund(1, 4).accepted, 0);
+  EXPECT_EQ(table.query(1).balance, 4);
+}
+
+TEST(AccountTable, RefundToUnknownKeyIsDropped) {
+  AccountTable table(simple_config(10));
+  const RefundResult res = table.refund(999, 5);
+  EXPECT_EQ(res.accepted, 0);
+  EXPECT_EQ(table.account_count(), 0u);
+  EXPECT_EQ(table.stats().tokens_refund_dropped, 5u);
+}
+
+TEST(AccountTable, QueryDoesNotCreateAccounts) {
+  AccountTable table(simple_config(10));
+  const QueryResult res = table.query(123);
+  EXPECT_FALSE(res.exists);
+  EXPECT_EQ(res.balance, 0);
+  EXPECT_EQ(table.account_count(), 0u);
+}
+
+TEST(AccountTable, NegativeAmountsRejected) {
+  AccountTable table(simple_config(10));
+  EXPECT_THROW(table.acquire(1, -1), util::InvariantError);
+  EXPECT_THROW(table.refund(1, -1), util::InvariantError);
+}
+
+TEST(AccountTable, BatchAlignsWithOpsAndMatchesScalarSemantics) {
+  AccountTable table(simple_config(10, 1000));
+  table.acquire(1, 0);
+  table.acquire(2, 0);
+  table.clock().advance(5000);  // both accounts hold 5 tokens
+  const std::vector<AcquireOp> ops{{1, 3}, {2, 4}, {1, 3}, {3, 1}};
+  const std::vector<AcquireResult> res = table.acquire_batch(ops);
+  ASSERT_EQ(res.size(), 4u);
+  EXPECT_EQ(res[0].granted, 3);  // key 1: 5 -> 2
+  EXPECT_EQ(res[1].granted, 4);  // key 2: 5 -> 1
+  EXPECT_EQ(res[2].granted, 2);  // key 1 again: only 2 left
+  EXPECT_EQ(res[2].balance, 0);
+  EXPECT_EQ(res[3].granted, 0);  // key 3 created empty
+  EXPECT_EQ(table.stats().acquires, 6u);
+}
+
+TEST(AccountTable, TokenBucketBackendHonoursBucketSize) {
+  ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.delta_us = 1000;
+  cfg.strategy.kind = core::StrategyKind::kTokenBucket;
+  cfg.strategy.c_param = 4;
+  AccountTable table(cfg);
+  EXPECT_EQ(table.capacity_bound(), 4);
+  table.acquire(9, 0);
+  table.clock().advance(1'000'000);
+  EXPECT_EQ(table.acquire(9, 100).granted, 4);  // bucket caps at 4
+  // The bucket refills 1 token per period after being drained.
+  table.clock().advance(2000);
+  EXPECT_EQ(table.acquire(9, 100).granted, 2);
+}
+
+TEST(AccountTable, EvictionRemovesOnlyIdleAccounts) {
+  ServiceConfig cfg = simple_config(10, 1000);
+  cfg.idle_ttl_us = 10'000;
+  AccountTable table(cfg);
+  table.acquire(1, 0);
+  table.clock().advance(8000);
+  table.acquire(2, 0);  // key 2 is 8ms younger
+  table.clock().advance(4000);  // key 1 idle 12ms > TTL, key 2 idle 4ms
+  EXPECT_EQ(table.evict_idle(), 1u);
+  EXPECT_FALSE(table.query(1).exists);
+  EXPECT_TRUE(table.query(2).exists);
+  EXPECT_EQ(table.stats().accounts_evicted, 1u);
+}
+
+TEST(AccountTable, EvictionDisabledByDefault) {
+  AccountTable table(simple_config(10));
+  table.acquire(1, 0);
+  table.clock().advance(duration::kDay);
+  EXPECT_EQ(table.evict_idle(), 0u);
+  EXPECT_TRUE(table.query(1).exists);
+}
+
+TEST(AccountTable, ProactiveTicksAreDroppedNotBanked) {
+  // At a full balance the simple strategy's proactive(a)=1 fires every
+  // period; the service has no message to pay for, so the token is dropped
+  // and the balance stays pinned at C.
+  AccountTable table(simple_config(5, 1000));
+  table.acquire(1, 0);
+  table.clock().advance(20'000);
+  EXPECT_EQ(table.query(1).balance, 5);
+  EXPECT_GT(table.stats().proactive_dropped, 0u);
+}
+
+TEST(AccountTable, StatsAggregateAcrossShards) {
+  AccountTable table(simple_config(10));
+  for (std::uint64_t key = 0; key < 100; ++key) table.acquire(key, 1);
+  const TableStats stats = table.stats();
+  EXPECT_EQ(stats.accounts, 100u);
+  EXPECT_EQ(stats.accounts_created, 100u);
+  EXPECT_EQ(stats.acquires, 100u);
+  EXPECT_EQ(stats.tokens_requested, 100u);
+}
+
+TEST(AccountTable, ConcurrentAcquiresNeverOvergrant) {
+  // 8 threads race on 4 keys with a frozen clock: the total granted per key
+  // can never exceed the tokens actually banked (C each).
+  constexpr Tokens kCap = 16;
+  AccountTable table(simple_config(kCap, 1000));
+  for (std::uint64_t key = 0; key < 4; ++key) table.acquire(key, 0);
+  table.clock().advance(1'000'000);  // every key saturates at C
+
+  constexpr int kThreads = 8;
+  std::vector<std::int64_t> granted(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        granted[t] += table.acquire(i % 4, 1).granted;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::int64_t total = 0;
+  for (std::int64_t g : granted) total += g;
+  EXPECT_EQ(total, 4 * kCap);
+  EXPECT_EQ(table.stats().tokens_granted, static_cast<std::uint64_t>(total));
+}
+
+TEST(AccountTable, ConcurrentMixedTrafficKeepsCountersConsistent) {
+  // Acquire/refund/query/batch from many threads while the clock advances;
+  // afterwards the global conservation law must hold:
+  // granted == refunded + outstanding-spends, and balances stay in [0, C].
+  ServiceConfig cfg = simple_config(8, 100);
+  cfg.shards = 4;
+  AccountTable table(cfg);
+  std::atomic<bool> go{true};
+  std::thread ticker([&] {
+    while (go.load()) {
+      table.clock().advance(100);
+      std::this_thread::yield();
+    }
+  });
+  constexpr int kThreads = 6;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<AcquireOp> batch;
+      for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t key = (t + i) % 32;
+        switch (i % 4) {
+          case 0:
+            table.acquire(key, 2);
+            break;
+          case 1:
+            table.refund(key, 1);
+            break;
+          case 2:
+            table.query(key);
+            break;
+          default:
+            batch.assign({AcquireOp{key, 1}, AcquireOp{key + 1, 1}});
+            table.acquire_batch(batch);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  go.store(false);
+  ticker.join();
+
+  const TableStats stats = table.stats();
+  EXPECT_GE(stats.tokens_granted, stats.tokens_refunded);
+  for (std::uint64_t key = 0; key < 33; ++key) {
+    const QueryResult q = table.query(key);
+    if (!q.exists) continue;
+    EXPECT_GE(q.balance, 0);
+    EXPECT_LE(q.balance, 8);
+  }
+}
+
+}  // namespace
+}  // namespace toka::service

@@ -1,0 +1,91 @@
+#include "util/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace toka::util {
+namespace {
+
+TEST(Zipf, RejectsInvalidParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), InvariantError);
+  EXPECT_THROW(ZipfSampler(10, -0.5), InvariantError);
+}
+
+TEST(Zipf, SingleRankAlwaysZero) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.next(rng), 0u);
+}
+
+TEST(Zipf, StaysInRange) {
+  for (double s : {0.0, 0.5, 0.99, 1.0, 1.5, 2.5}) {
+    ZipfSampler zipf(1000, s);
+    Rng rng(42);
+    for (int i = 0; i < 20'000; ++i) {
+      const std::uint64_t k = zipf.next(rng);
+      ASSERT_LT(k, 1000u) << "s=" << s;
+    }
+  }
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  constexpr std::uint64_t kN = 16;
+  constexpr int kDraws = 160'000;
+  ZipfSampler zipf(kN, 0.0);
+  Rng rng(3);
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.next(rng)];
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    EXPECT_NEAR(counts[k], kDraws / kN, kDraws / kN * 0.15) << "rank " << k;
+  }
+}
+
+TEST(Zipf, ClassicLawFrequencyRatios) {
+  // For s = 1, P(rank 0)/P(rank k-1) = k; check the first few ranks against
+  // 400k draws with a generous tolerance.
+  constexpr int kDraws = 400'000;
+  ZipfSampler zipf(100'000, 1.0);
+  Rng rng(11);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t k = zipf.next(rng);
+    if (k < counts.size()) ++counts[k];
+  }
+  ASSERT_GT(counts[0], 1000);
+  for (int k : {1, 3, 7}) {
+    const double ratio =
+        static_cast<double>(counts[0]) / static_cast<double>(counts[k]);
+    EXPECT_NEAR(ratio, k + 1, 0.15 * (k + 1)) << "rank " << k;
+  }
+}
+
+TEST(Zipf, MassMatchesAnalyticHead) {
+  // With s = 1.2 over n ranks the head probability P(0) = 1/zeta-like sum;
+  // compare the empirical head mass with the directly computed one.
+  constexpr std::uint64_t kN = 10'000;
+  constexpr double kS = 1.2;
+  double total = 0;
+  for (std::uint64_t k = 1; k <= kN; ++k) total += std::pow(k, -kS);
+  const double p0 = 1.0 / total;
+  constexpr int kDraws = 300'000;
+  ZipfSampler zipf(kN, kS);
+  Rng rng(5);
+  int head = 0;
+  for (int i = 0; i < kDraws; ++i) head += zipf.next(rng) == 0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(head) / kDraws, p0, 0.05 * p0);
+}
+
+TEST(Zipf, SharedSamplerIndependentStreams) {
+  // One sampler, two Rngs: draws must depend only on the caller's stream.
+  ZipfSampler zipf(1000, 0.99);
+  Rng a(21), b(21);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(zipf.next(a), zipf.next(b));
+}
+
+}  // namespace
+}  // namespace toka::util
