@@ -1,7 +1,12 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the library:
 // strategy evaluation, account operations, rounding, peer sampling, event
-// processing throughput, graph construction, and the analysis kernels.
+// processing throughput, graph construction, the analysis kernels, and the
+// tokend service layer (protocol v2 encode/decode, sync vs pipelined
+// round trips through the in-process fabric).
 #include <benchmark/benchmark.h>
+
+#include <future>
+#include <vector>
 
 #include "analysis/eigen.hpp"
 #include "core/account.hpp"
@@ -10,6 +15,11 @@
 #include "net/graph.hpp"
 #include "net/online_peer_view.hpp"
 #include "net/peer_sampling.hpp"
+#include "runtime/inproc.hpp"
+#include "service/account_table.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -258,6 +268,92 @@ void BM_PowerIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_PowerIteration)->Arg(1000)->Unit(benchmark::kMillisecond)
     ->MinTime(0.2);
+
+// ------------------------------------------------------ tokend service layer
+
+void BM_ProtocolEncodeAcquire(benchmark::State& state) {
+  const service::protocol::AcquireRequest req{1234567, 0xDEADBEEF, 3, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service::protocol::encode(req));
+  }
+}
+BENCHMARK(BM_ProtocolEncodeAcquire);
+
+void BM_ProtocolDecodeAcquire(benchmark::State& state) {
+  const std::vector<std::byte> wire = service::protocol::encode(
+      service::protocol::AcquireRequest{1234567, 0xDEADBEEF, 3, 7});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service::protocol::decode_request(wire));
+  }
+}
+BENCHMARK(BM_ProtocolDecodeAcquire);
+
+/// Encode+decode of a whole batch frame; items/s = ops through the codec.
+void BM_ProtocolBatchRoundTrip(benchmark::State& state) {
+  service::protocol::BatchAcquireRequest req;
+  req.id = 1;
+  req.ns = 3;
+  for (std::int64_t i = 0; i < state.range(0); ++i)
+    req.ops.push_back({static_cast<std::uint64_t>(i) * 977, 1});
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    const std::vector<std::byte> wire = service::protocol::encode(req);
+    benchmark::DoNotOptimize(service::protocol::decode_request(wire));
+    ops += req.ops.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_ProtocolBatchRoundTrip)->Arg(16)->Arg(256);
+
+service::ServiceConfig service_bench_config() {
+  service::ServiceConfig cfg;
+  cfg.shards = 16;
+  cfg.delta_us = 1000;
+  cfg.strategy.kind = core::StrategyKind::kGeneralized;
+  cfg.strategy.a_param = 2;
+  cfg.strategy.c_param = 8;
+  return cfg;
+}
+
+/// One blocking acquire per iteration through Server/Client over the
+/// in-process fabric: the v1-style round trip the sync wrappers pay.
+void BM_ServiceRoundTripSync(benchmark::State& state) {
+  service::AccountTable table(service_bench_config());
+  runtime::InProcNetwork net(2);
+  service::Server server(table, net.endpoint(0));
+  service::Client client(net.endpoint(1), 0);
+  net.start();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.acquire(1, 0));
+  }
+  net.stop();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceRoundTripSync)->MinTime(0.2);
+
+/// The same round trip with range(0) calls in flight through the async
+/// core: items/s vs the sync case is the pipelining win in-process.
+void BM_ServiceRoundTripPipelined(benchmark::State& state) {
+  service::AccountTable table(service_bench_config());
+  runtime::InProcNetwork net(2);
+  service::Server server(table, net.endpoint(0));
+  service::Client client(net.endpoint(1), 0);
+  net.start();
+  const std::int64_t window = state.range(0);
+  std::vector<std::future<service::AcquireResult>> futures;
+  futures.reserve(static_cast<std::size_t>(window));
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    futures.clear();
+    for (std::int64_t i = 0; i < window; ++i)
+      futures.push_back(client.acquire_async(service::kDefaultNamespace, 1, 0));
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+    ops += static_cast<std::uint64_t>(window);
+  }
+  net.stop();
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_ServiceRoundTripPipelined)->Arg(32)->MinTime(0.2);
 
 }  // namespace
 

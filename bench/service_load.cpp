@@ -2,10 +2,18 @@
 // service layer: 1M+ distinct keys with Zipf popularity against the sharded
 // AccountTable, measured raw (direct calls), batched, open-loop at a target
 // arrival rate, and through the wire protocol (Server/Client over the
-// in-process fabric or TCP loopback).
+// in-process fabric or TCP loopback) — synchronously, and pipelined through
+// the v2 async client core.
 //
-//   $ ./service_load --quick            # CI snapshot: preload,table,batch,open,wire
+//   $ ./service_load --quick   # CI: preload,table,batch,open,wire,sync,pipeline
 //   $ ./service_load --modes=table,tcp --threads=16 --seconds=5 --keys=4194304
+//   $ ./service_load --mode=pipeline --window=32 --seconds=5
+//
+// The paired "sync" and "pipeline" modes answer the v2 API's headline
+// question: both run single-connection closed loops over real TCP, sync
+// one blocking acquire per round trip, pipeline keeping --window async
+// acquires in flight through the completion registry. --min-pipeline-speedup
+// turns the ratio into a CI floor.
 //
 // Reports per-mode throughput and latency percentiles, and with --json=FILE
 // writes the BENCH_service.json document the release-bench CI job uploads.
@@ -15,6 +23,7 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <semaphore>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -150,7 +159,8 @@ struct LoadConfig {
   double zipf = 0;
   double seconds = 0;
   std::size_t batch = 0;
-  double open_rate = 0;  ///< total target ops/s for open-loop mode
+  double open_rate = 0;   ///< total target ops/s for open-loop modes
+  std::size_t window = 0; ///< in-flight cap per connection (pipeline mode)
 };
 
 /// Preload: batch-create every key once so the timed phases run against a
@@ -272,6 +282,129 @@ ModeResult run_wire(const std::string& mode, const util::ZipfSampler& sampler,
   });
 }
 
+/// Single-connection sync closed loop (one blocking acquire per round
+/// trip): the baseline the pipeline mode's speedup — and the CI floor —
+/// is measured against.
+ModeResult run_sync(const std::string& mode, const util::ZipfSampler& sampler,
+                    const LoadConfig& load,
+                    const std::function<runtime::Transport&(std::size_t)>& endpoint_of) {
+  const auto deadline =
+      Clock::now() + std::chrono::microseconds(from_seconds(load.seconds));
+  return run_threads(mode, 1, [&](std::size_t t, PerThread& tally) {
+    service::Client client(endpoint_of(t), 0);
+    util::Rng rng(5000 + t);
+    while (Clock::now() < deadline) {
+      const std::uint64_t key = sampler.next(rng);
+      const auto t0 = Clock::now();
+      tally.granted += client.acquire(key, 1).granted;
+      tally.lat_us.push_back(us_between(t0, Clock::now()));
+      tally.ops.fetch_add(1, std::memory_order_relaxed);
+      ++tally.calls;
+    }
+  });
+}
+
+/// Closed-loop pipelining over one async client: `window` self-sustaining
+/// op chains per connection. Each completion callback (running on the
+/// transport's receive thread) records its op's latency and immediately
+/// issues the chain's next acquire — so under load the whole client side
+/// (parse burst, completions, next issues) happens inside one receive
+/// burst and the issues leave as one coalesced write. Latency spans
+/// issue -> completion, including in-flight queueing.
+ModeResult run_pipeline(const std::string& mode,
+                        const util::ZipfSampler& sampler,
+                        const LoadConfig& load, std::size_t connections,
+                        const std::function<runtime::Transport&(std::size_t)>& endpoint_of) {
+  const auto deadline =
+      Clock::now() + std::chrono::microseconds(from_seconds(load.seconds));
+  const std::size_t window = std::max<std::size_t>(load.window, 1);
+  return run_threads(mode, connections, [&](std::size_t t, PerThread& tally) {
+    service::Client client(endpoint_of(t), 0);
+    // One RNG per chain: a chain has at most one op in flight, so its RNG
+    // is only ever touched by the thread completing that op.
+    std::vector<util::Rng> rngs;
+    rngs.reserve(window);
+    for (std::size_t s = 0; s < window; ++s)
+      rngs.emplace_back(5000 + 997 * t + s);
+    std::counting_semaphore<> finished(0);
+
+    // issue(s) starts chain s's next op; the completion either re-issues
+    // or, past the deadline (or on timeout), retires the chain.
+    std::function<void(std::size_t)> issue = [&](std::size_t s) {
+      const std::uint64_t key = sampler.next(rngs[s]);
+      const auto t0 = Clock::now();
+      client.acquire_async(
+          service::kDefaultNamespace, key, 1,
+          [&, s, t0](service::AcquireResult res, std::exception_ptr err) {
+            const auto now = Clock::now();
+            if (err != nullptr) {
+              finished.release();  // timed out / shut down: retire the chain
+              return;
+            }
+            tally.granted += res.granted;
+            tally.lat_us.push_back(us_between(t0, now));
+            tally.ops.fetch_add(1, std::memory_order_relaxed);
+            ++tally.calls;
+            if (now >= deadline) {
+              finished.release();
+            } else {
+              issue(s);
+            }
+          });
+    };
+    for (std::size_t s = 0; s < window; ++s) issue(s);
+    // All chains retire on their own completions; wait them out so every
+    // callback has run before the client is destroyed.
+    for (std::size_t s = 0; s < window; ++s) finished.acquire();
+  });
+}
+
+/// Open loop through the async client: arrivals on a fixed schedule, each
+/// issued without blocking; latency runs from the *scheduled* arrival to
+/// the completion callback, so generator lag and in-flight queueing are
+/// both included (no coordinated omission).
+ModeResult run_open_async(const std::string& mode,
+                          const util::ZipfSampler& sampler,
+                          const LoadConfig& load,
+                          const std::function<runtime::Transport&(std::size_t)>& endpoint_of) {
+  const double per_thread_rate = load.open_rate / load.threads;
+  const auto interval = std::chrono::nanoseconds(
+      std::max<std::int64_t>(static_cast<std::int64_t>(1e9 / per_thread_rate), 1));
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::microseconds(from_seconds(load.seconds));
+  ModeResult res = run_threads(mode, load.threads, [&](std::size_t t,
+                                                       PerThread& tally) {
+    service::Client client(endpoint_of(t), 0);
+    util::Rng rng(6000 + t);
+    std::counting_semaphore<> outstanding(0);
+    std::uint64_t issued = 0;
+    auto scheduled = start + interval * static_cast<std::int64_t>(t) /
+                                 static_cast<std::int64_t>(load.threads);
+    while (scheduled < deadline) {
+      std::this_thread::sleep_until(scheduled);
+      const std::uint64_t key = sampler.next(rng);
+      const auto t_sched = scheduled;
+      client.acquire_async(
+          service::kDefaultNamespace, key, 1,
+          [&tally, &outstanding, t_sched](service::AcquireResult r,
+                                          std::exception_ptr err) {
+            if (!err) {
+              tally.granted += r.granted;
+              tally.lat_us.push_back(us_between(t_sched, Clock::now()));
+              tally.ops.fetch_add(1, std::memory_order_relaxed);
+            }
+            outstanding.release();
+          });
+      ++issued;
+      ++tally.calls;
+      scheduled += interval;
+    }
+    for (std::uint64_t i = 0; i < issued; ++i) outstanding.acquire();
+  });
+  res.seconds = load.seconds;  // open loop is defined by its schedule
+  return res;
+}
+
 void print_result(const ModeResult& res) {
   std::printf("%-8s %3zu thr %8.2fs %12llu ops %12.0f ops/s", res.mode.c_str(),
               res.threads, res.seconds,
@@ -304,11 +437,16 @@ void write_json(const std::string& path, const std::vector<ModeResult>& runs,
     return;
   }
   const service::TableStats stats = table.stats();
-  double table_ops_per_sec = 0;
-  for (const ModeResult& r : runs)
+  double table_ops_per_sec = 0, pipeline_ops_per_sec = 0, pipeline_p99 = 0;
+  for (const ModeResult& r : runs) {
     if (r.mode == "table") table_ops_per_sec = r.ops_per_sec();
+    if (r.mode == "pipeline") {
+      pipeline_ops_per_sec = r.ops_per_sec();
+      pipeline_p99 = r.latency.p99_us;
+    }
+  }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"toka-bench-service-v1\",\n");
+  std::fprintf(f, "  \"schema\": \"toka-bench-service-v2\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(f, "  \"host_cpus\": %u, \n",
                std::thread::hardware_concurrency());
@@ -322,7 +460,10 @@ void write_json(const std::string& path, const std::vector<ModeResult>& runs,
   std::fprintf(f, "  \"shards\": %zu,\n", table.shard_count());
   std::fprintf(f, "  \"delta_us\": %lld,\n",
                static_cast<long long>(table.config().delta_us));
+  std::fprintf(f, "  \"window\": %zu,\n", load.window);
   std::fprintf(f, "  \"acquire_ops_per_sec\": %.0f,\n", table_ops_per_sec);
+  std::fprintf(f, "  \"pipeline_ops_per_sec\": %.0f,\n", pipeline_ops_per_sec);
+  std::fprintf(f, "  \"pipeline_p99_us\": %.2f,\n", pipeline_p99);
   std::fprintf(f, "  \"distinct_keys_served\": %llu,\n",
                static_cast<unsigned long long>(stats.accounts));
   std::fprintf(f, "  \"runs\": [\n");
@@ -383,6 +524,7 @@ int main(int argc, char** argv) {
   load.seconds = args.get_double("seconds", quick ? 1.0 : 4.0);
   load.batch = static_cast<std::size_t>(args.get_int("batch", 16));
   load.open_rate = args.get_double("rate", 200'000);
+  load.window = static_cast<std::size_t>(args.get_int("window", 64));
 
   service::ServiceConfig cfg;
   cfg.shards = static_cast<std::size_t>(args.get_int("shards", 256));
@@ -394,8 +536,10 @@ int main(int argc, char** argv) {
   cfg.idle_ttl_us = args.get_int("ttl-ms", 0) * 1000;
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
-  const std::string modes_arg =
-      args.get_string("modes", "preload,table,batch,open,wire");
+  // --mode is an alias for --modes (reads naturally for a single mode).
+  const std::string modes_arg = args.get_string(
+      "modes",
+      args.get_string("mode", "preload,table,batch,open,wire,sync,pipeline"));
   std::vector<std::string> modes;
   std::stringstream modes_stream(modes_arg);
   for (std::string m; std::getline(modes_stream, m, ',');) modes.push_back(m);
@@ -436,6 +580,27 @@ int main(int argc, char** argv) {
       runs.push_back(run_wire("tcp", sampler, load, [&](std::size_t t) -> runtime::Transport& {
         return mesh.endpoint(static_cast<NodeId>(1 + t));
       }));
+    } else if (mode == "sync") {
+      runtime::TcpMesh mesh(2);
+      service::Server server(table, mesh.endpoint(0));
+      runs.push_back(run_sync("sync", sampler, load, [&](std::size_t t) -> runtime::Transport& {
+        return mesh.endpoint(static_cast<NodeId>(1 + t));
+      }));
+    } else if (mode == "pipeline") {
+      // Same single TCP connection as "sync", but --window acquires deep.
+      runtime::TcpMesh mesh(2);
+      service::Server server(table, mesh.endpoint(0));
+      runs.push_back(run_pipeline("pipeline", sampler, load, /*connections=*/1,
+                                  [&](std::size_t t) -> runtime::Transport& {
+        return mesh.endpoint(static_cast<NodeId>(1 + t));
+      }));
+    } else if (mode == "aopen") {
+      runtime::TcpMesh mesh(1 + load.threads);
+      service::Server server(table, mesh.endpoint(0));
+      runs.push_back(run_open_async("aopen", sampler, load,
+                                    [&](std::size_t t) -> runtime::Transport& {
+        return mesh.endpoint(static_cast<NodeId>(1 + t));
+      }));
     } else {
       std::fprintf(stderr, "unknown mode '%s' (skipped)\n", mode.c_str());
       continue;
@@ -470,6 +635,35 @@ int main(int argc, char** argv) {
     }
     std::printf("table mode sustains %.0f ops/s (floor %.0f): OK\n", table_ops,
                 min_table_ops);
+  }
+
+  // Release-bench CI passes --min-pipeline-speedup=1: the async pipelined
+  // client must never fall behind the sync closed loop on the same single
+  // TCP connection (locally the ratio is far higher; the CI floor only
+  // guards against the pipeline regressing into sync behaviour).
+  const double min_speedup = args.get_double("min-pipeline-speedup", 0);
+  if (min_speedup > 0) {
+    double sync_ops = 0, pipeline_ops = 0;
+    for (const ModeResult& r : runs) {
+      if (r.mode == "sync") sync_ops = r.ops_per_sec();
+      if (r.mode == "pipeline") pipeline_ops = r.ops_per_sec();
+    }
+    if (sync_ops <= 0 || pipeline_ops <= 0) {
+      std::fprintf(stderr,
+                   "FAIL: --min-pipeline-speedup needs both the sync and the "
+                   "pipeline modes in --modes\n");
+      return 1;
+    }
+    const double speedup = pipeline_ops / sync_ops;
+    if (speedup < min_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: pipeline %.0f ops/s is only %.2fx sync %.0f ops/s "
+                   "(floor %.2fx)\n",
+                   pipeline_ops, speedup, sync_ops, min_speedup);
+      return 1;
+    }
+    std::printf("pipeline sustains %.2fx sync throughput (floor %.2fx): OK\n",
+                speedup, min_speedup);
   }
   return 0;
 }

@@ -1,13 +1,18 @@
 // tokend: a token-account rate-limiting daemon over real TCP sockets.
 //
-// Endpoint 0 serves a sharded service::AccountTable through the binary wire
-// protocol; the remaining endpoints run service::Client threads that hammer
-// it with Zipf-skewed acquire/refund/query traffic. The table runs with the
-// §3.4 auditor wired in, so the run ends by proving that no served key ever
-// exceeded its ceil(t/Δ)+C burst bound.
+// Endpoint 0 serves a sharded service::AccountTable through protocol v2;
+// the remaining endpoints run service::Client threads that hammer it with
+// Zipf-skewed acquire/refund/query traffic across *two namespaces* with
+// different policies: namespace 0 (the default, "interactive") runs the
+// paper's generalized strategy, and namespace 1 ("bulk") is created at
+// runtime through the admin API with a tighter classic token bucket and a
+// slower period. Both namespaces run with the §3.4 auditor wired in, so
+// the run ends by proving that no served key in either namespace ever
+// exceeded its own ceil(t/Δ)+C burst bound.
 //
 //   $ ./tokend [--clients=3] [--ms=400] [--delta-ms=20] [--keys=64]
 //              [--strategy=generalized] [--a=2] [--c=8] [--zipf=0.9]
+//              [--bulk-c=4] [--bulk-delta-ms=40]
 #include <cstdio>
 #include <memory>
 #include <thread>
@@ -44,11 +49,33 @@ int main(int argc, char** argv) {
   service::Server server(table, mesh.endpoint(0));
   service::ClockDriver driver(table, /*resolution_us=*/1000);
   driver.start();
-  std::printf("tokend: %s over %zu shards on 127.0.0.1:%u, Δ = %lld ms, "
-              "%zu clients, %llu keys\n",
-              cfg.strategy.label().c_str(), table.shard_count(),
-              mesh.port_of(0), static_cast<long long>(cfg.delta_us / 1000),
-              clients, static_cast<unsigned long long>(keys));
+
+  // The "bulk" namespace is created over the wire, exactly as an operator
+  // would: its own strategy, period and audit switch, live at runtime.
+  constexpr service::NamespaceId kBulk = 1;
+  service::NamespaceConfig bulk;
+  bulk.strategy.kind = core::StrategyKind::kTokenBucket;
+  bulk.strategy.c_param = args.get_int("bulk-c", 4);
+  bulk.delta_us = args.get_int("bulk-delta-ms", 40) * 1000;
+  bulk.audit = true;
+  {
+    service::Client admin(mesh.endpoint(1), 0);
+    const bool created = admin.configure_namespace(kBulk, bulk);
+    const auto info = admin.namespace_info(kBulk);
+    std::printf("admin: namespace %u %s (capacity %lld, Δ = %lld ms)\n",
+                kBulk, created ? "created" : "reset",
+                static_cast<long long>(info ? info->capacity : -1),
+                static_cast<long long>(bulk.delta_us / 1000));
+  }
+
+  std::printf("tokend: ns0 %s Δ=%lldms | ns1 %s Δ=%lldms | %zu shards on "
+              "127.0.0.1:%u, %zu clients, %llu keys\n",
+              cfg.strategy.label().c_str(),
+              static_cast<long long>(cfg.delta_us / 1000),
+              bulk.strategy.label().c_str(),
+              static_cast<long long>(bulk.delta_us / 1000),
+              table.shard_count(), mesh.port_of(0), clients,
+              static_cast<unsigned long long>(keys));
 
   const util::ZipfSampler zipf(keys, args.get_double("zipf", 0.9));
   struct ClientTally {
@@ -66,12 +93,16 @@ int main(int argc, char** argv) {
                             std::chrono::milliseconds(run_ms);
       while (std::chrono::steady_clock::now() < deadline) {
         const std::uint64_t key = zipf.next(rng);
-        const service::AcquireResult res = client.acquire(key, 1 + rng.below(3));
+        // A third of the traffic is bulk-class, the rest interactive.
+        const service::NamespaceId ns =
+            rng.bernoulli(1.0 / 3) ? kBulk : service::kDefaultNamespace;
+        const service::AcquireResult res =
+            client.acquire(ns, key, 1 + rng.below(3));
         ++tallies[c].requests;
         tallies[c].granted += res.granted;
         // An over-provisioned caller gives a token back now and then.
         if (res.granted > 0 && rng.bernoulli(0.25)) {
-          tallies[c].refunded += client.refund(key, 1).accepted;
+          tallies[c].refunded += client.refund(ns, key, 1).accepted;
           ++tallies[c].requests;
         }
       }
@@ -88,18 +119,22 @@ int main(int argc, char** argv) {
                 static_cast<long long>(tallies[c].granted),
                 static_cast<long long>(tallies[c].refunded));
   }
-  const service::TableStats stats = table.stats();
-  std::printf("\nserver: %llu frames served, %llu malformed; "
-              "%llu accounts, %llu/%llu tokens granted, %llu proactive drops\n",
+  std::printf("\nserver: %llu frames served, %llu errored, %llu malformed\n",
               static_cast<unsigned long long>(server.requests_served()),
-              static_cast<unsigned long long>(server.requests_malformed()),
-              static_cast<unsigned long long>(stats.accounts),
-              static_cast<unsigned long long>(stats.tokens_granted),
-              static_cast<unsigned long long>(stats.tokens_requested),
-              static_cast<unsigned long long>(stats.proactive_dropped));
+              static_cast<unsigned long long>(server.requests_errored()),
+              static_cast<unsigned long long>(server.requests_malformed()));
+  for (const service::NamespaceId ns : {service::kDefaultNamespace, kBulk}) {
+    const service::TableStats stats = table.stats(ns);
+    std::printf("ns%u: %llu accounts, %llu/%llu tokens granted, "
+                "%llu proactive drops\n",
+                ns, static_cast<unsigned long long>(stats.accounts),
+                static_cast<unsigned long long>(stats.tokens_granted),
+                static_cast<unsigned long long>(stats.tokens_requested),
+                static_cast<unsigned long long>(stats.proactive_dropped));
+  }
 
   const auto violation = table.audit_violation();
-  std::printf("burst bound (<= ceil(t/Δ)+C per key in every window): %s\n",
+  std::printf("burst bound (<= ceil(t/Δ)+C per key, per namespace): %s\n",
               violation ? violation->c_str() : "HELD ON ALL KEYS");
   return violation ? 1 : 0;
 }

@@ -8,8 +8,11 @@
 #    churn toggles.
 #  - BENCH_service.json: the tokend service load generator (service_load
 #    --quick): acquire throughput and latency percentiles over 1M+ Zipf-
-#    distributed keys, raw / batched / open-loop / wire-protocol. Also
-#    enforces the 100k acquire-ops/s floor on CI hardware.
+#    distributed keys, raw / batched / open-loop / wire-protocol, plus the
+#    paired single-TCP-connection sync and pipelined closed loops (v2 async
+#    client, pipelined ops/s + p99 recorded). Also enforces the 100k
+#    acquire-ops/s floor and the pipelined >= sync throughput floor on CI
+#    hardware.
 #
 # Usage: bench_snapshot.sh [build-dir] [engine.json] [service.json]
 # CI uploads both outputs as artifacts per commit.
@@ -49,7 +52,7 @@ fig3_ms=$(time_ms "$build_dir/fig3_trace" --quick)
 micro_json=null
 if [ -x "$build_dir/micro_bench" ]; then
   "$build_dir/micro_bench" \
-      --benchmark_filter='BM_(SelectPeer|EventQueue|ChurnToggle|SimulatorThroughput)' \
+      --benchmark_filter='BM_(SelectPeer|EventQueue|ChurnToggle|SimulatorThroughput|Protocol|ServiceRoundTrip)' \
       --benchmark_out="$tmpdir/micro.json" --benchmark_out_format=json \
       > /dev/null 2>&1
   micro_json=$(cat "$tmpdir/micro.json")
@@ -73,9 +76,13 @@ EOF
 echo "wrote $out (fig4_scale --quick: ${fig4_ms} ms)"
 
 # Service-layer snapshot: the load generator writes the JSON itself (it has
-# the latency samples); --min-table-ops is the CI acceptance floor for raw
-# acquire throughput.
+# the latency samples). --min-table-ops is the CI acceptance floor for raw
+# acquire throughput; --min-pipeline-speedup demands the v2 pipelined
+# client at least matches the sync closed loop on one TCP connection
+# (locally it is many times faster; CI hardware is noisy, so the floor
+# only catches the pipeline regressing into sync behaviour).
 "$build_dir/service_load" --quick --json="$service_out" \
-    --min-table-ops=100000 > /dev/null
+    --min-table-ops=100000 --min-pipeline-speedup=1.0 > /dev/null
 acquire_ops=$(sed -n 's/.*"acquire_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
-echo "wrote $service_out (table mode: ${acquire_ops} acquire ops/s)"
+pipeline_ops=$(sed -n 's/.*"pipeline_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
+echo "wrote $service_out (table: ${acquire_ops} ops/s, pipelined wire: ${pipeline_ops} ops/s)"

@@ -86,6 +86,10 @@ struct StrategyConfig {
   /// Pure reactive: respond only to useful messages (REACTIVE == u*k).
   bool reactive_useful_only = false;
 
+  /// Field-wise equality (used by the tokend wire protocol round-trip
+  /// tests and by namespace reconfiguration idempotence checks).
+  friend bool operator==(const StrategyConfig&, const StrategyConfig&) = default;
+
   /// Compact label, e.g. "randomized A=5 C=10" (matches paper legends).
   std::string label() const;
 };

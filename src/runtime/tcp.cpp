@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -73,8 +74,55 @@ bool write_exact(int fd, const void* buf, std::size_t n) {
   return true;
 }
 
+/// Writes header + payload with one writev() syscall in the common case
+/// (falling back to write_exact for short writes). Frames are small, so
+/// the single syscall — not the copy — is what matters on the wire hot
+/// path: it halves the per-frame syscall count.
+bool write_frame(int fd, const std::uint8_t (&header)[8],
+                 const std::byte* payload, std::size_t len) {
+  iovec iov[2];
+  iov[0].iov_base = const_cast<std::uint8_t*>(header);
+  iov[0].iov_len = sizeof header;
+  iov[1].iov_base = const_cast<std::byte*>(payload);
+  iov[1].iov_len = len;
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = len > 0 ? 2 : 1;
+  const ssize_t put = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+  if (put < 0) return false;
+  std::size_t done = static_cast<std::size_t>(put);
+  const std::size_t total = sizeof header + len;
+  if (done == total) return true;
+  // Short write: finish byte-precise with the slow path.
+  if (done < sizeof header) {
+    if (!write_exact(fd, header + done, sizeof header - done)) return false;
+    done = sizeof header;
+  }
+  return write_exact(fd, payload + (done - sizeof header),
+                     len - (done - sizeof header));
+}
+
 constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity limit
 
+}  // namespace
+
+/// Send-side burst coalescing ("corking") for handler-issued replies.
+///
+/// While a read_loop thread is delivering a burst of buffered frames, any
+/// send() it performs on its own endpoint (a server answering requests, a
+/// pipelined client issuing follow-up calls from completion callbacks) is
+/// appended to this per-thread buffer instead of hitting the socket; the
+/// read loop flushes each peer's accumulated frames with one write before
+/// it blocks on the socket again. Under pipelining this turns N reply
+/// syscalls into one per recv burst; a burst of one frame flushes
+/// immediately, so request/response latency is unchanged.
+struct TcpCork {
+  void* owner = nullptr;  ///< the Endpoint whose read thread corks
+  std::map<NodeId, std::vector<std::uint8_t>> by_peer;  ///< framed bytes
+};
+
+namespace {
+thread_local TcpCork* tls_cork = nullptr;
 }  // namespace
 
 class TcpMesh::Endpoint final : public Transport {
@@ -119,15 +167,22 @@ class TcpMesh::Endpoint final : public Transport {
 
   void send(NodeId to, std::vector<std::byte> payload) override {
     if (stopping_.load()) return;
-    const int fd = connection_to(to);
-    if (fd < 0) return;  // unknown/dead peer: drop (best effort)
     std::uint8_t header[8];
     const auto len = static_cast<std::uint32_t>(payload.size());
     for (int i = 0; i < 4; ++i) header[i] = (len >> (8 * i)) & 0xFF;
     for (int i = 0; i < 4; ++i) header[4 + i] = (id_ >> (8 * i)) & 0xFF;
+    if (tls_cork != nullptr && tls_cork->owner == this) {
+      // Issued from this endpoint's own read thread mid-burst: coalesce.
+      std::vector<std::uint8_t>& buf = tls_cork->by_peer[to];
+      buf.insert(buf.end(), header, header + sizeof header);
+      const auto* p = reinterpret_cast<const std::uint8_t*>(payload.data());
+      buf.insert(buf.end(), p, p + payload.size());
+      return;
+    }
+    const int fd = connection_to(to);
+    if (fd < 0) return;  // unknown/dead peer: drop (best effort)
     std::lock_guard lock(send_mutex_);
-    if (!write_exact(fd, header, sizeof header) ||
-        !write_exact(fd, payload.data(), payload.size())) {
+    if (!write_frame(fd, header, payload.data(), payload.size())) {
       drop_connection(to);
     }
   }
@@ -177,22 +232,85 @@ class TcpMesh::Endpoint final : public Transport {
     }
   }
 
+  /// Writes each peer's corked frames with one syscall and empties the
+  /// buffers. Called by the read thread whenever it is about to block.
+  void flush_cork(TcpCork& cork) {
+    for (auto& [peer, bytes] : cork.by_peer) {
+      if (bytes.empty()) continue;
+      const int fd = connection_to(peer);
+      if (fd >= 0) {
+        std::lock_guard lock(send_mutex_);
+        if (!write_exact(fd, bytes.data(), bytes.size()))
+          drop_connection(peer);
+      }
+      bytes.clear();
+    }
+  }
+
+  /// RAII scope installing this thread's cork for `owner`'s read loop.
+  struct CorkScope {
+    Endpoint* endpoint;
+    TcpCork cork;
+    explicit CorkScope(Endpoint* ep) : endpoint(ep) {
+      cork.owner = ep;
+      tls_cork = &cork;
+    }
+    ~CorkScope() {
+      tls_cork = nullptr;
+      endpoint->flush_cork(cork);  // backstop: never strand buffered frames
+    }
+  };
+
   void read_loop(int fd) {
+    // Buffered framing: one recv() pulls whatever the kernel has queued —
+    // under pipelining that is dozens of frames — and the parse loop
+    // delivers them all without touching the socket again. Handler sends
+    // issued during the burst are corked and leave as one write per peer
+    // when the burst ends: the send-side half of the pipelined fast path.
+    CorkScope cork_scope(this);
+    std::vector<std::uint8_t> buf(64 * 1024);
+    std::size_t have = 0;  // valid bytes at buf[0..have)
     for (;;) {
-      std::uint8_t header[8];
-      if (!read_exact(fd, header, sizeof header)) break;
-      std::uint32_t len = 0, from = 0;
-      for (int i = 0; i < 4; ++i)
-        len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
-      for (int i = 0; i < 4; ++i)
-        from |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
-      if (len > kMaxFrame) break;  // corrupt stream
-      std::vector<std::byte> payload(len);
-      if (len > 0 && !read_exact(fd, payload.data(), len)) break;
-      // Deliver under a shared lock: readers stay concurrent with each
-      // other, but set_handler's exclusive lock waits them out.
-      std::shared_lock lock(handler_mutex_);
-      if (handler_ && !stopping_.load()) handler_(from, std::move(payload));
+      std::size_t used = 0;
+      while (have - used >= 8) {
+        const std::uint8_t* header = buf.data() + used;
+        std::uint32_t len = 0, from = 0;
+        for (int i = 0; i < 4; ++i)
+          len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+        for (int i = 0; i < 4; ++i)
+          from |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
+        if (len > kMaxFrame) return;  // corrupt stream
+        std::vector<std::byte> payload(len);
+        if (have - used - 8 >= len) {
+          // Frame fully buffered: deliver straight out of the buffer.
+          std::memcpy(payload.data(), buf.data() + used + 8, len);
+          used += 8 + len;
+        } else {
+          // Header buffered but the body still (partly) on the wire: copy
+          // what is here, flush anything corked (the tail read may block),
+          // then finish byte-precise.
+          const std::size_t got = have - used - 8;
+          std::memcpy(payload.data(), buf.data() + used + 8, got);
+          flush_cork(cork_scope.cork);
+          if (!read_exact(fd, payload.data() + got, len - got)) return;
+          used = have;
+        }
+        // Deliver under a shared lock: readers stay concurrent with each
+        // other, but set_handler's exclusive lock waits them out.
+        std::shared_lock lock(handler_mutex_);
+        if (handler_ && !stopping_.load()) handler_(from, std::move(payload));
+      }
+      // Compact the partial header (at most 7 bytes) to the front.
+      if (used > 0) {
+        std::memmove(buf.data(), buf.data() + used, have - used);
+        have -= used;
+      }
+      // The burst is parsed; replies leave (one write per peer) before
+      // this thread blocks on the socket again.
+      flush_cork(cork_scope.cork);
+      const ssize_t got = ::recv(fd, buf.data() + have, buf.size() - have, 0);
+      if (got <= 0) return;  // EOF or error: connection is done
+      have += static_cast<std::size_t>(got);
     }
   }
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <chrono>
 #include <sstream>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -22,35 +23,51 @@ void CoarseClock::advance(TimeUs dt) {
   advance_to(now_.load(std::memory_order_relaxed) + dt);
 }
 
-AccountTable::AccountTable(ServiceConfig config)
-    : config_(std::move(config)), strategy_(core::make_strategy(config_.strategy)) {
-  TOKA_CHECK_MSG(config_.delta_us > 0,
-                 "token period must be positive, got " << config_.delta_us);
+std::shared_ptr<const AccountTable::Namespace> AccountTable::make_namespace(
+    NamespaceId ns, const NamespaceConfig& config) {
+  TOKA_CHECK_MSG(config.delta_us > 0,
+                 "namespace " << ns << ": token period must be positive, got "
+                              << config.delta_us);
+  TOKA_CHECK_MSG(config.idle_ttl_us >= 0,
+                 "namespace " << ns << ": idle TTL must be non-negative, got "
+                              << config.idle_ttl_us);
+  auto out = std::make_shared<Namespace>();
+  out->id = ns;
+  out->config = config;
+  out->strategy = core::make_strategy(config.strategy);
   // The effective balance cap: the framework capacity for the paper's
   // strategies, the bucket size for the classic token bucket (whose
   // framework capacity is unbounded — the account's bucket_cap enforces
   // the bound instead, as in the simulator).
-  if (config_.strategy.kind == core::StrategyKind::kTokenBucket) {
-    capacity_ = config_.strategy.c_param;
-    bucket_cap_ = config_.strategy.c_param;
+  if (config.strategy.kind == core::StrategyKind::kTokenBucket) {
+    out->capacity = config.strategy.c_param;
+    out->bucket_cap = config.strategy.c_param;
   } else {
-    capacity_ = strategy_->capacity();
-    bucket_cap_ = 0;
+    out->capacity = out->strategy->capacity();
+    out->bucket_cap = 0;
   }
-  TOKA_CHECK_MSG(capacity_ != core::kUnboundedCapacity,
-                 "the service requires a bounded-capacity strategy; "
-                     << strategy_->name() << " has unbounded bursts");
-  TOKA_CHECK_MSG(config_.initial_tokens >= 0 &&
-                     config_.initial_tokens <= capacity_,
-                 "initial balance " << config_.initial_tokens
-                                    << " outside [0, C=" << capacity_ << "]");
-  TOKA_CHECK_MSG(config_.idle_ttl_us >= 0,
-                 "idle TTL must be non-negative, got " << config_.idle_ttl_us);
-  catchup_limit_ = config_.max_catchup_ticks > 0
-                       ? config_.max_catchup_ticks
-                       : std::max<Tokens>(2 * capacity_, 16);
+  TOKA_CHECK_MSG(out->capacity != core::kUnboundedCapacity,
+                 "namespace " << ns
+                              << ": the service requires a bounded-capacity "
+                                 "strategy; "
+                              << out->strategy->name()
+                              << " has unbounded bursts");
+  TOKA_CHECK_MSG(
+      config.initial_tokens >= 0 && config.initial_tokens <= out->capacity,
+      "namespace " << ns << ": initial balance " << config.initial_tokens
+                   << " outside [0, C=" << out->capacity << "]");
+  out->catchup_limit = config.max_catchup_ticks > 0
+                           ? config.max_catchup_ticks
+                           : std::max<Tokens>(2 * out->capacity, 16);
+  return out;
+}
 
-  const std::size_t shards = std::bit_ceil(std::max<std::size_t>(config_.shards, 1));
+AccountTable::AccountTable(ServiceConfig config) : config_(std::move(config)) {
+  namespaces_.emplace(kDefaultNamespace,
+                      make_namespace(kDefaultNamespace,
+                                     config_.default_namespace()));
+  const std::size_t shards =
+      std::bit_ceil(std::max<std::size_t>(config_.shards, 1));
   shard_mask_ = shards - 1;
   util::Rng seeder(config_.seed);
   shards_.reserve(shards);
@@ -61,104 +78,218 @@ AccountTable::AccountTable(ServiceConfig config)
   }
 }
 
-std::size_t AccountTable::shard_index(std::uint64_t key) const {
+bool AccountTable::configure_namespace(NamespaceId ns,
+                                       const NamespaceConfig& config) {
+  auto fresh = make_namespace(ns, config);  // validates before any mutation
+  bool created;
+  {
+    std::unique_lock lock(ns_mu_);
+    auto [it, inserted] = namespaces_.try_emplace(ns, fresh);
+    created = inserted;
+    if (!inserted) it->second = std::move(fresh);
+  }
+  // Reset semantics on replace: drop the namespace's accounts so every key
+  // restarts under the new policy from the initial balance (under-grants
+  // only). Requests racing the reset may briefly finish under the old
+  // policy — their entries hold the old Namespace alive — and are swept on
+  // the next reconfigure or TTL eviction.
+  if (!created) purge_namespace(ns);
+  return created;
+}
+
+void AccountTable::purge_namespace(NamespaceId ns) {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    const std::size_t removed = std::erase_if(
+        shard->accounts,
+        [&](const auto& kv) { return kv.first.ns == ns; });
+    stats_for(*shard, ns).accounts_evicted += removed;
+  }
+}
+
+bool AccountTable::has_namespace(NamespaceId ns) const {
+  std::shared_lock lock(ns_mu_);
+  return namespaces_.contains(ns);
+}
+
+std::size_t AccountTable::namespace_count() const {
+  std::shared_lock lock(ns_mu_);
+  return namespaces_.size();
+}
+
+std::optional<NamespaceInfo> AccountTable::namespace_info(
+    NamespaceId ns) const {
+  std::shared_ptr<const Namespace> nsp;
+  {
+    std::shared_lock lock(ns_mu_);
+    auto it = namespaces_.find(ns);
+    if (it == namespaces_.end()) return std::nullopt;
+    nsp = it->second;
+  }
+  NamespaceInfo info;
+  info.config = nsp->config;
+  info.capacity = nsp->capacity;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    for (const auto& [key, entry] : shard->accounts) {
+      if (key.ns == ns) ++info.accounts;
+    }
+  }
+  return info;
+}
+
+TimeUs AccountTable::min_idle_ttl_us() const {
+  std::shared_lock lock(ns_mu_);
+  TimeUs min_ttl = 0;
+  for (const auto& [id, nsp] : namespaces_) {
+    const TimeUs ttl = nsp->config.idle_ttl_us;
+    if (ttl > 0 && (min_ttl == 0 || ttl < min_ttl)) min_ttl = ttl;
+  }
+  return min_ttl;
+}
+
+Tokens AccountTable::capacity_bound(NamespaceId ns) const {
+  return resolve(ns)->capacity;
+}
+
+std::shared_ptr<const AccountTable::Namespace> AccountTable::resolve(
+    NamespaceId ns) const {
+  std::shared_lock lock(ns_mu_);
+  auto it = namespaces_.find(ns);
+  TOKA_CHECK_MSG(it != namespaces_.end(),
+                 "unknown namespace " << ns
+                                      << " (the server answers typed errors; "
+                                         "direct callers must create it first)");
+  return it->second;
+}
+
+TableStats& AccountTable::stats_for(Shard& shard, NamespaceId ns) {
+  // One-slot cache: unordered_map values are node-stable, so the pointer
+  // survives later insertions for other namespaces.
+  if (shard.cached_stats != nullptr && shard.cached_ns == ns)
+    return *shard.cached_stats;
+  TableStats& stats = shard.stats[ns];
+  shard.cached_ns = ns;
+  shard.cached_stats = &stats;
+  return stats;
+}
+
+std::size_t AccountTable::shard_index(NamespaceId ns, std::uint64_t key) const {
   // splitmix64 finalizer: keys are caller-controlled, so the shard index
-  // must not depend on low-entropy low bits.
-  std::uint64_t state = key;
+  // must not depend on low-entropy low bits. The namespace is folded in so
+  // the same key in two namespaces lands on (usually) different shards.
+  std::uint64_t state = fold_key(ns, key);
   return static_cast<std::size_t>(util::splitmix64(state)) & shard_mask_;
 }
 
-AccountTable::Shard& AccountTable::shard_for(std::uint64_t key) {
-  return *shards_[shard_index(key)];
+AccountTable::Shard& AccountTable::shard_for(NamespaceId ns,
+                                             std::uint64_t key) {
+  return *shards_[shard_index(ns, key)];
 }
 
-AccountTable::Entry& AccountTable::find_or_create(Shard& shard,
-                                                  std::uint64_t key,
-                                                  std::int64_t tick,
-                                                  TimeUs now) {
-  auto it = shard.accounts.find(key);
+AccountTable::Entry& AccountTable::find_or_create(
+    Shard& shard, const std::shared_ptr<const Namespace>& ns,
+    std::uint64_t key, std::int64_t tick, TimeUs now) {
+  const AccountKey account_key{ns->id, key};
+  auto it = shard.accounts.find(account_key);
   if (it == shard.accounts.end()) {
-    Entry entry{core::TokenAccount(*strategy_, config_.initial_tokens,
+    Entry entry{core::TokenAccount(*ns->strategy, ns->config.initial_tokens,
                                    /*allow_overdraft=*/false,
                                    core::RoundingMode::kRandomized,
-                                   bucket_cap_),
-                tick, now, nullptr};
-    if (config_.audit) {
+                                   ns->bucket_cap),
+                ns, tick, now, nullptr};
+    if (ns->config.audit) {
       entry.auditor = std::make_unique<core::RateLimitAuditor>(
-          config_.delta_us, capacity_);
+          ns->config.delta_us, ns->capacity);
     }
-    it = shard.accounts.emplace(key, std::move(entry)).first;
-    ++shard.stats.accounts_created;
+    it = shard.accounts.emplace(account_key, std::move(entry)).first;
+    ++stats_for(shard, ns->id).accounts_created;
   }
   return it->second;
 }
 
-void AccountTable::settle(Shard& shard, Entry& entry, std::int64_t tick,
-                          TimeUs now) {
+void AccountTable::settle(Shard& shard, Entry& entry, TimeUs now) {
+  // The tick index comes from the *entry's own* namespace snapshot: an
+  // entry surviving a racing reconfigure has a last_tick recorded under
+  // the old Δ, and dividing `now` by the new Δ would fabricate (or eat)
+  // elapsed ticks — a shrunk Δ would instantly refill the account past
+  // what real time banked, breaking the "reset only under-grants" rule.
+  const std::int64_t tick = now / entry.ns->config.delta_us;
   const std::int64_t due = tick - entry.last_tick;
   if (due > 0) {
-    const std::int64_t apply = std::min<std::int64_t>(due, catchup_limit_);
-    shard.stats.ticks_forfeited += static_cast<std::uint64_t>(due - apply);
+    const std::int64_t apply =
+        std::min<std::int64_t>(due, entry.ns->catchup_limit);
+    TableStats& stats = stats_for(shard, entry.ns->id);
+    stats.ticks_forfeited += static_cast<std::uint64_t>(due - apply);
     for (std::int64_t i = 0; i < apply; ++i) {
       // A proactive decision has no message to pay for here: the period's
       // token is dropped (never banked), exactly like the simulator's
       // no-online-peer rule, preserving balance <= C and with it §3.4.
-      if (entry.account.on_tick(shard.rng)) ++shard.stats.proactive_dropped;
+      if (entry.account.on_tick(shard.rng)) ++stats.proactive_dropped;
     }
     entry.last_tick = tick;
   }
   entry.last_access_us = now;
 }
 
-AcquireResult AccountTable::acquire_locked(Shard& shard, std::uint64_t key,
-                                           Tokens n, std::int64_t tick,
-                                           TimeUs now) {
+AcquireResult AccountTable::acquire_locked(
+    Shard& shard, const std::shared_ptr<const Namespace>& ns,
+    std::uint64_t key, Tokens n, std::int64_t tick, TimeUs now) {
   TOKA_CHECK_MSG(n >= 0, "acquire requires n >= 0, got " << n);
-  Entry& entry = find_or_create(shard, key, tick, now);
-  settle(shard, entry, tick, now);
+  Entry& entry = find_or_create(shard, ns, key, tick, now);
+  settle(shard, entry, now);
   const Tokens granted = entry.account.try_spend(n);
-  ++shard.stats.acquires;
-  shard.stats.tokens_requested += static_cast<std::uint64_t>(n);
-  shard.stats.tokens_granted += static_cast<std::uint64_t>(granted);
+  TableStats& stats = stats_for(shard, ns->id);
+  ++stats.acquires;
+  stats.tokens_requested += static_cast<std::uint64_t>(n);
+  stats.tokens_granted += static_cast<std::uint64_t>(granted);
   if (entry.auditor) {
     for (Tokens i = 0; i < granted; ++i) entry.auditor->record(now);
   }
   return AcquireResult{granted, entry.account.balance()};
 }
 
-AcquireResult AccountTable::acquire(std::uint64_t key, Tokens n) {
-  Shard& shard = shard_for(key);
+AcquireResult AccountTable::acquire(NamespaceId ns, std::uint64_t key,
+                                    Tokens n) {
+  // Resolve the namespace once: strategy, Δ (the clock divisor) and
+  // capacity all come out of this one registry lookup.
+  const std::shared_ptr<const Namespace> nsp = resolve(ns);
+  Shard& shard = shard_for(ns, key);
   std::lock_guard lock(shard.mu);
   // Read the clock only while holding the shard lock: lock ordering plus
   // atomic read coherence then guarantee non-decreasing times per account,
   // which settle()'s bookkeeping and the auditor's record() rely on.
   const TimeUs now = clock_.now_us();
-  const std::int64_t tick = now / config_.delta_us;
-  return acquire_locked(shard, key, n, tick, now);
+  const std::int64_t tick = now / nsp->config.delta_us;
+  return acquire_locked(shard, nsp, key, n, tick, now);
 }
 
-RefundResult AccountTable::refund(std::uint64_t key, Tokens n) {
+RefundResult AccountTable::refund(NamespaceId ns, std::uint64_t key,
+                                  Tokens n) {
   TOKA_CHECK_MSG(n >= 0, "refund requires n >= 0, got " << n);
-  Shard& shard = shard_for(key);
+  resolve(ns);  // reject unknown namespaces before touching the shard
+  Shard& shard = shard_for(ns, key);
   std::lock_guard lock(shard.mu);
   const TimeUs now = clock_.now_us();
-  const std::int64_t tick = now / config_.delta_us;
-  ++shard.stats.refunds;
-  auto it = shard.accounts.find(key);
+  TableStats& stats = stats_for(shard, ns);
+  ++stats.refunds;
+  auto it = shard.accounts.find(AccountKey{ns, key});
   if (it == shard.accounts.end()) {
     // Unknown or already-evicted account: the refund is dropped. Creating
     // an account here would let arbitrary keys mint balance from thin air.
-    shard.stats.tokens_refund_dropped += static_cast<std::uint64_t>(n);
+    stats.tokens_refund_dropped += static_cast<std::uint64_t>(n);
     return RefundResult{0, 0};
   }
   Entry& entry = it->second;
-  settle(shard, entry, tick, now);
+  settle(shard, entry, now);
   // Cap at the capacity headroom: ticks banked since the acquire may have
   // refilled the balance, and a late refund must not push it past C (that
   // would mint burst allowance past the §3.4 bound). refund_spend further
-  // caps at the spends still outstanding.
+  // caps at the spends still outstanding. The caps come from the entry's
+  // own namespace snapshot, so accounts racing a reconfigure stay within
+  // the policy they were created under.
   const Tokens headroom =
-      std::max<Tokens>(capacity_ - entry.account.balance(), 0);
+      std::max<Tokens>(entry.ns->capacity - entry.account.balance(), 0);
   const Tokens accepted = entry.account.refund_spend(std::min(n, headroom));
   if (entry.auditor) {
     // The returned tokens' admissions never happened: strike them from the
@@ -166,25 +297,26 @@ RefundResult AccountTable::refund(std::uint64_t key, Tokens n) {
     // <= outstanding spends == recorded sends, so retract cannot underflow.
     entry.auditor->retract(static_cast<std::size_t>(accepted));
   }
-  shard.stats.tokens_refunded += static_cast<std::uint64_t>(accepted);
-  shard.stats.tokens_refund_dropped += static_cast<std::uint64_t>(n - accepted);
+  stats.tokens_refunded += static_cast<std::uint64_t>(accepted);
+  stats.tokens_refund_dropped += static_cast<std::uint64_t>(n - accepted);
   return RefundResult{accepted, entry.account.balance()};
 }
 
-QueryResult AccountTable::query(std::uint64_t key) {
-  Shard& shard = shard_for(key);
+QueryResult AccountTable::query(NamespaceId ns, std::uint64_t key) {
+  resolve(ns);  // reject unknown namespaces before touching the shard
+  Shard& shard = shard_for(ns, key);
   std::lock_guard lock(shard.mu);
   const TimeUs now = clock_.now_us();
-  const std::int64_t tick = now / config_.delta_us;
-  ++shard.stats.queries;
-  auto it = shard.accounts.find(key);
+  ++stats_for(shard, ns).queries;
+  auto it = shard.accounts.find(AccountKey{ns, key});
   if (it == shard.accounts.end()) return QueryResult{0, false};
-  settle(shard, it->second, tick, now);
+  settle(shard, it->second, now);
   return QueryResult{it->second.account.balance(), true};
 }
 
 std::vector<AcquireResult> AccountTable::acquire_batch(
-    std::span<const AcquireOp> ops) {
+    NamespaceId ns, std::span<const AcquireOp> ops) {
+  const std::shared_ptr<const Namespace> nsp = resolve(ns);
   std::vector<AcquireResult> results(ops.size());
   // Order ops by shard so each touched shard is locked exactly once per
   // batch; within a shard the original op order is preserved (stable sort
@@ -192,7 +324,7 @@ std::vector<AcquireResult> AccountTable::acquire_batch(
   std::vector<std::pair<std::uint32_t, std::uint32_t>> order;  // (shard, op)
   order.reserve(ops.size());
   for (std::size_t i = 0; i < ops.size(); ++i) {
-    order.emplace_back(static_cast<std::uint32_t>(shard_index(ops[i].key)),
+    order.emplace_back(static_cast<std::uint32_t>(shard_index(ns, ops[i].key)),
                        static_cast<std::uint32_t>(i));
   }
   std::stable_sort(order.begin(), order.end(),
@@ -205,28 +337,34 @@ std::vector<AcquireResult> AccountTable::acquire_batch(
     // Clock read under the shard lock, as in acquire(): keeps per-account
     // times non-decreasing across concurrent batches.
     const TimeUs now = clock_.now_us();
-    const std::int64_t tick = now / config_.delta_us;
+    const std::int64_t tick = now / nsp->config.delta_us;
     for (; i < order.size() && order[i].first == shard_idx; ++i) {
       const AcquireOp& op = ops[order[i].second];
       results[order[i].second] =
-          acquire_locked(shard, op.key, op.tokens, tick, now);
+          acquire_locked(shard, nsp, op.key, op.tokens, tick, now);
     }
   }
   return results;
 }
 
 std::size_t AccountTable::evict_idle() {
-  if (config_.idle_ttl_us == 0) return 0;
+  if (min_idle_ttl_us() == 0) return 0;
   const TimeUs now = clock_.now_us();
   std::size_t evicted = 0;
   for (auto& shard : shards_) {
     std::lock_guard lock(shard->mu);
-    const std::size_t removed = std::erase_if(
-        shard->accounts, [&](const auto& kv) {
-          return now - kv.second.last_access_us >= config_.idle_ttl_us;
-        });
-    shard->stats.accounts_evicted += removed;
-    evicted += removed;
+    std::size_t removed_here = 0;
+    for (auto it = shard->accounts.begin(); it != shard->accounts.end();) {
+      const TimeUs ttl = it->second.ns->config.idle_ttl_us;
+      if (ttl > 0 && now - it->second.last_access_us >= ttl) {
+        ++stats_for(*shard, it->first.ns).accounts_evicted;
+        it = shard->accounts.erase(it);
+        ++removed_here;
+      } else {
+        ++it;
+      }
+    }
+    evicted += removed_here;
   }
   return evicted;
 }
@@ -259,8 +397,21 @@ TableStats AccountTable::stats() const {
   TableStats out;
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mu);
-    out.merge(shard->stats);
+    for (const auto& [ns, stats] : shard->stats) out.merge(stats);
     out.accounts += shard->accounts.size();
+  }
+  return out;
+}
+
+TableStats AccountTable::stats(NamespaceId ns) const {
+  TableStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    auto it = shard->stats.find(ns);
+    if (it != shard->stats.end()) out.merge(it->second);
+    for (const auto& [key, entry] : shard->accounts) {
+      if (key.ns == ns) ++out.accounts;
+    }
   }
   return out;
 }
@@ -272,7 +423,7 @@ std::optional<std::string> AccountTable::audit_violation() const {
       if (!entry.auditor) continue;
       if (auto v = entry.auditor->first_violation()) {
         std::ostringstream os;
-        os << "key=" << key << ": " << v->describe();
+        os << "ns=" << key.ns << " key=" << key.key << ": " << v->describe();
         return os.str();
       }
     }
@@ -310,9 +461,7 @@ void ClockDriver::stop() {
 
 void ClockDriver::loop() {
   const auto epoch = std::chrono::steady_clock::now();
-  const TimeUs ttl = table_->config().idle_ttl_us;
-  const TimeUs evict_every = ttl > 0 ? std::max(ttl / 4, resolution_us_) : 0;
-  TimeUs next_evict = evict_every;
+  TimeUs next_evict = 0;
   std::unique_lock lock(mu_);
   while (!stop_requested_) {
     cv_.wait_for(lock, std::chrono::microseconds(resolution_us_),
@@ -322,11 +471,14 @@ void ClockDriver::loop() {
                                std::chrono::steady_clock::now() - epoch)
                                .count();
     table_->clock().advance_to(elapsed);
-    if (evict_every > 0 && elapsed >= next_evict) {
+    // The min TTL is re-read every tick: namespaces created at runtime with
+    // a TTL start getting sweeps without a driver restart.
+    const TimeUs ttl = table_->min_idle_ttl_us();
+    if (ttl > 0 && elapsed >= next_evict) {
       lock.unlock();  // sweeps take shard locks; don't hold ours across them
       table_->evict_idle();
       lock.lock();
-      next_evict = elapsed + evict_every;
+      next_evict = elapsed + std::max(ttl / 4, resolution_us_);
     }
   }
 }

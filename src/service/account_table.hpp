@@ -1,25 +1,35 @@
 // tokend's in-memory store: millions of token accounts behind striped locks.
 //
-// The table maps opaque 64-bit keys (users, API tokens, flows) to
-// core::TokenAccount instances backed by one shared core::Strategy. Keys are
-// hash-partitioned over N shards (N rounded up to a power of two); each
-// shard owns its accounts behind its own mutex, so concurrent requests for
-// different shards never contend and a shard critical section is a handful
-// of arithmetic operations.
+// The table maps (namespace, key) pairs to core::TokenAccount instances.
+// A *namespace* is a runtime-configurable policy domain (a tenant, an API
+// class, a flow group): it owns its own core::StrategyConfig, token period
+// Δ, initial balance, idle TTL and audit switch, so one tokend instance can
+// rate-limit many traffic classes with different disciplines at once.
+// Namespace 0 always exists (built from ServiceConfig); others are created
+// or reset at runtime through configure_namespace() (the protocol v2 admin
+// path). Namespaces are never deleted — reconfiguring one drops its
+// accounts, which only under-grants (a re-created account restarts from the
+// initial balance), never over-grants.
+//
+// Keys are hash-partitioned over N shards (N rounded up to a power of two);
+// each shard owns its accounts behind its own mutex, so concurrent requests
+// for different shards never contend and a shard critical section is a
+// handful of arithmetic operations. The namespace registry is read-mostly
+// (std::shared_mutex): a request resolves its namespace exactly once —
+// strategy, clock divisor Δ and capacity come out of that one lookup — and
+// then works lock-free against the resolved snapshot.
 //
 // Token granting is *lazy*, driven by a coarse shared clock instead of a
 // timer per account: every account remembers the tick index it last settled
 // at, and any access first replays the elapsed ticks through
-// TokenAccount::on_tick (capped — see ServiceConfig::max_catchup_ticks).
+// TokenAccount::on_tick (capped — see NamespaceConfig::max_catchup_ticks).
 // A proactive decision during replay has no message to pay for in an
 // admission-control service, so the period's token is dropped, mirroring
 // the simulator's "drop the token when no peer is online" rule that keeps
 // the §3.4 burst bound intact (see DESIGN.md, "The tokend service layer").
 //
-// Accounts idle longer than ServiceConfig::idle_ttl_us are evicted by
-// evict_idle() sweeps (the daemon's ClockDriver runs them periodically);
-// a re-created account restarts from the initial balance, which only
-// under-grants, never over-grants.
+// Accounts idle longer than their namespace's idle_ttl_us are evicted by
+// evict_idle() sweeps (the daemon's ClockDriver runs them periodically).
 #pragma once
 
 #include <atomic>
@@ -28,6 +38,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -42,10 +53,17 @@
 
 namespace toka::service {
 
+/// Identifier of a policy namespace. Dense ids are not required; the id is
+/// an opaque 32-bit handle chosen by the operator.
+using NamespaceId = std::uint32_t;
+
+/// The namespace every v1 frame (and every namespace-less call) targets.
+inline constexpr NamespaceId kDefaultNamespace = 0;
+
 /// The service time source: microseconds since the table's epoch, advanced
 /// monotonically by one writer (the ClockDriver or a test) and read by
 /// every request thread. Deliberately coarse — accounts settle against the
-/// tick index now_us()/delta, so sub-period precision is never needed.
+/// tick index now_us()/Δ, so sub-period precision is never needed.
 class CoarseClock {
  public:
   TimeUs now_us() const { return now_.load(std::memory_order_relaxed); }
@@ -61,26 +79,22 @@ class CoarseClock {
   std::atomic<TimeUs> now_{0};
 };
 
-/// Configuration for an AccountTable / tokend instance.
-struct ServiceConfig {
-  /// Number of lock stripes; rounded up to a power of two. More shards
-  /// mean less contention but a bigger fixed footprint; 64-256 covers a
-  /// large multicore comfortably.
-  std::size_t shards = 64;
+/// Per-namespace policy: everything that can differ between traffic
+/// classes. Travels over the wire in ConfigureNamespace/NamespaceInfo
+/// frames, so keep it plain data.
+struct NamespaceConfig {
+  /// Strategy backing every account of the namespace. Must have bounded
+  /// effective capacity: any paper strategy or the classic token bucket
+  /// works, the pure reactive reference (unbounded burst) is rejected.
+  core::StrategyConfig strategy{};
   /// Token period Δ: every account earns one token decision per delta_us.
   TimeUs delta_us = 100'000;
-  /// Strategy backing every account. Must have bounded effective capacity:
-  /// any paper strategy or the classic token bucket works, the pure
-  /// reactive reference (unbounded burst) is rejected.
-  core::StrategyConfig strategy{};
   /// Starting balance of a freshly created (or re-created) account.
   /// Must not exceed the effective capacity.
   Tokens initial_tokens = 0;
   /// Accounts untouched for this long are eligible for evict_idle();
-  /// 0 disables eviction.
+  /// 0 disables eviction for the namespace.
   TimeUs idle_ttl_us = 0;
-  /// Seeds the per-shard RNG streams (tick decisions, randomized rounding).
-  std::uint64_t seed = 1;
   /// Replay cap for lazy granting: an access settles at most this many
   /// elapsed ticks (0 = auto: 2*capacity, at least 16). Ticks beyond the
   /// cap are forfeited — conservative, an idle account's balance has
@@ -90,6 +104,40 @@ struct ServiceConfig {
   /// each granted token, so audit_violation() can verify the §3.4 burst
   /// bound end-to-end. O(sends²) memory/time per account — tests only.
   bool audit = false;
+
+  friend bool operator==(const NamespaceConfig&,
+                         const NamespaceConfig&) = default;
+};
+
+/// Configuration for an AccountTable / tokend instance: the table-wide
+/// knobs plus the default namespace's policy (kept as flat fields so
+/// pre-namespace call sites construct it unchanged).
+struct ServiceConfig {
+  /// Number of lock stripes; rounded up to a power of two. More shards
+  /// mean less contention but a bigger fixed footprint; 64-256 covers a
+  /// large multicore comfortably.
+  std::size_t shards = 64;
+  /// Default namespace: token period Δ.
+  TimeUs delta_us = 100'000;
+  /// Default namespace: strategy backing every account.
+  core::StrategyConfig strategy{};
+  /// Default namespace: starting balance of a fresh account.
+  Tokens initial_tokens = 0;
+  /// Default namespace: idle TTL (0 disables eviction).
+  TimeUs idle_ttl_us = 0;
+  /// Seeds the per-shard RNG streams (tick decisions, randomized rounding).
+  std::uint64_t seed = 1;
+  /// Default namespace: replay cap for lazy granting (0 = auto).
+  Tokens max_catchup_ticks = 0;
+  /// Default namespace: §3.4 audit switch (tests only).
+  bool audit = false;
+
+  /// The default namespace's policy as a NamespaceConfig.
+  NamespaceConfig default_namespace() const {
+    return NamespaceConfig{strategy,          delta_us,
+                           initial_tokens,    idle_ttl_us,
+                           max_catchup_ticks, audit};
+  }
 };
 
 /// One acquire request (also the wire/batch unit).
@@ -113,8 +161,8 @@ struct QueryResult {
   bool exists = false;  ///< false: no live account for the key (balance 0)
 };
 
-/// Service counters: kept per shard (under its lock) and summed into a
-/// snapshot by AccountTable::stats().
+/// Service counters: kept per (shard, namespace) under the shard lock and
+/// summed into a snapshot by AccountTable::stats().
 struct TableStats {
   std::uint64_t accounts = 0;           ///< live accounts right now
   std::uint64_t accounts_created = 0;
@@ -133,10 +181,18 @@ struct TableStats {
   void merge(const TableStats& other);
 };
 
+/// Admin-visible description of a live namespace.
+struct NamespaceInfo {
+  NamespaceConfig config;
+  Tokens capacity = 0;          ///< effective balance cap
+  std::uint64_t accounts = 0;   ///< live accounts in the namespace
+};
+
 class AccountTable {
  public:
-  /// Validates the config (bounded capacity, initial balance within it)
-  /// and builds the empty shards. Throws util::InvariantError on misuse.
+  /// Validates the config (bounded capacity, initial balance within it),
+  /// builds the empty shards and creates the default namespace. Throws
+  /// util::InvariantError on misuse.
   explicit AccountTable(ServiceConfig config);
 
   AccountTable(const AccountTable&) = delete;
@@ -145,83 +201,181 @@ class AccountTable {
   const ServiceConfig& config() const { return config_; }
   std::size_t shard_count() const { return shards_.size(); }
 
-  /// The effective balance cap: strategy capacity, or the bucket size for
-  /// the classic token bucket.
-  Tokens capacity_bound() const { return capacity_; }
+  /// The effective balance cap of the default namespace (resp. `ns`):
+  /// strategy capacity, or the bucket size for the classic token bucket.
+  Tokens capacity_bound() const { return capacity_bound(kDefaultNamespace); }
+  Tokens capacity_bound(NamespaceId ns) const;
 
   CoarseClock& clock() { return clock_; }
   const CoarseClock& clock() const { return clock_; }
 
+  // ------------------------------------------------------------ namespaces
+
+  /// Creates namespace `ns` with the given policy, or — if it already
+  /// exists — replaces its policy and *resets* it (all its accounts are
+  /// dropped; they restart from the initial balance on next contact, which
+  /// only under-grants). Returns true if the namespace was newly created.
+  /// Throws util::InvariantError on an invalid config (unbounded strategy,
+  /// initial balance above capacity, non-positive Δ, negative TTL).
+  bool configure_namespace(NamespaceId ns, const NamespaceConfig& config);
+
+  bool has_namespace(NamespaceId ns) const;
+  std::size_t namespace_count() const;
+
+  /// Policy, capacity and live-account count of `ns`, or nullopt if the
+  /// namespace does not exist. O(accounts) for the count — admin path.
+  std::optional<NamespaceInfo> namespace_info(NamespaceId ns) const;
+
+  /// Smallest positive idle TTL over all namespaces (0 if eviction is
+  /// disabled everywhere). The ClockDriver derives its sweep cadence here.
+  TimeUs min_idle_ttl_us() const;
+
+  // -------------------------------------------------------------- data ops
+  // The namespace-less overloads target kDefaultNamespace, so every
+  // pre-namespace call site keeps compiling and behaving unchanged.
+  // Ops on an unknown namespace throw util::InvariantError — the server
+  // checks has_namespace() first and answers a typed error instead.
+
   /// Tries to take `n` >= 0 tokens for `key`, creating the account on
   /// first contact. Grants min(n, balance) after settling elapsed ticks.
-  AcquireResult acquire(std::uint64_t key, Tokens n);
+  AcquireResult acquire(std::uint64_t key, Tokens n) {
+    return acquire(kDefaultNamespace, key, n);
+  }
+  AcquireResult acquire(NamespaceId ns, std::uint64_t key, Tokens n);
 
   /// Gives back up to `n` >= 0 previously granted tokens. The accepted
   /// amount is capped by what the account still has outstanding *and* by
-  /// the capacity headroom, so the balance never exceeds capacity_bound()
-  /// (late refunds cannot mint burst allowance; see DESIGN.md). Refunds to
-  /// unknown/evicted keys are dropped.
-  RefundResult refund(std::uint64_t key, Tokens n);
+  /// the capacity headroom, so the balance never exceeds the namespace's
+  /// capacity (late refunds cannot mint burst allowance; see DESIGN.md).
+  /// Refunds to unknown/evicted keys are dropped.
+  RefundResult refund(std::uint64_t key, Tokens n) {
+    return refund(kDefaultNamespace, key, n);
+  }
+  RefundResult refund(NamespaceId ns, std::uint64_t key, Tokens n);
 
   /// Reads the settled balance without creating an account.
-  QueryResult query(std::uint64_t key);
+  QueryResult query(std::uint64_t key) { return query(kDefaultNamespace, key); }
+  QueryResult query(NamespaceId ns, std::uint64_t key);
 
-  /// Executes `ops` with one lock acquisition per touched shard instead of
-  /// one per op; results are positionally aligned with `ops`.
-  std::vector<AcquireResult> acquire_batch(std::span<const AcquireOp> ops);
+  /// Executes `ops` (all against one namespace) with one lock acquisition
+  /// per touched shard instead of one per op; results are positionally
+  /// aligned with `ops`.
+  std::vector<AcquireResult> acquire_batch(std::span<const AcquireOp> ops) {
+    return acquire_batch(kDefaultNamespace, ops);
+  }
+  std::vector<AcquireResult> acquire_batch(NamespaceId ns,
+                                           std::span<const AcquireOp> ops);
 
-  /// Removes accounts idle for at least idle_ttl_us (no-op when the TTL is
-  /// 0). Locks one shard at a time. Returns the number evicted.
+  /// Removes accounts idle for at least their namespace's idle_ttl_us
+  /// (namespaces with TTL 0 are skipped). Locks one shard at a time.
+  /// Returns the number evicted.
   std::size_t evict_idle();
 
   std::size_t account_count() const;
-  TableStats stats() const;
 
-  /// When ServiceConfig::audit is on: checks every live account's grant
-  /// trace against the §3.4 bound; returns the first violation description
-  /// ("key=... : ...") or nullopt. Exhaustive — test-sized tables only.
+  /// All namespaces merged (resp. one namespace's slice).
+  TableStats stats() const;
+  TableStats stats(NamespaceId ns) const;
+
+  /// When a namespace's audit switch is on: checks every live account's
+  /// grant trace against the §3.4 bound; returns the first violation
+  /// description ("ns=... key=... : ...") or nullopt. Exhaustive —
+  /// test-sized tables only.
   std::optional<std::string> audit_violation() const;
 
  private:
+  /// Immutable runtime form of a namespace: the resolved strategy object
+  /// plus the derived caps. Shared between the registry and every entry of
+  /// the namespace, so a reset cannot pull the strategy out from under an
+  /// account that was created against the previous policy.
+  struct Namespace {
+    NamespaceId id = 0;
+    NamespaceConfig config;
+    std::unique_ptr<core::Strategy> strategy;
+    Tokens capacity = 0;       ///< effective balance cap
+    Tokens bucket_cap = 0;     ///< TokenAccount bucket cap (token bucket only)
+    Tokens catchup_limit = 0;  ///< resolved max_catchup_ticks
+  };
+
+  struct AccountKey {
+    NamespaceId ns = 0;
+    std::uint64_t key = 0;
+    friend bool operator==(const AccountKey&, const AccountKey&) = default;
+  };
+
+  /// Folds the namespace into the key — the one mixing rule behind both
+  /// the shard index and the per-shard hash, so they can never diverge.
+  static std::uint64_t fold_key(NamespaceId ns, std::uint64_t key) {
+    return key + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(ns) + 1);
+  }
+
+  struct AccountKeyHash {
+    std::size_t operator()(const AccountKey& k) const {
+      std::uint64_t state = fold_key(k.ns, k.key);
+      return static_cast<std::size_t>(util::splitmix64(state));
+    }
+  };
+
   struct Entry {
     core::TokenAccount account;
-    std::int64_t last_tick = 0;   ///< tick index last settled at
-    TimeUs last_access_us = 0;    ///< for TTL eviction
+    std::shared_ptr<const Namespace> ns;  ///< keeps the strategy alive
+    std::int64_t last_tick = 0;           ///< tick index last settled at
+    TimeUs last_access_us = 0;            ///< for TTL eviction
     std::unique_ptr<core::RateLimitAuditor> auditor;
   };
 
   /// Padded to a cache line so neighbouring shards' mutexes don't false-
-  /// share under contention. `stats.accounts` is unused per shard (the
-  /// live count is accounts.size()); everything else accumulates here.
+  /// share under contention. Stats are broken out per namespace (with a
+  /// one-slot cache so the hot path pays one hash lookup only on namespace
+  /// switches); `stats.accounts` is unused per shard (the live count is
+  /// accounts.size()).
   struct alignas(64) Shard {
     mutable std::mutex mu;
-    std::unordered_map<std::uint64_t, Entry> accounts;
+    std::unordered_map<AccountKey, Entry, AccountKeyHash> accounts;
     util::Rng rng{0};
-    TableStats stats;
+    std::unordered_map<NamespaceId, TableStats> stats;
+    NamespaceId cached_ns = 0;
+    TableStats* cached_stats = nullptr;
   };
 
-  Shard& shard_for(std::uint64_t key);
-  std::size_t shard_index(std::uint64_t key) const;
-  Entry& find_or_create(Shard& shard, std::uint64_t key, std::int64_t tick,
-                        TimeUs now);
-  /// Replays elapsed ticks up to the cap; updates last_tick/last_access.
-  void settle(Shard& shard, Entry& entry, std::int64_t tick, TimeUs now);
-  AcquireResult acquire_locked(Shard& shard, std::uint64_t key, Tokens n,
-                               std::int64_t tick, TimeUs now);
+  /// Builds and validates the runtime namespace object (throws
+  /// util::InvariantError on an invalid policy).
+  static std::shared_ptr<const Namespace> make_namespace(
+      NamespaceId ns, const NamespaceConfig& config);
+
+  /// One registry lookup per request; throws util::InvariantError on an
+  /// unknown namespace.
+  std::shared_ptr<const Namespace> resolve(NamespaceId ns) const;
+
+  static TableStats& stats_for(Shard& shard, NamespaceId ns);
+  std::size_t shard_index(NamespaceId ns, std::uint64_t key) const;
+  Shard& shard_for(NamespaceId ns, std::uint64_t key);
+  Entry& find_or_create(Shard& shard,
+                        const std::shared_ptr<const Namespace>& ns,
+                        std::uint64_t key, std::int64_t tick, TimeUs now);
+  /// Replays elapsed ticks up to the cap (tick index derived from the
+  /// entry's own namespace Δ); updates last_tick/last_access.
+  void settle(Shard& shard, Entry& entry, TimeUs now);
+  AcquireResult acquire_locked(Shard& shard,
+                               const std::shared_ptr<const Namespace>& ns,
+                               std::uint64_t key, Tokens n, std::int64_t tick,
+                               TimeUs now);
+  /// Drops every account of `ns` (reset on reconfigure).
+  void purge_namespace(NamespaceId ns);
 
   ServiceConfig config_;
-  std::unique_ptr<core::Strategy> strategy_;
-  Tokens capacity_;        ///< effective balance cap
-  Tokens bucket_cap_;      ///< TokenAccount bucket cap (token bucket only)
-  Tokens catchup_limit_;   ///< resolved max_catchup_ticks
   CoarseClock clock_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::uint64_t shard_mask_;
+  std::uint64_t shard_mask_ = 0;
+
+  mutable std::shared_mutex ns_mu_;
+  std::unordered_map<NamespaceId, std::shared_ptr<const Namespace>> namespaces_;
 };
 
 /// Wall-clock driver for a live tokend: a background thread that advances
 /// the table's CoarseClock to the elapsed wall time every `resolution_us`
-/// and runs idle-account eviction sweeps every TTL/4 (when a TTL is set).
+/// and runs idle-account eviction sweeps every min-TTL/4 (re-checked every
+/// tick, so namespaces configured at runtime get their sweeps too).
 class ClockDriver {
  public:
   explicit ClockDriver(AccountTable& table, TimeUs resolution_us = 1'000);

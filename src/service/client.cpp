@@ -1,22 +1,147 @@
 #include "service/client.hpp"
 
-#include <chrono>
+#include <algorithm>
+#include <memory>
+#include <string>
 #include <utility>
 
 #include "util/error.hpp"
 
 namespace toka::service {
 
+namespace {
+
+/// Wraps a typed user callback into the type-erased Completion: unpacks
+/// the expected response alternative, turns ErrorResponse frames into
+/// protocol::RpcError, and maps the wire message to the caller's result.
+template <typename RespT, typename ResultT, typename Map>
+std::function<void(protocol::Response, std::exception_ptr)> make_completion(
+    Client::Callback<ResultT> done, const char* what, Map map) {
+  return [done = std::move(done), what, map = std::move(map)](
+             protocol::Response response, std::exception_ptr error) {
+    if (error) {
+      done(ResultT{}, std::move(error));
+      return;
+    }
+    if (const auto* err = std::get_if<protocol::ErrorResponse>(&response)) {
+      done(ResultT{},
+           std::make_exception_ptr(protocol::RpcError(
+               err->code, std::string("tokend: server rejected ") + what +
+                              ": " + protocol::to_string(err->code))));
+      return;
+    }
+    RespT* msg = std::get_if<RespT>(&response);
+    if (msg == nullptr) {
+      done(ResultT{}, std::make_exception_ptr(util::IoError(
+                          std::string("tokend: server answered with the wrong "
+                                      "message type for ") +
+                          what)));
+      return;
+    }
+    ResultT result;
+    try {
+      result = map(std::move(*msg));
+    } catch (...) {
+      done(ResultT{}, std::current_exception());
+      return;
+    }
+    done(std::move(result), nullptr);
+  };
+}
+
+/// A future-backed callback: fulfils the shared promise either way.
+template <typename T>
+std::pair<std::future<T>, Client::Callback<T>> make_promise_pair() {
+  auto promise = std::make_shared<std::promise<T>>();
+  std::future<T> future = promise->get_future();
+  Client::Callback<T> done = [promise = std::move(promise)](
+                                 T result, std::exception_ptr error) {
+    if (error) {
+      promise->set_exception(std::move(error));
+    } else {
+      promise->set_value(std::move(result));
+    }
+  };
+  return {std::move(future), std::move(done)};
+}
+
+}  // namespace
+
 Client::Client(runtime::Transport& transport, NodeId server, TimeUs timeout_us)
-    : transport_(&transport), server_(server), timeout_us_(timeout_us) {
+    : transport_(&transport),
+      server_(server),
+      timeout_us_(timeout_us),
+      epoch_(std::chrono::steady_clock::now()) {
   TOKA_CHECK_MSG(timeout_us > 0,
                  "client timeout must be positive, got " << timeout_us);
+  // The wheel ticks ~8x per default deadline: expiry is detected within
+  // 1/8th of the timeout, and a sweep touches only one slot's entries.
+  wheel_tick_us_ = std::clamp<TimeUs>(timeout_us_ / 8, 1'000, 50'000);
+  wheel_.resize(kWheelSlots);
+  sweeper_ = std::thread([this] { sweep_loop(); });
   transport_->set_handler([this](NodeId from, std::vector<std::byte> payload) {
     on_frame(from, std::move(payload));
   });
 }
 
-Client::~Client() { transport_->set_handler({}); }
+Client::~Client() {
+  // Order matters: quiesce the receive path first (after set_handler
+  // returns, no on_frame is running or will run), then the sweeper, then
+  // reject whatever is still registered — nothing can complete it anymore.
+  transport_->set_handler({});
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    stop_sweeper_ = true;
+  }
+  sweep_cv_.notify_all();
+  sweeper_.join();
+
+  std::vector<Completion> orphans;
+  {
+    std::lock_guard lock(mu_);
+    orphans.reserve(pending_.size());
+    for (auto& [id, pending] : pending_) orphans.push_back(std::move(pending.done));
+    pending_.clear();
+    for (auto& slot : wheel_) slot.clear();
+  }
+  for (Completion& done : orphans) {
+    done({}, std::make_exception_ptr(util::IoError(
+                 "tokend client destroyed with the call outstanding")));
+  }
+}
+
+TimeUs Client::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::size_t Client::inflight() const {
+  std::lock_guard lock(mu_);
+  return pending_.size();
+}
+
+void Client::start_call(std::uint64_t id, std::vector<std::byte> frame,
+                        Completion done, TimeUs timeout_us) {
+  const TimeUs timeout = timeout_us > 0 ? timeout_us : timeout_us_;
+  const TimeUs deadline = now_us() + timeout;
+  {
+    std::unique_lock lock(mu_);
+    if (closed_) {
+      lock.unlock();
+      done({}, std::make_exception_ptr(
+                   util::IoError("tokend client is shut down")));
+      return;
+    }
+    pending_.emplace(id, Pending{std::move(done), deadline, timeout});
+    wheel_[static_cast<std::size_t>(deadline / wheel_tick_us_) % kWheelSlots]
+        .push_back(id);
+  }
+  // Send strictly after registering: a reply can arrive before send()
+  // returns on a fast in-process fabric.
+  transport_->send(server_, std::move(frame));
+}
 
 void Client::on_frame(NodeId from, std::vector<std::byte> payload) {
   if (from != server_) return;  // stray frame from elsewhere on the fabric
@@ -24,91 +149,197 @@ void Client::on_frame(NodeId from, std::vector<std::byte> payload) {
   try {
     response = protocol::decode_response(payload);
   } catch (const util::IoError&) {
-    return;  // malformed reply: let the caller's timeout handle it
+    return;  // malformed reply: let the call's deadline handle it
   }
   const std::uint64_t id = protocol::request_id(response);
-  std::lock_guard lock(mu_);
-  auto it = pending_.find(id);
-  if (it == pending_.end()) return;  // timed out or duplicate: drop
-  it->second = std::move(response);
-  // Notify while still holding the lock: the waiter may destroy this
-  // Client right after its call returns, and the woken waiter cannot
-  // re-acquire mu_ (and thus return) until this thread has fully left
-  // both the mutex and the condition variable.
-  cv_.notify_all();
-}
-
-protocol::Response Client::call(std::uint64_t id, std::vector<std::byte> frame) {
+  Completion done;
   {
     std::lock_guard lock(mu_);
-    pending_.emplace(id, std::nullopt);
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // timed out or duplicate: drop
+    done = std::move(it->second.done);
+    pending_.erase(it);
+    // The wheel still holds the id; the sweep skips ids with no slot.
   }
-  transport_->send(server_, std::move(frame));
-  std::unique_lock lock(mu_);
-  const bool arrived = cv_.wait_for(
-      lock, std::chrono::microseconds(timeout_us_),
-      [&] { return pending_.at(id).has_value(); });
-  if (!arrived) {
-    pending_.erase(id);
+  // Completed outside the lock: the continuation may issue the pipeline's
+  // next call (which takes mu_) or unblock a sync caller.
+  done(std::move(response), nullptr);
+}
+
+std::size_t Client::sweep_pass(std::unique_lock<std::mutex>& lock) {
+  const TimeUs now = now_us();
+  const std::int64_t tick = now / wheel_tick_us_;
+  // Sweep from the last swept tick *inclusive* (one cheap re-scan): a call
+  // armed into the current tick after that slot's pass — any deadline
+  // shorter than one wheel tick does this — must be caught on the next
+  // pass, not a full rotation later. Bounded to one lap after a stall;
+  // clamped at 0 so the first pass (swept_tick_ == -1) starts at slot 0.
+  const std::int64_t first = std::max<std::int64_t>(
+      std::max(swept_tick_, tick - static_cast<std::int64_t>(kWheelSlots) + 1),
+      0);
+  std::vector<std::pair<Completion, TimeUs>> expired;
+  for (std::int64_t t = first; t <= tick; ++t) {
+    std::vector<std::uint64_t>& slot =
+        wheel_[static_cast<std::size_t>(t) % kWheelSlots];
+    std::vector<std::uint64_t> keep;
+    for (const std::uint64_t id : slot) {
+      auto it = pending_.find(id);
+      if (it == pending_.end()) continue;  // answered already
+      if (it->second.deadline_us <= now) {
+        expired.emplace_back(std::move(it->second.done),
+                             it->second.timeout_us);
+        pending_.erase(it);
+      } else {
+        keep.push_back(id);  // a later round of the wheel
+      }
+    }
+    slot = std::move(keep);
+  }
+  swept_tick_ = tick;
+  if (expired.empty()) return 0;
+  lock.unlock();
+  for (auto& [done, timeout] : expired) {
     timeouts_.fetch_add(1, std::memory_order_relaxed);
-    throw util::IoError("tokend call " + std::to_string(id) +
-                        " timed out after " + std::to_string(timeout_us_) +
-                        "us");
+    done({}, std::make_exception_ptr(
+                 util::IoError("tokend call timed out after " +
+                               std::to_string(timeout) + "us")));
   }
-  protocol::Response response = std::move(*pending_.at(id));
-  pending_.erase(id);
-  return response;
+  lock.lock();
+  return expired.size();
 }
 
-namespace {
-/// Extracts the expected alternative or reports a protocol breach.
-template <typename T>
-T expect(protocol::Response response, const char* what) {
-  T* msg = std::get_if<T>(&response);
-  if (msg == nullptr)
-    throw util::IoError(std::string("tokend: server answered with the wrong "
-                                    "message type for ") +
-                        what);
-  return std::move(*msg);
+std::size_t Client::expire_overdue() {
+  std::unique_lock lock(mu_);
+  return sweep_pass(lock);
 }
-}  // namespace
 
-AcquireResult Client::acquire(std::uint64_t key, Tokens n) {
+void Client::sweep_loop() {
+  std::unique_lock lock(mu_);
+  while (!stop_sweeper_) {
+    sweep_cv_.wait_for(lock, std::chrono::microseconds(wheel_tick_us_),
+                       [this] { return stop_sweeper_; });
+    if (stop_sweeper_) return;
+    sweep_pass(lock);
+  }
+}
+
+// ----------------------------------------------------------------- data ops
+
+void Client::acquire_async(NamespaceId ns, std::uint64_t key, Tokens n,
+                           Callback<AcquireResult> done, TimeUs timeout_us) {
   const std::uint64_t id = next_id();
-  const auto resp = expect<protocol::AcquireResponse>(
-      call(id, protocol::encode(protocol::AcquireRequest{id, key, n})),
-      "acquire");
-  return AcquireResult{resp.granted, resp.balance};
+  start_call(id,
+             protocol::encode(protocol::AcquireRequest{id, key, n, ns}),
+             make_completion<protocol::AcquireResponse, AcquireResult>(
+                 std::move(done), "acquire",
+                 [](protocol::AcquireResponse resp) {
+                   return AcquireResult{resp.granted, resp.balance};
+                 }),
+             timeout_us);
 }
 
-RefundResult Client::refund(std::uint64_t key, Tokens n) {
+std::future<AcquireResult> Client::acquire_async(NamespaceId ns,
+                                                 std::uint64_t key, Tokens n,
+                                                 TimeUs timeout_us) {
+  auto [future, done] = make_promise_pair<AcquireResult>();
+  acquire_async(ns, key, n, std::move(done), timeout_us);
+  return std::move(future);
+}
+
+void Client::refund_async(NamespaceId ns, std::uint64_t key, Tokens n,
+                          Callback<RefundResult> done, TimeUs timeout_us) {
   const std::uint64_t id = next_id();
-  const auto resp = expect<protocol::RefundResponse>(
-      call(id, protocol::encode(protocol::RefundRequest{id, key, n})),
-      "refund");
-  return RefundResult{resp.accepted, resp.balance};
+  start_call(id, protocol::encode(protocol::RefundRequest{id, key, n, ns}),
+             make_completion<protocol::RefundResponse, RefundResult>(
+                 std::move(done), "refund",
+                 [](protocol::RefundResponse resp) {
+                   return RefundResult{resp.accepted, resp.balance};
+                 }),
+             timeout_us);
 }
 
-QueryResult Client::query(std::uint64_t key) {
+std::future<RefundResult> Client::refund_async(NamespaceId ns,
+                                               std::uint64_t key, Tokens n,
+                                               TimeUs timeout_us) {
+  auto [future, done] = make_promise_pair<RefundResult>();
+  refund_async(ns, key, n, std::move(done), timeout_us);
+  return std::move(future);
+}
+
+std::future<QueryResult> Client::query_async(NamespaceId ns,
+                                             std::uint64_t key,
+                                             TimeUs timeout_us) {
+  auto [future, done] = make_promise_pair<QueryResult>();
   const std::uint64_t id = next_id();
-  const auto resp = expect<protocol::QueryResponse>(
-      call(id, protocol::encode(protocol::QueryRequest{id, key})), "query");
-  return QueryResult{resp.balance, resp.exists};
+  start_call(id, protocol::encode(protocol::QueryRequest{id, key, ns}),
+             make_completion<protocol::QueryResponse, QueryResult>(
+                 std::move(done), "query",
+                 [](protocol::QueryResponse resp) {
+                   return QueryResult{resp.balance, resp.exists};
+                 }),
+             timeout_us);
+  return std::move(future);
 }
 
-std::vector<AcquireResult> Client::acquire_batch(
-    std::span<const AcquireOp> ops) {
+std::future<std::vector<AcquireResult>> Client::acquire_batch_async(
+    NamespaceId ns, std::span<const AcquireOp> ops, TimeUs timeout_us) {
+  auto [future, done] = make_promise_pair<std::vector<AcquireResult>>();
   const std::uint64_t id = next_id();
   protocol::BatchAcquireRequest request;
   request.id = id;
+  request.ns = ns;
   request.ops.assign(ops.begin(), ops.end());
-  auto resp = expect<protocol::BatchAcquireResponse>(
-      call(id, protocol::encode(request)), "acquire_batch");
-  if (resp.results.size() != ops.size())
-    throw util::IoError("tokend: batch response has " +
-                        std::to_string(resp.results.size()) + " results for " +
-                        std::to_string(ops.size()) + " ops");
-  return std::move(resp.results);
+  const std::size_t expected = request.ops.size();
+  start_call(
+      id, protocol::encode(request),
+      make_completion<protocol::BatchAcquireResponse,
+                      std::vector<AcquireResult>>(
+          std::move(done), "acquire_batch",
+          [expected](protocol::BatchAcquireResponse resp) {
+            if (resp.results.size() != expected)
+              throw util::IoError("tokend: batch response has " +
+                                  std::to_string(resp.results.size()) +
+                                  " results for " + std::to_string(expected) +
+                                  " ops");
+            return std::move(resp.results);
+          }),
+      timeout_us);
+  return std::move(future);
+}
+
+// -------------------------------------------------------------------- admin
+
+bool Client::configure_namespace(NamespaceId ns,
+                                 const NamespaceConfig& config) {
+  auto [future, done] = make_promise_pair<bool>();
+  const std::uint64_t id = next_id();
+  start_call(id,
+             protocol::encode(protocol::ConfigureNamespaceRequest{id, ns,
+                                                                  config}),
+             make_completion<protocol::ConfigureNamespaceResponse, bool>(
+                 std::move(done), "configure_namespace",
+                 [](protocol::ConfigureNamespaceResponse resp) {
+                   return resp.created;
+                 }),
+             /*timeout_us=*/0);
+  return future.get();
+}
+
+std::optional<NamespaceInfo> Client::namespace_info(NamespaceId ns) {
+  auto [future, done] = make_promise_pair<std::optional<NamespaceInfo>>();
+  const std::uint64_t id = next_id();
+  start_call(
+      id, protocol::encode(protocol::NamespaceInfoRequest{id, ns}),
+      make_completion<protocol::NamespaceInfoResponse,
+                      std::optional<NamespaceInfo>>(
+          std::move(done), "namespace_info",
+          [](protocol::NamespaceInfoResponse resp)
+              -> std::optional<NamespaceInfo> {
+            if (!resp.exists) return std::nullopt;
+            return NamespaceInfo{resp.config, resp.capacity, resp.accounts};
+          }),
+      /*timeout_us=*/0);
+  return future.get();
 }
 
 }  // namespace toka::service

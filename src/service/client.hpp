@@ -1,20 +1,34 @@
-// Client library for tokend: synchronous request/response over a Transport.
+// Client library for tokend: an asynchronous pipelined core with
+// synchronous wrappers, over one runtime::Transport endpoint.
 //
-// A Client owns one transport endpoint and talks to one server endpoint.
-// It is safe to call from any number of application threads concurrently:
-// every call gets a fresh request id, outstanding calls are correlated by
-// id when responses arrive on the transport's receive thread, and a call
-// that receives no response within the timeout throws util::IoError
-// (the fabric is best-effort, so a lost frame surfaces as a timeout, not
-// a hang).
+// Every call gets a fresh request id and a slot in a completion registry;
+// any number of calls can be in flight on the one endpoint at once
+// (pipelining), from any number of application threads. Responses arriving
+// on the transport's receive thread are correlated by id and complete the
+// call — as a std::future, or by invoking the caller's completion callback
+// on the receive thread. Per-call deadlines are swept by a hashed timeout
+// wheel (a background thread ticking at ~timeout/8): an expired call's
+// slot is reclaimed and its future is rejected with util::IoError; a reply
+// straggling in afterwards finds no slot and is dropped without touching
+// dead state.
+//
+// The synchronous methods are thin wrappers — acquire(...) is exactly
+// acquire_async(...).get() — so pre-async call sites compile and behave
+// unchanged (a lost frame still surfaces as util::IoError after the
+// timeout, not a hang). A server-side failure surfaces as
+// protocol::RpcError (which IS-A util::IoError) carrying the typed code.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <mutex>
 #include <optional>
 #include <span>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -27,57 +41,157 @@ namespace toka::service {
 
 class Client {
  public:
+  /// Completion callbacks run on the transport's receive thread (or, for
+  /// timeouts, on the sweeper thread). Exactly one of (result, error) is
+  /// meaningful: error == nullptr means success.
+  template <typename T>
+  using Callback = std::function<void(T result, std::exception_ptr error)>;
+
   /// Installs the response handler on `transport` (which must be the
   /// client's own endpoint, not the server's) and remembers the server's
-  /// node id. The transport must outlive the client; destroy the client
-  /// only after its calls have returned.
+  /// node id. `timeout_us` is the default per-call deadline. The transport
+  /// must outlive the client.
   Client(runtime::Transport& transport, NodeId server,
          TimeUs timeout_us = 5 * duration::kSecond);
 
-  /// Detaches the response handler and waits out any in-flight delivery,
-  /// so a straggler frame (e.g. a reply arriving after a timeout) can
-  /// never touch a dead client.
+  /// Detaches the response handler and waits out any in-flight delivery
+  /// (so a straggler frame can never touch a dead client), stops the
+  /// timeout sweeper, and rejects any still-outstanding async calls with
+  /// util::IoError.
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Tries to take `n` tokens for `key`. Throws util::IoError on timeout
-  /// or a mismatched response.
-  AcquireResult acquire(std::uint64_t key, Tokens n);
+  // ------------------------------------------------- synchronous wrappers
+  // Each is async + .get(); throws util::IoError on timeout and
+  // protocol::RpcError on a typed server error. The namespace-less
+  // overloads target kDefaultNamespace.
+
+  /// Tries to take `n` tokens for `key`.
+  AcquireResult acquire(std::uint64_t key, Tokens n) {
+    return acquire(kDefaultNamespace, key, n);
+  }
+  AcquireResult acquire(NamespaceId ns, std::uint64_t key, Tokens n) {
+    return acquire_async(ns, key, n).get();
+  }
 
   /// Gives back up to `n` previously granted tokens.
-  RefundResult refund(std::uint64_t key, Tokens n);
+  RefundResult refund(std::uint64_t key, Tokens n) {
+    return refund(kDefaultNamespace, key, n);
+  }
+  RefundResult refund(NamespaceId ns, std::uint64_t key, Tokens n) {
+    return refund_async(ns, key, n).get();
+  }
 
   /// Reads the balance without creating an account.
-  QueryResult query(std::uint64_t key);
+  QueryResult query(std::uint64_t key) { return query(kDefaultNamespace, key); }
+  QueryResult query(NamespaceId ns, std::uint64_t key) {
+    return query_async(ns, key).get();
+  }
 
   /// Executes all ops in one round trip; results align with `ops`.
-  std::vector<AcquireResult> acquire_batch(std::span<const AcquireOp> ops);
+  std::vector<AcquireResult> acquire_batch(std::span<const AcquireOp> ops) {
+    return acquire_batch(kDefaultNamespace, ops);
+  }
+  std::vector<AcquireResult> acquire_batch(NamespaceId ns,
+                                           std::span<const AcquireOp> ops) {
+    return acquire_batch_async(ns, ops).get();
+  }
 
-  /// Calls that timed out so far (each also threw util::IoError).
+  // ------------------------------------------------------- async core
+  // `timeout_us` == 0 means the client's default deadline.
+
+  std::future<AcquireResult> acquire_async(std::uint64_t key, Tokens n) {
+    return acquire_async(kDefaultNamespace, key, n);
+  }
+  std::future<AcquireResult> acquire_async(NamespaceId ns, std::uint64_t key,
+                                           Tokens n, TimeUs timeout_us = 0);
+  void acquire_async(NamespaceId ns, std::uint64_t key, Tokens n,
+                     Callback<AcquireResult> done, TimeUs timeout_us = 0);
+
+  std::future<RefundResult> refund_async(NamespaceId ns, std::uint64_t key,
+                                         Tokens n, TimeUs timeout_us = 0);
+  void refund_async(NamespaceId ns, std::uint64_t key, Tokens n,
+                    Callback<RefundResult> done, TimeUs timeout_us = 0);
+
+  std::future<QueryResult> query_async(NamespaceId ns, std::uint64_t key,
+                                       TimeUs timeout_us = 0);
+
+  std::future<std::vector<AcquireResult>> acquire_batch_async(
+      NamespaceId ns, std::span<const AcquireOp> ops, TimeUs timeout_us = 0);
+
+  // ------------------------------------------------------------- admin
+
+  /// Creates namespace `ns` with the given policy, or resets it if it
+  /// already exists. Returns true if newly created. Throws
+  /// protocol::RpcError{kInvalidConfig} on a rejected policy.
+  bool configure_namespace(NamespaceId ns, const NamespaceConfig& config);
+
+  /// Policy/capacity/account-count of `ns`, or nullopt if it doesn't exist.
+  std::optional<NamespaceInfo> namespace_info(NamespaceId ns);
+
+  // ------------------------------------------------------------ counters
+
+  /// Calls that timed out so far (each was rejected with util::IoError).
   std::uint64_t timeouts() const {
     return timeouts_.load(std::memory_order_relaxed);
   }
 
+  /// Calls in flight right now (registered, neither answered nor expired).
+  std::size_t inflight() const;
+
+  /// Runs one synchronous sweep of the timeout wheel, expiring every call
+  /// whose deadline has passed (their futures reject with util::IoError).
+  /// The background sweeper does this automatically every tick; external
+  /// event loops (or tests that must not depend on sweeper scheduling)
+  /// can force a pass. Returns the number of calls expired.
+  std::size_t expire_overdue();
+
  private:
-  /// Sends `frame` under a fresh slot for `id` and blocks for the reply.
-  protocol::Response call(std::uint64_t id, std::vector<std::byte> frame);
-  void on_frame(NodeId from, std::vector<std::byte> payload);
+  /// Type-erased completion: receives the decoded response, or an error.
+  using Completion =
+      std::function<void(protocol::Response response, std::exception_ptr error)>;
+
+  /// Deadlines are bucketed into a fixed ring of slots; expiry sweeps cost
+  /// O(entries in the tick's slot), not O(total in flight).
+  static constexpr std::size_t kWheelSlots = 256;
+
   std::uint64_t next_id() {
     return next_id_.fetch_add(1, std::memory_order_relaxed);
   }
+  TimeUs now_us() const;
+  /// Registers the slot, arms the wheel and sends the frame.
+  void start_call(std::uint64_t id, std::vector<std::byte> frame,
+                  Completion done, TimeUs timeout_us);
+  void on_frame(NodeId from, std::vector<std::byte> payload);
+  void sweep_loop();
+  /// One wheel pass under `lock` (which is released while completions
+  /// run, and re-held on return). Returns the number expired.
+  std::size_t sweep_pass(std::unique_lock<std::mutex>& lock);
 
   runtime::Transport* transport_;
   NodeId server_;
   TimeUs timeout_us_;
+  TimeUs wheel_tick_us_;
+  std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::uint64_t> timeouts_{0};
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  /// Outstanding calls: id -> response slot (nullopt until it arrives).
-  std::unordered_map<std::uint64_t, std::optional<protocol::Response>> pending_;
+  struct Pending {
+    Completion done;
+    TimeUs deadline_us = 0;
+    TimeUs timeout_us = 0;  ///< the effective per-call timeout (for errors)
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable sweep_cv_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::vector<std::vector<std::uint64_t>> wheel_;  ///< ids by deadline slot
+  std::int64_t swept_tick_ = -1;  ///< last wheel tick fully processed
+  bool closed_ = false;           ///< no new calls; reject immediately
+  bool stop_sweeper_ = false;
+  std::thread sweeper_;
 };
 
 }  // namespace toka::service

@@ -1,5 +1,7 @@
 #include "service/protocol.hpp"
 
+#include <string>
+
 #include "util/error.hpp"
 #include "util/serde.hpp"
 
@@ -7,12 +9,44 @@ namespace toka::service::protocol {
 
 namespace {
 
-util::BinaryWriter header(MsgType type, bool response, std::uint64_t id) {
+/// Is `type` a defined message type under `version`? (Response-ness is
+/// checked separately: kError exists only with the response bit.)
+bool known_type(std::uint8_t version, MsgType type, bool is_response) {
+  switch (type) {
+    case MsgType::kAcquire:
+    case MsgType::kRefund:
+    case MsgType::kQuery:
+    case MsgType::kBatchAcquire:
+      return true;
+    case MsgType::kConfigureNamespace:
+    case MsgType::kNamespaceInfo:
+      return version >= kProtocolVersion;
+    case MsgType::kError:
+      return version >= kProtocolVersion && is_response;
+  }
+  return false;
+}
+
+util::BinaryWriter header(std::uint8_t version, MsgType type, bool response,
+                          std::uint64_t id) {
   util::BinaryWriter w;
-  w.u8(kProtocolVersion);
+  w.u8(version);
   w.u8(static_cast<std::uint8_t>(type) | (response ? kResponseBit : 0));
   w.u64(id);
   return w;
+}
+
+void check_version(std::uint8_t version) {
+  TOKA_CHECK_MSG(version == kProtocolVersionV1 || version == kProtocolVersion,
+                 "cannot encode protocol version "
+                     << static_cast<int>(version));
+}
+
+void check_v1_encodable(std::uint8_t version, NamespaceId ns,
+                        const char* what) {
+  TOKA_CHECK_MSG(version >= kProtocolVersion || ns == kDefaultNamespace,
+                 "protocol v1 cannot carry " << what << " for namespace "
+                                             << ns);
 }
 
 Tokens read_tokens(util::BinaryReader& r) {
@@ -29,13 +63,19 @@ std::uint32_t read_batch_count(util::BinaryReader& r) {
   return count;
 }
 
-/// Consumes the common header and returns the raw type byte.
-std::uint8_t read_header(util::BinaryReader& r) {
+bool read_bool(util::BinaryReader& r) {
+  const std::uint8_t b = r.u8();
+  if (b > 1) throw util::IoError("tokend frame: boolean byte out of range");
+  return b != 0;
+}
+
+/// Consumes the common header and returns (version, raw type byte).
+std::pair<std::uint8_t, std::uint8_t> read_header(util::BinaryReader& r) {
   const std::uint8_t version = r.u8();
-  if (version != kProtocolVersion)
+  if (version != kProtocolVersionV1 && version != kProtocolVersion)
     throw util::IoError("tokend frame: unsupported protocol version " +
                         std::to_string(version));
-  return r.u8();
+  return {version, r.u8()};
 }
 
 void expect_done(const util::BinaryReader& r) {
@@ -44,56 +84,112 @@ void expect_done(const util::BinaryReader& r) {
                         " trailing bytes");
 }
 
-}  // namespace
+/// Data-op requests carry the namespace only from v2 on; a v1 frame is a
+/// v2 frame about the default namespace.
+NamespaceId read_ns(util::BinaryReader& r, std::uint8_t version) {
+  return version >= kProtocolVersion ? r.u32() : kDefaultNamespace;
+}
 
-std::vector<std::byte> encode(const AcquireRequest& m) {
-  util::BinaryWriter w = header(MsgType::kAcquire, false, m.id);
+void write_ns(util::BinaryWriter& w, std::uint8_t version, NamespaceId ns) {
+  if (version >= kProtocolVersion) w.u32(ns);
+}
+
+void write_namespace_config(util::BinaryWriter& w, const NamespaceConfig& c) {
+  w.u8(static_cast<std::uint8_t>(c.strategy.kind));
+  w.i64(c.strategy.a_param);
+  w.i64(c.strategy.c_param);
+  w.i64(c.strategy.reactive_k);
+  w.u8(c.strategy.reactive_useful_only ? 1 : 0);
+  w.i64(c.delta_us);
+  w.i64(c.initial_tokens);
+  w.i64(c.idle_ttl_us);
+  w.i64(c.max_catchup_ticks);
+  w.u8(c.audit ? 1 : 0);
+}
+
+NamespaceConfig read_namespace_config(util::BinaryReader& r) {
+  NamespaceConfig c;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(core::StrategyKind::kTokenBucket))
+    throw util::IoError("tokend frame: unknown strategy kind " +
+                        std::to_string(kind));
+  c.strategy.kind = static_cast<core::StrategyKind>(kind);
+  c.strategy.a_param = r.i64();
+  c.strategy.c_param = r.i64();
+  c.strategy.reactive_k = r.i64();
+  c.strategy.reactive_useful_only = read_bool(r);
+  c.delta_us = r.i64();
+  c.initial_tokens = r.i64();
+  c.idle_ttl_us = r.i64();
+  c.max_catchup_ticks = r.i64();
+  c.audit = read_bool(r);
+  return c;
+}
+
+// ------------------------------------------------------- version-aware encode
+
+std::vector<std::byte> encode_at(const AcquireRequest& m,
+                                 std::uint8_t version) {
+  check_v1_encodable(version, m.ns, "an acquire");
+  util::BinaryWriter w = header(version, MsgType::kAcquire, false, m.id);
+  write_ns(w, version, m.ns);
   w.u64(m.key);
   w.i64(m.tokens);
   return w.take();
 }
 
-std::vector<std::byte> encode(const AcquireResponse& m) {
-  util::BinaryWriter w = header(MsgType::kAcquire, true, m.id);
+std::vector<std::byte> encode_at(const AcquireResponse& m,
+                                 std::uint8_t version) {
+  util::BinaryWriter w = header(version, MsgType::kAcquire, true, m.id);
   w.i64(m.granted);
   w.i64(m.balance);
   return w.take();
 }
 
-std::vector<std::byte> encode(const RefundRequest& m) {
-  util::BinaryWriter w = header(MsgType::kRefund, false, m.id);
+std::vector<std::byte> encode_at(const RefundRequest& m,
+                                 std::uint8_t version) {
+  check_v1_encodable(version, m.ns, "a refund");
+  util::BinaryWriter w = header(version, MsgType::kRefund, false, m.id);
+  write_ns(w, version, m.ns);
   w.u64(m.key);
   w.i64(m.tokens);
   return w.take();
 }
 
-std::vector<std::byte> encode(const RefundResponse& m) {
-  util::BinaryWriter w = header(MsgType::kRefund, true, m.id);
+std::vector<std::byte> encode_at(const RefundResponse& m,
+                                 std::uint8_t version) {
+  util::BinaryWriter w = header(version, MsgType::kRefund, true, m.id);
   w.i64(m.accepted);
   w.i64(m.balance);
   return w.take();
 }
 
-std::vector<std::byte> encode(const QueryRequest& m) {
-  util::BinaryWriter w = header(MsgType::kQuery, false, m.id);
+std::vector<std::byte> encode_at(const QueryRequest& m, std::uint8_t version) {
+  check_v1_encodable(version, m.ns, "a query");
+  util::BinaryWriter w = header(version, MsgType::kQuery, false, m.id);
+  write_ns(w, version, m.ns);
   w.u64(m.key);
   return w.take();
 }
 
-std::vector<std::byte> encode(const QueryResponse& m) {
-  util::BinaryWriter w = header(MsgType::kQuery, true, m.id);
+std::vector<std::byte> encode_at(const QueryResponse& m,
+                                 std::uint8_t version) {
+  util::BinaryWriter w = header(version, MsgType::kQuery, true, m.id);
   w.i64(m.balance);
   w.u8(m.exists ? 1 : 0);
   return w.take();
 }
 
-std::vector<std::byte> encode(const BatchAcquireRequest& m) {
+std::vector<std::byte> encode_at(const BatchAcquireRequest& m,
+                                 std::uint8_t version) {
+  check_v1_encodable(version, m.ns, "a batch acquire");
   // Fail fast on the sender: a frame above the batch limit would only be
   // dropped as malformed by the receiver, surfacing as a timeout.
   TOKA_CHECK_MSG(m.ops.size() <= kMaxBatchOps,
                  "batch of " << m.ops.size() << " ops exceeds the limit of "
                              << kMaxBatchOps);
-  util::BinaryWriter w = header(MsgType::kBatchAcquire, false, m.id);
+  util::BinaryWriter w = header(version, MsgType::kBatchAcquire, false, m.id);
+  write_ns(w, version, m.ns);
   w.u32(static_cast<std::uint32_t>(m.ops.size()));
   for (const AcquireOp& op : m.ops) {
     w.u64(op.key);
@@ -102,12 +198,13 @@ std::vector<std::byte> encode(const BatchAcquireRequest& m) {
   return w.take();
 }
 
-std::vector<std::byte> encode(const BatchAcquireResponse& m) {
+std::vector<std::byte> encode_at(const BatchAcquireResponse& m,
+                                 std::uint8_t version) {
   TOKA_CHECK_MSG(m.results.size() <= kMaxBatchOps,
                  "batch of " << m.results.size()
                              << " results exceeds the limit of "
                              << kMaxBatchOps);
-  util::BinaryWriter w = header(MsgType::kBatchAcquire, true, m.id);
+  util::BinaryWriter w = header(version, MsgType::kBatchAcquire, true, m.id);
   w.u32(static_cast<std::uint32_t>(m.results.size()));
   for (const AcquireResult& res : m.results) {
     w.i64(res.granted);
@@ -116,37 +213,161 @@ std::vector<std::byte> encode(const BatchAcquireResponse& m) {
   return w.take();
 }
 
-std::vector<std::byte> encode(const Request& m) {
-  return std::visit([](const auto& msg) { return encode(msg); }, m);
+std::vector<std::byte> encode_at(const ConfigureNamespaceRequest& m,
+                                 std::uint8_t version) {
+  TOKA_CHECK_MSG(version >= kProtocolVersion,
+                 "protocol v1 cannot carry admin messages");
+  util::BinaryWriter w =
+      header(version, MsgType::kConfigureNamespace, false, m.id);
+  w.u32(m.ns);
+  write_namespace_config(w, m.config);
+  return w.take();
 }
 
-std::vector<std::byte> encode(const Response& m) {
-  return std::visit([](const auto& msg) { return encode(msg); }, m);
+std::vector<std::byte> encode_at(const ConfigureNamespaceResponse& m,
+                                 std::uint8_t version) {
+  TOKA_CHECK_MSG(version >= kProtocolVersion,
+                 "protocol v1 cannot carry admin messages");
+  util::BinaryWriter w =
+      header(version, MsgType::kConfigureNamespace, true, m.id);
+  w.u8(m.created ? 1 : 0);
+  w.i64(m.capacity);
+  return w.take();
+}
+
+std::vector<std::byte> encode_at(const NamespaceInfoRequest& m,
+                                 std::uint8_t version) {
+  TOKA_CHECK_MSG(version >= kProtocolVersion,
+                 "protocol v1 cannot carry admin messages");
+  util::BinaryWriter w = header(version, MsgType::kNamespaceInfo, false, m.id);
+  w.u32(m.ns);
+  return w.take();
+}
+
+std::vector<std::byte> encode_at(const NamespaceInfoResponse& m,
+                                 std::uint8_t version) {
+  TOKA_CHECK_MSG(version >= kProtocolVersion,
+                 "protocol v1 cannot carry admin messages");
+  util::BinaryWriter w = header(version, MsgType::kNamespaceInfo, true, m.id);
+  w.u8(m.exists ? 1 : 0);
+  if (m.exists) {
+    write_namespace_config(w, m.config);
+    w.i64(m.capacity);
+    w.u64(m.accounts);
+  }
+  return w.take();
+}
+
+std::vector<std::byte> encode_at(const ErrorResponse& m,
+                                 std::uint8_t version) {
+  TOKA_CHECK_MSG(version >= kProtocolVersion,
+                 "protocol v1 cannot carry error responses");
+  util::BinaryWriter w = header(version, MsgType::kError, true, m.id);
+  w.u8(static_cast<std::uint8_t>(m.code));
+  return w.take();
+}
+
+}  // namespace
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kMalformedBody: return "malformed-body";
+    case ErrorCode::kUnknownNamespace: return "unknown-namespace";
+    case ErrorCode::kInvalidConfig: return "invalid-config";
+  }
+  return "unknown-error";
+}
+
+std::vector<std::byte> encode(const AcquireRequest& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const AcquireResponse& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const RefundRequest& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const RefundResponse& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const QueryRequest& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const QueryResponse& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const BatchAcquireRequest& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const BatchAcquireResponse& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const ConfigureNamespaceRequest& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const ConfigureNamespaceResponse& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const NamespaceInfoRequest& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const NamespaceInfoResponse& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const ErrorResponse& m) {
+  return encode_at(m, kProtocolVersion);
+}
+
+std::vector<std::byte> encode(const Request& m, std::uint8_t version) {
+  check_version(version);
+  return std::visit(
+      [version](const auto& msg) { return encode_at(msg, version); }, m);
+}
+
+std::vector<std::byte> encode(const Response& m, std::uint8_t version) {
+  check_version(version);
+  return std::visit(
+      [version](const auto& msg) { return encode_at(msg, version); }, m);
 }
 
 Request decode_request(std::span<const std::byte> payload) {
+  std::uint8_t version;
+  return decode_request(payload, version);
+}
+
+Request decode_request(std::span<const std::byte> payload,
+                       std::uint8_t& version_out) {
   util::BinaryReader r(payload);
-  const std::uint8_t type = read_header(r);
+  const auto [version, type] = read_header(r);
+  version_out = version;
   const std::uint64_t id = r.u64();
+  const MsgType msg_type = static_cast<MsgType>(type);
+  if (!known_type(version, msg_type, /*is_response=*/false) ||
+      (type & kResponseBit) != 0)
+    throw util::IoError("tokend frame: unknown request type " +
+                        std::to_string(type) + " for version " +
+                        std::to_string(version));
   Request out;
-  switch (static_cast<MsgType>(type)) {
+  switch (msg_type) {
     case MsgType::kAcquire: {
-      AcquireRequest m{id, r.u64(), read_tokens(r)};
-      out = m;
+      const NamespaceId ns = read_ns(r, version);
+      out = AcquireRequest{id, r.u64(), read_tokens(r), ns};
       break;
     }
     case MsgType::kRefund: {
-      RefundRequest m{id, r.u64(), read_tokens(r)};
-      out = m;
+      const NamespaceId ns = read_ns(r, version);
+      out = RefundRequest{id, r.u64(), read_tokens(r), ns};
       break;
     }
     case MsgType::kQuery: {
-      out = QueryRequest{id, r.u64()};
+      const NamespaceId ns = read_ns(r, version);
+      out = QueryRequest{id, r.u64(), ns};
       break;
     }
     case MsgType::kBatchAcquire: {
       BatchAcquireRequest m;
       m.id = id;
+      m.ns = read_ns(r, version);
       const std::uint32_t count = read_batch_count(r);
       m.ops.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {
@@ -154,6 +375,18 @@ Request decode_request(std::span<const std::byte> payload) {
         m.ops.push_back(AcquireOp{key, read_tokens(r)});
       }
       out = std::move(m);
+      break;
+    }
+    case MsgType::kConfigureNamespace: {
+      ConfigureNamespaceRequest m;
+      m.id = id;
+      m.ns = r.u32();
+      m.config = read_namespace_config(r);
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kNamespaceInfo: {
+      out = NamespaceInfoRequest{id, r.u32()};
       break;
     }
     default:
@@ -166,13 +399,18 @@ Request decode_request(std::span<const std::byte> payload) {
 
 Response decode_response(std::span<const std::byte> payload) {
   util::BinaryReader r(payload);
-  const std::uint8_t type = read_header(r);
+  const auto [version, type] = read_header(r);
   if ((type & kResponseBit) == 0)
     throw util::IoError("tokend frame: request type " + std::to_string(type) +
                         " where a response was expected");
+  const MsgType msg_type = static_cast<MsgType>(type & ~kResponseBit);
+  if (!known_type(version, msg_type, /*is_response=*/true))
+    throw util::IoError("tokend frame: unknown response type " +
+                        std::to_string(type) + " for version " +
+                        std::to_string(version));
   const std::uint64_t id = r.u64();
   Response out;
-  switch (static_cast<MsgType>(type & ~kResponseBit)) {
+  switch (msg_type) {
     case MsgType::kAcquire: {
       out = AcquireResponse{id, r.i64(), r.i64()};
       break;
@@ -183,10 +421,7 @@ Response decode_response(std::span<const std::byte> payload) {
     }
     case MsgType::kQuery: {
       const Tokens balance = r.i64();
-      const std::uint8_t exists = r.u8();
-      if (exists > 1)
-        throw util::IoError("tokend frame: boolean byte out of range");
-      out = QueryResponse{id, balance, exists != 0};
+      out = QueryResponse{id, balance, read_bool(r)};
       break;
     }
     case MsgType::kBatchAcquire: {
@@ -201,11 +436,57 @@ Response decode_response(std::span<const std::byte> payload) {
       out = std::move(m);
       break;
     }
+    case MsgType::kConfigureNamespace: {
+      const bool created = read_bool(r);
+      out = ConfigureNamespaceResponse{id, created, r.i64()};
+      break;
+    }
+    case MsgType::kNamespaceInfo: {
+      NamespaceInfoResponse m;
+      m.id = id;
+      m.exists = read_bool(r);
+      if (m.exists) {
+        m.config = read_namespace_config(r);
+        m.capacity = r.i64();
+        m.accounts = r.u64();
+      }
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kError: {
+      const std::uint8_t code = r.u8();
+      if (code < static_cast<std::uint8_t>(ErrorCode::kMalformedBody) ||
+          code > static_cast<std::uint8_t>(ErrorCode::kInvalidConfig))
+        throw util::IoError("tokend frame: unknown error code " +
+                            std::to_string(code));
+      out = ErrorResponse{id, static_cast<ErrorCode>(code)};
+      break;
+    }
     default:
       throw util::IoError("tokend frame: unknown response type " +
                           std::to_string(type));
   }
   expect_done(r);
+  return out;
+}
+
+std::optional<FrameHeader> try_parse_header(
+    std::span<const std::byte> payload) {
+  constexpr std::size_t kHeaderBytes = 1 + 1 + 8;
+  if (payload.size() < kHeaderBytes) return std::nullopt;
+  util::BinaryReader r(payload);
+  const std::uint8_t version = r.u8();
+  if (version != kProtocolVersionV1 && version != kProtocolVersion)
+    return std::nullopt;
+  const std::uint8_t type_byte = r.u8();
+  const bool is_response = (type_byte & kResponseBit) != 0;
+  const MsgType type = static_cast<MsgType>(type_byte & ~kResponseBit);
+  if (!known_type(version, type, is_response)) return std::nullopt;
+  FrameHeader out;
+  out.version = version;
+  out.type = type;
+  out.is_response = is_response;
+  out.id = r.u64();
   return out;
 }
 
@@ -215,6 +496,10 @@ std::uint64_t request_id(const Request& m) {
 
 std::uint64_t request_id(const Response& m) {
   return std::visit([](const auto& msg) { return msg.id; }, m);
+}
+
+NamespaceId namespace_of(const Request& m) {
+  return std::visit([](const auto& msg) { return msg.ns; }, m);
 }
 
 }  // namespace toka::service::protocol

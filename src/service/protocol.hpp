@@ -1,30 +1,49 @@
-// tokend's compact binary wire protocol.
+// tokend's compact binary wire protocol (v2, with v1 interop).
 //
 // One request or response per transport payload, serialized with
 // util::BinaryWriter/BinaryReader (fixed little-endian layout):
 //
-//   u8  version (kProtocolVersion)
-//   u8  message type (requests 1..4; responses are request | 0x80)
+//   u8  version (1 or 2; encoders emit kProtocolVersion unless told v1)
+//   u8  message type (requests 1..6; responses are request | 0x80;
+//       0xFF is the typed ErrorResponse, response-only)
 //   u64 request id (echoed verbatim in the response for correlation)
 //   ... type-specific body
 //
-// Decoding is strict: wrong version, unknown type, negative token counts,
-// oversized batches, truncated bodies and trailing bytes all throw
-// util::IoError — a malformed frame can never partially apply.
+// v2 adds, relative to v1:
+//   - a u32 namespace id on acquire/refund/query/batch-acquire requests,
+//     placed right after the request id (v1 frames implicitly target
+//     namespace 0, so a v1 frame is exactly a v2 frame about the default
+//     namespace — the compat rule the tests pin down);
+//   - admin messages: ConfigureNamespace creates or resets a namespace
+//     with its own core::StrategyConfig, Δ, initial balance and TTL at
+//     runtime; NamespaceInfo describes one;
+//   - a typed ErrorResponse (code + echoed id), so the server can answer
+//     decodable-header/bad-body frames, unknown namespaces and invalid
+//     configs instead of silently dropping them.
+//
+// Decoding is strict: unknown version, unknown type (for that version),
+// negative token counts, oversized batches, out-of-range enum/bool bytes,
+// truncated bodies and trailing bytes all throw util::IoError — a
+// malformed frame can never partially apply.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <variant>
 #include <vector>
 
 #include "service/account_table.hpp"
+#include "util/error.hpp"
 #include "util/types.hpp"
 
 namespace toka::service::protocol {
 
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// The version encoders emit by default.
+inline constexpr std::uint8_t kProtocolVersion = 2;
+/// The oldest version decoders still accept.
+inline constexpr std::uint8_t kProtocolVersionV1 = 1;
 
 /// Upper bound on ops per batch frame; a decoded count above this is
 /// rejected before any allocation happens.
@@ -35,15 +54,29 @@ enum class MsgType : std::uint8_t {
   kRefund = 2,
   kQuery = 3,
   kBatchAcquire = 4,
+  kConfigureNamespace = 5,  ///< v2-only (admin)
+  kNamespaceInfo = 6,       ///< v2-only (admin)
+  kError = 0x7F,            ///< v2-only; exists only as a response
 };
 
 /// Bit set on a request's type byte to form its response's type byte.
 inline constexpr std::uint8_t kResponseBit = 0x80;
 
+/// Typed failure causes carried by ErrorResponse frames.
+enum class ErrorCode : std::uint8_t {
+  kMalformedBody = 1,     ///< header decoded, body did not
+  kUnknownNamespace = 2,  ///< data op on a namespace that does not exist
+  kInvalidConfig = 3,     ///< ConfigureNamespace with a rejected policy
+};
+
+/// Short stable identifier, e.g. "unknown-namespace" (for logs and errors).
+const char* to_string(ErrorCode code);
+
 struct AcquireRequest {
   std::uint64_t id = 0;
   std::uint64_t key = 0;
   Tokens tokens = 0;
+  NamespaceId ns = kDefaultNamespace;  ///< appended so v1 positional inits hold
   friend bool operator==(const AcquireRequest&, const AcquireRequest&) = default;
 };
 
@@ -58,6 +91,7 @@ struct RefundRequest {
   std::uint64_t id = 0;
   std::uint64_t key = 0;
   Tokens tokens = 0;
+  NamespaceId ns = kDefaultNamespace;
   friend bool operator==(const RefundRequest&, const RefundRequest&) = default;
 };
 
@@ -71,6 +105,7 @@ struct RefundResponse {
 struct QueryRequest {
   std::uint64_t id = 0;
   std::uint64_t key = 0;
+  NamespaceId ns = kDefaultNamespace;
   friend bool operator==(const QueryRequest&, const QueryRequest&) = default;
 };
 
@@ -84,6 +119,7 @@ struct QueryResponse {
 struct BatchAcquireRequest {
   std::uint64_t id = 0;
   std::vector<AcquireOp> ops;
+  NamespaceId ns = kDefaultNamespace;
   friend bool operator==(const BatchAcquireRequest&,
                          const BatchAcquireRequest&) = default;
 };
@@ -95,11 +131,55 @@ struct BatchAcquireResponse {
                          const BatchAcquireResponse&) = default;
 };
 
-using Request =
-    std::variant<AcquireRequest, RefundRequest, QueryRequest, BatchAcquireRequest>;
-using Response = std::variant<AcquireResponse, RefundResponse, QueryResponse,
-                              BatchAcquireResponse>;
+struct ConfigureNamespaceRequest {
+  std::uint64_t id = 0;
+  NamespaceId ns = kDefaultNamespace;
+  NamespaceConfig config;
+  friend bool operator==(const ConfigureNamespaceRequest&,
+                         const ConfigureNamespaceRequest&) = default;
+};
 
+struct ConfigureNamespaceResponse {
+  std::uint64_t id = 0;
+  bool created = false;  ///< false: existed before and was reset
+  Tokens capacity = 0;   ///< resolved effective balance cap
+  friend bool operator==(const ConfigureNamespaceResponse&,
+                         const ConfigureNamespaceResponse&) = default;
+};
+
+struct NamespaceInfoRequest {
+  std::uint64_t id = 0;
+  NamespaceId ns = kDefaultNamespace;
+  friend bool operator==(const NamespaceInfoRequest&,
+                         const NamespaceInfoRequest&) = default;
+};
+
+struct NamespaceInfoResponse {
+  std::uint64_t id = 0;
+  bool exists = false;
+  NamespaceConfig config;       ///< meaningful only when exists
+  Tokens capacity = 0;          ///< meaningful only when exists
+  std::uint64_t accounts = 0;   ///< meaningful only when exists
+  friend bool operator==(const NamespaceInfoResponse&,
+                         const NamespaceInfoResponse&) = default;
+};
+
+struct ErrorResponse {
+  std::uint64_t id = 0;
+  ErrorCode code = ErrorCode::kMalformedBody;
+  friend bool operator==(const ErrorResponse&, const ErrorResponse&) = default;
+};
+
+using Request =
+    std::variant<AcquireRequest, RefundRequest, QueryRequest,
+                 BatchAcquireRequest, ConfigureNamespaceRequest,
+                 NamespaceInfoRequest>;
+using Response =
+    std::variant<AcquireResponse, RefundResponse, QueryResponse,
+                 BatchAcquireResponse, ConfigureNamespaceResponse,
+                 NamespaceInfoResponse, ErrorResponse>;
+
+// Per-type encoders emit the current version (v2).
 std::vector<std::byte> encode(const AcquireRequest& m);
 std::vector<std::byte> encode(const AcquireResponse& m);
 std::vector<std::byte> encode(const RefundRequest& m);
@@ -108,18 +188,66 @@ std::vector<std::byte> encode(const QueryRequest& m);
 std::vector<std::byte> encode(const QueryResponse& m);
 std::vector<std::byte> encode(const BatchAcquireRequest& m);
 std::vector<std::byte> encode(const BatchAcquireResponse& m);
-std::vector<std::byte> encode(const Request& m);
-std::vector<std::byte> encode(const Response& m);
+std::vector<std::byte> encode(const ConfigureNamespaceRequest& m);
+std::vector<std::byte> encode(const ConfigureNamespaceResponse& m);
+std::vector<std::byte> encode(const NamespaceInfoRequest& m);
+std::vector<std::byte> encode(const NamespaceInfoResponse& m);
+std::vector<std::byte> encode(const ErrorResponse& m);
 
-/// Parses a request frame; throws util::IoError on any malformation.
+/// Version-explicit encoders (the server answers a request with the
+/// request's own version so v1 clients keep decoding). Version 1 rejects
+/// v2-only messages and non-default namespaces with util::InvariantError.
+std::vector<std::byte> encode(const Request& m,
+                              std::uint8_t version = kProtocolVersion);
+std::vector<std::byte> encode(const Response& m,
+                              std::uint8_t version = kProtocolVersion);
+
+/// Parses a request frame (v1 or v2); throws util::IoError on any
+/// malformation. The overload with `version_out` also reports which
+/// protocol version the frame used, so the server can answer in kind.
 Request decode_request(std::span<const std::byte> payload);
+Request decode_request(std::span<const std::byte> payload,
+                       std::uint8_t& version_out);
 
-/// Parses a response frame; throws util::IoError on any malformation.
+/// Parses a response frame (v1 or v2); throws util::IoError on any
+/// malformation.
 Response decode_response(std::span<const std::byte> payload);
+
+/// The leading (version, type, id) triple of a frame.
+struct FrameHeader {
+  std::uint8_t version = 0;
+  MsgType type = MsgType::kAcquire;
+  bool is_response = false;
+  std::uint64_t id = 0;
+};
+
+/// Parses just the header: nullopt unless the frame is long enough, the
+/// version is supported and the type byte is defined for that version.
+/// The server uses this to split undecodable frames into "valid header,
+/// bad body" (answered with ErrorResponse{kMalformedBody}) and garbage
+/// (dropped and counted as malformed).
+std::optional<FrameHeader> try_parse_header(
+    std::span<const std::byte> payload);
 
 /// The request id of either frame kind (for correlation/logging).
 std::uint64_t request_id(const Request& m);
 std::uint64_t request_id(const Response& m);
+
+/// The namespace a request targets (admin requests included).
+NamespaceId namespace_of(const Request& m);
+
+/// Thrown by the client when the server answers with a typed
+/// ErrorResponse. Derives from util::IoError so pre-v2 handlers that
+/// caught IoError keep working; `code()` carries the taxonomy.
+class RpcError : public util::IoError {
+ public:
+  RpcError(ErrorCode code, const std::string& what)
+      : util::IoError(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
 
 }  // namespace toka::service::protocol
 

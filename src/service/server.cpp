@@ -1,5 +1,6 @@
 #include "service/server.hpp"
 
+#include <optional>
 #include <utility>
 
 #include "service/protocol.hpp"
@@ -26,40 +27,100 @@ Server::Server(AccountTable& table, runtime::Transport& transport)
 Server::~Server() { transport_->set_handler({}); }
 
 void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
-  protocol::Request request;
+  namespace proto = protocol;
+  std::uint8_t version = proto::kProtocolVersion;
+  proto::Request request;
   try {
-    request = protocol::decode_request(payload);
+    request = proto::decode_request(payload, version);
   } catch (const util::IoError&) {
-    malformed_.fetch_add(1, std::memory_order_relaxed);
+    // The body did not decode. If the header did, the sender gets a typed
+    // error it can correlate; pure garbage is dropped unanswered.
+    const std::optional<proto::FrameHeader> head =
+        proto::try_parse_header(payload);
+    if (head.has_value() && !head->is_response) {
+      errored_.fetch_add(1, std::memory_order_relaxed);
+      transport_->send(from,
+                       proto::encode(proto::ErrorResponse{
+                           head->id, proto::ErrorCode::kMalformedBody}));
+    } else {
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
-  std::vector<std::byte> reply = std::visit(
+
+  // Data ops on a namespace that does not exist get a typed error before
+  // touching the table (namespaces are never deleted, so the check cannot
+  // race a removal).
+  const std::uint64_t id = proto::request_id(request);
+  const bool is_admin =
+      std::holds_alternative<proto::ConfigureNamespaceRequest>(request) ||
+      std::holds_alternative<proto::NamespaceInfoRequest>(request);
+  if (!is_admin && !table_->has_namespace(proto::namespace_of(request))) {
+    errored_.fetch_add(1, std::memory_order_relaxed);
+    transport_->send(from, proto::encode(proto::ErrorResponse{
+                               id, proto::ErrorCode::kUnknownNamespace}));
+    return;
+  }
+
+  proto::Response response = std::visit(
       Overloaded{
-          [&](const protocol::AcquireRequest& r) {
-            const AcquireResult res = table_->acquire(r.key, r.tokens);
-            return protocol::encode(
-                protocol::AcquireResponse{r.id, res.granted, res.balance});
+          [&](const proto::AcquireRequest& r) -> proto::Response {
+            const AcquireResult res = table_->acquire(r.ns, r.key, r.tokens);
+            return proto::AcquireResponse{r.id, res.granted, res.balance};
           },
-          [&](const protocol::RefundRequest& r) {
-            const RefundResult res = table_->refund(r.key, r.tokens);
-            return protocol::encode(
-                protocol::RefundResponse{r.id, res.accepted, res.balance});
+          [&](const proto::RefundRequest& r) -> proto::Response {
+            const RefundResult res = table_->refund(r.ns, r.key, r.tokens);
+            return proto::RefundResponse{r.id, res.accepted, res.balance};
           },
-          [&](const protocol::QueryRequest& r) {
-            const QueryResult res = table_->query(r.key);
-            return protocol::encode(
-                protocol::QueryResponse{r.id, res.balance, res.exists});
+          [&](const proto::QueryRequest& r) -> proto::Response {
+            const QueryResult res = table_->query(r.ns, r.key);
+            return proto::QueryResponse{r.id, res.balance, res.exists};
           },
-          [&](const protocol::BatchAcquireRequest& r) {
-            protocol::BatchAcquireResponse resp;
+          [&](const proto::BatchAcquireRequest& r) -> proto::Response {
+            proto::BatchAcquireResponse resp;
             resp.id = r.id;
-            resp.results = table_->acquire_batch(r.ops);
-            return protocol::encode(resp);
+            resp.results = table_->acquire_batch(r.ns, r.ops);
+            return resp;
+          },
+          [&](const proto::ConfigureNamespaceRequest& r) -> proto::Response {
+            try {
+              const bool created =
+                  table_->configure_namespace(r.ns, r.config);
+              return proto::ConfigureNamespaceResponse{
+                  r.id, created, table_->capacity_bound(r.ns)};
+            } catch (const util::InvariantError&) {
+              return proto::ErrorResponse{r.id,
+                                          proto::ErrorCode::kInvalidConfig};
+            }
+          },
+          [&](const proto::NamespaceInfoRequest& r) -> proto::Response {
+            proto::NamespaceInfoResponse resp;
+            resp.id = r.id;
+            if (const auto info = table_->namespace_info(r.ns)) {
+              resp.exists = true;
+              resp.config = info->config;
+              resp.capacity = info->capacity;
+              resp.accounts = info->accounts;
+            }
+            return resp;
           },
       },
       request);
-  served_.fetch_add(1, std::memory_order_relaxed);
-  transport_->send(from, std::move(reply));
+
+  // Success replies speak the request's version so v1 clients keep
+  // decoding; typed errors are v2-only constructs and always encode as v2
+  // (a genuine v1 sender ignores the unknown frame and times out, exactly
+  // the pre-v2 behaviour).
+  const bool is_error =
+      std::holds_alternative<proto::ErrorResponse>(response);
+  if (is_error) {
+    errored_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    served_.fetch_add(1, std::memory_order_relaxed);
+  }
+  transport_->send(from, proto::encode(response, is_error
+                                                     ? proto::kProtocolVersion
+                                                     : version));
 }
 
 }  // namespace toka::service

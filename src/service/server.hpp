@@ -2,10 +2,22 @@
 //
 // The server installs itself as the transport's receive handler; each
 // incoming frame is decoded, executed against the table and answered to
-// the sender. Handlers run on transport-owned threads (one per TCP
-// connection, the dispatcher for the in-process fabric) — the table's
-// shard locks make concurrent execution safe, so the same server runs
-// in-process for tests and as the real tokend daemon over runtime::Tcp.
+// the sender — in the protocol version the request used, so v1 clients
+// interoperate with the v2 server unchanged. Handlers run on transport-
+// owned threads (one per TCP connection, the dispatcher for the in-process
+// fabric) — the table's shard locks make concurrent execution safe, so the
+// same server runs in-process for tests and as the real tokend daemon over
+// runtime::Tcp.
+//
+// Failure taxonomy (protocol v2):
+//   - requests_served: executed and answered with a success response;
+//   - requests_errored: answered with a typed ErrorResponse — the header
+//     decoded but the body did not (kMalformedBody), the namespace does
+//     not exist (kUnknownNamespace), or a ConfigureNamespace carried a
+//     rejected policy (kInvalidConfig);
+//   - requests_malformed: not even the header decoded; the frame is
+//     dropped unanswered (the fabric is best-effort at-most-once; the
+//     client's timeout covers this case).
 #pragma once
 
 #include <atomic>
@@ -32,14 +44,20 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Frames executed and answered.
+  /// Frames executed and answered with a success response.
   std::uint64_t requests_served() const {
     return served_.load(std::memory_order_relaxed);
   }
 
-  /// Frames dropped because they failed to decode. A malformed frame is
-  /// never partially applied and never answered (the fabric is best-effort
-  /// at-most-once; the client's timeout covers this case).
+  /// Frames answered with a typed ErrorResponse (valid header, but a
+  /// malformed body, unknown namespace or invalid config). Nothing is ever
+  /// partially applied.
+  std::uint64_t requests_errored() const {
+    return errored_.load(std::memory_order_relaxed);
+  }
+
+  /// Frames dropped because not even the header decoded. A malformed frame
+  /// is never partially applied and never answered.
   std::uint64_t requests_malformed() const {
     return malformed_.load(std::memory_order_relaxed);
   }
@@ -50,6 +68,7 @@ class Server {
   AccountTable* table_;
   runtime::Transport* transport_;
   std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> errored_{0};
   std::atomic<std::uint64_t> malformed_{0};
 };
 

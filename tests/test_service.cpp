@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -85,9 +86,80 @@ TEST(ServiceEndToEnd, MalformedFramesAreCountedAndSkipped) {
     std::this_thread::yield();
   }
   EXPECT_EQ(server.requests_malformed(), 1u);
+  EXPECT_EQ(server.requests_errored(), 0u);  // no header: no typed answer
   // The server keeps serving after a malformed frame.
   EXPECT_EQ(client.acquire(1, 0).granted, 0);
   EXPECT_EQ(server.requests_served(), 1u);
+  net.stop();
+}
+
+TEST(ServiceEndToEnd, BadBodyWithValidHeaderGetsTypedErrorResponse) {
+  AccountTable table(generalized_config(1, 8, 1000));
+  runtime::InProcNetwork net(3);
+  Server server(table, net.endpoint(0));
+
+  // Endpoint 2 is a raw observer: it crafts a frame whose header decodes
+  // (v2, acquire, id 77) but whose body is garbage, and captures the reply.
+  std::promise<protocol::Response> reply;
+  net.endpoint(2).set_handler(
+      [&reply](NodeId from, std::vector<std::byte> payload) {
+        if (from == 0) reply.set_value(protocol::decode_response(payload));
+      });
+  net.start();
+
+  std::vector<std::byte> frame = protocol::encode(protocol::AcquireRequest{77, 1, 1});
+  frame.resize(frame.size() - 3);  // truncate the body, keep the header
+  net.endpoint(2).send(0, frame);
+
+  const protocol::Response got = reply.get_future().get();
+  ASSERT_TRUE(std::holds_alternative<protocol::ErrorResponse>(got));
+  const auto& err = std::get<protocol::ErrorResponse>(got);
+  EXPECT_EQ(err.id, 77u);
+  EXPECT_EQ(err.code, protocol::ErrorCode::kMalformedBody);
+  EXPECT_EQ(server.requests_errored(), 1u);
+  EXPECT_EQ(server.requests_malformed(), 0u);
+  EXPECT_EQ(server.requests_served(), 0u);
+  net.stop();
+}
+
+TEST(ServiceEndToEnd, NamespacesConfiguredAndServedOverTheWire) {
+  AccountTable table(generalized_config(2, 10, 1000));
+  runtime::InProcNetwork net(2);
+  Server server(table, net.endpoint(0));
+  Client client(net.endpoint(1), 0);
+  net.start();
+
+  // Create a second namespace with a tighter token-bucket policy.
+  NamespaceConfig bulk;
+  bulk.strategy.kind = core::StrategyKind::kTokenBucket;
+  bulk.strategy.c_param = 2;
+  bulk.delta_us = 1000;
+  EXPECT_TRUE(client.configure_namespace(5, bulk));
+  EXPECT_FALSE(client.configure_namespace(5, bulk));  // reset, not created
+
+  client.acquire(5, 9, 0);
+  client.acquire(9, 0);  // same key, default namespace
+  table.clock().advance(6000);
+  EXPECT_EQ(client.acquire(5, 9, 100).granted, 2);   // bucket cap
+  EXPECT_EQ(client.acquire(9, 100).granted, 6);      // default C=10
+
+  const auto info = client.namespace_info(5);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->config, bulk);
+  EXPECT_EQ(info->capacity, 2);
+  EXPECT_EQ(info->accounts, 1u);
+  EXPECT_FALSE(client.namespace_info(6).has_value());
+
+  // Invalid policies come back as typed errors, not server crashes.
+  NamespaceConfig unbounded;
+  unbounded.strategy.kind = core::StrategyKind::kPureReactive;
+  try {
+    client.configure_namespace(6, unbounded);
+    FAIL() << "expected RpcError";
+  } catch (const protocol::RpcError& e) {
+    EXPECT_EQ(e.code(), protocol::ErrorCode::kInvalidConfig);
+  }
+  EXPECT_FALSE(client.namespace_info(6).has_value());
   net.stop();
 }
 
@@ -157,12 +229,20 @@ TEST(ServiceEndToEnd, AuditedAccountsHoldTheBurstBoundUnderConcurrency) {
   // The §3.4 satellite: with the auditor wired into the service path, a
   // served account must never exceed ceil(t/Δ)+C sends in any window even
   // with concurrent clients hammering it through the wire protocol while
-  // the coarse clock advances.
+  // the coarse clock advances — now per namespace: the default namespace
+  // and a runtime-configured one (different Δ, C and strategy) are audited
+  // independently against their own bounds.
   constexpr int kClients = 4;
   ServiceConfig cfg = generalized_config(2, 6, /*delta=*/2000);
   cfg.audit = true;
   cfg.initial_tokens = 3;
   AccountTable table(cfg);
+  NamespaceConfig bulk;
+  bulk.strategy.kind = core::StrategyKind::kSimple;
+  bulk.strategy.c_param = 2;
+  bulk.delta_us = 1000;
+  bulk.audit = true;
+  ASSERT_TRUE(table.configure_namespace(1, bulk));
   runtime::InProcNetwork net(1 + kClients);
   Server server(table, net.endpoint(0));
   std::vector<std::unique_ptr<Client>> clients;
@@ -175,14 +255,15 @@ TEST(ServiceEndToEnd, AuditedAccountsHoldTheBurstBoundUnderConcurrency) {
   std::vector<std::thread> threads;
   for (int c = 0; c < kClients; ++c) {
     threads.emplace_back([&, c] {
-      // All clients fight over 4 keys with oversized requests — the worst
-      // case for over-granting — and refund part of what they got (a
-      // refunded admission is struck from the audit trace, so re-granting
-      // it later must not read as a burst violation).
+      // All clients fight over 4 keys in two namespaces with oversized
+      // requests — the worst case for over-granting — and refund part of
+      // what they got (a refunded admission is struck from the audit
+      // trace, so re-granting it later must not read as a violation).
       for (int i = 0; i < 150; ++i) {
-        const AcquireResult res = clients[c]->acquire(i % 4, 3);
+        const NamespaceId ns = i % 2;
+        const AcquireResult res = clients[c]->acquire(ns, i % 4, 3);
         if (res.granted > 0 && i % 3 == 0) {
-          clients[c]->refund(i % 4, 1);
+          clients[c]->refund(ns, i % 4, 1);
         }
       }
     });
@@ -191,7 +272,8 @@ TEST(ServiceEndToEnd, AuditedAccountsHoldTheBurstBoundUnderConcurrency) {
   driver.stop();
   net.stop();
 
-  EXPECT_GT(table.stats().tokens_granted, 0u);
+  EXPECT_GT(table.stats(0).tokens_granted, 0u);
+  EXPECT_GT(table.stats(1).tokens_granted, 0u);
   const std::optional<std::string> violation = table.audit_violation();
   EXPECT_FALSE(violation.has_value()) << *violation;
 }

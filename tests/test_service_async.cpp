@@ -1,0 +1,266 @@
+// The v2 client's async core: pipelined futures and callbacks, the timeout
+// wheel (slot reclamation, straggler replies after a timeout, per-call
+// deadlines), and destruction with calls outstanding. Runs under TSan in
+// CI (the ^test_service regex), so the straggler/shutdown races are
+// exercised with the race detector on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/inproc.hpp"
+#include "runtime/tcp.hpp"
+#include "service/account_table.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "util/error.hpp"
+
+namespace toka::service {
+namespace {
+
+ServiceConfig simple_config(Tokens c, TimeUs delta = 1000) {
+  ServiceConfig cfg;
+  cfg.shards = 8;
+  cfg.delta_us = delta;
+  cfg.strategy.kind = core::StrategyKind::kSimple;
+  cfg.strategy.c_param = c;
+  return cfg;
+}
+
+TEST(ClientAsync, ManyFuturesInFlightAllComplete) {
+  AccountTable table(simple_config(10));
+  runtime::InProcNetwork net(2);
+  Server server(table, net.endpoint(0));
+  Client client(net.endpoint(1), 0);
+  net.start();
+
+  table.acquire(7, 0);
+  table.clock().advance(5000);  // key 7 banks 5 tokens
+
+  // Pipelining: issue every call before harvesting any result.
+  std::vector<std::future<AcquireResult>> futures;
+  for (int i = 0; i < 200; ++i)
+    futures.push_back(client.acquire_async(kDefaultNamespace, 7, 1));
+  Tokens granted = 0;
+  for (auto& f : futures) granted += f.get().granted;
+  EXPECT_EQ(granted, 5);
+  EXPECT_EQ(server.requests_served(), 200u);
+  EXPECT_EQ(client.inflight(), 0u);
+  net.stop();
+}
+
+TEST(ClientAsync, CallbackRunsWithResult) {
+  AccountTable table(simple_config(4));
+  runtime::InProcNetwork net(2);
+  Server server(table, net.endpoint(0));
+  Client client(net.endpoint(1), 0);
+  net.start();
+
+  std::promise<AcquireResult> relay;
+  client.acquire_async(kDefaultNamespace, 1, 0,
+                       [&relay](AcquireResult res, std::exception_ptr err) {
+                         EXPECT_EQ(err, nullptr);
+                         relay.set_value(res);
+                       });
+  EXPECT_EQ(relay.get_future().get().granted, 0);
+  net.stop();
+}
+
+TEST(ClientAsync, TimeoutRejectsFutureAndReclaimsSlot) {
+  runtime::InProcNetwork net(2);  // nobody listens on endpoint 0
+  Client client(net.endpoint(1), 0, /*timeout_us=*/20'000);
+  net.start();
+  std::future<AcquireResult> future = client.acquire_async(kDefaultNamespace, 1, 1);
+  EXPECT_EQ(client.inflight(), 1u);
+  EXPECT_THROW(future.get(), util::IoError);
+  EXPECT_EQ(client.timeouts(), 1u);
+  EXPECT_EQ(client.inflight(), 0u);  // the wheel reclaimed the slot
+  net.stop();
+}
+
+TEST(ClientAsync, SyncWrapperStillThrowsOnTimeout) {
+  runtime::InProcNetwork net(2);
+  Client client(net.endpoint(1), 0, /*timeout_us=*/20'000);
+  net.start();
+  EXPECT_THROW(client.acquire(1, 1), util::IoError);
+  EXPECT_EQ(client.timeouts(), 1u);
+  net.stop();
+}
+
+TEST(ClientAsync, StragglerReplyAfterTimeoutIsDropped) {
+  // The fabric delays every delivery by 500 ms while the call's deadline
+  // is 20 ms: the call must time out (and its slot be reclaimed) long
+  // before the reply arrives; the straggler must then be dropped without
+  // touching the dead slot, and later calls must be unaffected. Expiry is
+  // forced through expire_overdue() after the deadline has passed, so the
+  // test cannot flake on sweeper-thread scheduling under TSan.
+  AccountTable table(simple_config(4));
+  runtime::InProcNetwork net(2, /*latency_us=*/500'000);
+  Server server(table, net.endpoint(0));
+  Client client(net.endpoint(1), 0, /*timeout_us=*/20'000);
+  net.start();
+
+  std::future<AcquireResult> doomed =
+      client.acquire_async(kDefaultNamespace, 3, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  client.expire_overdue();  // deadline long past; reply still 400+ ms away
+  EXPECT_THROW(doomed.get(), util::IoError);
+  EXPECT_EQ(client.timeouts(), 1u);
+  EXPECT_EQ(client.inflight(), 0u);
+  net.drain();  // the stale reply is delivered (and dropped) in here
+  // A fresh call with a roomy per-call deadline completes normally.
+  std::future<AcquireResult> retry = client.acquire_async(
+      kDefaultNamespace, 3, 0, /*timeout_us=*/30 * duration::kSecond);
+  EXPECT_EQ(retry.get().granted, 0);
+  EXPECT_EQ(client.timeouts(), 1u);
+  net.stop();
+}
+
+TEST(ClientAsync, DeadlineShorterThanOneWheelTickStillExpires) {
+  // A 10 s default timeout clamps the wheel tick to 50 ms, so a 20 ms
+  // per-call deadline arms into a slot whose tick may already have been
+  // swept. The sweep re-scans the last swept tick, so the call must still
+  // expire within ~one tick — not a 256-tick wheel rotation later.
+  runtime::InProcNetwork net(2);  // no server: the call can only time out
+  Client client(net.endpoint(1), 0, /*timeout_us=*/10 * duration::kSecond);
+  net.start();
+  // Land mid-tick deliberately (the sweeper has swept tick 1 by ~50 ms).
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  std::future<AcquireResult> future =
+      client.acquire_async(kDefaultNamespace, 1, 1, /*timeout_us=*/20'000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  client.expire_overdue();  // deterministic under sanitizer slowdown
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  EXPECT_THROW(future.get(), util::IoError);
+  EXPECT_EQ(client.timeouts(), 1u);
+  EXPECT_EQ(client.inflight(), 0u);
+  net.stop();
+}
+
+TEST(ClientAsync, PerCallDeadlineOverridesDefault) {
+  runtime::InProcNetwork net(2);  // no server: every call must time out
+  Client client(net.endpoint(1), 0, /*timeout_us=*/10 * duration::kSecond);
+  net.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::future<AcquireResult> future =
+      client.acquire_async(kDefaultNamespace, 1, 1, /*timeout_us=*/20'000);
+  EXPECT_THROW(future.get(), util::IoError);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Rejected by the per-call deadline, orders of magnitude before the
+  // 10 s client default (wheel granularity adds at most a few ticks).
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  EXPECT_EQ(client.timeouts(), 1u);
+  net.stop();
+}
+
+TEST(ClientAsync, DestructionRejectsOutstandingCalls) {
+  runtime::InProcNetwork net(2);  // no server: the call would hang forever
+  net.start();
+  std::future<AcquireResult> orphan;
+  {
+    Client client(net.endpoint(1), 0, /*timeout_us=*/10 * duration::kSecond);
+    orphan = client.acquire_async(kDefaultNamespace, 1, 1);
+  }
+  // Rejected with IoError by ~Client, not std::future_error.
+  EXPECT_THROW(orphan.get(), util::IoError);
+  net.stop();
+}
+
+TEST(ClientAsync, TypedErrorsSurfaceAsRpcError) {
+  AccountTable table(simple_config(4));
+  runtime::InProcNetwork net(2);
+  Server server(table, net.endpoint(0));
+  Client client(net.endpoint(1), 0);
+  net.start();
+
+  try {
+    client.acquire(/*ns=*/42, 1, 1);  // namespace 42 was never configured
+    FAIL() << "expected RpcError";
+  } catch (const protocol::RpcError& e) {
+    EXPECT_EQ(e.code(), protocol::ErrorCode::kUnknownNamespace);
+  }
+  EXPECT_EQ(server.requests_errored(), 1u);
+  EXPECT_EQ(server.requests_served(), 0u);
+  net.stop();
+}
+
+TEST(ClientAsync, ConcurrentMixedSyncAndAsyncCallers) {
+  // Several application threads share one client: sync wrappers, futures
+  // and callbacks interleaved, all over one endpoint. Counters must add
+  // up and nothing may deadlock (TSan covers the rest).
+  AccountTable table(simple_config(8, /*delta=*/500));
+  runtime::InProcNetwork net(2);
+  Server server(table, net.endpoint(0));
+  Client client(net.endpoint(1), 0);
+  net.start();
+  ClockDriver driver(table, /*resolution_us=*/500);
+  driver.start();
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 100;
+  std::atomic<int> callbacks_run{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::future<AcquireResult>> futures;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t key = (t * 31 + i) % 16;
+        switch (i % 3) {
+          case 0:
+            client.acquire(key, 1);
+            break;
+          case 1:
+            futures.push_back(client.acquire_async(kDefaultNamespace, key, 1));
+            break;
+          default:
+            client.acquire_async(kDefaultNamespace, key, 1,
+                                 [&callbacks_run](AcquireResult,
+                                                  std::exception_ptr err) {
+                                   if (err == nullptr) ++callbacks_run;
+                                 });
+            break;
+        }
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Drain the fire-and-forget callbacks before asserting.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (client.inflight() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  driver.stop();
+  EXPECT_EQ(client.inflight(), 0u);
+  EXPECT_EQ(callbacks_run.load(), kThreads * (kOpsPerThread / 3));
+  EXPECT_EQ(server.requests_served(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(client.timeouts(), 0u);
+  net.stop();
+}
+
+TEST(ClientAsync, PipelinedFuturesOverTcp) {
+  AccountTable table(simple_config(10));
+  runtime::TcpMesh mesh(2);
+  Server server(table, mesh.endpoint(0));
+  Client client(mesh.endpoint(1), 0);
+
+  table.acquire(1, 0);
+  table.clock().advance(10'000);
+  std::vector<std::future<AcquireResult>> futures;
+  for (int i = 0; i < 64; ++i)
+    futures.push_back(client.acquire_async(kDefaultNamespace, 1, 1));
+  Tokens granted = 0;
+  for (auto& f : futures) granted += f.get().granted;
+  EXPECT_EQ(granted, 10);  // exactly the banked capacity
+  EXPECT_EQ(server.requests_served(), 64u);
+}
+
+}  // namespace
+}  // namespace toka::service

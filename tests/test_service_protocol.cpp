@@ -56,30 +56,63 @@ TEST(Protocol, BatchRoundTripIncludingEmpty) {
             resp);
 }
 
-Request random_request(Rng& rng) {
-  switch (rng.below(4)) {
+NamespaceId random_ns(Rng& rng, bool v1) {
+  return v1 ? kDefaultNamespace
+            : static_cast<NamespaceId>(rng.below(1u << 16));
+}
+
+NamespaceConfig random_namespace_config(Rng& rng) {
+  NamespaceConfig c;
+  c.strategy.kind = static_cast<core::StrategyKind>(rng.below(6));
+  c.strategy.a_param = static_cast<Tokens>(rng.below(100));
+  c.strategy.c_param = static_cast<Tokens>(rng.below(1000));
+  c.strategy.reactive_k = static_cast<Tokens>(rng.below(8));
+  c.strategy.reactive_useful_only = rng.bernoulli(0.5);
+  c.delta_us = static_cast<TimeUs>(rng.below(1 << 20));
+  c.initial_tokens = static_cast<Tokens>(rng.below(1000));
+  c.idle_ttl_us = static_cast<TimeUs>(rng.below(1 << 20));
+  c.max_catchup_ticks = static_cast<Tokens>(rng.below(100));
+  c.audit = rng.bernoulli(0.5);
+  return c;
+}
+
+/// With v1=true, only messages protocol v1 can carry (namespace 0, no
+/// admin frames) are generated, so the same fuzz drives both versions.
+Request random_request(Rng& rng, bool v1 = false) {
+  switch (rng.below(v1 ? 4 : 6)) {
     case 0:
       return AcquireRequest{rng.next_u64(), rng.next_u64(),
-                            static_cast<Tokens>(rng.below(1 << 20))};
+                            static_cast<Tokens>(rng.below(1 << 20)),
+                            random_ns(rng, v1)};
     case 1:
       return RefundRequest{rng.next_u64(), rng.next_u64(),
-                           static_cast<Tokens>(rng.below(1 << 20))};
+                           static_cast<Tokens>(rng.below(1 << 20)),
+                           random_ns(rng, v1)};
     case 2:
-      return QueryRequest{rng.next_u64(), rng.next_u64()};
-    default: {
+      return QueryRequest{rng.next_u64(), rng.next_u64(),
+                          random_ns(rng, v1)};
+    case 3: {
       BatchAcquireRequest m;
       m.id = rng.next_u64();
+      m.ns = random_ns(rng, v1);
       const std::size_t ops = rng.below(20);
       for (std::size_t i = 0; i < ops; ++i)
         m.ops.push_back(
             {rng.next_u64(), static_cast<Tokens>(rng.below(1000))});
       return m;
     }
+    case 4:
+      return ConfigureNamespaceRequest{rng.next_u64(),
+                                       random_ns(rng, /*v1=*/false),
+                                       random_namespace_config(rng)};
+    default:
+      return NamespaceInfoRequest{rng.next_u64(),
+                                  random_ns(rng, /*v1=*/false)};
   }
 }
 
-Response random_response(Rng& rng) {
-  switch (rng.below(4)) {
+Response random_response(Rng& rng, bool v1 = false) {
+  switch (rng.below(v1 ? 4 : 7)) {
     case 0:
       return AcquireResponse{rng.next_u64(),
                              static_cast<Tokens>(rng.below(1000)),
@@ -92,7 +125,7 @@ Response random_response(Rng& rng) {
       return QueryResponse{rng.next_u64(),
                            static_cast<Tokens>(rng.below(1000)),
                            rng.bernoulli(0.5)};
-    default: {
+    case 3: {
       BatchAcquireResponse m;
       m.id = rng.next_u64();
       const std::size_t results = rng.below(20);
@@ -101,6 +134,23 @@ Response random_response(Rng& rng) {
                              static_cast<Tokens>(rng.below(1000))});
       return m;
     }
+    case 4:
+      return ConfigureNamespaceResponse{rng.next_u64(), rng.bernoulli(0.5),
+                                        static_cast<Tokens>(rng.below(1000))};
+    case 5: {
+      NamespaceInfoResponse m;
+      m.id = rng.next_u64();
+      m.exists = rng.bernoulli(0.5);
+      if (m.exists) {
+        m.config = random_namespace_config(rng);
+        m.capacity = static_cast<Tokens>(rng.below(1000));
+        m.accounts = rng.next_u64();
+      }
+      return m;
+    }
+    default:
+      return ErrorResponse{rng.next_u64(),
+                           static_cast<ErrorCode>(1 + rng.below(3))};
   }
 }
 
@@ -171,6 +221,7 @@ TEST(Protocol, NegativeTokenCountRejected) {
   w.u8(kProtocolVersion);
   w.u8(static_cast<std::uint8_t>(MsgType::kAcquire));
   w.u64(1);
+  w.u32(0);  // namespace id (v2)
   w.u64(42);
   w.i64(-5);
   EXPECT_THROW(decode_request(w.data()), IoError);
@@ -190,8 +241,179 @@ TEST(Protocol, OversizedBatchCountRejectedBeforeAllocation) {
   w.u8(kProtocolVersion);
   w.u8(static_cast<std::uint8_t>(MsgType::kBatchAcquire));
   w.u64(1);
+  w.u32(5);  // namespace id (v2)
   w.u32(0xFFFFFFFF);  // promises 4 billion ops
   EXPECT_THROW(decode_request(w.data()), IoError);
+}
+
+// ------------------------------------------------------------ v1 interop
+
+TEST(ProtocolV1, V1FramesRoundTripUnchanged) {
+  // A v1 frame is a v2 frame about the default namespace: encoding at
+  // version 1 and decoding yields the same message (ns == 0), and
+  // re-encoding at version 1 reproduces the bytes exactly.
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const Request msg = random_request(rng, /*v1=*/true);
+    const std::vector<std::byte> wire = encode(msg, kProtocolVersionV1);
+    EXPECT_EQ(static_cast<std::uint8_t>(wire[0]), kProtocolVersionV1);
+    std::uint8_t version = 0;
+    const Request decoded = decode_request(wire, version);
+    EXPECT_EQ(version, kProtocolVersionV1);
+    EXPECT_EQ(decoded, msg);
+    EXPECT_EQ(namespace_of(decoded), kDefaultNamespace);
+    EXPECT_EQ(encode(decoded, kProtocolVersionV1), wire)
+        << "v1 re-encode diverged, iteration " << i;
+
+    const Response resp = random_response(rng, /*v1=*/true);
+    const std::vector<std::byte> resp_wire = encode(resp, kProtocolVersionV1);
+    EXPECT_EQ(decode_response(resp_wire), resp);
+    EXPECT_EQ(encode(decode_response(resp_wire), kProtocolVersionV1),
+              resp_wire);
+  }
+}
+
+TEST(ProtocolV1, V1AndV2EncodingsOfTheSameOpDecodeIdentically) {
+  const AcquireRequest req{9, 1234, 5};  // ns defaults to 0
+  const Request v1 = decode_request(encode(Request{req}, kProtocolVersionV1));
+  const Request v2 = decode_request(encode(Request{req}, kProtocolVersion));
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(ProtocolV1, V1CannotCarryNamespacesOrAdminOrErrors) {
+  EXPECT_THROW(encode(Request{AcquireRequest{1, 2, 3, /*ns=*/7}},
+                      kProtocolVersionV1),
+               util::InvariantError);
+  EXPECT_THROW(encode(Request{ConfigureNamespaceRequest{1, 0, {}}},
+                      kProtocolVersionV1),
+               util::InvariantError);
+  EXPECT_THROW(encode(Response{ErrorResponse{1, ErrorCode::kMalformedBody}},
+                      kProtocolVersionV1),
+               util::InvariantError);
+  // ...and a v1 frame claiming an admin type is rejected by the decoder.
+  std::vector<std::byte> admin = encode(NamespaceInfoRequest{1, 0});
+  admin[0] = std::byte{kProtocolVersionV1};
+  EXPECT_THROW(decode_request(admin), IoError);
+}
+
+TEST(ProtocolV1, UnknownVersionRejected) {
+  std::vector<std::byte> wire = encode(AcquireRequest{1, 2, 3});
+  wire[0] = std::byte{kProtocolVersion + 1};
+  EXPECT_THROW(decode_request(wire), IoError);
+  wire[0] = std::byte{0};
+  EXPECT_THROW(decode_request(wire), IoError);
+}
+
+// --------------------------------------------------------- v2 additions
+
+TEST(ProtocolV2, AdminAndErrorRoundTrips) {
+  NamespaceConfig config;
+  config.strategy.kind = core::StrategyKind::kGeneralized;
+  config.strategy.a_param = 2;
+  config.strategy.c_param = 12;
+  config.delta_us = 50'000;
+  config.initial_tokens = 4;
+  config.idle_ttl_us = 60'000'000;
+  config.audit = true;
+
+  const ConfigureNamespaceRequest cfg_req{11, 3, config};
+  EXPECT_EQ(std::get<ConfigureNamespaceRequest>(
+                decode_request(encode(cfg_req))),
+            cfg_req);
+  const ConfigureNamespaceResponse cfg_resp{11, true, 12};
+  EXPECT_EQ(std::get<ConfigureNamespaceResponse>(
+                decode_response(encode(cfg_resp))),
+            cfg_resp);
+
+  const NamespaceInfoRequest info_req{12, 3};
+  EXPECT_EQ(std::get<NamespaceInfoRequest>(decode_request(encode(info_req))),
+            info_req);
+  NamespaceInfoResponse info_resp{12, true, config, 12, 99};
+  EXPECT_EQ(std::get<NamespaceInfoResponse>(
+                decode_response(encode(info_resp))),
+            info_resp);
+  const NamespaceInfoResponse missing{12, false, {}, 0, 0};
+  EXPECT_EQ(std::get<NamespaceInfoResponse>(
+                decode_response(encode(missing))),
+            missing);
+
+  for (const ErrorCode code :
+       {ErrorCode::kMalformedBody, ErrorCode::kUnknownNamespace,
+        ErrorCode::kInvalidConfig}) {
+    const ErrorResponse err{13, code};
+    EXPECT_EQ(std::get<ErrorResponse>(decode_response(encode(err))), err);
+  }
+}
+
+TEST(ProtocolV2, UnknownErrorCodeAndBadStrategyKindRejected) {
+  std::vector<std::byte> err = encode(ErrorResponse{1, ErrorCode::kMalformedBody});
+  err.back() = std::byte{0x7E};  // not a defined code
+  EXPECT_THROW(decode_response(err), IoError);
+
+  std::vector<std::byte> cfg =
+      encode(ConfigureNamespaceRequest{1, 0, NamespaceConfig{}});
+  cfg[14] = std::byte{0x33};  // strategy-kind byte (after header + u32 ns)
+  EXPECT_THROW(decode_request(cfg), IoError);
+}
+
+TEST(ProtocolV2, ErrorResponseExistsOnlyAsResponse) {
+  // Craft a kError frame without the response bit: not a legal request.
+  util::BinaryWriter w;
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kError));
+  w.u64(1);
+  w.u8(1);
+  EXPECT_THROW(decode_request(w.data()), IoError);
+}
+
+TEST(ProtocolV2, TryParseHeaderSplitsGarbageFromBadBodies) {
+  // Valid header + truncated body: header parses, full decode throws.
+  const std::vector<std::byte> good = encode(AcquireRequest{42, 7, 1, 3});
+  std::vector<std::byte> bad_body(good.begin(), good.end() - 3);
+  EXPECT_THROW(decode_request(bad_body), IoError);
+  const auto head = try_parse_header(bad_body);
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->version, kProtocolVersion);
+  EXPECT_EQ(head->type, MsgType::kAcquire);
+  EXPECT_FALSE(head->is_response);
+  EXPECT_EQ(head->id, 42u);
+
+  // Garbage: no header to speak of.
+  EXPECT_FALSE(try_parse_header({}).has_value());
+  std::vector<std::byte> junk(12, std::byte{0xAB});
+  EXPECT_FALSE(try_parse_header(junk).has_value());
+  // Bad version.
+  std::vector<std::byte> bad_version = good;
+  bad_version[0] = std::byte{9};
+  EXPECT_FALSE(try_parse_header(bad_version).has_value());
+  // Type undefined for the claimed version (admin under v1).
+  std::vector<std::byte> v1_admin = encode(NamespaceInfoRequest{1, 0});
+  v1_admin[0] = std::byte{kProtocolVersionV1};
+  EXPECT_FALSE(try_parse_header(v1_admin).has_value());
+}
+
+TEST(ProtocolV2, RandomizedV2FuzzCoversNewMessages) {
+  // Mirror of the v1 byte-identity fuzz over the full v2 message set
+  // (admin + error frames included), plus every-truncation rejection.
+  Rng rng(31337);
+  for (int i = 0; i < 300; ++i) {
+    const Request msg = random_request(rng);
+    const std::vector<std::byte> wire = encode(msg);
+    EXPECT_EQ(decode_request(wire), msg);
+    EXPECT_EQ(encode(decode_request(wire)), wire);
+    const Response resp = random_response(rng);
+    const std::vector<std::byte> resp_wire = encode(resp);
+    EXPECT_EQ(decode_response(resp_wire), resp);
+    EXPECT_EQ(encode(decode_response(resp_wire)), resp_wire);
+  }
+  for (int i = 0; i < 30; ++i) {
+    const std::vector<std::byte> wire = encode(random_request(rng));
+    for (std::size_t cut = 0; cut < wire.size(); ++cut)
+      EXPECT_THROW(decode_request(std::span(wire.data(), cut)), IoError);
+    const std::vector<std::byte> resp_wire = encode(random_response(rng));
+    for (std::size_t cut = 0; cut < resp_wire.size(); ++cut)
+      EXPECT_THROW(decode_response(std::span(resp_wire.data(), cut)), IoError);
+  }
 }
 
 }  // namespace

@@ -297,5 +297,138 @@ TEST(AccountTable, ConcurrentMixedTrafficKeepsCountersConsistent) {
   }
 }
 
+// -------------------------------------------------------------- namespaces
+
+NamespaceConfig bucket_namespace(Tokens c, TimeUs delta) {
+  NamespaceConfig ns;
+  ns.strategy.kind = core::StrategyKind::kTokenBucket;
+  ns.strategy.c_param = c;
+  ns.delta_us = delta;
+  return ns;
+}
+
+TEST(AccountTableNamespaces, DefaultNamespaceAlwaysExists) {
+  AccountTable table(simple_config(10));
+  EXPECT_TRUE(table.has_namespace(kDefaultNamespace));
+  EXPECT_EQ(table.namespace_count(), 1u);
+  const auto info = table.namespace_info(kDefaultNamespace);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->config, table.config().default_namespace());
+  EXPECT_EQ(info->capacity, 10);
+}
+
+TEST(AccountTableNamespaces, SameKeyIsolatedAcrossNamespaces) {
+  AccountTable table(simple_config(10, 1000));
+  ASSERT_TRUE(table.configure_namespace(1, bucket_namespace(2, 1000)));
+  table.acquire(0, 42, 0);
+  table.acquire(1, 42, 0);
+  table.clock().advance(6000);
+  // Same key, different policies: simple C=10 banks 6, bucket caps at 2.
+  EXPECT_EQ(table.acquire(0, 42, 100).granted, 6);
+  EXPECT_EQ(table.acquire(1, 42, 100).granted, 2);
+  EXPECT_EQ(table.account_count(), 2u);
+}
+
+TEST(AccountTableNamespaces, PerNamespaceDeltaDividesTheSharedClock) {
+  // One shared CoarseClock, two clock divisors: after 10 ms the Δ=1 ms
+  // namespace banked 10 tokens, the Δ=5 ms namespace only 2.
+  AccountTable table(simple_config(100, 1000));
+  NamespaceConfig slow = simple_config(100, 5000).default_namespace();
+  ASSERT_TRUE(table.configure_namespace(9, slow));
+  table.acquire(0, 1, 0);
+  table.acquire(9, 1, 0);
+  table.clock().advance(10'000);
+  EXPECT_EQ(table.acquire(0, 1, 100).granted, 10);
+  EXPECT_EQ(table.acquire(9, 1, 100).granted, 2);
+}
+
+TEST(AccountTableNamespaces, UnknownNamespaceThrowsForDirectCallers) {
+  AccountTable table(simple_config(10));
+  EXPECT_FALSE(table.has_namespace(3));
+  EXPECT_THROW(table.acquire(3, 1, 1), util::InvariantError);
+  EXPECT_THROW(table.query(3, 1), util::InvariantError);
+  EXPECT_THROW(table.refund(3, 1, 1), util::InvariantError);
+  EXPECT_FALSE(table.namespace_info(3).has_value());
+}
+
+TEST(AccountTableNamespaces, InvalidConfigsRejectedAtConfigureTime) {
+  AccountTable table(simple_config(10));
+  NamespaceConfig unbounded;
+  unbounded.strategy.kind = core::StrategyKind::kPureReactive;
+  EXPECT_THROW(table.configure_namespace(1, unbounded), util::InvariantError);
+  NamespaceConfig bad_delta = simple_config(5).default_namespace();
+  bad_delta.delta_us = 0;
+  EXPECT_THROW(table.configure_namespace(1, bad_delta), util::InvariantError);
+  NamespaceConfig rich = simple_config(5).default_namespace();
+  rich.initial_tokens = 6;  // above capacity
+  EXPECT_THROW(table.configure_namespace(1, rich), util::InvariantError);
+  // A failed configure must not half-create the namespace.
+  EXPECT_FALSE(table.has_namespace(1));
+}
+
+TEST(AccountTableNamespaces, ReconfigureResetsAccounts) {
+  AccountTable table(simple_config(10, 1000));
+  ASSERT_TRUE(table.configure_namespace(2, bucket_namespace(8, 1000)));
+  table.acquire(2, 5, 0);
+  table.clock().advance(4000);
+  ASSERT_EQ(table.acquire(2, 5, 100).granted, 4);
+  // Replacing the policy drops the namespace's accounts: the key restarts
+  // from the (new) initial balance, which can only under-grant.
+  EXPECT_FALSE(table.configure_namespace(2, bucket_namespace(3, 1000)));
+  EXPECT_FALSE(table.query(2, 5).exists);
+  EXPECT_EQ(table.capacity_bound(2), 3);
+  table.acquire(2, 5, 0);  // re-created under the new policy, balance 0
+  table.clock().advance(100'000);
+  EXPECT_EQ(table.acquire(2, 5, 100).granted, 3);  // new, tighter cap
+  EXPECT_EQ(table.stats(2).accounts_evicted, 1u);
+}
+
+TEST(AccountTableNamespaces, StatsBreakOutPerNamespace) {
+  AccountTable table(simple_config(10, 1000));
+  ASSERT_TRUE(table.configure_namespace(1, bucket_namespace(4, 1000)));
+  for (std::uint64_t key = 0; key < 5; ++key) table.acquire(0, key, 1);
+  for (std::uint64_t key = 0; key < 3; ++key) table.acquire(1, key, 1);
+  const TableStats ns0 = table.stats(0);
+  const TableStats ns1 = table.stats(1);
+  EXPECT_EQ(ns0.acquires, 5u);
+  EXPECT_EQ(ns0.accounts, 5u);
+  EXPECT_EQ(ns1.acquires, 3u);
+  EXPECT_EQ(ns1.accounts, 3u);
+  // The merged view is exactly the per-namespace sum.
+  const TableStats all = table.stats();
+  EXPECT_EQ(all.acquires, 8u);
+  EXPECT_EQ(all.accounts, 8u);
+  EXPECT_EQ(all.tokens_requested, ns0.tokens_requested + ns1.tokens_requested);
+}
+
+TEST(AccountTableNamespaces, PerNamespaceTtlEviction) {
+  ServiceConfig cfg = simple_config(10, 1000);  // default ns: no TTL
+  AccountTable table(cfg);
+  NamespaceConfig ephemeral = simple_config(10, 1000).default_namespace();
+  ephemeral.idle_ttl_us = 10'000;
+  ASSERT_TRUE(table.configure_namespace(7, ephemeral));
+  EXPECT_EQ(table.min_idle_ttl_us(), 10'000);
+  table.acquire(0, 1, 0);
+  table.acquire(7, 1, 0);
+  table.clock().advance(50'000);  // both idle 50 ms
+  EXPECT_EQ(table.evict_idle(), 1u);  // only the TTL'd namespace evicts
+  EXPECT_TRUE(table.query(0, 1).exists);
+  EXPECT_FALSE(table.query(7, 1).exists);
+}
+
+TEST(AccountTableNamespaces, BatchRunsAgainstItsNamespace) {
+  AccountTable table(simple_config(10, 1000));
+  ASSERT_TRUE(table.configure_namespace(1, bucket_namespace(2, 1000)));
+  const std::vector<AcquireOp> warm{{1, 0}, {2, 0}};
+  table.acquire_batch(1, warm);
+  table.clock().advance(9000);
+  const std::vector<AcquireOp> ops{{1, 5}, {2, 5}};
+  const std::vector<AcquireResult> res = table.acquire_batch(1, ops);
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0].granted, 2);  // bucket cap, not the default ns's C=10
+  EXPECT_EQ(res[1].granted, 2);
+  EXPECT_EQ(table.stats(0).acquires, 0u);
+}
+
 }  // namespace
 }  // namespace toka::service
