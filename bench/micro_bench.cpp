@@ -1,14 +1,16 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the library:
 // strategy evaluation, account operations, rounding, peer sampling, event
-// processing throughput, graph construction, the analysis kernels, and the
+// processing throughput, graph construction, the analysis kernels, the
 // tokend service layer (protocol v2 encode/decode, sync vs pipelined
-// round trips through the in-process fabric).
+// round trips through the in-process fabric), and the tokad cluster layer
+// (HashRing owner lookups and ring rebuilds).
 #include <benchmark/benchmark.h>
 
 #include <future>
 #include <vector>
 
 #include "analysis/eigen.hpp"
+#include "cluster/hash_ring.hpp"
 #include "core/account.hpp"
 #include "core/rand_round.hpp"
 #include "core/strategies.hpp"
@@ -354,6 +356,52 @@ void BM_ServiceRoundTripPipelined(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(ops));
 }
 BENCHMARK(BM_ServiceRoundTripPipelined)->Arg(32)->MinTime(0.2);
+
+std::vector<NodeId> ring_nodes(std::int64_t count) {
+  std::vector<NodeId> nodes(static_cast<std::size_t>(count));
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    nodes[i] = static_cast<NodeId>(i);
+  return nodes;
+}
+
+/// The per-request routing cost of the cluster layer: one (ns, key) →
+/// owner lookup. range(0) = members, range(1) = virtual nodes per member
+/// (the binary search is over members * vnodes points).
+void BM_HashRingOwner(benchmark::State& state) {
+  const cluster::HashRing ring(
+      std::span<const NodeId>(ring_nodes(state.range(0))),
+      static_cast<std::uint32_t>(state.range(1)));
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.owner(0, key++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashRingOwner)
+    ->Args({3, 64})
+    ->Args({16, 64})
+    ->Args({64, 64})
+    ->Args({16, 256})
+    ->Args({64, 256});
+
+/// Membership-change cost: rebuilding the ring from a fresh map (point
+/// generation + sort). Paid once per epoch bump per node/client, never on
+/// the request path.
+void BM_HashRingRebuild(benchmark::State& state) {
+  const std::vector<NodeId> nodes = ring_nodes(state.range(0));
+  const auto vnodes = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    cluster::HashRing ring(std::span<const NodeId>(nodes), vnodes);
+    benchmark::DoNotOptimize(ring.point_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashRingRebuild)
+    ->Args({3, 64})
+    ->Args({16, 64})
+    ->Args({64, 64})
+    ->Args({16, 256})
+    ->Args({64, 256});
 
 }  // namespace
 

@@ -5,15 +5,24 @@
 // in-process fabric or TCP loopback) — synchronously, and pipelined through
 // the v2 async client core.
 //
-//   $ ./service_load --quick   # CI: preload,table,batch,open,wire,sync,pipeline
+//   $ ./service_load --quick   # CI: preload,table,...,pipeline,cluster
 //   $ ./service_load --modes=table,tcp --threads=16 --seconds=5 --keys=4194304
 //   $ ./service_load --mode=pipeline --window=32 --seconds=5
+//   $ ./service_load --mode=cluster --cluster-nodes=3 --churn
 //
 // The paired "sync" and "pipeline" modes answer the v2 API's headline
 // question: both run single-connection closed loops over real TCP, sync
 // one blocking acquire per round trip, pipeline keeping --window async
 // acquires in flight through the completion registry. --min-pipeline-speedup
 // turns the ratio into a CI floor.
+//
+// The "cluster" mode answers the scale-OUT question: the same pipelined
+// Zipf workload against one tokad node ("cluster1") and against
+// --cluster-nodes nodes ("cluster"), each node a ClusterServer on its own
+// in-process dispatcher lane (one lane ≈ one machine's serial capacity),
+// with ClusterClient routing per key. --min-cluster-speedup turns the
+// N-node-vs-1-node ratio into a CI floor, and --churn kills one node and
+// joins a fresh one mid-run (reported: errors must stay 0).
 //
 // Reports per-mode throughput and latency percentiles, and with --json=FILE
 // writes the BENCH_service.json document the release-bench CI job uploads.
@@ -29,6 +38,9 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster_client.hpp"
+#include "cluster/cluster_map.hpp"
+#include "cluster/cluster_server.hpp"
 #include "metrics/timeseries.hpp"
 #include "runtime/inproc.hpp"
 #include "runtime/tcp.hpp"
@@ -161,6 +173,8 @@ struct LoadConfig {
   std::size_t batch = 0;
   double open_rate = 0;   ///< total target ops/s for open-loop modes
   std::size_t window = 0; ///< in-flight cap per connection (pipeline mode)
+  std::size_t cluster_nodes = 0;  ///< tokad members for the cluster mode
+  bool churn = false;             ///< kill+join mid-run in the cluster mode
 };
 
 /// Preload: batch-create every key once so the timed phases run against a
@@ -405,6 +419,147 @@ ModeResult run_open_async(const std::string& mode,
   return res;
 }
 
+/// The pipelined Zipf workload against a tokad cluster of `node_count`
+/// in-process nodes (each on its own dispatcher lane, so one node models
+/// one machine's serial capacity). With `churn`, the last node is killed
+/// at ~40% of the run and a fresh node joins at ~70% — the workers must
+/// absorb both through ClusterClient retries; `errors_out` reports what
+/// they could not.
+ModeResult run_cluster(const std::string& mode, const util::ZipfSampler& sampler,
+                       const LoadConfig& load, const service::ServiceConfig& cfg,
+                       std::size_t node_count, bool churn,
+                       std::uint64_t& errors_out) {
+  struct ClusterNode {
+    service::AccountTable table;
+    service::ClockDriver driver;
+    std::unique_ptr<cluster::ClusterServer> server;
+    ClusterNode(const service::ServiceConfig& node_cfg,
+                runtime::Transport& transport, const cluster::ClusterMap& map)
+        : table(node_cfg), driver(table, 1000) {
+      driver.start();
+      server = std::make_unique<cluster::ClusterServer>(table, transport, map);
+    }
+  };
+
+  const std::size_t slots = node_count + (churn ? 1 : 0);  // spare for join
+  cluster::ClusterMap map{1, cluster::kDefaultVnodes, {}};
+  for (std::size_t n = 0; n < node_count; ++n)
+    map.nodes.push_back(static_cast<NodeId>(n));
+
+  // Endpoints: servers 0..slots-1, then a stride of `slots` per worker,
+  // then the coordinator's stride. Server lanes are distinct (lane =
+  // destination % lanes and lanes >= slots), so nodes parallelize.
+  runtime::InProcNetwork net(
+      slots + (load.threads + 1) * slots, /*latency_us=*/0,
+      /*dispatchers=*/slots + std::min<std::size_t>(load.threads, 8));
+  auto endpoints_of = [&](std::size_t slot) {
+    return [&net, slot, slots](NodeId server) -> runtime::Transport& {
+      return net.endpoint(static_cast<NodeId>(slots + slot * slots + server));
+    };
+  };
+  std::vector<std::unique_ptr<ClusterNode>> nodes;
+  for (std::size_t n = 0; n < node_count; ++n)
+    nodes.push_back(std::make_unique<ClusterNode>(
+        cfg, net.endpoint(static_cast<NodeId>(n)), map));
+  net.start();
+
+  cluster::ClusterClientConfig client_cfg;
+  client_cfg.call_timeout_us = 250 * 1'000;
+  client_cfg.max_attempts = 12;
+
+  const auto deadline =
+      Clock::now() + std::chrono::microseconds(from_seconds(load.seconds));
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<bool> stop_churn{false};
+  std::thread churn_thread;
+  if (churn) {
+    churn_thread = std::thread([&] {
+      cluster::ClusterClient admin(endpoints_of(load.threads), map, client_cfg);
+      const auto nap = std::chrono::microseconds(
+          from_seconds(load.seconds * 0.4));
+      std::this_thread::sleep_for(nap);
+      if (stop_churn.load()) return;
+      const NodeId victim = static_cast<NodeId>(node_count - 1);
+      nodes[victim]->server.reset();
+      const cluster::ClusterMap shrunk = map.without_node(victim);
+      admin.push_map(shrunk);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(from_seconds(load.seconds * 0.3)));
+      if (stop_churn.load()) return;
+      const NodeId joiner = static_cast<NodeId>(node_count);
+      const cluster::ClusterMap grown = shrunk.with_node(joiner);
+      nodes.push_back(std::make_unique<ClusterNode>(
+          cfg, net.endpoint(joiner), grown));
+      admin.push_map(grown);
+    });
+  }
+
+  ModeResult res = run_threads(mode, load.threads, [&](std::size_t t,
+                                                       PerThread& tally) {
+    cluster::ClusterClient client(endpoints_of(t), map, client_cfg);
+    const std::size_t window = std::max<std::size_t>(load.window, 1);
+    // Unlike the single-connection modes, a cluster worker's completions
+    // arrive on several dispatcher lanes (one per routed node) plus the
+    // timeout sweepers — so each chain tallies into its own slot (a chain
+    // has one op in flight, and its reissue happens-before the next
+    // completion) and the worker merges after all chains retire. The
+    // semaphore is shared so a completion's release() can never outlive it.
+    struct Chain {
+      util::Rng rng{0};
+      std::int64_t granted = 0;
+      std::uint64_t calls = 0;
+      std::vector<double> lat_us;
+    };
+    std::vector<Chain> chains(window);
+    for (std::size_t s = 0; s < window; ++s)
+      chains[s].rng.reseed(7000 + 997 * t + s);
+    auto finished = std::make_shared<std::counting_semaphore<>>(0);
+    std::function<void(std::size_t)> issue = [&](std::size_t s) {
+      const std::uint64_t key = sampler.next(chains[s].rng);
+      const auto t0 = Clock::now();
+      client.acquire_async(
+          service::kDefaultNamespace, key, 1,
+          [&, s, t0, finished](service::AcquireResult result,
+                               std::exception_ptr err) {
+            const auto now = Clock::now();
+            if (err != nullptr) {
+              errors.fetch_add(1, std::memory_order_relaxed);
+              finished->release();  // retries exhausted: retire the chain
+              return;
+            }
+            Chain& chain = chains[s];
+            chain.granted += result.granted;
+            if ((chain.calls & 0x3F) == 0)
+              chain.lat_us.push_back(us_between(t0, now));
+            tally.ops.fetch_add(1, std::memory_order_relaxed);
+            ++chain.calls;
+            if (now >= deadline) {
+              finished->release();
+            } else {
+              issue(s);
+            }
+          });
+    };
+    for (std::size_t s = 0; s < window; ++s) issue(s);
+    for (std::size_t s = 0; s < window; ++s) finished->acquire();
+    for (const Chain& chain : chains) {
+      tally.granted += chain.granted;
+      tally.calls += chain.calls;
+      tally.lat_us.insert(tally.lat_us.end(), chain.lat_us.begin(),
+                          chain.lat_us.end());
+    }
+  });
+  stop_churn.store(true);
+  if (churn_thread.joinable()) churn_thread.join();
+  for (auto& node : nodes) node->driver.stop();
+  net.stop();
+  errors_out = errors.load();
+  if (errors_out > 0)
+    std::fprintf(stderr, "cluster mode '%s': %llu client-visible errors\n",
+                 mode.c_str(), static_cast<unsigned long long>(errors_out));
+  return res;
+}
+
 void print_result(const ModeResult& res) {
   std::printf("%-8s %3zu thr %8.2fs %12llu ops %12.0f ops/s", res.mode.c_str(),
               res.threads, res.seconds,
@@ -438,12 +593,15 @@ void write_json(const std::string& path, const std::vector<ModeResult>& runs,
   }
   const service::TableStats stats = table.stats();
   double table_ops_per_sec = 0, pipeline_ops_per_sec = 0, pipeline_p99 = 0;
+  double cluster_ops_per_sec = 0, cluster1_ops_per_sec = 0;
   for (const ModeResult& r : runs) {
     if (r.mode == "table") table_ops_per_sec = r.ops_per_sec();
     if (r.mode == "pipeline") {
       pipeline_ops_per_sec = r.ops_per_sec();
       pipeline_p99 = r.latency.p99_us;
     }
+    if (r.mode == "cluster") cluster_ops_per_sec = r.ops_per_sec();
+    if (r.mode == "cluster1") cluster1_ops_per_sec = r.ops_per_sec();
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"schema\": \"toka-bench-service-v2\",\n");
@@ -464,6 +622,13 @@ void write_json(const std::string& path, const std::vector<ModeResult>& runs,
   std::fprintf(f, "  \"acquire_ops_per_sec\": %.0f,\n", table_ops_per_sec);
   std::fprintf(f, "  \"pipeline_ops_per_sec\": %.0f,\n", pipeline_ops_per_sec);
   std::fprintf(f, "  \"pipeline_p99_us\": %.2f,\n", pipeline_p99);
+  std::fprintf(f, "  \"cluster_nodes\": %zu,\n", load.cluster_nodes);
+  std::fprintf(f, "  \"cluster_ops_per_sec\": %.0f,\n", cluster_ops_per_sec);
+  std::fprintf(f, "  \"cluster1_ops_per_sec\": %.0f,\n", cluster1_ops_per_sec);
+  std::fprintf(f, "  \"cluster_speedup\": %.2f,\n",
+               cluster1_ops_per_sec > 0
+                   ? cluster_ops_per_sec / cluster1_ops_per_sec
+                   : 0);
   std::fprintf(f, "  \"distinct_keys_served\": %llu,\n",
                static_cast<unsigned long long>(stats.accounts));
   std::fprintf(f, "  \"runs\": [\n");
@@ -525,6 +690,9 @@ int main(int argc, char** argv) {
   load.batch = static_cast<std::size_t>(args.get_int("batch", 16));
   load.open_rate = args.get_double("rate", 200'000);
   load.window = static_cast<std::size_t>(args.get_int("window", 64));
+  load.cluster_nodes =
+      static_cast<std::size_t>(args.get_int("cluster-nodes", 3));
+  load.churn = args.get_flag("churn");
 
   service::ServiceConfig cfg;
   cfg.shards = static_cast<std::size_t>(args.get_int("shards", 256));
@@ -539,7 +707,8 @@ int main(int argc, char** argv) {
   // --mode is an alias for --modes (reads naturally for a single mode).
   const std::string modes_arg = args.get_string(
       "modes",
-      args.get_string("mode", "preload,table,batch,open,wire,sync,pipeline"));
+      args.get_string("mode",
+                      "preload,table,batch,open,wire,sync,pipeline,cluster"));
   std::vector<std::string> modes;
   std::stringstream modes_stream(modes_arg);
   for (std::string m; std::getline(modes_stream, m, ',');) modes.push_back(m);
@@ -557,6 +726,7 @@ int main(int argc, char** argv) {
               load.threads, load.seconds);
 
   std::vector<ModeResult> runs;
+  std::uint64_t cluster_errors = 0;
   for (const std::string& mode : modes) {
     if (mode == "preload") {
       runs.push_back(run_preload(table, load));
@@ -594,6 +764,18 @@ int main(int argc, char** argv) {
                                   [&](std::size_t t) -> runtime::Transport& {
         return mesh.endpoint(static_cast<NodeId>(1 + t));
       }));
+    } else if (mode == "cluster") {
+      // Scale-out pair: the same pipelined workload against 1 node, then
+      // against the full member count; the ratio is the speedup the
+      // consistent-hash sharding buys.
+      std::uint64_t errors1 = 0, errors_n = 0;
+      runs.push_back(run_cluster("cluster1", sampler, load, cfg, 1,
+                                 /*churn=*/false, errors1));
+      print_result(runs.back());
+      runs.push_back(run_cluster("cluster", sampler, load, cfg,
+                                 std::max<std::size_t>(load.cluster_nodes, 1),
+                                 load.churn, errors_n));
+      cluster_errors = errors1 + errors_n;
     } else if (mode == "aopen") {
       runtime::TcpMesh mesh(1 + load.threads);
       service::Server server(table, mesh.endpoint(0));
@@ -664,6 +846,40 @@ int main(int argc, char** argv) {
     }
     std::printf("pipeline sustains %.2fx sync throughput (floor %.2fx): OK\n",
                 speedup, min_speedup);
+  }
+
+  // Release-bench CI passes --min-cluster-speedup=1.5: N tokad nodes (each
+  // one dispatcher lane ≈ one machine) must beat one node by at least this
+  // factor on the same pipelined Zipf workload. Any client-visible error
+  // in a cluster run fails the bench outright.
+  const double min_cluster = args.get_double("min-cluster-speedup", 0);
+  if (min_cluster > 0) {
+    if (cluster_errors > 0) {
+      std::fprintf(stderr, "FAIL: cluster runs saw %llu client errors\n",
+                   static_cast<unsigned long long>(cluster_errors));
+      return 1;
+    }
+    double one_ops = 0, n_ops = 0;
+    for (const ModeResult& r : runs) {
+      if (r.mode == "cluster1") one_ops = r.ops_per_sec();
+      if (r.mode == "cluster") n_ops = r.ops_per_sec();
+    }
+    if (one_ops <= 0 || n_ops <= 0) {
+      std::fprintf(stderr,
+                   "FAIL: --min-cluster-speedup needs the cluster mode\n");
+      return 1;
+    }
+    const double speedup = n_ops / one_ops;
+    if (speedup < min_cluster) {
+      std::fprintf(stderr,
+                   "FAIL: %zu-node cluster %.0f ops/s is only %.2fx one node "
+                   "%.0f ops/s (floor %.2fx)\n",
+                   load.cluster_nodes, n_ops, speedup, one_ops, min_cluster);
+      return 1;
+    }
+    std::printf("%zu-node cluster sustains %.2fx one-node throughput "
+                "(floor %.2fx): OK\n",
+                load.cluster_nodes, speedup, min_cluster);
   }
   return 0;
 }

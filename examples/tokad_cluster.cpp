@@ -1,0 +1,224 @@
+// tokad: a tokend cluster under membership churn, end to end.
+//
+// Three ClusterServer nodes (each its own sharded AccountTable behind the
+// in-process fabric) serve Zipf-skewed acquire traffic from several
+// ClusterClient workers, routed by consistent hashing. Mid-run the demo
+// kills one node (its banked tokens are forfeited — never resurrected)
+// and then joins a fresh node (the survivors hand the moved accounts off,
+// carrying their balances). Workers absorb every redirect and dead-node
+// timeout internally: the run must end with zero client-visible errors.
+//
+// The run closes with the cluster-wide §3.4 audit: per key, the total
+// tokens granted anywhere in the cluster must fit one token per period
+// plus the capacity burst — kill, handoff and join included — and every
+// node's own table-side audit must agree.
+//
+//   $ ./tokad_cluster [--workers=3] [--ms=1200] [--keys=256]
+//                     [--delta-ms=25] [--a=2] [--c=8] [--zipf=0.9]
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_client.hpp"
+#include "cluster/cluster_map.hpp"
+#include "cluster/cluster_server.hpp"
+#include "runtime/inproc.hpp"
+#include "service/account_table.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace toka;
+  using Clock = std::chrono::steady_clock;
+  const util::Args args(argc, argv);
+  const auto workers = static_cast<std::size_t>(args.get_int("workers", 3));
+  const auto run_ms = args.get_int("ms", 1200);
+  const auto keys = static_cast<std::uint64_t>(args.get_int("keys", 256));
+  const TimeUs delta_us = args.get_int("delta-ms", 25) * 1000;
+  const Tokens capacity_c = args.get_int("c", 8);
+
+  service::ServiceConfig cfg;
+  cfg.shards = 16;
+  cfg.delta_us = delta_us;
+  cfg.strategy.kind = core::StrategyKind::kGeneralized;
+  cfg.strategy.a_param = args.get_int("a", 2);
+  cfg.strategy.c_param = capacity_c;
+  cfg.initial_tokens = 0;  // every granted token is earned inside the run
+  cfg.audit = true;        // per-node §3.4 auditor on every account
+
+  struct ClusterNode {
+    service::AccountTable table;
+    service::ClockDriver driver;
+    std::unique_ptr<cluster::ClusterServer> server;
+    ClusterNode(const service::ServiceConfig& node_cfg,
+                runtime::Transport& transport, const cluster::ClusterMap& map)
+        : table(node_cfg), driver(table, 1000) {
+      driver.start();
+      server = std::make_unique<cluster::ClusterServer>(table, transport, map);
+    }
+  };
+
+  constexpr std::size_t kMaxNodes = 4;  // 0..2 initial, 3 joins mid-run
+  const cluster::ClusterMap map1{1, cluster::kDefaultVnodes, {0, 1, 2}};
+  runtime::InProcNetwork net(kMaxNodes + (workers + 1) * kMaxNodes,
+                             /*latency_us=*/0, /*dispatchers=*/kMaxNodes);
+  auto endpoints_of = [&](std::size_t slot) {
+    return [&net, slot](NodeId server) -> runtime::Transport& {
+      return net.endpoint(
+          static_cast<NodeId>(kMaxNodes + slot * kMaxNodes + server));
+    };
+  };
+
+  std::vector<std::unique_ptr<ClusterNode>> nodes;
+  for (NodeId n = 0; n < 3; ++n)
+    nodes.push_back(std::make_unique<ClusterNode>(cfg, net.endpoint(n), map1));
+  net.start();
+
+  std::printf("tokad: 3 nodes (%s, Δ=%lld ms, C=%lld), %zu workers, "
+              "%llu keys — kill node 2, then join node 3\n",
+              cfg.strategy.label().c_str(),
+              static_cast<long long>(delta_us / 1000),
+              static_cast<long long>(capacity_c), workers,
+              static_cast<unsigned long long>(keys));
+
+  cluster::ClusterClientConfig client_cfg;
+  client_cfg.call_timeout_us = 150 * 1'000;
+  client_cfg.max_attempts = 12;
+
+  struct GrantEvent {
+    std::uint64_t key;
+    TimeUs at_us;
+    Tokens granted;
+  };
+  struct WorkerTally {
+    std::vector<GrantEvent> grants;
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t redirects = 0;
+    std::uint64_t io_retries = 0;
+  };
+  std::vector<WorkerTally> tallies(workers);
+
+  const auto start = Clock::now();
+  auto now_us = [&] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start)
+        .count();
+  };
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      cluster::ClusterClient client(endpoints_of(w), map1, client_cfg);
+      util::Rng rng(100 + w);
+      const util::ZipfSampler zipf(keys, args.get_double("zipf", 0.9));
+      while (Clock::now() - start < std::chrono::milliseconds(run_ms)) {
+        const std::uint64_t key = zipf.next(rng);
+        ++tallies[w].requests;
+        try {
+          const service::AcquireResult res =
+              client.acquire(service::kDefaultNamespace, key, 1);
+          if (res.granted > 0)
+            tallies[w].grants.push_back(GrantEvent{key, now_us(), res.granted});
+        } catch (const std::exception&) {
+          ++tallies[w].errors;
+        }
+      }
+      tallies[w].redirects = client.redirects_followed();
+      tallies[w].io_retries = client.io_retries();
+    });
+  }
+
+  // The coordinator drives the churn: kill at ~1/3, join at ~2/3.
+  cluster::ClusterClient admin(endpoints_of(workers), map1, client_cfg);
+  std::this_thread::sleep_for(std::chrono::milliseconds(run_ms / 3));
+  nodes[2]->server.reset();  // node 2 dies; its banked tokens are forfeited
+  const cluster::ClusterMap map2 = map1.without_node(2);
+  admin.push_map(map2);
+  std::printf("t=%.2fs  killed node 2, pushed map epoch %llu {0,1}\n",
+              to_seconds(now_us()),
+              static_cast<unsigned long long>(map2.epoch));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(run_ms / 3));
+  const cluster::ClusterMap map3 = map2.with_node(3);
+  nodes.push_back(std::make_unique<ClusterNode>(cfg, net.endpoint(3), map3));
+  admin.push_map(map3);
+  std::printf("t=%.2fs  joined node 3, pushed map epoch %llu {0,1,3}\n",
+              to_seconds(now_us()),
+              static_cast<unsigned long long>(map3.epoch));
+
+  for (auto& thread : threads) thread.join();
+  const TimeUs run_us = now_us();
+  for (auto& node : nodes) node->driver.stop();
+  net.stop();
+
+  std::printf("\n%-8s %10s %10s %8s %10s %10s\n", "worker", "requests",
+              "granted", "errors", "redirects", "io-retry");
+  std::uint64_t total_errors = 0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    Tokens granted = 0;
+    for (const GrantEvent& event : tallies[w].grants) granted += event.granted;
+    total_errors += tallies[w].errors;
+    std::printf("%-8zu %10llu %10lld %8llu %10llu %10llu\n", w,
+                static_cast<unsigned long long>(tallies[w].requests),
+                static_cast<long long>(granted),
+                static_cast<unsigned long long>(tallies[w].errors),
+                static_cast<unsigned long long>(tallies[w].redirects),
+                static_cast<unsigned long long>(tallies[w].io_retries));
+  }
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    const auto& server = nodes[n]->server;
+    std::printf("node %zu: %llu accounts, %s%s\n", n,
+                static_cast<unsigned long long>(nodes[n]->table.account_count()),
+                server ? "" : "KILLED, ",
+                server
+                    ? ("served " + std::to_string(server->inner().requests_served()) +
+                       ", redirected " + std::to_string(server->redirects_sent()) +
+                       ", handoffs out " + std::to_string(server->handoffs_sent()) +
+                       " / in " + std::to_string(server->handoffs_installed()))
+                          .c_str()
+                    : "frozen for the post-mortem audit");
+  }
+
+  // ---- the cluster-wide audit ------------------------------------------
+  bool ok = total_errors == 0;
+  if (!ok) std::printf("\nFAIL: %llu client-visible errors\n",
+                       static_cast<unsigned long long>(total_errors));
+
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    if (const auto violation = nodes[n]->table.audit_violation()) {
+      std::printf("FAIL: node %zu table audit: %s\n", n, violation->c_str());
+      ok = false;
+    }
+  }
+
+  // Per key, across every node it ever lived on: total grants must fit
+  // one-token-per-period plus the burst capacity over the whole run.
+  std::map<std::uint64_t, Tokens> per_key;
+  for (const WorkerTally& tally : tallies)
+    for (const GrantEvent& event : tally.grants)
+      per_key[event.key] += event.granted;
+  const Tokens bound = run_us / delta_us + 1 + capacity_c;
+  std::uint64_t worst_key = 0;
+  Tokens worst = 0;
+  for (const auto& [key, granted] : per_key) {
+    if (granted > worst) { worst = granted; worst_key = key; }
+    if (granted > bound) {
+      std::printf("FAIL: key %llu granted %lld > cluster-wide bound %lld\n",
+                  static_cast<unsigned long long>(key),
+                  static_cast<long long>(granted),
+                  static_cast<long long>(bound));
+      ok = false;
+    }
+  }
+  std::printf("\ncluster-wide burst bound (<= t/Δ + 1 + C = %lld per key): "
+              "%s (hottest key %llu at %lld)\n",
+              static_cast<long long>(bound),
+              ok ? "HELD ON ALL KEYS" : "VIOLATED",
+              static_cast<unsigned long long>(worst_key),
+              static_cast<long long>(worst));
+  return ok ? 0 : 1;
+}

@@ -10,9 +10,11 @@
 #    --quick): acquire throughput and latency percentiles over 1M+ Zipf-
 #    distributed keys, raw / batched / open-loop / wire-protocol, plus the
 #    paired single-TCP-connection sync and pipelined closed loops (v2 async
-#    client, pipelined ops/s + p99 recorded). Also enforces the 100k
-#    acquire-ops/s floor and the pipelined >= sync throughput floor on CI
-#    hardware.
+#    client, pipelined ops/s + p99 recorded) and the tokad cluster pair
+#    (1-node vs 3-node in-proc cluster, cluster micro numbers included via
+#    the HashRing micro-benchmarks). Also enforces the 100k acquire-ops/s
+#    floor, the pipelined >= sync floor, and the 3-node >= 1.5x 1-node
+#    cluster scale-out floor on CI hardware.
 #
 # Usage: bench_snapshot.sh [build-dir] [engine.json] [service.json]
 # CI uploads both outputs as artifacts per commit.
@@ -52,7 +54,7 @@ fig3_ms=$(time_ms "$build_dir/fig3_trace" --quick)
 micro_json=null
 if [ -x "$build_dir/micro_bench" ]; then
   "$build_dir/micro_bench" \
-      --benchmark_filter='BM_(SelectPeer|EventQueue|ChurnToggle|SimulatorThroughput|Protocol|ServiceRoundTrip)' \
+      --benchmark_filter='BM_(SelectPeer|EventQueue|ChurnToggle|SimulatorThroughput|Protocol|ServiceRoundTrip|HashRing)' \
       --benchmark_out="$tmpdir/micro.json" --benchmark_out_format=json \
       > /dev/null 2>&1
   micro_json=$(cat "$tmpdir/micro.json")
@@ -80,9 +82,16 @@ echo "wrote $out (fig4_scale --quick: ${fig4_ms} ms)"
 # acquire throughput; --min-pipeline-speedup demands the v2 pipelined
 # client at least matches the sync closed loop on one TCP connection
 # (locally it is many times faster; CI hardware is noisy, so the floor
-# only catches the pipeline regressing into sync behaviour).
+# only catches the pipeline regressing into sync behaviour);
+# --min-cluster-speedup is the tokad scale-out floor: 3 in-proc cluster
+# nodes (one dispatcher lane each ≈ one machine) must beat one node by
+# >= 1.5x on the same pipelined Zipf workload, with zero client-visible
+# errors. NOTE: the cluster floor needs a multicore host (CI runners are
+# 4-vCPU); on a 1-core box run service_load without the floor flag.
 "$build_dir/service_load" --quick --json="$service_out" \
-    --min-table-ops=100000 --min-pipeline-speedup=1.0 > /dev/null
+    --min-table-ops=100000 --min-pipeline-speedup=1.0 \
+    --min-cluster-speedup=1.5 > /dev/null
 acquire_ops=$(sed -n 's/.*"acquire_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
 pipeline_ops=$(sed -n 's/.*"pipeline_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
-echo "wrote $service_out (table: ${acquire_ops} ops/s, pipelined wire: ${pipeline_ops} ops/s)"
+cluster_x=$(sed -n 's/.*"cluster_speedup": \([0-9.]*\).*/\1/p' "$service_out")
+echo "wrote $service_out (table: ${acquire_ops} ops/s, pipelined wire: ${pipeline_ops} ops/s, 3-node cluster: ${cluster_x}x one node)"

@@ -1,0 +1,206 @@
+// Routing client for a tokad cluster: one logical tokend endpoint over
+// many nodes.
+//
+// The client caches a ClusterMap and the HashRing it implies, routes every
+// (namespace, key) op to its owner through a per-node service::Client (the
+// existing pipelined async core — any number of ops in flight per node),
+// and recovers from staleness by itself:
+//
+//   - a RedirectResponse (protocol::RedirectError) means our map is
+//     behind: refresh the map from the redirecting node and reissue;
+//   - a timeout or connection-closed IoError means the node may be dead:
+//     refresh the map from the other members (rotating) and reissue;
+//   - typed server rejections (protocol::RpcError — unknown namespace,
+//     invalid config) are NOT retried: the cluster answered, the answer is
+//     no.
+//
+// Every op gets `max_attempts` tries in total; what surfaces to the caller
+// is either the result or the last error — so through a kill/join churn a
+// well-configured caller sees only internal redirect/refresh retries, not
+// failures. Batch acquires fan out per owner node concurrently and stitch
+// results back positionally; a redirected sub-batch is re-split under the
+// refreshed map (ownership may have fragmented further) and reissued.
+//
+// Transport model: one endpoint per (this client, server node), provided
+// by the EndpointFactory — service::Client owns its endpoint's receive
+// handler, so endpoints cannot be shared between per-node clients. Works
+// identically over InProc and TCP fabrics.
+//
+// Per-node clients are cached for the ClusterClient's lifetime and never
+// pruned (safe retirement of a possibly-in-use client would need
+// per-call reference counting). A very long-lived process in a cluster
+// whose joins always mint fresh node ids accumulates one idle per-node
+// client per departed member; recreate the ClusterClient at a convenient
+// quiet point if that ever matters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster_map.hpp"
+#include "cluster/hash_ring.hpp"
+#include "runtime/transport.hpp"
+#include "service/account_table.hpp"
+#include "service/client.hpp"
+#include "util/types.hpp"
+
+namespace toka::cluster {
+
+struct ClusterClientConfig {
+  /// Per-RPC deadline. Deliberately short next to service::Client's 5s
+  /// default: a dead node should cost one short timeout, not a stall —
+  /// the retry budget absorbs the recovery.
+  TimeUs call_timeout_us = 250 * 1'000;
+  /// Total tries per logical op (the first issue included).
+  int max_attempts = 10;
+};
+
+class ClusterClient {
+ public:
+  /// Yields this client's own transport endpoint for talking to `server`.
+  /// Called at most once per server node (clients are cached); must stay
+  /// valid for any node id that can ever appear in a membership map.
+  using EndpointFactory = std::function<runtime::Transport&(NodeId server)>;
+
+  template <typename T>
+  using Callback = service::Client::Callback<T>;
+
+  /// Starts from `initial_map` (also the seed list for map refreshes when
+  /// the cached map goes empty or all-dead).
+  ClusterClient(EndpointFactory factory, ClusterMap initial_map,
+                ClusterClientConfig config = {});
+
+  /// Rejects every in-flight internal retry, then tears down the per-node
+  /// clients. Contract (same as service::Client): the caller must not
+  /// have its own detached async ops outstanding at destruction — sync
+  /// wrappers satisfy this by construction, callback-style acquire_async
+  /// callers must wait their completions out first. Internal retries of
+  /// already-completed logical ops are absorbed: once teardown begins no
+  /// new per-node client can be built and every reissue surfaces "shut
+  /// down" instead.
+  ~ClusterClient();
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  // ---------------------------------------------------------- data ops
+  // Sync wrappers are async + .get(); they throw the last error after the
+  // retry budget is spent (util::IoError / protocol::RpcError).
+
+  service::AcquireResult acquire(service::NamespaceId ns, std::uint64_t key,
+                                 Tokens n);
+  service::RefundResult refund(service::NamespaceId ns, std::uint64_t key,
+                               Tokens n);
+  service::QueryResult query(service::NamespaceId ns, std::uint64_t key);
+
+  /// Fans the batch out per owner node (one BatchAcquire frame per node in
+  /// flight concurrently); results align with `ops`.
+  std::vector<service::AcquireResult> acquire_batch(
+      service::NamespaceId ns, std::span<const service::AcquireOp> ops);
+
+  /// Async acquire with the same internal retry policy; `done` runs on a
+  /// transport receive thread (or inline, if the op fails to issue).
+  void acquire_async(service::NamespaceId ns, std::uint64_t key, Tokens n,
+                     Callback<service::AcquireResult> done);
+
+  // ------------------------------------------------------------- admin
+
+  /// Configures `ns` on every node of the current map (every node must
+  /// hold every namespace — accounts move between them). Returns how many
+  /// nodes acknowledged; dead nodes are skipped.
+  std::size_t configure_namespace_all(service::NamespaceId ns,
+                                      const service::NamespaceConfig& config);
+
+  /// Pushes `map` to its members and to every current member no longer in
+  /// it (so leavers hand their accounts off), newest members first, then
+  /// adopts it locally. Returns how many nodes acknowledged.
+  std::size_t push_map(const ClusterMap& map);
+
+  /// Fetches the map from the cluster (rotating over members, then seeds)
+  /// and adopts it if newer. Returns true if a fetch succeeded.
+  bool refresh_map();
+
+  /// The currently cached membership map.
+  ClusterMap map() const;
+
+  // ---------------------------------------------------------- counters
+
+  /// Redirects followed (map refreshed + op reissued).
+  std::uint64_t redirects_followed() const { return redirects_.load(); }
+  /// IoError (timeout / connection closed) retries.
+  std::uint64_t io_retries() const { return io_retries_.load(); }
+  /// Map refreshes that adopted a newer epoch.
+  std::uint64_t maps_adopted() const { return maps_adopted_.load(); }
+
+ private:
+  struct Routing {
+    ClusterMap map;
+    HashRing ring;
+  };
+
+  /// One per-node client and the mutex guarding its construction. The
+  /// registry lock (mu_) is never held while a service::Client is built —
+  /// construction installs transport handlers, and holding mu_ across
+  /// that would order mu_ against the endpoint's handler lock, the
+  /// inverse of what every delivery callback (handler lock held, then
+  /// mu_ for routing) does. Once built, `ready` makes lookups lock-free,
+  /// so a completion callback (which runs under its endpoint's handler
+  /// lock) never touches slot mutexes of live clients either.
+  struct NodeSlot {
+    std::mutex mu;
+    std::atomic<service::Client*> ready{nullptr};
+    std::unique_ptr<service::Client> client;
+  };
+
+  std::shared_ptr<const Routing> routing() const;
+  /// Adopts `map` if strictly newer than the cached one.
+  void adopt(ClusterMap map);
+  /// The per-node client, built on first contact. nullptr once teardown
+  /// has begun (construction is refused under the slot lock, so the
+  /// destructor sweep can never leave a freshly-built client behind).
+  service::Client* client_for(NodeId node);
+  /// The next node to ask for a map (members first, seeds as fallback).
+  NodeId refresh_target();
+  /// Async map refresh; `resume` runs whether or not the fetch succeeded.
+  void refresh_map_async(NodeId preferred, std::function<void()> resume);
+
+  /// One retrying op: `issue(client, done)` sends the real RPC; Retrier
+  /// owns the routing, failure triage and reissue loop.
+  template <typename Result>
+  void run_op(service::NamespaceId ns, std::uint64_t key,
+              std::function<void(service::Client&,
+                                 Callback<Result>)> issue,
+              Callback<Result> done, int attempt);
+
+  template <typename Result>
+  Result run_sync(service::NamespaceId ns, std::uint64_t key,
+                  std::function<void(service::Client&, Callback<Result>)>
+                      issue);
+
+  void batch_group_async(
+      service::NamespaceId ns, std::vector<service::AcquireOp> ops,
+      std::vector<std::size_t> indices,
+      std::shared_ptr<struct BatchState> state, int attempt);
+
+  EndpointFactory factory_;
+  ClusterClientConfig config_;
+  std::vector<NodeId> seeds_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const Routing> routing_;
+  std::unordered_map<NodeId, std::shared_ptr<NodeSlot>> clients_;
+  std::atomic<bool> closed_{false};
+  std::atomic<std::size_t> refresh_cursor_{0};
+
+  std::atomic<std::uint64_t> redirects_{0};
+  std::atomic<std::uint64_t> io_retries_{0};
+  std::atomic<std::uint64_t> maps_adopted_{0};
+};
+
+}  // namespace toka::cluster

@@ -1,0 +1,74 @@
+// The tokad cluster's membership snapshot.
+//
+// A ClusterMap is the unit of membership agreement: the set of live tokend
+// node ids, the virtual-node fan-out of the consistent-hash ring derived
+// from it, and a monotonically increasing epoch. Every join or leave bumps
+// the epoch; nodes and clients compare epochs to decide who is stale. The
+// map is deliberately tiny, plain data: it travels verbatim in protocol v2
+// ClusterMap/ApplyMap frames, and the HashRing a given map describes is a
+// pure function of it — two parties holding equal maps route identically
+// without any further coordination.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace toka::cluster {
+
+/// Upper bound on members per map frame; a decoded count above this is
+/// rejected before any allocation happens.
+inline constexpr std::size_t kMaxClusterNodes = 4096;
+
+/// Default virtual nodes per member: enough that removing one member of a
+/// small cluster spreads its keyspace roughly evenly over the survivors.
+inline constexpr std::uint32_t kDefaultVnodes = 64;
+
+struct ClusterMap {
+  /// Membership version. Nodes only ever adopt a strictly newer epoch, so
+  /// a re-delivered or out-of-order map can never roll membership back.
+  std::uint64_t epoch = 0;
+  /// Virtual nodes per member on the derived HashRing. Must be positive.
+  std::uint32_t vnodes = kDefaultVnodes;
+  /// Member node ids, strictly increasing (the wire codec enforces this).
+  std::vector<NodeId> nodes;
+
+  bool contains(NodeId node) const {
+    return std::binary_search(nodes.begin(), nodes.end(), node);
+  }
+
+  /// Sorts and dedupes `nodes` (builder convenience; decoded maps are
+  /// already canonical).
+  void normalize() {
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  }
+
+  /// A copy with `node` added and the epoch bumped; already a member →
+  /// unchanged copy (same epoch), so a replayed join cannot trigger
+  /// cluster-wide no-op handoff sweeps.
+  ClusterMap with_node(NodeId node) const {
+    ClusterMap out = *this;
+    if (!out.contains(node)) {
+      out.nodes.push_back(node);
+      out.normalize();
+      ++out.epoch;
+    }
+    return out;
+  }
+
+  /// A copy with `node` removed and the epoch bumped; not a member →
+  /// unchanged copy (same epoch).
+  ClusterMap without_node(NodeId node) const {
+    ClusterMap out = *this;
+    if (std::erase(out.nodes, node) > 0) ++out.epoch;
+    return out;
+  }
+
+  friend bool operator==(const ClusterMap&, const ClusterMap&) = default;
+};
+
+}  // namespace toka::cluster

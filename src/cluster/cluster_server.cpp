@@ -1,0 +1,198 @@
+#include "cluster/cluster_server.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <variant>
+
+#include "util/error.hpp"
+
+namespace toka::cluster {
+
+namespace proto = service::protocol;
+
+ClusterServer::ClusterServer(service::AccountTable& table,
+                             runtime::Transport& transport, ClusterMap map)
+    : table_(&table),
+      transport_(&transport),
+      tap_(transport),
+      server_(table, tap_),
+      map_(std::move(map)),
+      ring_(map_) {
+  transport_->set_handler([this](NodeId from, std::vector<std::byte> payload) {
+    on_frame(from, std::move(payload));
+  });
+}
+
+ClusterServer::~ClusterServer() {
+  // Quiesce the real transport first; the inner server then detaches from
+  // the tap, which nothing can deliver through anymore.
+  transport_->set_handler({});
+}
+
+ClusterMap ClusterServer::map() const {
+  std::shared_lock lock(map_mu_);
+  return map_;
+}
+
+std::uint64_t ClusterServer::map_epoch() const {
+  std::shared_lock lock(map_mu_);
+  return map_.epoch;
+}
+
+NodeId ClusterServer::owner_of(service::NamespaceId ns,
+                               std::uint64_t key) const {
+  std::shared_lock lock(map_mu_);
+  return ring_.owner(ns, key);
+}
+
+ApplyOutcome ClusterServer::apply_map(const ClusterMap& map) {
+  HashRing ring;
+  {
+    std::unique_lock lock(map_mu_);
+    // Strictly newer only: a re-delivered or reordered map can never roll
+    // membership back, so concurrent applies settle on the max epoch.
+    if (map.epoch <= map_.epoch) return {false, map_.epoch, 0};
+    map_ = map;
+    ring_ = HashRing(map_);
+    ring = ring_;
+  }
+  maps_applied_.fetch_add(1, std::memory_order_relaxed);
+
+  // The new ring is already answering (requests for moved keys redirect
+  // from here on), so extraction can only see post-install grants: a moved
+  // account's balance leaves exactly once. If any of these frames is lost
+  // the tokens are forfeited — never resurrected here.
+  const NodeId self_id = self();
+  const std::vector<service::AccountExport> moved = table_->extract_if(
+      [&](service::NamespaceId ns, std::uint64_t key) {
+        return ring.owner(ns, key) != self_id;
+      });
+  std::uint64_t sent = 0;
+  for (const service::AccountExport& account : moved) {
+    const NodeId target = ring.owner(account.ns, account.key);
+    if (target == kNoNode || target == self_id) continue;  // empty ring
+    const std::uint64_t id =
+        next_handoff_id_.fetch_add(1, std::memory_order_relaxed);
+    transport_->send(target,
+                     proto::encode(proto::HandoffRequest{
+                         id, map.epoch, account.ns, account.key,
+                         account.balance}));
+    ++sent;
+  }
+  handoffs_sent_.fetch_add(sent, std::memory_order_relaxed);
+  return {true, map.epoch, sent};
+}
+
+void ClusterServer::handle_handoff(NodeId from,
+                                   const proto::HandoffRequest& r) {
+  handoffs_received_.fetch_add(1, std::memory_order_relaxed);
+  bool accepted = false;
+  // Install only what the current ring places here; anything else is
+  // dropped (the sender already forfeited it). install_account refuses
+  // duplicates and unknown namespaces on its own.
+  if (owner_of(r.ns, r.key) == self()) {
+    accepted = table_->install_account(r.ns, r.key, r.balance);
+  }
+  if (accepted) handoffs_installed_.fetch_add(1, std::memory_order_relaxed);
+  transport_->send(from, proto::encode(proto::HandoffResponse{r.id, accepted}));
+}
+
+void ClusterServer::on_frame(NodeId from, std::vector<std::byte> payload) {
+  // Handoff acks flow back to this handler too (the node is the client of
+  // its own handoffs); settle the counters and drop other stray responses.
+  const std::optional<proto::FrameHeader> head =
+      proto::try_parse_header(payload);
+  if (head.has_value() && head->is_response) {
+    if (head->type == proto::MsgType::kHandoff) {
+      try {
+        const proto::Response response = proto::decode_response(payload);
+        if (const auto* ack = std::get_if<proto::HandoffResponse>(&response);
+            ack != nullptr && ack->accepted) {
+          handoffs_accepted_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          handoffs_rejected_.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const util::IoError&) {
+        handoffs_rejected_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return;
+  }
+
+  // Data ops — the hot path — are ownership-checked by streaming the
+  // frame's routing keys against one map snapshot, with no decode and no
+  // allocation; a batch with any foreign key redirects whole (the client
+  // re-splits under the map it refreshes anyway). Owned frames pass
+  // through raw and are decoded exactly once, by the inner table server.
+  const bool is_data_op =
+      head.has_value() && (head->type == proto::MsgType::kAcquire ||
+                           head->type == proto::MsgType::kRefund ||
+                           head->type == proto::MsgType::kQuery ||
+                           head->type == proto::MsgType::kBatchAcquire);
+  if (is_data_op) {
+    bool owned = true;
+    NodeId foreign_owner = kNoNode;
+    std::uint64_t epoch = 0;
+    bool walked;
+    {
+      std::shared_lock lock(map_mu_);
+      epoch = map_.epoch;
+      const NodeId self_id = transport_->self();
+      walked = proto::for_each_data_op_key(
+          payload, [&](service::NamespaceId ns, std::uint64_t key) {
+            const NodeId owner = ring_.owner(ns, key);
+            if (owner != self_id) {
+              owned = false;
+              foreign_owner = owner;
+              return false;
+            }
+            return true;
+          });
+    }
+    if (walked && !owned) {
+      redirects_sent_.fetch_add(1, std::memory_order_relaxed);
+      transport_->send(from, proto::encode(proto::RedirectResponse{
+                                 head->id, epoch, foreign_owner}));
+      return;
+    }
+    // Owned — or too malformed to route, in which case the inner server
+    // owns the taxonomy (typed error for a valid header, drop for
+    // garbage).
+    tap_.deliver(from, std::move(payload));
+    return;
+  }
+
+  proto::Request request;
+  try {
+    request = proto::decode_request(payload);
+  } catch (const util::IoError&) {
+    // Undecodable admin/cluster frame or garbage: the inner server
+    // classifies it.
+    tap_.deliver(from, std::move(payload));
+    return;
+  }
+
+  if (const auto* r = std::get_if<proto::HandoffRequest>(&request)) {
+    handle_handoff(from, *r);
+    return;
+  }
+  if (const auto* r = std::get_if<proto::ClusterMapRequest>(&request)) {
+    transport_->send(from, proto::encode(proto::ClusterMapResponse{r->id,
+                                                                   map()}));
+    return;
+  }
+  if (const auto* r = std::get_if<proto::ApplyMapRequest>(&request)) {
+    const ApplyOutcome outcome = apply_map(r->map);
+    transport_->send(from, proto::encode(proto::ApplyMapResponse{
+                               r->id, outcome.accepted, outcome.epoch,
+                               outcome.handoffs}));
+    return;
+  }
+
+  // Admin ops (configure/info) pass through: they address this node, not
+  // a key.
+  tap_.deliver(from, std::move(payload));
+}
+
+}  // namespace toka::cluster

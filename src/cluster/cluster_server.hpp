@@ -1,0 +1,150 @@
+// One tokad cluster node: a service::Server that only answers for the keys
+// it owns.
+//
+// The wrapper installs itself as the transport's receive handler and
+// triages every frame:
+//
+//   - data ops (acquire/refund/query/batch) whose keys its HashRing places
+//     here are forwarded — still as raw frames — to the wrapped
+//     service::Server, which executes them against the node's own
+//     AccountTable exactly as a standalone tokend would;
+//   - data ops for keys it does NOT own get a RedirectResponse carrying
+//     the node's map epoch and the key's current owner: redirect-and-retry
+//     instead of server-side proxying, so a stale client pays one extra
+//     round trip once and then routes correctly, and no node ever holds a
+//     request hostage to another node's latency;
+//   - ClusterMap answers the node's current membership map; ApplyMap
+//     installs a strictly newer one and starts the handoff of every
+//     account the new ring moves elsewhere;
+//   - Handoff installs a moved account (only if this node owns the key
+//     and has no live account for it — otherwise the state is dropped);
+//     handoff *responses* arriving back just settle the sent/lost
+//     counters.
+//
+// Handoff is forfeit-on-loss, never-duplicate: the sender extracts the
+// account (it stops existing there) before the frame leaves, and the
+// receiver installs at most once. A lost frame, an unknown namespace or a
+// racing fresh account can only destroy banked tokens — which keeps every
+// node's §3.4 audit, and hence the cluster-wide per-key burst bound,
+// intact through membership churn (see DESIGN.md, "tokad cluster").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <vector>
+
+#include "cluster/cluster_map.hpp"
+#include "cluster/hash_ring.hpp"
+#include "runtime/transport.hpp"
+#include "service/account_table.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "util/types.hpp"
+
+namespace toka::cluster {
+
+/// Outcome of ApplyMap (mirrors the wire response body).
+struct ApplyOutcome {
+  bool accepted = false;       ///< false: we already have this epoch or newer
+  std::uint64_t epoch = 0;     ///< our epoch after the call
+  std::uint64_t handoffs = 0;  ///< accounts extracted and sent away
+};
+
+class ClusterServer {
+ public:
+  /// Wraps `table` behind `transport` with `map` as the initial
+  /// membership. The table and transport must outlive the server. The
+  /// node's identity is transport.self(); it need not appear in `map`
+  /// (a drained node redirects everything).
+  ClusterServer(service::AccountTable& table, runtime::Transport& transport,
+                ClusterMap map);
+
+  /// Detaches from the transport and waits out in-flight requests.
+  ~ClusterServer();
+
+  ClusterServer(const ClusterServer&) = delete;
+  ClusterServer& operator=(const ClusterServer&) = delete;
+
+  NodeId self() const { return transport_->self(); }
+  ClusterMap map() const;
+  std::uint64_t map_epoch() const;
+
+  /// Installs `map` if strictly newer than the current one and hands off
+  /// every account the new ring no longer places here. Also reachable over
+  /// the wire via ApplyMap; exposed for in-process coordinators and tests.
+  ApplyOutcome apply_map(const ClusterMap& map);
+
+  /// The wrapped per-node server (served/errored/malformed counters).
+  const service::Server& inner() const { return server_; }
+
+  // ------------------------------------------------------------ counters
+
+  /// Data requests answered with a RedirectResponse.
+  std::uint64_t redirects_sent() const { return redirects_sent_.load(); }
+  /// Membership maps adopted (construction's initial map not counted).
+  std::uint64_t maps_applied() const { return maps_applied_.load(); }
+  /// Accounts extracted here and sent to a new owner.
+  std::uint64_t handoffs_sent() const { return handoffs_sent_.load(); }
+  /// Handoff acks: the receiver installed the account.
+  std::uint64_t handoffs_accepted() const { return handoffs_accepted_.load(); }
+  /// Handoff acks: the receiver dropped the state (tokens forfeited).
+  std::uint64_t handoffs_rejected() const { return handoffs_rejected_.load(); }
+  /// Handoff requests that arrived here.
+  std::uint64_t handoffs_received() const { return handoffs_received_.load(); }
+  /// Handoff requests that arrived here and were installed.
+  std::uint64_t handoffs_installed() const {
+    return handoffs_installed_.load();
+  }
+
+ private:
+  /// The inner service::Server believes this is its transport: sends pass
+  /// through to the real one; deliveries happen only when the cluster
+  /// layer decides a frame is an owned data op (or an admin frame).
+  class Tap final : public runtime::Transport {
+   public:
+    explicit Tap(runtime::Transport& inner) : inner_(&inner) {}
+    NodeId self() const override { return inner_->self(); }
+    void send(NodeId to, std::vector<std::byte> payload) override {
+      inner_->send(to, std::move(payload));
+    }
+    void set_handler(Handler handler) override {
+      std::unique_lock lock(mu_);
+      handler_ = std::move(handler);
+    }
+    void deliver(NodeId from, std::vector<std::byte> payload) {
+      std::shared_lock lock(mu_);
+      if (handler_) handler_(from, std::move(payload));
+    }
+
+   private:
+    runtime::Transport* inner_;
+    std::shared_mutex mu_;
+    Handler handler_;
+  };
+
+  void on_frame(NodeId from, std::vector<std::byte> payload);
+  /// Ring placement under the current map; kNoNode on an empty ring.
+  NodeId owner_of(service::NamespaceId ns, std::uint64_t key) const;
+  void handle_handoff(NodeId from, const service::protocol::HandoffRequest& r);
+
+  service::AccountTable* table_;
+  runtime::Transport* transport_;
+  Tap tap_;
+  service::Server server_;
+
+  mutable std::shared_mutex map_mu_;
+  ClusterMap map_;
+  HashRing ring_;
+
+  std::atomic<std::uint64_t> next_handoff_id_{1};
+  std::atomic<std::uint64_t> redirects_sent_{0};
+  std::atomic<std::uint64_t> maps_applied_{0};
+  std::atomic<std::uint64_t> handoffs_sent_{0};
+  std::atomic<std::uint64_t> handoffs_accepted_{0};
+  std::atomic<std::uint64_t> handoffs_rejected_{0};
+  std::atomic<std::uint64_t> handoffs_received_{0};
+  std::atomic<std::uint64_t> handoffs_installed_{0};
+};
+
+}  // namespace toka::cluster

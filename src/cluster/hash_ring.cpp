@@ -1,0 +1,51 @@
+#include "cluster/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace toka::cluster {
+
+HashRing::HashRing(std::span<const NodeId> nodes, std::uint32_t vnodes) {
+  std::vector<NodeId> unique(nodes.begin(), nodes.end());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  node_count_ = unique.size();
+  if (unique.empty()) return;
+  TOKA_CHECK_MSG(vnodes > 0, "a non-empty ring needs vnodes > 0");
+  points_.reserve(unique.size() * vnodes);
+  for (const NodeId node : unique) {
+    // Each node's points come from its own splitmix64 stream, so a node
+    // contributes the same points in every map it appears in — the
+    // property that makes membership change minimal. The stream is seeded
+    // through a full mix of the node id: raw (node+1)*gamma seeds would
+    // put consecutive ids on overlapping streams (splitmix64 steps its
+    // state by gamma), collapsing most points onto shared positions.
+    std::uint64_t seed = static_cast<std::uint64_t>(node) + 1;
+    std::uint64_t state = util::splitmix64(seed);
+    for (std::uint32_t r = 0; r < vnodes; ++r) {
+      points_.emplace_back(util::splitmix64(state), node);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+NodeId HashRing::owner_of_point(std::uint64_t point) const {
+  if (points_.empty()) return kNoNode;
+  // First ring point strictly after the key's hash, wrapping past the top.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), point,
+      [](std::uint64_t p, const std::pair<std::uint64_t, NodeId>& entry) {
+        return p < entry.first;
+      });
+  if (it == points_.end()) it = points_.begin();
+  return it->second;
+}
+
+std::uint64_t HashRing::key_point(service::NamespaceId ns, std::uint64_t key) {
+  std::uint64_t state = service::AccountTable::fold_key(ns, key);
+  return util::splitmix64(state);
+}
+
+}  // namespace toka::cluster

@@ -165,6 +165,13 @@ class TcpMesh::Endpoint final : public Transport {
     handler_ = std::move(handler);
   }
 
+  void set_peer_down_handler(PeerDownHandler handler) override {
+    // Same quiesce rule as set_handler: after a detach returns, no
+    // in-flight notification of the old handler remains.
+    std::unique_lock lock(peer_down_mutex_);
+    peer_down_ = std::move(handler);
+  }
+
   void send(NodeId to, std::vector<std::byte> payload) override {
     if (stopping_.load()) return;
     std::uint8_t header[8];
@@ -180,11 +187,23 @@ class TcpMesh::Endpoint final : public Transport {
       return;
     }
     const int fd = connection_to(to);
-    if (fd < 0) return;  // unknown/dead peer: drop (best effort)
-    std::lock_guard lock(send_mutex_);
-    if (!write_frame(fd, header, payload.data(), payload.size())) {
-      drop_connection(to);
+    if (fd < 0) {
+      // Unknown or dead peer: the frame is dropped (best effort), and the
+      // failed connect is a peer-down observation worth surfacing.
+      notify_peer_down(to);
+      return;
     }
+    bool failed = false;
+    {
+      std::lock_guard lock(send_mutex_);
+      if (!write_frame(fd, header, payload.data(), payload.size())) {
+        drop_connection(to);
+        failed = true;
+      }
+    }
+    // Notified outside send_mutex_: the handler may legitimately call
+    // send() again (e.g. a cluster client re-routing a rejected call).
+    if (failed) notify_peer_down(to);
   }
 
   void shutdown() {
@@ -234,17 +253,26 @@ class TcpMesh::Endpoint final : public Transport {
 
   /// Writes each peer's corked frames with one syscall and empties the
   /// buffers. Called by the read thread whenever it is about to block.
+  /// Peer-down notifications are deferred past the loop: a handler may
+  /// send() again, and with the cork still active that would insert into
+  /// the very map being iterated.
   void flush_cork(TcpCork& cork) {
+    std::vector<NodeId> failed;
     for (auto& [peer, bytes] : cork.by_peer) {
       if (bytes.empty()) continue;
       const int fd = connection_to(peer);
+      bool write_failed = fd < 0;
       if (fd >= 0) {
         std::lock_guard lock(send_mutex_);
-        if (!write_exact(fd, bytes.data(), bytes.size()))
+        if (!write_exact(fd, bytes.data(), bytes.size())) {
           drop_connection(peer);
+          write_failed = true;
+        }
       }
       bytes.clear();
+      if (write_failed) failed.push_back(peer);
     }
+    for (const NodeId peer : failed) notify_peer_down(peer);
   }
 
   /// RAII scope installing this thread's cork for `owner`'s read loop.
@@ -262,6 +290,16 @@ class TcpMesh::Endpoint final : public Transport {
   };
 
   void read_loop(int fd) {
+    // The body tracks which peer speaks on this connection; when the
+    // connection dies (EOF, error, corrupt stream) and we are not the one
+    // shutting down, that peer is reported down — after the cork scope has
+    // unwound, so the notification never runs under internal locks.
+    NodeId peer = kNoNode;
+    read_frames(fd, peer);
+    if (peer != kNoNode && !stopping_.load()) notify_peer_down(peer);
+  }
+
+  void read_frames(int fd, NodeId& peer) {
     // Buffered framing: one recv() pulls whatever the kernel has queued —
     // under pipelining that is dozens of frames — and the parse loop
     // delivers them all without touching the socket again. Handler sends
@@ -280,6 +318,7 @@ class TcpMesh::Endpoint final : public Transport {
         for (int i = 0; i < 4; ++i)
           from |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
         if (len > kMaxFrame) return;  // corrupt stream
+        peer = static_cast<NodeId>(from);
         std::vector<std::byte> payload(len);
         if (have - used - 8 >= len) {
           // Frame fully buffered: deliver straight out of the buffer.
@@ -342,6 +381,37 @@ class TcpMesh::Endpoint final : public Transport {
     outgoing_.erase(to);
   }
 
+  /// One frame of the per-thread notification stack: which endpoints are
+  /// currently inside notify_peer_down on this thread. A peer-down handler
+  /// may synchronously send() again (a cluster client re-routing), and
+  /// that send may fail on the *same* endpoint — without the guard that
+  /// would re-acquire peer_down_mutex_ shared recursively, which is UB
+  /// and deadlocks against a queued writer (set_peer_down_handler).
+  struct NotifyFrame {
+    const void* endpoint;
+    NotifyFrame* prev;
+  };
+  static inline thread_local NotifyFrame* tls_notifying = nullptr;
+
+  /// Reports `peer` down. Never called with send_mutex_/conn_mutex_ held —
+  /// the handler may send (re-route) or install handlers from the callback.
+  /// Re-entrant notifications for the same endpoint on the same thread are
+  /// dropped (best-effort semantics; the nested call's own deadline covers
+  /// it).
+  void notify_peer_down(NodeId peer) {
+    if (stopping_.load()) return;
+    for (NotifyFrame* f = tls_notifying; f != nullptr; f = f->prev) {
+      if (f->endpoint == this) return;
+    }
+    NotifyFrame frame{this, tls_notifying};
+    tls_notifying = &frame;
+    {
+      std::shared_lock lock(peer_down_mutex_);
+      if (peer_down_) peer_down_(peer);
+    }
+    tls_notifying = frame.prev;
+  }
+
   TcpMesh* mesh_;
   NodeId id_;
   std::uint16_t port_ = 0;
@@ -349,6 +419,8 @@ class TcpMesh::Endpoint final : public Transport {
   std::thread acceptor_;
   std::shared_mutex handler_mutex_;
   Handler handler_;
+  std::shared_mutex peer_down_mutex_;
+  PeerDownHandler peer_down_;
   std::atomic<bool> stopping_{false};
 
   std::mutex conn_mutex_;
@@ -378,6 +450,11 @@ Transport& TcpMesh::endpoint(NodeId id) {
 std::uint16_t TcpMesh::port_of(NodeId id) const {
   TOKA_CHECK_MSG(id < endpoints_.size(), "endpoint " << id << " out of range");
   return endpoints_[id]->port();
+}
+
+void TcpMesh::shutdown_endpoint(NodeId id) {
+  TOKA_CHECK_MSG(id < endpoints_.size(), "endpoint " << id << " out of range");
+  endpoints_[id]->shutdown();
 }
 
 }  // namespace toka::runtime

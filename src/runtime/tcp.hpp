@@ -38,6 +38,13 @@ class TcpMesh {
   /// Port the given node listens on (for diagnostics).
   std::uint16_t port_of(NodeId id) const;
 
+  /// Kills one node: closes its listening socket and every connection it
+  /// holds, and joins its threads. Peers with an open connection to it
+  /// observe the close and fire their peer-down handlers; later sends to
+  /// it fail fast (connection refused) and fire them too. Idempotent —
+  /// this is the fault-injection hook cluster churn tests are built on.
+  void shutdown_endpoint(NodeId id);
+
  private:
   class Endpoint;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;

@@ -19,6 +19,13 @@ class Transport {
   /// (sender, payload). Runs on a transport-internal thread.
   using Handler = std::function<void(NodeId, std::vector<std::byte>)>;
 
+  /// Peer-down notification: the fabric observed the connection to `peer`
+  /// close or fail. Runs on a transport-internal thread (or on the sending
+  /// thread when a send fails). Best effort: fabrics with no connection
+  /// state (the in-process network) never fire it, so callers must keep
+  /// their timeout fallback.
+  using PeerDownHandler = std::function<void(NodeId)>;
+
   virtual ~Transport() = default;
 
   /// This endpoint's node id.
@@ -35,6 +42,12 @@ class Transport {
   /// again. Frames arriving with no handler installed are dropped; install
   /// before sending if no frame may be lost.
   virtual void set_handler(Handler handler) = 0;
+
+  /// Installs (or detaches) the peer-down notification handler, with the
+  /// same quiesce guarantee as set_handler. The default implementation
+  /// ignores it — a fabric that cannot observe peer death simply never
+  /// notifies, and callers fall back to their per-call deadlines.
+  virtual void set_peer_down_handler(PeerDownHandler /*handler*/) {}
 };
 
 }  // namespace toka::runtime

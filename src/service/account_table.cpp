@@ -82,18 +82,30 @@ bool AccountTable::configure_namespace(NamespaceId ns,
                                        const NamespaceConfig& config) {
   auto fresh = make_namespace(ns, config);  // validates before any mutation
   bool created;
+  std::shared_ptr<const Namespace> old;
   {
     std::unique_lock lock(ns_mu_);
     auto [it, inserted] = namespaces_.try_emplace(ns, fresh);
     created = inserted;
-    if (!inserted) it->second = std::move(fresh);
+    if (!inserted) {
+      old = std::move(it->second);
+      it->second = std::move(fresh);
+    }
   }
-  // Reset semantics on replace: drop the namespace's accounts so every key
-  // restarts under the new policy from the initial balance (under-grants
-  // only). Requests racing the reset may briefly finish under the old
-  // policy — their entries hold the old Namespace alive — and are swept on
-  // the next reconfigure or TTL eviction.
-  if (!created) purge_namespace(ns);
+  // Reset semantics on replace: retire the outgoing snapshot *before* the
+  // purge, then drop the namespace's accounts so every key restarts under
+  // the new policy from the initial balance (under-grants only). Requests
+  // racing the reset may briefly finish against an existing entry under
+  // the old policy — entries hold their Namespace alive — but account
+  // *creation* re-resolves on a retired snapshot, so once the purge has
+  // swept a shard no old-policy account can reappear in it: either the
+  // insert happened before the retire flag (then the purge, serialized
+  // behind the same shard lock, removes it) or the inserter saw the flag
+  // and created under the new policy.
+  if (!created) {
+    old->retired.store(true, std::memory_order_release);
+    purge_namespace(ns);
+  }
   return created;
 }
 
@@ -193,17 +205,27 @@ AccountTable::Entry& AccountTable::find_or_create(
   const AccountKey account_key{ns->id, key};
   auto it = shard.accounts.find(account_key);
   if (it == shard.accounts.end()) {
-    Entry entry{core::TokenAccount(*ns->strategy, ns->config.initial_tokens,
+    // Creation re-resolves a retired snapshot (taking ns_mu_ shared while
+    // holding the shard lock is safe: configure_namespace never holds
+    // shard locks under ns_mu_). See Namespace::retired for why this
+    // closes the reset/acquire resurrection race.
+    std::shared_ptr<const Namespace> current = ns;
+    while (current->retired.load(std::memory_order_acquire)) {
+      current = resolve(current->id);
+      tick = now / current->config.delta_us;
+    }
+    Entry entry{core::TokenAccount(*current->strategy,
+                                   current->config.initial_tokens,
                                    /*allow_overdraft=*/false,
                                    core::RoundingMode::kRandomized,
-                                   ns->bucket_cap),
-                ns, tick, now, nullptr};
-    if (ns->config.audit) {
+                                   current->bucket_cap),
+                current, tick, now, nullptr};
+    if (current->config.audit) {
       entry.auditor = std::make_unique<core::RateLimitAuditor>(
-          ns->config.delta_us, ns->capacity);
+          current->config.delta_us, current->capacity);
     }
     it = shard.accounts.emplace(account_key, std::move(entry)).first;
-    ++stats_for(shard, ns->id).accounts_created;
+    ++stats_for(shard, current->id).accounts_created;
   }
   return it->second;
 }
@@ -369,6 +391,64 @@ std::size_t AccountTable::evict_idle() {
   return evicted;
 }
 
+std::vector<AccountExport> AccountTable::extract_if(
+    const std::function<bool(NamespaceId, std::uint64_t)>& should_extract) {
+  std::vector<AccountExport> out;
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    for (auto it = shard->accounts.begin(); it != shard->accounts.end();) {
+      if (should_extract(it->first.ns, it->first.key)) {
+        // Only the banked balance travels; unsettled elapsed ticks are
+        // forfeited (the receiver settles at its own clock). The balance
+        // can never exceed the account's own capacity, so the export is
+        // a legitimate §3.4 bank wherever it lands.
+        out.push_back(AccountExport{it->first.ns, it->first.key,
+                                    it->second.account.balance()});
+        ++stats_for(*shard, it->first.ns).accounts_extracted;
+        it = shard->accounts.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return out;
+}
+
+bool AccountTable::install_account(NamespaceId ns, std::uint64_t key,
+                                   Tokens balance) {
+  std::shared_ptr<const Namespace> nsp;
+  {
+    std::shared_lock lock(ns_mu_);
+    auto it = namespaces_.find(ns);
+    if (it == namespaces_.end()) return false;  // unknown here: forfeit
+    nsp = it->second;
+  }
+  Shard& shard = shard_for(ns, key);
+  std::lock_guard lock(shard.mu);
+  while (nsp->retired.load(std::memory_order_acquire)) nsp = resolve(ns);
+  const AccountKey account_key{ns, key};
+  if (shard.accounts.contains(account_key)) return false;  // never duplicate
+  const TimeUs now = clock_.now_us();
+  const std::int64_t tick = now / nsp->config.delta_us;
+  const Tokens clamped = std::clamp<Tokens>(balance, 0, nsp->capacity);
+  Entry entry{core::TokenAccount(*nsp->strategy, clamped,
+                                 /*allow_overdraft=*/false,
+                                 core::RoundingMode::kRandomized,
+                                 nsp->bucket_cap),
+              nsp, tick, now, nullptr};
+  if (nsp->config.audit) {
+    // The trace restarts empty: the installed balance is at most C, so
+    // spending it all at once still fits the fresh window's 1 + C slack.
+    entry.auditor = std::make_unique<core::RateLimitAuditor>(
+        nsp->config.delta_us, nsp->capacity);
+  }
+  shard.accounts.emplace(account_key, std::move(entry));
+  TableStats& stats = stats_for(shard, ns);
+  ++stats.accounts_created;
+  ++stats.accounts_installed;
+  return true;
+}
+
 std::size_t AccountTable::account_count() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
@@ -391,6 +471,8 @@ void TableStats::merge(const TableStats& other) {
   queries += other.queries;
   proactive_dropped += other.proactive_dropped;
   ticks_forfeited += other.ticks_forfeited;
+  accounts_extracted += other.accounts_extracted;
+  accounts_installed += other.accounts_installed;
 }
 
 TableStats AccountTable::stats() const {

@@ -35,6 +35,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -176,6 +177,8 @@ struct TableStats {
   std::uint64_t queries = 0;
   std::uint64_t proactive_dropped = 0;  ///< replayed ticks spent proactively
   std::uint64_t ticks_forfeited = 0;    ///< elapsed ticks past the replay cap
+  std::uint64_t accounts_extracted = 0; ///< removed by extract_if (handoff)
+  std::uint64_t accounts_installed = 0; ///< created by install_account
 
   /// Adds every counter of `other` into this snapshot.
   void merge(const TableStats& other);
@@ -186,6 +189,16 @@ struct NamespaceInfo {
   NamespaceConfig config;
   Tokens capacity = 0;          ///< effective balance cap
   std::uint64_t accounts = 0;   ///< live accounts in the namespace
+};
+
+/// One account's transferable state, as removed by extract_if(). Only the
+/// banked balance travels: the receiver settles the account at its own
+/// clock, so unsettled elapsed ticks are forfeited (conservative — the
+/// handoff can under-grant, never over-grant).
+struct AccountExport {
+  NamespaceId ns = kDefaultNamespace;
+  std::uint64_t key = 0;
+  Tokens balance = 0;
 };
 
 class AccountTable {
@@ -271,6 +284,24 @@ class AccountTable {
   /// Returns the number evicted.
   std::size_t evict_idle();
 
+  // ------------------------------------------------------ cluster handoff
+
+  /// Atomically removes every account for which `should_extract(ns, key)`
+  /// returns true and returns their transferable state (the cluster layer
+  /// ships each export to the key's new owner). Once extracted the state
+  /// exists only in the returned vector: if the transfer is lost the
+  /// tokens are forfeited, never resurrected here — the rule that keeps
+  /// the §3.4 bound intact cluster-wide. Locks one shard at a time.
+  std::vector<AccountExport> extract_if(
+      const std::function<bool(NamespaceId, std::uint64_t)>& should_extract);
+
+  /// Installs a handed-off account: creates (ns, key) with the given
+  /// balance (clamped to [0, capacity]), settled at the current tick.
+  /// Returns false — installing nothing — if the namespace does not exist
+  /// here or the key already has a live account (the live account already
+  /// grants; accepting a second balance would duplicate tokens).
+  bool install_account(NamespaceId ns, std::uint64_t key, Tokens balance);
+
   std::size_t account_count() const;
 
   /// All namespaces merged (resp. one namespace's slice).
@@ -283,11 +314,22 @@ class AccountTable {
   /// test-sized tables only.
   std::optional<std::string> audit_violation() const;
 
+  /// Folds the namespace into the key — the one mixing rule behind the
+  /// shard index, the per-shard hash *and* the cluster HashRing's key
+  /// points, so the three can never diverge.
+  static std::uint64_t fold_key(NamespaceId ns, std::uint64_t key) {
+    return key + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(ns) + 1);
+  }
+
  private:
   /// Immutable runtime form of a namespace: the resolved strategy object
   /// plus the derived caps. Shared between the registry and every entry of
   /// the namespace, so a reset cannot pull the strategy out from under an
-  /// account that was created against the previous policy.
+  /// account that was created against the previous policy. `retired` is
+  /// flipped when a reconfigure replaces this snapshot: account *creation*
+  /// re-resolves on seeing it, so a request racing the reset can never
+  /// insert a fresh account under the outgoing policy after the purge
+  /// swept its shard (existing entries keep the old snapshot by design).
   struct Namespace {
     NamespaceId id = 0;
     NamespaceConfig config;
@@ -295,6 +337,7 @@ class AccountTable {
     Tokens capacity = 0;       ///< effective balance cap
     Tokens bucket_cap = 0;     ///< TokenAccount bucket cap (token bucket only)
     Tokens catchup_limit = 0;  ///< resolved max_catchup_ticks
+    mutable std::atomic<bool> retired{false};
   };
 
   struct AccountKey {
@@ -302,12 +345,6 @@ class AccountTable {
     std::uint64_t key = 0;
     friend bool operator==(const AccountKey&, const AccountKey&) = default;
   };
-
-  /// Folds the namespace into the key — the one mixing rule behind both
-  /// the shard index and the per-shard hash, so they can never diverge.
-  static std::uint64_t fold_key(NamespaceId ns, std::uint64_t key) {
-    return key + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(ns) + 1);
-  }
 
   struct AccountKeyHash {
     std::size_t operator()(const AccountKey& k) const {

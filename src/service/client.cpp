@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/promise.hpp"
 
 namespace toka::service {
 
@@ -30,6 +31,16 @@ std::function<void(protocol::Response, std::exception_ptr)> make_completion(
                               ": " + protocol::to_string(err->code))));
       return;
     }
+    if (const auto* redirect =
+            std::get_if<protocol::RedirectResponse>(&response)) {
+      done(ResultT{},
+           std::make_exception_ptr(protocol::RedirectError(
+               redirect->epoch, redirect->owner,
+               std::string("tokend: node does not own the key for ") + what +
+                   " (map epoch " + std::to_string(redirect->epoch) +
+                   ", owner " + std::to_string(redirect->owner) + ")")));
+      return;
+    }
     RespT* msg = std::get_if<RespT>(&response);
     if (msg == nullptr) {
       done(ResultT{}, std::make_exception_ptr(util::IoError(
@@ -52,17 +63,7 @@ std::function<void(protocol::Response, std::exception_ptr)> make_completion(
 /// A future-backed callback: fulfils the shared promise either way.
 template <typename T>
 std::pair<std::future<T>, Client::Callback<T>> make_promise_pair() {
-  auto promise = std::make_shared<std::promise<T>>();
-  std::future<T> future = promise->get_future();
-  Client::Callback<T> done = [promise = std::move(promise)](
-                                 T result, std::exception_ptr error) {
-    if (error) {
-      promise->set_exception(std::move(error));
-    } else {
-      promise->set_value(std::move(result));
-    }
-  };
-  return {std::move(future), std::move(done)};
+  return util::promise_pair<T>();
 }
 
 }  // namespace
@@ -82,12 +83,16 @@ Client::Client(runtime::Transport& transport, NodeId server, TimeUs timeout_us)
   transport_->set_handler([this](NodeId from, std::vector<std::byte> payload) {
     on_frame(from, std::move(payload));
   });
+  transport_->set_peer_down_handler(
+      [this](NodeId peer) { on_peer_down(peer); });
 }
 
 Client::~Client() {
-  // Order matters: quiesce the receive path first (after set_handler
-  // returns, no on_frame is running or will run), then the sweeper, then
-  // reject whatever is still registered — nothing can complete it anymore.
+  // Order matters: quiesce the receive paths first (after the detaches
+  // return, no on_frame/on_peer_down is running or will run), then the
+  // sweeper, then reject whatever is still registered — nothing can
+  // complete it anymore.
+  transport_->set_peer_down_handler({});
   transport_->set_handler({});
   {
     std::lock_guard lock(mu_);
@@ -164,6 +169,30 @@ void Client::on_frame(NodeId from, std::vector<std::byte> payload) {
   // Completed outside the lock: the continuation may issue the pipeline's
   // next call (which takes mu_) or unblock a sync caller.
   done(std::move(response), nullptr);
+}
+
+void Client::on_peer_down(NodeId peer) {
+  if (peer != server_) return;  // some other conversation on the fabric
+  // The connection died: every in-flight call's reply is gone for good, so
+  // reject them all now instead of letting each ripen into its own
+  // timeout. New calls stay allowed — the transport reconnects lazily, and
+  // a still-dead server fails them fast the same way.
+  std::vector<Completion> dropped;
+  {
+    std::lock_guard lock(mu_);
+    if (pending_.empty()) return;
+    dropped.reserve(pending_.size());
+    for (auto& [id, pending] : pending_)
+      dropped.push_back(std::move(pending.done));
+    pending_.clear();
+    // Wheel entries for the dropped ids are swept harmlessly later.
+  }
+  disconnects_.fetch_add(1, std::memory_order_relaxed);
+  for (Completion& done : dropped) {
+    done({}, std::make_exception_ptr(util::IoError(
+                 "tokend: connection closed by server " +
+                 std::to_string(peer) + " with the call in flight")));
+  }
 }
 
 std::size_t Client::sweep_pass(std::unique_lock<std::mutex>& lock) {
@@ -266,10 +295,8 @@ std::future<RefundResult> Client::refund_async(NamespaceId ns,
   return std::move(future);
 }
 
-std::future<QueryResult> Client::query_async(NamespaceId ns,
-                                             std::uint64_t key,
-                                             TimeUs timeout_us) {
-  auto [future, done] = make_promise_pair<QueryResult>();
+void Client::query_async(NamespaceId ns, std::uint64_t key,
+                         Callback<QueryResult> done, TimeUs timeout_us) {
   const std::uint64_t id = next_id();
   start_call(id, protocol::encode(protocol::QueryRequest{id, key, ns}),
              make_completion<protocol::QueryResponse, QueryResult>(
@@ -278,12 +305,20 @@ std::future<QueryResult> Client::query_async(NamespaceId ns,
                    return QueryResult{resp.balance, resp.exists};
                  }),
              timeout_us);
+}
+
+std::future<QueryResult> Client::query_async(NamespaceId ns,
+                                             std::uint64_t key,
+                                             TimeUs timeout_us) {
+  auto [future, done] = make_promise_pair<QueryResult>();
+  query_async(ns, key, std::move(done), timeout_us);
   return std::move(future);
 }
 
-std::future<std::vector<AcquireResult>> Client::acquire_batch_async(
-    NamespaceId ns, std::span<const AcquireOp> ops, TimeUs timeout_us) {
-  auto [future, done] = make_promise_pair<std::vector<AcquireResult>>();
+void Client::acquire_batch_async(NamespaceId ns,
+                                 std::span<const AcquireOp> ops,
+                                 Callback<std::vector<AcquireResult>> done,
+                                 TimeUs timeout_us) {
   const std::uint64_t id = next_id();
   protocol::BatchAcquireRequest request;
   request.id = id;
@@ -304,6 +339,12 @@ std::future<std::vector<AcquireResult>> Client::acquire_batch_async(
             return std::move(resp.results);
           }),
       timeout_us);
+}
+
+std::future<std::vector<AcquireResult>> Client::acquire_batch_async(
+    NamespaceId ns, std::span<const AcquireOp> ops, TimeUs timeout_us) {
+  auto [future, done] = make_promise_pair<std::vector<AcquireResult>>();
+  acquire_batch_async(ns, ops, std::move(done), timeout_us);
   return std::move(future);
 }
 
@@ -320,6 +361,38 @@ bool Client::configure_namespace(NamespaceId ns,
                  std::move(done), "configure_namespace",
                  [](protocol::ConfigureNamespaceResponse resp) {
                    return resp.created;
+                 }),
+             /*timeout_us=*/0);
+  return future.get();
+}
+
+void Client::fetch_cluster_map_async(Callback<cluster::ClusterMap> done,
+                                     TimeUs timeout_us) {
+  const std::uint64_t id = next_id();
+  start_call(id, protocol::encode(protocol::ClusterMapRequest{id}),
+             make_completion<protocol::ClusterMapResponse, cluster::ClusterMap>(
+                 std::move(done), "cluster_map",
+                 [](protocol::ClusterMapResponse resp) {
+                   return std::move(resp.map);
+                 }),
+             timeout_us);
+}
+
+cluster::ClusterMap Client::fetch_cluster_map() {
+  auto [future, done] = make_promise_pair<cluster::ClusterMap>();
+  fetch_cluster_map_async(std::move(done));
+  return future.get();
+}
+
+ApplyMapResult Client::apply_cluster_map(const cluster::ClusterMap& map) {
+  auto [future, done] = make_promise_pair<ApplyMapResult>();
+  const std::uint64_t id = next_id();
+  start_call(id, protocol::encode(protocol::ApplyMapRequest{id, map}),
+             make_completion<protocol::ApplyMapResponse, ApplyMapResult>(
+                 std::move(done), "apply_cluster_map",
+                 [](protocol::ApplyMapResponse resp) {
+                   return ApplyMapResult{resp.accepted, resp.epoch,
+                                         resp.handoffs};
                  }),
              /*timeout_us=*/0);
   return future.get();

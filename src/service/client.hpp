@@ -16,7 +16,15 @@
 // acquire_async(...).get() — so pre-async call sites compile and behave
 // unchanged (a lost frame still surfaces as util::IoError after the
 // timeout, not a hang). A server-side failure surfaces as
-// protocol::RpcError (which IS-A util::IoError) carrying the typed code.
+// protocol::RpcError (which IS-A util::IoError) carrying the typed code,
+// and a cluster redirect as protocol::RedirectError.
+//
+// Peer death is fail-fast: when the transport observes the connection to
+// the server close or fail (TCP EOF, refused connect), every in-flight
+// call is rejected immediately with util::IoError("... connection
+// closed"), instead of each ripening into its own timeout — the cluster
+// client's re-routing logic depends on this. The per-call deadline stays
+// as the fallback for fabrics that cannot observe peer death.
 #pragma once
 
 #include <atomic>
@@ -32,12 +40,20 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/cluster_map.hpp"
 #include "runtime/transport.hpp"
 #include "service/account_table.hpp"
 #include "service/protocol.hpp"
 #include "util/types.hpp"
 
 namespace toka::service {
+
+/// Outcome of pushing a membership map to one node.
+struct ApplyMapResult {
+  bool accepted = false;       ///< false: the node already has this epoch+
+  std::uint64_t epoch = 0;     ///< the node's map epoch after the call
+  std::uint64_t handoffs = 0;  ///< accounts the node started moving away
+};
 
 class Client {
  public:
@@ -117,9 +133,14 @@ class Client {
 
   std::future<QueryResult> query_async(NamespaceId ns, std::uint64_t key,
                                        TimeUs timeout_us = 0);
+  void query_async(NamespaceId ns, std::uint64_t key, Callback<QueryResult> done,
+                   TimeUs timeout_us = 0);
 
   std::future<std::vector<AcquireResult>> acquire_batch_async(
       NamespaceId ns, std::span<const AcquireOp> ops, TimeUs timeout_us = 0);
+  void acquire_batch_async(NamespaceId ns, std::span<const AcquireOp> ops,
+                           Callback<std::vector<AcquireResult>> done,
+                           TimeUs timeout_us = 0);
 
   // ------------------------------------------------------------- admin
 
@@ -131,11 +152,29 @@ class Client {
   /// Policy/capacity/account-count of `ns`, or nullopt if it doesn't exist.
   std::optional<NamespaceInfo> namespace_info(NamespaceId ns);
 
+  // ------------------------------------------------------------ cluster
+
+  /// The server's current membership map. Throws protocol::RpcError
+  /// {kUnsupported} if the server is not a cluster node.
+  cluster::ClusterMap fetch_cluster_map();
+  void fetch_cluster_map_async(Callback<cluster::ClusterMap> done,
+                               TimeUs timeout_us = 0);
+
+  /// Pushes `map` to the server; the node adopts it if strictly newer and
+  /// starts handing off the accounts it no longer owns.
+  ApplyMapResult apply_cluster_map(const cluster::ClusterMap& map);
+
   // ------------------------------------------------------------ counters
 
   /// Calls that timed out so far (each was rejected with util::IoError).
   std::uint64_t timeouts() const {
     return timeouts_.load(std::memory_order_relaxed);
+  }
+
+  /// Times the fabric reported the server's connection closed/failed; each
+  /// occurrence rejected every in-flight call with util::IoError.
+  std::uint64_t disconnects() const {
+    return disconnects_.load(std::memory_order_relaxed);
   }
 
   /// Calls in flight right now (registered, neither answered nor expired).
@@ -165,6 +204,7 @@ class Client {
   void start_call(std::uint64_t id, std::vector<std::byte> frame,
                   Completion done, TimeUs timeout_us);
   void on_frame(NodeId from, std::vector<std::byte> payload);
+  void on_peer_down(NodeId peer);
   void sweep_loop();
   /// One wheel pass under `lock` (which is released while completions
   /// run, and re-held on return). Returns the number expired.
@@ -177,6 +217,7 @@ class Client {
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> disconnects_{0};
 
   struct Pending {
     Completion done;

@@ -20,7 +20,11 @@ bool known_type(std::uint8_t version, MsgType type, bool is_response) {
       return true;
     case MsgType::kConfigureNamespace:
     case MsgType::kNamespaceInfo:
+    case MsgType::kClusterMap:
+    case MsgType::kApplyMap:
+    case MsgType::kHandoff:
       return version >= kProtocolVersion;
+    case MsgType::kRedirect:
     case MsgType::kError:
       return version >= kProtocolVersion && is_response;
   }
@@ -105,6 +109,39 @@ void write_namespace_config(util::BinaryWriter& w, const NamespaceConfig& c) {
   w.i64(c.idle_ttl_us);
   w.i64(c.max_catchup_ticks);
   w.u8(c.audit ? 1 : 0);
+}
+
+void write_cluster_map(util::BinaryWriter& w, const cluster::ClusterMap& m) {
+  TOKA_CHECK_MSG(m.nodes.size() <= cluster::kMaxClusterNodes,
+                 "cluster map with " << m.nodes.size()
+                                     << " nodes exceeds the limit of "
+                                     << cluster::kMaxClusterNodes);
+  w.u64(m.epoch);
+  w.u32(m.vnodes);
+  w.u32(static_cast<std::uint32_t>(m.nodes.size()));
+  for (const NodeId node : m.nodes) w.u32(node);
+}
+
+cluster::ClusterMap read_cluster_map(util::BinaryReader& r) {
+  cluster::ClusterMap m;
+  m.epoch = r.u64();
+  m.vnodes = r.u32();
+  const std::uint32_t count = r.u32();
+  if (count > cluster::kMaxClusterNodes)
+    throw util::IoError("tokend frame: cluster map of " +
+                        std::to_string(count) + " nodes exceeds the limit");
+  if (count > 0 && m.vnodes == 0)
+    throw util::IoError("tokend frame: cluster map with zero vnodes");
+  m.nodes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const NodeId node = r.u32();
+    // Canonical form is strictly increasing: a sorted, duplicate-free
+    // member list means equal maps are byte-identical on the wire.
+    if (!m.nodes.empty() && node <= m.nodes.back())
+      throw util::IoError("tokend frame: cluster map nodes out of order");
+    m.nodes.push_back(node);
+  }
+  return m;
 }
 
 NamespaceConfig read_namespace_config(util::BinaryReader& r) {
@@ -267,6 +304,71 @@ std::vector<std::byte> encode_at(const ErrorResponse& m,
   return w.take();
 }
 
+void check_v2_cluster(std::uint8_t version) {
+  TOKA_CHECK_MSG(version >= kProtocolVersion,
+                 "protocol v1 cannot carry cluster messages");
+}
+
+std::vector<std::byte> encode_at(const ClusterMapRequest& m,
+                                 std::uint8_t version) {
+  check_v2_cluster(version);
+  return header(version, MsgType::kClusterMap, false, m.id).take();
+}
+
+std::vector<std::byte> encode_at(const ClusterMapResponse& m,
+                                 std::uint8_t version) {
+  check_v2_cluster(version);
+  util::BinaryWriter w = header(version, MsgType::kClusterMap, true, m.id);
+  write_cluster_map(w, m.map);
+  return w.take();
+}
+
+std::vector<std::byte> encode_at(const ApplyMapRequest& m,
+                                 std::uint8_t version) {
+  check_v2_cluster(version);
+  util::BinaryWriter w = header(version, MsgType::kApplyMap, false, m.id);
+  write_cluster_map(w, m.map);
+  return w.take();
+}
+
+std::vector<std::byte> encode_at(const ApplyMapResponse& m,
+                                 std::uint8_t version) {
+  check_v2_cluster(version);
+  util::BinaryWriter w = header(version, MsgType::kApplyMap, true, m.id);
+  w.u8(m.accepted ? 1 : 0);
+  w.u64(m.epoch);
+  w.u64(m.handoffs);
+  return w.take();
+}
+
+std::vector<std::byte> encode_at(const HandoffRequest& m,
+                                 std::uint8_t version) {
+  check_v2_cluster(version);
+  util::BinaryWriter w = header(version, MsgType::kHandoff, false, m.id);
+  w.u64(m.epoch);
+  w.u32(m.ns);
+  w.u64(m.key);
+  w.i64(m.balance);
+  return w.take();
+}
+
+std::vector<std::byte> encode_at(const HandoffResponse& m,
+                                 std::uint8_t version) {
+  check_v2_cluster(version);
+  util::BinaryWriter w = header(version, MsgType::kHandoff, true, m.id);
+  w.u8(m.accepted ? 1 : 0);
+  return w.take();
+}
+
+std::vector<std::byte> encode_at(const RedirectResponse& m,
+                                 std::uint8_t version) {
+  check_v2_cluster(version);
+  util::BinaryWriter w = header(version, MsgType::kRedirect, true, m.id);
+  w.u64(m.epoch);
+  w.u32(m.owner);
+  return w.take();
+}
+
 }  // namespace
 
 const char* to_string(ErrorCode code) {
@@ -274,6 +376,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kMalformedBody: return "malformed-body";
     case ErrorCode::kUnknownNamespace: return "unknown-namespace";
     case ErrorCode::kInvalidConfig: return "invalid-config";
+    case ErrorCode::kUnsupported: return "unsupported";
   }
   return "unknown-error";
 }
@@ -312,6 +415,27 @@ std::vector<std::byte> encode(const NamespaceInfoRequest& m) {
   return encode_at(m, kProtocolVersion);
 }
 std::vector<std::byte> encode(const NamespaceInfoResponse& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const ClusterMapRequest& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const ClusterMapResponse& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const ApplyMapRequest& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const ApplyMapResponse& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const HandoffRequest& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const HandoffResponse& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const RedirectResponse& m) {
   return encode_at(m, kProtocolVersion);
 }
 std::vector<std::byte> encode(const ErrorResponse& m) {
@@ -389,6 +513,27 @@ Request decode_request(std::span<const std::byte> payload,
       out = NamespaceInfoRequest{id, r.u32()};
       break;
     }
+    case MsgType::kClusterMap: {
+      out = ClusterMapRequest{id};
+      break;
+    }
+    case MsgType::kApplyMap: {
+      ApplyMapRequest m;
+      m.id = id;
+      m.map = read_cluster_map(r);
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kHandoff: {
+      HandoffRequest m;
+      m.id = id;
+      m.epoch = r.u64();
+      m.ns = r.u32();
+      m.key = r.u64();
+      m.balance = read_tokens(r);
+      out = std::move(m);
+      break;
+    }
     default:
       throw util::IoError("tokend frame: unknown request type " +
                           std::to_string(type));
@@ -453,10 +598,39 @@ Response decode_response(std::span<const std::byte> payload) {
       out = std::move(m);
       break;
     }
+    case MsgType::kClusterMap: {
+      ClusterMapResponse m;
+      m.id = id;
+      m.map = read_cluster_map(r);
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kApplyMap: {
+      ApplyMapResponse m;
+      m.id = id;
+      m.accepted = read_bool(r);
+      m.epoch = r.u64();
+      m.handoffs = r.u64();
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kHandoff: {
+      const bool accepted = read_bool(r);
+      out = HandoffResponse{id, accepted};
+      break;
+    }
+    case MsgType::kRedirect: {
+      RedirectResponse m;
+      m.id = id;
+      m.epoch = r.u64();
+      m.owner = r.u32();
+      out = std::move(m);
+      break;
+    }
     case MsgType::kError: {
       const std::uint8_t code = r.u8();
       if (code < static_cast<std::uint8_t>(ErrorCode::kMalformedBody) ||
-          code > static_cast<std::uint8_t>(ErrorCode::kInvalidConfig))
+          code > static_cast<std::uint8_t>(ErrorCode::kUnsupported))
         throw util::IoError("tokend frame: unknown error code " +
                             std::to_string(code));
       out = ErrorResponse{id, static_cast<ErrorCode>(code)};
@@ -499,7 +673,15 @@ std::uint64_t request_id(const Response& m) {
 }
 
 NamespaceId namespace_of(const Request& m) {
-  return std::visit([](const auto& msg) { return msg.ns; }, m);
+  return std::visit(
+      [](const auto& msg) -> NamespaceId {
+        if constexpr (requires { msg.ns; }) {
+          return msg.ns;
+        } else {
+          return kDefaultNamespace;  // the map messages carry no namespace
+        }
+      },
+      m);
 }
 
 }  // namespace toka::service::protocol

@@ -21,6 +21,18 @@
 //     decodable-header/bad-body frames, unknown namespaces and invalid
 //     configs instead of silently dropping them.
 //
+// v2 also carries the tokad *cluster* vocabulary (all of it v2-only):
+//   - ClusterMap fetches a node's current cluster::ClusterMap, and ApplyMap
+//     installs a newer one (membership change: the receiving node re-routes
+//     and hands moved accounts off to their new owners);
+//   - Handoff transfers one account's banked state (balance; the receiver
+//     settles it at its own clock) node-to-node on ring change — forfeited
+//     on any loss, never duplicated;
+//   - a Redirect response (the kNotOwner outcome): the node does not own
+//     the requested key under its current map; it carries the node's map
+//     epoch and the owner it routes the key to, so a stale client can
+//     refresh and retry instead of timing out.
+//
 // Decoding is strict: unknown version, unknown type (for that version),
 // negative token counts, oversized batches, out-of-range enum/bool bytes,
 // truncated bodies and trailing bytes all throw util::IoError — a
@@ -34,8 +46,10 @@
 #include <variant>
 #include <vector>
 
+#include "cluster/cluster_map.hpp"
 #include "service/account_table.hpp"
 #include "util/error.hpp"
+#include "util/serde.hpp"
 #include "util/types.hpp"
 
 namespace toka::service::protocol {
@@ -56,6 +70,10 @@ enum class MsgType : std::uint8_t {
   kBatchAcquire = 4,
   kConfigureNamespace = 5,  ///< v2-only (admin)
   kNamespaceInfo = 6,       ///< v2-only (admin)
+  kClusterMap = 7,          ///< v2-only (cluster: fetch the membership map)
+  kApplyMap = 8,            ///< v2-only (cluster: install a newer map)
+  kHandoff = 9,             ///< v2-only (cluster: node-to-node account move)
+  kRedirect = 0x7E,         ///< v2-only; exists only as a response
   kError = 0x7F,            ///< v2-only; exists only as a response
 };
 
@@ -67,6 +85,7 @@ enum class ErrorCode : std::uint8_t {
   kMalformedBody = 1,     ///< header decoded, body did not
   kUnknownNamespace = 2,  ///< data op on a namespace that does not exist
   kInvalidConfig = 3,     ///< ConfigureNamespace with a rejected policy
+  kUnsupported = 4,       ///< cluster-only request on a non-cluster server
 };
 
 /// Short stable identifier, e.g. "unknown-namespace" (for logs and errors).
@@ -170,14 +189,83 @@ struct ErrorResponse {
   friend bool operator==(const ErrorResponse&, const ErrorResponse&) = default;
 };
 
+// ------------------------------------------------------ cluster messages
+
+struct ClusterMapRequest {
+  std::uint64_t id = 0;
+  friend bool operator==(const ClusterMapRequest&,
+                         const ClusterMapRequest&) = default;
+};
+
+struct ClusterMapResponse {
+  std::uint64_t id = 0;
+  cluster::ClusterMap map;
+  friend bool operator==(const ClusterMapResponse&,
+                         const ClusterMapResponse&) = default;
+};
+
+struct ApplyMapRequest {
+  std::uint64_t id = 0;
+  cluster::ClusterMap map;
+  friend bool operator==(const ApplyMapRequest&,
+                         const ApplyMapRequest&) = default;
+};
+
+struct ApplyMapResponse {
+  std::uint64_t id = 0;
+  bool accepted = false;      ///< false: the node already has this epoch+
+  std::uint64_t epoch = 0;    ///< the node's map epoch after the apply
+  std::uint64_t handoffs = 0; ///< accounts the apply started moving away
+  friend bool operator==(const ApplyMapResponse&,
+                         const ApplyMapResponse&) = default;
+};
+
+struct HandoffRequest {
+  std::uint64_t id = 0;
+  std::uint64_t epoch = 0;  ///< the sender's map epoch (diagnostics)
+  NamespaceId ns = kDefaultNamespace;
+  std::uint64_t key = 0;
+  Tokens balance = 0;  ///< banked tokens travelling with the account
+  friend bool operator==(const HandoffRequest&,
+                         const HandoffRequest&) = default;
+};
+
+struct HandoffResponse {
+  std::uint64_t id = 0;
+  /// false: the receiver dropped the state (it does not own the key, the
+  /// namespace is unknown there, or the key already has a live account).
+  /// The sender forfeits either way — the state was uninstalled on send.
+  bool accepted = false;
+  friend bool operator==(const HandoffResponse&,
+                         const HandoffResponse&) = default;
+};
+
+/// The kNotOwner outcome: the serving node does not own the requested key
+/// under its current map. Carries enough for a stale client to recover —
+/// the node's map epoch (fetch a newer map if ours is older) and where the
+/// node's ring puts the key right now. Like ErrorResponse, this is a
+/// v2-only construct and always encodes as v2, even answering a v1
+/// request: a genuine v1 sender drops the unknown frame and times out —
+/// its pre-v2 behaviour for any failed call (v1 has no redirect
+/// vocabulary, and clustered deployments require v2 clients).
+struct RedirectResponse {
+  std::uint64_t id = 0;
+  std::uint64_t epoch = 0;
+  NodeId owner = kNoNode;
+  friend bool operator==(const RedirectResponse&,
+                         const RedirectResponse&) = default;
+};
+
 using Request =
     std::variant<AcquireRequest, RefundRequest, QueryRequest,
                  BatchAcquireRequest, ConfigureNamespaceRequest,
-                 NamespaceInfoRequest>;
+                 NamespaceInfoRequest, ClusterMapRequest, ApplyMapRequest,
+                 HandoffRequest>;
 using Response =
     std::variant<AcquireResponse, RefundResponse, QueryResponse,
                  BatchAcquireResponse, ConfigureNamespaceResponse,
-                 NamespaceInfoResponse, ErrorResponse>;
+                 NamespaceInfoResponse, ClusterMapResponse, ApplyMapResponse,
+                 HandoffResponse, RedirectResponse, ErrorResponse>;
 
 // Per-type encoders emit the current version (v2).
 std::vector<std::byte> encode(const AcquireRequest& m);
@@ -192,6 +280,13 @@ std::vector<std::byte> encode(const ConfigureNamespaceRequest& m);
 std::vector<std::byte> encode(const ConfigureNamespaceResponse& m);
 std::vector<std::byte> encode(const NamespaceInfoRequest& m);
 std::vector<std::byte> encode(const NamespaceInfoResponse& m);
+std::vector<std::byte> encode(const ClusterMapRequest& m);
+std::vector<std::byte> encode(const ClusterMapResponse& m);
+std::vector<std::byte> encode(const ApplyMapRequest& m);
+std::vector<std::byte> encode(const ApplyMapResponse& m);
+std::vector<std::byte> encode(const HandoffRequest& m);
+std::vector<std::byte> encode(const HandoffResponse& m);
+std::vector<std::byte> encode(const RedirectResponse& m);
 std::vector<std::byte> encode(const ErrorResponse& m);
 
 /// Version-explicit encoders (the server answers a request with the
@@ -233,7 +328,64 @@ std::optional<FrameHeader> try_parse_header(
 std::uint64_t request_id(const Request& m);
 std::uint64_t request_id(const Response& m);
 
-/// The namespace a request targets (admin requests included).
+/// Streaming routing view of a data-op request frame (acquire / refund /
+/// query / batch-acquire, v1 or v2): invokes `fn(ns, key)` for every key
+/// the frame addresses, walking a batch's ops in place — no request is
+/// materialized and nothing allocates. This is the cluster layer's
+/// ownership check, which would otherwise pay a full decode on every
+/// request just to route it (the owned frame is decoded once more by the
+/// table server anyway).
+///
+/// Returns true if the frame was a data-op request walked to the caller's
+/// satisfaction (`fn` may return false to stop early); false for any
+/// other frame — responses, admin/cluster types, unknown versions, or a
+/// body too short to carry its keys — in which case the caller falls back
+/// to the full strict decoder for classification. Only routing fields are
+/// validated here; full strictness (token signs, trailing bytes) stays
+/// with decode_request, whose layout this walk mirrors — the protocol
+/// fuzz pins the two together.
+template <typename KeyFn>
+bool for_each_data_op_key(std::span<const std::byte> payload, KeyFn&& fn) {
+  util::BinaryReader r(payload);
+  try {
+    const std::uint8_t version = r.u8();
+    if (version != kProtocolVersionV1 && version != kProtocolVersion)
+      return false;
+    const std::uint8_t type_byte = r.u8();
+    if ((type_byte & kResponseBit) != 0) return false;
+    const MsgType type = static_cast<MsgType>(type_byte);
+    r.u64();  // request id
+    switch (type) {
+      case MsgType::kAcquire:
+      case MsgType::kRefund:
+      case MsgType::kQuery: {
+        const NamespaceId ns =
+            version >= kProtocolVersion ? r.u32() : kDefaultNamespace;
+        fn(ns, r.u64());
+        return true;
+      }
+      case MsgType::kBatchAcquire: {
+        const NamespaceId ns =
+            version >= kProtocolVersion ? r.u32() : kDefaultNamespace;
+        const std::uint32_t count = r.u32();
+        if (count > kMaxBatchOps) return false;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint64_t key = r.u64();
+          r.i64();  // the op's token count plays no part in routing
+          if (!fn(ns, key)) return true;
+        }
+        return true;
+      }
+      default:
+        return false;
+    }
+  } catch (const util::IoError&) {
+    return false;  // truncated: let the strict decoder classify the frame
+  }
+}
+
+/// The namespace a request targets (admin requests included; requests with
+/// no namespace — the cluster map messages — report kDefaultNamespace).
 NamespaceId namespace_of(const Request& m);
 
 /// Thrown by the client when the server answers with a typed
@@ -247,6 +399,24 @@ class RpcError : public util::IoError {
 
  private:
   ErrorCode code_;
+};
+
+/// Thrown by the client when the server answers with a RedirectResponse:
+/// the node does not own the key. Derives from util::IoError (a pre-
+/// cluster caller that catches IoError sees a failed call); the cluster
+/// client catches it specifically, refreshes its map and retries.
+class RedirectError : public util::IoError {
+ public:
+  RedirectError(std::uint64_t epoch, NodeId owner, const std::string& what)
+      : util::IoError(what), epoch_(epoch), owner_(owner) {}
+  /// The redirecting node's map epoch.
+  std::uint64_t map_epoch() const { return epoch_; }
+  /// Where that node's ring places the key (kNoNode on an empty ring).
+  NodeId owner() const { return owner_; }
+
+ private:
+  std::uint64_t epoch_;
+  NodeId owner_;
 };
 
 }  // namespace toka::service::protocol

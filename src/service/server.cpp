@@ -50,12 +50,14 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
 
   // Data ops on a namespace that does not exist get a typed error before
   // touching the table (namespaces are never deleted, so the check cannot
-  // race a removal).
+  // race a removal). Admin and cluster requests skip the precheck — they
+  // either create the namespace or don't address one.
   const std::uint64_t id = proto::request_id(request);
-  const bool is_admin =
-      std::holds_alternative<proto::ConfigureNamespaceRequest>(request) ||
-      std::holds_alternative<proto::NamespaceInfoRequest>(request);
-  if (!is_admin && !table_->has_namespace(proto::namespace_of(request))) {
+  const bool is_data_op = std::holds_alternative<proto::AcquireRequest>(request) ||
+                          std::holds_alternative<proto::RefundRequest>(request) ||
+                          std::holds_alternative<proto::QueryRequest>(request) ||
+                          std::holds_alternative<proto::BatchAcquireRequest>(request);
+  if (is_data_op && !table_->has_namespace(proto::namespace_of(request))) {
     errored_.fetch_add(1, std::memory_order_relaxed);
     transport_->send(from, proto::encode(proto::ErrorResponse{
                                id, proto::ErrorCode::kUnknownNamespace}));
@@ -103,6 +105,19 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
               resp.accounts = info->accounts;
             }
             return resp;
+          },
+          // Cluster vocabulary on a standalone server: answered with a
+          // typed error so a misconfigured cluster client fails fast
+          // instead of timing out (the ClusterServer wrapper intercepts
+          // these before they ever reach this table server).
+          [&](const proto::ClusterMapRequest& r) -> proto::Response {
+            return proto::ErrorResponse{r.id, proto::ErrorCode::kUnsupported};
+          },
+          [&](const proto::ApplyMapRequest& r) -> proto::Response {
+            return proto::ErrorResponse{r.id, proto::ErrorCode::kUnsupported};
+          },
+          [&](const proto::HandoffRequest& r) -> proto::Response {
+            return proto::ErrorResponse{r.id, proto::ErrorCode::kUnsupported};
           },
       },
       request);

@@ -1,0 +1,32 @@
+// Bridging futures onto (result, error) completion callbacks.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <utility>
+
+namespace toka::util {
+
+/// A future and the completion callback that fulfils it: the callback
+/// shape used throughout the tokend/tokad client stack — exactly one of
+/// (result, error) is meaningful, error == nullptr means success. Used by
+/// every sync wrapper that is "async + .get()".
+template <typename T>
+std::pair<std::future<T>, std::function<void(T, std::exception_ptr)>>
+promise_pair() {
+  auto promise = std::make_shared<std::promise<T>>();
+  std::future<T> future = promise->get_future();
+  std::function<void(T, std::exception_ptr)> done =
+      [promise = std::move(promise)](T result, std::exception_ptr error) {
+        if (error) {
+          promise->set_exception(std::move(error));
+        } else {
+          promise->set_value(std::move(result));
+        }
+      };
+  return {std::move(future), std::move(done)};
+}
+
+}  // namespace toka::util

@@ -1,0 +1,250 @@
+// End-to-end tokad cluster churn: Zipf traffic against 3 nodes while one
+// node is killed and a fresh one joins mid-run. The acceptance bar:
+//
+//   - every worker completes the run with ZERO client-visible errors —
+//     every kNotOwner redirect and every dead-node timeout is absorbed by
+//     ClusterClient's refresh-and-retry;
+//   - every completed acquire is audited, and the *cluster-wide* §3.4
+//     burst bound holds per key across the kill, the handoffs and the
+//     join (handoff forfeits on loss, never duplicates);
+//   - each node's own table-side §3.4 audit stays clean, the killed
+//     node's included.
+//
+// A TCP variant runs the same machinery over real sockets with a node
+// killed mid-flight, exercising the fail-fast disconnect path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_client.hpp"
+#include "cluster/cluster_map.hpp"
+#include "cluster/cluster_server.hpp"
+#include "core/rate_limit.hpp"
+#include "runtime/inproc.hpp"
+#include "runtime/tcp.hpp"
+#include "service/account_table.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace toka::cluster {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr TimeUs kDelta = 25'000;  // 25 ms token period
+constexpr Tokens kA = 2, kC = 8;
+
+service::ServiceConfig churn_config() {
+  service::ServiceConfig cfg;
+  cfg.shards = 16;
+  cfg.delta_us = kDelta;
+  cfg.strategy.kind = core::StrategyKind::kGeneralized;
+  cfg.strategy.a_param = kA;
+  cfg.strategy.c_param = kC;
+  cfg.initial_tokens = 0;  // every granted token was banked inside the run
+  cfg.audit = true;        // per-node §3.4 auditor on every account
+  return cfg;
+}
+
+/// One cluster node: table + wall clock + (killable) server.
+struct ChurnNode {
+  service::AccountTable table;
+  service::ClockDriver driver;
+  std::unique_ptr<ClusterServer> server;
+
+  ChurnNode(runtime::Transport& transport, const ClusterMap& map)
+      : table(churn_config()), driver(table, 1000) {
+    driver.start();
+    server = std::make_unique<ClusterServer>(table, transport, map);
+  }
+  void kill() { server.reset(); }  // table survives for the post-mortem
+};
+
+/// (key, completion time, tokens granted) — the client-side grant trace.
+struct GrantEvent {
+  std::uint64_t key;
+  TimeUs at_us;
+  Tokens granted;
+};
+
+TEST(ClusterChurn, KillAndJoinUnderZipfLoadHoldsTheBurstBound) {
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::uint64_t kKeys = 512;
+  constexpr std::size_t kMaxNodes = 4;  // ids 0..2 initial, 3 joins
+  const ClusterMap map1{1, kDefaultVnodes, {0, 1, 2}};
+
+  // Endpoints: servers 0..3, then a stride of kMaxNodes per worker, then
+  // the coordinator's stride.
+  runtime::InProcNetwork net(kMaxNodes + (kWorkers + 1) * kMaxNodes);
+  auto worker_factory = [&](std::size_t worker) {
+    return [&net, worker](NodeId server) -> runtime::Transport& {
+      return net.endpoint(
+          static_cast<NodeId>(kMaxNodes + worker * kMaxNodes + server));
+    };
+  };
+
+  std::vector<std::unique_ptr<ChurnNode>> nodes;
+  for (NodeId n = 0; n < 3; ++n)
+    nodes.push_back(std::make_unique<ChurnNode>(net.endpoint(n), map1));
+  net.start();
+
+  ClusterClientConfig client_config;
+  client_config.call_timeout_us = 150 * 1'000;
+  client_config.max_attempts = 12;
+
+  const auto start = Clock::now();
+  const auto run_for = std::chrono::milliseconds(2200);
+  auto now_us = [&] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start)
+        .count();
+  };
+
+  std::vector<std::vector<GrantEvent>> traces(kWorkers);
+  std::vector<std::uint64_t> errors(kWorkers, 0);
+  std::atomic<std::uint64_t> redirects{0}, io_retries{0};
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      ClusterClient client(worker_factory(w), map1, client_config);
+      util::Rng rng(100 + w);
+      const util::ZipfSampler zipf(kKeys, 0.9);
+      while (Clock::now() - start < run_for) {
+        const std::uint64_t key = zipf.next(rng);
+        try {
+          const service::AcquireResult res =
+              client.acquire(service::kDefaultNamespace, key, 1);
+          if (res.granted > 0)
+            traces[w].push_back(GrantEvent{key, now_us(), res.granted});
+        } catch (const std::exception&) {
+          ++errors[w];
+        }
+      }
+      redirects += client.redirects_followed();
+      io_retries += client.io_retries();
+    });
+  }
+
+  // The coordinator: kill node 2 at ~0.7s, join node 3 at ~1.3s.
+  ClusterClient admin(worker_factory(kWorkers), map1, client_config);
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  nodes[2]->kill();
+  const ClusterMap map2 = map1.without_node(2);
+  admin.push_map(map2);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  const ClusterMap map3 = map2.with_node(3);
+  nodes.push_back(std::make_unique<ChurnNode>(net.endpoint(3), map3));
+  admin.push_map(map3);
+
+  for (auto& worker : workers) worker.join();
+  const TimeUs run_us = now_us();
+  for (auto& node : nodes) node->driver.stop();
+  net.stop();
+
+  // 1. Zero client-visible errors: redirects and dead-node timeouts were
+  //    all retried away internally.
+  for (std::size_t w = 0; w < kWorkers; ++w)
+    EXPECT_EQ(errors[w], 0u) << "worker " << w;
+
+  // 2. The churn actually happened and was absorbed: the kill surfaced as
+  //    internal retries, the join as kNotOwner redirects (followed) and
+  //    handoffs out of the survivors.
+  EXPECT_GT(io_retries.load(), 0u);
+  EXPECT_GT(redirects.load(), 0u);
+  EXPECT_GT(nodes[0]->server->handoffs_sent() +
+                nodes[1]->server->handoffs_sent(),
+            0u);
+  EXPECT_GT(nodes[3]->server->handoffs_installed(), 0u);
+  EXPECT_EQ(admin.map().epoch, 3u);
+
+  // 3. Per-node §3.4 audits — the killed node's table included.
+  for (std::size_t n = 0; n < nodes.size(); ++n)
+    EXPECT_EQ(nodes[n]->table.audit_violation(), std::nullopt) << "node " << n;
+
+  // 4. The cluster-wide per-key burst bound, over the client-side trace of
+  //    every completed acquire. Capacity gets +1 slack: completion
+  //    timestamps can compress a window by a scheduling delay, which is
+  //    worth at most one tick — while a duplicated handoff would inject up
+  //    to C=8 extra grants into a hot key's trace and still be caught.
+  std::vector<GrantEvent> all;
+  for (const auto& trace : traces)
+    all.insert(all.end(), trace.begin(), trace.end());
+  ASSERT_FALSE(all.empty());
+  std::sort(all.begin(), all.end(),
+            [](const GrantEvent& a, const GrantEvent& b) {
+              return a.at_us < b.at_us;
+            });
+  std::map<std::uint64_t, core::RateLimitAuditor> audits;
+  std::map<std::uint64_t, Tokens> totals;
+  for (const GrantEvent& event : all) {
+    auto [it, created] =
+        audits.try_emplace(event.key, kDelta, kC + 1);
+    for (Tokens i = 0; i < event.granted; ++i) it->second.record(event.at_us);
+    totals[event.key] += event.granted;
+  }
+  for (auto& [key, audit] : audits) {
+    const auto violation = audit.first_violation();
+    ASSERT_FALSE(violation.has_value())
+        << "key " << key << ": " << violation->describe();
+    // Whole-run conservation: with initial_tokens = 0 every granted token
+    // was earned by a tick inside the run, wherever the account lived.
+    EXPECT_LE(totals[key], run_us / kDelta + 1 + kC + 1) << "key " << key;
+  }
+}
+
+TEST(ClusterChurn, TcpNodeKillIsAbsorbedByRerouting) {
+  const ClusterMap both{1, kDefaultVnodes, {0, 1}};
+  // Endpoints: 2 servers + 2 for the worker + 2 for the coordinator.
+  runtime::TcpMesh mesh(2 + 2 + 2);
+  std::vector<std::unique_ptr<ChurnNode>> nodes;
+  for (NodeId n = 0; n < 2; ++n)
+    nodes.push_back(std::make_unique<ChurnNode>(mesh.endpoint(n), both));
+
+  ClusterClientConfig client_config;
+  client_config.call_timeout_us = 200 * 1'000;
+  client_config.max_attempts = 12;
+  ClusterClient client(
+      [&](NodeId server) -> runtime::Transport& {
+        return mesh.endpoint(2 + server);
+      },
+      both, client_config);
+  ClusterClient admin(
+      [&](NodeId server) -> runtime::Transport& {
+        return mesh.endpoint(4 + server);
+      },
+      both, client_config);
+
+  // Warm both nodes up over real sockets.
+  std::int64_t granted = 0;
+  for (std::uint64_t key = 0; key < 64; ++key)
+    granted += client.acquire(service::kDefaultNamespace, key, 0).granted;
+
+  // Kill node 1's endpoint mid-run (sockets close under the client), push
+  // the shrunk map, and keep going: every key must be served by node 0.
+  nodes[1]->kill();
+  mesh.shutdown_endpoint(1);
+  admin.push_map(both.without_node(1));
+
+  std::uint64_t errors = 0;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    try {
+      client.acquire(service::kDefaultNamespace, key, 0);
+    } catch (const std::exception&) {
+      ++errors;
+    }
+  }
+  EXPECT_EQ(errors, 0u);
+  EXPECT_EQ(client.map().epoch, 2u);
+  EXPECT_EQ(nodes[0]->table.audit_violation(), std::nullopt);
+  for (auto& node : nodes) node->driver.stop();
+}
+
+}  // namespace
+}  // namespace toka::cluster

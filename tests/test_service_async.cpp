@@ -9,6 +9,7 @@
 #include <chrono>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -243,6 +244,63 @@ TEST(ClientAsync, ConcurrentMixedSyncAndAsyncCallers) {
             static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
   EXPECT_EQ(client.timeouts(), 0u);
   net.stop();
+}
+
+TEST(ClientAsync, ServerDeathRejectsInFlightCallsImmediately) {
+  // The kill-server-mid-flight case: calls parked on a server that stops
+  // answering must fail the moment the fabric reports the connection
+  // closed — as typed IoErrors — instead of each ripening into its own
+  // (here deliberately huge) timeout.
+  runtime::TcpMesh mesh(2);
+  AccountTable table(simple_config(10));
+  auto server = std::make_unique<Server>(table, mesh.endpoint(0));
+  Client client(mesh.endpoint(1), 0, /*timeout_us=*/60 * duration::kSecond);
+
+  // One round trip establishes both directions of the conversation.
+  EXPECT_EQ(client.acquire(1, 0).granted, 0);
+
+  // The server stops answering but the sockets stay up: calls sit in
+  // flight.
+  server.reset();
+  std::vector<std::future<AcquireResult>> stuck;
+  for (int i = 0; i < 8; ++i)
+    stuck.push_back(client.acquire_async(kDefaultNamespace, 1, 0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(client.inflight(), 8u);
+
+  // Kill the server's endpoint: its sockets close, the client's fabric
+  // observes it, and every future rejects far inside the 60s deadline.
+  const auto killed_at = std::chrono::steady_clock::now();
+  mesh.shutdown_endpoint(0);
+  for (auto& future : stuck) {
+    try {
+      future.get();
+      FAIL() << "a call to a dead server succeeded";
+    } catch (const util::IoError& error) {
+      EXPECT_NE(std::string(error.what()).find("connection closed"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+  const auto waited = std::chrono::steady_clock::now() - killed_at;
+  EXPECT_LT(waited, std::chrono::seconds(10));
+  EXPECT_GE(client.disconnects(), 1u);
+  EXPECT_EQ(client.inflight(), 0u);
+  EXPECT_EQ(client.timeouts(), 0u);  // fail-fast, not timed out
+}
+
+TEST(ClientAsync, CallsToANeverUpServerFailFastOverTcp) {
+  // The connect-refused flavour: the server's endpoint is already gone
+  // before the first call, so the failed connect itself reports the peer
+  // down and the just-registered call rejects without waiting.
+  runtime::TcpMesh mesh(2);
+  mesh.shutdown_endpoint(0);
+  Client client(mesh.endpoint(1), 0, /*timeout_us=*/60 * duration::kSecond);
+  const auto started = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.acquire(1, 1), util::IoError);
+  EXPECT_LT(std::chrono::steady_clock::now() - started,
+            std::chrono::seconds(10));
+  EXPECT_GE(client.disconnects(), 1u);
 }
 
 TEST(ClientAsync, PipelinedFuturesOverTcp) {

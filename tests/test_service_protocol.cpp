@@ -76,10 +76,24 @@ NamespaceConfig random_namespace_config(Rng& rng) {
   return c;
 }
 
+cluster::ClusterMap random_cluster_map(Rng& rng) {
+  cluster::ClusterMap m;
+  m.epoch = rng.next_u64();
+  m.vnodes = 1 + static_cast<std::uint32_t>(rng.below(256));
+  const std::size_t nodes = rng.below(8);
+  NodeId next = 0;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    next += 1 + static_cast<NodeId>(rng.below(5));  // strictly increasing
+    m.nodes.push_back(next);
+  }
+  return m;
+}
+
 /// With v1=true, only messages protocol v1 can carry (namespace 0, no
-/// admin frames) are generated, so the same fuzz drives both versions.
+/// admin or cluster frames) are generated, so the same fuzz drives both
+/// versions.
 Request random_request(Rng& rng, bool v1 = false) {
-  switch (rng.below(v1 ? 4 : 6)) {
+  switch (rng.below(v1 ? 4 : 9)) {
     case 0:
       return AcquireRequest{rng.next_u64(), rng.next_u64(),
                             static_cast<Tokens>(rng.below(1 << 20)),
@@ -105,14 +119,22 @@ Request random_request(Rng& rng, bool v1 = false) {
       return ConfigureNamespaceRequest{rng.next_u64(),
                                        random_ns(rng, /*v1=*/false),
                                        random_namespace_config(rng)};
-    default:
+    case 5:
       return NamespaceInfoRequest{rng.next_u64(),
                                   random_ns(rng, /*v1=*/false)};
+    case 6:
+      return ClusterMapRequest{rng.next_u64()};
+    case 7:
+      return ApplyMapRequest{rng.next_u64(), random_cluster_map(rng)};
+    default:
+      return HandoffRequest{rng.next_u64(), rng.next_u64(),
+                            random_ns(rng, /*v1=*/false), rng.next_u64(),
+                            static_cast<Tokens>(rng.below(1 << 20))};
   }
 }
 
 Response random_response(Rng& rng, bool v1 = false) {
-  switch (rng.below(v1 ? 4 : 7)) {
+  switch (rng.below(v1 ? 4 : 11)) {
     case 0:
       return AcquireResponse{rng.next_u64(),
                              static_cast<Tokens>(rng.below(1000)),
@@ -148,9 +170,19 @@ Response random_response(Rng& rng, bool v1 = false) {
       }
       return m;
     }
+    case 6:
+      return ClusterMapResponse{rng.next_u64(), random_cluster_map(rng)};
+    case 7:
+      return ApplyMapResponse{rng.next_u64(), rng.bernoulli(0.5),
+                              rng.next_u64(), rng.below(100)};
+    case 8:
+      return HandoffResponse{rng.next_u64(), rng.bernoulli(0.5)};
+    case 9:
+      return RedirectResponse{rng.next_u64(), rng.next_u64(),
+                              static_cast<NodeId>(rng.below(1 << 16))};
     default:
       return ErrorResponse{rng.next_u64(),
-                           static_cast<ErrorCode>(1 + rng.below(3))};
+                           static_cast<ErrorCode>(1 + rng.below(4))};
   }
 }
 
@@ -174,6 +206,56 @@ TEST(Protocol, RandomizedResponseReencodeByteIdentity) {
     EXPECT_EQ(decoded, msg);
     EXPECT_EQ(encode(decoded), wire) << "re-encode diverged, iteration " << i;
   }
+}
+
+TEST(Protocol, RoutingWalkMatchesFullDecode) {
+  // for_each_data_op_key mirrors decode_request's data-op layout; this
+  // fuzz pins the two together so the wire format cannot drift apart.
+  Rng rng(7777);
+  using KeyList = std::vector<std::pair<NamespaceId, std::uint64_t>>;
+  for (int i = 0; i < 400; ++i) {
+    const bool v1 = rng.bernoulli(0.3);
+    const Request msg = random_request(rng, v1);
+    const std::vector<std::byte> wire =
+        encode(msg, v1 ? kProtocolVersionV1 : kProtocolVersion);
+    KeyList walked;
+    const bool ok = for_each_data_op_key(
+        wire, [&](NamespaceId ns, std::uint64_t key) {
+          walked.emplace_back(ns, key);
+          return true;
+        });
+    KeyList expected;
+    bool is_data_op = true;
+    if (const auto* m = std::get_if<AcquireRequest>(&msg)) {
+      expected.emplace_back(m->ns, m->key);
+    } else if (const auto* m = std::get_if<RefundRequest>(&msg)) {
+      expected.emplace_back(m->ns, m->key);
+    } else if (const auto* m = std::get_if<QueryRequest>(&msg)) {
+      expected.emplace_back(m->ns, m->key);
+    } else if (const auto* m = std::get_if<BatchAcquireRequest>(&msg)) {
+      for (const auto& op : m->ops) expected.emplace_back(m->ns, op.key);
+    } else {
+      is_data_op = false;  // admin/cluster frames are not walkable
+    }
+    EXPECT_EQ(ok, is_data_op) << "iteration " << i;
+    if (is_data_op) {
+      EXPECT_EQ(walked, expected) << "iteration " << i;
+    }
+  }
+  // Responses are never walkable.
+  const std::vector<std::byte> resp = encode(AcquireResponse{1, 2, 3});
+  EXPECT_FALSE(for_each_data_op_key(
+      resp, [](NamespaceId, std::uint64_t) { return true; }));
+  // Early stop: the walk reports success without visiting further keys.
+  BatchAcquireRequest batch;
+  batch.id = 9;
+  for (std::uint64_t k = 0; k < 8; ++k) batch.ops.push_back({k, 1});
+  std::size_t seen = 0;
+  EXPECT_TRUE(for_each_data_op_key(encode(batch),
+                                   [&](NamespaceId, std::uint64_t) {
+                                     return ++seen < 3;
+                                   }));
+  EXPECT_EQ(seen, 3u);
 }
 
 TEST(Protocol, EveryTruncationIsRejected) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -381,6 +382,101 @@ TEST(AccountTableNamespaces, ReconfigureResetsAccounts) {
   table.clock().advance(100'000);
   EXPECT_EQ(table.acquire(2, 5, 100).granted, 3);  // new, tighter cap
   EXPECT_EQ(table.stats(2).accounts_evicted, 1u);
+}
+
+TEST(AccountTableNamespaces, ReconfigureRacingTrafficNeverResurrectsOldPolicy) {
+  // Regression for the configure_namespace reset race: an acquire that
+  // resolved the outgoing policy and reached its shard *after* the purge
+  // swept it used to insert a fresh account under the old policy — a
+  // "resurrected" account the reset missed. Creation now re-resolves on a
+  // retired snapshot, so after the final reconfigure no account of the
+  // namespace can carry the old policy's state. Runs under TSan in CI.
+  AccountTable table(simple_config(4, 1000));
+
+  // Old policy: generous, with a full initial balance so a resurrected
+  // account is unmistakable (balance >= 64, and acquires of 0 tokens never
+  // drain it). New policy: capacity 4, initial 0.
+  NamespaceConfig generous;
+  generous.strategy.kind = core::StrategyKind::kTokenBucket;
+  generous.strategy.c_param = 64;
+  generous.delta_us = 1000;
+  generous.initial_tokens = 64;
+  generous.idle_ttl_us = 2000;  // eviction sweeps race the resets too
+  NamespaceConfig tight;
+  tight.strategy.kind = core::StrategyKind::kTokenBucket;
+  tight.strategy.c_param = 4;
+  tight.delta_us = 1000;
+  tight.initial_tokens = 0;
+  tight.idle_ttl_us = 2000;
+
+  constexpr NamespaceId kNs = 7;
+  constexpr std::uint64_t kKeys = 256;
+  ASSERT_TRUE(table.configure_namespace(kNs, generous));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ops{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t key = static_cast<std::uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // 0-token acquires create/settle accounts without draining them.
+        table.acquire(kNs, key % kKeys, 0);
+        table.acquire((key * 7) % kKeys, 0);  // default-ns bystanders
+        ++key;
+        ops.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      table.clock().advance(500);
+      table.evict_idle();
+    }
+  });
+
+  // Pace the reset storm against actual worker progress, so every
+  // reconfigure genuinely races live acquires instead of finishing before
+  // the threads have spun up.
+  auto await_ops = [&](std::uint64_t more) {
+    const std::uint64_t target = ops.load() + more;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (ops.load() < target &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+  };
+  await_ops(500);
+  for (int round = 0; round < 60; ++round) {
+    table.configure_namespace(kNs, round % 2 == 0 ? tight : generous);
+    await_ops(100);
+  }
+  // The final reset happens while traffic is still running, then the
+  // writers stop: whatever accounts remain were created by racing
+  // acquires against that reset.
+  table.configure_namespace(kNs, tight);
+  stop.store(true);
+  for (auto& thread : threads) thread.join();
+
+  // No resurrected accounts: everything left in the namespace carries the
+  // new policy — balance within the tight capacity (an old-policy insert
+  // would sit at >= 64 since nothing ever drained it).
+  std::size_t live = 0;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const QueryResult res = table.query(kNs, key);
+    if (!res.exists) continue;
+    ++live;
+    EXPECT_LE(res.balance, 4) << "key " << key
+                              << " resurrected under the old policy";
+  }
+  // Default-namespace bystanders were never dropped by the resets.
+  EXPECT_GT(table.stats(kDefaultNamespace).accounts, 0u);
+  // And the namespace still works after the storm.
+  table.acquire(kNs, 1, 0);  // ensure the account exists before the ticks
+  table.clock().advance(100'000);
+  EXPECT_EQ(table.acquire(kNs, 1, 100).granted, 4);
+  (void)live;
 }
 
 TEST(AccountTableNamespaces, StatsBreakOutPerNamespace) {
