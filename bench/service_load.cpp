@@ -24,6 +24,14 @@
 // N-node-vs-1-node ratio into a CI floor, and --churn kills one node and
 // joins a fresh one mid-run (reported: errors must stay 0).
 //
+// The "overload" mode answers the graceful-degradation question: an
+// admission-controlled server takes a 10x flash crowd on top of a baseline
+// open loop; the excess must come back as typed kOverloaded sheds (any
+// timeout or untyped error fails the run) while the served requests' p99
+// stays near the unloaded baseline. Shed/served ratios land in the JSON
+// document, and --scrape-out=FILE captures the server's Prometheus
+// exposition at the end of the run.
+//
 // Reports per-mode throughput and latency percentiles, and with --json=FILE
 // writes the BENCH_service.json document the release-bench CI job uploads.
 #include <algorithm>
@@ -42,6 +50,7 @@
 #include "cluster/cluster_map.hpp"
 #include "cluster/cluster_server.hpp"
 #include "metrics/timeseries.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/inproc.hpp"
 #include "runtime/tcp.hpp"
 #include "service/account_table.hpp"
@@ -560,6 +569,131 @@ ModeResult run_cluster(const std::string& mode, const util::ZipfSampler& sampler
   return res;
 }
 
+void print_result(const ModeResult& res);
+
+/// What the flash-crowd scenario measured (reported into BENCH_service.json
+/// and summarized on stdout).
+struct OverloadOutcome {
+  bool ran = false;
+  std::uint64_t served = 0;        ///< spike-phase successes
+  std::uint64_t shed = 0;          ///< typed kOverloaded (wire or local backoff)
+  std::uint64_t violations = 0;    ///< timeouts / untyped errors (must be 0)
+  std::uint64_t baseline_shed = 0; ///< sheds below budget (should be 0)
+  double baseline_p99_us = 0;      ///< served p99, unloaded phase
+  double p99_us = 0;               ///< served p99 under the flash crowd
+  std::string scrape_text;         ///< the server's exposition at run end
+};
+
+/// Flash crowd against one admission-controlled server: phase 1 runs an
+/// open loop comfortably below the budget (nothing may be shed, and its
+/// served p99 is the baseline), phase 2 multiplies the arrival rate by 10.
+/// The valve must turn the excess into typed kOverloaded rejections —
+/// counted as shed, never as errors — while the requests it does admit
+/// stay near the baseline latency.
+void run_overload(std::vector<ModeResult>& runs,
+                  const util::ZipfSampler& sampler, const LoadConfig& load,
+                  const service::ServiceConfig& cfg, double base_rate,
+                  OverloadOutcome& out) {
+  service::AccountTable table(cfg);
+  service::ClockDriver driver(table, /*resolution_us=*/1000);
+  driver.start();
+  runtime::InProcNetwork net(1 + load.threads);
+  obs::Registry registry;
+  service::ServerOptions opts;
+  opts.registry = &registry;
+  opts.admission.enabled = true;
+  opts.admission.interval_us = 10'000;
+  opts.admission.min_budget = 32;
+  // Cap the budget at ~2x the baseline arrival rate: phase 1 fits with
+  // headroom, the 10x spike cannot, so the valve has to shed.
+  opts.admission.max_budget = std::max<std::int64_t>(
+      static_cast<std::int64_t>(2.0 * base_rate *
+                                (opts.admission.interval_us / 1e6)),
+      64);
+  service::Server server(table, net.endpoint(0), opts);
+  net.start();
+
+  const double phase_s = std::max(load.seconds / 2, 0.25);
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> violations{0};
+  const auto drive = [&](const std::string& mode, double rate) {
+    const double per_thread_rate = rate / load.threads;
+    const auto interval = std::chrono::nanoseconds(std::max<std::int64_t>(
+        static_cast<std::int64_t>(1e9 / per_thread_rate), 1));
+    const auto start = Clock::now();
+    const auto deadline = start + std::chrono::microseconds(from_seconds(phase_s));
+    ModeResult res = run_threads(mode, load.threads, [&](std::size_t t,
+                                                         PerThread& tally) {
+      service::Client client(net.endpoint(static_cast<NodeId>(1 + t)), 0);
+      util::Rng rng(8000 + t);
+      std::counting_semaphore<> outstanding(0);
+      std::uint64_t issued = 0;
+      auto scheduled = start + interval * static_cast<std::int64_t>(t) /
+                                   static_cast<std::int64_t>(load.threads);
+      while (scheduled < deadline) {
+        std::this_thread::sleep_until(scheduled);
+        const std::uint64_t key = sampler.next(rng);
+        // Latency from issue, not schedule: under overload the question is
+        // what the *admitted* requests pay, not how far the generator lags.
+        const auto t0 = Clock::now();
+        client.acquire_async(
+            service::kDefaultNamespace, key, 1,
+            [&tally, &outstanding, &shed, &violations, t0](
+                service::AcquireResult r, std::exception_ptr err) {
+              if (!err) {
+                tally.granted += r.granted;
+                tally.lat_us.push_back(us_between(t0, Clock::now()));
+                tally.ops.fetch_add(1, std::memory_order_relaxed);
+              } else {
+                try {
+                  std::rethrow_exception(err);
+                } catch (const service::protocol::OverloadedError&) {
+                  shed.fetch_add(1, std::memory_order_relaxed);
+                } catch (...) {
+                  violations.fetch_add(1, std::memory_order_relaxed);
+                }
+              }
+              outstanding.release();
+            });
+        ++issued;
+        ++tally.calls;
+        scheduled += interval;
+      }
+      for (std::uint64_t i = 0; i < issued; ++i) outstanding.acquire();
+    });
+    res.seconds = phase_s;  // open loop is defined by its schedule
+    return res;
+  };
+
+  ModeResult base = drive("overload0", base_rate);
+  out.baseline_shed = shed.exchange(0);
+  out.baseline_p99_us = base.latency.p99_us;
+  print_result(base);
+  ModeResult spike = drive("overload", base_rate * 10);
+  out.ran = true;
+  out.served = spike.ops;
+  out.shed = shed.load();
+  out.violations = violations.load();
+  out.p99_us = spike.latency.p99_us;
+  out.scrape_text = registry.render_prometheus();
+  runs.push_back(std::move(base));
+  runs.push_back(std::move(spike));
+
+  std::printf("overload: served %llu, shed %llu (%.0f%%), violations %llu, "
+              "p99 %.1fus vs baseline %.1fus%s\n",
+              static_cast<unsigned long long>(out.served),
+              static_cast<unsigned long long>(out.shed),
+              out.served + out.shed > 0
+                  ? 100.0 * out.shed / (out.served + out.shed)
+                  : 0.0,
+              static_cast<unsigned long long>(out.violations), out.p99_us,
+              out.baseline_p99_us,
+              out.baseline_shed > 0 ? "  WARN: shed below budget" : "");
+
+  net.stop();
+  driver.stop();
+}
+
 void print_result(const ModeResult& res) {
   std::printf("%-8s %3zu thr %8.2fs %12llu ops %12.0f ops/s", res.mode.c_str(),
               res.threads, res.seconds,
@@ -585,7 +719,7 @@ std::string json_escape(const std::string& s) {
 
 void write_json(const std::string& path, const std::vector<ModeResult>& runs,
                 const service::AccountTable& table, const LoadConfig& load,
-                bool quick) {
+                bool quick, const OverloadOutcome& overload) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -631,6 +765,21 @@ void write_json(const std::string& path, const std::vector<ModeResult>& runs,
                    : 0);
   std::fprintf(f, "  \"distinct_keys_served\": %llu,\n",
                static_cast<unsigned long long>(stats.accounts));
+  if (overload.ran) {
+    const std::uint64_t offered = overload.served + overload.shed;
+    std::fprintf(f, "  \"overload_served\": %llu,\n",
+                 static_cast<unsigned long long>(overload.served));
+    std::fprintf(f, "  \"overload_shed\": %llu,\n",
+                 static_cast<unsigned long long>(overload.shed));
+    std::fprintf(f, "  \"overload_violations\": %llu,\n",
+                 static_cast<unsigned long long>(overload.violations));
+    std::fprintf(f, "  \"overload_shed_ratio\": %.4f,\n",
+                 offered > 0 ? static_cast<double>(overload.shed) / offered
+                             : 0.0);
+    std::fprintf(f, "  \"overload_p99_us\": %.2f,\n", overload.p99_us);
+    std::fprintf(f, "  \"overload_baseline_p99_us\": %.2f,\n",
+                 overload.baseline_p99_us);
+  }
   std::fprintf(f, "  \"runs\": [\n");
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const ModeResult& r = runs[i];
@@ -707,8 +856,8 @@ int main(int argc, char** argv) {
   // --mode is an alias for --modes (reads naturally for a single mode).
   const std::string modes_arg = args.get_string(
       "modes",
-      args.get_string("mode",
-                      "preload,table,batch,open,wire,sync,pipeline,cluster"));
+      args.get_string(
+          "mode", "preload,table,batch,open,wire,sync,pipeline,cluster,overload"));
   std::vector<std::string> modes;
   std::stringstream modes_stream(modes_arg);
   for (std::string m; std::getline(modes_stream, m, ',');) modes.push_back(m);
@@ -727,6 +876,7 @@ int main(int argc, char** argv) {
 
   std::vector<ModeResult> runs;
   std::uint64_t cluster_errors = 0;
+  OverloadOutcome overload;
   for (const std::string& mode : modes) {
     if (mode == "preload") {
       runs.push_back(run_preload(table, load));
@@ -776,6 +926,12 @@ int main(int argc, char** argv) {
                                  std::max<std::size_t>(load.cluster_nodes, 1),
                                  load.churn, errors_n));
       cluster_errors = errors1 + errors_n;
+    } else if (mode == "overload") {
+      // Flash crowd against its own admission-controlled server (the shared
+      // table stays untouched — the scenario measures the valve, not the
+      // store).
+      run_overload(runs, sampler, load, cfg,
+                   args.get_double("overload-rate", 20'000), overload);
     } else if (mode == "aopen") {
       runtime::TcpMesh mesh(1 + load.threads);
       service::Server server(table, mesh.endpoint(0));
@@ -801,7 +957,32 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.ticks_forfeited));
 
   const std::string json_path = args.get_string("json", "");
-  if (!json_path.empty()) write_json(json_path, runs, table, load, quick);
+  if (!json_path.empty())
+    write_json(json_path, runs, table, load, quick, overload);
+
+  // --scrape-out captures the overload server's Prometheus exposition (the
+  // release-bench job uploads it as an artifact).
+  const std::string scrape_path = args.get_string("scrape-out", "");
+  if (!scrape_path.empty()) {
+    if (std::FILE* f = std::fopen(scrape_path.c_str(), "w")) {
+      std::fputs(overload.scrape_text.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", scrape_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", scrape_path.c_str());
+    }
+  }
+
+  // The overload scenario's hard promise: excess load turns into typed
+  // kOverloaded sheds, never into timeouts or untyped failures.
+  if (overload.ran && overload.violations > 0) {
+    std::fprintf(stderr,
+                 "FAIL: overload run saw %llu non-typed failures "
+                 "(timeouts/errors) alongside %llu typed sheds\n",
+                 static_cast<unsigned long long>(overload.violations),
+                 static_cast<unsigned long long>(overload.shed));
+    return 1;
+  }
 
   // Release-bench CI passes --min-table-ops=100000: the acceptance floor
   // for the raw store on CI hardware.

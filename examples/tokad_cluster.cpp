@@ -13,8 +13,14 @@
 // plus the capacity burst — kill, handoff and join included — and every
 // node's own table-side audit must agree.
 //
+// Node 0 additionally exports telemetry: its ClusterServer registers the
+// ring epoch, redirect and handoff counters (plus the inner tokend
+// metrics) into an obs::Registry served by a Prometheus scrape endpoint
+// for the duration of the run (--scrape-port=0 picks a free port).
+//
 //   $ ./tokad_cluster [--workers=3] [--ms=1200] [--keys=256]
 //                     [--delta-ms=25] [--a=2] [--c=8] [--zipf=0.9]
+//                     [--scrape-port=0]
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -25,6 +31,8 @@
 #include "cluster/cluster_client.hpp"
 #include "cluster/cluster_map.hpp"
 #include "cluster/cluster_server.hpp"
+#include "obs/scrape.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/inproc.hpp"
 #include "service/account_table.hpp"
 #include "util/cli.hpp"
@@ -55,10 +63,12 @@ int main(int argc, char** argv) {
     service::ClockDriver driver;
     std::unique_ptr<cluster::ClusterServer> server;
     ClusterNode(const service::ServiceConfig& node_cfg,
-                runtime::Transport& transport, const cluster::ClusterMap& map)
+                runtime::Transport& transport, const cluster::ClusterMap& map,
+                service::ServerOptions opts = {})
         : table(node_cfg), driver(table, 1000) {
       driver.start();
-      server = std::make_unique<cluster::ClusterServer>(table, transport, map);
+      server = std::make_unique<cluster::ClusterServer>(table, transport, map,
+                                                        opts);
     }
   };
 
@@ -73,10 +83,23 @@ int main(int argc, char** argv) {
     };
   };
 
+  // Node 0 is the observed node: registry + scrape endpoint. Declared
+  // before the nodes so it outlives node 0's server (which unregisters
+  // its metrics on destruction).
+  obs::Registry registry;
+  service::ServerOptions observed;
+  observed.registry = &registry;
+
   std::vector<std::unique_ptr<ClusterNode>> nodes;
   for (NodeId n = 0; n < 3; ++n)
-    nodes.push_back(std::make_unique<ClusterNode>(cfg, net.endpoint(n), map1));
+    nodes.push_back(std::make_unique<ClusterNode>(
+        cfg, net.endpoint(n), map1,
+        n == 0 ? observed : service::ServerOptions{}));
   net.start();
+  obs::ScrapeServer scrape(
+      registry, static_cast<std::uint16_t>(args.get_int("scrape-port", 0)));
+  std::printf("scrape (node 0): curl http://127.0.0.1:%u/metrics\n",
+              scrape.port());
 
   std::printf("tokad: 3 nodes (%s, Δ=%lld ms, C=%lld), %zu workers, "
               "%llu keys — kill node 2, then join node 3\n",
@@ -182,6 +205,15 @@ int main(int argc, char** argv) {
                           .c_str()
                     : "frozen for the post-mortem audit");
   }
+
+  // Node 0's telemetry view of the same churn (registry == what a scrape
+  // would have returned at this instant).
+  std::printf("node 0 telemetry:");
+  for (const obs::Metric& metric : registry.collect()) {
+    if (metric.name.rfind("tokad_", 0) == 0)
+      std::printf("  %s=%.0f", metric.name.c_str() + 6, metric.value);
+  }
+  std::printf("\n");
 
   // ---- the cluster-wide audit ------------------------------------------
   bool ok = total_errors == 0;

@@ -10,14 +10,21 @@
 // the run ends by proving that no served key in either namespace ever
 // exceeded its own ceil(t/Δ)+C burst bound.
 //
+// The run also exports telemetry: an obs::Registry collects the server's
+// counters, latency histogram and the table's stats, and a Prometheus
+// scrape endpoint serves them over HTTP for the duration of the run
+// (--scrape-port=0 picks a free port; the chosen one is printed).
+//
 //   $ ./tokend [--clients=3] [--ms=400] [--delta-ms=20] [--keys=64]
 //              [--strategy=generalized] [--a=2] [--c=8] [--zipf=0.9]
-//              [--bulk-c=4] [--bulk-delta-ms=40]
+//              [--bulk-c=4] [--bulk-delta-ms=40] [--scrape-port=0]
 #include <cstdio>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "obs/scrape.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/tcp.hpp"
 #include "service/account_table.hpp"
 #include "service/client.hpp"
@@ -46,7 +53,13 @@ int main(int argc, char** argv) {
 
   service::AccountTable table(cfg);
   runtime::TcpMesh mesh(1 + clients);
-  service::Server server(table, mesh.endpoint(0));
+  obs::Registry registry;
+  service::ServerOptions server_opts;
+  server_opts.registry = &registry;
+  service::Server server(table, mesh.endpoint(0), server_opts);
+  obs::ScrapeServer scrape(
+      registry, static_cast<std::uint16_t>(args.get_int("scrape-port", 0)));
+  std::printf("scrape: curl http://127.0.0.1:%u/metrics\n", scrape.port());
   service::ClockDriver driver(table, /*resolution_us=*/1000);
   driver.start();
 
@@ -123,6 +136,22 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(server.requests_served()),
               static_cast<unsigned long long>(server.requests_errored()),
               static_cast<unsigned long long>(server.requests_malformed()));
+
+  // The same numbers over the wire: a kStats snapshot, as a monitoring
+  // sidecar without HTTP would fetch it.
+  {
+    service::Client probe(mesh.endpoint(1), 0);
+    std::printf("kStats snapshot (served/latency):\n");
+    for (const auto& entry : probe.stats()) {
+      if (entry.name == "tokend_requests_served") {
+        std::printf("  %s = %.0f\n", entry.name.c_str(), entry.value);
+      } else if (entry.name == "tokend_request_latency_us") {
+        std::printf("  %s: p50=%.0fus p99=%.0fus max=%.0fus (n=%.0f)\n",
+                    entry.name.c_str(), entry.p50, entry.p99, entry.max,
+                    entry.value);
+      }
+    }
+  }
   for (const service::NamespaceId ns : {service::kDefaultNamespace, kBulk}) {
     const service::TableStats stats = table.stats(ns);
     std::printf("ns%u: %llu accounts, %llu/%llu tokens granted, "

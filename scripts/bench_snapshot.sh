@@ -16,13 +16,14 @@
 #    floor, the pipelined >= sync floor, and the 3-node >= 1.5x 1-node
 #    cluster scale-out floor on CI hardware.
 #
-# Usage: bench_snapshot.sh [build-dir] [engine.json] [service.json]
-# CI uploads both outputs as artifacts per commit.
+# Usage: bench_snapshot.sh [build-dir] [engine.json] [service.json] [scrape.txt]
+# CI uploads the outputs as artifacts per commit.
 set -eu
 
 build_dir=${1:-build}
 out=${2:-BENCH_engine.json}
 service_out=${3:-BENCH_service.json}
+scrape_out=${4:-BENCH_scrape.txt}
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
@@ -86,12 +87,28 @@ echo "wrote $out (fig4_scale --quick: ${fig4_ms} ms)"
 # --min-cluster-speedup is the tokad scale-out floor: 3 in-proc cluster
 # nodes (one dispatcher lane each ≈ one machine) must beat one node by
 # >= 1.5x on the same pipelined Zipf workload, with zero client-visible
-# errors. NOTE: the cluster floor needs a multicore host (CI runners are
-# 4-vCPU); on a 1-core box run service_load without the floor flag.
+# errors. The cluster floor needs real parallelism: on hosts with fewer
+# than 4 cores (CI runners have 4 vCPUs) the 3 node lanes time-share one
+# or two cores and the ratio measures the scheduler, not the sharding —
+# so below 4 cores the floor is dropped and a warning printed instead of
+# a hard failure. CI keeps the hard floor.
+cpus=$(nproc 2>/dev/null || echo 1)
+if [ "$cpus" -ge 4 ]; then
+  cluster_floor="--min-cluster-speedup=1.5"
+else
+  cluster_floor=""
+  echo "WARN: only ${cpus} core(s); skipping the cluster scale-out floor" \
+       "(needs >= 4 cores to measure sharding, not scheduling)" >&2
+fi
+# shellcheck disable=SC2086  # $cluster_floor is intentionally unquoted
 "$build_dir/service_load" --quick --json="$service_out" \
+    --scrape-out="$scrape_out" \
     --min-table-ops=100000 --min-pipeline-speedup=1.0 \
-    --min-cluster-speedup=1.5 > /dev/null
+    $cluster_floor > /dev/null
 acquire_ops=$(sed -n 's/.*"acquire_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
 pipeline_ops=$(sed -n 's/.*"pipeline_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
 cluster_x=$(sed -n 's/.*"cluster_speedup": \([0-9.]*\).*/\1/p' "$service_out")
-echo "wrote $service_out (table: ${acquire_ops} ops/s, pipelined wire: ${pipeline_ops} ops/s, 3-node cluster: ${cluster_x}x one node)"
+shed=$(sed -n 's/.*"overload_shed": \([0-9]*\).*/\1/p' "$service_out")
+served=$(sed -n 's/.*"overload_served": \([0-9]*\).*/\1/p' "$service_out")
+echo "wrote $service_out (table: ${acquire_ops} ops/s, pipelined wire: ${pipeline_ops} ops/s, 3-node cluster: ${cluster_x}x one node, overload served/shed: ${served:-0}/${shed:-0})"
+echo "wrote $scrape_out (overload-run Prometheus exposition)"

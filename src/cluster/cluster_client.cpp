@@ -71,6 +71,11 @@ ClusterClient::ClusterClient(EndpointFactory factory, ClusterMap initial_map,
 
 ClusterClient::~ClusterClient() {
   closed_.store(true, std::memory_order_release);
+  // Unregister before any member teardown: a scrape between here and the
+  // end of destruction must not call back into a dying client.
+  if (registry_) {
+    for (const std::string& name : metric_names_) registry_->remove(name);
+  }
   // Destroying a per-node client rejects its in-flight calls; those
   // completions run here, see closed_, and surface their errors instead of
   // reissuing. A racing op may still insert a fresh slot behind the swap,
@@ -157,12 +162,30 @@ void ClusterClient::refresh_map_async(NodeId preferred,
     resume();
     return;
   }
+  // Coalesce: when a node dies with N ops in flight, every one of them
+  // fails over to a refresh within the same timeout tick. Only the first
+  // puts a fetch on the wire; the rest park their resumes behind it and
+  // all continue off that single fetch's result. (A parked redirect loses
+  // its `preferred` hint; its reissue redirects again if the coalesced
+  // fetch came back stale — correctness is unaffected, only one extra
+  // round trip in a rare race.)
+  {
+    std::lock_guard lock(mu_);
+    if (refresh_inflight_) {
+      refresh_waiters_.push_back(std::move(resume));
+      return;
+    }
+    refresh_inflight_ = true;
+  }
   const NodeId target = preferred != kNoNode ? preferred : refresh_target();
   service::Client* client = target != kNoNode ? client_for(target) : nullptr;
   if (client == nullptr) {
-    resume();  // no target, or mid-teardown: the next attempt surfaces it
+    // No target, or mid-teardown: the next attempt surfaces it.
+    resume();
+    finish_refresh();
     return;
   }
+  map_refreshes_.fetch_add(1, std::memory_order_relaxed);
   client->fetch_cluster_map_async(
       [this, resume = std::move(resume)](ClusterMap m,
                                          std::exception_ptr error) {
@@ -170,8 +193,22 @@ void ClusterClient::refresh_map_async(NodeId preferred,
         // A failed fetch still resumes: the op's next attempt rotates to
         // another member.
         resume();
+        finish_refresh();
       },
       config_.call_timeout_us);
+}
+
+void ClusterClient::finish_refresh() {
+  std::vector<std::function<void()>> waiters;
+  {
+    std::lock_guard lock(mu_);
+    refresh_inflight_ = false;
+    waiters.swap(refresh_waiters_);
+  }
+  // Outside mu_: a waiter's reissue takes mu_ for routing, and may start
+  // its own refresh (the flag is already clear, so it won't deadlock on
+  // this drain).
+  for (std::function<void()>& waiter : waiters) waiter();
 }
 
 bool ClusterClient::refresh_map() {
@@ -185,6 +222,7 @@ bool ClusterClient::refresh_map() {
     service::Client* client = client_for(node);
     if (client == nullptr) return false;  // mid-teardown
     try {
+      map_refreshes_.fetch_add(1, std::memory_order_relaxed);
       adopt(client->fetch_cluster_map());
       return true;
     } catch (const util::IoError&) {
@@ -192,6 +230,27 @@ bool ClusterClient::refresh_map() {
     }
   }
   return false;
+}
+
+void ClusterClient::register_metrics(obs::Registry& registry) {
+  registry_ = &registry;
+  const auto add = [&](const std::string& name) {
+    metric_names_.push_back(name);
+    return name;
+  };
+  registry.counter_fn(add("tokad_client_redirects_followed"), [this] {
+    return static_cast<double>(redirects_.load(std::memory_order_relaxed));
+  });
+  registry.counter_fn(add("tokad_client_io_retries"), [this] {
+    return static_cast<double>(io_retries_.load(std::memory_order_relaxed));
+  });
+  registry.counter_fn(add("tokad_client_maps_adopted"), [this] {
+    return static_cast<double>(maps_adopted_.load(std::memory_order_relaxed));
+  });
+  registry.counter_fn(add("tokad_client_map_refreshes"), [this] {
+    return static_cast<double>(
+        map_refreshes_.load(std::memory_order_relaxed));
+  });
 }
 
 // --------------------------------------------------------------- data ops

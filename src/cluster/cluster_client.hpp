@@ -40,11 +40,13 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster_map.hpp"
 #include "cluster/hash_ring.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/transport.hpp"
 #include "service/account_table.hpp"
 #include "service/client.hpp"
@@ -137,6 +139,17 @@ class ClusterClient {
   std::uint64_t io_retries() const { return io_retries_.load(); }
   /// Map refreshes that adopted a newer epoch.
   std::uint64_t maps_adopted() const { return maps_adopted_.load(); }
+  /// Map fetches actually put on the wire. Concurrent async refresh wants
+  /// coalesce behind one in-flight fetch, so a node kill with N ops in
+  /// flight costs O(1) fetches, not O(N) — this counter is what the churn
+  /// regression test asserts on.
+  std::uint64_t map_refreshes() const { return map_refreshes_.load(); }
+
+  /// Exports the client's counters into `registry` under "tokad_client_*"
+  /// names (redirects_followed, io_retries, maps_adopted, map_refreshes).
+  /// Call at most once; the registry must outlive the client (the
+  /// destructor unregisters).
+  void register_metrics(obs::Registry& registry);
 
  private:
   struct Routing {
@@ -168,7 +181,13 @@ class ClusterClient {
   /// The next node to ask for a map (members first, seeds as fallback).
   NodeId refresh_target();
   /// Async map refresh; `resume` runs whether or not the fetch succeeded.
+  /// Concurrent calls coalesce: while one fetch is in flight, later
+  /// resumes queue behind it and all run off that one fetch's completion
+  /// (a node kill with many ops in flight triggers one fetch, not one per
+  /// op — the refresh stampede bugfix).
   void refresh_map_async(NodeId preferred, std::function<void()> resume);
+  /// Clears the in-flight flag and runs every queued waiter (outside mu_).
+  void finish_refresh();
 
   /// One retrying op: `issue(client, done)` sends the real RPC; Retrier
   /// owns the routing, failure triage and reissue loop.
@@ -197,10 +216,16 @@ class ClusterClient {
   std::unordered_map<NodeId, std::shared_ptr<NodeSlot>> clients_;
   std::atomic<bool> closed_{false};
   std::atomic<std::size_t> refresh_cursor_{0};
+  bool refresh_inflight_ = false;  ///< guarded by mu_
+  std::vector<std::function<void()>> refresh_waiters_;  ///< guarded by mu_
 
   std::atomic<std::uint64_t> redirects_{0};
   std::atomic<std::uint64_t> io_retries_{0};
   std::atomic<std::uint64_t> maps_adopted_{0};
+  std::atomic<std::uint64_t> map_refreshes_{0};
+
+  obs::Registry* registry_ = nullptr;
+  std::vector<std::string> metric_names_;
 };
 
 }  // namespace toka::cluster

@@ -12,13 +12,16 @@ namespace toka::cluster {
 namespace proto = service::protocol;
 
 ClusterServer::ClusterServer(service::AccountTable& table,
-                             runtime::Transport& transport, ClusterMap map)
+                             runtime::Transport& transport, ClusterMap map,
+                             service::ServerOptions options)
     : table_(&table),
       transport_(&transport),
       tap_(transport),
-      server_(table, tap_),
+      server_(table, tap_, options),
+      registry_(options.registry),
       map_(std::move(map)),
       ring_(map_) {
+  if (registry_) register_metrics();
   transport_->set_handler([this](NodeId from, std::vector<std::byte> payload) {
     on_frame(from, std::move(payload));
   });
@@ -26,8 +29,35 @@ ClusterServer::ClusterServer(service::AccountTable& table,
 
 ClusterServer::~ClusterServer() {
   // Quiesce the real transport first; the inner server then detaches from
-  // the tap, which nothing can deliver through anymore.
+  // the tap, which nothing can deliver through anymore. Only then is it
+  // safe to pull the cluster gauges out of the registry.
   transport_->set_handler({});
+  if (registry_) {
+    for (const std::string& name : metric_names_) registry_->remove(name);
+  }
+}
+
+void ClusterServer::register_metrics() {
+  const auto add = [&](const std::string& name) {
+    metric_names_.push_back(name);
+    return name;
+  };
+  registry_->gauge(add("tokad_ring_epoch"),
+                   [this] { return static_cast<double>(map_epoch()); });
+  registry_->counter_fn(add("tokad_redirects_sent"), [this] {
+    return static_cast<double>(
+        redirects_sent_.load(std::memory_order_relaxed));
+  });
+  registry_->counter_fn(add("tokad_maps_applied"), [this] {
+    return static_cast<double>(maps_applied_.load(std::memory_order_relaxed));
+  });
+  registry_->counter_fn(add("tokad_handoffs_sent"), [this] {
+    return static_cast<double>(handoffs_sent_.load(std::memory_order_relaxed));
+  });
+  registry_->counter_fn(add("tokad_handoffs_installed"), [this] {
+    return static_cast<double>(
+        handoffs_installed_.load(std::memory_order_relaxed));
+  });
 }
 
 ClusterMap ClusterServer::map() const {

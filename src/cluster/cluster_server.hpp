@@ -32,10 +32,12 @@
 #include <atomic>
 #include <cstdint>
 #include <shared_mutex>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster_map.hpp"
 #include "cluster/hash_ring.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/transport.hpp"
 #include "service/account_table.hpp"
 #include "service/protocol.hpp"
@@ -56,9 +58,14 @@ class ClusterServer {
   /// Wraps `table` behind `transport` with `map` as the initial
   /// membership. The table and transport must outlive the server. The
   /// node's identity is transport.self(); it need not appear in `map`
-  /// (a drained node redirects everything).
+  /// (a drained node redirects everything). `options` is handed to the
+  /// wrapped service::Server (telemetry registry + admission valve); with
+  /// a registry set, the cluster layer additionally exports the ring
+  /// epoch, redirect and handoff counters as "tokad_*" metrics, and
+  /// kStats frames answer with the full snapshot (they pass through the
+  /// tap like any admin frame — never redirected, never shed).
   ClusterServer(service::AccountTable& table, runtime::Transport& transport,
-                ClusterMap map);
+                ClusterMap map, service::ServerOptions options = {});
 
   /// Detaches from the transport and waits out in-flight requests.
   ~ClusterServer();
@@ -127,11 +134,14 @@ class ClusterServer {
   /// Ring placement under the current map; kNoNode on an empty ring.
   NodeId owner_of(service::NamespaceId ns, std::uint64_t key) const;
   void handle_handoff(NodeId from, const service::protocol::HandoffRequest& r);
+  void register_metrics();
 
   service::AccountTable* table_;
   runtime::Transport* transport_;
   Tap tap_;
   service::Server server_;
+  obs::Registry* registry_;
+  std::vector<std::string> metric_names_;
 
   mutable std::shared_mutex map_mu_;
   ClusterMap map_;

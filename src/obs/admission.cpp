@@ -1,0 +1,110 @@
+#include "obs/admission.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace toka::obs {
+
+namespace {
+constexpr double kEwmaAlpha = 0.05;
+
+double bits_to_double(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::uint64_t double_to_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+}  // namespace
+
+AdmissionBucket::AdmissionBucket(AdmissionConfig config) : cfg_(config) {
+  if (cfg_.interval_us <= 0) cfg_.interval_us = 10'000;
+  if (cfg_.min_budget < 1) cfg_.min_budget = 1;
+  if (cfg_.max_budget < cfg_.min_budget) cfg_.max_budget = cfg_.min_budget;
+  budget_.store(cfg_.max_budget, std::memory_order_relaxed);
+}
+
+std::int64_t AdmissionBucket::compute_budget() const {
+  const std::uint64_t bits = ewma_bits_.load(std::memory_order_relaxed);
+  if (bits == 0) return cfg_.max_budget;  // no samples yet: open wide
+  const double service_us = std::max(bits_to_double(bits), 0.01);
+  const double fit = static_cast<double>(cfg_.interval_us) * cfg_.utilization /
+                     service_us;
+  const auto raw = static_cast<std::int64_t>(fit);
+  return std::clamp(raw, cfg_.min_budget, cfg_.max_budget);
+}
+
+bool AdmissionBucket::try_admit(TimeUs now) {
+  if (!cfg_.enabled) return true;
+  const std::int64_t idx = now / cfg_.interval_us;
+  std::int64_t cur = interval_.load(std::memory_order_relaxed);
+  if (idx > cur &&
+      interval_.compare_exchange_strong(cur, idx, std::memory_order_relaxed)) {
+    // New interval: recompute the budget from the EWMA and refill. An
+    // admit racing this reset may charge the old interval — a few requests
+    // of slack either way, acceptable for a valve.
+    budget_.store(compute_budget(), std::memory_order_relaxed);
+    used_.store(0, std::memory_order_relaxed);
+  }
+  const std::int64_t taken = used_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return taken <= budget_.load(std::memory_order_relaxed);
+}
+
+TimeUs AdmissionBucket::retry_after_us(TimeUs now) const {
+  const std::int64_t idx = now / cfg_.interval_us;
+  const TimeUs next = (idx + 1) * cfg_.interval_us;
+  return std::max<TimeUs>(next - now, 1);
+}
+
+void AdmissionBucket::record_service_time_us(double us) {
+  if (us < 0) return;
+  std::uint64_t cur = ewma_bits_.load(std::memory_order_relaxed);
+  const double prev = cur == 0 ? us : bits_to_double(cur);
+  const double next = prev * (1.0 - kEwmaAlpha) + us * kEwmaAlpha;
+  // Single CAS; on contention the losing sample is dropped (the EWMA only
+  // needs a representative stream, not every sample).
+  ewma_bits_.compare_exchange_strong(cur, double_to_bits(next),
+                                     std::memory_order_relaxed);
+}
+
+double AdmissionBucket::ewma_service_us() const {
+  const std::uint64_t bits = ewma_bits_.load(std::memory_order_relaxed);
+  return bits == 0 ? 0.0 : bits_to_double(bits);
+}
+
+void SpaceSaving::record(std::uint64_t item) {
+  ++total_;
+  for (HeavyHitter& s : slots_) {
+    if (s.item == item) {
+      ++s.count;
+      return;
+    }
+  }
+  if (slots_.size() < k_) {
+    slots_.push_back({item, 1});
+    return;
+  }
+  // Evict the minimum slot; the newcomer inherits its count (space-saving
+  // overestimates, never underestimates, a heavy hitter).
+  auto min_it = slots_.begin();
+  for (auto it = slots_.begin() + 1; it != slots_.end(); ++it)
+    if (it->count < min_it->count) min_it = it;
+  min_it->item = item;
+  ++min_it->count;
+}
+
+std::vector<SpaceSaving::HeavyHitter> SpaceSaving::top() const {
+  std::vector<HeavyHitter> out = slots_;
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.count > b.count;
+            });
+  return out;
+}
+
+}  // namespace toka::obs

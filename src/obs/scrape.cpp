@@ -1,0 +1,87 @@
+#include "obs/scrape.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "obs/telemetry.hpp"
+#include "util/error.hpp"
+
+namespace toka::obs {
+
+namespace {
+
+bool send_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t put = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (put <= 0) return false;
+    data += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace
+
+ScrapeServer::ScrapeServer(const Registry& registry, std::uint16_t port)
+    : registry_(&registry) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw util::IoError("scrape: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw util::IoError(std::string("scrape: bind/listen failed: ") +
+                        std::strerror(err));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+ScrapeServer::~ScrapeServer() {
+  // shutdown() wakes the blocked accept(); the loop then sees the failure
+  // and exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+}
+
+void ScrapeServer::serve_loop() {
+  for (;;) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) return;  // listener shut down (or unrecoverable error)
+    // Drain the request line + headers; we answer every request the same
+    // way, so only the terminating blank line matters.
+    char buf[1024];
+    std::string req;
+    while (req.find("\r\n\r\n") == std::string::npos && req.size() < 8192) {
+      const ssize_t got = ::recv(conn, buf, sizeof buf, 0);
+      if (got <= 0) break;
+      req.append(buf, static_cast<std::size_t>(got));
+    }
+    const std::string body = registry_->render_prometheus();
+    const std::string resp =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    send_all(conn, resp.data(), resp.size());
+    ::close(conn);
+  }
+}
+
+}  // namespace toka::obs

@@ -1,0 +1,37 @@
+// Minimal Prometheus scrape endpoint: a single-threaded HTTP/1.0 server
+// that answers every GET with the registry's text exposition. One
+// connection at a time, read-render-write-close — a scrape target, not a
+// web server. Binds 127.0.0.1 (port 0 picks an ephemeral port; read it
+// back with port()).
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+namespace toka::obs {
+
+class Registry;
+
+class ScrapeServer {
+ public:
+  /// Starts listening and serving immediately; throws util::IoError if the
+  /// socket can't be bound. `registry` must outlive the server.
+  explicit ScrapeServer(const Registry& registry, std::uint16_t port = 0);
+  ~ScrapeServer();
+
+  ScrapeServer(const ScrapeServer&) = delete;
+  ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  /// The bound port (the ephemeral one when constructed with port 0).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+
+  const Registry* registry_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace toka::obs

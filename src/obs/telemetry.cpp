@@ -1,0 +1,213 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+namespace toka::obs {
+
+namespace {
+
+std::size_t thread_stripe() {
+  // One stripe per thread, assigned round-robin on first use. Collisions
+  // between threads are harmless (the stripe is still an atomic).
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+/// Formats a metric value: integers without a decimal point (counter
+/// readings stay exact), everything else with enough digits to round-trip.
+std::string format_value(double v) {
+  if (std::isfinite(v) && v >= 0 && v < 9.007199254740992e15 &&
+      v == std::floor(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) {
+  stripes_[thread_stripe() % kStripes].v.fetch_add(n,
+                                                   std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const Stripe& s : stripes_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::size_t Histogram::bucket_index(std::int64_t v) {
+  if (v < 16) return v < 0 ? 0 : static_cast<std::size_t>(v);
+  const int g = std::bit_width(static_cast<std::uint64_t>(v));  // >= 5
+  const std::size_t sub =
+      static_cast<std::size_t>(static_cast<std::uint64_t>(v) >> (g - 5)) & 15;
+  return 16 + static_cast<std::size_t>(g - 5) * kSubBuckets + sub;
+}
+
+double Histogram::bucket_mid(std::size_t i) {
+  if (i < 16) return static_cast<double>(i);
+  const std::size_t b = i - 16;
+  const int g = static_cast<int>(b / kSubBuckets) + 5;
+  const std::uint64_t sub = b % kSubBuckets;
+  const std::uint64_t width = std::uint64_t{1} << (g - 5);
+  const std::uint64_t lo = (std::uint64_t{1} << (g - 1)) + sub * width;
+  return static_cast<double>(lo) + static_cast<double>(width) / 2.0;
+}
+
+void Histogram::observe(double v) {
+  const std::int64_t x =
+      v <= 0 ? 0 : static_cast<std::int64_t>(std::llround(v));
+  buckets_[bucket_index(x)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+  std::int64_t cur = max_.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !max_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  // Copy the buckets once (relaxed reads; a snapshot taken concurrently
+  // with observes is weakly consistent, which is all a scrape needs).
+  std::uint64_t counts[kBuckets];
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  HistogramSnapshot snap;
+  snap.count = total;
+  snap.sum = static_cast<double>(sum_.load(std::memory_order_relaxed));
+  snap.max = static_cast<double>(max_.load(std::memory_order_relaxed));
+  if (total == 0) return snap;
+
+  const auto quantile = [&](double q) {
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= rank && counts[i] > 0) return bucket_mid(i);
+    }
+    return snap.max;
+  };
+  snap.p50 = quantile(0.50);
+  snap.p90 = quantile(0.90);
+  snap.p99 = quantile(0.99);
+  return snap;
+}
+
+Registry::Entry& Registry::upsert(const std::string& name, Metric::Kind kind) {
+  for (auto& e : entries_) {
+    if (e->name == name) {
+      e->kind = kind;
+      return *e;
+    }
+  }
+  entries_.push_back(std::make_unique<Entry>());
+  entries_.back()->name = name;
+  entries_.back()->kind = kind;
+  return *entries_.back();
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  Entry& e = upsert(name, Metric::Kind::kCounter);
+  if (!e.counter) {
+    e.counter = std::make_unique<Counter>();
+    e.fn = nullptr;
+  }
+  return *e.counter;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  Entry& e = upsert(name, Metric::Kind::kHistogram);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>();
+  return *e.histogram;
+}
+
+void Registry::gauge(const std::string& name, std::function<double()> fn) {
+  std::lock_guard lock(mu_);
+  Entry& e = upsert(name, Metric::Kind::kGauge);
+  e.counter.reset();
+  e.histogram.reset();
+  e.fn = std::move(fn);
+}
+
+void Registry::counter_fn(const std::string& name, std::function<double()> fn) {
+  std::lock_guard lock(mu_);
+  Entry& e = upsert(name, Metric::Kind::kCounter);
+  e.counter.reset();
+  e.histogram.reset();
+  e.fn = std::move(fn);
+}
+
+void Registry::remove(const std::string& name) {
+  std::lock_guard lock(mu_);
+  std::erase_if(entries_,
+                [&](const std::unique_ptr<Entry>& e) { return e->name == name; });
+}
+
+std::vector<Metric> Registry::collect() const {
+  std::lock_guard lock(mu_);
+  std::vector<Metric> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    Metric m;
+    m.name = e->name;
+    m.kind = e->kind;
+    if (e->histogram) {
+      const HistogramSnapshot snap = e->histogram->snapshot();
+      m.value = static_cast<double>(snap.count);
+      m.p50 = snap.p50;
+      m.p90 = snap.p90;
+      m.p99 = snap.p99;
+      m.max = snap.max;
+    } else if (e->counter) {
+      m.value = static_cast<double>(e->counter->value());
+    } else if (e->fn) {
+      m.value = e->fn();
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::string Registry::render_prometheus() const {
+  const std::vector<Metric> metrics = collect();
+  std::string out;
+  for (const Metric& m : metrics) {
+    switch (m.kind) {
+      case Metric::Kind::kCounter:
+        out += "# TYPE " + m.name + " counter\n";
+        out += m.name + " " + format_value(m.value) + "\n";
+        break;
+      case Metric::Kind::kGauge:
+        out += "# TYPE " + m.name + " gauge\n";
+        out += m.name + " " + format_value(m.value) + "\n";
+        break;
+      case Metric::Kind::kHistogram:
+        out += "# TYPE " + m.name + " summary\n";
+        out += m.name + "{quantile=\"0.5\"} " + format_value(m.p50) + "\n";
+        out += m.name + "{quantile=\"0.9\"} " + format_value(m.p90) + "\n";
+        out += m.name + "{quantile=\"0.99\"} " + format_value(m.p99) + "\n";
+        out += m.name + "_max " + format_value(m.max) + "\n";
+        out += m.name + "_count " + format_value(m.value) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace toka::obs

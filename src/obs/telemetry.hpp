@@ -1,0 +1,137 @@
+// Telemetry primitives for the tokend/tokad service: cheap enough to sit
+// on the request hot path, exported two ways (the protocol v2 kStats
+// message and the Prometheus-exposition scrape endpoint).
+//
+// Three metric kinds:
+//
+//   - Counter: a monotonically increasing count, striped over cache-line-
+//     padded atomics so concurrent request threads never contend on one
+//     line. Reads sum the stripes (weakly consistent, like every counter
+//     snapshot here).
+//   - Gauge / counter_fn: a read callback evaluated at collection time —
+//     the way existing atomics (server served/errored counters, table
+//     stats, the cluster map epoch) are exported without being moved.
+//   - Histogram: log-linear buckets (16 sub-buckets per power of two, so
+//     every recorded value lands within ~6% of its bucket), with
+//     p50/p90/p99/max extracted at collection time. Lock-free relaxed
+//     atomics per bucket; built for microsecond latencies.
+//
+// The Registry owns Counters and Histograms (node-stable: references stay
+// valid for the registry's lifetime) and holds the gauge callbacks. A
+// component registers its metrics under stable names at construction and
+// removes them at destruction (remove()), so a scrape can never call into
+// a dead object. Registration of an existing name returns the existing
+// metric (counter/histogram) or replaces the callback (gauge/counter_fn):
+// latest registration wins.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace toka::obs {
+
+/// Striped monotonic counter. add() touches one stripe (chosen per
+/// thread); value() sums all stripes.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1);
+  void increment() { add(1); }
+  std::uint64_t value() const;
+
+ private:
+  static constexpr std::size_t kStripes = 8;
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Stripe stripes_[kStripes];
+};
+
+/// Collected view of one histogram.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+  double max = 0;
+};
+
+/// Log-linear histogram over non-negative values (microseconds on every
+/// current use). Values < 16 get exact buckets; above that, 16 sub-buckets
+/// per power of two, so the quantile's relative error is bounded by 1/16.
+class Histogram {
+ public:
+  void observe(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  HistogramSnapshot snapshot() const;
+
+ private:
+  // 16 exact buckets + 16 per remaining power-of-two group of an int64.
+  static constexpr std::size_t kSubBuckets = 16;
+  static constexpr std::size_t kBuckets = 16 + 59 * kSubBuckets;
+
+  static std::size_t bucket_index(std::int64_t v);
+  /// Midpoint of the value range bucket i covers.
+  static double bucket_mid(std::size_t i);
+
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};   ///< whole units (values are rounded)
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Collected view of one registered metric; also the shape the kStats
+/// protocol message carries (protocol::StatsEntry mirrors it).
+struct Metric {
+  enum class Kind : std::uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0;  ///< counter/gauge reading; histogram sample count
+  double p50 = 0, p90 = 0, p99 = 0, max = 0;  ///< histogram only
+};
+
+class Registry {
+ public:
+  /// The owned counter named `name` (created on first use).
+  Counter& counter(const std::string& name);
+  /// The owned histogram named `name` (created on first use).
+  Histogram& histogram(const std::string& name);
+  /// Registers `fn` as a gauge (instantaneous value, may go down).
+  void gauge(const std::string& name, std::function<double()> fn);
+  /// Registers `fn` as a counter read externally (an existing atomic or a
+  /// stats-sweep field). Rendered with counter semantics.
+  void counter_fn(const std::string& name, std::function<double()> fn);
+  /// Removes the metric named `name` (no-op if absent). Components call
+  /// this from their destructors for every callback they registered, so a
+  /// later scrape cannot call into freed state.
+  void remove(const std::string& name);
+
+  /// Evaluates every metric (gauge callbacks run here) in registration
+  /// order.
+  std::vector<Metric> collect() const;
+
+  /// Prometheus text exposition: counters and gauges as single samples,
+  /// histograms as summaries (precomputed quantiles + _count).
+  std::string render_prometheus() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Metric::Kind kind = Metric::Kind::kCounter;
+    std::unique_ptr<Counter> counter;      ///< owned-counter entries
+    std::unique_ptr<Histogram> histogram;  ///< histogram entries
+    std::function<double()> fn;            ///< gauge / counter_fn entries
+  };
+
+  Entry& upsert(const std::string& name, Metric::Kind kind);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace toka::obs

@@ -265,6 +265,7 @@ AcquireResult AccountTable::acquire_locked(
   ++stats.acquires;
   stats.tokens_requested += static_cast<std::uint64_t>(n);
   stats.tokens_granted += static_cast<std::uint64_t>(granted);
+  shard.hot.record(fold_key(ns->id, key));
   if (entry.auditor) {
     for (Tokens i = 0; i < granted; ++i) entry.auditor->record(now);
   }
@@ -299,6 +300,11 @@ RefundResult AccountTable::refund(NamespaceId ns, std::uint64_t key,
   if (it == shard.accounts.end()) {
     // Unknown or already-evicted account: the refund is dropped. Creating
     // an account here would let arbitrary keys mint balance from thin air.
+    // The event counter (as opposed to the token count below) is what the
+    // telemetry exports: a climbing refunds_dropped means callers are
+    // refunding keys the table no longer knows — a TTL tuned too tight or
+    // a buggy caller, either way worth seeing.
+    ++stats.refunds_dropped;
     stats.tokens_refund_dropped += static_cast<std::uint64_t>(n);
     return RefundResult{0, 0};
   }
@@ -378,7 +384,16 @@ std::size_t AccountTable::evict_idle() {
     std::size_t removed_here = 0;
     for (auto it = shard->accounts.begin(); it != shard->accounts.end();) {
       const TimeUs ttl = it->second.ns->config.idle_ttl_us;
-      if (ttl > 0 && now - it->second.last_access_us >= ttl) {
+      const TimeUs idle = now - it->second.last_access_us;
+      // A nonzero banked balance earns a grace window up to 2x the TTL:
+      // evicting at the TTL would drop the account — and with it any
+      // refund still in flight for its outstanding grants — the moment it
+      // goes quiet. The balance read is the unsettled banked value, which
+      // only errs on the side of keeping the account.
+      const bool expired =
+          ttl > 0 && idle >= ttl &&
+          (it->second.account.balance() == 0 || idle >= 2 * ttl);
+      if (expired) {
         ++stats_for(*shard, it->first.ns).accounts_evicted;
         it = shard->accounts.erase(it);
         ++removed_here;
@@ -458,6 +473,21 @@ std::size_t AccountTable::account_count() const {
   return total;
 }
 
+std::vector<AccountTable::HotKey> AccountTable::hot_keys(std::size_t n) const {
+  // Merge the per-shard sketches by folded id (an id lives in exactly one
+  // shard, so this is a concatenation, not a sum).
+  std::vector<HotKey> all;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    for (const obs::SpaceSaving::HeavyHitter& h : shard->hot.top())
+      all.push_back(HotKey{h.item, h.count});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const HotKey& a, const HotKey& b) { return a.count > b.count; });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
 void TableStats::merge(const TableStats& other) {
   accounts += other.accounts;
   accounts_created += other.accounts_created;
@@ -468,6 +498,7 @@ void TableStats::merge(const TableStats& other) {
   refunds += other.refunds;
   tokens_refunded += other.tokens_refunded;
   tokens_refund_dropped += other.tokens_refund_dropped;
+  refunds_dropped += other.refunds_dropped;
   queries += other.queries;
   proactive_dropped += other.proactive_dropped;
   ticks_forfeited += other.ticks_forfeited;

@@ -49,6 +49,7 @@
 #include "core/account.hpp"
 #include "core/rate_limit.hpp"
 #include "core/strategy.hpp"
+#include "obs/admission.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -174,6 +175,7 @@ struct TableStats {
   std::uint64_t refunds = 0;
   std::uint64_t tokens_refunded = 0;
   std::uint64_t tokens_refund_dropped = 0;  ///< offered but not accepted
+  std::uint64_t refunds_dropped = 0;  ///< refund calls to unknown/evicted keys
   std::uint64_t queries = 0;
   std::uint64_t proactive_dropped = 0;  ///< replayed ticks spent proactively
   std::uint64_t ticks_forfeited = 0;    ///< elapsed ticks past the replay cap
@@ -280,7 +282,10 @@ class AccountTable {
                                            std::span<const AcquireOp> ops);
 
   /// Removes accounts idle for at least their namespace's idle_ttl_us
-  /// (namespaces with TTL 0 are skipped). Locks one shard at a time.
+  /// (namespaces with TTL 0 are skipped). An account still holding a
+  /// nonzero banked balance gets a grace window: it is only evicted after
+  /// 2x its TTL, so a refund for recently granted tokens is not silently
+  /// forfeited the instant the TTL elapses. Locks one shard at a time.
   /// Returns the number evicted.
   std::size_t evict_idle();
 
@@ -307,6 +312,19 @@ class AccountTable {
   /// All namespaces merged (resp. one namespace's slice).
   TableStats stats() const;
   TableStats stats(NamespaceId ns) const;
+
+  /// One observed heavy hitter, identified by its folded account id
+  /// (fold_key(ns, key) — stable per account, not reversible).
+  struct HotKey {
+    std::uint64_t id = 0;
+    std::uint64_t count = 0;
+  };
+
+  /// The top-n hottest accounts by acquire traffic, merged from the
+  /// per-shard space-saving sketches, descending by count. Counts are the
+  /// sketch's (over-)estimates; use acquire totals from stats() as the
+  /// share denominator.
+  std::vector<HotKey> hot_keys(std::size_t n) const;
 
   /// When a namespace's audit switch is on: checks every live account's
   /// grant trace against the §3.4 bound; returns the first violation
@@ -373,6 +391,10 @@ class AccountTable {
     std::unordered_map<NamespaceId, TableStats> stats;
     NamespaceId cached_ns = 0;
     TableStats* cached_stats = nullptr;
+    /// Space-saving top-k over this shard's acquire traffic (folded
+    /// account ids), updated under the shard lock — a k-slot scan per
+    /// acquire.
+    obs::SpaceSaving hot{8};
   };
 
   /// Builds and validates the runtime namespace object (throws

@@ -25,6 +25,15 @@ std::function<void(protocol::Response, std::exception_ptr)> make_completion(
       return;
     }
     if (const auto* err = std::get_if<protocol::ErrorResponse>(&response)) {
+      if (err->code == protocol::ErrorCode::kOverloaded) {
+        done(ResultT{},
+             std::make_exception_ptr(protocol::OverloadedError(
+                 err->retry_after_us,
+                 std::string("tokend: server shed ") + what +
+                     " under overload (retry after " +
+                     std::to_string(err->retry_after_us) + "us)")));
+        return;
+      }
       done(ResultT{},
            std::make_exception_ptr(protocol::RpcError(
                err->code, std::string("tokend: server rejected ") + what +
@@ -128,7 +137,22 @@ std::size_t Client::inflight() const {
 }
 
 void Client::start_call(std::uint64_t id, std::vector<std::byte> frame,
-                        Completion done, TimeUs timeout_us) {
+                        Completion done, TimeUs timeout_us, bool data_op) {
+  if (data_op) {
+    const TimeUs until = suppress_until_us_.load(std::memory_order_relaxed);
+    const TimeUs now = now_us();
+    if (now < until) {
+      // Backoff window is open: fail locally, never touching the wire —
+      // the server already said no for this period.
+      backoff_rejections_.fetch_add(1, std::memory_order_relaxed);
+      done({}, std::make_exception_ptr(protocol::OverloadedError(
+                   until - now,
+                   "tokend: client backing off after server overload "
+                   "(retry after " +
+                       std::to_string(until - now) + "us)")));
+      return;
+    }
+  }
   const TimeUs timeout = timeout_us > 0 ? timeout_us : timeout_us_;
   const TimeUs deadline = now_us() + timeout;
   {
@@ -157,6 +181,18 @@ void Client::on_frame(NodeId from, std::vector<std::byte> payload) {
     return;  // malformed reply: let the call's deadline handle it
   }
   const std::uint64_t id = protocol::request_id(response);
+  if (const auto* err = std::get_if<protocol::ErrorResponse>(&response);
+      err != nullptr && err->code == protocol::ErrorCode::kOverloaded) {
+    // Open (or extend) the backoff window before completing the call, so a
+    // completion-driven pipeline's next op is already suppressed.
+    overloads_.fetch_add(1, std::memory_order_relaxed);
+    const TimeUs until =
+        now_us() + std::max<TimeUs>(err->retry_after_us, 0);
+    TimeUs cur = suppress_until_us_.load(std::memory_order_relaxed);
+    while (until > cur && !suppress_until_us_.compare_exchange_weak(
+                              cur, until, std::memory_order_relaxed)) {
+    }
+  }
   Completion done;
   {
     std::lock_guard lock(mu_);
@@ -264,7 +300,7 @@ void Client::acquire_async(NamespaceId ns, std::uint64_t key, Tokens n,
                  [](protocol::AcquireResponse resp) {
                    return AcquireResult{resp.granted, resp.balance};
                  }),
-             timeout_us);
+             timeout_us, /*data_op=*/true);
 }
 
 std::future<AcquireResult> Client::acquire_async(NamespaceId ns,
@@ -284,7 +320,7 @@ void Client::refund_async(NamespaceId ns, std::uint64_t key, Tokens n,
                  [](protocol::RefundResponse resp) {
                    return RefundResult{resp.accepted, resp.balance};
                  }),
-             timeout_us);
+             timeout_us, /*data_op=*/true);
 }
 
 std::future<RefundResult> Client::refund_async(NamespaceId ns,
@@ -304,7 +340,7 @@ void Client::query_async(NamespaceId ns, std::uint64_t key,
                  [](protocol::QueryResponse resp) {
                    return QueryResult{resp.balance, resp.exists};
                  }),
-             timeout_us);
+             timeout_us, /*data_op=*/true);
 }
 
 std::future<QueryResult> Client::query_async(NamespaceId ns,
@@ -338,7 +374,7 @@ void Client::acquire_batch_async(NamespaceId ns,
                                   " ops");
             return std::move(resp.results);
           }),
-      timeout_us);
+      timeout_us, /*data_op=*/true);
 }
 
 std::future<std::vector<AcquireResult>> Client::acquire_batch_async(
@@ -395,6 +431,25 @@ ApplyMapResult Client::apply_cluster_map(const cluster::ClusterMap& map) {
                                          resp.handoffs};
                  }),
              /*timeout_us=*/0);
+  return future.get();
+}
+
+void Client::stats_async(Callback<std::vector<protocol::StatsEntry>> done,
+                         TimeUs timeout_us) {
+  const std::uint64_t id = next_id();
+  start_call(id, protocol::encode(protocol::StatsRequest{id}),
+             make_completion<protocol::StatsResponse,
+                             std::vector<protocol::StatsEntry>>(
+                 std::move(done), "stats",
+                 [](protocol::StatsResponse resp) {
+                   return std::move(resp.entries);
+                 }),
+             timeout_us);
+}
+
+std::vector<protocol::StatsEntry> Client::stats() {
+  auto [future, done] = make_promise_pair<std::vector<protocol::StatsEntry>>();
+  stats_async(std::move(done));
   return future.get();
 }
 

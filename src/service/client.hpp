@@ -25,6 +25,15 @@
 // closed"), instead of each ripening into its own timeout — the cluster
 // client's re-routing logic depends on this. The per-call deadline stays
 // as the fallback for fabrics that cannot observe peer death.
+//
+// Overload is honored client-side: when the server sheds a call with
+// ErrorCode::kOverloaded, the call fails with protocol::OverloadedError
+// (IS-A RpcError) and the client opens a backoff window of the server's
+// retry-after hint. Data ops issued inside the window fail immediately
+// with OverloadedError *without touching the wire* — the flash crowd stops
+// hammering a server that already said no, which is what lets it drain.
+// Admin, cluster and stats calls are never suppressed (an operator must be
+// able to inspect and reconfigure an overloaded server).
 #pragma once
 
 #include <atomic>
@@ -164,6 +173,14 @@ class Client {
   /// starts handing off the accounts it no longer owns.
   ApplyMapResult apply_cluster_map(const cluster::ClusterMap& map);
 
+  // --------------------------------------------------------- telemetry
+
+  /// The server's kStats snapshot (empty if the server has no registry).
+  /// Never suppressed by the backoff window.
+  std::vector<protocol::StatsEntry> stats();
+  void stats_async(Callback<std::vector<protocol::StatsEntry>> done,
+                   TimeUs timeout_us = 0);
+
   // ------------------------------------------------------------ counters
 
   /// Calls that timed out so far (each was rejected with util::IoError).
@@ -175,6 +192,18 @@ class Client {
   /// occurrence rejected every in-flight call with util::IoError.
   std::uint64_t disconnects() const {
     return disconnects_.load(std::memory_order_relaxed);
+  }
+
+  /// kOverloaded replies received from the server (each opened/extended
+  /// the backoff window).
+  std::uint64_t overloads() const {
+    return overloads_.load(std::memory_order_relaxed);
+  }
+
+  /// Data ops rejected locally inside the backoff window (they never
+  /// reached the wire).
+  std::uint64_t backoff_rejections() const {
+    return backoff_rejections_.load(std::memory_order_relaxed);
   }
 
   /// Calls in flight right now (registered, neither answered nor expired).
@@ -200,9 +229,11 @@ class Client {
     return next_id_.fetch_add(1, std::memory_order_relaxed);
   }
   TimeUs now_us() const;
-  /// Registers the slot, arms the wheel and sends the frame.
+  /// Registers the slot, arms the wheel and sends the frame. Calls marked
+  /// `data_op` honor the overload backoff window (rejected locally with
+  /// OverloadedError while it is open).
   void start_call(std::uint64_t id, std::vector<std::byte> frame,
-                  Completion done, TimeUs timeout_us);
+                  Completion done, TimeUs timeout_us, bool data_op = false);
   void on_frame(NodeId from, std::vector<std::byte> payload);
   void on_peer_down(NodeId peer);
   void sweep_loop();
@@ -218,6 +249,10 @@ class Client {
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> disconnects_{0};
+  std::atomic<std::uint64_t> overloads_{0};
+  std::atomic<std::uint64_t> backoff_rejections_{0};
+  /// End of the overload backoff window, on the now_us() clock (0 = none).
+  std::atomic<TimeUs> suppress_until_us_{0};
 
   struct Pending {
     Completion done;

@@ -23,6 +23,7 @@ bool known_type(std::uint8_t version, MsgType type, bool is_response) {
     case MsgType::kClusterMap:
     case MsgType::kApplyMap:
     case MsgType::kHandoff:
+    case MsgType::kStats:
       return version >= kProtocolVersion;
     case MsgType::kRedirect:
     case MsgType::kError:
@@ -301,6 +302,9 @@ std::vector<std::byte> encode_at(const ErrorResponse& m,
                  "protocol v1 cannot carry error responses");
   util::BinaryWriter w = header(version, MsgType::kError, true, m.id);
   w.u8(static_cast<std::uint8_t>(m.code));
+  // Only overload errors carry the retry hint; the other codes keep their
+  // pre-existing byte-identical layout.
+  if (m.code == ErrorCode::kOverloaded) w.i64(m.retry_after_us);
   return w.take();
 }
 
@@ -360,6 +364,39 @@ std::vector<std::byte> encode_at(const HandoffResponse& m,
   return w.take();
 }
 
+std::vector<std::byte> encode_at(const StatsRequest& m, std::uint8_t version) {
+  TOKA_CHECK_MSG(version >= kProtocolVersion,
+                 "protocol v1 cannot carry stats messages");
+  return header(version, MsgType::kStats, false, m.id).take();
+}
+
+std::vector<std::byte> encode_at(const StatsResponse& m,
+                                 std::uint8_t version) {
+  TOKA_CHECK_MSG(version >= kProtocolVersion,
+                 "protocol v1 cannot carry stats messages");
+  TOKA_CHECK_MSG(m.entries.size() <= kMaxStatsEntries,
+                 "stats snapshot of " << m.entries.size()
+                                      << " entries exceeds the limit of "
+                                      << kMaxStatsEntries);
+  util::BinaryWriter w = header(version, MsgType::kStats, true, m.id);
+  w.u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const StatsEntry& e : m.entries) {
+    TOKA_CHECK_MSG(e.name.size() <= kMaxStatsNameLen,
+                   "stats entry name of " << e.name.size()
+                                          << " bytes exceeds the limit");
+    w.str(e.name);
+    w.u8(e.kind);
+    w.f64(e.value);
+    if (e.kind == 2) {
+      w.f64(e.p50);
+      w.f64(e.p90);
+      w.f64(e.p99);
+      w.f64(e.max);
+    }
+  }
+  return w.take();
+}
+
 std::vector<std::byte> encode_at(const RedirectResponse& m,
                                  std::uint8_t version) {
   check_v2_cluster(version);
@@ -377,6 +414,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kUnknownNamespace: return "unknown-namespace";
     case ErrorCode::kInvalidConfig: return "invalid-config";
     case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kOverloaded: return "overloaded";
   }
   return "unknown-error";
 }
@@ -433,6 +471,12 @@ std::vector<std::byte> encode(const HandoffRequest& m) {
   return encode_at(m, kProtocolVersion);
 }
 std::vector<std::byte> encode(const HandoffResponse& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const StatsRequest& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const StatsResponse& m) {
   return encode_at(m, kProtocolVersion);
 }
 std::vector<std::byte> encode(const RedirectResponse& m) {
@@ -534,6 +578,10 @@ Request decode_request(std::span<const std::byte> payload,
       out = std::move(m);
       break;
     }
+    case MsgType::kStats: {
+      out = StatsRequest{id};
+      break;
+    }
     default:
       throw util::IoError("tokend frame: unknown request type " +
                           std::to_string(type));
@@ -619,6 +667,38 @@ Response decode_response(std::span<const std::byte> payload) {
       out = HandoffResponse{id, accepted};
       break;
     }
+    case MsgType::kStats: {
+      StatsResponse m;
+      m.id = id;
+      const std::uint32_t count = r.u32();
+      if (count > kMaxStatsEntries)
+        throw util::IoError("tokend frame: stats snapshot of " +
+                            std::to_string(count) +
+                            " entries exceeds the limit");
+      m.entries.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        StatsEntry e;
+        e.name = r.str();
+        if (e.name.size() > kMaxStatsNameLen)
+          throw util::IoError("tokend frame: stats entry name of " +
+                              std::to_string(e.name.size()) +
+                              " bytes exceeds the limit");
+        e.kind = r.u8();
+        if (e.kind > 2)
+          throw util::IoError("tokend frame: unknown stats entry kind " +
+                              std::to_string(e.kind));
+        e.value = r.f64();
+        if (e.kind == 2) {
+          e.p50 = r.f64();
+          e.p90 = r.f64();
+          e.p99 = r.f64();
+          e.max = r.f64();
+        }
+        m.entries.push_back(std::move(e));
+      }
+      out = std::move(m);
+      break;
+    }
     case MsgType::kRedirect: {
       RedirectResponse m;
       m.id = id;
@@ -630,10 +710,16 @@ Response decode_response(std::span<const std::byte> payload) {
     case MsgType::kError: {
       const std::uint8_t code = r.u8();
       if (code < static_cast<std::uint8_t>(ErrorCode::kMalformedBody) ||
-          code > static_cast<std::uint8_t>(ErrorCode::kUnsupported))
+          code > static_cast<std::uint8_t>(ErrorCode::kOverloaded))
         throw util::IoError("tokend frame: unknown error code " +
                             std::to_string(code));
-      out = ErrorResponse{id, static_cast<ErrorCode>(code)};
+      ErrorResponse m{id, static_cast<ErrorCode>(code)};
+      if (m.code == ErrorCode::kOverloaded) {
+        m.retry_after_us = r.i64();
+        if (m.retry_after_us < 0)
+          throw util::IoError("tokend frame: negative retry-after hint");
+      }
+      out = m;
       break;
     }
     default:

@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -73,6 +74,7 @@ enum class MsgType : std::uint8_t {
   kClusterMap = 7,          ///< v2-only (cluster: fetch the membership map)
   kApplyMap = 8,            ///< v2-only (cluster: install a newer map)
   kHandoff = 9,             ///< v2-only (cluster: node-to-node account move)
+  kStats = 10,              ///< v2-only (telemetry snapshot)
   kRedirect = 0x7E,         ///< v2-only; exists only as a response
   kError = 0x7F,            ///< v2-only; exists only as a response
 };
@@ -86,6 +88,7 @@ enum class ErrorCode : std::uint8_t {
   kUnknownNamespace = 2,  ///< data op on a namespace that does not exist
   kInvalidConfig = 3,     ///< ConfigureNamespace with a rejected policy
   kUnsupported = 4,       ///< cluster-only request on a non-cluster server
+  kOverloaded = 5,        ///< admission budget exhausted; retry later
 };
 
 /// Short stable identifier, e.g. "unknown-namespace" (for logs and errors).
@@ -186,7 +189,42 @@ struct NamespaceInfoResponse {
 struct ErrorResponse {
   std::uint64_t id = 0;
   ErrorCode code = ErrorCode::kMalformedBody;
+  /// kOverloaded only: hint for when to retry (time to the server's next
+  /// admission interval). Encoded on the wire only for that code, so every
+  /// pre-existing error frame stays byte-identical.
+  TimeUs retry_after_us = 0;
   friend bool operator==(const ErrorResponse&, const ErrorResponse&) = default;
+};
+
+// ---------------------------------------------------- telemetry messages
+
+/// Upper bound on entries per kStats response frame.
+inline constexpr std::size_t kMaxStatsEntries = 4096;
+/// Upper bound on one stats entry's metric name.
+inline constexpr std::size_t kMaxStatsNameLen = 256;
+
+/// One metric in a kStats snapshot; mirrors obs::Metric (kind 0 counter,
+/// 1 gauge, 2 histogram — histograms carry their quantiles inline).
+struct StatsEntry {
+  std::string name;
+  std::uint8_t kind = 0;
+  double value = 0;  ///< counter/gauge reading; histogram sample count
+  double p50 = 0, p90 = 0, p99 = 0, max = 0;  ///< histogram only (kind 2)
+  friend bool operator==(const StatsEntry&, const StatsEntry&) = default;
+};
+
+/// Asks the server for a compact binary snapshot of its telemetry
+/// registry (v2-only). A server with no registry answers with an empty
+/// entry list.
+struct StatsRequest {
+  std::uint64_t id = 0;
+  friend bool operator==(const StatsRequest&, const StatsRequest&) = default;
+};
+
+struct StatsResponse {
+  std::uint64_t id = 0;
+  std::vector<StatsEntry> entries;
+  friend bool operator==(const StatsResponse&, const StatsResponse&) = default;
 };
 
 // ------------------------------------------------------ cluster messages
@@ -260,12 +298,13 @@ using Request =
     std::variant<AcquireRequest, RefundRequest, QueryRequest,
                  BatchAcquireRequest, ConfigureNamespaceRequest,
                  NamespaceInfoRequest, ClusterMapRequest, ApplyMapRequest,
-                 HandoffRequest>;
+                 HandoffRequest, StatsRequest>;
 using Response =
     std::variant<AcquireResponse, RefundResponse, QueryResponse,
                  BatchAcquireResponse, ConfigureNamespaceResponse,
                  NamespaceInfoResponse, ClusterMapResponse, ApplyMapResponse,
-                 HandoffResponse, RedirectResponse, ErrorResponse>;
+                 HandoffResponse, StatsResponse, RedirectResponse,
+                 ErrorResponse>;
 
 // Per-type encoders emit the current version (v2).
 std::vector<std::byte> encode(const AcquireRequest& m);
@@ -286,6 +325,8 @@ std::vector<std::byte> encode(const ApplyMapRequest& m);
 std::vector<std::byte> encode(const ApplyMapResponse& m);
 std::vector<std::byte> encode(const HandoffRequest& m);
 std::vector<std::byte> encode(const HandoffResponse& m);
+std::vector<std::byte> encode(const StatsRequest& m);
+std::vector<std::byte> encode(const StatsResponse& m);
 std::vector<std::byte> encode(const RedirectResponse& m);
 std::vector<std::byte> encode(const ErrorResponse& m);
 
@@ -399,6 +440,22 @@ class RpcError : public util::IoError {
 
  private:
   ErrorCode code_;
+};
+
+/// Thrown by the client when the server sheds a request with
+/// ErrorCode::kOverloaded. IS-A RpcError, so the cluster client's triage
+/// surfaces it to the caller un-retried (blind retries against an
+/// overloaded server only deepen the overload); `retry_after_us()` is the
+/// server's hint for when capacity returns.
+class OverloadedError : public RpcError {
+ public:
+  OverloadedError(TimeUs retry_after_us, const std::string& what)
+      : RpcError(ErrorCode::kOverloaded, what),
+        retry_after_us_(retry_after_us) {}
+  TimeUs retry_after_us() const { return retry_after_us_; }
+
+ private:
+  TimeUs retry_after_us_;
 };
 
 /// Thrown by the client when the server answers with a RedirectResponse:

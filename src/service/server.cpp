@@ -1,5 +1,7 @@
 #include "service/server.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <optional>
 #include <utility>
 
@@ -15,36 +17,151 @@ struct Overloaded : Fs... {
 };
 template <class... Fs>
 Overloaded(Fs...) -> Overloaded<Fs...>;
+
+double elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
 }  // namespace
 
-Server::Server(AccountTable& table, runtime::Transport& transport)
-    : table_(&table), transport_(&transport) {
+Server::Server(AccountTable& table, runtime::Transport& transport,
+               ServerOptions options)
+    : table_(&table),
+      transport_(&transport),
+      registry_(options.registry),
+      admission_(options.admission),
+      timed_(options.registry != nullptr || options.admission.enabled) {
+  if (registry_) register_metrics();
   transport_->set_handler([this](NodeId from, std::vector<std::byte> payload) {
     on_frame(from, std::move(payload));
   });
 }
 
-Server::~Server() { transport_->set_handler({}); }
+Server::~Server() {
+  // Quiesce first: once the handler is detached no request thread can
+  // still be recording into the histogram the unregistration frees.
+  transport_->set_handler({});
+  if (registry_) {
+    for (const std::string& name : metric_names_) registry_->remove(name);
+  }
+}
+
+void Server::register_metrics() {
+  const auto add = [&](const std::string& name) {
+    metric_names_.push_back(name);
+    return name;
+  };
+  latency_ = &registry_->histogram(add("tokend_request_latency_us"));
+  registry_->counter_fn(add("tokend_requests_served"), [this] {
+    return static_cast<double>(served_.load(std::memory_order_relaxed));
+  });
+  registry_->counter_fn(add("tokend_requests_errored"), [this] {
+    return static_cast<double>(errored_.load(std::memory_order_relaxed));
+  });
+  registry_->counter_fn(add("tokend_requests_malformed"), [this] {
+    return static_cast<double>(malformed_.load(std::memory_order_relaxed));
+  });
+  registry_->counter_fn(add("tokend_requests_shed"), [this] {
+    return static_cast<double>(shed_.load(std::memory_order_relaxed));
+  });
+  registry_->gauge(add("tokend_namespaces"), [t = table_] {
+    return static_cast<double>(t->namespace_count());
+  });
+  registry_->gauge(add("tokend_accounts"), [t = table_] {
+    return static_cast<double>(t->account_count());
+  });
+  // The admission bucket doubles as the queue-depth proxy: `used` is how
+  // much of the current interval's budget the arrival stream has consumed.
+  registry_->gauge(add("tokend_admission_budget"), [this] {
+    return static_cast<double>(admission_.budget());
+  });
+  registry_->gauge(add("tokend_admission_used"), [this] {
+    return static_cast<double>(admission_.used());
+  });
+  registry_->gauge(add("tokend_service_time_ewma_us"),
+                   [this] { return admission_.ewma_service_us(); });
+  // Table counters come from one stats() sweep per metric read; scrapes
+  // are rare enough that the simplicity wins.
+  registry_->counter_fn(add("tokend_acquires"), [t = table_] {
+    return static_cast<double>(t->stats().acquires);
+  });
+  registry_->counter_fn(add("tokend_tokens_granted"), [t = table_] {
+    return static_cast<double>(t->stats().tokens_granted);
+  });
+  registry_->counter_fn(add("tokend_refunds_dropped"), [t = table_] {
+    return static_cast<double>(t->stats().refunds_dropped);
+  });
+  registry_->counter_fn(add("tokend_accounts_evicted"), [t = table_] {
+    return static_cast<double>(t->stats().accounts_evicted);
+  });
+  registry_->gauge(add("tokend_hot_key_share"), [t = table_] {
+    const auto top = t->hot_keys(1);
+    const std::uint64_t acquires = t->stats().acquires;
+    if (top.empty() || acquires == 0) return 0.0;
+    return static_cast<double>(top.front().count) /
+           static_cast<double>(acquires);
+  });
+  registry_->gauge(add("tokend_batch_hint"), [this] {
+    return static_cast<double>(batch_hint());
+  });
+}
+
+std::int64_t Server::batch_hint() const {
+  const auto top = table_->hot_keys(1);
+  const std::uint64_t acquires = table_->stats().acquires;
+  if (top.empty() || acquires < 64) return 1;
+  const double share = static_cast<double>(top.front().count) /
+                       static_cast<double>(acquires);
+  if (share < 0.125) return 1;  // traffic spread out: batching buys little
+  return std::clamp<std::int64_t>(static_cast<std::int64_t>(share * 64.0), 1,
+                                  64);
+}
 
 void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
   namespace proto = protocol;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Header first (10 fixed bytes): it classifies garbage without paying a
+  // decode, and gives the admission valve an id to answer with before any
+  // per-request work happens.
+  const std::optional<proto::FrameHeader> head =
+      proto::try_parse_header(payload);
+  if (!head.has_value() || head->is_response) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  const bool head_is_data_op = head->type == proto::MsgType::kAcquire ||
+                               head->type == proto::MsgType::kRefund ||
+                               head->type == proto::MsgType::kQuery ||
+                               head->type == proto::MsgType::kBatchAcquire;
+  if (head_is_data_op && admission_.enabled()) {
+    const TimeUs now = table_->clock().now_us();
+    if (!admission_.try_admit(now)) {
+      // Shed: typed kOverloaded with a retry-after hint, charged to no
+      // budget and touching no table state. Admin/cluster/stats frames are
+      // never shed — an overloaded server must stay operable.
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      transport_->send(
+          from, proto::encode(proto::ErrorResponse{
+                    head->id, proto::ErrorCode::kOverloaded,
+                    admission_.retry_after_us(now)}));
+      return;
+    }
+  }
+
   std::uint8_t version = proto::kProtocolVersion;
   proto::Request request;
   try {
     request = proto::decode_request(payload, version);
   } catch (const util::IoError&) {
-    // The body did not decode. If the header did, the sender gets a typed
-    // error it can correlate; pure garbage is dropped unanswered.
-    const std::optional<proto::FrameHeader> head =
-        proto::try_parse_header(payload);
-    if (head.has_value() && !head->is_response) {
-      errored_.fetch_add(1, std::memory_order_relaxed);
-      transport_->send(from,
-                       proto::encode(proto::ErrorResponse{
-                           head->id, proto::ErrorCode::kMalformedBody}));
-    } else {
-      malformed_.fetch_add(1, std::memory_order_relaxed);
-    }
+    // The header decoded but the body did not: the sender gets a typed
+    // error it can correlate.
+    errored_.fetch_add(1, std::memory_order_relaxed);
+    transport_->send(from,
+                     proto::encode(proto::ErrorResponse{
+                         head->id, proto::ErrorCode::kMalformedBody}));
     return;
   }
 
@@ -119,6 +236,28 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
           [&](const proto::HandoffRequest& r) -> proto::Response {
             return proto::ErrorResponse{r.id, proto::ErrorCode::kUnsupported};
           },
+          [&](const proto::StatsRequest& r) -> proto::Response {
+            proto::StatsResponse resp;
+            resp.id = r.id;
+            if (registry_) {
+              const std::vector<obs::Metric> metrics = registry_->collect();
+              resp.entries.reserve(
+                  std::min(metrics.size(), proto::kMaxStatsEntries));
+              for (const obs::Metric& m : metrics) {
+                if (resp.entries.size() >= proto::kMaxStatsEntries) break;
+                proto::StatsEntry e;
+                e.name = m.name.substr(0, proto::kMaxStatsNameLen);
+                e.kind = static_cast<std::uint8_t>(m.kind);
+                e.value = m.value;
+                e.p50 = m.p50;
+                e.p90 = m.p90;
+                e.p99 = m.p99;
+                e.max = m.max;
+                resp.entries.push_back(std::move(e));
+              }
+            }
+            return resp;
+          },
       },
       request);
 
@@ -136,6 +275,11 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
   transport_->send(from, proto::encode(response, is_error
                                                      ? proto::kProtocolVersion
                                                      : version));
+  if (timed_ && is_data_op) {
+    const double us = elapsed_us(t0);
+    if (latency_) latency_->observe(us);
+    if (admission_.enabled()) admission_.record_service_time_us(us);
+  }
 }
 
 }  // namespace toka::service

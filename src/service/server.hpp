@@ -17,28 +17,53 @@
 //     rejected policy (kInvalidConfig);
 //   - requests_malformed: not even the header decoded; the frame is
 //     dropped unanswered (the fabric is best-effort at-most-once; the
-//     client's timeout covers this case).
+//     client's timeout covers this case);
+//   - requests_shed: a data op rejected by the admission bucket with
+//     ErrorCode::kOverloaded (carrying a retry-after hint) *before* being
+//     decoded or touching the table — the overload valve's whole point is
+//     that a shed request costs almost nothing.
+//
+// With ServerOptions::registry set, the server exports its counters, a
+// request-latency histogram, the admission bucket's state, the table's
+// stats (including refunds_dropped) and the hot-key sketch into that
+// obs::Registry, and answers protocol kStats requests with a snapshot of
+// it. With ServerOptions::admission.enabled, data ops beyond the
+// per-interval budget are shed (admin, cluster and stats requests are
+// always admitted — an operator must be able to reconfigure and observe an
+// overloaded server).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "obs/admission.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/transport.hpp"
 #include "service/account_table.hpp"
 #include "util/types.hpp"
 
 namespace toka::service {
 
+struct ServerOptions {
+  /// Telemetry export target; nullptr disables export (and kStats answers
+  /// with an empty snapshot). Must outlive the server.
+  obs::Registry* registry = nullptr;
+  /// Overload valve; disabled by default (never sheds).
+  obs::AdmissionConfig admission{};
+};
+
 class Server {
  public:
   /// Installs the request handler on `transport`. The table and the
-  /// transport must outlive the server.
-  Server(AccountTable& table, runtime::Transport& transport);
+  /// transport (and options.registry, if set) must outlive the server.
+  explicit Server(AccountTable& table, runtime::Transport& transport,
+                  ServerOptions options = {});
 
   /// Detaches the handler and waits out any in-flight request, so frames
   /// still arriving afterwards are dropped by the transport instead of
-  /// reaching a dead server.
+  /// reaching a dead server; then unregisters its metrics.
   ~Server();
 
   Server(const Server&) = delete;
@@ -62,14 +87,35 @@ class Server {
     return malformed_.load(std::memory_order_relaxed);
   }
 
+  /// Data ops shed by the admission bucket with kOverloaded.
+  std::uint64_t requests_shed() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+
+  const obs::AdmissionBucket& admission() const { return admission_; }
+
+  /// Server-side batching hint derived from the hot-key sketch: when one
+  /// account dominates the acquire traffic, clients gain by batching ops
+  /// per frame (one decode + one shard lock amortized over the batch).
+  /// 1 = no skew worth batching for; grows toward 64 with the top
+  /// account's traffic share. Exported as the tokend_batch_hint gauge.
+  std::int64_t batch_hint() const;
+
  private:
   void on_frame(NodeId from, std::vector<std::byte> payload);
+  void register_metrics();
 
   AccountTable* table_;
   runtime::Transport* transport_;
+  obs::Registry* registry_;
+  obs::AdmissionBucket admission_;
+  obs::Histogram* latency_ = nullptr;  ///< owned by the registry
+  bool timed_ = false;                 ///< measure per-request service time
+  std::vector<std::string> metric_names_;  ///< what to unregister on exit
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> errored_{0};
   std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> shed_{0};
 };
 
 }  // namespace toka::service

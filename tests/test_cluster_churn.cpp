@@ -19,12 +19,14 @@
 #include <chrono>
 #include <map>
 #include <memory>
+#include <semaphore>
 #include <thread>
 #include <vector>
 
 #include "cluster/cluster_client.hpp"
 #include "cluster/cluster_map.hpp"
 #include "cluster/cluster_server.hpp"
+#include "cluster/hash_ring.hpp"
 #include "core/rate_limit.hpp"
 #include "runtime/inproc.hpp"
 #include "runtime/tcp.hpp"
@@ -243,6 +245,78 @@ TEST(ClusterChurn, TcpNodeKillIsAbsorbedByRerouting) {
   EXPECT_EQ(errors, 0u);
   EXPECT_EQ(client.map().epoch, 2u);
   EXPECT_EQ(nodes[0]->table.audit_violation(), std::nullopt);
+  for (auto& node : nodes) node->driver.stop();
+}
+
+TEST(ClusterChurn, NodeKillRefreshStampedeIsCoalesced) {
+  // Regression: a node kill with N ops in flight used to put N concurrent
+  // map fetches on the wire — every failing op started its own refresh,
+  // and the stampede hammered the surviving nodes exactly when they were
+  // absorbing the dead node's load. Concurrent refreshes now coalesce
+  // behind a single in-flight fetch, so the kill costs O(1) fetches.
+  const ClusterMap both{1, kDefaultVnodes, {0, 1}};
+  runtime::TcpMesh mesh(2 + 2 + 2);
+  std::vector<std::unique_ptr<ChurnNode>> nodes;
+  for (NodeId n = 0; n < 2; ++n)
+    nodes.push_back(std::make_unique<ChurnNode>(mesh.endpoint(n), both));
+
+  ClusterClientConfig client_config;
+  client_config.call_timeout_us = 200 * 1'000;
+  client_config.max_attempts = 12;
+  ClusterClient client(
+      [&](NodeId server) -> runtime::Transport& {
+        return mesh.endpoint(2 + server);
+      },
+      both, client_config);
+  ClusterClient admin(
+      [&](NodeId server) -> runtime::Transport& {
+        return mesh.endpoint(4 + server);
+      },
+      both, client_config);
+
+  // Keys the 2-node ring places on the node about to die — the ops that
+  // will all fail over at once.
+  std::vector<std::uint64_t> doomed;
+  {
+    const HashRing ring(both);
+    for (std::uint64_t key = 0; doomed.size() < 64 && key < 4096; ++key)
+      if (ring.owner(service::kDefaultNamespace, key) == 1) doomed.push_back(key);
+  }
+  ASSERT_EQ(doomed.size(), 64u);
+
+  // Warm the connections, then kill node 1 and tell only the survivor;
+  // the client still routes by the stale 2-node map.
+  for (std::uint64_t key = 0; key < 32; ++key)
+    client.acquire(service::kDefaultNamespace, key, 0);
+  const std::uint64_t warm_refreshes = client.map_refreshes();
+  nodes[1]->kill();
+  mesh.shutdown_endpoint(1);
+  admin.push_map(both.without_node(1));
+
+  // The stampede: a burst of async acquires for dead-node keys. Each
+  // fails fast (closed socket) and wants a map refresh immediately.
+  std::atomic<std::uint64_t> errors{0};
+  std::counting_semaphore<> done(0);
+  for (const std::uint64_t key : doomed) {
+    client.acquire_async(service::kDefaultNamespace, key, 1,
+                         [&](service::AcquireResult, std::exception_ptr err) {
+                           if (err) errors.fetch_add(1);
+                           done.release();
+                         });
+  }
+  for (std::size_t i = 0; i < doomed.size(); ++i) done.acquire();
+
+  // Every op recovered onto the survivor...
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(client.map().epoch, 2u);
+  // ...through many per-op retries...
+  EXPECT_GT(client.io_retries(), 0u);
+  // ...that shared a handful of coalesced fetches. Uncoalesced, every
+  // retry fetched: map_refreshes tracked io_retries one-for-one (>= 64
+  // here); coalesced, a whole burst rides one fetch.
+  const std::uint64_t refreshes = client.map_refreshes() - warm_refreshes;
+  EXPECT_LE(refreshes, 20u);
+  EXPECT_LT(refreshes, std::max<std::uint64_t>(client.io_retries(), 21));
   for (auto& node : nodes) node->driver.stop();
 }
 

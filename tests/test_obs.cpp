@@ -1,0 +1,422 @@
+// The telemetry/overload layer: striped counters, the log-linear
+// histogram's quantile error bound, the registry's collect/render paths,
+// the space-saving sketch, the admission bucket (pinned and adaptive), and
+// the end-to-end overload contract over a live server/client pair —
+// deterministic shedding at the budget, the typed kOverloaded error with
+// its retry-after hint, the client's backoff window, zero shed below
+// budget, and kStats/registry/scrape agreement. Runs under TSan in CI
+// (the ^test_obs regex), so the scrape-while-serving test exercises
+// concurrent collection with the race detector on.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/admission.hpp"
+#include "obs/scrape.hpp"
+#include "obs/telemetry.hpp"
+#include "runtime/inproc.hpp"
+#include "service/account_table.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace toka::obs {
+namespace {
+
+// ------------------------------------------------------------- primitives
+
+TEST(ObsCounter, StripesSumAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsHistogram, SmallValuesAreExact) {
+  Histogram h;
+  h.observe(3);
+  h.observe(3);
+  h.observe(3);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.p50, 3.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 3.0);
+  EXPECT_DOUBLE_EQ(snap.max, 3.0);
+  EXPECT_DOUBLE_EQ(snap.sum, 9.0);
+}
+
+TEST(ObsHistogram, QuantilesWithinLogLinearErrorBound) {
+  // A uniform 1..1000 distribution has known quantiles; the 16-sub-bucket
+  // log-linear layout bounds relative error by 1/16, plus a little for the
+  // bucket-midpoint convention — 8% covers both.
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.observe(v);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_DOUBLE_EQ(snap.sum, 500'500.0);
+  EXPECT_DOUBLE_EQ(snap.max, 1000.0);
+  EXPECT_NEAR(snap.p50, 500.0, 500.0 * 0.08);
+  EXPECT_NEAR(snap.p90, 900.0, 900.0 * 0.08);
+  EXPECT_NEAR(snap.p99, 990.0, 990.0 * 0.08);
+}
+
+TEST(ObsSpaceSaving, HeavyHitterSurvivesNoise) {
+  SpaceSaving sketch(4);
+  std::uint64_t fed = 0;
+  for (int round = 0; round < 500; ++round) {
+    sketch.record(42);  // the heavy hitter
+    sketch.record(100 + static_cast<std::uint64_t>(round % 16));  // noise
+    fed += 2;
+  }
+  const auto top = sketch.top();
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top.front().item, 42u);
+  // Space-saving may overestimate (evicted-minimum inheritance) but never
+  // undercounts a true heavy hitter.
+  EXPECT_GE(top.front().count, 500u);
+  EXPECT_EQ(sketch.total(), fed);
+}
+
+TEST(ObsRegistry, CollectRemoveAndRender) {
+  Registry registry;
+  registry.counter("reqs").add(7);
+  registry.gauge("depth", [] { return 3.0; });
+  registry.counter_fn("external", [] { return 11.0; });
+  registry.histogram("lat").observe(100);
+
+  const auto metrics = registry.collect();
+  ASSERT_EQ(metrics.size(), 4u);
+  EXPECT_EQ(metrics[0].name, "reqs");
+  EXPECT_EQ(metrics[0].kind, Metric::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(metrics[0].value, 7.0);
+  EXPECT_EQ(metrics[1].kind, Metric::Kind::kGauge);
+  EXPECT_DOUBLE_EQ(metrics[1].value, 3.0);
+  EXPECT_DOUBLE_EQ(metrics[2].value, 11.0);
+  EXPECT_EQ(metrics[3].kind, Metric::Kind::kHistogram);
+  EXPECT_DOUBLE_EQ(metrics[3].value, 1.0);  // histogram value = count
+
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("# TYPE reqs counter"), std::string::npos);
+  EXPECT_NE(text.find("reqs 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+
+  // Latest registration wins; remove() unhooks a callback for good.
+  registry.gauge("depth", [] { return 9.0; });
+  EXPECT_DOUBLE_EQ(registry.collect()[1].value, 9.0);
+  registry.remove("depth");
+  registry.remove("no-such-metric");  // no-op
+  EXPECT_EQ(registry.collect().size(), 3u);
+}
+
+TEST(ObsRegistry, SameNameReturnsSameCounter) {
+  Registry registry;
+  registry.counter("c").add(1);
+  registry.counter("c").add(2);
+  EXPECT_EQ(registry.counter("c").value(), 3u);
+}
+
+// -------------------------------------------------------------- admission
+
+TEST(ObsAdmission, DisabledBucketAlwaysAdmits) {
+  AdmissionBucket bucket;  // default config: disabled
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(bucket.try_admit(0));
+}
+
+TEST(ObsAdmission, PinnedBudgetShedsDeterministically) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.interval_us = 1'000;
+  cfg.min_budget = 4;
+  cfg.max_budget = 4;  // min == max pins the budget
+  AdmissionBucket bucket(cfg);
+
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(bucket.try_admit(100));
+  EXPECT_FALSE(bucket.try_admit(100));
+  EXPECT_FALSE(bucket.try_admit(999));
+  // Retry-after points at the next interval boundary.
+  EXPECT_EQ(bucket.retry_after_us(100), 900);
+  EXPECT_EQ(bucket.retry_after_us(999), 1);
+  // The next interval refills the full pinned budget.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(bucket.try_admit(1'000));
+  EXPECT_FALSE(bucket.try_admit(1'999));
+}
+
+TEST(ObsAdmission, AdaptiveBudgetTracksServiceTimeAndClamps) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.interval_us = 10'000;
+  cfg.min_budget = 2;
+  cfg.max_budget = 1'000;
+  cfg.utilization = 0.5;
+
+  // 100 us per request fits 10'000 * 0.5 / 100 = 50 admissions an interval.
+  AdmissionBucket tracked(cfg);
+  tracked.record_service_time_us(100);  // first sample seeds the EWMA
+  EXPECT_DOUBLE_EQ(tracked.ewma_service_us(), 100.0);
+  tracked.try_admit(0);  // first admit rolls the interval: budget recomputed
+  EXPECT_EQ(tracked.budget(), 50);
+
+  // EWMA smooths: 100 * 0.95 + 200 * 0.05 = 105.
+  tracked.record_service_time_us(200);
+  EXPECT_NEAR(tracked.ewma_service_us(), 105.0, 1e-9);
+
+  // Pathological service times clamp to the configured window.
+  AdmissionBucket slow(cfg);
+  slow.record_service_time_us(1e9);
+  slow.try_admit(0);
+  EXPECT_EQ(slow.budget(), cfg.min_budget);
+  AdmissionBucket fast(cfg);
+  fast.record_service_time_us(1e-6);
+  fast.try_admit(0);
+  EXPECT_EQ(fast.budget(), cfg.max_budget);
+}
+
+// -------------------------------------------- end-to-end over the service
+
+service::ServiceConfig simple_config(Tokens c, TimeUs delta = 1000) {
+  service::ServiceConfig cfg;
+  cfg.shards = 8;
+  cfg.delta_us = delta;
+  cfg.strategy.kind = core::StrategyKind::kSimple;
+  cfg.strategy.c_param = c;
+  return cfg;
+}
+
+service::ServerOptions observed_options(Registry& registry,
+                                        std::int64_t budget = 0) {
+  service::ServerOptions opts;
+  opts.registry = &registry;
+  if (budget > 0) {
+    opts.admission.enabled = true;
+    opts.admission.interval_us = 10'000;
+    opts.admission.min_budget = budget;  // pinned: deterministic shedding
+    opts.admission.max_budget = budget;
+  }
+  return opts;
+}
+
+TEST(ObsOverload, ServerShedsAtBudgetWithTypedErrorAndClientBacksOff) {
+  service::AccountTable table(simple_config(100));
+  runtime::InProcNetwork net(2);
+  Registry registry;
+  service::Server server(table, net.endpoint(0),
+                         observed_options(registry, /*budget=*/4));
+  service::Client client(net.endpoint(1), 0);
+  net.start();
+
+  // Exactly the budget is served; nothing sheds below it.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NO_THROW(client.acquire(service::kDefaultNamespace, i, 0));
+  EXPECT_EQ(server.requests_served(), 4u);
+  EXPECT_EQ(server.requests_shed(), 0u);
+  EXPECT_EQ(client.overloads(), 0u);
+
+  // The over-budget request is shed with the typed error and a hint; it
+  // never touched the table.
+  const std::uint64_t accounts_before = table.stats().accounts_created;
+  try {
+    client.acquire(service::kDefaultNamespace, 99, 0);
+    FAIL() << "expected OverloadedError";
+  } catch (const service::protocol::OverloadedError& e) {
+    EXPECT_EQ(e.code(), service::protocol::ErrorCode::kOverloaded);
+    EXPECT_GT(e.retry_after_us(), 0);
+    EXPECT_LE(e.retry_after_us(), 10'000);
+  }
+  EXPECT_EQ(server.requests_shed(), 1u);
+  EXPECT_EQ(client.overloads(), 1u);
+  EXPECT_EQ(table.stats().accounts_created, accounts_before);
+
+  // Inside the backoff window, data ops fail locally — the server's
+  // counters don't move because nothing reached the wire.
+  EXPECT_THROW(client.acquire(service::kDefaultNamespace, 99, 0),
+               service::protocol::OverloadedError);
+  EXPECT_GE(client.backoff_rejections(), 1u);
+  EXPECT_EQ(server.requests_shed(), 1u);
+  EXPECT_EQ(server.requests_served(), 4u);
+
+  // Stats are never suppressed: an operator can observe an overloaded
+  // server from inside the backoff window.
+  EXPECT_NO_THROW(client.stats());
+
+  // Recovery: the next admission interval refills the budget, and the
+  // client's backoff window (the retry-after hint) expires.
+  table.clock().advance(10'000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_NO_THROW(client.acquire(service::kDefaultNamespace, 99, 0));
+  EXPECT_EQ(server.requests_served(), 6u);  // the stats call counts too
+  net.stop();
+}
+
+TEST(ObsOverload, ZeroShedBelowBudget) {
+  service::AccountTable table(simple_config(100));
+  runtime::InProcNetwork net(2);
+  Registry registry;
+  service::Server server(table, net.endpoint(0),
+                         observed_options(registry, /*budget=*/64));
+  service::Client client(net.endpoint(1), 0);
+  net.start();
+
+  for (int i = 0; i < 32; ++i) client.acquire(service::kDefaultNamespace, i, 0);
+  EXPECT_EQ(server.requests_served(), 32u);
+  EXPECT_EQ(server.requests_shed(), 0u);
+  EXPECT_EQ(client.overloads(), 0u);
+  EXPECT_EQ(client.backoff_rejections(), 0u);
+  net.stop();
+}
+
+TEST(ObsOverload, StatsRegistryAndRenderAgree) {
+  service::AccountTable table(simple_config(100));
+  runtime::InProcNetwork net(2);
+  Registry registry;
+  service::Server server(table, net.endpoint(0), observed_options(registry));
+  service::Client client(net.endpoint(1), 0);
+  net.start();
+
+  for (int i = 0; i < 10; ++i) client.acquire(service::kDefaultNamespace, i, 0);
+  table.refund(service::kDefaultNamespace, 999'999, 1);  // dropped: unknown key
+
+  // The kStats wire snapshot, the in-process registry and the Prometheus
+  // exposition all report the same served/dropped-refund counts.
+  const std::vector<service::protocol::StatsEntry> wire = client.stats();
+  ASSERT_FALSE(wire.empty());
+  double wire_served = -1, wire_dropped = -1;
+  for (const auto& e : wire) {
+    if (e.name == "tokend_requests_served") wire_served = e.value;
+    if (e.name == "tokend_refunds_dropped") wire_dropped = e.value;
+  }
+  // The snapshot is taken while the stats request itself is still being
+  // answered, so it sees exactly the 10 data ops.
+  EXPECT_DOUBLE_EQ(wire_served, 10.0);
+  EXPECT_DOUBLE_EQ(wire_dropped, 1.0);
+
+  double reg_dropped = -1;
+  bool saw_latency = false;
+  for (const Metric& m : registry.collect()) {
+    if (m.name == "tokend_refunds_dropped") reg_dropped = m.value;
+    if (m.name == "tokend_request_latency_us") {
+      saw_latency = true;
+      EXPECT_EQ(m.kind, Metric::Kind::kHistogram);
+      EXPECT_GE(m.value, 10.0);  // at least the data ops were timed
+    }
+  }
+  EXPECT_DOUBLE_EQ(reg_dropped, 1.0);
+  EXPECT_TRUE(saw_latency);
+
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("tokend_refunds_dropped 1\n"), std::string::npos);
+  EXPECT_NE(text.find("tokend_requests_served"), std::string::npos);
+  net.stop();
+}
+
+TEST(ObsOverload, BatchHintRisesWhenOneKeyDominates) {
+  service::AccountTable table(simple_config(100));
+  runtime::InProcNetwork net(2);
+  Registry registry;
+  service::Server server(table, net.endpoint(0), observed_options(registry));
+  service::Client client(net.endpoint(1), 0);
+  net.start();
+
+  // Spread traffic: no account dominates, so batching buys nothing.
+  for (int i = 0; i < 64; ++i) client.acquire(service::kDefaultNamespace, i, 0);
+  EXPECT_EQ(server.batch_hint(), 1);
+
+  // Hammer one key until it dominates the sketch: the hint grows.
+  for (int i = 0; i < 512; ++i) client.acquire(service::kDefaultNamespace, 7, 0);
+  EXPECT_GT(server.batch_hint(), 1);
+  net.stop();
+}
+
+// ----------------------------------------------------------------- scrape
+
+std::string http_get_metrics(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const char request[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  (void)!::write(fd, request, sizeof request - 1);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) response.append(buf, n);
+  ::close(fd);
+  return response;
+}
+
+TEST(ObsScrape, ServesPrometheusExposition) {
+  Registry registry;
+  registry.counter("scrape_test_requests").add(5);
+  ScrapeServer scrape(registry, 0);  // ephemeral port
+  ASSERT_GT(scrape.port(), 0);
+
+  const std::string response = http_get_metrics(scrape.port());
+  EXPECT_NE(response.find("200"), std::string::npos);
+  EXPECT_NE(response.find("scrape_test_requests 5"), std::string::npos);
+
+  // A second scrape sees updates (the server answers one connection at a
+  // time, read-render-write-close).
+  registry.counter("scrape_test_requests").add(1);
+  EXPECT_NE(http_get_metrics(scrape.port()).find("scrape_test_requests 6"),
+            std::string::npos);
+}
+
+TEST(ObsScrape, ScrapeWhileServingIsRaceFree) {
+  // TSan coverage: request threads hammer the table through the server
+  // (bumping counters, the latency histogram and the hot-key sketch) while
+  // this thread collects and renders the registry concurrently.
+  service::AccountTable table(simple_config(100));
+  runtime::InProcNetwork net(3);
+  Registry registry;
+  service::Server server(table, net.endpoint(0), observed_options(registry));
+  net.start();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> loads;
+  for (int t = 1; t <= 2; ++t) {
+    loads.emplace_back([&, t] {
+      service::Client client(net.endpoint(t), 0);
+      for (std::uint64_t i = 0; i < 400; ++i)
+        client.acquire(service::kDefaultNamespace, i % 32, 0);
+    });
+  }
+  std::uint64_t renders = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    (void)registry.collect();
+    ASSERT_FALSE(registry.render_prometheus().empty());
+    if (++renders >= 50) {
+      // Enough concurrent overlap; wait the loads out.
+      for (auto& l : loads) l.join();
+      loads.clear();
+      stop.store(true, std::memory_order_relaxed);
+    }
+  }
+  EXPECT_EQ(server.requests_served(), 800u);
+  EXPECT_GE(renders, 50u);
+  net.stop();
+}
+
+}  // namespace
+}  // namespace toka::obs

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "util/error.hpp"
@@ -93,7 +94,7 @@ cluster::ClusterMap random_cluster_map(Rng& rng) {
 /// admin or cluster frames) are generated, so the same fuzz drives both
 /// versions.
 Request random_request(Rng& rng, bool v1 = false) {
-  switch (rng.below(v1 ? 4 : 9)) {
+  switch (rng.below(v1 ? 4 : 10)) {
     case 0:
       return AcquireRequest{rng.next_u64(), rng.next_u64(),
                             static_cast<Tokens>(rng.below(1 << 20)),
@@ -126,6 +127,8 @@ Request random_request(Rng& rng, bool v1 = false) {
       return ClusterMapRequest{rng.next_u64()};
     case 7:
       return ApplyMapRequest{rng.next_u64(), random_cluster_map(rng)};
+    case 8:
+      return StatsRequest{rng.next_u64()};
     default:
       return HandoffRequest{rng.next_u64(), rng.next_u64(),
                             random_ns(rng, /*v1=*/false), rng.next_u64(),
@@ -134,7 +137,7 @@ Request random_request(Rng& rng, bool v1 = false) {
 }
 
 Response random_response(Rng& rng, bool v1 = false) {
-  switch (rng.below(v1 ? 4 : 11)) {
+  switch (rng.below(v1 ? 4 : 13)) {
     case 0:
       return AcquireResponse{rng.next_u64(),
                              static_cast<Tokens>(rng.below(1000)),
@@ -180,6 +183,28 @@ Response random_response(Rng& rng, bool v1 = false) {
     case 9:
       return RedirectResponse{rng.next_u64(), rng.next_u64(),
                               static_cast<NodeId>(rng.below(1 << 16))};
+    case 10: {
+      StatsResponse m;
+      m.id = rng.next_u64();
+      const std::size_t entries = rng.below(6);
+      for (std::size_t i = 0; i < entries; ++i) {
+        StatsEntry e;
+        e.name = "metric_" + std::to_string(rng.below(100));
+        e.kind = static_cast<std::uint8_t>(rng.below(3));
+        e.value = static_cast<double>(rng.below(1 << 20));
+        if (e.kind == 2) {
+          e.p50 = static_cast<double>(rng.below(1000));
+          e.p90 = static_cast<double>(rng.below(1000));
+          e.p99 = static_cast<double>(rng.below(1000));
+          e.max = static_cast<double>(rng.below(1000));
+        }
+        m.entries.push_back(std::move(e));
+      }
+      return m;
+    }
+    case 11:
+      return ErrorResponse{rng.next_u64(), ErrorCode::kOverloaded,
+                           static_cast<TimeUs>(rng.below(1 << 20))};
     default:
       return ErrorResponse{rng.next_u64(),
                            static_cast<ErrorCode>(1 + rng.below(4))};
@@ -472,6 +497,84 @@ TEST(ProtocolV2, TryParseHeaderSplitsGarbageFromBadBodies) {
   std::vector<std::byte> v1_admin = encode(NamespaceInfoRequest{1, 0});
   v1_admin[0] = std::byte{kProtocolVersionV1};
   EXPECT_FALSE(try_parse_header(v1_admin).has_value());
+}
+
+TEST(ProtocolV2, StatsRoundTripIncludingHistogramEntries) {
+  const StatsRequest req{321};
+  EXPECT_EQ(std::get<StatsRequest>(decode_request(encode(req))), req);
+
+  StatsResponse resp;
+  resp.id = 321;
+  // An empty snapshot is legal (a server with no registry answers this).
+  EXPECT_EQ(std::get<StatsResponse>(decode_response(encode(resp))), resp);
+
+  resp.entries.push_back({"tokend_requests_served", 0, 12345.0});
+  resp.entries.push_back({"tokend_accounts", 1, 17.0});
+  resp.entries.push_back(
+      {"tokend_request_latency_us", 2, 1000.0, 12.5, 80.0, 240.0, 1999.0});
+  const Response decoded = decode_response(encode(resp));
+  ASSERT_TRUE(std::holds_alternative<StatsResponse>(decoded));
+  EXPECT_EQ(std::get<StatsResponse>(decoded), resp);
+  // Byte identity through a decode/re-encode cycle.
+  EXPECT_EQ(encode(std::get<StatsResponse>(decoded)), encode(resp));
+}
+
+TEST(ProtocolV2, StatsMalformedFramesRejected) {
+  StatsResponse resp;
+  resp.id = 1;
+  resp.entries.push_back({"m", 0, 1.0});
+  const std::vector<std::byte> good = encode(resp);
+
+  // A counter entry's tail is kind (1 byte) + value (8 bytes): corrupt the
+  // kind byte to an undefined metric kind.
+  std::vector<std::byte> bad_kind = good;
+  bad_kind[bad_kind.size() - 9] = std::byte{5};
+  EXPECT_THROW(decode_response(bad_kind), IoError);
+
+  // Entry count beyond the limit (u32 right after the 10-byte header).
+  std::vector<std::byte> bad_count = good;
+  for (std::size_t i = 10; i < 14; ++i) bad_count[i] = std::byte{0xFF};
+  EXPECT_THROW(decode_response(bad_count), IoError);
+
+  // Trailing garbage after a well-formed frame.
+  std::vector<std::byte> trailing = good;
+  trailing.push_back(std::byte{0});
+  EXPECT_THROW(decode_response(trailing), IoError);
+
+  // Oversized entry names never make it onto the wire.
+  StatsResponse long_name;
+  long_name.entries.push_back(
+      {std::string(kMaxStatsNameLen + 1, 'x'), 0, 1.0});
+  EXPECT_THROW(encode(long_name), util::InvariantError);
+}
+
+TEST(ProtocolV2, OverloadedErrorCarriesRetryAfter) {
+  const ErrorResponse err{7, ErrorCode::kOverloaded, 4'321};
+  const Response decoded = decode_response(encode(err));
+  ASSERT_TRUE(std::holds_alternative<ErrorResponse>(decoded));
+  EXPECT_EQ(std::get<ErrorResponse>(decoded), err);
+
+  // Only kOverloaded carries the hint: the other codes keep their
+  // pre-existing 11-byte layout (header + code), so v2 frames from before
+  // the overload valve decode unchanged.
+  EXPECT_EQ(encode(ErrorResponse{13, ErrorCode::kMalformedBody}).size(), 11u);
+  EXPECT_EQ(encode(err).size(), 19u);
+
+  // A negative hint is never legal on the wire.
+  EXPECT_THROW(decode_response(encode(ErrorResponse{
+                   7, ErrorCode::kOverloaded, -5})),
+               IoError);
+}
+
+TEST(ProtocolV2, V1CannotCarryStatsOrOverload) {
+  EXPECT_THROW(encode(Request{StatsRequest{1}}, kProtocolVersionV1),
+               util::InvariantError);
+  EXPECT_THROW(encode(Response{StatsResponse{1, {}}}, kProtocolVersionV1),
+               util::InvariantError);
+  EXPECT_THROW(
+      encode(Response{ErrorResponse{1, ErrorCode::kOverloaded, 10}},
+             kProtocolVersionV1),
+      util::InvariantError);
 }
 
 TEST(ProtocolV2, RandomizedV2FuzzCoversNewMessages) {

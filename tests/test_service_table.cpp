@@ -131,6 +131,58 @@ TEST(AccountTable, RefundToUnknownKeyIsDropped) {
   EXPECT_EQ(table.stats().tokens_refund_dropped, 5u);
 }
 
+TEST(AccountTable, RefundsToUnknownAccountsCountAsDroppedEvents) {
+  // Regression: refunds addressed to keys the table does not hold used to
+  // vanish silently (only the token-weighted counter moved). Each such
+  // call now also bumps the refunds_dropped *event* counter the telemetry
+  // exports — both for a key that never existed and for one that was
+  // evicted out from under an in-flight refund.
+  ServiceConfig cfg = simple_config(10, 1000);
+  cfg.idle_ttl_us = 5'000;
+  AccountTable table(cfg);
+
+  EXPECT_EQ(table.refund(999, 3).accepted, 0);
+  EXPECT_EQ(table.stats().refunds_dropped, 1u);
+
+  table.acquire(1, 0);             // created broke (balance 0)
+  table.clock().advance(10'000);   // idle past the TTL with nothing banked
+  ASSERT_EQ(table.evict_idle(), 1u);
+  EXPECT_EQ(table.refund(1, 2).accepted, 0);  // the late refund
+  EXPECT_EQ(table.stats().refunds_dropped, 2u);
+  // The token-weighted view still advances alongside the event count.
+  EXPECT_EQ(table.stats().tokens_refund_dropped, 5u);
+  // Accepted refunds never touch the event counter.
+  table.acquire(2, 0);
+  table.clock().advance(3'000);
+  ASSERT_EQ(table.acquire(2, 3).granted, 3);
+  EXPECT_EQ(table.refund(2, 1).accepted, 1);
+  EXPECT_EQ(table.stats().refunds_dropped, 2u);
+}
+
+TEST(AccountTable, EvictionSparesBankedBalancesUntilTwiceTtl) {
+  // Regression: evict_idle used to drop an idle account at the TTL even
+  // with tokens still banked, destroying the balance (and stranding any
+  // refund racing in) the moment traffic paused. A nonzero balance now
+  // buys a grace window: eviction waits for 2x the TTL.
+  ServiceConfig cfg = simple_config(10, 1000);
+  cfg.idle_ttl_us = 10'000;
+  AccountTable table(cfg);
+  table.acquire(1, 0);  // will go idle holding tokens
+  table.acquire(2, 0);  // will go idle broke
+  table.clock().advance(5'000);
+  table.acquire(1, 0);  // settle: key 1 banks 5 tokens, last access t=5ms
+
+  table.clock().advance(10'000);  // key 1 idle == TTL, key 2 idle 15ms
+  EXPECT_EQ(table.evict_idle(), 1u);  // only the zero-balance account goes
+  EXPECT_FALSE(table.query(2).exists);
+  EXPECT_TRUE(table.query(1).exists);
+
+  table.clock().advance(20'000);  // key 1 idle reaches 2x TTL
+  EXPECT_EQ(table.evict_idle(), 1u);  // banked or not, it goes now
+  EXPECT_FALSE(table.query(1).exists);
+  EXPECT_EQ(table.stats().accounts_evicted, 2u);
+}
+
 TEST(AccountTable, QueryDoesNotCreateAccounts) {
   AccountTable table(simple_config(10));
   const QueryResult res = table.query(123);
