@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include <future>
+#include <semaphore>
+#include <thread>
 #include <vector>
 
 #include "analysis/eigen.hpp"
@@ -22,8 +24,10 @@
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "service/shard_engine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
+#include "util/mpsc_queue.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -356,6 +360,95 @@ void BM_ServiceRoundTripPipelined(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(ops));
 }
 BENCHMARK(BM_ServiceRoundTripPipelined)->Arg(32)->MinTime(0.2);
+
+// ------------------------------------------------- shard-per-thread plane
+
+/// Uncontended queue cost: one producer pushing and popping through the
+/// MPSC ring in drain-sized batches (the shard worker's steady state).
+void BM_MpscQueuePushPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::MpscQueue<std::uint64_t> queue(1 << 14);
+  std::vector<std::uint64_t> out;
+  out.reserve(batch);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) queue.try_push(i);
+    out.clear();
+    benchmark::DoNotOptimize(queue.pop_batch(out, batch));
+    ops += batch;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_MpscQueuePushPop)->Arg(1)->Arg(64)->Arg(256);
+
+/// Cross-thread hand-off: range(0) producer threads blast the queue while
+/// one consumer thread drains; measures sustained elements/s through the
+/// ring under real contention (1 producer = the SPSC base case).
+void BM_MpscQueueHandoff(benchmark::State& state) {
+  const auto producers = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kPerIter = 64 * 1024;
+  util::MpscQueue<std::uint64_t> queue(1 << 14);
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    for (std::size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&queue, producers, p] {
+        const std::uint64_t n = kPerIter / producers + (p == 0 ? kPerIter % producers : 0);
+        for (std::uint64_t i = 0; i < n; ++i) queue.push(i);
+      });
+    }
+    std::uint64_t drained = 0;
+    std::vector<std::uint64_t> out;
+    out.reserve(256);
+    while (drained < kPerIter) {
+      out.clear();
+      const std::size_t n = queue.pop_batch(out, 256);
+      if (n == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      drained += n;
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kPerIter));
+}
+BENCHMARK(BM_MpscQueueHandoff)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/// Full op hand-off round trip: submit a ShardOp to a one-worker engine
+/// and wait for its completion to fire — queue push + worker wake + table
+/// acquire + completion, the sharded server's per-request skeleton.
+void BM_ShardOpRoundTrip(benchmark::State& state) {
+  service::ServiceConfig cfg;
+  cfg.shards = 8;
+  cfg.delta_us = 1000;
+  cfg.strategy.kind = core::StrategyKind::kGeneralized;
+  cfg.strategy.a_param = 2;
+  cfg.strategy.c_param = 10;
+  cfg.exclusive_shards = true;
+  service::AccountTable table(cfg);
+  table.clock().advance(1'000'000);
+  service::ShardEngineOptions opts;
+  opts.workers = 1;
+  service::ShardEngine engine(table, opts);
+
+  std::binary_semaphore done(0);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    service::ShardOp op;
+    op.kind = service::ShardOp::Kind::kAcquire;
+    op.key = ops++ % 64;
+    op.tokens = 0;
+    op.done = [](service::ShardOp&, void* ctx) {
+      static_cast<std::binary_semaphore*>(ctx)->release();
+    };
+    op.ctx = &done;
+    engine.submit(op);
+    done.acquire();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_ShardOpRoundTrip)->MinTime(0.2);
 
 std::vector<NodeId> ring_nodes(std::int64_t count) {
   std::vector<NodeId> nodes(static_cast<std::size_t>(count));

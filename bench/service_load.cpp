@@ -24,6 +24,16 @@
 // N-node-vs-1-node ratio into a CI floor, and --churn kills one node and
 // joins a fresh one mid-run (reported: errors must stay 0).
 //
+// The "sharded" and "epoll" modes answer the scale-UP question for the
+// shard-per-thread data plane. "sharded" drives batches straight into the
+// ShardEngine (bounded MPSC hand-off to shard-owner workers, vectorized
+// settle, no wire) and is compared against the striped-lock "table" mode:
+// --min-sharded-speedup turns that ratio into a CI floor on hosts with
+// enough cores for the workers not to fight the submitters. "epoll" runs
+// the full plane end to end — pipelined async clients over the
+// nonblocking EpollMesh into an engine-mode server with corked replies.
+// Both record the shard queues' depth percentiles while they run.
+//
 // The "overload" mode answers the graceful-degradation question: an
 // admission-controlled server takes a 10x flash crowd on top of a baseline
 // open loop; the excess must come back as typed kOverloaded sheds (any
@@ -35,6 +45,7 @@
 // Reports per-mode throughput and latency percentiles, and with --json=FILE
 // writes the BENCH_service.json document the release-bench CI job uploads.
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -51,11 +62,13 @@
 #include "cluster/cluster_server.hpp"
 #include "metrics/timeseries.hpp"
 #include "obs/telemetry.hpp"
+#include "runtime/epoll.hpp"
 #include "runtime/inproc.hpp"
 #include "runtime/tcp.hpp"
 #include "service/account_table.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
+#include "service/shard_engine.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -102,6 +115,11 @@ struct ModeResult {
   /// Instantaneous throughput (ops/s per 100 ms bucket) over the run, for
   /// modes that sample it; "sustained" is the worst bucket.
   metrics::TimeSeries throughput;
+  /// Shard-engine queue depth percentiles over the run (sharded/epoll
+  /// modes): samples of the deepest worker queue, in ops — how much
+  /// hand-off buffering the load actually needed.
+  bool has_queue_depth = false;
+  LatencySummary queue_depth;
 
   double ops_per_sec() const { return seconds > 0 ? ops / seconds : 0; }
 
@@ -184,6 +202,39 @@ struct LoadConfig {
   std::size_t window = 0; ///< in-flight cap per connection (pipeline mode)
   std::size_t cluster_nodes = 0;  ///< tokad members for the cluster mode
   bool churn = false;             ///< kill+join mid-run in the cluster mode
+  std::size_t workers = 0;     ///< shard-owner workers (0 = one per core)
+  std::size_t io_threads = 1;  ///< epoll event loops per endpoint
+};
+
+/// Samples the engine's deepest worker queue every 2 ms while a mode runs;
+/// stop() turns the samples into the percentiles the JSON reports.
+class QueueDepthSampler {
+ public:
+  explicit QueueDepthSampler(const service::ShardEngine& engine)
+      : thread_([this, &engine] {
+          while (!done_.load(std::memory_order_relaxed)) {
+            samples_.push_back(static_cast<double>(engine.queue_depth_max()));
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          }
+        }) {}
+
+  ~QueueDepthSampler() {
+    if (thread_.joinable()) {
+      done_.store(true);
+      thread_.join();
+    }
+  }
+
+  LatencySummary stop() {
+    done_.store(true);
+    thread_.join();
+    return summarize(std::move(samples_));
+  }
+
+ private:
+  std::atomic<bool> done_{false};
+  std::vector<double> samples_;
+  std::thread thread_;
 };
 
 /// Preload: batch-create every key once so the timed phases run against a
@@ -279,6 +330,71 @@ ModeResult run_table_open(service::AccountTable& table,
       });
   res.seconds = load.seconds;  // open loop is defined by its schedule
   return res;
+}
+
+/// Closed loop straight into the shard engine: each submitter keeps a
+/// small ring of batches in flight, refilling a slot as soon as its
+/// completion (fired by whichever shard-owner worker finishes last) frees
+/// it. This is the vectorized settle path with no wire in between — the
+/// number the striped-lock "table" mode is compared against. Latency spans
+/// submit -> completion, so queue wait on the owner workers is included.
+ModeResult run_sharded(service::ShardEngine& engine,
+                       const util::ZipfSampler& sampler,
+                       const LoadConfig& load) {
+  const auto deadline =
+      Clock::now() + std::chrono::microseconds(from_seconds(load.seconds));
+  return run_threads("sharded", load.threads, [&](std::size_t t,
+                                                  PerThread& tally) {
+    constexpr std::size_t kDepth = 4;  ///< batches in flight per submitter
+    struct Slot {
+      std::binary_semaphore free{1};
+      std::vector<service::AcquireOp> ops;
+      std::int64_t granted = 0;
+      double lat_us = 0;
+      Clock::time_point t0;
+      bool warm = false;  ///< has a harvestable result
+    };
+    // The completion runs on a worker thread, but only after the submitter
+    // parked the slot: acquire() below is the fence that makes the slot's
+    // fields safe to read back.
+    const auto done = [](service::EngineBatch& batch, void* ctx) {
+      auto* slot = static_cast<Slot*>(ctx);
+      std::int64_t granted = 0;
+      for (const service::AcquireResult& r : batch.results)
+        granted += r.granted;
+      slot->granted = granted;
+      slot->lat_us = us_between(slot->t0, Clock::now());
+      slot->free.release();
+    };
+    std::array<Slot, kDepth> slots;
+    util::Rng rng(9000 + t);
+    const auto harvest = [&](Slot& slot, bool sample_latency) {
+      tally.granted += slot.granted;
+      if (sample_latency) tally.lat_us.push_back(slot.lat_us);
+      tally.ops.fetch_add(slot.ops.size(), std::memory_order_relaxed);
+      ++tally.calls;
+    };
+    for (std::uint64_t i = 0;; ++i) {
+      if (Clock::now() >= deadline) break;
+      Slot& slot = slots[i % kDepth];
+      slot.free.acquire();
+      if (slot.warm) harvest(slot, (i & 0x3F) == 0);
+      slot.warm = true;
+      slot.ops.resize(load.batch);
+      for (service::AcquireOp& op : slot.ops)
+        op = service::AcquireOp{sampler.next(rng), 1};
+      slot.t0 = Clock::now();
+      // A full owner queue sheds the whole batch; the closed loop just
+      // offers it again (the bench measures capacity, not the valve).
+      while (!engine.submit_batch(service::kDefaultNamespace, slot.ops, done,
+                                  &slot))
+        std::this_thread::yield();
+    }
+    for (Slot& slot : slots) {  // retire the in-flight tail
+      slot.free.acquire();
+      if (slot.warm) harvest(slot, /*sample_latency=*/true);
+    }
+  });
 }
 
 /// Closed loop through the wire protocol. `make_transport(i)` yields the
@@ -705,6 +821,10 @@ void print_result(const ModeResult& res) {
   if (!res.throughput.empty()) {
     std::printf("   sustained %10.0f ops/s", res.sustained_ops_per_sec());
   }
+  if (res.has_queue_depth) {
+    std::printf("   qdepth p50 %.0f p99 %.0f max %.0f", res.queue_depth.p50_us,
+                res.queue_depth.p99_us, res.queue_depth.max_us);
+  }
   std::printf("\n");
 }
 
@@ -719,7 +839,8 @@ std::string json_escape(const std::string& s) {
 
 void write_json(const std::string& path, const std::vector<ModeResult>& runs,
                 const service::AccountTable& table, const LoadConfig& load,
-                bool quick, const OverloadOutcome& overload) {
+                bool quick, const OverloadOutcome& overload,
+                std::size_t workers_used) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -728,6 +849,7 @@ void write_json(const std::string& path, const std::vector<ModeResult>& runs,
   const service::TableStats stats = table.stats();
   double table_ops_per_sec = 0, pipeline_ops_per_sec = 0, pipeline_p99 = 0;
   double cluster_ops_per_sec = 0, cluster1_ops_per_sec = 0;
+  double sharded_ops_per_sec = 0, epoll_ops_per_sec = 0;
   for (const ModeResult& r : runs) {
     if (r.mode == "table") table_ops_per_sec = r.ops_per_sec();
     if (r.mode == "pipeline") {
@@ -736,6 +858,8 @@ void write_json(const std::string& path, const std::vector<ModeResult>& runs,
     }
     if (r.mode == "cluster") cluster_ops_per_sec = r.ops_per_sec();
     if (r.mode == "cluster1") cluster1_ops_per_sec = r.ops_per_sec();
+    if (r.mode == "sharded") sharded_ops_per_sec = r.ops_per_sec();
+    if (r.mode == "epoll") epoll_ops_per_sec = r.ops_per_sec();
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"schema\": \"toka-bench-service-v2\",\n");
@@ -753,7 +877,14 @@ void write_json(const std::string& path, const std::vector<ModeResult>& runs,
   std::fprintf(f, "  \"delta_us\": %lld,\n",
                static_cast<long long>(table.config().delta_us));
   std::fprintf(f, "  \"window\": %zu,\n", load.window);
+  std::fprintf(f, "  \"workers\": %zu,\n", workers_used);
+  std::fprintf(f, "  \"io_threads\": %zu,\n", load.io_threads);
   std::fprintf(f, "  \"acquire_ops_per_sec\": %.0f,\n", table_ops_per_sec);
+  std::fprintf(f, "  \"sharded_ops_per_sec\": %.0f,\n", sharded_ops_per_sec);
+  std::fprintf(f, "  \"sharded_speedup\": %.2f,\n",
+               table_ops_per_sec > 0 ? sharded_ops_per_sec / table_ops_per_sec
+                                     : 0);
+  std::fprintf(f, "  \"epoll_ops_per_sec\": %.0f,\n", epoll_ops_per_sec);
   std::fprintf(f, "  \"pipeline_ops_per_sec\": %.0f,\n", pipeline_ops_per_sec);
   std::fprintf(f, "  \"pipeline_p99_us\": %.2f,\n", pipeline_p99);
   std::fprintf(f, "  \"cluster_nodes\": %zu,\n", load.cluster_nodes);
@@ -799,6 +930,15 @@ void write_json(const std::string& path, const std::vector<ModeResult>& runs,
                    to_seconds(r.throughput[p].t), r.throughput[p].value);
     }
     std::fprintf(f, "],\n");
+    if (r.has_queue_depth) {
+      std::fprintf(f,
+                   "     \"queue_depth\": {\"samples\": %zu, \"mean\": %.1f, "
+                   "\"p50\": %.0f, \"p90\": %.0f, \"p99\": %.0f, \"max\": "
+                   "%.0f},\n",
+                   r.queue_depth.samples, r.queue_depth.mean_us,
+                   r.queue_depth.p50_us, r.queue_depth.p90_us,
+                   r.queue_depth.p99_us, r.queue_depth.max_us);
+    }
     std::fprintf(f,
                  "     \"latency_us\": {\"samples\": %zu, \"mean\": %.2f, "
                  "\"p50\": %.2f, \"p90\": %.2f, \"p99\": %.2f, \"max\": "
@@ -842,6 +982,9 @@ int main(int argc, char** argv) {
   load.cluster_nodes =
       static_cast<std::size_t>(args.get_int("cluster-nodes", 3));
   load.churn = args.get_flag("churn");
+  load.workers = static_cast<std::size_t>(args.get_int("workers", 0));
+  load.io_threads =
+      std::max<std::size_t>(args.get_int("io-threads", 1), 1);
 
   service::ServiceConfig cfg;
   cfg.shards = static_cast<std::size_t>(args.get_int("shards", 256));
@@ -857,7 +1000,9 @@ int main(int argc, char** argv) {
   const std::string modes_arg = args.get_string(
       "modes",
       args.get_string(
-          "mode", "preload,table,batch,open,wire,sync,pipeline,cluster,overload"));
+          "mode",
+          "preload,table,batch,open,wire,sync,pipeline,sharded,epoll,cluster,"
+          "overload"));
   std::vector<std::string> modes;
   std::stringstream modes_stream(modes_arg);
   for (std::string m; std::getline(modes_stream, m, ',');) modes.push_back(m);
@@ -876,6 +1021,7 @@ int main(int argc, char** argv) {
 
   std::vector<ModeResult> runs;
   std::uint64_t cluster_errors = 0;
+  std::size_t workers_used = 0;  ///< resolved shard-owner worker count
   OverloadOutcome overload;
   for (const std::string& mode : modes) {
     if (mode == "preload") {
@@ -914,6 +1060,64 @@ int main(int argc, char** argv) {
                                   [&](std::size_t t) -> runtime::Transport& {
         return mesh.endpoint(static_cast<NodeId>(1 + t));
       }));
+    } else if (mode == "sharded") {
+      // The shard-per-thread plane on its own table (exclusive_shards: the
+      // per-shard mutex is a no-op, workers own their shards outright).
+      service::ServiceConfig sharded_cfg = cfg;
+      sharded_cfg.exclusive_shards = true;
+      service::AccountTable sharded_table(sharded_cfg);
+      // Preload before the engine starts: until the workers exist the
+      // table is single-owner, so direct (single-threaded) access is legal.
+      {
+        constexpr std::size_t kChunk = 4096;
+        std::vector<service::AcquireOp> ops;
+        ops.reserve(kChunk);
+        for (std::uint64_t key = 0; key < load.keys; key += kChunk) {
+          ops.clear();
+          const std::uint64_t end =
+              std::min<std::uint64_t>(key + kChunk, load.keys);
+          for (std::uint64_t k = key; k < end; ++k)
+            ops.push_back(service::AcquireOp{k, 0});
+          sharded_table.acquire_batch(ops);
+        }
+      }
+      service::ClockDriver sharded_driver(sharded_table, 1000);
+      sharded_driver.start();
+      service::ShardEngineOptions engine_opts;
+      engine_opts.workers = load.workers;
+      service::ShardEngine engine(sharded_table, engine_opts);
+      workers_used = engine.worker_count();
+      QueueDepthSampler depth(engine);
+      runs.push_back(run_sharded(engine, sampler, load));
+      runs.back().queue_depth = depth.stop();
+      runs.back().has_queue_depth = true;
+      engine.drain();
+      sharded_driver.stop();
+    } else if (mode == "epoll") {
+      // The whole plane end to end: pipelined async clients over the
+      // nonblocking epoll mesh into an engine-mode server whose workers
+      // reply from their completions (the loop corks them per connection).
+      service::ServiceConfig sharded_cfg = cfg;
+      sharded_cfg.exclusive_shards = true;
+      service::AccountTable sharded_table(sharded_cfg);
+      service::ClockDriver sharded_driver(sharded_table, 1000);
+      sharded_driver.start();
+      service::ShardEngineOptions engine_opts;
+      engine_opts.workers = load.workers;
+      service::ShardEngine engine(sharded_table, engine_opts);
+      workers_used = engine.worker_count();
+      runtime::EpollMesh mesh(1 + load.threads, load.io_threads);
+      service::ServerOptions server_opts;
+      server_opts.engine = &engine;
+      service::Server server(sharded_table, mesh.endpoint(0), server_opts);
+      QueueDepthSampler depth(engine);
+      runs.push_back(run_pipeline("epoll", sampler, load, load.threads,
+                                  [&](std::size_t t) -> runtime::Transport& {
+        return mesh.endpoint(static_cast<NodeId>(1 + t));
+      }));
+      runs.back().queue_depth = depth.stop();
+      runs.back().has_queue_depth = true;
+      sharded_driver.stop();
     } else if (mode == "cluster") {
       // Scale-out pair: the same pipelined workload against 1 node, then
       // against the full member count; the ratio is the speedup the
@@ -958,7 +1162,7 @@ int main(int argc, char** argv) {
 
   const std::string json_path = args.get_string("json", "");
   if (!json_path.empty())
-    write_json(json_path, runs, table, load, quick, overload);
+    write_json(json_path, runs, table, load, quick, overload, workers_used);
 
   // --scrape-out captures the overload server's Prometheus exposition (the
   // release-bench job uploads it as an artifact).
@@ -998,6 +1202,52 @@ int main(int argc, char** argv) {
     }
     std::printf("table mode sustains %.0f ops/s (floor %.0f): OK\n", table_ops,
                 min_table_ops);
+  }
+
+  // Release-bench CI passes --min-sharded-ops on >= 4-core runners: the
+  // absolute acceptance floor for the shard-per-thread plane
+  // (bench_snapshot.sh gates the flag on the core count — with one or two
+  // cores the workers just time-slice against the submitters).
+  const double min_sharded_ops = args.get_double("min-sharded-ops", 0);
+  if (min_sharded_ops > 0) {
+    double sharded_ops = 0;
+    for (const ModeResult& r : runs)
+      if (r.mode == "sharded") sharded_ops = r.ops_per_sec();
+    if (sharded_ops < min_sharded_ops) {
+      std::fprintf(stderr, "FAIL: sharded mode %.0f ops/s below floor %.0f\n",
+                   sharded_ops, min_sharded_ops);
+      return 1;
+    }
+    std::printf("sharded mode sustains %.0f ops/s (floor %.0f): OK\n",
+                sharded_ops, min_sharded_ops);
+  }
+
+  // Release-bench CI passes --min-sharded-speedup=1.0 on the same >= 4-core
+  // condition: shard-owner workers with no locks must never lose to the
+  // striped-lock table on the same workload.
+  const double min_sharded_speedup = args.get_double("min-sharded-speedup", 0);
+  if (min_sharded_speedup > 0) {
+    double table_ops = 0, sharded_ops = 0;
+    for (const ModeResult& r : runs) {
+      if (r.mode == "table") table_ops = r.ops_per_sec();
+      if (r.mode == "sharded") sharded_ops = r.ops_per_sec();
+    }
+    if (table_ops <= 0 || sharded_ops <= 0) {
+      std::fprintf(stderr,
+                   "FAIL: --min-sharded-speedup needs both the table and the "
+                   "sharded modes in --modes\n");
+      return 1;
+    }
+    const double speedup = sharded_ops / table_ops;
+    if (speedup < min_sharded_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: sharded %.0f ops/s is only %.2fx table %.0f ops/s "
+                   "(floor %.2fx)\n",
+                   sharded_ops, speedup, table_ops, min_sharded_speedup);
+      return 1;
+    }
+    std::printf("sharded sustains %.2fx table throughput (floor %.2fx): OK\n",
+                speedup, min_sharded_speedup);
   }
 
   // Release-bench CI passes --min-pipeline-speedup=1: the async pipelined

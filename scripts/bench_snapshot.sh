@@ -5,16 +5,21 @@
 #  - BENCH_engine.json: wall-clock times for the figure-driver smokes that
 #    stress the engine hot paths, plus (when the Google-Benchmark binary was
 #    built) the engine micro-benchmarks: select_peer, event queue push/pop,
-#    churn toggles.
+#    churn toggles, MPSC op-queue push/pop and cross-thread hand-off, and
+#    the shard-engine op round trip.
 #  - BENCH_service.json: the tokend service load generator (service_load
 #    --quick): acquire throughput and latency percentiles over 1M+ Zipf-
 #    distributed keys, raw / batched / open-loop / wire-protocol, plus the
 #    paired single-TCP-connection sync and pipelined closed loops (v2 async
 #    client, pipelined ops/s + p99 recorded) and the tokad cluster pair
 #    (1-node vs 3-node in-proc cluster, cluster micro numbers included via
-#    the HashRing micro-benchmarks). Also enforces the 100k acquire-ops/s
-#    floor, the pipelined >= sync floor, and the 3-node >= 1.5x 1-node
-#    cluster scale-out floor on CI hardware.
+#    the HashRing micro-benchmarks), and the shard-per-thread plane pair
+#    (sharded: batches straight into the ShardEngine; epoll: pipelined
+#    clients over the nonblocking event-loop mesh into an engine-mode
+#    server), each with shard-queue depth percentiles. Also enforces the
+#    100k acquire-ops/s floor, the pipelined >= sync floor, the 3-node
+#    >= 1.5x 1-node cluster scale-out floor, and (on >= 4 cores) the
+#    sharded-plane absolute and vs-table floors.
 #
 # Usage: bench_snapshot.sh [build-dir] [engine.json] [service.json] [scrape.txt]
 # CI uploads the outputs as artifacts per commit.
@@ -55,7 +60,7 @@ fig3_ms=$(time_ms "$build_dir/fig3_trace" --quick)
 micro_json=null
 if [ -x "$build_dir/micro_bench" ]; then
   "$build_dir/micro_bench" \
-      --benchmark_filter='BM_(SelectPeer|EventQueue|ChurnToggle|SimulatorThroughput|Protocol|ServiceRoundTrip|HashRing)' \
+      --benchmark_filter='BM_(SelectPeer|EventQueue|ChurnToggle|SimulatorThroughput|Protocol|ServiceRoundTrip|HashRing|MpscQueue|ShardOp)' \
       --benchmark_out="$tmpdir/micro.json" --benchmark_out_format=json \
       > /dev/null 2>&1
   micro_json=$(cat "$tmpdir/micro.json")
@@ -92,23 +97,35 @@ echo "wrote $out (fig4_scale --quick: ${fig4_ms} ms)"
 # or two cores and the ratio measures the scheduler, not the sharding —
 # so below 4 cores the floor is dropped and a warning printed instead of
 # a hard failure. CI keeps the hard floor.
+#
+# The sharded floors follow the same rule: the shard-per-thread plane
+# (--min-sharded-ops absolute, --min-sharded-speedup vs the striped-lock
+# table mode) only shows its parallelism when the owner workers get their
+# own cores — on one or two cores the workers time-slice against the
+# submitters and the ratio measures the scheduler.
 cpus=$(nproc 2>/dev/null || echo 1)
 if [ "$cpus" -ge 4 ]; then
   cluster_floor="--min-cluster-speedup=1.5"
+  sharded_floor="--min-sharded-ops=250000 --min-sharded-speedup=1.0"
 else
   cluster_floor=""
+  sharded_floor=""
   echo "WARN: only ${cpus} core(s); skipping the cluster scale-out floor" \
        "(needs >= 4 cores to measure sharding, not scheduling)" >&2
+  echo "WARN: only ${cpus} core(s); skipping the sharded-plane floors" \
+       "(shard-owner workers need their own cores)" >&2
 fi
-# shellcheck disable=SC2086  # $cluster_floor is intentionally unquoted
+# shellcheck disable=SC2086  # the floor vars are intentionally unquoted
 "$build_dir/service_load" --quick --json="$service_out" \
     --scrape-out="$scrape_out" \
     --min-table-ops=100000 --min-pipeline-speedup=1.0 \
-    $cluster_floor > /dev/null
+    $cluster_floor $sharded_floor > /dev/null
 acquire_ops=$(sed -n 's/.*"acquire_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
+sharded_ops=$(sed -n 's/.*"sharded_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
 pipeline_ops=$(sed -n 's/.*"pipeline_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
+epoll_ops=$(sed -n 's/.*"epoll_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
 cluster_x=$(sed -n 's/.*"cluster_speedup": \([0-9.]*\).*/\1/p' "$service_out")
 shed=$(sed -n 's/.*"overload_shed": \([0-9]*\).*/\1/p' "$service_out")
 served=$(sed -n 's/.*"overload_served": \([0-9]*\).*/\1/p' "$service_out")
-echo "wrote $service_out (table: ${acquire_ops} ops/s, pipelined wire: ${pipeline_ops} ops/s, 3-node cluster: ${cluster_x}x one node, overload served/shed: ${served:-0}/${shed:-0})"
+echo "wrote $service_out (table: ${acquire_ops} ops/s, sharded: ${sharded_ops:-0} ops/s, pipelined wire: ${pipeline_ops} ops/s, epoll wire: ${epoll_ops:-0} ops/s, 3-node cluster: ${cluster_x}x one node, overload served/shed: ${served:-0}/${shed:-0})"
 echo "wrote $scrape_out (overload-run Prometheus exposition)"

@@ -1,0 +1,67 @@
+// Nonblocking epoll mesh transport: the event-loop replacement for
+// TcpMesh's thread-per-connection reader model, speaking the identical
+// wire format (u32 payload length LE, u32 sender id LE, payload) on the
+// identical mesh topology (every node listens on loopback; sends go over
+// your own outgoing connection to the peer's listener, replies arrive on
+// the peer's outgoing connection to yours).
+//
+// Each endpoint runs `io_threads` event loops (default 1). A loop owns a
+// set of connections: edge-triggered nonblocking reads drain the socket
+// into a FrameDecoder — one recv can surface dozens of pipelined frames,
+// all decoded and delivered without another syscall — and handler replies
+// issued on the loop thread are *corked*: appended to the destination
+// connection's buffer and flushed with one write per connection per loop
+// iteration. Adaptive by construction: a lone request's reply flushes
+// immediately (the iteration ends), a pipelined burst's replies coalesce.
+// Cross-thread sends enqueue under the connection's buffer lock and wake
+// the owning loop via eventfd; partial writes arm EPOLLOUT and resume when
+// the socket drains. Accept errors (EMFILE et al) back the acceptor off
+// instead of killing it — the listener is level-triggered, so retry is
+// free.
+//
+// One loop multiplexing every peer replaces 2x peers reader threads, which
+// is what lets a tokend node pair one IO thread with shard-owner workers
+// (service::ShardEngine) instead of drowning in thread context switches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/transport.hpp"
+#include "util/types.hpp"
+
+namespace toka::runtime {
+
+class EpollMesh {
+ public:
+  /// Binds `node_count` loopback listeners with ephemeral ports and starts
+  /// `io_threads` event loops per endpoint. Throws util::IoError on socket
+  /// failures.
+  explicit EpollMesh(std::size_t node_count, std::size_t io_threads = 1);
+
+  /// Closes sockets and joins all loops.
+  ~EpollMesh();
+
+  EpollMesh(const EpollMesh&) = delete;
+  EpollMesh& operator=(const EpollMesh&) = delete;
+
+  std::size_t node_count() const { return endpoints_.size(); }
+  Transport& endpoint(NodeId id);
+
+  /// Port the given node listens on (for diagnostics and raw-socket tests).
+  std::uint16_t port_of(NodeId id) const;
+
+  /// Kills one node: closes its listener and every connection, joins its
+  /// loops. Peers observe the close and fire their peer-down handlers;
+  /// later sends to it fail fast and fire them too. Idempotent — the same
+  /// fault-injection hook TcpMesh gives the cluster churn tests.
+  void shutdown_endpoint(NodeId id);
+
+ private:
+  class Endpoint;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace toka::runtime

@@ -7,11 +7,15 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <shared_mutex>
+#include <span>
 
+#include "runtime/framing.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -52,17 +56,6 @@ class Fd {
   int fd_ = -1;
 };
 
-bool read_exact(int fd, void* buf, std::size_t n) {
-  auto* p = static_cast<std::uint8_t*>(buf);
-  while (n > 0) {
-    const ssize_t got = ::recv(fd, p, n, 0);
-    if (got <= 0) return false;  // EOF or error: connection is done
-    p += got;
-    n -= static_cast<std::size_t>(got);
-  }
-  return true;
-}
-
 bool write_exact(int fd, const void* buf, std::size_t n) {
   const auto* p = static_cast<const std::uint8_t*>(buf);
   while (n > 0) {
@@ -101,8 +94,6 @@ bool write_frame(int fd, const std::uint8_t (&header)[8],
   return write_exact(fd, payload + (done - sizeof header),
                      len - (done - sizeof header));
 }
-
-constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity limit
 
 }  // namespace
 
@@ -243,9 +234,27 @@ class TcpMesh::Endpoint final : public Transport {
 
  private:
   void accept_loop() {
+    int backoff_ms = 1;
     for (;;) {
       const int conn = ::accept(listen_fd_.get(), nullptr, nullptr);
-      if (conn < 0) return;  // socket closed: shutting down
+      if (conn < 0) {
+        if (stopping_.load()) return;  // socket shut down: exiting
+        const int err = errno;
+        // Transient failures must not kill the acceptor — before this
+        // classification existed, one EMFILE burst silently turned the
+        // endpoint deaf forever. EINTR/ECONNABORTED just retry; resource
+        // exhaustion backs off (bounded, doubling to 100ms) while pending
+        // connections wait in the listen backlog.
+        if (err == EINTR || err == ECONNABORTED) continue;
+        if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+            err == ENOMEM) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+          backoff_ms = std::min(backoff_ms * 2, 100);
+          continue;
+        }
+        return;  // unexpected fatal listener error
+      }
+      backoff_ms = 1;
       std::lock_guard lock(reader_mutex_);
       readers_.emplace(conn, std::thread([this, conn] { read_loop(conn); }));
     }
@@ -300,56 +309,33 @@ class TcpMesh::Endpoint final : public Transport {
   }
 
   void read_frames(int fd, NodeId& peer) {
-    // Buffered framing: one recv() pulls whatever the kernel has queued —
-    // under pipelining that is dozens of frames — and the parse loop
-    // delivers them all without touching the socket again. Handler sends
-    // issued during the burst are corked and leave as one write per peer
-    // when the burst ends: the send-side half of the pipelined fast path.
+    // Buffered framing through the shared FrameDecoder — the same codec
+    // the epoll loops run, so segmentation behaviour is identical on both
+    // transports. One recv() pulls whatever the kernel has queued — under
+    // pipelining that is dozens of frames — and drain() delivers them all
+    // without touching the socket again. Handler sends issued during the
+    // burst are corked and leave as one write per peer when the burst
+    // ends: the send-side half of the pipelined fast path.
     CorkScope cork_scope(this);
-    std::vector<std::uint8_t> buf(64 * 1024);
-    std::size_t have = 0;  // valid bytes at buf[0..have)
+    FrameDecoder decoder;
     for (;;) {
-      std::size_t used = 0;
-      while (have - used >= 8) {
-        const std::uint8_t* header = buf.data() + used;
-        std::uint32_t len = 0, from = 0;
-        for (int i = 0; i < 4; ++i)
-          len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
-        for (int i = 0; i < 4; ++i)
-          from |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
-        if (len > kMaxFrame) return;  // corrupt stream
-        peer = static_cast<NodeId>(from);
-        std::vector<std::byte> payload(len);
-        if (have - used - 8 >= len) {
-          // Frame fully buffered: deliver straight out of the buffer.
-          std::memcpy(payload.data(), buf.data() + used + 8, len);
-          used += 8 + len;
-        } else {
-          // Header buffered but the body still (partly) on the wire: copy
-          // what is here, flush anything corked (the tail read may block),
-          // then finish byte-precise.
-          const std::size_t got = have - used - 8;
-          std::memcpy(payload.data(), buf.data() + used + 8, got);
-          flush_cork(cork_scope.cork);
-          if (!read_exact(fd, payload.data() + got, len - got)) return;
-          used = have;
-        }
-        // Deliver under a shared lock: readers stay concurrent with each
-        // other, but set_handler's exclusive lock waits them out.
-        std::shared_lock lock(handler_mutex_);
-        if (handler_ && !stopping_.load()) handler_(from, std::move(payload));
-      }
-      // Compact the partial header (at most 7 bytes) to the front.
-      if (used > 0) {
-        std::memmove(buf.data(), buf.data() + used, have - used);
-        have -= used;
-      }
-      // The burst is parsed; replies leave (one write per peer) before
-      // this thread blocks on the socket again.
+      // The previous burst is parsed; replies leave (one write per peer)
+      // before this thread blocks on the socket again.
       flush_cork(cork_scope.cork);
-      const ssize_t got = ::recv(fd, buf.data() + have, buf.size() - have, 0);
+      const std::span<std::uint8_t> buf = decoder.writable(16 * 1024);
+      const ssize_t got = ::recv(fd, buf.data(), buf.size(), 0);
       if (got <= 0) return;  // EOF or error: connection is done
-      have += static_cast<std::size_t>(got);
+      decoder.commit(static_cast<std::size_t>(got));
+      const bool ok =
+          decoder.drain([&](NodeId from, std::vector<std::byte> payload) {
+            peer = from;
+            // Deliver under a shared lock: readers stay concurrent with
+            // each other, but set_handler's exclusive lock waits them out.
+            std::shared_lock lock(handler_mutex_);
+            if (handler_ && !stopping_.load())
+              handler_(from, std::move(payload));
+          });
+      if (!ok) return;  // corrupt stream: length past kMaxFrameBytes
     }
   }
 

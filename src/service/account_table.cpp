@@ -111,7 +111,7 @@ bool AccountTable::configure_namespace(NamespaceId ns,
 
 void AccountTable::purge_namespace(NamespaceId ns) {
   for (auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    ShardGuard lock(*this, *shard);
     const std::size_t removed = std::erase_if(
         shard->accounts,
         [&](const auto& kv) { return kv.first.ns == ns; });
@@ -142,7 +142,7 @@ std::optional<NamespaceInfo> AccountTable::namespace_info(
   info.config = nsp->config;
   info.capacity = nsp->capacity;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    ShardGuard lock(*this, *shard);
     for (const auto& [key, entry] : shard->accounts) {
       if (key.ns == ns) ++info.accounts;
     }
@@ -278,7 +278,7 @@ AcquireResult AccountTable::acquire(NamespaceId ns, std::uint64_t key,
   // capacity all come out of this one registry lookup.
   const std::shared_ptr<const Namespace> nsp = resolve(ns);
   Shard& shard = shard_for(ns, key);
-  std::lock_guard lock(shard.mu);
+  ShardGuard lock(*this, shard);
   // Read the clock only while holding the shard lock: lock ordering plus
   // atomic read coherence then guarantee non-decreasing times per account,
   // which settle()'s bookkeeping and the auditor's record() rely on.
@@ -292,7 +292,7 @@ RefundResult AccountTable::refund(NamespaceId ns, std::uint64_t key,
   TOKA_CHECK_MSG(n >= 0, "refund requires n >= 0, got " << n);
   resolve(ns);  // reject unknown namespaces before touching the shard
   Shard& shard = shard_for(ns, key);
-  std::lock_guard lock(shard.mu);
+  ShardGuard lock(*this, shard);
   const TimeUs now = clock_.now_us();
   TableStats& stats = stats_for(shard, ns);
   ++stats.refunds;
@@ -333,7 +333,7 @@ RefundResult AccountTable::refund(NamespaceId ns, std::uint64_t key,
 QueryResult AccountTable::query(NamespaceId ns, std::uint64_t key) {
   resolve(ns);  // reject unknown namespaces before touching the shard
   Shard& shard = shard_for(ns, key);
-  std::lock_guard lock(shard.mu);
+  ShardGuard lock(*this, shard);
   const TimeUs now = clock_.now_us();
   ++stats_for(shard, ns).queries;
   auto it = shard.accounts.find(AccountKey{ns, key});
@@ -361,7 +361,7 @@ std::vector<AcquireResult> AccountTable::acquire_batch(
   while (i < order.size()) {
     const std::uint32_t shard_idx = order[i].first;
     Shard& shard = *shards_[shard_idx];
-    std::lock_guard lock(shard.mu);
+    ShardGuard lock(*this, shard);
     // Clock read under the shard lock, as in acquire(): keeps per-account
     // times non-decreasing across concurrent batches.
     const TimeUs now = clock_.now_us();
@@ -377,40 +377,46 @@ std::vector<AcquireResult> AccountTable::acquire_batch(
 
 std::size_t AccountTable::evict_idle() {
   if (min_idle_ttl_us() == 0) return 0;
-  const TimeUs now = clock_.now_us();
   std::size_t evicted = 0;
-  for (auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
-    std::size_t removed_here = 0;
-    for (auto it = shard->accounts.begin(); it != shard->accounts.end();) {
-      const TimeUs ttl = it->second.ns->config.idle_ttl_us;
-      const TimeUs idle = now - it->second.last_access_us;
-      // A nonzero banked balance earns a grace window up to 2x the TTL:
-      // evicting at the TTL would drop the account — and with it any
-      // refund still in flight for its outstanding grants — the moment it
-      // goes quiet. The balance read is the unsettled banked value, which
-      // only errs on the side of keeping the account.
-      const bool expired =
-          ttl > 0 && idle >= ttl &&
-          (it->second.account.balance() == 0 || idle >= 2 * ttl);
-      if (expired) {
-        ++stats_for(*shard, it->first.ns).accounts_evicted;
-        it = shard->accounts.erase(it);
-        ++removed_here;
-      } else {
-        ++it;
-      }
-    }
-    evicted += removed_here;
-  }
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    evicted += evict_idle_shard(i);
   return evicted;
+}
+
+std::size_t AccountTable::evict_idle_shard(std::size_t shard_idx) {
+  TOKA_CHECK_MSG(shard_idx < shards_.size(),
+                 "shard index " << shard_idx << " out of range");
+  Shard& shard = *shards_[shard_idx];
+  const TimeUs now = clock_.now_us();
+  ShardGuard lock(*this, shard);
+  std::size_t removed_here = 0;
+  for (auto it = shard.accounts.begin(); it != shard.accounts.end();) {
+    const TimeUs ttl = it->second.ns->config.idle_ttl_us;
+    const TimeUs idle = now - it->second.last_access_us;
+    // A nonzero banked balance earns a grace window up to 2x the TTL:
+    // evicting at the TTL would drop the account — and with it any
+    // refund still in flight for its outstanding grants — the moment it
+    // goes quiet. The balance read is the unsettled banked value, which
+    // only errs on the side of keeping the account.
+    const bool expired =
+        ttl > 0 && idle >= ttl &&
+        (it->second.account.balance() == 0 || idle >= 2 * ttl);
+    if (expired) {
+      ++stats_for(shard, it->first.ns).accounts_evicted;
+      it = shard.accounts.erase(it);
+      ++removed_here;
+    } else {
+      ++it;
+    }
+  }
+  return removed_here;
 }
 
 std::vector<AccountExport> AccountTable::extract_if(
     const std::function<bool(NamespaceId, std::uint64_t)>& should_extract) {
   std::vector<AccountExport> out;
   for (auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    ShardGuard lock(*this, *shard);
     for (auto it = shard->accounts.begin(); it != shard->accounts.end();) {
       if (should_extract(it->first.ns, it->first.key)) {
         // Only the banked balance travels; unsettled elapsed ticks are
@@ -439,7 +445,7 @@ bool AccountTable::install_account(NamespaceId ns, std::uint64_t key,
     nsp = it->second;
   }
   Shard& shard = shard_for(ns, key);
-  std::lock_guard lock(shard.mu);
+  ShardGuard lock(*this, shard);
   while (nsp->retired.load(std::memory_order_acquire)) nsp = resolve(ns);
   const AccountKey account_key{ns, key};
   if (shard.accounts.contains(account_key)) return false;  // never duplicate
@@ -467,7 +473,7 @@ bool AccountTable::install_account(NamespaceId ns, std::uint64_t key,
 std::size_t AccountTable::account_count() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    ShardGuard lock(*this, *shard);
     total += shard->accounts.size();
   }
   return total;
@@ -478,7 +484,7 @@ std::vector<AccountTable::HotKey> AccountTable::hot_keys(std::size_t n) const {
   // shard, so this is a concatenation, not a sum).
   std::vector<HotKey> all;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    ShardGuard lock(*this, *shard);
     for (const obs::SpaceSaving::HeavyHitter& h : shard->hot.top())
       all.push_back(HotKey{h.item, h.count});
   }
@@ -509,7 +515,7 @@ void TableStats::merge(const TableStats& other) {
 TableStats AccountTable::stats() const {
   TableStats out;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    ShardGuard lock(*this, *shard);
     for (const auto& [ns, stats] : shard->stats) out.merge(stats);
     out.accounts += shard->accounts.size();
   }
@@ -519,7 +525,7 @@ TableStats AccountTable::stats() const {
 TableStats AccountTable::stats(NamespaceId ns) const {
   TableStats out;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    ShardGuard lock(*this, *shard);
     auto it = shard->stats.find(ns);
     if (it != shard->stats.end()) out.merge(it->second);
     for (const auto& [key, entry] : shard->accounts) {
@@ -531,7 +537,7 @@ TableStats AccountTable::stats(NamespaceId ns) const {
 
 std::optional<std::string> AccountTable::audit_violation() const {
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    ShardGuard lock(*this, *shard);
     for (const auto& [key, entry] : shard->accounts) {
       if (!entry.auditor) continue;
       if (auto v = entry.auditor->first_violation()) {
@@ -585,7 +591,11 @@ void ClockDriver::loop() {
                                .count();
     table_->clock().advance_to(elapsed);
     // The min TTL is re-read every tick: namespaces created at runtime with
-    // a TTL start getting sweeps without a driver restart.
+    // a TTL start getting sweeps without a driver restart. In
+    // exclusive_shards mode the sweep is the shard owners' job (the
+    // ShardEngine workers evict their own shards) — a driver sweep here
+    // would race them, so the driver only advances the clock.
+    if (table_->config().exclusive_shards) continue;
     const TimeUs ttl = table_->min_idle_ttl_us();
     if (ttl > 0 && elapsed >= next_evict) {
       lock.unlock();  // sweeps take shard locks; don't hold ours across them

@@ -133,6 +133,14 @@ struct ServiceConfig {
   Tokens max_catchup_ticks = 0;
   /// Default namespace: §3.4 audit switch (tests only).
   bool audit = false;
+  /// Shard-per-thread mode: every shard has exactly one accessor by
+  /// construction (its owner worker in a service::ShardEngine, or an admin
+  /// path running with all workers parked), so the per-shard mutex is
+  /// skipped entirely on the data path. The caller owns the discipline —
+  /// concurrent access to one shard in this mode is a data race. The
+  /// locked and exclusive modes execute the same code, so grant/audit
+  /// semantics are byte-identical.
+  bool exclusive_shards = false;
 
   /// The default namespace's policy as a NamespaceConfig.
   NamespaceConfig default_namespace() const {
@@ -289,6 +297,18 @@ class AccountTable {
   /// Returns the number evicted.
   std::size_t evict_idle();
 
+  /// Sweeps exactly one shard (same TTL/grace rules as evict_idle). The
+  /// shard-per-thread engine's workers use this to evict their own shards
+  /// without touching anyone else's. Returns the number evicted.
+  std::size_t evict_idle_shard(std::size_t shard_idx);
+
+  /// The shard a (namespace, key) pair lives in — the routing function the
+  /// shard-per-thread engine uses to pick an owner worker. Stable for the
+  /// table's lifetime.
+  std::size_t shard_of(NamespaceId ns, std::uint64_t key) const {
+    return shard_index(ns, key);
+  }
+
   // ------------------------------------------------------ cluster handoff
 
   /// Atomically removes every account for which `should_extract(ns, key)`
@@ -395,6 +415,27 @@ class AccountTable {
     /// account ids), updated under the shard lock — a k-slot scan per
     /// acquire.
     obs::SpaceSaving hot{8};
+  };
+
+  /// Scoped shard access: takes the shard mutex in the default striped-
+  /// lock mode, and is a no-op in exclusive_shards mode (see
+  /// ServiceConfig::exclusive_shards — the caller guarantees single
+  /// accessor per shard there). Every shard touch goes through this guard,
+  /// so both modes run the exact same data-path code.
+  class ShardGuard {
+   public:
+    ShardGuard(const AccountTable& table, const Shard& shard)
+        : mu_(table.config_.exclusive_shards ? nullptr : &shard.mu) {
+      if (mu_ != nullptr) mu_->lock();
+    }
+    ~ShardGuard() {
+      if (mu_ != nullptr) mu_->unlock();
+    }
+    ShardGuard(const ShardGuard&) = delete;
+    ShardGuard& operator=(const ShardGuard&) = delete;
+
+   private:
+    std::mutex* mu_;
   };
 
   /// Builds and validates the runtime namespace object (throws

@@ -23,15 +23,34 @@ double elapsed_us(std::chrono::steady_clock::time_point t0) {
              std::chrono::steady_clock::now() - t0)
       .count();
 }
+
+/// Retry hint for ops bounced off a full shard-owner queue when the
+/// admission valve is disabled: a full queue drains in well under this.
+constexpr TimeUs kQueueFullRetryUs = 100;
 }  // namespace
+
+/// Heap context carried through a ShardEngine completion: everything the
+/// worker needs to encode and send the reply from its own thread.
+struct Server::Pending {
+  Server* server = nullptr;
+  NodeId from = 0;
+  std::uint64_t id = 0;
+  std::uint8_t version = protocol::kProtocolVersion;
+  std::chrono::steady_clock::time_point t0{};
+};
 
 Server::Server(AccountTable& table, runtime::Transport& transport,
                ServerOptions options)
     : table_(&table),
       transport_(&transport),
+      engine_(options.engine),
       registry_(options.registry),
       admission_(options.admission),
       timed_(options.registry != nullptr || options.admission.enabled) {
+  if (engine_ != nullptr) {
+    TOKA_CHECK_MSG(&engine_->table() == table_,
+                   "ServerOptions::engine must run on the server's table");
+  }
   if (registry_) register_metrics();
   transport_->set_handler([this](NodeId from, std::vector<std::byte> payload) {
     on_frame(from, std::move(payload));
@@ -40,8 +59,11 @@ Server::Server(AccountTable& table, runtime::Transport& transport,
 
 Server::~Server() {
   // Quiesce first: once the handler is detached no request thread can
-  // still be recording into the histogram the unregistration frees.
+  // still be recording into the histogram the unregistration frees. With
+  // an engine attached, also wait out queued ops — their completions send
+  // through transport_ and record into latency_.
   transport_->set_handler({});
+  if (engine_ != nullptr) engine_->drain();
   if (registry_) {
     for (const std::string& name : metric_names_) registry_->remove(name);
   }
@@ -68,8 +90,8 @@ void Server::register_metrics() {
   registry_->gauge(add("tokend_namespaces"), [t = table_] {
     return static_cast<double>(t->namespace_count());
   });
-  registry_->gauge(add("tokend_accounts"), [t = table_] {
-    return static_cast<double>(t->account_count());
+  registry_->gauge(add("tokend_accounts"), [this] {
+    return static_cast<double>(swept_account_count());
   });
   // The admission bucket doubles as the queue-depth proxy: `used` is how
   // much of the current interval's budget the arrival stream has consumed.
@@ -81,23 +103,24 @@ void Server::register_metrics() {
   });
   registry_->gauge(add("tokend_service_time_ewma_us"),
                    [this] { return admission_.ewma_service_us(); });
-  // Table counters come from one stats() sweep per metric read; scrapes
-  // are rare enough that the simplicity wins.
-  registry_->counter_fn(add("tokend_acquires"), [t = table_] {
-    return static_cast<double>(t->stats().acquires);
+  // Table counters come from one stats() sweep per metric read (quiesced
+  // when a shard engine owns the table); scrapes are rare enough that the
+  // simplicity wins.
+  registry_->counter_fn(add("tokend_acquires"), [this] {
+    return static_cast<double>(swept_stats().acquires);
   });
-  registry_->counter_fn(add("tokend_tokens_granted"), [t = table_] {
-    return static_cast<double>(t->stats().tokens_granted);
+  registry_->counter_fn(add("tokend_tokens_granted"), [this] {
+    return static_cast<double>(swept_stats().tokens_granted);
   });
-  registry_->counter_fn(add("tokend_refunds_dropped"), [t = table_] {
-    return static_cast<double>(t->stats().refunds_dropped);
+  registry_->counter_fn(add("tokend_refunds_dropped"), [this] {
+    return static_cast<double>(swept_stats().refunds_dropped);
   });
-  registry_->counter_fn(add("tokend_accounts_evicted"), [t = table_] {
-    return static_cast<double>(t->stats().accounts_evicted);
+  registry_->counter_fn(add("tokend_accounts_evicted"), [this] {
+    return static_cast<double>(swept_stats().accounts_evicted);
   });
-  registry_->gauge(add("tokend_hot_key_share"), [t = table_] {
-    const auto top = t->hot_keys(1);
-    const std::uint64_t acquires = t->stats().acquires;
+  registry_->gauge(add("tokend_hot_key_share"), [this] {
+    const auto top = swept_hot_keys(1);
+    const std::uint64_t acquires = swept_stats().acquires;
     if (top.empty() || acquires == 0) return 0.0;
     return static_cast<double>(top.front().count) /
            static_cast<double>(acquires);
@@ -107,9 +130,28 @@ void Server::register_metrics() {
   });
 }
 
+TableStats Server::swept_stats() const {
+  if (engine_ != nullptr)
+    return engine_->quiesced([this] { return table_->stats(); });
+  return table_->stats();
+}
+
+std::size_t Server::swept_account_count() const {
+  if (engine_ != nullptr)
+    return engine_->quiesced([this] { return table_->account_count(); });
+  return table_->account_count();
+}
+
+std::vector<AccountTable::HotKey> Server::swept_hot_keys(
+    std::size_t n) const {
+  if (engine_ != nullptr)
+    return engine_->quiesced([this, n] { return table_->hot_keys(n); });
+  return table_->hot_keys(n);
+}
+
 std::int64_t Server::batch_hint() const {
-  const auto top = table_->hot_keys(1);
-  const std::uint64_t acquires = table_->stats().acquires;
+  const auto top = swept_hot_keys(1);
+  const std::uint64_t acquires = swept_stats().acquires;
   if (top.empty() || acquires < 64) return 1;
   const double share = static_cast<double>(top.front().count) /
                        static_cast<double>(acquires);
@@ -181,6 +223,15 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
     return;
   }
 
+  // Shard-per-thread plane: hand the decoded op to its owner worker and
+  // return — the reply is sent from the worker's completion. Admin,
+  // cluster and stats requests stay on this thread (they quiesce the
+  // engine where they sweep the table).
+  if (engine_ != nullptr && is_data_op) {
+    dispatch_engine(from, std::move(request), version, t0);
+    return;
+  }
+
   proto::Response response = std::visit(
       Overloaded{
           [&](const proto::AcquireRequest& r) -> proto::Response {
@@ -203,8 +254,15 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
           },
           [&](const proto::ConfigureNamespaceRequest& r) -> proto::Response {
             try {
+              // Reconfiguring can purge the namespace's accounts — a
+              // whole-table sweep, so it quiesces the engine when one owns
+              // the shards.
               const bool created =
-                  table_->configure_namespace(r.ns, r.config);
+                  engine_ != nullptr
+                      ? engine_->quiesced([&] {
+                          return table_->configure_namespace(r.ns, r.config);
+                        })
+                      : table_->configure_namespace(r.ns, r.config);
               return proto::ConfigureNamespaceResponse{
                   r.id, created, table_->capacity_bound(r.ns)};
             } catch (const util::InvariantError&) {
@@ -215,7 +273,12 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
           [&](const proto::NamespaceInfoRequest& r) -> proto::Response {
             proto::NamespaceInfoResponse resp;
             resp.id = r.id;
-            if (const auto info = table_->namespace_info(r.ns)) {
+            const auto info =
+                engine_ != nullptr
+                    ? engine_->quiesced(
+                          [&] { return table_->namespace_info(r.ns); })
+                    : table_->namespace_info(r.ns);
+            if (info) {
               resp.exists = true;
               resp.config = info->config;
               resp.capacity = info->capacity;
@@ -280,6 +343,127 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
     if (latency_) latency_->observe(us);
     if (admission_.enabled()) admission_.record_service_time_us(us);
   }
+}
+
+void Server::dispatch_engine(NodeId from, protocol::Request&& request,
+                             std::uint8_t version,
+                             std::chrono::steady_clock::time_point t0) {
+  namespace proto = protocol;
+  const std::uint64_t id = proto::request_id(request);
+
+  if (auto* batch = std::get_if<proto::BatchAcquireRequest>(&request)) {
+    auto pending = std::make_unique<Pending>();
+    *pending = Pending{this, from, id, version, t0};
+    if (!engine_->submit_batch(batch->ns, std::move(batch->ops),
+                               &Server::complete_engine_batch,
+                               pending.get())) {
+      shed_queue_full(from, id);
+      return;  // pending frees; nothing was enqueued
+    }
+    pending.release();  // owned by the completion now
+    return;
+  }
+
+  ShardOp op;
+  std::visit(Overloaded{
+                 [&](const proto::AcquireRequest& r) {
+                   op.kind = ShardOp::Kind::kAcquire;
+                   op.ns = r.ns;
+                   op.key = r.key;
+                   op.tokens = r.tokens;
+                 },
+                 [&](const proto::RefundRequest& r) {
+                   op.kind = ShardOp::Kind::kRefund;
+                   op.ns = r.ns;
+                   op.key = r.key;
+                   op.tokens = r.tokens;
+                 },
+                 [&](const proto::QueryRequest& r) {
+                   op.kind = ShardOp::Kind::kQuery;
+                   op.ns = r.ns;
+                   op.key = r.key;
+                 },
+                 [](const auto&) {},  // unreachable: is_data_op gated
+             },
+             request);
+  auto pending = std::make_unique<Pending>();
+  *pending = Pending{this, from, id, version, t0};
+  op.done = &Server::complete_engine_op;
+  op.ctx = pending.get();
+  if (!engine_->try_submit(std::move(op))) {
+    shed_queue_full(from, id);
+    return;  // pending frees; nothing was enqueued
+  }
+  pending.release();  // owned by the completion now
+}
+
+void Server::complete_engine_op(ShardOp& op, void* ctx) {
+  namespace proto = protocol;
+  std::unique_ptr<Pending> p(static_cast<Pending*>(ctx));
+  proto::Response response;
+  if (!op.ok) {
+    // Rejected before touching an account (invalid arguments; the
+    // namespace precheck already ran on the IO thread and namespaces are
+    // never deleted).
+    response = proto::ErrorResponse{p->id, proto::ErrorCode::kMalformedBody};
+  } else {
+    switch (op.kind) {
+      case ShardOp::Kind::kAcquire:
+        response = proto::AcquireResponse{p->id, op.out_a, op.out_b};
+        break;
+      case ShardOp::Kind::kRefund:
+        response = proto::RefundResponse{p->id, op.out_a, op.out_b};
+        break;
+      case ShardOp::Kind::kQuery:
+        response = proto::QueryResponse{p->id, op.out_a, op.out_b != 0};
+        break;
+      case ShardOp::Kind::kBatchGroup:
+        return;  // unreachable: batches complete via complete_engine_batch
+    }
+  }
+  p->server->finish_engine_reply(p->from, response, p->version, p->t0);
+}
+
+void Server::complete_engine_batch(EngineBatch& batch, void* ctx) {
+  namespace proto = protocol;
+  std::unique_ptr<Pending> p(static_cast<Pending*>(ctx));
+  proto::BatchAcquireResponse resp;
+  resp.id = p->id;
+  resp.results = std::move(batch.results);
+  p->server->finish_engine_reply(p->from, resp, p->version, p->t0);
+}
+
+void Server::finish_engine_reply(NodeId from,
+                                 const protocol::Response& response,
+                                 std::uint8_t version,
+                                 std::chrono::steady_clock::time_point t0) {
+  namespace proto = protocol;
+  const bool is_error = std::holds_alternative<proto::ErrorResponse>(response);
+  if (is_error) {
+    errored_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    served_.fetch_add(1, std::memory_order_relaxed);
+  }
+  transport_->send(from, proto::encode(response, is_error
+                                                     ? proto::kProtocolVersion
+                                                     : version));
+  if (timed_) {
+    // Queue wait counts as service time on purpose: it is exactly the
+    // signal the adaptive admission valve needs to see overload early.
+    const double us = elapsed_us(t0);
+    if (latency_) latency_->observe(us);
+    if (admission_.enabled()) admission_.record_service_time_us(us);
+  }
+}
+
+void Server::shed_queue_full(NodeId from, std::uint64_t id) {
+  namespace proto = protocol;
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  const TimeUs now = table_->clock().now_us();
+  const TimeUs retry = admission_.enabled() ? admission_.retry_after_us(now)
+                                            : kQueueFullRetryUs;
+  transport_->send(from, proto::encode(proto::ErrorResponse{
+                             id, proto::ErrorCode::kOverloaded, retry}));
 }
 
 }  // namespace toka::service

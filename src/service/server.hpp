@@ -34,6 +34,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -42,6 +43,8 @@
 #include "obs/telemetry.hpp"
 #include "runtime/transport.hpp"
 #include "service/account_table.hpp"
+#include "service/protocol.hpp"
+#include "service/shard_engine.hpp"
 #include "util/types.hpp"
 
 namespace toka::service {
@@ -52,6 +55,14 @@ struct ServerOptions {
   obs::Registry* registry = nullptr;
   /// Overload valve; disabled by default (never sheds).
   obs::AdmissionConfig admission{};
+  /// Shard-per-thread dispatch: when set (the engine must run on the same
+  /// table, built with exclusive_shards), data ops are posted to the
+  /// owning shard worker instead of executed under the striped lock; the
+  /// reply is encoded and sent from the worker's completion, where the
+  /// event loop's cork batches it. A full owner queue sheds the op with a
+  /// typed kOverloaded. Admin requests and table-sweeping gauges run under
+  /// the engine's quiesce. Must outlive the server.
+  ShardEngine* engine = nullptr;
 };
 
 class Server {
@@ -87,7 +98,8 @@ class Server {
     return malformed_.load(std::memory_order_relaxed);
   }
 
-  /// Data ops shed by the admission bucket with kOverloaded.
+  /// Data ops answered kOverloaded: shed by the admission bucket, or (in
+  /// engine mode) bounced off a full shard-owner queue.
   std::uint64_t requests_shed() const {
     return shed_.load(std::memory_order_relaxed);
   }
@@ -102,11 +114,30 @@ class Server {
   std::int64_t batch_hint() const;
 
  private:
+  struct Pending;  ///< engine completion context (defined in server.cpp)
+
   void on_frame(NodeId from, std::vector<std::byte> payload);
+  void dispatch_engine(NodeId from, protocol::Request&& request,
+                       std::uint8_t version,
+                       std::chrono::steady_clock::time_point t0);
+  void finish_engine_reply(NodeId from, const protocol::Response& response,
+                           std::uint8_t version,
+                           std::chrono::steady_clock::time_point t0);
+  void shed_queue_full(NodeId from, std::uint64_t id);
+  static void complete_engine_op(ShardOp& op, void* ctx);
+  static void complete_engine_batch(EngineBatch& batch, void* ctx);
   void register_metrics();
+
+  // Table sweeps (stats, account counts, the hot-key sketch) iterate every
+  // shard; with an engine attached they run under its quiesce so the sweep
+  // never races a shard owner.
+  TableStats swept_stats() const;
+  std::size_t swept_account_count() const;
+  std::vector<AccountTable::HotKey> swept_hot_keys(std::size_t n) const;
 
   AccountTable* table_;
   runtime::Transport* transport_;
+  ShardEngine* engine_ = nullptr;
   obs::Registry* registry_;
   obs::AdmissionBucket admission_;
   obs::Histogram* latency_ = nullptr;  ///< owned by the registry

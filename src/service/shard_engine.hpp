@@ -1,0 +1,226 @@
+// The shard-per-thread data plane: worker threads that own AccountTable
+// shards outright, fed decoded ops through bounded MPSC queues.
+//
+// In the striped-lock plane every request thread locks its way into the
+// table; here the relationship is inverted: shard s belongs to worker
+// (s mod workers), nobody else touches it, and the table runs in
+// exclusive_shards mode (ServiceConfig::exclusive_shards — the per-shard
+// mutex compiles down to a no-op guard). IO threads decode a request into a
+// ShardOp, post it to the owner's queue and move on; the worker drains its
+// queue in batches, coalesces consecutive acquires into one vectorized
+// acquire_batch call (the coarse clock is read once per shard visit and the
+// whole run settles against that read), executes, and fires each op's
+// completion callback — which, on the server, encodes and sends the reply
+// from the worker thread, where the event loop's reply corking batches it.
+//
+// Because the worker replays exactly the code the locked table runs (the
+// ShardGuard is the only difference), grant decisions, RNG draws, stats and
+// §3.4 audit traces are byte-identical between the two planes.
+//
+// Admin operations (stats sweeps, namespace reconfiguration, handoff
+// extraction...) need the whole table at once. They run under quiesced():
+// a stop-the-world protocol that parks every worker at a drain boundary,
+// runs the sweep with the table exclusively owned, and resumes the workers.
+// Parks are bounded by one drain batch, so a quiesce costs microseconds —
+// admin traffic is rare by construction.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "service/account_table.hpp"
+#include "util/error.hpp"
+#include "util/mpsc_queue.hpp"
+#include "util/types.hpp"
+
+namespace toka::service {
+
+/// One decoded data operation in flight to its shard's owner worker.
+/// Completions are raw function pointers plus a context — no allocation or
+/// type erasure on the per-op path.
+struct ShardOp {
+  enum class Kind : std::uint8_t {
+    kAcquire = 0,
+    kRefund = 1,
+    kQuery = 2,
+    kBatchGroup = 3,  ///< internal: one worker's slice of an EngineBatch
+  };
+
+  Kind kind = Kind::kAcquire;
+  NamespaceId ns = kDefaultNamespace;
+  std::uint64_t key = 0;  ///< account key; group index for kBatchGroup
+  Tokens tokens = 0;
+
+  // Outputs, written by the worker before the completion runs:
+  //   kAcquire: out_a = granted,  out_b = balance
+  //   kRefund:  out_a = accepted, out_b = balance
+  //   kQuery:   out_a = balance,  out_b = exists (0/1)
+  Tokens out_a = 0;
+  Tokens out_b = 0;
+  /// false: the op was rejected before touching an account (unknown
+  /// namespace or invalid arguments — util::InvariantError).
+  bool ok = true;
+
+  using Completion = void (*)(ShardOp&, void*);
+  Completion done = nullptr;  ///< runs on the worker thread; may be null
+  void* ctx = nullptr;
+};
+
+/// A batch of acquires fanned out across owner workers. `results` is
+/// positionally aligned with the submitted op order; the completion fires
+/// on whichever worker finishes last.
+struct EngineBatch {
+  NamespaceId ns = kDefaultNamespace;
+  std::vector<AcquireOp> ops;             ///< regrouped, contiguous per worker
+  std::vector<std::uint32_t> original;    ///< ops[i]'s position in the submit
+  std::vector<AcquireResult> results;     ///< by original position
+
+  using Completion = void (*)(EngineBatch&, void*);
+  Completion done = nullptr;
+  void* ctx = nullptr;
+
+  struct Group {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+  std::vector<Group> groups;
+  std::atomic<std::uint32_t> remaining{0};
+};
+
+struct ShardEngineOptions {
+  /// Worker thread count; 0 = one per hardware thread, capped at the
+  /// table's shard count.
+  std::size_t workers = 0;
+  /// Per-worker op queue capacity (rounded up to a power of two). A full
+  /// queue fails try_submit — the server's typed-overload signal. Sized so
+  /// a closed-loop client fleet fits: completions must never block pushing
+  /// into a sibling worker's full queue.
+  std::size_t queue_capacity = 16 * 1024;
+  /// When set, per-worker queue-depth gauges are exported (the signal the
+  /// adaptive admission valve wants; see ROADMAP item 5).
+  obs::Registry* registry = nullptr;
+};
+
+class ShardEngine {
+ public:
+  /// The table must be built with ServiceConfig::exclusive_shards = true
+  /// and must not be touched directly while the engine runs (use
+  /// quiesced() for admin sweeps). Starts the workers immediately.
+  explicit ShardEngine(AccountTable& table, ShardEngineOptions options = {});
+
+  /// Drains queued ops, then stops and joins the workers. Producers must
+  /// have stopped submitting. After destruction the table is single-owner
+  /// again and may be accessed directly.
+  ~ShardEngine();
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  AccountTable& table() { return *table_; }
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// The worker owning (ns, key)'s shard — stable for the engine's life.
+  std::size_t worker_of(NamespaceId ns, std::uint64_t key) const {
+    return table_->shard_of(ns, key) % workers_.size();
+  }
+
+  /// Posts `op` to its owner worker. Returns false when the owner's queue
+  /// is full (the caller sheds — nothing was enqueued). Never blocks.
+  bool try_submit(ShardOp op) {
+    return workers_[worker_of(op.ns, op.key)]->queue.try_push(std::move(op));
+  }
+
+  /// Blocking submit: spins/yields until the owner's queue has room.
+  /// Bootstrap and closed-loop benchmark use only — never call from a
+  /// worker completion (two full queues pushing at each other deadlock).
+  void submit(ShardOp op) {
+    workers_[worker_of(op.ns, op.key)]->queue.push(std::move(op));
+  }
+
+  /// Fans `ops` out to their owner workers as one EngineBatch; `done`
+  /// fires once every group has executed, with results positionally
+  /// aligned to `ops`. Returns false — shedding the whole batch, nothing
+  /// enqueued — when a target queue lacks headroom for its group.
+  bool submit_batch(NamespaceId ns, std::vector<AcquireOp> ops,
+                    EngineBatch::Completion done, void* ctx);
+
+  /// Runs `fn` with every worker parked at a drain boundary: the table is
+  /// exclusively owned for the duration, so whole-table admin sweeps
+  /// (stats, configure_namespace, extract_if, audits...) are safe in
+  /// exclusive_shards mode. Serialized across callers; returns fn's
+  /// result. Must not be called from a worker completion (checked).
+  template <typename F>
+  decltype(auto) quiesced(F&& fn) {
+    QuiesceScope scope(*this);
+    return std::forward<F>(fn)();
+  }
+
+  /// Waits until every queue is empty and every in-flight op has
+  /// completed. Producers must have stopped submitting first.
+  void drain();
+
+  /// Approximate depth of worker `w`'s op queue.
+  std::size_t queue_depth(std::size_t w) const {
+    return workers_[w]->queue.size();
+  }
+
+  /// Largest per-worker queue depth right now (approximate).
+  std::size_t queue_depth_max() const;
+
+ private:
+  struct alignas(64) Worker {
+    explicit Worker(std::size_t capacity) : queue(capacity) {}
+    util::MpscQueue<ShardOp> queue;
+    TimeUs next_evict_us = 0;
+    std::thread thread;
+  };
+
+  class QuiesceScope {
+   public:
+    explicit QuiesceScope(ShardEngine& engine) : engine_(&engine) {
+      engine_->begin_quiesce();
+    }
+    ~QuiesceScope() { engine_->end_quiesce(); }
+    QuiesceScope(const QuiesceScope&) = delete;
+    QuiesceScope& operator=(const QuiesceScope&) = delete;
+
+   private:
+    ShardEngine* engine_;
+  };
+
+  void worker_loop(std::size_t w);
+  void execute(std::vector<ShardOp>& ops, std::vector<AcquireOp>& run);
+  void run_batch_group(ShardOp& op);
+  void complete(ShardOp& op) {
+    if (op.done != nullptr) op.done(op, op.ctx);
+  }
+  void maybe_evict(Worker& me, std::size_t w);
+  void park();
+  void begin_quiesce();
+  void end_quiesce();
+  void register_metrics(obs::Registry& registry);
+
+  AccountTable* table_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  obs::Registry* registry_ = nullptr;
+  std::vector<std::string> metric_names_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> park_requested_{false};
+  std::mutex admin_mu_;  ///< serializes quiesced() callers
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;    ///< workers -> quiescer: all parked
+  std::condition_variable resume_cv_;  ///< quiescer -> workers: go
+  std::size_t parked_ = 0;
+};
+
+}  // namespace toka::service

@@ -28,6 +28,7 @@
 #include "cluster/cluster_server.hpp"
 #include "cluster/hash_ring.hpp"
 #include "core/rate_limit.hpp"
+#include "runtime/epoll.hpp"
 #include "runtime/inproc.hpp"
 #include "runtime/tcp.hpp"
 #include "service/account_table.hpp"
@@ -245,6 +246,56 @@ TEST(ClusterChurn, TcpNodeKillIsAbsorbedByRerouting) {
   EXPECT_EQ(errors, 0u);
   EXPECT_EQ(client.map().epoch, 2u);
   EXPECT_EQ(nodes[0]->table.audit_violation(), std::nullopt);
+  for (auto& node : nodes) node->driver.stop();
+}
+
+// The same churn machinery over the epoll event-loop transport: the
+// cluster layer must not care which mesh carries its frames. Three real
+// epoll nodes, one killed mid-run, every key re-served by the survivors.
+TEST(ClusterChurn, EpollNodeKillIsAbsorbedByRerouting) {
+  const ClusterMap all3{1, kDefaultVnodes, {0, 1, 2}};
+  // Endpoints: 3 servers + 3 for the worker + 3 for the coordinator.
+  runtime::EpollMesh mesh(3 + 3 + 3);
+  std::vector<std::unique_ptr<ChurnNode>> nodes;
+  for (NodeId n = 0; n < 3; ++n)
+    nodes.push_back(std::make_unique<ChurnNode>(mesh.endpoint(n), all3));
+
+  ClusterClientConfig client_config;
+  client_config.call_timeout_us = 200 * 1'000;
+  client_config.max_attempts = 12;
+  ClusterClient client(
+      [&](NodeId server) -> runtime::Transport& {
+        return mesh.endpoint(3 + server);
+      },
+      all3, client_config);
+  ClusterClient admin(
+      [&](NodeId server) -> runtime::Transport& {
+        return mesh.endpoint(6 + server);
+      },
+      all3, client_config);
+
+  // Warm every node over the event loops.
+  for (std::uint64_t key = 0; key < 96; ++key)
+    client.acquire(service::kDefaultNamespace, key, 0);
+
+  // Kill node 2's endpoint mid-run (its loops close every socket under
+  // the client), push the shrunk map, and keep going.
+  nodes[2]->kill();
+  mesh.shutdown_endpoint(2);
+  admin.push_map(all3.without_node(2));
+
+  std::uint64_t errors = 0;
+  for (std::uint64_t key = 0; key < 96; ++key) {
+    try {
+      client.acquire(service::kDefaultNamespace, key, 0);
+    } catch (const std::exception&) {
+      ++errors;
+    }
+  }
+  EXPECT_EQ(errors, 0u);
+  EXPECT_EQ(client.map().epoch, 2u);
+  for (NodeId n = 0; n < 2; ++n)
+    EXPECT_EQ(nodes[n]->table.audit_violation(), std::nullopt) << "node " << n;
   for (auto& node : nodes) node->driver.stop();
 }
 

@@ -1,21 +1,20 @@
-#include "runtime/tcp.hpp"
+#include "runtime/epoll.hpp"
 
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
-#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <mutex>
+#include <set>
 #include <thread>
+#include <vector>
 
 #include "runtime/framing.hpp"
 #include "util/serde.hpp"
@@ -25,7 +24,6 @@ namespace {
 
 using namespace std::chrono_literals;
 
-/// Waits until `pred` holds or the deadline passes.
 template <typename Pred>
 bool wait_for(Pred pred, std::chrono::milliseconds timeout = 2000ms) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
@@ -42,8 +40,8 @@ std::vector<std::byte> payload_of(std::uint64_t v) {
   return w.take();
 }
 
-TEST(TcpMesh, RoundTripBetweenTwoNodes) {
-  TcpMesh mesh(2);
+TEST(EpollMesh, RoundTripBetweenTwoNodes) {
+  EpollMesh mesh(2);
   std::atomic<std::uint64_t> got{0};
   std::atomic<NodeId> from{kNoNode};
   mesh.endpoint(1).set_handler([&](NodeId f, std::vector<std::byte> p) {
@@ -56,16 +54,16 @@ TEST(TcpMesh, RoundTripBetweenTwoNodes) {
   EXPECT_EQ(from.load(), 0u);
 }
 
-TEST(TcpMesh, PortsAreDistinct) {
-  TcpMesh mesh(4);
+TEST(EpollMesh, PortsAreDistinct) {
+  EpollMesh mesh(4);
   std::set<std::uint16_t> ports;
   for (NodeId v = 0; v < 4; ++v) ports.insert(mesh.port_of(v));
   EXPECT_EQ(ports.size(), 4u);
   for (std::uint16_t p : ports) EXPECT_GT(p, 0);
 }
 
-TEST(TcpMesh, ManyMessagesInOrder) {
-  TcpMesh mesh(2);
+TEST(EpollMesh, ManyMessagesInOrder) {
+  EpollMesh mesh(2);
   std::mutex mu;
   std::vector<std::uint64_t> received;
   mesh.endpoint(1).set_handler([&](NodeId, std::vector<std::byte> p) {
@@ -84,8 +82,8 @@ TEST(TcpMesh, ManyMessagesInOrder) {
     EXPECT_EQ(received[i], static_cast<std::uint64_t>(i));
 }
 
-TEST(TcpMesh, BidirectionalTraffic) {
-  TcpMesh mesh(2);
+TEST(EpollMesh, BidirectionalTraffic) {
+  EpollMesh mesh(2);
   std::atomic<int> at0{0}, at1{0};
   mesh.endpoint(0).set_handler(
       [&](NodeId, std::vector<std::byte>) { ++at0; });
@@ -98,8 +96,8 @@ TEST(TcpMesh, BidirectionalTraffic) {
   EXPECT_TRUE(wait_for([&] { return at0.load() == 20 && at1.load() == 20; }));
 }
 
-TEST(TcpMesh, LargePayload) {
-  TcpMesh mesh(2);
+TEST(EpollMesh, LargePayload) {
+  EpollMesh mesh(2);
   std::atomic<std::size_t> got_size{0};
   mesh.endpoint(1).set_handler([&](NodeId, std::vector<std::byte> p) {
     got_size = p.size();
@@ -109,15 +107,15 @@ TEST(TcpMesh, LargePayload) {
   EXPECT_TRUE(wait_for([&] { return got_size.load() == big.size(); }));
 }
 
-TEST(TcpMesh, SendToUnknownPeerIsDropped) {
-  TcpMesh mesh(2);
+TEST(EpollMesh, SendToUnknownPeerIsDropped) {
+  EpollMesh mesh(2);
   mesh.endpoint(0).send(99, payload_of(1));
   SUCCEED();  // no crash, no hang
 }
 
-TEST(TcpMesh, FullMeshTraffic) {
+TEST(EpollMesh, FullMeshTraffic) {
   constexpr std::size_t kNodes = 5;
-  TcpMesh mesh(kNodes);
+  EpollMesh mesh(kNodes);
   std::atomic<int> total{0};
   for (NodeId v = 0; v < kNodes; ++v)
     mesh.endpoint(v).set_handler(
@@ -129,14 +127,83 @@ TEST(TcpMesh, FullMeshTraffic) {
       [&] { return total.load() == static_cast<int>(kNodes * (kNodes - 1)); }));
 }
 
-TEST(TcpMesh, CleanShutdownWithPendingConnections) {
-  auto mesh = std::make_unique<TcpMesh>(3);
+TEST(EpollMesh, CleanShutdownWithPendingConnections) {
+  auto mesh = std::make_unique<EpollMesh>(3);
   mesh->endpoint(0).send(1, payload_of(1));
   mesh->endpoint(1).send(2, payload_of(2));
-  // Destruction with live connections must join all threads cleanly.
   mesh.reset();
   SUCCEED();
 }
+
+// Replies issued from inside the receive handler take the corked same-loop
+// path (append to the connection's cork, one write per loop iteration) —
+// the server's reply pattern, exercised here directly.
+TEST(EpollMesh, ReplyFromHandlerIsCorkedAndDelivered) {
+  EpollMesh mesh(2);
+  std::atomic<int> replies{0};
+  mesh.endpoint(1).set_handler([&](NodeId f, std::vector<std::byte> p) {
+    util::BinaryReader r(p);
+    mesh.endpoint(1).send(f, payload_of(r.u64() + 1));
+  });
+  std::mutex mu;
+  std::vector<std::uint64_t> echoed;
+  mesh.endpoint(0).set_handler([&](NodeId, std::vector<std::byte> p) {
+    util::BinaryReader r(p);
+    std::lock_guard lock(mu);
+    echoed.push_back(r.u64());
+    ++replies;
+  });
+  constexpr int kCount = 200;  // a pipelined burst: replies coalesce
+  for (int i = 0; i < kCount; ++i) mesh.endpoint(0).send(1, payload_of(i));
+  ASSERT_TRUE(wait_for([&] { return replies.load() == kCount; }));
+  std::lock_guard lock(mu);
+  for (int i = 0; i < kCount; ++i)
+    EXPECT_EQ(echoed[i], static_cast<std::uint64_t>(i + 1));
+}
+
+TEST(EpollMesh, MultipleIoThreads) {
+  constexpr std::size_t kNodes = 4;
+  EpollMesh mesh(kNodes, /*io_threads=*/2);
+  std::atomic<int> total{0};
+  for (NodeId v = 0; v < kNodes; ++v)
+    mesh.endpoint(v).set_handler(
+        [&](NodeId, std::vector<std::byte>) { ++total; });
+  constexpr int kPerPair = 50;
+  for (int i = 0; i < kPerPair; ++i)
+    for (NodeId a = 0; a < kNodes; ++a)
+      for (NodeId b = 0; b < kNodes; ++b)
+        if (a != b) mesh.endpoint(a).send(b, payload_of(i));
+  const int want = kPerPair * static_cast<int>(kNodes * (kNodes - 1));
+  EXPECT_TRUE(wait_for([&] { return total.load() == want; }, 5000ms));
+}
+
+TEST(EpollMesh, ShutdownEndpointFiresPeerDown) {
+  EpollMesh mesh(2);
+  std::atomic<bool> down{false};
+  std::atomic<NodeId> who{kNoNode};
+  mesh.endpoint(0).set_handler([](NodeId, std::vector<std::byte>) {});
+  mesh.endpoint(1).set_handler([](NodeId, std::vector<std::byte>) {});
+  mesh.endpoint(0).set_peer_down_handler([&](NodeId peer) {
+    who = peer;
+    down = true;
+  });
+  // Establish the 0->1 connection, then kill node 1.
+  mesh.endpoint(0).send(1, payload_of(1));
+  std::this_thread::sleep_for(50ms);
+  mesh.shutdown_endpoint(1);
+  // Either the close is observed directly or the next send fails fast.
+  mesh.endpoint(0).send(1, payload_of(2));
+  ASSERT_TRUE(wait_for([&] { return down.load(); }));
+  EXPECT_EQ(who.load(), 1u);
+  // Idempotent.
+  mesh.shutdown_endpoint(1);
+}
+
+// ---------------------------------------------------------------------------
+// Raw-socket adversarial segmentation: a real client writing a multi-frame
+// burst split at every byte boundary must decode identically to whole-burst
+// delivery. This drives the event loop's edge-triggered read path end to
+// end (kernel buffers included), not just the FrameDecoder unit.
 
 int connect_loopback(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -159,11 +226,8 @@ void write_all(int fd, const std::uint8_t* data, std::size_t n) {
   }
 }
 
-// Raw-socket adversarial segmentation against the threaded reader: a burst
-// of frames dribbled a few bytes at a time (splits landing mid-header and
-// mid-body) must decode exactly like whole-burst delivery.
-TEST(TcpMesh, RawSocketSegmentedBurst) {
-  TcpMesh mesh(1);
+TEST(EpollMesh, RawSocketSegmentedBurst) {
+  EpollMesh mesh(1);
   std::mutex mu;
   std::vector<std::pair<NodeId, std::vector<std::byte>>> got;
   mesh.endpoint(0).set_handler([&](NodeId f, std::vector<std::byte> p) {
@@ -171,17 +235,17 @@ TEST(TcpMesh, RawSocketSegmentedBurst) {
     got.emplace_back(f, std::move(p));
   });
 
+  // Burst of 4 frames from "node 42", includes an empty payload.
   std::vector<std::uint8_t> wire;
   std::vector<std::vector<std::byte>> want;
   for (std::uint64_t v : {7u, 0u, 1234567u}) {
     want.push_back(payload_of(v));
     append_frame(wire, 42, want.back());
   }
-  want.push_back({});  // empty payload frame
+  want.push_back({});
   append_frame(wire, 42, want.back());
 
-  for (std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{7},
-                            wire.size()}) {
+  for (std::size_t chunk = 1; chunk <= wire.size(); chunk += 3) {
     {
       std::lock_guard lock(mu);
       got.clear();
@@ -191,6 +255,8 @@ TEST(TcpMesh, RawSocketSegmentedBurst) {
     for (std::size_t off = 0; off < wire.size(); off += chunk) {
       const std::size_t n = std::min(chunk, wire.size() - off);
       write_all(fd, wire.data() + off, n);
+      // A microscopic pause defeats kernel coalescing often enough to make
+      // the segmentation real, without making the sweep slow.
       if (chunk < 8) std::this_thread::sleep_for(100us);
     }
     ASSERT_TRUE(wait_for([&] {
@@ -208,80 +274,30 @@ TEST(TcpMesh, RawSocketSegmentedBurst) {
   }
 }
 
-#ifdef __linux__
-/// RAII fd-exhaustion: clamps RLIMIT_NOFILE and burns every remaining slot
-/// on /dev/null, so the next accept() fails with EMFILE. Restores on exit.
-class FdExhaustion {
- public:
-  FdExhaustion() {
-    getrlimit(RLIMIT_NOFILE, &saved_);
-    // Clamp just above the highest fd currently open so nothing already
-    // running breaks, then fill the couple of free slots that remain.
-    int max_fd = 0;
-    for (int fd = 0; fd < static_cast<int>(saved_.rlim_cur); ++fd)
-      if (fcntl(fd, F_GETFD) != -1) max_fd = fd;
-    rlimit clamped = saved_;
-    clamped.rlim_cur = static_cast<rlim_t>(max_fd + 3);
-    setrlimit(RLIMIT_NOFILE, &clamped);
-    for (;;) {
-      const int fd = ::open("/dev/null", O_RDONLY);
-      if (fd < 0) break;  // EMFILE: the table is full now
-      fillers_.push_back(fd);
-    }
-  }
-
-  ~FdExhaustion() { release(); }
-
-  void release() {
-    for (int fd : fillers_) ::close(fd);
-    fillers_.clear();
-    setrlimit(RLIMIT_NOFILE, &saved_);
-  }
-
- private:
-  rlimit saved_{};
-  std::vector<int> fillers_;
-};
-
-// Regression: accept() failing with EMFILE used to kill the accept loop
-// permanently — every later connection would hang in the backlog forever.
-// Now the acceptor backs off and retries, so a connection made while the
-// fd table is full completes once descriptors free up.
-TEST(TcpMesh, AcceptSurvivesFdExhaustion) {
-  TcpMesh mesh(1);
-  std::atomic<std::uint64_t> got{0};
-  mesh.endpoint(0).set_handler([&](NodeId, std::vector<std::byte> p) {
-    util::BinaryReader r(p);
-    got = r.u64();
-  });
-
-  // The client socket is created BEFORE exhausting fds (connect() itself
-  // needs no new descriptor); the handshake then completes via the
-  // listener's backlog while the server's accept() is failing.
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+TEST(EpollMesh, RawSocketCorruptLengthClosesConnection) {
+  EpollMesh mesh(1);
+  std::atomic<int> delivered{0};
+  mesh.endpoint(0).set_handler(
+      [&](NodeId, std::vector<std::byte>) { ++delivered; });
+  const int fd = connect_loopback(mesh.port_of(0));
   ASSERT_GE(fd, 0);
-  {
-    FdExhaustion exhausted;
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(mesh.port_of(0));
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    ASSERT_EQ(
-        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0)
-        << strerror(errno);
-    // Give the acceptor time to hit EMFILE and enter backoff. The old
-    // implementation is already dead at this point.
-    std::this_thread::sleep_for(50ms);
-  }  // fds released, rlimit restored: the retry must now succeed
-
-  std::vector<std::uint8_t> wire;
-  append_frame(wire, 42, payload_of(777));
-  write_all(fd, wire.data(), wire.size());
-  EXPECT_TRUE(wait_for([&] { return got.load() == 777; }, 5000ms))
-      << "acceptor never recovered from EMFILE";
+  // Length prefix beyond kMaxFrameBytes: the server must drop the
+  // connection without delivering anything.
+  std::vector<std::uint8_t> bad;
+  const std::uint32_t len = kMaxFrameBytes + 1;
+  for (int i = 0; i < 4; ++i)
+    bad.push_back(static_cast<std::uint8_t>((len >> (8 * i)) & 0xFF));
+  for (int i = 0; i < 4; ++i) bad.push_back(0);
+  write_all(fd, bad.data(), bad.size());
+  // The peer closes: reads eventually return 0 (or ECONNRESET).
+  ASSERT_TRUE(wait_for([&] {
+    char buf[16];
+    const ssize_t r = ::recv(fd, buf, sizeof buf, MSG_DONTWAIT);
+    return r == 0 || (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK);
+  }));
+  EXPECT_EQ(delivered.load(), 0);
   ::close(fd);
 }
-#endif  // __linux__
 
 }  // namespace
 }  // namespace toka::runtime

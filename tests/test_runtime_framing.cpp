@@ -1,0 +1,191 @@
+#include "runtime/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+namespace toka::runtime {
+namespace {
+
+struct Frame {
+  NodeId from;
+  std::vector<std::byte> payload;
+};
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+/// Feeds `wire` to a fresh decoder in chunks of `chunk` bytes and returns
+/// every decoded frame. `ok` reports whether the stream stayed valid.
+std::vector<Frame> decode_chunked(const std::vector<std::uint8_t>& wire,
+                                  std::size_t chunk, bool* ok = nullptr) {
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  bool valid = true;
+  for (std::size_t off = 0; off < wire.size() && valid; off += chunk) {
+    const std::size_t n = std::min(chunk, wire.size() - off);
+    const auto dst = decoder.writable(n);
+    std::memcpy(dst.data(), wire.data() + off, n);
+    decoder.commit(n);
+    valid = decoder.drain([&](NodeId from, std::vector<std::byte> payload) {
+      frames.push_back(Frame{from, std::move(payload)});
+    });
+  }
+  if (ok != nullptr) *ok = valid;
+  return frames;
+}
+
+/// A burst of frames with distinct senders and recognizable payloads.
+std::vector<std::uint8_t> make_burst(std::vector<Frame>* expect = nullptr) {
+  std::vector<std::uint8_t> wire;
+  const std::vector<std::vector<std::byte>> payloads = {
+      bytes_of({}),                          // empty frame
+      bytes_of({0x01}),                      // single byte
+      bytes_of({0xDE, 0xAD, 0xBE, 0xEF}),    // word
+      std::vector<std::byte>(300, std::byte{0x42}),  // multi-chunk body
+      bytes_of({0x99, 0x98, 0x97}),
+  };
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    append_frame(wire, static_cast<NodeId>(i + 1), payloads[i]);
+    if (expect != nullptr)
+      expect->push_back(Frame{static_cast<NodeId>(i + 1), payloads[i]});
+  }
+  return wire;
+}
+
+void expect_same(const std::vector<Frame>& got, const std::vector<Frame>& want,
+                 std::size_t chunk) {
+  ASSERT_EQ(got.size(), want.size()) << "chunk=" << chunk;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].from, want[i].from) << "chunk=" << chunk << " i=" << i;
+    EXPECT_EQ(got[i].payload, want[i].payload)
+        << "chunk=" << chunk << " i=" << i;
+  }
+}
+
+TEST(FrameDecoder, WholeBurstOneCommit) {
+  std::vector<Frame> want;
+  const auto wire = make_burst(&want);
+  bool ok = false;
+  const auto got = decode_chunked(wire, wire.size(), &ok);
+  EXPECT_TRUE(ok);
+  expect_same(got, want, wire.size());
+}
+
+// The adversarial segmentation sweep: the same burst delivered in chunks of
+// every size from 1 byte (every split lands mid-header or mid-body at some
+// point) up to the whole burst must decode to identical frames.
+TEST(FrameDecoder, EveryChunkSizeDecodesIdentically) {
+  std::vector<Frame> want;
+  const auto wire = make_burst(&want);
+  for (std::size_t chunk = 1; chunk <= wire.size(); ++chunk) {
+    bool ok = false;
+    const auto got = decode_chunked(wire, chunk, &ok);
+    ASSERT_TRUE(ok) << "chunk=" << chunk;
+    expect_same(got, want, chunk);
+  }
+}
+
+// Same property under random segmentation: uneven chunk runs, including
+// pathological 1-byte dribbles, chosen by a seeded RNG.
+TEST(FrameDecoder, RandomSegmentationFuzz) {
+  std::vector<Frame> want;
+  const auto wire = make_burst(&want);
+  std::mt19937 rng(20240807);
+  for (int round = 0; round < 200; ++round) {
+    FrameDecoder decoder;
+    std::vector<Frame> got;
+    bool valid = true;
+    std::size_t off = 0;
+    while (off < wire.size() && valid) {
+      std::uniform_int_distribution<std::size_t> dist(
+          1, std::min<std::size_t>(wire.size() - off, 97));
+      const std::size_t n = dist(rng);
+      const auto dst = decoder.writable(n);
+      std::memcpy(dst.data(), wire.data() + off, n);
+      decoder.commit(n);
+      valid = decoder.drain([&](NodeId from, std::vector<std::byte> payload) {
+        got.push_back(Frame{from, std::move(payload)});
+      });
+      off += n;
+    }
+    ASSERT_TRUE(valid) << "round=" << round;
+    expect_same(got, want, round);
+    EXPECT_EQ(decoder.buffered(), 0u) << "round=" << round;
+  }
+}
+
+TEST(FrameDecoder, PartialHeaderIsBuffered) {
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, 7, bytes_of({0x11, 0x22}));
+  FrameDecoder decoder;
+  // Feed 5 of the 8 header bytes: nothing decodes, nothing breaks.
+  auto dst = decoder.writable(5);
+  std::memcpy(dst.data(), wire.data(), 5);
+  decoder.commit(5);
+  int frames = 0;
+  EXPECT_TRUE(decoder.drain([&](NodeId, std::vector<std::byte>) { ++frames; }));
+  EXPECT_EQ(frames, 0);
+  EXPECT_EQ(decoder.buffered(), 5u);
+  // The rest completes the frame.
+  dst = decoder.writable(wire.size() - 5);
+  std::memcpy(dst.data(), wire.data() + 5, wire.size() - 5);
+  decoder.commit(wire.size() - 5);
+  EXPECT_TRUE(decoder.drain([&](NodeId from, std::vector<std::byte> p) {
+    ++frames;
+    EXPECT_EQ(from, 7u);
+    EXPECT_EQ(p.size(), 2u);
+  }));
+  EXPECT_EQ(frames, 1);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoder, OversizedFrameIsRejected) {
+  FrameDecoder decoder;
+  const std::uint32_t bad_len = kMaxFrameBytes + 1;
+  std::uint8_t header[kFrameHeaderBytes] = {};
+  for (int i = 0; i < 4; ++i)
+    header[i] = static_cast<std::uint8_t>((bad_len >> (8 * i)) & 0xFF);
+  auto dst = decoder.writable(sizeof header);
+  std::memcpy(dst.data(), header, sizeof header);
+  decoder.commit(sizeof header);
+  EXPECT_FALSE(decoder.drain([](NodeId, std::vector<std::byte>) {
+    FAIL() << "oversized frame must not be delivered";
+  }));
+}
+
+TEST(FrameDecoder, LargeFrameGrowsBuffer) {
+  // 1 MiB body through a decoder that starts with a small buffer.
+  const std::vector<std::byte> big(1 << 20, std::byte{0x5A});
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, 3, big);
+  FrameDecoder decoder(64);
+  bool ok = false;
+  std::vector<Frame> got;
+  std::size_t off = 0;
+  constexpr std::size_t kChunk = 16 * 1024;
+  ok = true;
+  while (off < wire.size() && ok) {
+    const std::size_t n = std::min(kChunk, wire.size() - off);
+    const auto dst = decoder.writable(n);
+    std::memcpy(dst.data(), wire.data() + off, n);
+    decoder.commit(n);
+    ok = decoder.drain([&](NodeId from, std::vector<std::byte> payload) {
+      got.push_back(Frame{from, std::move(payload)});
+    });
+    off += n;
+  }
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].from, 3u);
+  EXPECT_EQ(got[0].payload, big);
+}
+
+}  // namespace
+}  // namespace toka::runtime
