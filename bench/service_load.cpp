@@ -42,6 +42,23 @@
 // document, and --scrape-out=FILE captures the server's Prometheus
 // exposition at the end of the run.
 //
+// The "scenario" mode replays trace-shaped traffic against the full traced
+// plane (async clients over the epoll mesh into an engine-mode,
+// admission-controlled server with the flight recorder attached): a
+// diurnal ramp whose arrival rate follows the synthetic availability
+// trace's online fraction, a 10x flash crowd, and a thundering-herd
+// reconnect (a dead-quiet window, then every client reconnects at once
+// into a 5x burst). Served/shed/violation counts and the per-stage
+// (queue-wait / execute / cork) p99s from the trace histograms land in the
+// JSON document; --trace-out=FILE captures the flight recorder's span
+// JSON. The flash crowd must shed typed — and every shed must have left a
+// kShed span in the recorder — or the bench exits 1.
+//
+// "shardedtr" is "sharded" with the flight recorder attached and every
+// batch trace-stamped (sampled 1 in --trace-sample): the pair measures the
+// recorder's overhead on the hottest no-wire path, and
+// --max-trace-overhead turns it into a CI ceiling.
+//
 // Reports per-mode throughput and latency percentiles, and with --json=FILE
 // writes the BENCH_service.json document the release-bench CI job uploads.
 #include <algorithm>
@@ -62,6 +79,7 @@
 #include "cluster/cluster_server.hpp"
 #include "metrics/timeseries.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "runtime/epoll.hpp"
 #include "runtime/inproc.hpp"
 #include "runtime/tcp.hpp"
@@ -69,6 +87,7 @@
 #include "service/client.hpp"
 #include "service/server.hpp"
 #include "service/shard_engine.hpp"
+#include "trace/synthetic.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -204,6 +223,7 @@ struct LoadConfig {
   bool churn = false;             ///< kill+join mid-run in the cluster mode
   std::size_t workers = 0;     ///< shard-owner workers (0 = one per core)
   std::size_t io_threads = 1;  ///< epoll event loops per endpoint
+  std::uint64_t trace_sample = 128;  ///< flight recorder: sample 1 in N
 };
 
 /// Samples the engine's deepest worker queue every 2 ms while a mode runs;
@@ -338,13 +358,16 @@ ModeResult run_table_open(service::AccountTable& table,
 /// it. This is the vectorized settle path with no wire in between — the
 /// number the striped-lock "table" mode is compared against. Latency spans
 /// submit -> completion, so queue wait on the owner workers is included.
-ModeResult run_sharded(service::ShardEngine& engine,
+/// With `tracer` set ("shardedtr"), every batch is trace-stamped (sampled
+/// per the tracer's 1-in-N policy) so the run prices the flight recorder
+/// on this hottest path.
+ModeResult run_sharded(const std::string& mode, service::ShardEngine& engine,
                        const util::ZipfSampler& sampler,
-                       const LoadConfig& load) {
+                       const LoadConfig& load, obs::Tracer* tracer) {
   const auto deadline =
       Clock::now() + std::chrono::microseconds(from_seconds(load.seconds));
-  return run_threads("sharded", load.threads, [&](std::size_t t,
-                                                  PerThread& tally) {
+  return run_threads(mode, load.threads, [&](std::size_t t,
+                                             PerThread& tally) {
     constexpr std::size_t kDepth = 4;  ///< batches in flight per submitter
     struct Slot {
       std::binary_semaphore free{1};
@@ -384,10 +407,16 @@ ModeResult run_sharded(service::ShardEngine& engine,
       for (service::AcquireOp& op : slot.ops)
         op = service::AcquireOp{sampler.next(rng), 1};
       slot.t0 = Clock::now();
+      std::uint64_t trace_id = 0;
+      bool trace_sampled = false;
+      if (tracer != nullptr) {
+        trace_id = tracer->next_trace_id();
+        trace_sampled = tracer->sample_next();
+      }
       // A full owner queue sheds the whole batch; the closed loop just
       // offers it again (the bench measures capacity, not the valve).
       while (!engine.submit_batch(service::kDefaultNamespace, slot.ops, done,
-                                  &slot))
+                                  &slot, trace_id, trace_sampled))
         std::this_thread::yield();
     }
     for (Slot& slot : slots) {  // retire the in-flight tail
@@ -810,6 +839,234 @@ void run_overload(std::vector<ModeResult>& runs,
   driver.stop();
 }
 
+/// One replayed traffic shape's tally (diurnal / flash / herd).
+struct ScenarioPhase {
+  std::string name;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t violations = 0;
+  double p99_us = 0;  ///< served-request p99 within the phase
+};
+
+/// What the trace-replay scenario suite measured. The hard promises: zero
+/// violations anywhere, and — because sheds force-record — a flash crowd
+/// that shed must have left kShed spans in the flight recorder.
+struct ScenarioOutcome {
+  bool ran = false;
+  std::vector<ScenarioPhase> phases;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t flash_shed = 0;    ///< sheds in the flash-crowd phase alone
+  std::uint64_t spans = 0;         ///< spans the flight recorder kept
+  std::uint64_t shed_spans = 0;    ///< kShed-decision spans in the snapshot
+  double queue_wait_p99_us = 0;    ///< per-stage p99s from the trace
+  double execute_p99_us = 0;       ///< histograms (tokend_trace_*_us)
+  double cork_p99_us = 0;
+  std::string trace_json;          ///< flight-recorder spans (--trace-out)
+};
+
+/// Replays trace-shaped traffic against the full traced plane: async
+/// clients over the epoll mesh into an engine-mode, admission-controlled
+/// server with the flight recorder on both ends. Three phases:
+///
+///   diurnal — the arrival rate follows the synthetic availability trace's
+///             online fraction (the paper's two-day diurnal curve,
+///             compressed onto the phase), staying inside the admission
+///             budget: nothing should shed;
+///   flash   — baseline, then a 10x crowd through the middle third: the
+///             excess must come back as typed sheds, each force-recorded;
+///   herd    — a dead-quiet window (every client "offline"), then all of
+///             them reconnect at the same instant into a 5x burst — the
+///             accept storm and the valve's first interval take it.
+///
+/// Anything that is not a success or a typed kOverloaded is a violation.
+void run_scenario(std::vector<ModeResult>& runs,
+                  const util::ZipfSampler& sampler, const LoadConfig& load,
+                  const service::ServiceConfig& cfg, double base_rate,
+                  ScenarioOutcome& out) {
+  // Engine-mode server on its own exclusive-shards table, with the flight
+  // recorder wired through every layer the tentpole names: client stamp,
+  // epoll decode, shard queue/execute, reply cork.
+  service::ServiceConfig sharded_cfg = cfg;
+  sharded_cfg.exclusive_shards = true;
+  service::AccountTable table(sharded_cfg);
+  service::ClockDriver driver(table, /*resolution_us=*/1000);
+  driver.start();
+  obs::Registry registry;
+  obs::TracerOptions trace_opts;
+  trace_opts.sample_every = load.trace_sample;
+  trace_opts.registry = &registry;
+  obs::Tracer tracer(trace_opts);
+  service::ShardEngineOptions engine_opts;
+  engine_opts.workers = load.workers;
+  engine_opts.registry = &registry;
+  engine_opts.tracer = &tracer;
+  service::ShardEngine engine(table, engine_opts);
+  runtime::EpollMesh mesh(1 + load.threads, load.io_threads);
+  mesh.register_metrics(registry);
+  service::ServerOptions opts;
+  opts.registry = &registry;
+  opts.engine = &engine;
+  opts.tracer = &tracer;
+  opts.admission.enabled = true;
+  opts.admission.interval_us = 10'000;
+  opts.admission.min_budget = 32;
+  // Budget ~2x the baseline rate: the diurnal curve fits, the bursts don't.
+  opts.admission.max_budget = std::max<std::int64_t>(
+      static_cast<std::int64_t>(2.0 * base_rate *
+                                (opts.admission.interval_us / 1e6)),
+      64);
+  service::Server server(table, mesh.endpoint(0), opts);
+
+  // The traffic shape: the synthetic availability trace's online fraction
+  // over its two-day horizon, evaluated at phase fraction f in [0, 1].
+  util::Rng shape_rng(cfg.seed + 97);
+  const trace::SyntheticTraceConfig shape_cfg;
+  const std::vector<trace::Segment> segments =
+      trace::generate_segments(shape_cfg, 256, shape_rng);
+  const auto online_frac = [&](double f) {
+    const TimeUs t = static_cast<TimeUs>(
+        f * static_cast<double>(shape_cfg.horizon - 1));
+    std::size_t online = 0;
+    for (const trace::Segment& seg : segments)
+      if (seg.online_at(t)) ++online;
+    return static_cast<double>(online) / static_cast<double>(segments.size());
+  };
+
+  const double phase_s = std::max(load.seconds / 3, 0.5);
+  const auto drive = [&](const std::string& name,
+                         const std::function<double(double)>& rate_of,
+                         ScenarioPhase& phase) {
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> violations{0};
+    const auto start = Clock::now();
+    const auto deadline =
+        start + std::chrono::microseconds(from_seconds(phase_s));
+    ModeResult res = run_threads(name, load.threads, [&](std::size_t t,
+                                                         PerThread& tally) {
+      auto client = std::make_unique<service::Client>(
+          mesh.endpoint(static_cast<NodeId>(1 + t)), 0);
+      client->set_tracer(&tracer);
+      util::Rng rng(8500 + t);
+      std::counting_semaphore<> outstanding(0);
+      std::uint64_t issued = 0, drained = 0;
+      auto scheduled = start;
+      while (Clock::now() < deadline) {
+        const double f = std::min(
+            us_between(start, Clock::now()) / (phase_s * 1e6), 1.0);
+        const double rate = rate_of(f);
+        if (rate <= 0) {
+          // Offline stretch: retire the connection like a vanished client
+          // (the herd phase's quiet window). Outstanding completions
+          // reference the client, so drain before dropping it.
+          if (client != nullptr) {
+            for (; drained < issued; ++drained) outstanding.acquire();
+            client.reset();
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          scheduled = Clock::now();
+          continue;
+        }
+        if (client == nullptr) {
+          // Back online: every thread hits this edge within ~1ms of each
+          // other — the thundering-herd reconnect.
+          client = std::make_unique<service::Client>(
+              mesh.endpoint(static_cast<NodeId>(1 + t)), 0);
+          client->set_tracer(&tracer);
+        }
+        const auto interval = std::chrono::nanoseconds(std::max<std::int64_t>(
+            static_cast<std::int64_t>(1e9 * load.threads / rate), 1));
+        std::this_thread::sleep_until(scheduled);
+        const std::uint64_t key = sampler.next(rng);
+        const auto t0 = Clock::now();
+        client->acquire_async(
+            service::kDefaultNamespace, key, 1,
+            [&tally, &outstanding, &shed, &violations, t0](
+                service::AcquireResult r, std::exception_ptr err) {
+              if (!err) {
+                tally.granted += r.granted;
+                tally.lat_us.push_back(us_between(t0, Clock::now()));
+                tally.ops.fetch_add(1, std::memory_order_relaxed);
+              } else {
+                try {
+                  std::rethrow_exception(err);
+                } catch (const service::protocol::OverloadedError&) {
+                  shed.fetch_add(1, std::memory_order_relaxed);
+                } catch (...) {
+                  violations.fetch_add(1, std::memory_order_relaxed);
+                }
+              }
+              outstanding.release();
+            });
+        ++issued;
+        ++tally.calls;
+        scheduled += interval;
+        // Past a burst the generator may be far behind schedule; snap
+        // forward so the next phase fraction's rate applies now.
+        if (scheduled + std::chrono::milliseconds(50) < Clock::now())
+          scheduled = Clock::now();
+      }
+      for (; drained < issued; ++drained) outstanding.acquire();
+    });
+    res.seconds = phase_s;  // open loop is defined by its schedule
+    phase.name = name;
+    phase.served = res.ops;
+    phase.shed = shed.load();
+    phase.violations = violations.load();
+    phase.p99_us = res.latency.p99_us;
+    print_result(res);
+    runs.push_back(std::move(res));
+  };
+
+  out.phases.resize(3);
+  // Diurnal ramp: rate tracks the online fraction (roughly 0.3..0.55 over
+  // the horizon), scaled to live comfortably inside the 2x budget.
+  drive("scn-diurnal",
+        [&](double f) { return base_rate * (0.25 + 1.5 * online_frac(f)); },
+        out.phases[0]);
+  // Flash crowd: 10x through the middle third.
+  drive("scn-flash",
+        [&](double f) {
+          return f >= 1.0 / 3 && f < 2.0 / 3 ? base_rate * 10 : base_rate;
+        },
+        out.phases[1]);
+  // Thundering herd: dead air, then everyone reconnects into a 5x burst.
+  drive("scn-herd",
+        [&](double f) { return f < 0.3 ? 0.0 : base_rate * 5; },
+        out.phases[2]);
+
+  engine.drain();
+  for (const ScenarioPhase& phase : out.phases) {
+    out.served += phase.served;
+    out.shed += phase.shed;
+    out.violations += phase.violations;
+  }
+  out.flash_shed = out.phases[1].shed;
+  out.spans = tracer.recorded();
+  for (const obs::SpanRecord& span : tracer.snapshot())
+    if (span.decision == obs::Decision::kShed) ++out.shed_spans;
+  for (const obs::Metric& m : registry.collect()) {
+    if (m.name == "tokend_trace_queue_wait_us") out.queue_wait_p99_us = m.p99;
+    if (m.name == "tokend_trace_execute_us") out.execute_p99_us = m.p99;
+    if (m.name == "tokend_trace_cork_us") out.cork_p99_us = m.p99;
+  }
+  out.trace_json = tracer.render_json(/*max_spans=*/4096);
+  out.ran = true;
+
+  std::printf(
+      "scenario: served %llu, shed %llu, violations %llu | %llu spans "
+      "(%llu shed) | stage p99 queue %.1fus exec %.1fus cork %.1fus\n",
+      static_cast<unsigned long long>(out.served),
+      static_cast<unsigned long long>(out.shed),
+      static_cast<unsigned long long>(out.violations),
+      static_cast<unsigned long long>(out.spans),
+      static_cast<unsigned long long>(out.shed_spans), out.queue_wait_p99_us,
+      out.execute_p99_us, out.cork_p99_us);
+
+  driver.stop();
+}
+
 void print_result(const ModeResult& res) {
   std::printf("%-8s %3zu thr %8.2fs %12llu ops %12.0f ops/s", res.mode.c_str(),
               res.threads, res.seconds,
@@ -840,7 +1097,7 @@ std::string json_escape(const std::string& s) {
 void write_json(const std::string& path, const std::vector<ModeResult>& runs,
                 const service::AccountTable& table, const LoadConfig& load,
                 bool quick, const OverloadOutcome& overload,
-                std::size_t workers_used) {
+                const ScenarioOutcome& scenario, std::size_t workers_used) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -910,6 +1167,40 @@ void write_json(const std::string& path, const std::vector<ModeResult>& runs,
     std::fprintf(f, "  \"overload_p99_us\": %.2f,\n", overload.p99_us);
     std::fprintf(f, "  \"overload_baseline_p99_us\": %.2f,\n",
                  overload.baseline_p99_us);
+  }
+  if (scenario.ran) {
+    std::fprintf(f, "  \"scenario\": {\n");
+    std::fprintf(f, "    \"served\": %llu, \"shed\": %llu, "
+                 "\"violations\": %llu,\n",
+                 static_cast<unsigned long long>(scenario.served),
+                 static_cast<unsigned long long>(scenario.shed),
+                 static_cast<unsigned long long>(scenario.violations));
+    std::fprintf(f, "    \"trace_spans\": %llu, \"shed_spans\": %llu, "
+                 "\"trace_sample\": %llu,\n",
+                 static_cast<unsigned long long>(scenario.spans),
+                 static_cast<unsigned long long>(scenario.shed_spans),
+                 static_cast<unsigned long long>(load.trace_sample));
+    std::fprintf(f,
+                 "    \"queue_wait_p99_us\": %.2f, \"execute_p99_us\": %.2f, "
+                 "\"cork_p99_us\": %.2f,\n",
+                 scenario.queue_wait_p99_us, scenario.execute_p99_us,
+                 scenario.cork_p99_us);
+    std::fprintf(f, "    \"phases\": [\n");
+    for (std::size_t i = 0; i < scenario.phases.size(); ++i) {
+      const ScenarioPhase& phase = scenario.phases[i];
+      std::fprintf(f,
+                   "      {\"name\": \"%s\", \"served\": %llu, "
+                   "\"shed\": %llu, \"violations\": %llu, "
+                   "\"p99_us\": %.2f}%s\n",
+                   json_escape(phase.name).c_str(),
+                   static_cast<unsigned long long>(phase.served),
+                   static_cast<unsigned long long>(phase.shed),
+                   static_cast<unsigned long long>(phase.violations),
+                   phase.p99_us,
+                   i + 1 < scenario.phases.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  },\n");
   }
   std::fprintf(f, "  \"runs\": [\n");
   for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -985,6 +1276,8 @@ int main(int argc, char** argv) {
   load.workers = static_cast<std::size_t>(args.get_int("workers", 0));
   load.io_threads =
       std::max<std::size_t>(args.get_int("io-threads", 1), 1);
+  load.trace_sample = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(args.get_int("trace-sample", 128), 0));
 
   service::ServiceConfig cfg;
   cfg.shards = static_cast<std::size_t>(args.get_int("shards", 256));
@@ -1001,8 +1294,8 @@ int main(int argc, char** argv) {
       "modes",
       args.get_string(
           "mode",
-          "preload,table,batch,open,wire,sync,pipeline,sharded,epoll,cluster,"
-          "overload"));
+          "preload,table,batch,open,wire,sync,pipeline,sharded,shardedtr,"
+          "epoll,cluster,overload,scenario"));
   std::vector<std::string> modes;
   std::stringstream modes_stream(modes_arg);
   for (std::string m; std::getline(modes_stream, m, ',');) modes.push_back(m);
@@ -1023,6 +1316,7 @@ int main(int argc, char** argv) {
   std::uint64_t cluster_errors = 0;
   std::size_t workers_used = 0;  ///< resolved shard-owner worker count
   OverloadOutcome overload;
+  ScenarioOutcome scenario;
   for (const std::string& mode : modes) {
     if (mode == "preload") {
       runs.push_back(run_preload(table, load));
@@ -1060,9 +1354,12 @@ int main(int argc, char** argv) {
                                   [&](std::size_t t) -> runtime::Transport& {
         return mesh.endpoint(static_cast<NodeId>(1 + t));
       }));
-    } else if (mode == "sharded") {
+    } else if (mode == "sharded" || mode == "shardedtr") {
       // The shard-per-thread plane on its own table (exclusive_shards: the
       // per-shard mutex is a no-op, workers own their shards outright).
+      // "shardedtr" is the same run with the flight recorder attached and
+      // every batch trace-stamped: the sharded/shardedtr ratio prices the
+      // recorder on the hottest path (--max-trace-overhead gates it).
       service::ServiceConfig sharded_cfg = cfg;
       sharded_cfg.exclusive_shards = true;
       service::AccountTable sharded_table(sharded_cfg);
@@ -1083,12 +1380,17 @@ int main(int argc, char** argv) {
       }
       service::ClockDriver sharded_driver(sharded_table, 1000);
       sharded_driver.start();
+      obs::TracerOptions trace_opts;
+      trace_opts.sample_every = load.trace_sample;
+      obs::Tracer tracer(trace_opts);
       service::ShardEngineOptions engine_opts;
       engine_opts.workers = load.workers;
+      if (mode == "shardedtr") engine_opts.tracer = &tracer;
       service::ShardEngine engine(sharded_table, engine_opts);
       workers_used = engine.worker_count();
       QueueDepthSampler depth(engine);
-      runs.push_back(run_sharded(engine, sampler, load));
+      runs.push_back(run_sharded(mode, engine, sampler, load,
+                                 mode == "shardedtr" ? &tracer : nullptr));
       runs.back().queue_depth = depth.stop();
       runs.back().has_queue_depth = true;
       engine.drain();
@@ -1136,6 +1438,12 @@ int main(int argc, char** argv) {
       // store).
       run_overload(runs, sampler, load, cfg,
                    args.get_double("overload-rate", 20'000), overload);
+    } else if (mode == "scenario") {
+      // Trace-replay suite against its own fully traced plane; each phase
+      // prints and lands in `runs` on its own.
+      run_scenario(runs, sampler, load, cfg,
+                   args.get_double("scenario-rate", 20'000), scenario);
+      continue;
     } else if (mode == "aopen") {
       runtime::TcpMesh mesh(1 + load.threads);
       service::Server server(table, mesh.endpoint(0));
@@ -1162,7 +1470,8 @@ int main(int argc, char** argv) {
 
   const std::string json_path = args.get_string("json", "");
   if (!json_path.empty())
-    write_json(json_path, runs, table, load, quick, overload, workers_used);
+    write_json(json_path, runs, table, load, quick, overload, scenario,
+               workers_used);
 
   // --scrape-out captures the overload server's Prometheus exposition (the
   // release-bench job uploads it as an artifact).
@@ -1175,6 +1484,69 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "cannot write %s\n", scrape_path.c_str());
     }
+  }
+
+  // --trace-out captures the scenario run's flight-recorder spans (the
+  // release-bench job uploads the JSON as an artifact).
+  const std::string trace_path = args.get_string("trace-out", "");
+  if (!trace_path.empty()) {
+    if (std::FILE* f = std::fopen(trace_path.c_str(), "w")) {
+      std::fputs(scenario.trace_json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+    }
+  }
+
+  // The scenario suite's hard promises: every failure is a typed shed, and
+  // because sheds force-record, a flash crowd that shed must have left
+  // kShed spans in the flight recorder.
+  if (scenario.ran) {
+    if (scenario.violations > 0) {
+      std::fprintf(stderr,
+                   "FAIL: scenario runs saw %llu non-typed failures "
+                   "(timeouts/errors) alongside %llu typed sheds\n",
+                   static_cast<unsigned long long>(scenario.violations),
+                   static_cast<unsigned long long>(scenario.shed));
+      return 1;
+    }
+    if (scenario.flash_shed > 0 && scenario.shed_spans == 0) {
+      std::fprintf(stderr,
+                   "FAIL: flash crowd shed %llu requests but the flight "
+                   "recorder holds no kShed spans\n",
+                   static_cast<unsigned long long>(scenario.flash_shed));
+      return 1;
+    }
+  }
+
+  // Release-bench CI passes --max-trace-overhead=2 (percent): the flight
+  // recorder, attached and stamping every batch, may not cost the sharded
+  // plane more than this against the untraced run.
+  const double max_trace_overhead = args.get_double("max-trace-overhead", 0);
+  if (max_trace_overhead > 0) {
+    double sharded_ops = 0, traced_ops = 0;
+    for (const ModeResult& r : runs) {
+      if (r.mode == "sharded") sharded_ops = r.ops_per_sec();
+      if (r.mode == "shardedtr") traced_ops = r.ops_per_sec();
+    }
+    if (sharded_ops <= 0 || traced_ops <= 0) {
+      std::fprintf(stderr,
+                   "FAIL: --max-trace-overhead needs both the sharded and "
+                   "the shardedtr modes in --modes\n");
+      return 1;
+    }
+    const double overhead_pct = 100.0 * (1.0 - traced_ops / sharded_ops);
+    if (overhead_pct > max_trace_overhead) {
+      std::fprintf(stderr,
+                   "FAIL: tracing costs %.2f%% on the sharded plane "
+                   "(%.0f -> %.0f ops/s, ceiling %.2f%%)\n",
+                   overhead_pct, sharded_ops, traced_ops, max_trace_overhead);
+      return 1;
+    }
+    std::printf("tracing costs %.2f%% on the sharded plane "
+                "(ceiling %.2f%%): OK\n",
+                overhead_pct, max_trace_overhead);
   }
 
   // The overload scenario's hard promise: excess load turns into typed

@@ -21,7 +21,7 @@
 #    >= 1.5x 1-node cluster scale-out floor, and (on >= 4 cores) the
 #    sharded-plane absolute and vs-table floors.
 #
-# Usage: bench_snapshot.sh [build-dir] [engine.json] [service.json] [scrape.txt]
+# Usage: bench_snapshot.sh [build-dir] [engine.json] [service.json] [scrape.txt] [traces.json]
 # CI uploads the outputs as artifacts per commit.
 set -eu
 
@@ -29,6 +29,7 @@ build_dir=${1:-build}
 out=${2:-BENCH_engine.json}
 service_out=${3:-BENCH_service.json}
 scrape_out=${4:-BENCH_scrape.txt}
+trace_out=${5:-BENCH_traces.json}
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
@@ -103,23 +104,33 @@ echo "wrote $out (fig4_scale --quick: ${fig4_ms} ms)"
 # table mode) only shows its parallelism when the owner workers get their
 # own cores — on one or two cores the workers time-slice against the
 # submitters and the ratio measures the scheduler.
+#
+# The flight-recorder ceiling (--max-trace-overhead=2: the sharded run with
+# the tracer attached and every batch stamped may cost at most 2% against
+# the untraced run) is gated the same way: on one or two cores the
+# recorder's worker-side clock reads steal cycles from the submitter
+# thread and the delta measures time-slicing, not the recorder.
 cpus=$(nproc 2>/dev/null || echo 1)
 if [ "$cpus" -ge 4 ]; then
   cluster_floor="--min-cluster-speedup=1.5"
   sharded_floor="--min-sharded-ops=250000 --min-sharded-speedup=1.0"
+  trace_ceiling="--max-trace-overhead=2"
 else
   cluster_floor=""
   sharded_floor=""
+  trace_ceiling=""
   echo "WARN: only ${cpus} core(s); skipping the cluster scale-out floor" \
        "(needs >= 4 cores to measure sharding, not scheduling)" >&2
   echo "WARN: only ${cpus} core(s); skipping the sharded-plane floors" \
        "(shard-owner workers need their own cores)" >&2
+  echo "WARN: only ${cpus} core(s); skipping the trace-overhead ceiling" \
+       "(the delta measures time-slicing, not the recorder)" >&2
 fi
 # shellcheck disable=SC2086  # the floor vars are intentionally unquoted
 "$build_dir/service_load" --quick --json="$service_out" \
-    --scrape-out="$scrape_out" \
+    --scrape-out="$scrape_out" --trace-out="$trace_out" \
     --min-table-ops=100000 --min-pipeline-speedup=1.0 \
-    $cluster_floor $sharded_floor > /dev/null
+    $cluster_floor $sharded_floor $trace_ceiling > /dev/null
 acquire_ops=$(sed -n 's/.*"acquire_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
 sharded_ops=$(sed -n 's/.*"sharded_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
 pipeline_ops=$(sed -n 's/.*"pipeline_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
@@ -127,5 +138,8 @@ epoll_ops=$(sed -n 's/.*"epoll_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
 cluster_x=$(sed -n 's/.*"cluster_speedup": \([0-9.]*\).*/\1/p' "$service_out")
 shed=$(sed -n 's/.*"overload_shed": \([0-9]*\).*/\1/p' "$service_out")
 served=$(sed -n 's/.*"overload_served": \([0-9]*\).*/\1/p' "$service_out")
-echo "wrote $service_out (table: ${acquire_ops} ops/s, sharded: ${sharded_ops:-0} ops/s, pipelined wire: ${pipeline_ops} ops/s, epoll wire: ${epoll_ops:-0} ops/s, 3-node cluster: ${cluster_x}x one node, overload served/shed: ${served:-0}/${shed:-0})"
+scn_served=$(sed -n 's/.*"served": \([0-9]*\), "shed".*/\1/p' "$service_out" | head -1)
+scn_violations=$(sed -n 's/.*"violations": \([0-9]*\),$/\1/p' "$service_out" | head -1)
+echo "wrote $service_out (table: ${acquire_ops} ops/s, sharded: ${sharded_ops:-0} ops/s, pipelined wire: ${pipeline_ops} ops/s, epoll wire: ${epoll_ops:-0} ops/s, 3-node cluster: ${cluster_x}x one node, overload served/shed: ${served:-0}/${shed:-0}, scenario served: ${scn_served:-0}, violations: ${scn_violations:-0})"
 echo "wrote $scrape_out (overload-run Prometheus exposition)"
+echo "wrote $trace_out (scenario-run flight-recorder spans)"

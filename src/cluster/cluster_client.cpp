@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "service/protocol.hpp"
 #include "util/error.hpp"
 #include "util/promise.hpp"
@@ -30,6 +31,9 @@ struct BatchState {
   std::mutex error_mu;
   std::exception_ptr first_error;
   ClusterClient::Callback<std::vector<service::AcquireResult>> done;
+  /// One trace context for the whole logical batch: every subgroup frame
+  /// (and every reissue after a redirect/refresh) carries the same id.
+  std::optional<service::protocol::TraceContext> trace;
 
   void fail(std::exception_ptr error) {
     {
@@ -141,9 +145,18 @@ service::Client* ClusterClient::client_for(NodeId node) {
   if (!slot->client) {
     slot->client = std::make_unique<service::Client>(factory_(node), node,
                                                      config_.call_timeout_us);
+    // The per-node client records the Stage::kClient round-trip spans; the
+    // contexts it stamps are the ones this layer mints per logical op.
+    if (tracer_ != nullptr) slot->client->set_tracer(tracer_);
     slot->ready.store(slot->client.get(), std::memory_order_release);
   }
   return slot->client.get();
+}
+
+std::optional<service::protocol::TraceContext> ClusterClient::mint_trace() {
+  if (tracer_ == nullptr) return std::nullopt;
+  return service::protocol::TraceContext{tracer_->next_trace_id(),
+                                         tracer_->sample_next()};
 }
 
 NodeId ClusterClient::refresh_target() {
@@ -334,14 +347,20 @@ Result ClusterClient::run_sync(
   return future.get();
 }
 
+// Each wrapper mints the logical op's trace context ONCE, outside the
+// issue closure — the closure (and its context copy) is what run_op
+// replays on every redirect/refresh retry, so all attempts share one id.
+
 void ClusterClient::acquire_async(service::NamespaceId ns, std::uint64_t key,
                                   Tokens n,
                                   Callback<service::AcquireResult> done) {
   run_op<service::AcquireResult>(
       ns, key,
-      [ns, key, n](service::Client& client,
-                   Callback<service::AcquireResult> completion) {
-        client.acquire_async(ns, key, n, std::move(completion));
+      [ns, key, n, trace = mint_trace()](
+          service::Client& client,
+          Callback<service::AcquireResult> completion) {
+        client.acquire_async(ns, key, n, std::move(completion),
+                             /*timeout_us=*/0, trace ? &*trace : nullptr);
       },
       std::move(done), 1);
 }
@@ -350,9 +369,11 @@ service::AcquireResult ClusterClient::acquire(service::NamespaceId ns,
                                               std::uint64_t key, Tokens n) {
   return run_sync<service::AcquireResult>(
       ns, key,
-      [ns, key, n](service::Client& client,
-                   Callback<service::AcquireResult> completion) {
-        client.acquire_async(ns, key, n, std::move(completion));
+      [ns, key, n, trace = mint_trace()](
+          service::Client& client,
+          Callback<service::AcquireResult> completion) {
+        client.acquire_async(ns, key, n, std::move(completion),
+                             /*timeout_us=*/0, trace ? &*trace : nullptr);
       });
 }
 
@@ -360,9 +381,11 @@ service::RefundResult ClusterClient::refund(service::NamespaceId ns,
                                             std::uint64_t key, Tokens n) {
   return run_sync<service::RefundResult>(
       ns, key,
-      [ns, key, n](service::Client& client,
-                   Callback<service::RefundResult> completion) {
-        client.refund_async(ns, key, n, std::move(completion));
+      [ns, key, n, trace = mint_trace()](
+          service::Client& client,
+          Callback<service::RefundResult> completion) {
+        client.refund_async(ns, key, n, std::move(completion),
+                            /*timeout_us=*/0, trace ? &*trace : nullptr);
       });
 }
 
@@ -370,9 +393,11 @@ service::QueryResult ClusterClient::query(service::NamespaceId ns,
                                           std::uint64_t key) {
   return run_sync<service::QueryResult>(
       ns, key,
-      [ns, key](service::Client& client,
-                Callback<service::QueryResult> completion) {
-        client.query_async(ns, key, std::move(completion));
+      [ns, key, trace = mint_trace()](
+          service::Client& client,
+          Callback<service::QueryResult> completion) {
+        client.query_async(ns, key, std::move(completion),
+                           /*timeout_us=*/0, trace ? &*trace : nullptr);
       });
 }
 
@@ -463,7 +488,9 @@ void ClusterClient::batch_group_async(service::NamespaceId ns,
         state->fail(std::move(error));
       }
     };
-    client->acquire_batch_async(ns, group.ops, std::move(completion));
+    client->acquire_batch_async(ns, group.ops, std::move(completion),
+                                /*timeout_us=*/0,
+                                state->trace ? &*state->trace : nullptr);
   }
 }
 
@@ -476,6 +503,7 @@ std::vector<service::AcquireResult> ClusterClient::acquire_batch(
   state->results.resize(ops.size());
   state->outstanding.store(1, std::memory_order_relaxed);
   state->done = std::move(done);
+  state->trace = mint_trace();
   std::vector<service::AcquireOp> all(ops.begin(), ops.end());
   std::vector<std::size_t> indices(ops.size());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;

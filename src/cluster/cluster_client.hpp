@@ -39,6 +39,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -51,6 +52,10 @@
 #include "service/account_table.hpp"
 #include "service/client.hpp"
 #include "util/types.hpp"
+
+namespace toka::obs {
+class Tracer;
+}
 
 namespace toka::cluster {
 
@@ -90,6 +95,16 @@ class ClusterClient {
 
   ClusterClient(const ClusterClient&) = delete;
   ClusterClient& operator=(const ClusterClient&) = delete;
+
+  /// Attaches a flight recorder: every logical data op mints ONE trace
+  /// context (sampled per the tracer's 1-in-N policy) that rides through
+  /// all of the op's internal redirect/refresh retries — the spans a
+  /// redirecting node, the owning node and this client record all carry
+  /// the same trace id, which is what makes a cross-node redirect legible
+  /// in a kTraces snapshot. Per-node clients record Stage::kClient spans
+  /// into the same tracer. Attach before the first data op, from the
+  /// constructing thread; the tracer must outlive the client.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   // ---------------------------------------------------------- data ops
   // Sync wrappers are async + .get(); they throw the last error after the
@@ -207,9 +222,13 @@ class ClusterClient {
       std::vector<std::size_t> indices,
       std::shared_ptr<struct BatchState> state, int attempt);
 
+  /// A fresh per-logical-op trace context, or nullopt when untraced.
+  std::optional<service::protocol::TraceContext> mint_trace();
+
   EndpointFactory factory_;
   ClusterClientConfig config_;
   std::vector<NodeId> seeds_;
+  obs::Tracer* tracer_ = nullptr;
 
   mutable std::mutex mu_;
   std::shared_ptr<const Routing> routing_;

@@ -17,7 +17,8 @@ ClusterServer::ClusterServer(service::AccountTable& table,
     : table_(&table),
       transport_(&transport),
       tap_(transport),
-      server_(table, tap_, options),
+      server_(table, tap_, with_node(options, transport)),
+      tracer_(options.tracer),
       registry_(options.registry),
       map_(std::move(map)),
       ring_(map_) {
@@ -163,6 +164,8 @@ void ClusterServer::on_frame(NodeId from, std::vector<std::byte> payload) {
   if (is_data_op) {
     bool owned = true;
     NodeId foreign_owner = kNoNode;
+    service::NamespaceId foreign_ns = service::kDefaultNamespace;
+    std::uint64_t foreign_key = 0;
     std::uint64_t epoch = 0;
     bool walked;
     {
@@ -175,6 +178,8 @@ void ClusterServer::on_frame(NodeId from, std::vector<std::byte> payload) {
             if (owner != self_id) {
               owned = false;
               foreign_owner = owner;
+              foreign_ns = ns;
+              foreign_key = key;
               return false;
             }
             return true;
@@ -182,6 +187,14 @@ void ClusterServer::on_frame(NodeId from, std::vector<std::byte> payload) {
     }
     if (walked && !owned) {
       redirects_sent_.fetch_add(1, std::memory_order_relaxed);
+      if (tracer_ != nullptr && head->traced) {
+        // The redirect leg of a traced request: the span ties this node's
+        // refusal to the same trace id the owning node's spans carry after
+        // the client retries. Redirects are rare, so record every one.
+        tracer_->record(obs::Stage::kRedirect, obs::Decision::kNone,
+                        head->trace_id, foreign_key, foreign_ns,
+                        obs::Tracer::now_us(), 0, /*sampled=*/true);
+      }
       transport_->send(from, proto::encode(proto::RedirectResponse{
                                  head->id, epoch, foreign_owner}));
       return;

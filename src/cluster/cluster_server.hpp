@@ -136,10 +136,19 @@ class ClusterServer {
   void handle_handoff(NodeId from, const service::protocol::HandoffRequest& r);
   void register_metrics();
 
+  /// Fills in ServerOptions::node with transport.self() when unset, so
+  /// both layers stamp exported spans with this node's identity.
+  static service::ServerOptions with_node(service::ServerOptions options,
+                                          runtime::Transport& transport) {
+    if (options.node == kNoNode) options.node = transport.self();
+    return options;
+  }
+
   service::AccountTable* table_;
   runtime::Transport* transport_;
   Tap tap_;
   service::Server server_;
+  obs::Tracer* tracer_ = nullptr;  ///< the inner server's flight recorder
   obs::Registry* registry_;
   std::vector<std::string> metric_names_;
 

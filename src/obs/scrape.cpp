@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -10,6 +11,7 @@
 #include <string>
 
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace toka::obs {
@@ -26,10 +28,23 @@ bool send_all(int fd, const char* data, std::size_t n) {
   return true;
 }
 
+/// True when the request line asks for `path` (exactly, or with a query
+/// string). The request buffer always starts with the request line.
+bool requests_path(const std::string& req, const char* path) {
+  const std::string prefix = std::string("GET ") + path;
+  if (req.compare(0, prefix.size(), prefix) != 0) return false;
+  const char next = req.size() > prefix.size() ? req[prefix.size()] : '\0';
+  return next == ' ' || next == '?' || next == '\0';
+}
+
 }  // namespace
 
 ScrapeServer::ScrapeServer(const Registry& registry, std::uint16_t port)
-    : registry_(&registry) {
+    : ScrapeServer(registry, nullptr, port) {}
+
+ScrapeServer::ScrapeServer(const Registry& registry, const Tracer* tracer,
+                           std::uint16_t port)
+    : registry_(&registry), tracer_(tracer) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw util::IoError("scrape: socket() failed");
   const int one = 1;
@@ -64,19 +79,45 @@ void ScrapeServer::serve_loop() {
   for (;;) {
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) return;  // listener shut down (or unrecoverable error)
-    // Drain the request line + headers; we answer every request the same
-    // way, so only the terminating blank line matters.
+    // Deadline both directions: recv() returns EAGAIN after the timeout on
+    // a connected-but-silent client, and send() after one that stopped
+    // reading — either way the loop moves on to the next scrape instead of
+    // blocking forever on this one.
+    timeval tv{};
+    tv.tv_sec = kConnTimeoutMs / 1000;
+    tv.tv_usec = (kConnTimeoutMs % 1000) * 1000;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    // Drain the request line + headers; only the path and the terminating
+    // blank line matter.
     char buf[1024];
     std::string req;
+    bool timed_out = false;
     while (req.find("\r\n\r\n") == std::string::npos && req.size() < 8192) {
       const ssize_t got = ::recv(conn, buf, sizeof buf, 0);
-      if (got <= 0) break;
+      if (got <= 0) {
+        timed_out = got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+        break;
+      }
       req.append(buf, static_cast<std::size_t>(got));
     }
-    const std::string body = registry_->render_prometheus();
+    if (timed_out || req.empty()) {
+      ::close(conn);  // silent or dead client: answer nothing
+      continue;
+    }
+    std::string body;
+    std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+    if (tracer_ != nullptr && requests_path(req, "/traces")) {
+      body = tracer_->render_json();
+      content_type = "application/json";
+    } else {
+      body = registry_->render_prometheus();
+    }
     const std::string resp =
         "HTTP/1.0 200 OK\r\n"
-        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Type: " +
+        content_type +
+        "\r\n"
         "Content-Length: " +
         std::to_string(body.size()) + "\r\n\r\n" + body;
     send_all(conn, resp.data(), resp.size());

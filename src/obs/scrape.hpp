@@ -1,8 +1,15 @@
 // Minimal Prometheus scrape endpoint: a single-threaded HTTP/1.0 server
-// that answers every GET with the registry's text exposition. One
-// connection at a time, read-render-write-close — a scrape target, not a
-// web server. Binds 127.0.0.1 (port 0 picks an ephemeral port; read it
-// back with port()).
+// that answers GETs with the registry's text exposition — plus, when
+// built with a Tracer, "GET /traces" with the flight recorder's JSON
+// snapshot. One connection at a time, read-render-write-close — a scrape
+// target, not a web server. Binds 127.0.0.1 (port 0 picks an ephemeral
+// port; read it back with port()).
+//
+// Every accepted connection gets a read AND a write deadline
+// (kConnTimeoutMs via SO_RCVTIMEO/SO_SNDTIMEO): a client that connects
+// and then goes silent — or stops reading the response — times out and is
+// closed, instead of wedging the serve loop forever and starving every
+// later scrape.
 #pragma once
 
 #include <cstdint>
@@ -11,12 +18,24 @@
 namespace toka::obs {
 
 class Registry;
+class Tracer;
 
 class ScrapeServer {
  public:
+  /// Per-connection read/write deadline. A scrape is one short request and
+  /// one bounded response on a loopback or LAN hop; anything slower than
+  /// this is a stuck peer, not a slow one.
+  static constexpr long kConnTimeoutMs = 2000;
+
   /// Starts listening and serving immediately; throws util::IoError if the
   /// socket can't be bound. `registry` must outlive the server.
   explicit ScrapeServer(const Registry& registry, std::uint16_t port = 0);
+
+  /// Same, additionally answering "GET /traces" from `tracer` (which must
+  /// outlive the server; nullptr behaves like the two-arg constructor).
+  ScrapeServer(const Registry& registry, const Tracer* tracer,
+               std::uint16_t port);
+
   ~ScrapeServer();
 
   ScrapeServer(const ScrapeServer&) = delete;
@@ -29,6 +48,7 @@ class ScrapeServer {
   void serve_loop();
 
   const Registry* registry_;
+  const Tracer* tracer_ = nullptr;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::thread thread_;

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "runtime/framing.hpp"
 #include "util/error.hpp"
 
@@ -137,6 +138,9 @@ class EpollMesh::Endpoint final : public Transport {
 
   NodeId self() const override { return id_; }
   std::uint16_t port() const { return port_; }
+  std::uint64_t frames_rejected() const {
+    return frames_rejected_.load(std::memory_order_relaxed);
+  }
 
   void set_handler(Handler handler) override {
     // Exclusive lock: waits out in-flight deliveries (shared lock on the
@@ -422,6 +426,7 @@ class EpollMesh::Endpoint final : public Transport {
               deliver(from, std::move(payload));
             });
         if (!ok) {
+          frames_rejected_.fetch_add(1, std::memory_order_relaxed);
           close_conn(loop, conn, /*notify=*/true);  // corrupt stream
           return;
         }
@@ -599,6 +604,7 @@ class EpollMesh::Endpoint final : public Transport {
   std::shared_mutex peer_down_mutex_;
   PeerDownHandler peer_down_;
   std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> frames_rejected_{0};
 
   std::mutex conn_mu_;
   std::map<NodeId, std::shared_ptr<Conn>> by_peer_;  ///< outgoing conns
@@ -612,7 +618,26 @@ EpollMesh::EpollMesh(std::size_t node_count, std::size_t io_threads) {
 }
 
 EpollMesh::~EpollMesh() {
+  if (registry_ != nullptr) registry_->remove("tokend_epoll_frames_rejected");
   for (auto& ep : endpoints_) ep->shutdown();
+}
+
+std::uint64_t EpollMesh::frames_rejected(NodeId id) const {
+  TOKA_CHECK_MSG(id < endpoints_.size(), "endpoint " << id << " out of range");
+  return endpoints_[id]->frames_rejected();
+}
+
+std::uint64_t EpollMesh::frames_rejected() const {
+  std::uint64_t total = 0;
+  for (const auto& ep : endpoints_) total += ep->frames_rejected();
+  return total;
+}
+
+void EpollMesh::register_metrics(obs::Registry& registry) {
+  registry_ = &registry;
+  registry.counter_fn("tokend_epoll_frames_rejected", [this] {
+    return static_cast<double>(frames_rejected());
+  });
 }
 
 Transport& EpollMesh::endpoint(NodeId id) {

@@ -32,6 +32,10 @@
 #include "runtime/transport.hpp"
 #include "util/types.hpp"
 
+namespace toka::obs {
+class Registry;
+}
+
 namespace toka::runtime {
 
 class EpollMesh {
@@ -59,9 +63,23 @@ class EpollMesh {
   /// fault-injection hook TcpMesh gives the cluster churn tests.
   void shutdown_endpoint(NodeId id);
 
+  /// Connections dropped by `id`'s loops because the frame decoder
+  /// rejected the stream (length prefix past kMaxFrameBytes — a corrupt or
+  /// hostile peer). A rejection kills the connection, so the count is
+  /// per-stream, not per-garbage-byte.
+  std::uint64_t frames_rejected(NodeId id) const;
+  /// Sum over all endpoints.
+  std::uint64_t frames_rejected() const;
+
+  /// Exports the mesh-wide rejection count into `registry` as the
+  /// "tokend_epoll_frames_rejected" counter. Call at most once; the
+  /// registry must outlive the mesh (the destructor unregisters).
+  void register_metrics(obs::Registry& registry);
+
  private:
   class Endpoint;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  obs::Registry* registry_ = nullptr;
 };
 
 }  // namespace toka::runtime

@@ -15,6 +15,7 @@
 #include <shared_mutex>
 #include <span>
 
+#include "obs/telemetry.hpp"
 #include "runtime/framing.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -147,6 +148,9 @@ class TcpMesh::Endpoint final : public Transport {
 
   NodeId self() const override { return id_; }
   std::uint16_t port() const { return port_; }
+  std::uint64_t frames_rejected() const {
+    return frames_rejected_.load(std::memory_order_relaxed);
+  }
 
   void set_handler(Handler handler) override {
     // Exclusive lock: blocks until every in-flight delivery (shared lock
@@ -335,7 +339,10 @@ class TcpMesh::Endpoint final : public Transport {
             if (handler_ && !stopping_.load())
               handler_(from, std::move(payload));
           });
-      if (!ok) return;  // corrupt stream: length past kMaxFrameBytes
+      if (!ok) {
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        return;  // corrupt stream: length past kMaxFrameBytes
+      }
     }
   }
 
@@ -408,6 +415,7 @@ class TcpMesh::Endpoint final : public Transport {
   std::shared_mutex peer_down_mutex_;
   PeerDownHandler peer_down_;
   std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> frames_rejected_{0};
 
   std::mutex conn_mutex_;
   std::map<NodeId, Fd> outgoing_;
@@ -425,7 +433,26 @@ TcpMesh::TcpMesh(std::size_t node_count) {
 }
 
 TcpMesh::~TcpMesh() {
+  if (registry_ != nullptr) registry_->remove("tokend_tcp_frames_rejected");
   for (auto& ep : endpoints_) ep->shutdown();
+}
+
+std::uint64_t TcpMesh::frames_rejected(NodeId id) const {
+  TOKA_CHECK_MSG(id < endpoints_.size(), "endpoint " << id << " out of range");
+  return endpoints_[id]->frames_rejected();
+}
+
+std::uint64_t TcpMesh::frames_rejected() const {
+  std::uint64_t total = 0;
+  for (const auto& ep : endpoints_) total += ep->frames_rejected();
+  return total;
+}
+
+void TcpMesh::register_metrics(obs::Registry& registry) {
+  registry_ = &registry;
+  registry.counter_fn("tokend_tcp_frames_rejected", [this] {
+    return static_cast<double>(frames_rejected());
+  });
 }
 
 Transport& TcpMesh::endpoint(NodeId id) {

@@ -17,6 +17,10 @@
 #include "runtime/transport.hpp"
 #include "util/types.hpp"
 
+namespace toka::obs {
+class Registry;
+}
+
 namespace toka::runtime {
 
 class TcpMesh {
@@ -45,9 +49,22 @@ class TcpMesh {
   /// this is the fault-injection hook cluster churn tests are built on.
   void shutdown_endpoint(NodeId id);
 
+  /// Connections dropped by `id`'s readers because the frame decoder
+  /// rejected the stream (length prefix past kMaxFrameBytes). A rejection
+  /// kills the connection, so the count is per-stream.
+  std::uint64_t frames_rejected(NodeId id) const;
+  /// Sum over all endpoints.
+  std::uint64_t frames_rejected() const;
+
+  /// Exports the mesh-wide rejection count into `registry` as the
+  /// "tokend_tcp_frames_rejected" counter. Call at most once; the registry
+  /// must outlive the mesh (the destructor unregisters).
+  void register_metrics(obs::Registry& registry);
+
  private:
   class Endpoint;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  obs::Registry* registry_ = nullptr;
 };
 
 }  // namespace toka::runtime

@@ -259,6 +259,9 @@ AcquireResult AccountTable::acquire_locked(
     std::uint64_t key, Tokens n, std::int64_t tick, TimeUs now) {
   TOKA_CHECK_MSG(n >= 0, "acquire requires n >= 0, got " << n);
   Entry& entry = find_or_create(shard, ns, key, tick, now);
+  // Balance before this call's settle: a grant within it was banked; a
+  // grant beyond it spent tokens the settle just minted ("fresh").
+  const Tokens banked = entry.account.balance();
   settle(shard, entry, now);
   const Tokens granted = entry.account.try_spend(n);
   TableStats& stats = stats_for(shard, ns->id);
@@ -269,7 +272,7 @@ AcquireResult AccountTable::acquire_locked(
   if (entry.auditor) {
     for (Tokens i = 0; i < granted; ++i) entry.auditor->record(now);
   }
-  return AcquireResult{granted, entry.account.balance()};
+  return AcquireResult{granted, entry.account.balance(), granted > banked};
 }
 
 AcquireResult AccountTable::acquire(NamespaceId ns, std::uint64_t key,

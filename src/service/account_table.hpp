@@ -159,6 +159,11 @@ struct AcquireOp {
 struct AcquireResult {
   Tokens granted = 0;  ///< tokens actually deducted, in [0, requested]
   Tokens balance = 0;  ///< balance after the deduction
+  /// True when the grant spent tokens minted by this call's settle — the
+  /// §3.4 "fresh token" case, as opposed to a grant served entirely from
+  /// the pre-call banked balance. Diagnostic only: never on the wire
+  /// (responses stay byte-identical) and ignored by result equality.
+  bool fresh = false;
 };
 
 struct RefundResult {

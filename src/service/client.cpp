@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/promise.hpp"
 
@@ -172,6 +173,41 @@ void Client::start_call(std::uint64_t id, std::vector<std::byte> frame,
   transport_->send(server_, std::move(frame));
 }
 
+Client::Completion Client::traced_call(std::vector<std::byte>& frame,
+                                       Completion done,
+                                       const protocol::TraceContext* trace,
+                                       NamespaceId ns, std::uint64_t key) {
+  protocol::TraceContext ctx;
+  if (trace != nullptr) {
+    ctx = *trace;
+  } else if (tracer_ != nullptr) {
+    ctx = protocol::TraceContext{tracer_->next_trace_id(),
+                                 tracer_->sample_next()};
+  } else {
+    return done;
+  }
+  protocol::attach_trace_context(frame, ctx);
+  if (tracer_ == nullptr) return done;  // stamped for the server only
+  obs::Tracer* tracer = tracer_;
+  const std::int64_t t0 = obs::Tracer::now_us();
+  return [done = std::move(done), tracer, ctx, ns, key,
+          t0](protocol::Response response, std::exception_ptr error) {
+    obs::Decision decision = obs::Decision::kNone;
+    if (error != nullptr) {
+      decision = obs::Decision::kError;
+      try {
+        std::rethrow_exception(error);
+      } catch (const protocol::OverloadedError&) {
+        decision = obs::Decision::kShed;
+      } catch (...) {
+      }
+    }
+    tracer->record(obs::Stage::kClient, decision, ctx.trace_id, key, ns, t0,
+                   obs::Tracer::now_us() - t0, ctx.sampled);
+    done(std::move(response), std::move(error));
+  };
+}
+
 void Client::on_frame(NodeId from, std::vector<std::byte> payload) {
   if (from != server_) return;  // stray frame from elsewhere on the fabric
   protocol::Response response;
@@ -291,16 +327,21 @@ void Client::sweep_loop() {
 // ----------------------------------------------------------------- data ops
 
 void Client::acquire_async(NamespaceId ns, std::uint64_t key, Tokens n,
-                           Callback<AcquireResult> done, TimeUs timeout_us) {
+                           Callback<AcquireResult> done, TimeUs timeout_us,
+                           const protocol::TraceContext* trace) {
   const std::uint64_t id = next_id();
-  start_call(id,
-             protocol::encode(protocol::AcquireRequest{id, key, n, ns}),
-             make_completion<protocol::AcquireResponse, AcquireResult>(
-                 std::move(done), "acquire",
-                 [](protocol::AcquireResponse resp) {
-                   return AcquireResult{resp.granted, resp.balance};
-                 }),
-             timeout_us, /*data_op=*/true);
+  std::vector<std::byte> frame =
+      protocol::encode(protocol::AcquireRequest{id, key, n, ns});
+  Completion completion =
+      traced_call(frame,
+                  make_completion<protocol::AcquireResponse, AcquireResult>(
+                      std::move(done), "acquire",
+                      [](protocol::AcquireResponse resp) {
+                        return AcquireResult{resp.granted, resp.balance};
+                      }),
+                  trace, ns, key);
+  start_call(id, std::move(frame), std::move(completion), timeout_us,
+             /*data_op=*/true);
 }
 
 std::future<AcquireResult> Client::acquire_async(NamespaceId ns,
@@ -312,15 +353,21 @@ std::future<AcquireResult> Client::acquire_async(NamespaceId ns,
 }
 
 void Client::refund_async(NamespaceId ns, std::uint64_t key, Tokens n,
-                          Callback<RefundResult> done, TimeUs timeout_us) {
+                          Callback<RefundResult> done, TimeUs timeout_us,
+                          const protocol::TraceContext* trace) {
   const std::uint64_t id = next_id();
-  start_call(id, protocol::encode(protocol::RefundRequest{id, key, n, ns}),
-             make_completion<protocol::RefundResponse, RefundResult>(
-                 std::move(done), "refund",
-                 [](protocol::RefundResponse resp) {
-                   return RefundResult{resp.accepted, resp.balance};
-                 }),
-             timeout_us, /*data_op=*/true);
+  std::vector<std::byte> frame =
+      protocol::encode(protocol::RefundRequest{id, key, n, ns});
+  Completion completion =
+      traced_call(frame,
+                  make_completion<protocol::RefundResponse, RefundResult>(
+                      std::move(done), "refund",
+                      [](protocol::RefundResponse resp) {
+                        return RefundResult{resp.accepted, resp.balance};
+                      }),
+                  trace, ns, key);
+  start_call(id, std::move(frame), std::move(completion), timeout_us,
+             /*data_op=*/true);
 }
 
 std::future<RefundResult> Client::refund_async(NamespaceId ns,
@@ -332,15 +379,21 @@ std::future<RefundResult> Client::refund_async(NamespaceId ns,
 }
 
 void Client::query_async(NamespaceId ns, std::uint64_t key,
-                         Callback<QueryResult> done, TimeUs timeout_us) {
+                         Callback<QueryResult> done, TimeUs timeout_us,
+                         const protocol::TraceContext* trace) {
   const std::uint64_t id = next_id();
-  start_call(id, protocol::encode(protocol::QueryRequest{id, key, ns}),
-             make_completion<protocol::QueryResponse, QueryResult>(
-                 std::move(done), "query",
-                 [](protocol::QueryResponse resp) {
-                   return QueryResult{resp.balance, resp.exists};
-                 }),
-             timeout_us, /*data_op=*/true);
+  std::vector<std::byte> frame =
+      protocol::encode(protocol::QueryRequest{id, key, ns});
+  Completion completion =
+      traced_call(frame,
+                  make_completion<protocol::QueryResponse, QueryResult>(
+                      std::move(done), "query",
+                      [](protocol::QueryResponse resp) {
+                        return QueryResult{resp.balance, resp.exists};
+                      }),
+                  trace, ns, key);
+  start_call(id, std::move(frame), std::move(completion), timeout_us,
+             /*data_op=*/true);
 }
 
 std::future<QueryResult> Client::query_async(NamespaceId ns,
@@ -354,15 +407,21 @@ std::future<QueryResult> Client::query_async(NamespaceId ns,
 void Client::acquire_batch_async(NamespaceId ns,
                                  std::span<const AcquireOp> ops,
                                  Callback<std::vector<AcquireResult>> done,
-                                 TimeUs timeout_us) {
+                                 TimeUs timeout_us,
+                                 const protocol::TraceContext* trace) {
   const std::uint64_t id = next_id();
   protocol::BatchAcquireRequest request;
   request.id = id;
   request.ns = ns;
   request.ops.assign(ops.begin(), ops.end());
   const std::size_t expected = request.ops.size();
-  start_call(
-      id, protocol::encode(request),
+  // The batch's client span carries the first op's key — a batch is one
+  // frame, one trace, and in the skewed workloads that trigger batching
+  // the ops share the hot key anyway.
+  const std::uint64_t span_key = ops.empty() ? 0 : ops.front().key;
+  std::vector<std::byte> frame = protocol::encode(request);
+  Completion completion = traced_call(
+      frame,
       make_completion<protocol::BatchAcquireResponse,
                       std::vector<AcquireResult>>(
           std::move(done), "acquire_batch",
@@ -374,7 +433,9 @@ void Client::acquire_batch_async(NamespaceId ns,
                                   " ops");
             return std::move(resp.results);
           }),
-      timeout_us, /*data_op=*/true);
+      trace, ns, span_key);
+  start_call(id, std::move(frame), std::move(completion), timeout_us,
+             /*data_op=*/true);
 }
 
 std::future<std::vector<AcquireResult>> Client::acquire_batch_async(
@@ -450,6 +511,26 @@ void Client::stats_async(Callback<std::vector<protocol::StatsEntry>> done,
 std::vector<protocol::StatsEntry> Client::stats() {
   auto [future, done] = make_promise_pair<std::vector<protocol::StatsEntry>>();
   stats_async(std::move(done));
+  return future.get();
+}
+
+void Client::fetch_traces_async(std::uint32_t max_spans,
+                                Callback<std::vector<protocol::TraceSpan>> done,
+                                TimeUs timeout_us) {
+  const std::uint64_t id = next_id();
+  start_call(id, protocol::encode(protocol::TracesRequest{id, max_spans}),
+             make_completion<protocol::TracesResponse,
+                             std::vector<protocol::TraceSpan>>(
+                 std::move(done), "traces",
+                 [](protocol::TracesResponse resp) {
+                   return std::move(resp.spans);
+                 }),
+             timeout_us);
+}
+
+std::vector<protocol::TraceSpan> Client::fetch_traces(std::uint32_t max_spans) {
+  auto [future, done] = make_promise_pair<std::vector<protocol::TraceSpan>>();
+  fetch_traces_async(max_spans, std::move(done));
   return future.get();
 }
 

@@ -55,6 +55,10 @@
 #include "service/protocol.hpp"
 #include "util/types.hpp"
 
+namespace toka::obs {
+class Tracer;
+}
+
 namespace toka::service {
 
 /// Outcome of pushing a membership map to one node.
@@ -87,6 +91,15 @@ class Client {
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
+
+  /// Attaches a flight recorder: every data op issued afterwards is
+  /// stamped with a trace context (a fresh id, sampled per the tracer's
+  /// 1-in-N policy — or the caller's own context when one is passed
+  /// explicitly) and records a Stage::kClient span covering the full
+  /// round trip when it completes. Not synchronized: attach before
+  /// issuing calls, from the constructing thread. The tracer must outlive
+  /// the client. nullptr detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   // ------------------------------------------------- synchronous wrappers
   // Each is async + .get(); throws util::IoError on timeout and
@@ -125,7 +138,11 @@ class Client {
   }
 
   // ------------------------------------------------------- async core
-  // `timeout_us` == 0 means the client's default deadline.
+  // `timeout_us` == 0 means the client's default deadline. The trailing
+  // `trace` pointer (callback flavors) stamps the caller's own context on
+  // the frame instead of minting one — the cluster client uses this to
+  // keep one trace id across a redirect retry; it is read before the call
+  // returns and need not outlive it.
 
   std::future<AcquireResult> acquire_async(std::uint64_t key, Tokens n) {
     return acquire_async(kDefaultNamespace, key, n);
@@ -133,23 +150,27 @@ class Client {
   std::future<AcquireResult> acquire_async(NamespaceId ns, std::uint64_t key,
                                            Tokens n, TimeUs timeout_us = 0);
   void acquire_async(NamespaceId ns, std::uint64_t key, Tokens n,
-                     Callback<AcquireResult> done, TimeUs timeout_us = 0);
+                     Callback<AcquireResult> done, TimeUs timeout_us = 0,
+                     const protocol::TraceContext* trace = nullptr);
 
   std::future<RefundResult> refund_async(NamespaceId ns, std::uint64_t key,
                                          Tokens n, TimeUs timeout_us = 0);
   void refund_async(NamespaceId ns, std::uint64_t key, Tokens n,
-                    Callback<RefundResult> done, TimeUs timeout_us = 0);
+                    Callback<RefundResult> done, TimeUs timeout_us = 0,
+                    const protocol::TraceContext* trace = nullptr);
 
   std::future<QueryResult> query_async(NamespaceId ns, std::uint64_t key,
                                        TimeUs timeout_us = 0);
   void query_async(NamespaceId ns, std::uint64_t key, Callback<QueryResult> done,
-                   TimeUs timeout_us = 0);
+                   TimeUs timeout_us = 0,
+                   const protocol::TraceContext* trace = nullptr);
 
   std::future<std::vector<AcquireResult>> acquire_batch_async(
       NamespaceId ns, std::span<const AcquireOp> ops, TimeUs timeout_us = 0);
   void acquire_batch_async(NamespaceId ns, std::span<const AcquireOp> ops,
                            Callback<std::vector<AcquireResult>> done,
-                           TimeUs timeout_us = 0);
+                           TimeUs timeout_us = 0,
+                           const protocol::TraceContext* trace = nullptr);
 
   // ------------------------------------------------------------- admin
 
@@ -180,6 +201,15 @@ class Client {
   std::vector<protocol::StatsEntry> stats();
   void stats_async(Callback<std::vector<protocol::StatsEntry>> done,
                    TimeUs timeout_us = 0);
+
+  /// The server's flight-recorder snapshot, oldest span first (empty if
+  /// the server has no tracer). `max_spans` caps the reply; 0 means the
+  /// server-side limit. Never suppressed by the backoff window. Throws
+  /// protocol::RpcError{kUnsupported} from a v1-only server.
+  std::vector<protocol::TraceSpan> fetch_traces(std::uint32_t max_spans = 0);
+  void fetch_traces_async(std::uint32_t max_spans,
+                          Callback<std::vector<protocol::TraceSpan>> done,
+                          TimeUs timeout_us = 0);
 
   // ------------------------------------------------------------ counters
 
@@ -234,6 +264,12 @@ class Client {
   /// OverloadedError while it is open).
   void start_call(std::uint64_t id, std::vector<std::byte> frame,
                   Completion done, TimeUs timeout_us, bool data_op = false);
+  /// Stamps a trace context onto `frame` — the caller's own (`trace`) or
+  /// a tracer-minted one — and wraps `done` to record the round-trip
+  /// kClient span on completion. Identity when the call is untraced.
+  Completion traced_call(std::vector<std::byte>& frame, Completion done,
+                         const protocol::TraceContext* trace, NamespaceId ns,
+                         std::uint64_t key);
   void on_frame(NodeId from, std::vector<std::byte> payload);
   void on_peer_down(NodeId peer);
   void sweep_loop();
@@ -243,6 +279,7 @@ class Client {
 
   runtime::Transport* transport_;
   NodeId server_;
+  obs::Tracer* tracer_ = nullptr;
   TimeUs timeout_us_;
   TimeUs wheel_tick_us_;
   std::chrono::steady_clock::time_point epoch_;

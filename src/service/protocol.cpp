@@ -24,6 +24,7 @@ bool known_type(std::uint8_t version, MsgType type, bool is_response) {
     case MsgType::kApplyMap:
     case MsgType::kHandoff:
     case MsgType::kStats:
+    case MsgType::kTraces:
       return version >= kProtocolVersion;
     case MsgType::kRedirect:
     case MsgType::kError:
@@ -397,6 +398,39 @@ std::vector<std::byte> encode_at(const StatsResponse& m,
   return w.take();
 }
 
+std::vector<std::byte> encode_at(const TracesRequest& m,
+                                 std::uint8_t version) {
+  TOKA_CHECK_MSG(version >= kProtocolVersion,
+                 "protocol v1 cannot carry trace messages");
+  util::BinaryWriter w = header(version, MsgType::kTraces, false, m.id);
+  w.u32(m.max_spans);
+  return w.take();
+}
+
+std::vector<std::byte> encode_at(const TracesResponse& m,
+                                 std::uint8_t version) {
+  TOKA_CHECK_MSG(version >= kProtocolVersion,
+                 "protocol v1 cannot carry trace messages");
+  TOKA_CHECK_MSG(m.spans.size() <= kMaxTraceSpans,
+                 "trace snapshot of " << m.spans.size()
+                                      << " spans exceeds the limit of "
+                                      << kMaxTraceSpans);
+  util::BinaryWriter w = header(version, MsgType::kTraces, true, m.id);
+  w.u32(static_cast<std::uint32_t>(m.spans.size()));
+  for (const TraceSpan& s : m.spans) {
+    w.u64(s.trace_id);
+    w.u64(s.key);
+    w.i64(s.start_us);
+    w.i64(s.dur_us);
+    w.u32(s.ns);
+    w.u32(s.node);
+    w.u8(s.stage);
+    w.u8(s.decision);
+    w.u8(s.flags);
+  }
+  return w.take();
+}
+
 std::vector<std::byte> encode_at(const RedirectResponse& m,
                                  std::uint8_t version) {
   check_v2_cluster(version);
@@ -479,6 +513,12 @@ std::vector<std::byte> encode(const StatsRequest& m) {
 std::vector<std::byte> encode(const StatsResponse& m) {
   return encode_at(m, kProtocolVersion);
 }
+std::vector<std::byte> encode(const TracesRequest& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const TracesResponse& m) {
+  return encode_at(m, kProtocolVersion);
+}
 std::vector<std::byte> encode(const RedirectResponse& m) {
   return encode_at(m, kProtocolVersion);
 }
@@ -505,16 +545,39 @@ Request decode_request(std::span<const std::byte> payload) {
 
 Request decode_request(std::span<const std::byte> payload,
                        std::uint8_t& version_out) {
+  std::optional<TraceContext> trace;
+  return decode_request(payload, version_out, trace);
+}
+
+Request decode_request(std::span<const std::byte> payload,
+                       std::uint8_t& version_out,
+                       std::optional<TraceContext>& trace_out) {
+  trace_out.reset();
   util::BinaryReader r(payload);
   const auto [version, type] = read_header(r);
   version_out = version;
   const std::uint64_t id = r.u64();
-  const MsgType msg_type = static_cast<MsgType>(type);
+  // Only a v2 request can carry a trace context; a v1 type byte with the
+  // bit set stays an unknown type (v1 has no trace vocabulary).
+  const bool traced = (type & kTraceBit) != 0 && (type & kResponseBit) == 0 &&
+                      version >= kProtocolVersion;
+  const MsgType msg_type =
+      static_cast<MsgType>(traced ? (type & ~kTraceBit) : type);
   if (!known_type(version, msg_type, /*is_response=*/false) ||
       (type & kResponseBit) != 0)
     throw util::IoError("tokend frame: unknown request type " +
                         std::to_string(type) + " for version " +
                         std::to_string(version));
+  if (traced) {
+    TraceContext ctx;
+    ctx.trace_id = r.u64();
+    const std::uint8_t flags = r.u8();
+    if ((flags & ~kTraceFlagSampled) != 0)
+      throw util::IoError("tokend frame: unknown trace flags " +
+                          std::to_string(flags));
+    ctx.sampled = (flags & kTraceFlagSampled) != 0;
+    trace_out = ctx;
+  }
   Request out;
   switch (msg_type) {
     case MsgType::kAcquire: {
@@ -580,6 +643,10 @@ Request decode_request(std::span<const std::byte> payload,
     }
     case MsgType::kStats: {
       out = StatsRequest{id};
+      break;
+    }
+    case MsgType::kTraces: {
+      out = TracesRequest{id, r.u32()};
       break;
     }
     default:
@@ -699,6 +766,31 @@ Response decode_response(std::span<const std::byte> payload) {
       out = std::move(m);
       break;
     }
+    case MsgType::kTraces: {
+      TracesResponse m;
+      m.id = id;
+      const std::uint32_t count = r.u32();
+      if (count > kMaxTraceSpans)
+        throw util::IoError("tokend frame: trace snapshot of " +
+                            std::to_string(count) +
+                            " spans exceeds the limit");
+      m.spans.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        TraceSpan s;
+        s.trace_id = r.u64();
+        s.key = r.u64();
+        s.start_us = r.i64();
+        s.dur_us = r.i64();
+        s.ns = r.u32();
+        s.node = r.u32();
+        s.stage = r.u8();
+        s.decision = r.u8();
+        s.flags = r.u8();
+        m.spans.push_back(s);
+      }
+      out = std::move(m);
+      break;
+    }
     case MsgType::kRedirect: {
       RedirectResponse m;
       m.id = id;
@@ -733,6 +825,7 @@ Response decode_response(std::span<const std::byte> payload) {
 std::optional<FrameHeader> try_parse_header(
     std::span<const std::byte> payload) {
   constexpr std::size_t kHeaderBytes = 1 + 1 + 8;
+  constexpr std::size_t kTraceContextBytes = 8 + 1;
   if (payload.size() < kHeaderBytes) return std::nullopt;
   util::BinaryReader r(payload);
   const std::uint8_t version = r.u8();
@@ -740,14 +833,51 @@ std::optional<FrameHeader> try_parse_header(
     return std::nullopt;
   const std::uint8_t type_byte = r.u8();
   const bool is_response = (type_byte & kResponseBit) != 0;
-  const MsgType type = static_cast<MsgType>(type_byte & ~kResponseBit);
+  // Responses keep kTraceBit as part of their type value (kRedirect and
+  // kError live above 0x40); only a v2 request's bit announces context.
+  const bool traced = !is_response && (type_byte & kTraceBit) != 0 &&
+                      version >= kProtocolVersion;
+  std::uint8_t masked = type_byte & ~kResponseBit;
+  if (traced) masked &= ~kTraceBit;
+  const MsgType type = static_cast<MsgType>(masked);
   if (!known_type(version, type, is_response)) return std::nullopt;
   FrameHeader out;
   out.version = version;
   out.type = type;
   out.is_response = is_response;
   out.id = r.u64();
+  if (traced) {
+    if (payload.size() < kHeaderBytes + kTraceContextBytes)
+      return std::nullopt;
+    const std::uint64_t trace_id = r.u64();
+    const std::uint8_t flags = r.u8();
+    if ((flags & ~kTraceFlagSampled) != 0) return std::nullopt;
+    out.traced = true;
+    out.trace_id = trace_id;
+    out.sampled = (flags & kTraceFlagSampled) != 0;
+  }
   return out;
+}
+
+void attach_trace_context(std::vector<std::byte>& frame,
+                          const TraceContext& ctx) {
+  constexpr std::size_t kHeaderBytes = 1 + 1 + 8;
+  TOKA_CHECK_MSG(frame.size() >= kHeaderBytes,
+                 "cannot attach a trace context to a " << frame.size()
+                                                       << "-byte frame");
+  TOKA_CHECK_MSG(std::to_integer<std::uint8_t>(frame[0]) == kProtocolVersion,
+                 "trace contexts require protocol v2");
+  const std::uint8_t type_byte = std::to_integer<std::uint8_t>(frame[1]);
+  TOKA_CHECK_MSG((type_byte & (kResponseBit | kTraceBit)) == 0,
+                 "trace contexts attach to untraced request frames only");
+  frame[1] = static_cast<std::byte>(type_byte | kTraceBit);
+  std::byte ctx_bytes[9];
+  for (int i = 0; i < 8; ++i)
+    ctx_bytes[i] = static_cast<std::byte>((ctx.trace_id >> (8 * i)) & 0xFF);
+  ctx_bytes[8] =
+      static_cast<std::byte>(ctx.sampled ? kTraceFlagSampled : 0);
+  frame.insert(frame.begin() + kHeaderBytes, std::begin(ctx_bytes),
+               std::end(ctx_bytes));
 }
 
 std::uint64_t request_id(const Request& m) {

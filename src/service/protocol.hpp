@@ -75,12 +75,43 @@ enum class MsgType : std::uint8_t {
   kApplyMap = 8,            ///< v2-only (cluster: install a newer map)
   kHandoff = 9,             ///< v2-only (cluster: node-to-node account move)
   kStats = 10,              ///< v2-only (telemetry snapshot)
+  kTraces = 11,             ///< v2-only (flight-recorder span snapshot)
   kRedirect = 0x7E,         ///< v2-only; exists only as a response
   kError = 0x7F,            ///< v2-only; exists only as a response
 };
 
 /// Bit set on a request's type byte to form its response's type byte.
 inline constexpr std::uint8_t kResponseBit = 0x80;
+
+// ------------------------------------------------------- trace context
+//
+// A v2 *request* frame may carry a 9-byte trace context — u64 trace id +
+// u8 flags — inserted right after the request id, announced by kTraceBit
+// on the type byte. Every defined request type is <= kTraces (11), so the
+// bit never collides with a request's type value (kRedirect/kError have
+// bit 6 set but exist only as responses, and responses never carry
+// context: the client correlates a reply to its trace by request id).
+// A frame without the bit is byte-identical to its pre-trace encoding,
+// and v1 has no trace vocabulary at all — a v1 type byte with kTraceBit
+// set is an unknown type.
+
+/// Bit set on a v2 request's type byte when a trace context follows the id.
+inline constexpr std::uint8_t kTraceBit = 0x40;
+/// The only defined trace flag: this request is in the sampled 1-in-N set.
+inline constexpr std::uint8_t kTraceFlagSampled = 0x01;
+
+/// Per-request trace identity, propagated end to end on request frames.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  bool sampled = false;
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// Stamps `ctx` onto an already-encoded v2 request frame: sets kTraceBit
+/// and splices the 9 context bytes in after the request id. The frame must
+/// be a v2 request that does not already carry a context (checked).
+void attach_trace_context(std::vector<std::byte>& frame,
+                          const TraceContext& ctx);
 
 /// Typed failure causes carried by ErrorResponse frames.
 enum class ErrorCode : std::uint8_t {
@@ -227,6 +258,40 @@ struct StatsResponse {
   friend bool operator==(const StatsResponse&, const StatsResponse&) = default;
 };
 
+/// Upper bound on spans per kTraces response frame.
+inline constexpr std::size_t kMaxTraceSpans = 1 << 16;
+
+/// One flight-recorder span in a kTraces snapshot; mirrors
+/// obs::SpanRecord. `stage` and `decision` are the obs::Stage /
+/// obs::Decision enum values carried as opaque bytes — the wire does not
+/// pin the diagnostic vocabulary, only the layout.
+struct TraceSpan {
+  std::uint64_t trace_id = 0;
+  std::uint64_t key = 0;
+  std::int64_t start_us = 0;  ///< steady-clock microseconds at span start
+  std::int64_t dur_us = 0;
+  std::uint32_t ns = 0;
+  std::uint32_t node = 0;  ///< recording node (kNoNode when standalone)
+  std::uint8_t stage = 0;
+  std::uint8_t decision = 0;
+  std::uint8_t flags = 0;  ///< kTraceFlagSampled and/or forced-record bits
+  friend bool operator==(const TraceSpan&, const TraceSpan&) = default;
+};
+
+/// Asks the server for a snapshot of its flight-recorder rings (v2-only).
+/// `max_spans` caps the reply; 0 means the server-side limit.
+struct TracesRequest {
+  std::uint64_t id = 0;
+  std::uint32_t max_spans = 0;
+  friend bool operator==(const TracesRequest&, const TracesRequest&) = default;
+};
+
+struct TracesResponse {
+  std::uint64_t id = 0;
+  std::vector<TraceSpan> spans;
+  friend bool operator==(const TracesResponse&, const TracesResponse&) = default;
+};
+
 // ------------------------------------------------------ cluster messages
 
 struct ClusterMapRequest {
@@ -298,13 +363,13 @@ using Request =
     std::variant<AcquireRequest, RefundRequest, QueryRequest,
                  BatchAcquireRequest, ConfigureNamespaceRequest,
                  NamespaceInfoRequest, ClusterMapRequest, ApplyMapRequest,
-                 HandoffRequest, StatsRequest>;
+                 HandoffRequest, StatsRequest, TracesRequest>;
 using Response =
     std::variant<AcquireResponse, RefundResponse, QueryResponse,
                  BatchAcquireResponse, ConfigureNamespaceResponse,
                  NamespaceInfoResponse, ClusterMapResponse, ApplyMapResponse,
-                 HandoffResponse, StatsResponse, RedirectResponse,
-                 ErrorResponse>;
+                 HandoffResponse, StatsResponse, TracesResponse,
+                 RedirectResponse, ErrorResponse>;
 
 // Per-type encoders emit the current version (v2).
 std::vector<std::byte> encode(const AcquireRequest& m);
@@ -327,6 +392,8 @@ std::vector<std::byte> encode(const HandoffRequest& m);
 std::vector<std::byte> encode(const HandoffResponse& m);
 std::vector<std::byte> encode(const StatsRequest& m);
 std::vector<std::byte> encode(const StatsResponse& m);
+std::vector<std::byte> encode(const TracesRequest& m);
+std::vector<std::byte> encode(const TracesResponse& m);
 std::vector<std::byte> encode(const RedirectResponse& m);
 std::vector<std::byte> encode(const ErrorResponse& m);
 
@@ -340,21 +407,30 @@ std::vector<std::byte> encode(const Response& m,
 
 /// Parses a request frame (v1 or v2); throws util::IoError on any
 /// malformation. The overload with `version_out` also reports which
-/// protocol version the frame used, so the server can answer in kind.
+/// protocol version the frame used, so the server can answer in kind;
+/// the overload with `trace_out` additionally surfaces the frame's trace
+/// context (nullopt when the frame carries none).
 Request decode_request(std::span<const std::byte> payload);
 Request decode_request(std::span<const std::byte> payload,
                        std::uint8_t& version_out);
+Request decode_request(std::span<const std::byte> payload,
+                       std::uint8_t& version_out,
+                       std::optional<TraceContext>& trace_out);
 
 /// Parses a response frame (v1 or v2); throws util::IoError on any
 /// malformation.
 Response decode_response(std::span<const std::byte> payload);
 
-/// The leading (version, type, id) triple of a frame.
+/// The leading (version, type, id) triple of a frame, plus the trace
+/// context when the request carries one.
 struct FrameHeader {
   std::uint8_t version = 0;
   MsgType type = MsgType::kAcquire;
   bool is_response = false;
   std::uint64_t id = 0;
+  bool traced = false;  ///< kTraceBit was set (v2 requests only)
+  std::uint64_t trace_id = 0;
+  bool sampled = false;
 };
 
 /// Parses just the header: nullopt unless the frame is long enough, the
@@ -394,8 +470,17 @@ bool for_each_data_op_key(std::span<const std::byte> payload, KeyFn&& fn) {
       return false;
     const std::uint8_t type_byte = r.u8();
     if ((type_byte & kResponseBit) != 0) return false;
-    const MsgType type = static_cast<MsgType>(type_byte);
+    // A traced frame carries 9 context bytes after the id; only v2 can —
+    // a v1 type byte with kTraceBit set is garbage for the strict decoder.
+    const bool traced = (type_byte & kTraceBit) != 0;
+    if (traced && version < kProtocolVersion) return false;
+    const MsgType type =
+        static_cast<MsgType>(traced ? (type_byte & ~kTraceBit) : type_byte);
     r.u64();  // request id
+    if (traced) {
+      r.u64();  // trace id
+      r.u8();   // trace flags (validated by the strict decoder, not here)
+    }
     switch (type) {
       case MsgType::kAcquire:
       case MsgType::kRefund:

@@ -24,6 +24,14 @@ double elapsed_us(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// `t` on obs::Tracer's timebase (both are the steady clock, so this is
+/// just the unit change — spans and elapsed_us stay directly comparable).
+std::int64_t tracer_us(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
 /// Retry hint for ops bounced off a full shard-owner queue when the
 /// admission valve is disabled: a full queue drains in well under this.
 constexpr TimeUs kQueueFullRetryUs = 100;
@@ -37,6 +45,9 @@ struct Server::Pending {
   std::uint64_t id = 0;
   std::uint8_t version = protocol::kProtocolVersion;
   std::chrono::steady_clock::time_point t0{};
+  TraceInfo trace{};
+  NamespaceId ns = kDefaultNamespace;  ///< for the cork span's identity
+  std::uint64_t key = 0;
 };
 
 Server::Server(AccountTable& table, runtime::Transport& transport,
@@ -44,6 +55,8 @@ Server::Server(AccountTable& table, runtime::Transport& transport,
     : table_(&table),
       transport_(&transport),
       engine_(options.engine),
+      tracer_(options.tracer),
+      node_(options.node),
       registry_(options.registry),
       admission_(options.admission),
       timed_(options.registry != nullptr || options.admission.enabled) {
@@ -174,6 +187,8 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
     return;
   }
 
+  const TraceInfo trace{head->traced, head->sampled, head->trace_id};
+
   const bool head_is_data_op = head->type == proto::MsgType::kAcquire ||
                                head->type == proto::MsgType::kRefund ||
                                head->type == proto::MsgType::kQuery ||
@@ -185,6 +200,13 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
       // budget and touching no table state. Admin/cluster/stats frames are
       // never shed — an overloaded server must stay operable.
       shed_.fetch_add(1, std::memory_order_relaxed);
+      if (tracer_ != nullptr) {
+        // The body was never decoded, so the span has no key — the shed
+        // decision itself (forced into the recorder) is the signal.
+        tracer_->record(obs::Stage::kShed, obs::Decision::kShed,
+                        trace.trace_id, 0, kDefaultNamespace, tracer_us(t0),
+                        0, trace.sampled);
+      }
       transport_->send(
           from, proto::encode(proto::ErrorResponse{
                     head->id, proto::ErrorCode::kOverloaded,
@@ -201,6 +223,11 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
     // The header decoded but the body did not: the sender gets a typed
     // error it can correlate.
     errored_.fetch_add(1, std::memory_order_relaxed);
+    if (tracer_ != nullptr) {
+      tracer_->record(obs::Stage::kDecode, obs::Decision::kError,
+                      trace.trace_id, 0, kDefaultNamespace, tracer_us(t0),
+                      obs::Tracer::now_us() - tracer_us(t0), trace.sampled);
+    }
     transport_->send(from,
                      proto::encode(proto::ErrorResponse{
                          head->id, proto::ErrorCode::kMalformedBody}));
@@ -218,6 +245,12 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
                           std::holds_alternative<proto::BatchAcquireRequest>(request);
   if (is_data_op && !table_->has_namespace(proto::namespace_of(request))) {
     errored_.fetch_add(1, std::memory_order_relaxed);
+    if (tracer_ != nullptr && trace.traced) {
+      tracer_->record(obs::Stage::kDecode, obs::Decision::kError,
+                      trace.trace_id, 0, proto::namespace_of(request),
+                      tracer_us(t0), obs::Tracer::now_us() - tracer_us(t0),
+                      trace.sampled);
+    }
     transport_->send(from, proto::encode(proto::ErrorResponse{
                                id, proto::ErrorCode::kUnknownNamespace}));
     return;
@@ -228,18 +261,29 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
   // cluster and stats requests stay on this thread (they quiesce the
   // engine where they sweep the table).
   if (engine_ != nullptr && is_data_op) {
-    dispatch_engine(from, std::move(request), version, t0);
+    dispatch_engine(from, std::move(request), version, t0, trace);
     return;
   }
 
+  // Inline (striped-lock) execution: the trace's execute span covers the
+  // table call on this thread; there is no queue-wait or cork stage here.
+  obs::Decision inline_decision = obs::Decision::kNone;
+  const std::int64_t t_exec = tracer_ != nullptr && trace.traced
+                                  ? obs::Tracer::now_us()
+                                  : 0;
   proto::Response response = std::visit(
       Overloaded{
           [&](const proto::AcquireRequest& r) -> proto::Response {
             const AcquireResult res = table_->acquire(r.ns, r.key, r.tokens);
+            inline_decision = res.granted == 0 && r.tokens > 0
+                                  ? obs::Decision::kDenied
+                                  : (res.fresh ? obs::Decision::kFresh
+                                               : obs::Decision::kBank);
             return proto::AcquireResponse{r.id, res.granted, res.balance};
           },
           [&](const proto::RefundRequest& r) -> proto::Response {
             const RefundResult res = table_->refund(r.ns, r.key, r.tokens);
+            inline_decision = obs::Decision::kRefund;
             return proto::RefundResponse{r.id, res.accepted, res.balance};
           },
           [&](const proto::QueryRequest& r) -> proto::Response {
@@ -321,6 +365,32 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
             }
             return resp;
           },
+          [&](const proto::TracesRequest& r) -> proto::Response {
+            proto::TracesResponse resp;
+            resp.id = r.id;
+            if (tracer_ != nullptr) {
+              std::size_t cap = proto::kMaxTraceSpans;
+              if (r.max_spans > 0)
+                cap = std::min<std::size_t>(cap, r.max_spans);
+              const std::vector<obs::SpanRecord> spans =
+                  tracer_->snapshot(cap);
+              resp.spans.reserve(spans.size());
+              for (const obs::SpanRecord& s : spans) {
+                proto::TraceSpan out;
+                out.trace_id = s.trace_id;
+                out.key = s.key;
+                out.start_us = s.start_us;
+                out.dur_us = s.dur_us;
+                out.ns = s.ns;
+                out.node = node_;
+                out.stage = static_cast<std::uint8_t>(s.stage);
+                out.decision = static_cast<std::uint8_t>(s.decision);
+                out.flags = s.flags;
+                resp.spans.push_back(out);
+              }
+            }
+            return resp;
+          },
       },
       request);
 
@@ -338,6 +408,21 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
   transport_->send(from, proto::encode(response, is_error
                                                      ? proto::kProtocolVersion
                                                      : version));
+  if (tracer_ != nullptr && trace.traced && is_data_op) {
+    const std::uint64_t key = std::visit(
+        [](const auto& r) -> std::uint64_t {
+          if constexpr (requires { r.key; }) return r.key;
+          return 0;  // batch acquires span many keys
+        },
+        request);
+    tracer_->record(obs::Stage::kDecode, obs::Decision::kNone, trace.trace_id,
+                    key, proto::namespace_of(request), tracer_us(t0),
+                    t_exec - tracer_us(t0), trace.sampled);
+    tracer_->record(obs::Stage::kExecute,
+                    is_error ? obs::Decision::kError : inline_decision,
+                    trace.trace_id, key, proto::namespace_of(request), t_exec,
+                    obs::Tracer::now_us() - t_exec, trace.sampled);
+  }
   if (timed_ && is_data_op) {
     const double us = elapsed_us(t0);
     if (latency_) latency_->observe(us);
@@ -347,17 +432,19 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
 
 void Server::dispatch_engine(NodeId from, protocol::Request&& request,
                              std::uint8_t version,
-                             std::chrono::steady_clock::time_point t0) {
+                             std::chrono::steady_clock::time_point t0,
+                             const TraceInfo& trace) {
   namespace proto = protocol;
   const std::uint64_t id = proto::request_id(request);
 
   if (auto* batch = std::get_if<proto::BatchAcquireRequest>(&request)) {
     auto pending = std::make_unique<Pending>();
-    *pending = Pending{this, from, id, version, t0};
+    *pending = Pending{this, from, id, version, t0, trace, batch->ns, 0};
     if (!engine_->submit_batch(batch->ns, std::move(batch->ops),
-                               &Server::complete_engine_batch,
-                               pending.get())) {
-      shed_queue_full(from, id);
+                               &Server::complete_engine_batch, pending.get(),
+                               trace.traced ? trace.trace_id : 0,
+                               trace.sampled)) {
+      shed_queue_full(from, id, trace, batch->ns, 0);
       return;  // pending frees; nothing was enqueued
     }
     pending.release();  // owned by the completion now
@@ -387,11 +474,24 @@ void Server::dispatch_engine(NodeId from, protocol::Request&& request,
              },
              request);
   auto pending = std::make_unique<Pending>();
-  *pending = Pending{this, from, id, version, t0};
+  *pending = Pending{this, from, id, version, t0, trace, op.ns, op.key};
+  if (tracer_ != nullptr && trace.traced) {
+    // The decode span closes here: frame arrival -> op submitted. The
+    // submit timestamp seeds the worker's queue-wait span.
+    op.traced = true;
+    op.trace_sampled = trace.sampled;
+    op.trace_id = trace.trace_id;
+    op.t_submit_us = obs::Tracer::now_us();
+    tracer_->record(obs::Stage::kDecode, obs::Decision::kNone, trace.trace_id,
+                    op.key, op.ns, tracer_us(t0),
+                    op.t_submit_us - tracer_us(t0), trace.sampled);
+  }
   op.done = &Server::complete_engine_op;
   op.ctx = pending.get();
+  const NamespaceId op_ns = op.ns;
+  const std::uint64_t op_key = op.key;
   if (!engine_->try_submit(std::move(op))) {
-    shed_queue_full(from, id);
+    shed_queue_full(from, id, trace, op_ns, op_key);
     return;  // pending frees; nothing was enqueued
   }
   pending.release();  // owned by the completion now
@@ -421,7 +521,7 @@ void Server::complete_engine_op(ShardOp& op, void* ctx) {
         return;  // unreachable: batches complete via complete_engine_batch
     }
   }
-  p->server->finish_engine_reply(p->from, response, p->version, p->t0);
+  p->server->finish_engine_reply(p->from, response, *p);
 }
 
 void Server::complete_engine_batch(EngineBatch& batch, void* ctx) {
@@ -430,13 +530,12 @@ void Server::complete_engine_batch(EngineBatch& batch, void* ctx) {
   proto::BatchAcquireResponse resp;
   resp.id = p->id;
   resp.results = std::move(batch.results);
-  p->server->finish_engine_reply(p->from, resp, p->version, p->t0);
+  p->server->finish_engine_reply(p->from, resp, *p);
 }
 
 void Server::finish_engine_reply(NodeId from,
                                  const protocol::Response& response,
-                                 std::uint8_t version,
-                                 std::chrono::steady_clock::time_point t0) {
+                                 const Pending& p) {
   namespace proto = protocol;
   const bool is_error = std::holds_alternative<proto::ErrorResponse>(response);
   if (is_error) {
@@ -444,21 +543,39 @@ void Server::finish_engine_reply(NodeId from,
   } else {
     served_.fetch_add(1, std::memory_order_relaxed);
   }
+  const std::int64_t t_cork = tracer_ != nullptr && p.trace.traced
+                                  ? obs::Tracer::now_us()
+                                  : 0;
   transport_->send(from, proto::encode(response, is_error
                                                      ? proto::kProtocolVersion
-                                                     : version));
+                                                     : p.version));
+  if (tracer_ != nullptr && p.trace.traced) {
+    // Cork span: completion -> reply handed to the transport (on the epoll
+    // mesh this is the append into the loop's cork buffer; the flush rides
+    // the same loop iteration).
+    tracer_->record(obs::Stage::kCork,
+                    is_error ? obs::Decision::kError : obs::Decision::kNone,
+                    p.trace.trace_id, p.key, p.ns, t_cork,
+                    obs::Tracer::now_us() - t_cork, p.trace.sampled);
+  }
   if (timed_) {
     // Queue wait counts as service time on purpose: it is exactly the
     // signal the adaptive admission valve needs to see overload early.
-    const double us = elapsed_us(t0);
+    const double us = elapsed_us(p.t0);
     if (latency_) latency_->observe(us);
     if (admission_.enabled()) admission_.record_service_time_us(us);
   }
 }
 
-void Server::shed_queue_full(NodeId from, std::uint64_t id) {
+void Server::shed_queue_full(NodeId from, std::uint64_t id,
+                             const TraceInfo& trace, NamespaceId ns,
+                             std::uint64_t key) {
   namespace proto = protocol;
   shed_.fetch_add(1, std::memory_order_relaxed);
+  if (tracer_ != nullptr) {
+    tracer_->record(obs::Stage::kShed, obs::Decision::kShed, trace.trace_id,
+                    key, ns, obs::Tracer::now_us(), 0, trace.sampled);
+  }
   const TimeUs now = table_->clock().now_us();
   const TimeUs retry = admission_.enabled() ? admission_.retry_after_us(now)
                                             : kQueueFullRetryUs;

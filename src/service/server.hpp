@@ -41,6 +41,7 @@
 
 #include "obs/admission.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "runtime/transport.hpp"
 #include "service/account_table.hpp"
 #include "service/protocol.hpp"
@@ -63,6 +64,15 @@ struct ServerOptions {
   /// typed kOverloaded. Admin requests and table-sweeping gauges run under
   /// the engine's quiesce. Must outlive the server.
   ShardEngine* engine = nullptr;
+  /// Flight recorder: requests carrying a trace context get decode, shed
+  /// and reply-cork spans recorded here (and, with `engine` also set, the
+  /// engine's queue-wait/execute spans — give both the same tracer). The
+  /// server answers protocol kTraces requests from it. Must outlive the
+  /// server.
+  obs::Tracer* tracer = nullptr;
+  /// Stamped into exported trace spans so a cluster-wide trace shows which
+  /// node recorded each one (kNoNode = standalone).
+  NodeId node = kNoNode;
 };
 
 class Server {
@@ -116,14 +126,23 @@ class Server {
  private:
   struct Pending;  ///< engine completion context (defined in server.cpp)
 
+  /// Trace identity of one in-flight request (zero-initialized when the
+  /// frame carried no context).
+  struct TraceInfo {
+    bool traced = false;
+    bool sampled = false;
+    std::uint64_t trace_id = 0;
+  };
+
   void on_frame(NodeId from, std::vector<std::byte> payload);
   void dispatch_engine(NodeId from, protocol::Request&& request,
                        std::uint8_t version,
-                       std::chrono::steady_clock::time_point t0);
+                       std::chrono::steady_clock::time_point t0,
+                       const TraceInfo& trace);
   void finish_engine_reply(NodeId from, const protocol::Response& response,
-                           std::uint8_t version,
-                           std::chrono::steady_clock::time_point t0);
-  void shed_queue_full(NodeId from, std::uint64_t id);
+                           const Pending& p);
+  void shed_queue_full(NodeId from, std::uint64_t id, const TraceInfo& trace,
+                       NamespaceId ns, std::uint64_t key);
   static void complete_engine_op(ShardOp& op, void* ctx);
   static void complete_engine_batch(EngineBatch& batch, void* ctx);
   void register_metrics();
@@ -138,6 +157,8 @@ class Server {
   AccountTable* table_;
   runtime::Transport* transport_;
   ShardEngine* engine_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  NodeId node_ = kNoNode;
   obs::Registry* registry_;
   obs::AdmissionBucket admission_;
   obs::Histogram* latency_ = nullptr;  ///< owned by the registry

@@ -18,7 +18,7 @@ thread_local ShardEngine* tls_worker_engine = nullptr;
 }  // namespace
 
 ShardEngine::ShardEngine(AccountTable& table, ShardEngineOptions options)
-    : table_(&table), registry_(options.registry) {
+    : table_(&table), registry_(options.registry), tracer_(options.tracer) {
   TOKA_CHECK_MSG(table.config().exclusive_shards,
                  "ShardEngine requires a table built with "
                  "ServiceConfig::exclusive_shards (the engine owns the "
@@ -80,7 +80,8 @@ std::size_t ShardEngine::queue_depth_max() const {
 }
 
 bool ShardEngine::submit_batch(NamespaceId ns, std::vector<AcquireOp> ops,
-                               EngineBatch::Completion done, void* ctx) {
+                               EngineBatch::Completion done, void* ctx,
+                               std::uint64_t trace_id, bool trace_sampled) {
   const std::size_t total = ops.size();
   auto batch = std::make_unique<EngineBatch>();
   batch->ns = ns;
@@ -136,6 +137,8 @@ bool ShardEngine::submit_batch(NamespaceId ns, std::vector<AcquireOp> ops,
   // From the first push on, workers race us to finish groups and the last
   // finisher deletes the batch — so the loop may not touch `raw` after a
   // push. The group count lives in `targets`, everything else in the op.
+  const bool trace = trace_id != 0 && tracer_ != nullptr;
+  const std::int64_t t_submit_us = trace ? obs::Tracer::now_us() : 0;
   EngineBatch* raw = batch.release();
   for (std::size_t g = 0; g < targets.size(); ++g) {
     ShardOp op;
@@ -143,6 +146,12 @@ bool ShardEngine::submit_batch(NamespaceId ns, std::vector<AcquireOp> ops,
     op.ns = ns;
     op.key = g;
     op.ctx = raw;
+    if (trace) {
+      op.traced = true;
+      op.trace_sampled = trace_sampled;
+      op.trace_id = trace_id;
+      op.t_submit_us = t_submit_us;
+    }
     workers_[targets[g]]->queue.push(std::move(op));
   }
   return true;
@@ -212,14 +221,26 @@ void ShardEngine::worker_loop(std::size_t w) {
       });
       continue;
     }
-    execute(ops, run);
+    // One pop timestamp serves the whole drained batch (queue-wait ends and
+    // execute begins here for every op in it); taken only when some op in
+    // the batch is actually traced, so an untraced drain reads no clock.
+    std::int64_t t_pop_us = 0;
+    if (tracer_ != nullptr) {
+      for (const ShardOp& op : ops) {
+        if (op.traced) {
+          t_pop_us = obs::Tracer::now_us();
+          break;
+        }
+      }
+    }
+    execute(ops, run, t_pop_us);
     maybe_evict(me, w);
   }
   tls_worker_engine = nullptr;
 }
 
 void ShardEngine::execute(std::vector<ShardOp>& ops,
-                          std::vector<AcquireOp>& run) {
+                          std::vector<AcquireOp>& run, std::int64_t t_pop_us) {
   std::size_t i = 0;
   while (i < ops.size()) {
     ShardOp& op = ops[i];
@@ -238,10 +259,11 @@ void ShardEngine::execute(std::vector<ShardOp>& ops,
             const AcquireResult res = table_->acquire(op.ns, op.key, op.tokens);
             op.out_a = res.granted;
             op.out_b = res.balance;
+            op.out_fresh = res.fresh;
           } catch (const util::InvariantError&) {
             op.ok = false;
           }
-          complete(op);
+          complete(op, t_pop_us);
         } else {
           run.clear();
           for (std::size_t k = i; k < j; ++k)
@@ -252,6 +274,7 @@ void ShardEngine::execute(std::vector<ShardOp>& ops,
             for (std::size_t k = i; k < j; ++k) {
               ops[k].out_a = res[k - i].granted;
               ops[k].out_b = res[k - i].balance;
+              ops[k].out_fresh = res[k - i].fresh;
             }
           } catch (const util::InvariantError&) {
             // One bad op (negative tokens, vanished namespace) poisons the
@@ -263,12 +286,13 @@ void ShardEngine::execute(std::vector<ShardOp>& ops,
                     table_->acquire(ops[k].ns, ops[k].key, ops[k].tokens);
                 ops[k].out_a = res.granted;
                 ops[k].out_b = res.balance;
+                ops[k].out_fresh = res.fresh;
               } catch (const util::InvariantError&) {
                 ops[k].ok = false;
               }
             }
           }
-          for (std::size_t k = i; k < j; ++k) complete(ops[k]);
+          for (std::size_t k = i; k < j; ++k) complete(ops[k], t_pop_us);
         }
         i = j;
         break;
@@ -281,7 +305,7 @@ void ShardEngine::execute(std::vector<ShardOp>& ops,
         } catch (const util::InvariantError&) {
           op.ok = false;
         }
-        complete(op);
+        complete(op, t_pop_us);
         ++i;
         break;
       }
@@ -293,12 +317,12 @@ void ShardEngine::execute(std::vector<ShardOp>& ops,
         } catch (const util::InvariantError&) {
           op.ok = false;
         }
-        complete(op);
+        complete(op, t_pop_us);
         ++i;
         break;
       }
       case ShardOp::Kind::kBatchGroup: {
-        run_batch_group(op);
+        run_batch_group(op, t_pop_us);
         ++i;
         break;
       }
@@ -306,20 +330,59 @@ void ShardEngine::execute(std::vector<ShardOp>& ops,
   }
 }
 
-void ShardEngine::run_batch_group(ShardOp& op) {
+void ShardEngine::record_op_spans(ShardOp& op, std::int64_t t_pop_us) {
+  // The §3.4 decision the span carries: how the tokens (if any) were paid.
+  obs::Decision decision = obs::Decision::kNone;
+  if (!op.ok) {
+    decision = obs::Decision::kError;
+  } else if (op.kind == ShardOp::Kind::kAcquire) {
+    if (op.out_a == 0 && op.tokens > 0) {
+      decision = obs::Decision::kDenied;
+    } else {
+      decision = op.out_fresh ? obs::Decision::kFresh : obs::Decision::kBank;
+    }
+  } else if (op.kind == ShardOp::Kind::kRefund) {
+    decision = obs::Decision::kRefund;
+  }
+  const std::int64_t t_done_us = obs::Tracer::now_us();
+  tracer_->record(obs::Stage::kQueueWait, obs::Decision::kNone, op.trace_id,
+                  op.key, op.ns, op.t_submit_us, t_pop_us - op.t_submit_us,
+                  op.trace_sampled);
+  tracer_->record(obs::Stage::kExecute, decision, op.trace_id, op.key, op.ns,
+                  t_pop_us, t_done_us - t_pop_us, op.trace_sampled);
+}
+
+void ShardEngine::run_batch_group(ShardOp& op, std::int64_t t_pop_us) {
   auto* batch = static_cast<EngineBatch*>(op.ctx);
   const EngineBatch::Group& group =
       batch->groups[static_cast<std::size_t>(op.key)];
   const std::span<const AcquireOp> slice(batch->ops.data() + group.begin,
                                          group.end - group.begin);
+  obs::Decision decision = obs::Decision::kBank;
   try {
     const std::vector<AcquireResult> res =
         table_->acquire_batch(batch->ns, slice);
-    for (std::size_t k = 0; k < slice.size(); ++k)
+    for (std::size_t k = 0; k < slice.size(); ++k) {
       batch->results[batch->original[group.begin + k]] = res[k];
+      if (res[k].fresh) decision = obs::Decision::kFresh;
+    }
   } catch (const util::InvariantError&) {
     for (std::size_t k = 0; k < slice.size(); ++k)
       batch->results[batch->original[group.begin + k]] = AcquireResult{};
+    decision = obs::Decision::kError;
+  }
+  if (tracer_ != nullptr && op.traced) {
+    // One queue-wait + one execute span per worker group, stamped with the
+    // group's first key. Read everything off the batch *before* the
+    // release below: the last finisher deletes it.
+    const std::uint64_t key = slice.empty() ? 0 : slice.front().key;
+    const NamespaceId ns = batch->ns;
+    const std::int64_t t_done_us = obs::Tracer::now_us();
+    tracer_->record(obs::Stage::kQueueWait, obs::Decision::kNone, op.trace_id,
+                    key, ns, op.t_submit_us, t_pop_us - op.t_submit_us,
+                    op.trace_sampled);
+    tracer_->record(obs::Stage::kExecute, decision, op.trace_id, key, ns,
+                    t_pop_us, t_done_us - t_pop_us, op.trace_sampled);
   }
   if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     if (batch->done != nullptr) batch->done(*batch, batch->ctx);

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "service/account_table.hpp"
 #include "util/error.hpp"
 #include "util/mpsc_queue.hpp"
@@ -69,6 +70,16 @@ struct ShardOp {
   /// false: the op was rejected before touching an account (unknown
   /// namespace or invalid arguments — util::InvariantError).
   bool ok = true;
+  /// kAcquire output: the grant spent fresh (just-settled) tokens.
+  bool out_fresh = false;
+
+  // Trace fields, set by the submitter when the request carries a trace
+  // context. An untraced op costs the worker exactly one branch: no clock
+  // reads, no recording.
+  bool traced = false;
+  bool trace_sampled = false;     ///< the context's sampled flag
+  std::uint64_t trace_id = 0;
+  std::int64_t t_submit_us = 0;   ///< obs::Tracer::now_us() at submit
 
   using Completion = void (*)(ShardOp&, void*);
   Completion done = nullptr;  ///< runs on the worker thread; may be null
@@ -108,6 +119,9 @@ struct ShardEngineOptions {
   /// When set, per-worker queue-depth gauges are exported (the signal the
   /// adaptive admission valve wants; see ROADMAP item 5).
   obs::Registry* registry = nullptr;
+  /// When set, traced ops get queue-wait and execute spans recorded on the
+  /// worker (with the §3.4 decision: bank / fresh / denied / refund).
+  obs::Tracer* tracer = nullptr;
 };
 
 class ShardEngine {
@@ -149,9 +163,13 @@ class ShardEngine {
   /// Fans `ops` out to their owner workers as one EngineBatch; `done`
   /// fires once every group has executed, with results positionally
   /// aligned to `ops`. Returns false — shedding the whole batch, nothing
-  /// enqueued — when a target queue lacks headroom for its group.
+  /// enqueued — when a target queue lacks headroom for its group. With a
+  /// non-zero `trace_id` (and a tracer on the engine), every per-worker
+  /// group records one queue-wait + one execute span under that id — the
+  /// batch costs one clock read at submit, not one per op.
   bool submit_batch(NamespaceId ns, std::vector<AcquireOp> ops,
-                    EngineBatch::Completion done, void* ctx);
+                    EngineBatch::Completion done, void* ctx,
+                    std::uint64_t trace_id = 0, bool trace_sampled = false);
 
   /// Runs `fn` with every worker parked at a drain boundary: the table is
   /// exclusively owned for the duration, so whole-table admin sweeps
@@ -198,9 +216,12 @@ class ShardEngine {
   };
 
   void worker_loop(std::size_t w);
-  void execute(std::vector<ShardOp>& ops, std::vector<AcquireOp>& run);
-  void run_batch_group(ShardOp& op);
-  void complete(ShardOp& op) {
+  void execute(std::vector<ShardOp>& ops, std::vector<AcquireOp>& run,
+               std::int64_t t_pop_us);
+  void run_batch_group(ShardOp& op, std::int64_t t_pop_us);
+  void record_op_spans(ShardOp& op, std::int64_t t_pop_us);
+  void complete(ShardOp& op, std::int64_t t_pop_us) {
+    if (tracer_ != nullptr && op.traced) record_op_spans(op, t_pop_us);
     if (op.done != nullptr) op.done(op, op.ctx);
   }
   void maybe_evict(Worker& me, std::size_t w);
@@ -212,6 +233,7 @@ class ShardEngine {
   AccountTable* table_;
   std::vector<std::unique_ptr<Worker>> workers_;
   obs::Registry* registry_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<std::string> metric_names_;
 
   std::atomic<bool> stop_{false};

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "runtime/framing.hpp"
 #include "util/serde.hpp"
 
@@ -296,6 +297,33 @@ TEST(EpollMesh, RawSocketCorruptLengthClosesConnection) {
     return r == 0 || (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK);
   }));
   EXPECT_EQ(delivered.load(), 0);
+  ::close(fd);
+}
+
+TEST(EpollMesh, RejectedFramesAreCountedAndExported) {
+  obs::Registry registry;  // outlives the mesh: its dtor deregisters
+  EpollMesh mesh(2);
+  mesh.register_metrics(registry);
+  mesh.endpoint(0).set_handler([](NodeId, std::vector<std::byte>) {});
+  EXPECT_EQ(mesh.frames_rejected(), 0u);
+
+  const int fd = connect_loopback(mesh.port_of(0));
+  ASSERT_GE(fd, 0);
+  std::vector<std::uint8_t> bad;
+  const std::uint32_t len = kMaxFrameBytes + 1;
+  for (int i = 0; i < 4; ++i)
+    bad.push_back(static_cast<std::uint8_t>((len >> (8 * i)) & 0xFF));
+  for (int i = 0; i < 4; ++i) bad.push_back(0);
+  write_all(fd, bad.data(), bad.size());
+
+  ASSERT_TRUE(wait_for([&] { return mesh.frames_rejected(0) == 1; }));
+  EXPECT_EQ(mesh.frames_rejected(1), 0u);
+  EXPECT_EQ(mesh.frames_rejected(), 1u);
+
+  double exported = -1;
+  for (const obs::Metric& m : registry.collect())
+    if (m.name == "tokend_epoll_frames_rejected") exported = m.value;
+  EXPECT_DOUBLE_EQ(exported, 1.0);
   ::close(fd);
 }
 

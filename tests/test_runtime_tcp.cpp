@@ -17,6 +17,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/telemetry.hpp"
 #include "runtime/framing.hpp"
 #include "util/serde.hpp"
 
@@ -206,6 +207,35 @@ TEST(TcpMesh, RawSocketSegmentedBurst) {
     }
     ::close(fd);
   }
+}
+
+TEST(TcpMesh, RejectedFramesAreCountedAndExported) {
+  obs::Registry registry;  // outlives the mesh: its dtor deregisters
+  TcpMesh mesh(2);
+  mesh.register_metrics(registry);
+  mesh.endpoint(0).set_handler([](NodeId, std::vector<std::byte>) {});
+  EXPECT_EQ(mesh.frames_rejected(), 0u);
+
+  // Length prefix beyond kMaxFrameBytes: the reader rejects the stream
+  // and bumps the counter instead of allocating the bogus length.
+  const int fd = connect_loopback(mesh.port_of(0));
+  ASSERT_GE(fd, 0);
+  std::vector<std::uint8_t> bad;
+  const std::uint32_t len = kMaxFrameBytes + 1;
+  for (int i = 0; i < 4; ++i)
+    bad.push_back(static_cast<std::uint8_t>((len >> (8 * i)) & 0xFF));
+  for (int i = 0; i < 4; ++i) bad.push_back(0);
+  write_all(fd, bad.data(), bad.size());
+
+  ASSERT_TRUE(wait_for([&] { return mesh.frames_rejected(0) == 1; }));
+  EXPECT_EQ(mesh.frames_rejected(1), 0u);
+  EXPECT_EQ(mesh.frames_rejected(), 1u);
+
+  double exported = -1;
+  for (const obs::Metric& m : registry.collect())
+    if (m.name == "tokend_tcp_frames_rejected") exported = m.value;
+  EXPECT_DOUBLE_EQ(exported, 1.0);
+  ::close(fd);
 }
 
 #ifdef __linux__
