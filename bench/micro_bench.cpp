@@ -496,6 +496,29 @@ BENCHMARK(BM_HashRingRebuild)
     ->Args({16, 256})
     ->Args({64, 256});
 
+/// The per-delta routing cost of replication: one (ns, key) →
+/// replication-group lookup (owner + k distinct ring successors, walking
+/// past same-node virtual points). range(0) = members, range(1) = k.
+/// Includes the group vector allocation — the price flush_shards pays per
+/// drained account.
+void BM_HashRingSuccessors(benchmark::State& state) {
+  const cluster::HashRing ring(
+      std::span<const NodeId>(ring_nodes(state.range(0))),
+      cluster::kDefaultVnodes);
+  const auto k = static_cast<std::size_t>(state.range(1));
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.successors(0, key++, k));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashRingSuccessors)
+    ->Args({3, 1})
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({64, 2})
+    ->Args({64, 4});
+
 }  // namespace
 
 BENCHMARK_MAIN();

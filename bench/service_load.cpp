@@ -77,6 +77,8 @@
 #include "cluster/cluster_client.hpp"
 #include "cluster/cluster_map.hpp"
 #include "cluster/cluster_server.hpp"
+#include "cluster/hash_ring.hpp"
+#include "cluster/replication.hpp"
 #include "metrics/timeseries.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -221,6 +223,7 @@ struct LoadConfig {
   std::size_t window = 0; ///< in-flight cap per connection (pipeline mode)
   std::size_t cluster_nodes = 0;  ///< tokad members for the cluster mode
   bool churn = false;             ///< kill+join mid-run in the cluster mode
+  std::uint32_t replicas = 0;     ///< replication factor for the churn run
   std::size_t workers = 0;     ///< shard-owner workers (0 = one per core)
   std::size_t io_threads = 1;  ///< epoll event loops per endpoint
   std::uint64_t trace_sample = 128;  ///< flight recorder: sample 1 in N
@@ -573,15 +576,36 @@ ModeResult run_open_async(const std::string& mode,
   return res;
 }
 
+/// What the replicated churn run measured — the "replication" block of
+/// BENCH_service.json. Overhead is the replicated run's throughput against
+/// the unreplicated cluster run of the same invocation.
+struct ReplicationOutcome {
+  bool ran = false;
+  std::uint32_t replicas = 0;
+  double failover_ms = 0;       ///< kill -> a victim-owned key served again
+  std::uint64_t promotions = 0; ///< accepted promote() calls, cluster-wide
+  std::uint64_t replica_installs = 0;  ///< replicas promoted into tables
+  Tokens tokens_forfeited = 0;         ///< cluster-wide at run end
+  std::uint64_t delta_frames = 0;      ///< kReplicate frames streamed
+  std::uint64_t delta_accounts = 0;    ///< account deltas they carried
+  double ops_per_sec = 0;              ///< replicated churn run
+  double baseline_ops_per_sec = 0;     ///< unreplicated churn run
+  std::uint64_t errors = 0;            ///< client-visible, replicated run
+};
+
 /// The pipelined Zipf workload against a tokad cluster of `node_count`
 /// in-process nodes (each on its own dispatcher lane, so one node models
 /// one machine's serial capacity). With `churn`, the last node is killed
 /// at ~40% of the run and a fresh node joins at ~70% — the workers must
 /// absorb both through ClusterClient retries; `errors_out` reports what
-/// they could not.
+/// they could not. With `replicas` > 0 the map carries that replication
+/// factor, the kill goes through the promote() failover path instead of an
+/// operator map push, and `repl_out` (if given) collects the failover
+/// time, forfeit and delta-stream accounting.
 ModeResult run_cluster(const std::string& mode, const util::ZipfSampler& sampler,
                        const LoadConfig& load, const service::ServiceConfig& cfg,
                        std::size_t node_count, bool churn,
+                       std::uint32_t replicas, ReplicationOutcome* repl_out,
                        std::uint64_t& errors_out) {
   struct ClusterNode {
     service::AccountTable table;
@@ -599,12 +623,15 @@ ModeResult run_cluster(const std::string& mode, const util::ZipfSampler& sampler
   cluster::ClusterMap map{1, cluster::kDefaultVnodes, {}};
   for (std::size_t n = 0; n < node_count; ++n)
     map.nodes.push_back(static_cast<NodeId>(n));
+  map.replicas = replicas;
 
   // Endpoints: servers 0..slots-1, then a stride of `slots` per worker,
   // then the coordinator's stride. Server lanes are distinct (lane =
   // destination % lanes and lanes >= slots), so nodes parallelize.
+  // Endpoint strides: one per worker, one for the churn admin, one spare
+  // for the failover probe client (replicated churn only).
   runtime::InProcNetwork net(
-      slots + (load.threads + 1) * slots, /*latency_us=*/0,
+      slots + (load.threads + 2) * slots, /*latency_us=*/0,
       /*dispatchers=*/slots + std::min<std::size_t>(load.threads, 8));
   auto endpoints_of = [&](std::size_t slot) {
     return [&net, slot, slots](NodeId server) -> runtime::Transport& {
@@ -624,6 +651,7 @@ ModeResult run_cluster(const std::string& mode, const util::ZipfSampler& sampler
   const auto deadline =
       Clock::now() + std::chrono::microseconds(from_seconds(load.seconds));
   std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> failover_us{0};
   std::atomic<bool> stop_churn{false};
   std::thread churn_thread;
   if (churn) {
@@ -634,9 +662,46 @@ ModeResult run_cluster(const std::string& mode, const util::ZipfSampler& sampler
       std::this_thread::sleep_for(nap);
       if (stop_churn.load()) return;
       const NodeId victim = static_cast<NodeId>(node_count - 1);
+      // A probe key the victim owns, picked before the kill so the timed
+      // failover window measures the cluster, not the search.
+      std::uint64_t probe_key = 0;
+      if (replicas > 0) {
+        const cluster::HashRing ring(map);
+        for (std::uint64_t k = 0; k < load.keys; ++k) {
+          if (ring.owner(service::kDefaultNamespace, k) == victim) {
+            probe_key = k;
+            break;
+          }
+        }
+      }
+      const auto t_kill = Clock::now();
       nodes[victim]->server.reset();
       const cluster::ClusterMap shrunk = map.without_node(victim);
-      admin.push_map(shrunk);
+      if (replicas > 0) {
+        // The failover path proper: a survivor coordinates the promotion
+        // (drops the victim from membership, installs its replicas at the
+        // floor, broadcasts the new map) instead of an operator map push.
+        nodes.front()->server->promote(victim);
+        // Failover ends when a key the victim owned is served again. The
+        // probe client starts from the post-failover map with a short
+        // timeout, so the measurement is promotion + install + serve, not
+        // the prober's own stale-routing backoff.
+        cluster::ClusterClientConfig probe_cfg = client_cfg;
+        probe_cfg.call_timeout_us = 10 * 1'000;
+        probe_cfg.max_attempts = 100;
+        cluster::ClusterClient probe(endpoints_of(load.threads + 1), shrunk,
+                                     probe_cfg);
+        while (!stop_churn.load()) {
+          try {
+            probe.acquire(service::kDefaultNamespace, probe_key, 0);
+            failover_us.store(us_between(t_kill, Clock::now()));
+            break;
+          } catch (const std::exception&) {
+          }
+        }
+      } else {
+        admin.push_map(shrunk);
+      }
       std::this_thread::sleep_for(
           std::chrono::microseconds(from_seconds(load.seconds * 0.3)));
       if (stop_churn.load()) return;
@@ -711,6 +776,21 @@ ModeResult run_cluster(const std::string& mode, const util::ZipfSampler& sampler
   if (errors_out > 0)
     std::fprintf(stderr, "cluster mode '%s': %llu client-visible errors\n",
                  mode.c_str(), static_cast<unsigned long long>(errors_out));
+  if (repl_out != nullptr) {
+    repl_out->ran = true;
+    repl_out->replicas = replicas;
+    repl_out->failover_ms = failover_us.load() / 1000.0;
+    repl_out->ops_per_sec = res.ops_per_sec();
+    for (const auto& node : nodes) {
+      if (node->server == nullptr) continue;  // the churn victim
+      repl_out->promotions += node->server->promotions();
+      repl_out->tokens_forfeited += node->server->tokens_forfeited();
+      const cluster::ReplicationEngine& repl = node->server->replication();
+      repl_out->replica_installs += repl.replica_installs();
+      repl_out->delta_frames += repl.deltas_sent();
+      repl_out->delta_accounts += repl.delta_accounts_sent();
+    }
+  }
   return res;
 }
 
@@ -1097,7 +1177,9 @@ std::string json_escape(const std::string& s) {
 void write_json(const std::string& path, const std::vector<ModeResult>& runs,
                 const service::AccountTable& table, const LoadConfig& load,
                 bool quick, const OverloadOutcome& overload,
-                const ScenarioOutcome& scenario, std::size_t workers_used) {
+                const ScenarioOutcome& scenario,
+                const ReplicationOutcome& replication,
+                std::size_t workers_used) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -1167,6 +1249,30 @@ void write_json(const std::string& path, const std::vector<ModeResult>& runs,
     std::fprintf(f, "  \"overload_p99_us\": %.2f,\n", overload.p99_us);
     std::fprintf(f, "  \"overload_baseline_p99_us\": %.2f,\n",
                  overload.baseline_p99_us);
+  }
+  if (replication.ran) {
+    std::fprintf(f, "  \"replication\": {\n");
+    std::fprintf(f, "    \"replicas\": %u,\n", replication.replicas);
+    std::fprintf(f, "    \"ops_per_sec\": %.0f,\n", replication.ops_per_sec);
+    std::fprintf(f, "    \"baseline_ops_per_sec\": %.0f,\n",
+                 replication.baseline_ops_per_sec);
+    std::fprintf(f, "    \"overhead\": %.4f,\n",
+                 replication.baseline_ops_per_sec > 0
+                     ? 1.0 - replication.ops_per_sec /
+                                 replication.baseline_ops_per_sec
+                     : 0.0);
+    std::fprintf(f, "    \"failover_ms\": %.3f,\n", replication.failover_ms);
+    std::fprintf(f, "    \"promotions\": %llu,\n",
+                 static_cast<unsigned long long>(replication.promotions));
+    std::fprintf(f, "    \"replica_installs\": %llu,\n",
+                 static_cast<unsigned long long>(replication.replica_installs));
+    std::fprintf(f, "    \"tokens_forfeited\": %lld,\n",
+                 static_cast<long long>(replication.tokens_forfeited));
+    std::fprintf(f, "    \"delta_frames\": %llu,\n",
+                 static_cast<unsigned long long>(replication.delta_frames));
+    std::fprintf(f, "    \"delta_accounts\": %llu\n",
+                 static_cast<unsigned long long>(replication.delta_accounts));
+    std::fprintf(f, "  },\n");
   }
   if (scenario.ran) {
     std::fprintf(f, "  \"scenario\": {\n");
@@ -1273,6 +1379,8 @@ int main(int argc, char** argv) {
   load.cluster_nodes =
       static_cast<std::size_t>(args.get_int("cluster-nodes", 3));
   load.churn = args.get_flag("churn");
+  load.replicas = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(args.get_int("replicas", 0), 0));
   load.workers = static_cast<std::size_t>(args.get_int("workers", 0));
   load.io_threads =
       std::max<std::size_t>(args.get_int("io-threads", 1), 1);
@@ -1317,6 +1425,7 @@ int main(int argc, char** argv) {
   std::size_t workers_used = 0;  ///< resolved shard-owner worker count
   OverloadOutcome overload;
   ScenarioOutcome scenario;
+  ReplicationOutcome replication;
   for (const std::string& mode : modes) {
     if (mode == "preload") {
       runs.push_back(run_preload(table, load));
@@ -1424,14 +1533,42 @@ int main(int argc, char** argv) {
       // Scale-out pair: the same pipelined workload against 1 node, then
       // against the full member count; the ratio is the speedup the
       // consistent-hash sharding buys.
-      std::uint64_t errors1 = 0, errors_n = 0;
+      std::uint64_t errors1 = 0, errors_n = 0, errors_r = 0;
       runs.push_back(run_cluster("cluster1", sampler, load, cfg, 1,
-                                 /*churn=*/false, errors1));
+                                 /*churn=*/false, /*replicas=*/0, nullptr,
+                                 errors1));
       print_result(runs.back());
       runs.push_back(run_cluster("cluster", sampler, load, cfg,
                                  std::max<std::size_t>(load.cluster_nodes, 1),
-                                 load.churn, errors_n));
+                                 load.churn, /*replicas=*/0, nullptr,
+                                 errors_n));
       cluster_errors = errors1 + errors_n;
+      if (load.replicas > 0) {
+        // Replication pricing pair: the replicated run always churns (the
+        // kill + promote() failover is the point), so its baseline must
+        // churn too — the "cluster" run if --churn was given, otherwise a
+        // dedicated unreplicated churn run. The ops/s ratio then prices
+        // exactly the delta stream, not the kill window.
+        print_result(runs.back());
+        double churn_baseline = runs.back().ops_per_sec();
+        if (!load.churn) {
+          std::uint64_t errors_c = 0;
+          runs.push_back(run_cluster(
+              "cluster-churn", sampler, load, cfg,
+              std::max<std::size_t>(load.cluster_nodes, 1), /*churn=*/true,
+              /*replicas=*/0, nullptr, errors_c));
+          print_result(runs.back());
+          churn_baseline = runs.back().ops_per_sec();
+          cluster_errors += errors_c;
+        }
+        runs.push_back(run_cluster(
+            "cluster-repl", sampler, load, cfg,
+            std::max<std::size_t>(load.cluster_nodes, 1), /*churn=*/true,
+            load.replicas, &replication, errors_r));
+        replication.baseline_ops_per_sec = churn_baseline;
+        replication.errors = errors_r;
+        cluster_errors += errors_r;
+      }
     } else if (mode == "overload") {
       // Flash crowd against its own admission-controlled server (the shared
       // table stays untouched — the scenario measures the valve, not the
@@ -1471,7 +1608,7 @@ int main(int argc, char** argv) {
   const std::string json_path = args.get_string("json", "");
   if (!json_path.empty())
     write_json(json_path, runs, table, load, quick, overload, scenario,
-               workers_used);
+               replication, workers_used);
 
   // --scrape-out captures the overload server's Prometheus exposition (the
   // release-bench job uploads it as an artifact).
@@ -1683,6 +1820,83 @@ int main(int argc, char** argv) {
     std::printf("%zu-node cluster sustains %.2fx one-node throughput "
                 "(floor %.2fx): OK\n",
                 load.cluster_nodes, speedup, min_cluster);
+  }
+
+  // Release-bench CI passes --enforce-replication-churn with --replicas=1:
+  // the replicated churn run must actually fail over (a promotion that
+  // installed replicas), keep every client error-free, and forfeit at most
+  // a bounded number of tokens — one capacity's worth per account that
+  // could have been mid-stream at the kill (installed replicas, the
+  // locked plane's coalescing window, and one in-flight op per client
+  // chain). A duplicate-grant bug shows up in the churn *tests*; what this
+  // smoke catches is the catastrophic regression where failover silently
+  // confiscates the keyspace.
+  if (args.get_flag("enforce-replication-churn")) {
+    if (!replication.ran) {
+      std::fprintf(stderr,
+                   "FAIL: --enforce-replication-churn needs the cluster mode "
+                   "with --replicas\n");
+      return 1;
+    }
+    if (replication.errors > 0 || replication.promotions == 0 ||
+        replication.replica_installs == 0) {
+      std::fprintf(stderr,
+                   "FAIL: replicated churn run: %llu errors, %llu promotions, "
+                   "%llu installs (want 0 errors and a failover that "
+                   "installed replicas)\n",
+                   static_cast<unsigned long long>(replication.errors),
+                   static_cast<unsigned long long>(replication.promotions),
+                   static_cast<unsigned long long>(replication.replica_installs));
+      return 1;
+    }
+    const std::int64_t capacity = cfg.strategy.c_param + 1;
+    const std::int64_t forfeit_bound =
+        static_cast<std::int64_t>(replication.replica_installs +
+                                  service::ServerOptions{}.replication_flush_ops +
+                                  load.threads * load.window) *
+        capacity;
+    if (replication.tokens_forfeited > forfeit_bound) {
+      std::fprintf(stderr,
+                   "FAIL: replicated churn forfeited %lld tokens, above the "
+                   "lag bound %lld\n",
+                   static_cast<long long>(replication.tokens_forfeited),
+                   static_cast<long long>(forfeit_bound));
+      return 1;
+    }
+    std::printf("replicated churn: %llu installs, %lld forfeited (bound "
+                "%lld), failover %.1fms: OK\n",
+                static_cast<unsigned long long>(replication.replica_installs),
+                static_cast<long long>(replication.tokens_forfeited),
+                static_cast<long long>(forfeit_bound), replication.failover_ms);
+  }
+
+  // Release-bench CI passes --max-replication-overhead=15 (percent) on
+  // >= 4-core runners: the delta stream may cost at most this much of the
+  // unreplicated churn run's throughput. Needs real parallelism for the
+  // same reason as the other ratios — on one or two cores the follower
+  // lanes time-share the primaries' cores and the delta measures the
+  // scheduler, not the stream.
+  const double max_repl_overhead = args.get_double("max-replication-overhead", 0);
+  if (max_repl_overhead > 0) {
+    if (!replication.ran || replication.baseline_ops_per_sec <= 0) {
+      std::fprintf(stderr,
+                   "FAIL: --max-replication-overhead needs the cluster mode "
+                   "with --replicas\n");
+      return 1;
+    }
+    const double overhead =
+        100.0 * (1.0 - replication.ops_per_sec /
+                           replication.baseline_ops_per_sec);
+    if (overhead > max_repl_overhead) {
+      std::fprintf(stderr,
+                   "FAIL: replication costs %.1f%% of unreplicated churn "
+                   "throughput (ceiling %.1f%%)\n",
+                   overhead, max_repl_overhead);
+      return 1;
+    }
+    std::printf("replication delta-stream overhead %.1f%% (ceiling %.1f%%): "
+                "OK\n",
+                overhead, max_repl_overhead);
   }
   return 0;
 }

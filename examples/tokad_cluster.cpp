@@ -3,15 +3,25 @@
 // Three ClusterServer nodes (each its own sharded AccountTable behind the
 // in-process fabric) serve Zipf-skewed acquire traffic from several
 // ClusterClient workers, routed by consistent hashing. Mid-run the demo
-// kills one node (its banked tokens are forfeited — never resurrected)
-// and then joins a fresh node (the survivors hand the moved accounts off,
-// carrying their balances). Workers absorb every redirect and dead-node
-// timeout internally: the run must end with zero client-visible errors.
+// kills one node and then joins a fresh node (the survivors hand the
+// moved accounts off, carrying their balances). Workers absorb every
+// redirect and dead-node timeout internally: the run must end with zero
+// client-visible errors.
+//
+// By default the cluster runs with --replicas=1: every primary streams
+// account deltas to its ring successor, so the kill is survived by a
+// promote() failover — a survivor drops the dead node from membership and
+// installs its replicas at the conservative floor. What the floor could
+// not cover is *forfeited* (printed next to the final audit); with
+// --replicas=0 the kill falls back to an operator map push and the dead
+// node's entire banked balance is the forfeit.
 //
 // The run closes with the cluster-wide §3.4 audit: per key, the total
 // tokens granted anywhere in the cluster must fit one token per period
-// plus the capacity burst — kill, handoff and join included — and every
-// node's own table-side audit must agree.
+// plus the capacity burst — kill, promotion, handoff and join included —
+// and every node's own table-side audit must agree. Replication must
+// never let a promoted floor re-grant what the dead primary already
+// granted (duplicate never; forfeit at most the replication lag).
 //
 // Node 0 additionally exports telemetry: its ClusterServer registers the
 // ring epoch, redirect and handoff counters (plus the inner tokend
@@ -20,7 +30,7 @@
 //
 //   $ ./tokad_cluster [--workers=3] [--ms=1200] [--keys=256]
 //                     [--delta-ms=25] [--a=2] [--c=8] [--zipf=0.9]
-//                     [--scrape-port=0]
+//                     [--replicas=1] [--scrape-port=0]
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -48,6 +58,8 @@ int main(int argc, char** argv) {
   const auto keys = static_cast<std::uint64_t>(args.get_int("keys", 256));
   const TimeUs delta_us = args.get_int("delta-ms", 25) * 1000;
   const Tokens capacity_c = args.get_int("c", 8);
+  const auto replicas = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(args.get_int("replicas", 1), 0));
 
   service::ServiceConfig cfg;
   cfg.shards = 16;
@@ -73,7 +85,8 @@ int main(int argc, char** argv) {
   };
 
   constexpr std::size_t kMaxNodes = 4;  // 0..2 initial, 3 joins mid-run
-  const cluster::ClusterMap map1{1, cluster::kDefaultVnodes, {0, 1, 2}};
+  const cluster::ClusterMap map1{1, cluster::kDefaultVnodes, {0, 1, 2},
+                                 replicas};
   runtime::InProcNetwork net(kMaxNodes + (workers + 1) * kMaxNodes,
                              /*latency_us=*/0, /*dispatchers=*/kMaxNodes);
   auto endpoints_of = [&](std::size_t slot) {
@@ -101,11 +114,11 @@ int main(int argc, char** argv) {
   std::printf("scrape (node 0): curl http://127.0.0.1:%u/metrics\n",
               scrape.port());
 
-  std::printf("tokad: 3 nodes (%s, Δ=%lld ms, C=%lld), %zu workers, "
-              "%llu keys — kill node 2, then join node 3\n",
+  std::printf("tokad: 3 nodes (%s, Δ=%lld ms, C=%lld, replicas=%u), "
+              "%zu workers, %llu keys — kill node 2, then join node 3\n",
               cfg.strategy.label().c_str(),
               static_cast<long long>(delta_us / 1000),
-              static_cast<long long>(capacity_c), workers,
+              static_cast<long long>(capacity_c), replicas, workers,
               static_cast<unsigned long long>(keys));
 
   cluster::ClusterClientConfig client_cfg;
@@ -158,12 +171,28 @@ int main(int argc, char** argv) {
   // The coordinator drives the churn: kill at ~1/3, join at ~2/3.
   cluster::ClusterClient admin(endpoints_of(workers), map1, client_cfg);
   std::this_thread::sleep_for(std::chrono::milliseconds(run_ms / 3));
-  nodes[2]->server.reset();  // node 2 dies; its banked tokens are forfeited
+  nodes[2]->server.reset();  // node 2 dies mid-traffic
   const cluster::ClusterMap map2 = map1.without_node(2);
-  admin.push_map(map2);
-  std::printf("t=%.2fs  killed node 2, pushed map epoch %llu {0,1}\n",
-              to_seconds(now_us()),
-              static_cast<unsigned long long>(map2.epoch));
+  if (replicas > 0) {
+    // Failover: node 0 coordinates the promotion — membership drops the
+    // dead node, its replicas are installed at the conservative floor on
+    // whichever survivor now owns each key, and the map broadcast brings
+    // the other survivor along.
+    const cluster::PromoteOutcome out = nodes[0]->server->promote(2);
+    std::printf("t=%.2fs  killed node 2, promoted its replicas: epoch %llu, "
+                "%llu accounts installed here, %lld tokens forfeited\n",
+                to_seconds(now_us()),
+                static_cast<unsigned long long>(out.epoch),
+                static_cast<unsigned long long>(out.installed),
+                static_cast<long long>(out.forfeited));
+  } else {
+    // Unreplicated: the operator pushes the shrunk map; every banked
+    // token node 2 held is forfeited.
+    admin.push_map(map2);
+    std::printf("t=%.2fs  killed node 2, pushed map epoch %llu {0,1}\n",
+                to_seconds(now_us()),
+                static_cast<unsigned long long>(map2.epoch));
+  }
 
   std::this_thread::sleep_for(std::chrono::milliseconds(run_ms / 3));
   const cluster::ClusterMap map3 = map2.with_node(3);
@@ -246,7 +275,26 @@ int main(int argc, char** argv) {
       ok = false;
     }
   }
-  std::printf("\ncluster-wide burst bound (<= t/Δ + 1 + C = %lld per key): "
+  // Forfeit accounting, next to the audit it balances: every token the
+  // cluster dropped across the churn — promotion installs below the dead
+  // primary's balance, refused handoffs, unroutable extractions. With
+  // replication this is the failover's lag; without it, node 2's whole
+  // bank dies with it.
+  Tokens forfeited = 0;
+  std::uint64_t installs = 0, delta_frames = 0;
+  for (const auto& node : nodes) {
+    if (node->server == nullptr) continue;
+    forfeited += node->server->tokens_forfeited();
+    installs += node->server->replication().replica_installs();
+    delta_frames += node->server->replication().deltas_sent();
+  }
+  std::printf("\nforfeit accounting: %lld tokens forfeited cluster-wide "
+              "(%llu replica accounts installed at the floor, %llu delta "
+              "frames streamed)\n",
+              static_cast<long long>(forfeited),
+              static_cast<unsigned long long>(installs),
+              static_cast<unsigned long long>(delta_frames));
+  std::printf("cluster-wide burst bound (<= t/Δ + 1 + C = %lld per key): "
               "%s (hottest key %llu at %lld)\n",
               static_cast<long long>(bound),
               ok ? "HELD ON ALL KEYS" : "VIOLATED",

@@ -110,27 +110,40 @@ echo "wrote $out (fig4_scale --quick: ${fig4_ms} ms)"
 # the untraced run) is gated the same way: on one or two cores the
 # recorder's worker-side clock reads steal cycles from the submitter
 # thread and the delta measures time-slicing, not the recorder.
+# The replication churn smoke always runs (--replicas=1 adds a replicated
+# churn run whose failover time, forfeit accounting and delta-stream
+# overhead land in the JSON's "replication" block), but its enforcement —
+# the failover must install replicas with zero client errors and a bounded
+# forfeit, and the delta stream may cost at most 15% of unreplicated churn
+# throughput — follows the >= 4-core rule like every other ratio: on fewer
+# cores the follower lanes time-share the primaries' cores and the
+# overhead measures the scheduler, not the stream.
 cpus=$(nproc 2>/dev/null || echo 1)
 if [ "$cpus" -ge 4 ]; then
   cluster_floor="--min-cluster-speedup=1.5"
   sharded_floor="--min-sharded-ops=250000 --min-sharded-speedup=1.0"
   trace_ceiling="--max-trace-overhead=2"
+  repl_floor="--enforce-replication-churn --max-replication-overhead=15"
 else
   cluster_floor=""
   sharded_floor=""
   trace_ceiling=""
+  repl_floor=""
   echo "WARN: only ${cpus} core(s); skipping the cluster scale-out floor" \
        "(needs >= 4 cores to measure sharding, not scheduling)" >&2
   echo "WARN: only ${cpus} core(s); skipping the sharded-plane floors" \
        "(shard-owner workers need their own cores)" >&2
   echo "WARN: only ${cpus} core(s); skipping the trace-overhead ceiling" \
        "(the delta measures time-slicing, not the recorder)" >&2
+  echo "WARN: only ${cpus} core(s); skipping the replication churn floors" \
+       "(follower lanes need their own cores to price the delta stream)" >&2
 fi
 # shellcheck disable=SC2086  # the floor vars are intentionally unquoted
 "$build_dir/service_load" --quick --json="$service_out" \
     --scrape-out="$scrape_out" --trace-out="$trace_out" \
+    --replicas=1 \
     --min-table-ops=100000 --min-pipeline-speedup=1.0 \
-    $cluster_floor $sharded_floor $trace_ceiling > /dev/null
+    $cluster_floor $sharded_floor $trace_ceiling $repl_floor > /dev/null
 acquire_ops=$(sed -n 's/.*"acquire_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
 sharded_ops=$(sed -n 's/.*"sharded_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
 pipeline_ops=$(sed -n 's/.*"pipeline_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
@@ -140,6 +153,8 @@ shed=$(sed -n 's/.*"overload_shed": \([0-9]*\).*/\1/p' "$service_out")
 served=$(sed -n 's/.*"overload_served": \([0-9]*\).*/\1/p' "$service_out")
 scn_served=$(sed -n 's/.*"served": \([0-9]*\), "shed".*/\1/p' "$service_out" | head -1)
 scn_violations=$(sed -n 's/.*"violations": \([0-9]*\),$/\1/p' "$service_out" | head -1)
-echo "wrote $service_out (table: ${acquire_ops} ops/s, sharded: ${sharded_ops:-0} ops/s, pipelined wire: ${pipeline_ops} ops/s, epoll wire: ${epoll_ops:-0} ops/s, 3-node cluster: ${cluster_x}x one node, overload served/shed: ${served:-0}/${shed:-0}, scenario served: ${scn_served:-0}, violations: ${scn_violations:-0})"
+failover_ms=$(sed -n 's/.*"failover_ms": \([0-9.]*\).*/\1/p' "$service_out")
+forfeited=$(sed -n 's/.*"tokens_forfeited": \([0-9-]*\),$/\1/p' "$service_out" | head -1)
+echo "wrote $service_out (table: ${acquire_ops} ops/s, sharded: ${sharded_ops:-0} ops/s, pipelined wire: ${pipeline_ops} ops/s, epoll wire: ${epoll_ops:-0} ops/s, 3-node cluster: ${cluster_x}x one node, overload served/shed: ${served:-0}/${shed:-0}, scenario served: ${scn_served:-0}, violations: ${scn_violations:-0}, replicated failover: ${failover_ms:-n/a} ms, forfeited: ${forfeited:-0} tokens)"
 echo "wrote $scrape_out (overload-run Prometheus exposition)"
 echo "wrote $trace_out (scenario-run flight-recorder spans)"

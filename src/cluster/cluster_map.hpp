@@ -35,6 +35,12 @@ struct ClusterMap {
   std::uint32_t vnodes = kDefaultVnodes;
   /// Member node ids, strictly increasing (the wire codec enforces this).
   std::vector<NodeId> nodes;
+  /// Replication factor: every key's primary streams account deltas to its
+  /// `replicas` distinct ring successors, so a crashed primary forfeits at
+  /// most the replication lag instead of every banked balance. Zero (the
+  /// default) keeps the original forfeit-on-crash behaviour. Declared last
+  /// so positional aggregate init of {epoch, vnodes, nodes} stays valid.
+  std::uint32_t replicas = 0;
 
   bool contains(NodeId node) const {
     return std::binary_search(nodes.begin(), nodes.end(), node);

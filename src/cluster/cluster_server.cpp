@@ -1,6 +1,7 @@
 #include "cluster/cluster_server.hpp"
 
 #include <algorithm>
+#include <array>
 #include <optional>
 #include <utility>
 #include <variant>
@@ -20,9 +21,26 @@ ClusterServer::ClusterServer(service::AccountTable& table,
       server_(table, tap_, with_node(options, transport)),
       tracer_(options.tracer),
       registry_(options.registry),
+      engine_(options.engine),
+      repl_headroom_(options.replication_headroom),
+      repl_flush_ops_(std::max<std::uint32_t>(options.replication_flush_ops, 1)),
       map_(std::move(map)),
       ring_(map_) {
+  repl_ = std::make_unique<ReplicationEngine>(table, transport, map_);
+  if (map_.replicas > 0) table_->enable_replication(repl_headroom_);
+  if (engine_ != nullptr) {
+    // Engine plane: deltas are captured at the workers' drain boundaries
+    // (the locked-plane per-request flush would run before the queued ops
+    // even execute). Precompute each worker's shard set once.
+    worker_shards_.resize(engine_->worker_count());
+    for (std::size_t s = 0; s < table_->shard_count(); ++s)
+      worker_shards_[s % engine_->worker_count()].push_back(s);
+    engine_->set_drain_hook(
+        [this](std::size_t w) { flush_worker_shards(w); });
+  }
   if (registry_) register_metrics();
+  transport_->set_peer_down_handler(
+      [this](NodeId peer) { on_peer_down(peer); });
   transport_->set_handler([this](NodeId from, std::vector<std::byte> payload) {
     on_frame(from, std::move(payload));
   });
@@ -31,11 +49,19 @@ ClusterServer::ClusterServer(service::AccountTable& table,
 ClusterServer::~ClusterServer() {
   // Quiesce the real transport first; the inner server then detaches from
   // the tap, which nothing can deliver through anymore. Only then is it
-  // safe to pull the cluster gauges out of the registry.
+  // safe to pull the cluster gauges out of the registry. The engine's
+  // drain hook goes first of all — workers keep draining until the engine
+  // itself stops, and the hook calls back into this object.
+  if (engine_ != nullptr) engine_->set_drain_hook({});
+  transport_->set_peer_down_handler({});
   transport_->set_handler({});
   if (registry_) {
     for (const std::string& name : metric_names_) registry_->remove(name);
   }
+}
+
+void ClusterServer::flush_worker_shards(std::size_t w) {
+  repl_->flush_shards(worker_shards_[w]);
 }
 
 void ClusterServer::register_metrics() {
@@ -58,6 +84,22 @@ void ClusterServer::register_metrics() {
   registry_->counter_fn(add("tokad_handoffs_installed"), [this] {
     return static_cast<double>(
         handoffs_installed_.load(std::memory_order_relaxed));
+  });
+  registry_->counter_fn(add("tokad_tokens_forfeited"), [this] {
+    return static_cast<double>(
+        tokens_forfeited_.load(std::memory_order_relaxed));
+  });
+  registry_->counter_fn(add("tokad_replica_deltas"),
+                        [this] { return static_cast<double>(
+                                     repl_->deltas_sent()); });
+  registry_->counter_fn(add("tokad_replica_acks"),
+                        [this] { return static_cast<double>(
+                                     repl_->acks_received()); });
+  registry_->counter_fn(add("tokad_replica_promotions"), [this] {
+    return static_cast<double>(promotions_.load(std::memory_order_relaxed));
+  });
+  registry_->gauge(add("tokad_replication_lag"), [this] {
+    return static_cast<double>(repl_->lag_rounds());
   });
 }
 
@@ -102,7 +144,12 @@ ApplyOutcome ClusterServer::apply_map(const ClusterMap& map) {
   std::uint64_t sent = 0;
   for (const service::AccountExport& account : moved) {
     const NodeId target = ring.owner(account.ns, account.key);
-    if (target == kNoNode || target == self_id) continue;  // empty ring
+    if (target == kNoNode || target == self_id) {
+      // Unroutable (empty ring): the extracted balance just died with
+      // nowhere to go. Count it — this is a forfeit site.
+      tokens_forfeited_.fetch_add(account.balance, std::memory_order_relaxed);
+      continue;
+    }
     const std::uint64_t id =
         next_handoff_id_.fetch_add(1, std::memory_order_relaxed);
     transport_->send(target,
@@ -112,7 +159,74 @@ ApplyOutcome ClusterServer::apply_map(const ClusterMap& map) {
     ++sent;
   }
   handoffs_sent_.fetch_add(sent, std::memory_order_relaxed);
-  return {true, map.epoch, sent};
+
+  ApplyOutcome outcome{true, map.epoch, sent};
+  // Replica installs ride every map adoption: sources that fell out of
+  // membership get their surviving state promoted (conservatively, at the
+  // floor) wherever the new ring says it now lives. Running after the
+  // extraction sweep keeps the two key sets disjoint — installs target
+  // keys this node owns under the *new* ring, extraction removed the rest.
+  if (map.replicas > 0 && !table_->replication_enabled())
+    table_->enable_replication(repl_headroom_);
+  const ReplicaInstallResult installs = repl_->on_map_applied(map, ring);
+  outcome.replica_installed = installs.installed;
+  outcome.replica_forfeited = installs.forfeited;
+  if (installs.forfeited > 0)
+    tokens_forfeited_.fetch_add(installs.forfeited, std::memory_order_relaxed);
+  return outcome;
+}
+
+PromoteOutcome ClusterServer::promote(NodeId failed,
+                                      std::uint64_t expected_epoch) {
+  PromoteOutcome out;
+  const ClusterMap cur = map();
+  out.epoch = cur.epoch;
+  if (failed == self() || !cur.contains(failed)) return out;
+  if (expected_epoch != 0 && expected_epoch != cur.epoch) return out;
+  const ClusterMap next = cur.without_node(failed);
+  const ApplyOutcome applied = apply_map(next);
+  out.epoch = applied.epoch;
+  if (!applied.accepted) return out;  // lost to a newer map — fine, done
+  out.accepted = true;
+  out.installed = applied.replica_installed;
+  out.forfeited = applied.replica_forfeited;
+  promotions_.fetch_add(1, std::memory_order_relaxed);
+  // Broadcast the verdict: each survivor adopts the same strictly-newer
+  // map and installs its own replicas of the dead node. Re-deliveries are
+  // harmless (strictly-newer rule) and stale clients learn by redirect.
+  for (const NodeId node : next.nodes) {
+    if (node == self()) continue;
+    const std::uint64_t id =
+        next_handoff_id_.fetch_add(1, std::memory_order_relaxed);
+    transport_->send(node, proto::encode(proto::ApplyMapRequest{id, next}));
+  }
+  return out;
+}
+
+void ClusterServer::on_peer_down(NodeId peer) {
+  const ClusterMap cur = map();
+  if (cur.replicas == 0 || peer == self() || !cur.contains(peer)) return;
+  // Exactly one survivor coordinates the epoch bump: the dead node's
+  // id-order successor (wrapping past the top), so simultaneous peer-down
+  // observations on every survivor don't race competing promotions. The
+  // member list is sorted.
+  NodeId coordinator = kNoNode;
+  for (const NodeId node : cur.nodes) {
+    if (node > peer) {
+      coordinator = node;
+      break;
+    }
+  }
+  if (coordinator == kNoNode) {
+    for (const NodeId node : cur.nodes) {
+      if (node != peer) {
+        coordinator = node;
+        break;
+      }
+    }
+  }
+  if (coordinator != self()) return;
+  promote(peer, cur.epoch);
 }
 
 void ClusterServer::handle_handoff(NodeId from,
@@ -125,7 +239,14 @@ void ClusterServer::handle_handoff(NodeId from,
   if (owner_of(r.ns, r.key) == self()) {
     accepted = table_->install_account(r.ns, r.key, r.balance);
   }
-  if (accepted) handoffs_installed_.fetch_add(1, std::memory_order_relaxed);
+  if (accepted) {
+    handoffs_installed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Refused install: the sender already extracted, so this balance just
+    // ceased to exist anywhere. The receiver counts it — it is the one
+    // node that knows the refusal happened.
+    tokens_forfeited_.fetch_add(r.balance, std::memory_order_relaxed);
+  }
   transport_->send(from, proto::encode(proto::HandoffResponse{r.id, accepted}));
 }
 
@@ -168,10 +289,22 @@ void ClusterServer::on_frame(NodeId from, std::vector<std::byte> payload) {
     std::uint64_t foreign_key = 0;
     std::uint64_t epoch = 0;
     bool walked;
+    // Locked plane only: the ownership walk doubles as delta capture —
+    // the shards this frame touches get their dirty accounts flushed to
+    // followers right after the op executes. (Engine plane flushes at the
+    // workers' drain boundaries instead; at deliver time the ops are still
+    // queued, so a post-deliver flush here would capture nothing.) The
+    // inline buffer covers every single-key op without touching the heap;
+    // only a batch spanning more shards spills.
+    std::array<std::size_t, 8> touched_local;
+    std::size_t touched_n = 0;
+    std::vector<std::size_t> touched_spill;
     {
       std::shared_lock lock(map_mu_);
       epoch = map_.epoch;
       const NodeId self_id = transport_->self();
+      const bool capture = engine_ == nullptr && map_.replicas > 0 &&
+                           head->type != proto::MsgType::kQuery;
       walked = proto::for_each_data_op_key(
           payload, [&](service::NamespaceId ns, std::uint64_t key) {
             const NodeId owner = ring_.owner(ns, key);
@@ -181,6 +314,21 @@ void ClusterServer::on_frame(NodeId from, std::vector<std::byte> payload) {
               foreign_ns = ns;
               foreign_key = key;
               return false;
+            }
+            if (capture) {
+              const std::size_t shard = table_->shard_of(ns, key);
+              bool seen = false;
+              for (std::size_t i = 0; i < touched_n; ++i)
+                seen = seen || touched_local[i] == shard;
+              if (!seen && std::find(touched_spill.begin(),
+                                     touched_spill.end(),
+                                     shard) == touched_spill.end()) {
+                if (touched_n < touched_local.size()) {
+                  touched_local[touched_n++] = shard;
+                } else {
+                  touched_spill.push_back(shard);
+                }
+              }
             }
             return true;
           });
@@ -203,6 +351,35 @@ void ClusterServer::on_frame(NodeId from, std::vector<std::byte> payload) {
     // owns the taxonomy (typed error for a valid header, drop for
     // garbage).
     tap_.deliver(from, std::move(payload));
+    if (touched_n > 0) {
+      // Coalesce: one delta frame per request would double the per-lane
+      // frame load, so touched shards accumulate until replication_flush_ops
+      // data ops have passed. Everything deferred is replication lag a
+      // failover may forfeit — tests asserting the tight per-request bound
+      // pin the knob to 1 (which skips the pending set entirely).
+      std::vector<std::size_t> flush;
+      if (repl_flush_ops_ <= 1) {
+        flush.assign(touched_local.begin(),
+                     touched_local.begin() +
+                         static_cast<std::ptrdiff_t>(touched_n));
+        flush.insert(flush.end(), touched_spill.begin(), touched_spill.end());
+      } else {
+        std::lock_guard lock(repl_pending_mu_);
+        auto merge = [this](std::size_t shard) {
+          if (std::find(repl_pending_.begin(), repl_pending_.end(), shard) ==
+              repl_pending_.end()) {
+            repl_pending_.push_back(shard);
+          }
+        };
+        for (std::size_t i = 0; i < touched_n; ++i) merge(touched_local[i]);
+        for (const std::size_t shard : touched_spill) merge(shard);
+        if (++repl_pending_ops_ >= repl_flush_ops_) {
+          flush.swap(repl_pending_);
+          repl_pending_ops_ = 0;
+        }
+      }
+      if (!flush.empty()) repl_->flush_shards(flush);
+    }
     return;
   }
 
@@ -230,6 +407,21 @@ void ClusterServer::on_frame(NodeId from, std::vector<std::byte> payload) {
     transport_->send(from, proto::encode(proto::ApplyMapResponse{
                                r->id, outcome.accepted, outcome.epoch,
                                outcome.handoffs}));
+    return;
+  }
+  if (const auto* r = std::get_if<proto::ReplicateRequest>(&request)) {
+    repl_->on_replicate(from, *r);
+    return;
+  }
+  if (const auto* r = std::get_if<proto::ReplicaAckRequest>(&request)) {
+    repl_->on_ack(from, *r);
+    return;
+  }
+  if (const auto* r = std::get_if<proto::PromoteRequest>(&request)) {
+    const PromoteOutcome out = promote(r->failed, r->epoch);
+    transport_->send(from, proto::encode(proto::PromoteResponse{
+                               r->id, out.accepted, out.epoch, out.installed,
+                               out.forfeited}));
     return;
   }
 

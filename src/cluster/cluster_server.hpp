@@ -27,16 +27,29 @@
 // racing fresh account can only destroy banked tokens — which keeps every
 // node's §3.4 audit, and hence the cluster-wide per-key burst bound,
 // intact through membership churn (see DESIGN.md, "tokad cluster").
+//
+// With ClusterMap::replicas > 0 the node additionally runs a
+// ReplicationEngine (see replication.hpp): owned accounts stream deltas to
+// their ring successors at drain boundaries, kReplicate/kReplicaAck/
+// kPromote frames are routed to it, replica installs ride every map
+// adoption, and a peer-down notification auto-promotes through the dead
+// node's id-order successor. Every balance the cluster drops — refused
+// handoffs, unroutable extractions, conservative promotion installs — is
+// counted in tokens_forfeited (exported as tokad_tokens_forfeited), so the
+// crash-loss bound is observable, not just asserted in tests.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster_map.hpp"
 #include "cluster/hash_ring.hpp"
+#include "cluster/replication.hpp"
 #include "obs/telemetry.hpp"
 #include "runtime/transport.hpp"
 #include "service/account_table.hpp"
@@ -46,11 +59,22 @@
 
 namespace toka::cluster {
 
-/// Outcome of ApplyMap (mirrors the wire response body).
+/// Outcome of ApplyMap (the first three fields mirror the wire response
+/// body; the replica fields are local accounting).
 struct ApplyOutcome {
   bool accepted = false;       ///< false: we already have this epoch or newer
   std::uint64_t epoch = 0;     ///< our epoch after the call
   std::uint64_t handoffs = 0;  ///< accounts extracted and sent away
+  std::uint64_t replica_installed = 0;  ///< replicas promoted into the table
+  Tokens replica_forfeited = 0;  ///< tokens the conservative install dropped
+};
+
+/// Outcome of promote() (mirrors the PromoteResponse body).
+struct PromoteOutcome {
+  bool accepted = false;        ///< false: stale epoch or unknown dead node
+  std::uint64_t epoch = 0;      ///< our epoch after the call
+  std::uint64_t installed = 0;  ///< replica accounts installed here
+  Tokens forfeited = 0;         ///< tokens dropped by the conservative install
 };
 
 class ClusterServer {
@@ -80,7 +104,19 @@ class ClusterServer {
   /// Installs `map` if strictly newer than the current one and hands off
   /// every account the new ring no longer places here. Also reachable over
   /// the wire via ApplyMap; exposed for in-process coordinators and tests.
+  /// With replication running, every adoption also installs the replicas
+  /// of departed sources that the new ring places here.
   ApplyOutcome apply_map(const ClusterMap& map);
+
+  /// Removes `failed` from membership (strictly-newer epoch), installs
+  /// this node's replicas of it, and broadcasts the new map to the other
+  /// survivors so they do the same — the failover path. `expected_epoch`
+  /// guards a stale coordinator (0 = promote against whatever the current
+  /// map is). Idempotent: not accepted if `failed` already left. Also
+  /// reachable over the wire via kPromote, and triggered automatically by
+  /// the transport's peer-down signal (through the dead node's id-order
+  /// successor, so concurrent observers don't race epoch bumps).
+  PromoteOutcome promote(NodeId failed, std::uint64_t expected_epoch = 0);
 
   /// The wrapped per-node server (served/errored/malformed counters).
   const service::Server& inner() const { return server_; }
@@ -103,6 +139,19 @@ class ClusterServer {
   std::uint64_t handoffs_installed() const {
     return handoffs_installed_.load();
   }
+  /// Tokens this node destroyed: refused handoff installs, extractions
+  /// with no routable target, and the balance-above-floor gap (or whole
+  /// balance, on refusal) of every replica promotion install.
+  Tokens tokens_forfeited() const {
+    return tokens_forfeited_.load(std::memory_order_relaxed);
+  }
+  /// Promotions this node coordinated (accepted promote() calls).
+  std::uint64_t promotions() const {
+    return promotions_.load(std::memory_order_relaxed);
+  }
+  /// The node's replication engine (always present; idle when the map's
+  /// replication factor is 0). Exposed for tests and benchmarks.
+  const ReplicationEngine& replication() const { return *repl_; }
 
  private:
   /// The inner service::Server believes this is its transport: sends pass
@@ -134,6 +183,10 @@ class ClusterServer {
   /// Ring placement under the current map; kNoNode on an empty ring.
   NodeId owner_of(service::NamespaceId ns, std::uint64_t key) const;
   void handle_handoff(NodeId from, const service::protocol::HandoffRequest& r);
+  /// Peer-down reaction: the dead node's id-order successor promotes.
+  void on_peer_down(NodeId peer);
+  /// Engine-plane drain hook: streams worker `w`'s shards' dirty deltas.
+  void flush_worker_shards(std::size_t w);
   void register_metrics();
 
   /// Fills in ServerOptions::node with transport.self() when unset, so
@@ -150,6 +203,18 @@ class ClusterServer {
   service::Server server_;
   obs::Tracer* tracer_ = nullptr;  ///< the inner server's flight recorder
   obs::Registry* registry_;
+  service::ShardEngine* engine_ = nullptr;  ///< nullptr in the locked plane
+  Tokens repl_headroom_ = 0;
+  std::uint32_t repl_flush_ops_ = 1;  ///< locked-plane flush coalescing
+  std::unique_ptr<ReplicationEngine> repl_;
+  /// Locked-plane coalescing state: shards touched by owned data ops since
+  /// the last flush, and how many ops accumulated them.
+  std::mutex repl_pending_mu_;
+  std::vector<std::size_t> repl_pending_;
+  std::uint32_t repl_pending_ops_ = 0;
+  /// Shard indices per engine worker (w owns shard s iff s % workers == w);
+  /// empty without an engine.
+  std::vector<std::vector<std::size_t>> worker_shards_;
   std::vector<std::string> metric_names_;
 
   mutable std::shared_mutex map_mu_;
@@ -164,6 +229,8 @@ class ClusterServer {
   std::atomic<std::uint64_t> handoffs_rejected_{0};
   std::atomic<std::uint64_t> handoffs_received_{0};
   std::atomic<std::uint64_t> handoffs_installed_{0};
+  std::atomic<Tokens> tokens_forfeited_{0};
+  std::atomic<std::uint64_t> promotions_{0};
 };
 
 }  // namespace toka::cluster

@@ -43,6 +43,30 @@ NodeId HashRing::owner_of_point(std::uint64_t point) const {
   return it->second;
 }
 
+std::vector<NodeId> HashRing::successors_of_point(std::uint64_t point,
+                                                  std::size_t k) const {
+  std::vector<NodeId> group;
+  if (points_.empty()) return group;
+  const std::size_t want = std::min(k + 1, node_count_);
+  group.reserve(want);
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), point,
+      [](std::uint64_t p, const std::pair<std::uint64_t, NodeId>& entry) {
+        return p < entry.first;
+      });
+  // Walk forward (wrapping) until `want` distinct nodes are collected. The
+  // walk terminates: every node contributes at least one point, so a full
+  // lap visits every node id at least once.
+  while (group.size() < want) {
+    if (it == points_.end()) it = points_.begin();
+    if (std::find(group.begin(), group.end(), it->second) == group.end()) {
+      group.push_back(it->second);
+    }
+    ++it;
+  }
+  return group;
+}
+
 std::uint64_t HashRing::key_point(service::NamespaceId ns, std::uint64_t key) {
   std::uint64_t state = service::AccountTable::fold_key(ns, key);
   return util::splitmix64(state);

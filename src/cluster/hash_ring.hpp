@@ -53,6 +53,20 @@ class HashRing {
   /// Ring-point lookup for a pre-computed hash (micro-benchmarks, tests).
   NodeId owner_of_point(std::uint64_t point) const;
 
+  /// The key's replication group: the owner followed by up to `k` distinct
+  /// successor nodes, walking the ring forward from the owner's point.
+  /// Virtual-node points belonging to already-collected nodes are skipped,
+  /// so the group never repeats a node and is capped at node_count().
+  /// Empty ring -> empty vector. successors(ns, key, 0) == {owner}.
+  std::vector<NodeId> successors(service::NamespaceId ns, std::uint64_t key,
+                                 std::size_t k) const {
+    return successors_of_point(key_point(ns, key), k);
+  }
+
+  /// Successor-group lookup for a pre-computed ring point (benchmarks).
+  std::vector<NodeId> successors_of_point(std::uint64_t point,
+                                          std::size_t k) const;
+
   /// Where (ns, key) lands on the ring: AccountTable's key mix, so the
   /// ring is splitmix64-compatible with the table's shard partitioning.
   static std::uint64_t key_point(service::NamespaceId ns, std::uint64_t key);

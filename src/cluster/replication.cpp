@@ -1,0 +1,211 @@
+#include "cluster/replication.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace toka::cluster {
+
+namespace proto = service::protocol;
+
+ReplicationEngine::ReplicationEngine(service::AccountTable& table,
+                                     runtime::Transport& transport,
+                                     ClusterMap map)
+    : table_(&table),
+      transport_(&transport),
+      map_(std::move(map)),
+      ring_(map_) {}
+
+std::uint64_t ReplicationEngine::min_acked_locked() const {
+  if (lanes_.empty()) return round_;  // nothing in flight
+  std::uint64_t acked = UINT64_MAX;
+  for (const auto& [node, lane] : lanes_) acked = std::min(acked, lane.acked);
+  return acked;
+}
+
+void ReplicationEngine::flush_shards(const std::vector<std::size_t>& shards) {
+  std::lock_guard flush_lock(flush_mu_);
+
+  std::uint64_t seq;
+  std::uint64_t acked;
+  std::uint32_t k;
+  NodeId self;
+  HashRing ring;
+  std::uint64_t epoch;
+  {
+    std::lock_guard lock(mu_);
+    k = map_.replicas;
+    if (k == 0 || ring_.node_count() <= 1) return;
+    seq = round_ + 1;
+    acked = min_acked_locked();
+    ring = ring_;  // routing snapshot; cheap relative to a frame send
+    epoch = map_.epoch;
+    self = transport_->self();
+  }
+
+  scratch_.clear();
+  for (const std::size_t s : shards)
+    table_->drain_replica_dirty(s, seq, acked, scratch_);
+  if (scratch_.empty()) return;
+
+  // Split the batch per follower: every delta goes to each of its key's
+  // successors. Deltas whose key this node no longer owns were captured
+  // across a map transition — the new primary streams them, skip.
+  std::map<NodeId, std::vector<proto::ReplicaDelta>> per_target;
+  for (const service::ReplicaDeltaExport& d : scratch_) {
+    const std::vector<NodeId> group = ring.successors(d.ns, d.key, k);
+    if (group.empty() || group.front() != self) continue;
+    for (std::size_t i = 1; i < group.size(); ++i) {
+      per_target[group[i]].push_back(
+          proto::ReplicaDelta{d.ns, d.key, d.balance, d.floor});
+    }
+  }
+  if (per_target.empty()) return;
+
+  {
+    std::lock_guard lock(mu_);
+    round_ = std::max(round_, seq);
+    for (const auto& [node, deltas] : per_target) {
+      Lane& lane = lanes_[node];
+      lane.last_sent = std::max(lane.last_sent, seq);
+    }
+  }
+  for (auto& [node, deltas] : per_target) {
+    delta_accounts_sent_.fetch_add(deltas.size(), std::memory_order_relaxed);
+    // Chunk under the frame limit (a drain batch larger than 64k accounts
+    // for one follower is theoretical, but the codec enforces the cap).
+    std::size_t off = 0;
+    while (off < deltas.size()) {
+      const std::size_t n =
+          std::min(deltas.size() - off, proto::kMaxReplicaDeltas);
+      proto::ReplicateRequest frame;
+      frame.id = next_frame_id_++;
+      frame.epoch = epoch;
+      frame.seq = seq;
+      frame.deltas.assign(deltas.begin() + static_cast<std::ptrdiff_t>(off),
+                          deltas.begin() + static_cast<std::ptrdiff_t>(off + n));
+      transport_->send(node, proto::encode(frame));
+      deltas_sent_.fetch_add(1, std::memory_order_relaxed);
+      off += n;
+    }
+  }
+}
+
+void ReplicationEngine::on_ack(NodeId from,
+                               const proto::ReplicaAckRequest& ack) {
+  acks_received_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(mu_);
+  auto it = lanes_.find(from);
+  if (it == lanes_.end()) return;  // departed (or never a) follower
+  it->second.acked = std::max(it->second.acked, ack.seq);
+}
+
+void ReplicationEngine::on_replicate(NodeId from,
+                                     const proto::ReplicateRequest& r) {
+  std::uint64_t ack_seq;
+  {
+    std::lock_guard lock(store_mu_);
+    for (const proto::ReplicaDelta& d : r.deltas) {
+      // Absolute deltas, ordered per-pair transport: last write wins.
+      store_[ReplicaKey{d.ns, d.key}] = ReplicaState{d.balance, d.floor, from};
+    }
+    std::uint64_t& high = source_rounds_[from];
+    high = std::max(high, r.seq);
+    ack_seq = high;
+  }
+  transport_->send(from,
+                   proto::encode(proto::ReplicaAckRequest{r.id, ack_seq}));
+}
+
+ReplicaInstallResult ReplicationEngine::on_map_applied(const ClusterMap& map,
+                                                       const HashRing& ring) {
+  ReplicaInstallResult result;
+  const NodeId self = transport_->self();
+  {
+    std::lock_guard lock(store_mu_);
+    for (auto it = store_.begin(); it != store_.end();) {
+      const ReplicaKey& key = it->first;
+      const ReplicaState& state = it->second;
+      if (!map.contains(state.source)) {
+        // The primary fell out of membership. If the new ring puts the key
+        // here, this node is its promoted owner: install at the floor —
+        // the dead primary never granted below it, so this can only
+        // under-grant. The balance-floor gap (or the whole balance, if a
+        // live account or missing namespace refuses the install) is the
+        // failover's forfeit.
+        if (!ring.empty() && ring.owner(key.ns, key.key) == self) {
+          if (table_->install_account(key.ns, key.key, state.floor)) {
+            ++result.installed;
+            result.forfeited += state.balance - state.floor;
+          } else {
+            result.forfeited += state.balance;
+          }
+        }
+        // Not the new owner: drop silently — the owning successor counts
+        // the forfeit (or installs), counting it here too would double it.
+        it = store_.erase(it);
+        continue;
+      }
+      // Source still alive: keep only what this node still follows under
+      // the new topology (dropping a redundant copy forfeits nothing —
+      // the primary holds the live balance).
+      bool follows = false;
+      if (map.replicas > 0) {
+        const std::vector<NodeId> group =
+            ring.successors(key.ns, key.key, map.replicas);
+        follows = !group.empty() && group.front() == state.source &&
+                  std::find(group.begin() + 1, group.end(), self) !=
+                      group.end();
+      }
+      if (follows) {
+        ++it;
+      } else {
+        it = store_.erase(it);
+      }
+    }
+    // Sources that left can never stream again; forget their rounds.
+    for (auto it = source_rounds_.begin(); it != source_rounds_.end();) {
+      if (map.contains(it->first)) {
+        ++it;
+      } else {
+        it = source_rounds_.erase(it);
+      }
+    }
+  }
+  {
+    std::lock_guard lock(mu_);
+    map_ = map;
+    ring_ = ring;
+    // Departed followers release their lanes — and with them any unacked
+    // rounds holding the gate watermark down.
+    for (auto it = lanes_.begin(); it != lanes_.end();) {
+      if (map.contains(it->first) && it->first != self) {
+        ++it;
+      } else {
+        it = lanes_.erase(it);
+      }
+    }
+  }
+  installs_.fetch_add(result.installed, std::memory_order_relaxed);
+  install_forfeited_.fetch_add(result.forfeited, std::memory_order_relaxed);
+  return result;
+}
+
+std::size_t ReplicationEngine::replica_accounts() const {
+  std::lock_guard lock(store_mu_);
+  return store_.size();
+}
+
+std::uint64_t ReplicationEngine::lag_rounds() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t lag = 0;
+  for (const auto& [node, lane] : lanes_) {
+    if (lane.last_sent > lane.acked) {
+      lag = std::max(lag, lane.last_sent - lane.acked);
+    }
+  }
+  return lag;
+}
+
+}  // namespace toka::cluster

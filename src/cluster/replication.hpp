@@ -1,0 +1,208 @@
+// Replicated ownership: per-key replication groups on the HashRing, so a
+// crashed primary forfeits at most the replication lag instead of every
+// banked balance it held.
+//
+// Roles are per key, not per node. For every (namespace, key) the ring
+// owner is the *primary* — the only node that grants — and the key's next
+// `replicas` distinct ring successors are its *followers*. The primary
+// streams absolute per-account deltas (latest balance + a conservative
+// install floor) to its followers in kReplicate frames, batched at drain
+// boundaries: one frame per follower per table flush, never one per op.
+// Followers apply the deltas to a passive replica store and ack the
+// highest emission round received (kReplicaAck); the primary tracks the
+// ack watermark per follower lane.
+//
+// Failover weakens the cluster's forfeit-everything crash rule to
+// "duplicate never, forfeit at most the lag":
+//
+//   - never duplicate: a follower that is promoted installs the *floor* of
+//     its latest replica, not the balance — and the primary's spend gate
+//     (AccountTable's repl_gate) guarantees the primary never granted
+//     below any floor still unacked. Whatever floor a promoted follower
+//     installs, the dead primary's balance was at least that high, so the
+//     install can only under-grant. The §3.4 audit stays clean through a
+//     kill (the churn test asserts it).
+//   - forfeit <= lag: what dies with the primary is the gap between its
+//     true balance and the floor its followers hold — bounded by the
+//     configured headroom plus whatever the stream had not yet delivered.
+//
+// Promotion is just membership change: the coordinator (the dead node's
+// id-order successor, or any kPromote sender) builds the current map
+// without the dead node — a strictly newer epoch — applies it locally and
+// broadcasts ApplyMap. Replica installs ride the map application: any node
+// adopting a map learns which sources fell out of membership and installs
+// the replicas it now owns (ClusterServer calls on_map_applied inside
+// apply_map), so explicit promotion, gossiped maps and operator-driven
+// membership edits all converge on the same code path and are idempotent.
+//
+// Liveness trade-off, by design: grants above the gated headroom wait for
+// follower acks, so a stuck follower back-pressures its primaries' bursts
+// (steady-state traffic under the headroom is unaffected) until membership
+// removes it. That is the conservative end of the paper's proactive /
+// reactive spectrum — availability is spent where the budget bound would
+// otherwise be at risk (see DESIGN.md, "Replicated ownership").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster_map.hpp"
+#include "cluster/hash_ring.hpp"
+#include "runtime/transport.hpp"
+#include "service/account_table.hpp"
+#include "service/protocol.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace toka::cluster {
+
+/// Outcome of installing replicas after a membership change.
+struct ReplicaInstallResult {
+  std::uint64_t installed = 0;  ///< replica accounts installed here
+  Tokens forfeited = 0;         ///< tokens dropped conservatively doing so
+};
+
+/// One node's half of the delta-stream protocol: primary-side emission and
+/// lag tracking, follower-side replica store and promotion install. Owned
+/// by a ClusterServer; thread-safe (flushes are serialized, the store and
+/// lane maps have their own locks).
+class ReplicationEngine {
+ public:
+  /// `table` and `transport` must outlive the engine. `headroom` is how
+  /// far above the advertised floor a primary may spend without waiting
+  /// for an ack (0 = auto: half the namespace capacity); it is forwarded
+  /// to AccountTable::enable_replication by the owning server.
+  ReplicationEngine(service::AccountTable& table,
+                    runtime::Transport& transport, ClusterMap map);
+
+  ReplicationEngine(const ReplicationEngine&) = delete;
+  ReplicationEngine& operator=(const ReplicationEngine&) = delete;
+
+  // ------------------------------------------------------- primary side
+
+  /// Drains the dirty accounts of `shards` and streams one kReplicate
+  /// frame per follower that got deltas, stamped with the next emission
+  /// round. Deltas whose key this node no longer owns are skipped (a map
+  /// transition already moved them). Serialized across callers; safe from
+  /// request threads and engine workers alike (the drain itself locks per
+  /// table mode — exclusive-shard callers must own the shards).
+  void flush_shards(const std::vector<std::size_t>& shards);
+
+  /// A follower acked its stream: advances the lane watermark that lets
+  /// account spend gates collapse (and the lag gauge fall).
+  void on_ack(NodeId from, const service::protocol::ReplicaAckRequest& ack);
+
+  // ------------------------------------------------------ follower side
+
+  /// Applies a primary's delta frame to the replica store (absolute
+  /// deltas: last write per account wins) and acks the highest round
+  /// received from that source.
+  void on_replicate(NodeId from,
+                    const service::protocol::ReplicateRequest& r);
+
+  /// Ran by ClusterServer inside every successful map adoption: installs
+  /// (conservatively, at the floor) every replica whose source fell out of
+  /// membership and whose key the new ring places here; drops replicas
+  /// this node no longer follows; prunes lanes of departed followers; and
+  /// adopts the new topology for subsequent flushes. Returns the install
+  /// accounting (the caller owns the forfeit counter).
+  ReplicaInstallResult on_map_applied(const ClusterMap& map,
+                                      const HashRing& ring);
+
+  // ----------------------------------------------------------- counters
+
+  /// kReplicate frames sent (per follower, not per delta).
+  std::uint64_t deltas_sent() const {
+    return deltas_sent_.load(std::memory_order_relaxed);
+  }
+  /// Account deltas carried by those frames.
+  std::uint64_t delta_accounts_sent() const {
+    return delta_accounts_sent_.load(std::memory_order_relaxed);
+  }
+  /// kReplicaAck frames received back.
+  std::uint64_t acks_received() const {
+    return acks_received_.load(std::memory_order_relaxed);
+  }
+  /// Replica accounts currently held for other primaries.
+  std::size_t replica_accounts() const;
+  /// Cumulative replica accounts promoted into the table (all map
+  /// adoptions combined).
+  std::uint64_t replica_installs() const {
+    return installs_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative tokens the conservative installs dropped — the measured
+  /// failover forfeit (bounded by headroom + stream lag per account).
+  Tokens replica_install_forfeited() const {
+    return install_forfeited_.load(std::memory_order_relaxed);
+  }
+  /// Worst-case stream lag right now: max over follower lanes of
+  /// (last emitted round - acked round). 0 with no lanes or all caught up.
+  std::uint64_t lag_rounds() const;
+
+ private:
+  struct ReplicaKey {
+    service::NamespaceId ns = service::kDefaultNamespace;
+    std::uint64_t key = 0;
+    friend bool operator==(const ReplicaKey&, const ReplicaKey&) = default;
+  };
+  struct ReplicaKeyHash {
+    std::size_t operator()(const ReplicaKey& k) const {
+      std::uint64_t state = service::AccountTable::fold_key(k.ns, k.key);
+      return static_cast<std::size_t>(util::splitmix64(state));
+    }
+  };
+  /// Latest replicated state of one foreign account. `source` is the
+  /// primary that streamed it: only replicas of a *departed* source are
+  /// ever installed, so a live primary's stream can never be double-
+  /// counted against it.
+  struct ReplicaState {
+    Tokens balance = 0;
+    Tokens floor = 0;
+    NodeId source = kNoNode;
+  };
+  /// Primary-side per-follower stream state. Lanes die only with
+  /// membership (pruned in on_map_applied) — an unresponsive follower
+  /// back-pressures bursts rather than being silently written off, which
+  /// is what keeps the promoted-floor invariant airtight.
+  struct Lane {
+    std::uint64_t last_sent = 0;  ///< highest round emitted to this lane
+    std::uint64_t acked = 0;      ///< highest round the follower acked
+  };
+
+  /// Min over lanes of the acked round (the watermark gates collapse on);
+  /// with no lanes, the current round — nothing is in flight. Caller
+  /// holds mu_.
+  std::uint64_t min_acked_locked() const;
+
+  service::AccountTable* table_;
+  runtime::Transport* transport_;
+
+  /// Serializes flushes end-to-end, so emission rounds increase in frame
+  /// send order on every lane (the property the ack watermark relies on).
+  std::mutex flush_mu_;
+  std::vector<service::ReplicaDeltaExport> scratch_;
+
+  mutable std::mutex mu_;  ///< lanes, round counter, topology
+  std::uint64_t round_ = 0;
+  std::uint64_t next_frame_id_ = 1;
+  std::map<NodeId, Lane> lanes_;
+  ClusterMap map_;
+  HashRing ring_;
+
+  mutable std::mutex store_mu_;
+  std::unordered_map<ReplicaKey, ReplicaState, ReplicaKeyHash> store_;
+  /// Highest round received per source (the value acked back).
+  std::unordered_map<NodeId, std::uint64_t> source_rounds_;
+
+  std::atomic<std::uint64_t> deltas_sent_{0};
+  std::atomic<std::uint64_t> delta_accounts_sent_{0};
+  std::atomic<std::uint64_t> acks_received_{0};
+  std::atomic<std::uint64_t> installs_{0};
+  std::atomic<Tokens> install_forfeited_{0};
+};
+
+}  // namespace toka::cluster

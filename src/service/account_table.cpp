@@ -263,7 +263,19 @@ AcquireResult AccountTable::acquire_locked(
   // grant beyond it spent tokens the settle just minted ("fresh").
   const Tokens banked = entry.account.balance();
   settle(shard, entry, now);
-  const Tokens granted = entry.account.try_spend(n);
+  Tokens want = n;
+  if (repl_enabled_.load(std::memory_order_relaxed)) {
+    // The spend gate: never grant below the highest floor a promoted
+    // follower might still install. Grants above the gated headroom wait
+    // for the stream to catch up (the gate collapses on ack in
+    // drain_replica_dirty) — the availability price of the never-duplicate
+    // guarantee under failover.
+    const Tokens spendable =
+        std::max<Tokens>(entry.account.balance() - entry.repl_gate, 0);
+    want = std::min(want, spendable);
+  }
+  const Tokens granted = entry.account.try_spend(want);
+  mark_repl_dirty(shard, ns->id, key, entry);
   TableStats& stats = stats_for(shard, ns->id);
   ++stats.acquires;
   stats.tokens_requested += static_cast<std::uint64_t>(n);
@@ -322,6 +334,7 @@ RefundResult AccountTable::refund(NamespaceId ns, std::uint64_t key,
   const Tokens headroom =
       std::max<Tokens>(entry.ns->capacity - entry.account.balance(), 0);
   const Tokens accepted = entry.account.refund_spend(std::min(n, headroom));
+  mark_repl_dirty(shard, ns, key, entry);
   if (entry.auditor) {
     // The returned tokens' admissions never happened: strike them from the
     // audit trace so first_violation() checks *net* admissions. accepted
@@ -466,11 +479,61 @@ bool AccountTable::install_account(NamespaceId ns, std::uint64_t key,
     entry.auditor = std::make_unique<core::RateLimitAuditor>(
         nsp->config.delta_us, nsp->capacity);
   }
-  shard.accounts.emplace(account_key, std::move(entry));
+  auto slot = shard.accounts.emplace(account_key, std::move(entry)).first;
+  mark_repl_dirty(shard, ns, key, slot->second);
   TableStats& stats = stats_for(shard, ns);
   ++stats.accounts_created;
   ++stats.accounts_installed;
   return true;
+}
+
+void AccountTable::enable_replication(Tokens headroom) {
+  TOKA_CHECK_MSG(headroom >= 0,
+                 "replication headroom must be non-negative, got " << headroom);
+  repl_headroom_.store(headroom, std::memory_order_relaxed);
+  repl_enabled_.store(true, std::memory_order_release);
+}
+
+void AccountTable::mark_repl_dirty(Shard& shard, NamespaceId ns,
+                                   std::uint64_t key, Entry& entry) {
+  if (!repl_enabled_.load(std::memory_order_relaxed) || entry.repl_dirty)
+    return;
+  entry.repl_dirty = true;
+  shard.repl_dirty.push_back(AccountKey{ns, key});
+}
+
+std::size_t AccountTable::drain_replica_dirty(
+    std::size_t shard_idx, std::uint64_t seq, std::uint64_t acked_seq,
+    std::vector<ReplicaDeltaExport>& out) {
+  TOKA_CHECK_MSG(shard_idx < shards_.size(),
+                 "shard index " << shard_idx << " out of range");
+  Shard& shard = *shards_[shard_idx];
+  ShardGuard lock(*this, shard);
+  std::size_t appended = 0;
+  for (const AccountKey& k : shard.repl_dirty) {
+    auto it = shard.accounts.find(k);
+    if (it == shard.accounts.end()) continue;  // evicted or extracted since
+    Entry& entry = it->second;
+    entry.repl_dirty = false;
+    // Gate collapse: once the last sent floor is acked, the follower's
+    // installable floor is exactly that value — every older (possibly
+    // higher) floor has been superseded on an ordered stream — so the
+    // gate drops to it and the headroom above it becomes spendable again.
+    if (entry.repl_floor_seq != 0 && entry.repl_floor_seq <= acked_seq)
+      entry.repl_gate = entry.repl_sent_floor;
+    const Tokens balance = entry.account.balance();
+    const Tokens configured = repl_headroom_.load(std::memory_order_relaxed);
+    const Tokens h =
+        configured > 0 ? configured : (entry.ns->capacity + 1) / 2;
+    const Tokens floor = std::max<Tokens>(balance - h, 0);
+    entry.repl_sent_floor = floor;
+    entry.repl_floor_seq = seq;
+    entry.repl_gate = std::max(entry.repl_gate, floor);
+    out.push_back(ReplicaDeltaExport{k.ns, k.key, balance, floor});
+    ++appended;
+  }
+  shard.repl_dirty.clear();
+  return appended;
 }
 
 std::size_t AccountTable::account_count() const {

@@ -216,6 +216,19 @@ struct AccountExport {
   Tokens balance = 0;
 };
 
+/// One account's replicated state, as captured by drain_replica_dirty().
+/// `balance` is the latest banked value (diagnostics and lag accounting);
+/// `floor` is the conservative crash-install value a promoted follower may
+/// create the account with — the primary's spend gate guarantees its own
+/// balance never drops below any floor still in flight, so installing a
+/// floor can only under-grant (see DESIGN.md, "Replicated ownership").
+struct ReplicaDeltaExport {
+  NamespaceId ns = kDefaultNamespace;
+  std::uint64_t key = 0;
+  Tokens balance = 0;
+  Tokens floor = 0;
+};
+
 class AccountTable {
  public:
   /// Validates the config (bounded capacity, initial balance within it),
@@ -332,6 +345,35 @@ class AccountTable {
   /// grants; accepting a second balance would duplicate tokens).
   bool install_account(NamespaceId ns, std::uint64_t key, Tokens balance);
 
+  // --------------------------------------------------- cluster replication
+
+  /// Turns on replica delta capture: data ops start marking their accounts
+  /// dirty and acquire grants start honouring the replication spend gate.
+  /// `headroom` is how far above the advertised floor an account may spend
+  /// without waiting for a follower ack (0 = auto: half the namespace
+  /// capacity, rounded up). Smaller headroom → smaller max forfeit on a
+  /// crash, but bursts above the headroom throttle at one headroom per ack
+  /// round trip. Enable-once; when off (the default) the data path pays
+  /// one relaxed atomic load per op.
+  void enable_replication(Tokens headroom);
+  bool replication_enabled() const {
+    return repl_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Captures and clears one shard's dirty-account list: for every account
+  /// touched since the last drain, appends its current (balance, floor) to
+  /// `out`, records `seq` as the emission round the floor travels in, and
+  /// raises the account's spend gate to that floor. `acked_seq` is the
+  /// follower-acknowledged round watermark: an account whose previously
+  /// sent floor is covered by it collapses its gate down to that floor
+  /// before the new one is taken, which is what un-throttles bursts once
+  /// the stream catches up. Locking follows the table mode (no-op guard in
+  /// exclusive_shards — the calling worker must own the shard). Returns
+  /// the number of deltas appended.
+  std::size_t drain_replica_dirty(std::size_t shard_idx, std::uint64_t seq,
+                                  std::uint64_t acked_seq,
+                                  std::vector<ReplicaDeltaExport>& out);
+
   std::size_t account_count() const;
 
   /// All namespaces merged (resp. one namespace's slice).
@@ -402,6 +444,15 @@ class AccountTable {
     std::int64_t last_tick = 0;           ///< tick index last settled at
     TimeUs last_access_us = 0;            ///< for TTL eviction
     std::unique_ptr<core::RateLimitAuditor> auditor;
+    // Replication state (unused until enable_replication; declared after
+    // the original members so positional Entry construction stays valid).
+    // The spend gate: the highest floor that a promoted follower might
+    // still install — acquire never grants below it, which is what makes
+    // a conservative replica install under-grant-only.
+    Tokens repl_gate = 0;
+    Tokens repl_sent_floor = 0;         ///< floor of the last emitted delta
+    std::uint64_t repl_floor_seq = 0;   ///< emission round it travelled in
+    bool repl_dirty = false;            ///< queued in Shard::repl_dirty?
   };
 
   /// Padded to a cache line so neighbouring shards' mutexes don't false-
@@ -420,6 +471,9 @@ class AccountTable {
     /// account ids), updated under the shard lock — a k-slot scan per
     /// acquire.
     obs::SpaceSaving hot{8};
+    /// Accounts touched since the last drain_replica_dirty() (replication
+    /// only; each account appears at most once — Entry::repl_dirty).
+    std::vector<AccountKey> repl_dirty;
   };
 
   /// Scoped shard access: takes the shard mutex in the default striped-
@@ -465,6 +519,10 @@ class AccountTable {
                                const std::shared_ptr<const Namespace>& ns,
                                std::uint64_t key, Tokens n, std::int64_t tick,
                                TimeUs now);
+  /// Queues (ns, key) for the next replica drain (no-op when replication
+  /// is off or the entry is already queued). Caller holds the shard.
+  void mark_repl_dirty(Shard& shard, NamespaceId ns, std::uint64_t key,
+                       Entry& entry);
   /// Drops every account of `ns` (reset on reconfigure).
   void purge_namespace(NamespaceId ns);
 
@@ -472,6 +530,8 @@ class AccountTable {
   CoarseClock clock_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint64_t shard_mask_ = 0;
+  std::atomic<bool> repl_enabled_{false};
+  std::atomic<Tokens> repl_headroom_{0};  ///< 0 = auto (half capacity)
 
   mutable std::shared_mutex ns_mu_;
   std::unordered_map<NamespaceId, std::shared_ptr<const Namespace>> namespaces_;

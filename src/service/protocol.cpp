@@ -25,7 +25,13 @@ bool known_type(std::uint8_t version, MsgType type, bool is_response) {
     case MsgType::kHandoff:
     case MsgType::kStats:
     case MsgType::kTraces:
+    case MsgType::kPromote:
       return version >= kProtocolVersion;
+    case MsgType::kReplicate:
+    case MsgType::kReplicaAck:
+      // One-way stream frames: acked by kReplicaAck requests, so a frame
+      // with the response bit set is malformed.
+      return version >= kProtocolVersion && !is_response;
     case MsgType::kRedirect:
     case MsgType::kError:
       return version >= kProtocolVersion && is_response;
@@ -122,6 +128,7 @@ void write_cluster_map(util::BinaryWriter& w, const cluster::ClusterMap& m) {
   w.u32(m.vnodes);
   w.u32(static_cast<std::uint32_t>(m.nodes.size()));
   for (const NodeId node : m.nodes) w.u32(node);
+  w.u32(m.replicas);
 }
 
 cluster::ClusterMap read_cluster_map(util::BinaryReader& r) {
@@ -143,6 +150,10 @@ cluster::ClusterMap read_cluster_map(util::BinaryReader& r) {
       throw util::IoError("tokend frame: cluster map nodes out of order");
     m.nodes.push_back(node);
   }
+  m.replicas = r.u32();
+  if (m.replicas > cluster::kMaxClusterNodes)
+    throw util::IoError("tokend frame: replication factor " +
+                        std::to_string(m.replicas) + " exceeds the limit");
   return m;
 }
 
@@ -431,6 +442,54 @@ std::vector<std::byte> encode_at(const TracesResponse& m,
   return w.take();
 }
 
+std::vector<std::byte> encode_at(const ReplicateRequest& m,
+                                 std::uint8_t version) {
+  check_v2_cluster(version);
+  TOKA_CHECK_MSG(m.deltas.size() <= kMaxReplicaDeltas,
+                 "replica frame of " << m.deltas.size()
+                                     << " deltas exceeds the limit of "
+                                     << kMaxReplicaDeltas);
+  util::BinaryWriter w = header(version, MsgType::kReplicate, false, m.id);
+  w.u64(m.epoch);
+  w.u64(m.seq);
+  w.u32(static_cast<std::uint32_t>(m.deltas.size()));
+  for (const ReplicaDelta& d : m.deltas) {
+    w.u32(d.ns);
+    w.u64(d.key);
+    w.i64(d.balance);
+    w.i64(d.floor);
+  }
+  return w.take();
+}
+
+std::vector<std::byte> encode_at(const ReplicaAckRequest& m,
+                                 std::uint8_t version) {
+  check_v2_cluster(version);
+  util::BinaryWriter w = header(version, MsgType::kReplicaAck, false, m.id);
+  w.u64(m.seq);
+  return w.take();
+}
+
+std::vector<std::byte> encode_at(const PromoteRequest& m,
+                                 std::uint8_t version) {
+  check_v2_cluster(version);
+  util::BinaryWriter w = header(version, MsgType::kPromote, false, m.id);
+  w.u32(m.failed);
+  w.u64(m.epoch);
+  return w.take();
+}
+
+std::vector<std::byte> encode_at(const PromoteResponse& m,
+                                 std::uint8_t version) {
+  check_v2_cluster(version);
+  util::BinaryWriter w = header(version, MsgType::kPromote, true, m.id);
+  w.u8(m.accepted ? 1 : 0);
+  w.u64(m.epoch);
+  w.u64(m.installed);
+  w.i64(m.forfeited);
+  return w.take();
+}
+
 std::vector<std::byte> encode_at(const RedirectResponse& m,
                                  std::uint8_t version) {
   check_v2_cluster(version);
@@ -517,6 +576,18 @@ std::vector<std::byte> encode(const TracesRequest& m) {
   return encode_at(m, kProtocolVersion);
 }
 std::vector<std::byte> encode(const TracesResponse& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const ReplicateRequest& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const ReplicaAckRequest& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const PromoteRequest& m) {
+  return encode_at(m, kProtocolVersion);
+}
+std::vector<std::byte> encode(const PromoteResponse& m) {
   return encode_at(m, kProtocolVersion);
 }
 std::vector<std::byte> encode(const RedirectResponse& m) {
@@ -647,6 +718,44 @@ Request decode_request(std::span<const std::byte> payload,
     }
     case MsgType::kTraces: {
       out = TracesRequest{id, r.u32()};
+      break;
+    }
+    case MsgType::kReplicate: {
+      ReplicateRequest m;
+      m.id = id;
+      m.epoch = r.u64();
+      m.seq = r.u64();
+      const std::uint32_t count = r.u32();
+      if (count > kMaxReplicaDeltas)
+        throw util::IoError("tokend frame: replica frame of " +
+                            std::to_string(count) +
+                            " deltas exceeds the limit");
+      m.deltas.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ReplicaDelta d;
+        d.ns = r.u32();
+        d.key = r.u64();
+        d.balance = read_tokens(r);
+        d.floor = read_tokens(r);
+        if (d.floor > d.balance)
+          throw util::IoError("tokend frame: replica floor above balance");
+        m.deltas.push_back(d);
+      }
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kReplicaAck: {
+      out = ReplicaAckRequest{id, r.u64()};
+      break;
+    }
+    case MsgType::kPromote: {
+      PromoteRequest m;
+      m.id = id;
+      m.failed = r.u32();
+      m.epoch = r.u64();
+      if (m.failed == kNoNode)
+        throw util::IoError("tokend frame: promote names no failed node");
+      out = std::move(m);
       break;
     }
     default:
@@ -788,6 +897,16 @@ Response decode_response(std::span<const std::byte> payload) {
         s.flags = r.u8();
         m.spans.push_back(s);
       }
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kPromote: {
+      PromoteResponse m;
+      m.id = id;
+      m.accepted = read_bool(r);
+      m.epoch = r.u64();
+      m.installed = r.u64();
+      m.forfeited = read_tokens(r);
       out = std::move(m);
       break;
     }

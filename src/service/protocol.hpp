@@ -76,6 +76,9 @@ enum class MsgType : std::uint8_t {
   kHandoff = 9,             ///< v2-only (cluster: node-to-node account move)
   kStats = 10,              ///< v2-only (telemetry snapshot)
   kTraces = 11,             ///< v2-only (flight-recorder span snapshot)
+  kReplicate = 12,          ///< v2-only (cluster: one-way account delta frame)
+  kReplicaAck = 13,         ///< v2-only (cluster: one-way delta-stream ack)
+  kPromote = 14,            ///< v2-only (cluster: install replicas, bump epoch)
   kRedirect = 0x7E,         ///< v2-only; exists only as a response
   kError = 0x7F,            ///< v2-only; exists only as a response
 };
@@ -87,7 +90,7 @@ inline constexpr std::uint8_t kResponseBit = 0x80;
 //
 // A v2 *request* frame may carry a 9-byte trace context — u64 trace id +
 // u8 flags — inserted right after the request id, announced by kTraceBit
-// on the type byte. Every defined request type is <= kTraces (11), so the
+// on the type byte. Every defined request type is <= kPromote (14), so the
 // bit never collides with a request's type value (kRedirect/kError have
 // bit 6 set but exist only as responses, and responses never carry
 // context: the client correlates a reply to its trace by request id).
@@ -343,6 +346,71 @@ struct HandoffResponse {
                          const HandoffResponse&) = default;
 };
 
+/// Upper bound on account deltas per kReplicate frame.
+inline constexpr std::size_t kMaxReplicaDeltas = 1 << 16;
+
+/// One account's replicated state inside a kReplicate frame. Deltas are
+/// *absolute* — the latest banked balance, not an increment — so applying
+/// any in-order subset of a stream converges and a dropped frame needs no
+/// rewind protocol. `floor` is the conservative crash-install value: the
+/// balance a promoted follower may create the account with (the primary
+/// never spends below the floors it has in flight, so installing a floor
+/// can only under-grant — see cluster::ReplicationEngine).
+struct ReplicaDelta {
+  NamespaceId ns = kDefaultNamespace;
+  std::uint64_t key = 0;
+  Tokens balance = 0;
+  Tokens floor = 0;  ///< in [0, balance]
+  friend bool operator==(const ReplicaDelta&, const ReplicaDelta&) = default;
+};
+
+/// One primary->follower delta frame (one-way: acked by a kReplicaAck
+/// frame, never by a kReplicate response). `seq` is the primary's
+/// emission round — monotonic per follower lane, so the ack watermark
+/// measures replication lag in rounds.
+struct ReplicateRequest {
+  std::uint64_t id = 0;
+  std::uint64_t epoch = 0;  ///< the sender's map epoch (diagnostics)
+  std::uint64_t seq = 0;
+  std::vector<ReplicaDelta> deltas;
+  friend bool operator==(const ReplicateRequest&,
+                         const ReplicateRequest&) = default;
+};
+
+/// One follower->primary stream ack (one-way). `seq` echoes the highest
+/// delta round applied; the primary's gate-release and lag gauge both key
+/// off this watermark.
+struct ReplicaAckRequest {
+  std::uint64_t id = 0;
+  std::uint64_t seq = 0;
+  friend bool operator==(const ReplicaAckRequest&,
+                         const ReplicaAckRequest&) = default;
+};
+
+/// Asks a node to promote itself after `failed` died: adopt a strictly
+/// newer map with `failed` removed and conservatively install the replica
+/// state it holds for keys it now owns. `epoch` guards against stale
+/// promoters (0 = promote against whatever map the node currently holds;
+/// nonzero = only if the node's epoch still equals it). Idempotent: a
+/// node whose map no longer contains `failed` answers accepted=false.
+struct PromoteRequest {
+  std::uint64_t id = 0;
+  NodeId failed = kNoNode;
+  std::uint64_t epoch = 0;
+  friend bool operator==(const PromoteRequest&,
+                         const PromoteRequest&) = default;
+};
+
+struct PromoteResponse {
+  std::uint64_t id = 0;
+  bool accepted = false;
+  std::uint64_t epoch = 0;      ///< the node's map epoch after the call
+  std::uint64_t installed = 0;  ///< replica accounts installed here
+  Tokens forfeited = 0;         ///< tokens dropped by the conservative install
+  friend bool operator==(const PromoteResponse&,
+                         const PromoteResponse&) = default;
+};
+
 /// The kNotOwner outcome: the serving node does not own the requested key
 /// under its current map. Carries enough for a stale client to recover —
 /// the node's map epoch (fetch a newer map if ours is older) and where the
@@ -363,13 +431,14 @@ using Request =
     std::variant<AcquireRequest, RefundRequest, QueryRequest,
                  BatchAcquireRequest, ConfigureNamespaceRequest,
                  NamespaceInfoRequest, ClusterMapRequest, ApplyMapRequest,
-                 HandoffRequest, StatsRequest, TracesRequest>;
+                 HandoffRequest, StatsRequest, TracesRequest,
+                 ReplicateRequest, ReplicaAckRequest, PromoteRequest>;
 using Response =
     std::variant<AcquireResponse, RefundResponse, QueryResponse,
                  BatchAcquireResponse, ConfigureNamespaceResponse,
                  NamespaceInfoResponse, ClusterMapResponse, ApplyMapResponse,
                  HandoffResponse, StatsResponse, TracesResponse,
-                 RedirectResponse, ErrorResponse>;
+                 PromoteResponse, RedirectResponse, ErrorResponse>;
 
 // Per-type encoders emit the current version (v2).
 std::vector<std::byte> encode(const AcquireRequest& m);
@@ -394,6 +463,10 @@ std::vector<std::byte> encode(const StatsRequest& m);
 std::vector<std::byte> encode(const StatsResponse& m);
 std::vector<std::byte> encode(const TracesRequest& m);
 std::vector<std::byte> encode(const TracesResponse& m);
+std::vector<std::byte> encode(const ReplicateRequest& m);
+std::vector<std::byte> encode(const ReplicaAckRequest& m);
+std::vector<std::byte> encode(const PromoteRequest& m);
+std::vector<std::byte> encode(const PromoteResponse& m);
 std::vector<std::byte> encode(const RedirectResponse& m);
 std::vector<std::byte> encode(const ErrorResponse& m);
 

@@ -343,6 +343,15 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
           [&](const proto::HandoffRequest& r) -> proto::Response {
             return proto::ErrorResponse{r.id, proto::ErrorCode::kUnsupported};
           },
+          [&](const proto::ReplicateRequest& r) -> proto::Response {
+            return proto::ErrorResponse{r.id, proto::ErrorCode::kUnsupported};
+          },
+          [&](const proto::ReplicaAckRequest& r) -> proto::Response {
+            return proto::ErrorResponse{r.id, proto::ErrorCode::kUnsupported};
+          },
+          [&](const proto::PromoteRequest& r) -> proto::Response {
+            return proto::ErrorResponse{r.id, proto::ErrorCode::kUnsupported};
+          },
           [&](const proto::StatsRequest& r) -> proto::Response {
             proto::StatsResponse resp;
             resp.id = r.id;

@@ -73,6 +73,18 @@ struct ServerOptions {
   /// Stamped into exported trace spans so a cluster-wide trace shows which
   /// node recorded each one (kNoNode = standalone).
   NodeId node = kNoNode;
+  /// Cluster replication only (ignored by a standalone Server): how far
+  /// above its advertised replica floor an account may spend before grants
+  /// wait for follower acks. 0 = auto, half the namespace capacity. Smaller
+  /// = tighter crash-forfeit bound, earlier burst throttling.
+  Tokens replication_headroom = 0;
+  /// Cluster replication only, locked plane only: flush replica deltas to
+  /// followers every N owned data ops instead of after every request (the
+  /// engine plane always flushes at worker drain boundaries). Coalescing
+  /// keeps the delta stream off the per-request frame path; everything
+  /// deferred is replication lag a failover may forfeit. 1 = flush per
+  /// request (the tight-bound setting the churn tests pin).
+  std::uint32_t replication_flush_ops = 32;
 };
 
 class Server {

@@ -148,6 +148,42 @@ TEST(HashRing, VnodeCountSmoothsTheSplit) {
   EXPECT_LE(max_share(128), max_share(1));
 }
 
+TEST(HashRing, SuccessorsAreDistinctAndOwnerFirst) {
+  const std::vector<NodeId> nodes{0, 1, 2, 3, 4};
+  HashRing ring(nodes, kDefaultVnodes);
+  for (std::uint64_t key = 0; key < 2000; ++key) {
+    const std::vector<NodeId> group = ring.successors(0, key, 2);
+    ASSERT_EQ(group.size(), 3u) << "key " << key;
+    EXPECT_EQ(group.front(), ring.owner(0, key));
+    std::vector<NodeId> sorted = group;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+        << "key " << key << " repeats a node in its replication group";
+  }
+}
+
+TEST(HashRing, SuccessorsCapAtMembershipAndDegradeGracefully) {
+  HashRing ring(std::vector<NodeId>{7, 9}, kDefaultVnodes);
+  // k = 0 is just the owner; k beyond the member count caps at it.
+  EXPECT_EQ(ring.successors(0, 42, 0),
+            std::vector<NodeId>{ring.owner(0, 42)});
+  const std::vector<NodeId> capped = ring.successors(0, 42, 5);
+  EXPECT_EQ(capped.size(), 2u);
+  EXPECT_EQ(capped.front(), ring.owner(0, 42));
+  EXPECT_NE(capped[1], capped[0]);
+  // Empty ring: no owner, no group.
+  EXPECT_TRUE(HashRing{}.successors(0, 42, 3).empty());
+}
+
+TEST(HashRing, SuccessorsDeterministicAcrossConstructions) {
+  const std::vector<NodeId> nodes{0, 2, 5, 11};
+  HashRing a(nodes, 32);
+  HashRing b(nodes, 32);
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    EXPECT_EQ(a.successors(1, key, 2), b.successors(1, key, 2));
+  }
+}
+
 // ----------------------------------------------------- protocol vocabulary
 
 TEST(ClusterProtocol, MapRoundTrip) {
@@ -411,6 +447,89 @@ TEST(ClusterServer, HandoffIntoLiveAccountIsDropped) {
       eventually([&] { return node1.server.handoffs_received() == 2; }));
   EXPECT_EQ(node1.server.handoffs_installed(), 0u);
   EXPECT_FALSE(node1.table.query(foreign).exists);
+  net.stop();
+}
+
+TEST(ClusterServer, ReplicatesDeltasAndPromotesAtTheFloor) {
+  // 2 nodes, replication factor 1: every key's group is {owner, other}.
+  const ClusterMap map{1, kDefaultVnodes, {0, 1}, 1};
+  const HashRing ring(map);
+  runtime::InProcNetwork net(4);
+  service::AccountTable table0(node_config(2, 8, 1000));
+  service::AccountTable table1(node_config(2, 8, 1000));
+  service::ServerOptions opts;
+  opts.replication_headroom = 2;
+  opts.replication_flush_ops = 1;  // flush after every request
+  auto node0 = std::make_unique<ClusterServer>(table0, net.endpoint(0), map,
+                                               opts);
+  ClusterServer node1(table1, net.endpoint(1), map, opts);
+  service::Client to_node0(net.endpoint(2), 0);
+  net.start();
+
+  const std::uint64_t key = key_owned_by(ring, 0);
+  to_node0.acquire(key, 0);        // create the account
+  table0.clock().advance(50'000);  // bank tokens
+  EXPECT_EQ(to_node0.acquire(key, 1).granted, 1);
+
+  // The request flush streamed the account to its follower, which acked.
+  ASSERT_TRUE(eventually([&] {
+    return node1.replication().replica_accounts() == 1 &&
+           node0->replication().lag_rounds() == 0;
+  }));
+  EXPECT_GT(node0->replication().deltas_sent(), 0u);
+  EXPECT_GT(node0->replication().acks_received(), 0u);
+  EXPECT_EQ(node1.replication().replica_accounts(), 1u);
+
+  // Kill the primary (its transport handler detaches — frames to it are
+  // dropped from here on), then fail over.
+  const Tokens balance = table0.query(key).balance;
+  ASSERT_GT(balance, 2);
+  node0.reset();
+
+  const PromoteOutcome out = node1.promote(0);
+  EXPECT_TRUE(out.accepted);
+  EXPECT_EQ(out.epoch, 2u);
+  EXPECT_EQ(out.installed, 1u);
+  // Conservative install: the floor is headroom below the last streamed
+  // balance; the gap is the failover's forfeit — all of it accounted.
+  const Tokens floor = balance - 2;
+  EXPECT_EQ(out.forfeited, balance - floor);
+  EXPECT_EQ(node1.tokens_forfeited(), balance - floor);
+  EXPECT_EQ(node1.promotions(), 1u);
+  ASSERT_TRUE(table1.query(key).exists);
+  EXPECT_EQ(table1.query(key).balance, floor);
+  EXPECT_FALSE(node1.map().contains(0));
+  EXPECT_EQ(node1.map_epoch(), 2u);
+  EXPECT_EQ(node1.replication().replica_accounts(), 0u);  // consumed
+
+  // Idempotent: the node is already gone.
+  EXPECT_FALSE(node1.promote(0).accepted);
+  EXPECT_EQ(node1.promotions(), 1u);
+
+  // The survivor now owns and serves the key.
+  service::Client to_node1(net.endpoint(3), 1);
+  table1.clock().advance(10'000);
+  EXPECT_GT(to_node1.acquire(key, 2).granted, 0);
+  net.stop();
+}
+
+TEST(ClusterServer, ReplicationIdleWithoutReplicas) {
+  // replicas = 0: same topology, no stream — the engine stays dormant.
+  const ClusterMap map{1, kDefaultVnodes, {0, 1}};
+  const HashRing ring(map);
+  runtime::InProcNetwork net(3);
+  Node node0(node_config(2, 8, 1000), net.endpoint(0), map);
+  Node node1(node_config(2, 8, 1000), net.endpoint(1), map);
+  service::Client to_node0(net.endpoint(2), 0);
+  net.start();
+
+  const std::uint64_t key = key_owned_by(ring, 0);
+  to_node0.acquire(key, 0);
+  node0.table.clock().advance(20'000);
+  to_node0.acquire(key, 1);
+  EXPECT_EQ(node0.server.replication().deltas_sent(), 0u);
+  EXPECT_EQ(node1.server.replication().replica_accounts(), 0u);
+  EXPECT_FALSE(node0.table.replication_enabled());
   net.stop();
 }
 

@@ -61,10 +61,11 @@ struct ChurnNode {
   service::ClockDriver driver;
   std::unique_ptr<ClusterServer> server;
 
-  ChurnNode(runtime::Transport& transport, const ClusterMap& map)
+  ChurnNode(runtime::Transport& transport, const ClusterMap& map,
+            const service::ServerOptions& options = {})
       : table(churn_config()), driver(table, 1000) {
     driver.start();
-    server = std::make_unique<ClusterServer>(table, transport, map);
+    server = std::make_unique<ClusterServer>(table, transport, map, options);
   }
   void kill() { server.reset(); }  // table survives for the post-mortem
 };
@@ -202,6 +203,150 @@ TEST(ClusterChurn, KillAndJoinUnderZipfLoadHoldsTheBurstBound) {
   }
 }
 
+TEST(ClusterChurn, ReplicatedPrimaryKillForfeitsAtMostTheLag) {
+  // The replicated variant of the kill scenario: 3 nodes, replication
+  // factor 1, a small explicit headroom. The primary (node 2) dies
+  // mid-run and its id-order successor promotes. The bar tightens from
+  // "forfeit everything the dead node held" to:
+  //
+  //   (a) duplicate NEVER — the cluster-wide per-key §3.4 burst bound
+  //       holds across the kill and the promotion (the ack-gated spend
+  //       gate is what makes the floor install safe);
+  //   (b) forfeit at most the replication lag — per installed account the
+  //       loss is bounded by the headroom, plus at most one in-flight
+  //       update per worker that the stream had not yet delivered.
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::uint64_t kKeys = 512;
+  constexpr Tokens kHeadroom = 2;
+  constexpr std::size_t kNodes = 3;
+  const ClusterMap map1{1, kDefaultVnodes, {0, 1, 2}, /*replicas=*/1};
+
+  runtime::InProcNetwork net(kNodes + (kWorkers + 1) * kNodes);
+  auto worker_factory = [&](std::size_t worker) {
+    return [&net, worker](NodeId server) -> runtime::Transport& {
+      return net.endpoint(
+          static_cast<NodeId>(kNodes + worker * kNodes + server));
+    };
+  };
+
+  service::ServerOptions options;
+  options.replication_headroom = kHeadroom;
+  options.replication_flush_ops = 1;  // per-request flush: the tight bound
+  std::vector<std::unique_ptr<ChurnNode>> nodes;
+  for (NodeId n = 0; n < 3; ++n)
+    nodes.push_back(
+        std::make_unique<ChurnNode>(net.endpoint(n), map1, options));
+  net.start();
+
+  ClusterClientConfig client_config;
+  client_config.call_timeout_us = 150 * 1'000;
+  client_config.max_attempts = 12;
+
+  const auto start = Clock::now();
+  const auto run_for = std::chrono::milliseconds(2200);
+  auto now_us = [&] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start)
+        .count();
+  };
+
+  std::vector<std::vector<GrantEvent>> traces(kWorkers);
+  std::vector<std::uint64_t> errors(kWorkers, 0);
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      ClusterClient client(worker_factory(w), map1, client_config);
+      util::Rng rng(100 + w);
+      const util::ZipfSampler zipf(kKeys, 0.9);
+      while (Clock::now() - start < run_for) {
+        const std::uint64_t key = zipf.next(rng);
+        try {
+          const service::AcquireResult res =
+              client.acquire(service::kDefaultNamespace, key, 1);
+          if (res.granted > 0)
+            traces[w].push_back(GrantEvent{key, now_us(), res.granted});
+        } catch (const std::exception&) {
+          ++errors[w];
+        }
+      }
+    });
+  }
+
+  // Let the stream warm up, then kill the primary. The in-process fabric
+  // has no disconnect signal, so the dead node's id-order successor
+  // (node 0 here, by the wrap rule) runs the promotion explicitly — the
+  // same call the TCP/epoll peer-down path makes automatically.
+  std::this_thread::sleep_for(std::chrono::milliseconds(900));
+  nodes[2]->kill();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const PromoteOutcome promoted = nodes[0]->server->promote(2);
+  EXPECT_TRUE(promoted.accepted);
+
+  for (auto& worker : workers) worker.join();
+  const TimeUs run_us = now_us();
+  for (auto& node : nodes) node->driver.stop();
+  net.stop();
+
+  // Zero client-visible errors, and the failover actually converged.
+  for (std::size_t w = 0; w < kWorkers; ++w)
+    EXPECT_EQ(errors[w], 0u) << "worker " << w;
+  EXPECT_EQ(nodes[0]->server->map_epoch(), 2u);
+  EXPECT_EQ(nodes[1]->server->map_epoch(), 2u);
+  EXPECT_EQ(nodes[0]->server->promotions(), 1u);
+
+  // The stream ran: deltas flowed before the kill, and the survivors
+  // installed the dead primary's accounts from their replica stores.
+  const std::uint64_t installs =
+      nodes[0]->server->replication().replica_installs() +
+      nodes[1]->server->replication().replica_installs();
+  EXPECT_GT(installs, 0u);
+  EXPECT_GT(nodes[0]->server->replication().deltas_sent() +
+                nodes[1]->server->replication().deltas_sent(),
+            0u);
+
+  // Per-node §3.4 audits — the killed node's table included.
+  for (std::size_t n = 0; n < nodes.size(); ++n)
+    EXPECT_EQ(nodes[n]->table.audit_violation(), std::nullopt) << "node " << n;
+
+  // (a) Duplicate never: the cluster-wide per-key burst bound over the
+  // client-side grant trace, through the kill and the floor installs.
+  std::vector<GrantEvent> all;
+  for (const auto& trace : traces)
+    all.insert(all.end(), trace.begin(), trace.end());
+  ASSERT_FALSE(all.empty());
+  std::sort(all.begin(), all.end(),
+            [](const GrantEvent& a, const GrantEvent& b) {
+              return a.at_us < b.at_us;
+            });
+  std::map<std::uint64_t, core::RateLimitAuditor> audits;
+  std::map<std::uint64_t, Tokens> totals;
+  for (const GrantEvent& event : all) {
+    auto [it, created] = audits.try_emplace(event.key, kDelta, kC + 1);
+    for (Tokens i = 0; i < event.granted; ++i) it->second.record(event.at_us);
+    totals[event.key] += event.granted;
+  }
+  for (auto& [key, audit] : audits) {
+    const auto violation = audit.first_violation();
+    ASSERT_FALSE(violation.has_value())
+        << "key " << key << ": " << violation->describe();
+    EXPECT_LE(totals[key], run_us / kDelta + 1 + kC + 1) << "key " << key;
+  }
+
+  // (b) Forfeit <= lag: every install was acked up to the headroom, so the
+  // total loss is bounded by headroom per installed account, plus at most
+  // one not-yet-streamed update per worker in flight at the kill.
+  const Tokens forfeited = nodes[0]->server->tokens_forfeited() +
+                           nodes[1]->server->tokens_forfeited();
+  const Tokens bound = static_cast<Tokens>(installs) * kHeadroom +
+                       static_cast<Tokens>(kWorkers) * (kC + 1);
+  EXPECT_LE(forfeited, bound);
+  // And the only losses were the conservative installs themselves — no
+  // handoff was refused, nothing fell off the ring.
+  EXPECT_EQ(forfeited,
+            nodes[0]->server->replication().replica_install_forfeited() +
+                nodes[1]->server->replication().replica_install_forfeited());
+}
+
 TEST(ClusterChurn, TcpNodeKillIsAbsorbedByRerouting) {
   const ClusterMap both{1, kDefaultVnodes, {0, 1}};
   // Endpoints: 2 servers + 2 for the worker + 2 for the coordinator.
@@ -296,6 +441,69 @@ TEST(ClusterChurn, EpollNodeKillIsAbsorbedByRerouting) {
   EXPECT_EQ(client.map().epoch, 2u);
   for (NodeId n = 0; n < 2; ++n)
     EXPECT_EQ(nodes[n]->table.audit_violation(), std::nullopt) << "node " << n;
+  for (auto& node : nodes) node->driver.stop();
+}
+
+TEST(ClusterChurn, TcpPeerDownAutoPromotesTheReplica) {
+  // Replication over real sockets: a 2-node cluster with k=1 streams
+  // deltas both ways, then node 1's endpoint dies. The closing sockets
+  // fire the transport's peer-down signal on node 0, which — as the dead
+  // node's id-order successor — promotes WITHOUT any admin push: the map
+  // epoch bumps to 2 and the dead node's accounts reappear at their
+  // replica floor. No operator in the loop.
+  const ClusterMap both{1, kDefaultVnodes, {0, 1}, /*replicas=*/1};
+  runtime::TcpMesh mesh(2 + 2 + 2);
+  service::ServerOptions options;
+  options.replication_headroom = 2;
+  options.replication_flush_ops = 1;  // per-request flush: the tight bound
+  std::vector<std::unique_ptr<ChurnNode>> nodes;
+  for (NodeId n = 0; n < 2; ++n)
+    nodes.push_back(
+        std::make_unique<ChurnNode>(mesh.endpoint(n), both, options));
+
+  ClusterClientConfig client_config;
+  client_config.call_timeout_us = 200 * 1'000;
+  client_config.max_attempts = 12;
+  ClusterClient client(
+      [&](NodeId server) -> runtime::Transport& {
+        return mesh.endpoint(2 + server);
+      },
+      both, client_config);
+
+  // Bank and spend over both nodes so each primary streams to the other.
+  for (std::uint64_t key = 0; key < 64; ++key)
+    client.acquire(service::kDefaultNamespace, key, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));  // bank ticks
+  for (std::uint64_t key = 0; key < 64; ++key)
+    client.acquire(service::kDefaultNamespace, key, 1);
+  ASSERT_GT(nodes[0]->server->replication().deltas_sent(), 0u);
+  ASSERT_GT(nodes[1]->server->replication().deltas_sent(), 0u);
+
+  // Kill node 1. Node 0 learns from its sockets, not from an admin.
+  nodes[1]->kill();
+  mesh.shutdown_endpoint(1);
+
+  std::uint64_t errors = 0;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    try {
+      client.acquire(service::kDefaultNamespace, key, 0);
+    } catch (const std::exception&) {
+      ++errors;
+    }
+  }
+  EXPECT_EQ(errors, 0u);
+  EXPECT_EQ(nodes[0]->server->map_epoch(), 2u);
+  EXPECT_EQ(nodes[0]->server->promotions(), 1u);
+  EXPECT_GT(nodes[0]->server->replication().replica_installs(), 0u);
+  EXPECT_EQ(client.map().epoch, 2u);
+  EXPECT_EQ(nodes[0]->table.audit_violation(), std::nullopt);
+  // The forfeit stayed inside the lag bound: headroom per install, plus
+  // at most one in-flight update (single-threaded client here).
+  EXPECT_LE(nodes[0]->server->tokens_forfeited(),
+            static_cast<Tokens>(
+                nodes[0]->server->replication().replica_installs()) *
+                    2 +
+                (kC + 1));
   for (auto& node : nodes) node->driver.stop();
 }
 

@@ -87,6 +87,7 @@ cluster::ClusterMap random_cluster_map(Rng& rng) {
     next += 1 + static_cast<NodeId>(rng.below(5));  // strictly increasing
     m.nodes.push_back(next);
   }
+  m.replicas = static_cast<std::uint32_t>(rng.below(4));
   return m;
 }
 
@@ -94,7 +95,7 @@ cluster::ClusterMap random_cluster_map(Rng& rng) {
 /// admin or cluster frames) are generated, so the same fuzz drives both
 /// versions.
 Request random_request(Rng& rng, bool v1 = false) {
-  switch (rng.below(v1 ? 4 : 10)) {
+  switch (rng.below(v1 ? 4 : 13)) {
     case 0:
       return AcquireRequest{rng.next_u64(), rng.next_u64(),
                             static_cast<Tokens>(rng.below(1 << 20)),
@@ -129,15 +130,38 @@ Request random_request(Rng& rng, bool v1 = false) {
       return ApplyMapRequest{rng.next_u64(), random_cluster_map(rng)};
     case 8:
       return StatsRequest{rng.next_u64()};
-    default:
+    case 9:
       return HandoffRequest{rng.next_u64(), rng.next_u64(),
                             random_ns(rng, /*v1=*/false), rng.next_u64(),
                             static_cast<Tokens>(rng.below(1 << 20))};
+    case 10: {
+      ReplicateRequest m;
+      m.id = rng.next_u64();
+      m.epoch = rng.next_u64();
+      m.seq = rng.next_u64();
+      const std::size_t deltas = rng.below(20);
+      for (std::size_t i = 0; i < deltas; ++i) {
+        ReplicaDelta d;
+        d.ns = random_ns(rng, /*v1=*/false);
+        d.key = rng.next_u64();
+        d.balance = static_cast<Tokens>(rng.below(1 << 20));
+        d.floor = static_cast<Tokens>(
+            rng.below(static_cast<std::uint64_t>(d.balance) + 1));
+        m.deltas.push_back(d);
+      }
+      return m;
+    }
+    case 11:
+      return ReplicaAckRequest{rng.next_u64(), rng.next_u64()};
+    default:
+      return PromoteRequest{rng.next_u64(),
+                            1 + static_cast<NodeId>(rng.below(1 << 16)),
+                            rng.next_u64()};
   }
 }
 
 Response random_response(Rng& rng, bool v1 = false) {
-  switch (rng.below(v1 ? 4 : 13)) {
+  switch (rng.below(v1 ? 4 : 14)) {
     case 0:
       return AcquireResponse{rng.next_u64(),
                              static_cast<Tokens>(rng.below(1000)),
@@ -205,6 +229,10 @@ Response random_response(Rng& rng, bool v1 = false) {
     case 11:
       return ErrorResponse{rng.next_u64(), ErrorCode::kOverloaded,
                            static_cast<TimeUs>(rng.below(1 << 20))};
+    case 12:
+      return PromoteResponse{rng.next_u64(), rng.bernoulli(0.5),
+                             rng.next_u64(), rng.below(100),
+                             static_cast<Tokens>(rng.below(1 << 20))};
     default:
       return ErrorResponse{rng.next_u64(),
                            static_cast<ErrorCode>(1 + rng.below(4))};
@@ -599,6 +627,97 @@ TEST(ProtocolV2, RandomizedV2FuzzCoversNewMessages) {
     for (std::size_t cut = 0; cut < resp_wire.size(); ++cut)
       EXPECT_THROW(decode_response(std::span(resp_wire.data(), cut)), IoError);
   }
+}
+
+// ---------------------------------------------------------- replication
+
+TEST(ProtocolV2, ReplicationRoundTrips) {
+  ReplicateRequest rep;
+  rep.id = 7;
+  rep.epoch = 3;
+  rep.seq = 41;
+  rep.deltas.push_back(ReplicaDelta{2, 99, 120, 60});
+  rep.deltas.push_back(ReplicaDelta{0, 1, 5, 0});
+  EXPECT_EQ(decode_request(encode(rep)), Request{rep});
+
+  const ReplicaAckRequest ack{8, 41};
+  EXPECT_EQ(decode_request(encode(ack)), Request{ack});
+
+  const PromoteRequest promote{9, 4, 12};
+  EXPECT_EQ(decode_request(encode(promote)), Request{promote});
+
+  const PromoteResponse resp{9, true, 13, 17, 250};
+  EXPECT_EQ(decode_response(encode(resp)), Response{resp});
+}
+
+TEST(ProtocolV2, ReplicaDeltaFloorAboveBalanceRejected) {
+  // A floor above the balance would make a promoted follower install more
+  // than the primary ever held — the decoder refuses the frame outright.
+  ReplicateRequest rep;
+  rep.id = 1;
+  rep.epoch = 1;
+  rep.seq = 1;
+  rep.deltas.push_back(ReplicaDelta{0, 5, 10, 11});
+  std::vector<std::byte> wire;
+  EXPECT_NO_THROW(wire = encode(rep));  // encode is layout-only
+  EXPECT_THROW(decode_request(wire), IoError);
+}
+
+TEST(ProtocolV2, PromoteMustNameAFailedNode) {
+  EXPECT_THROW(decode_request(encode(PromoteRequest{1, kNoNode, 5})),
+               IoError);
+}
+
+TEST(ProtocolV2, ReplicationStreamFramesAreOneWay) {
+  // kReplicate and kReplicaAck exist only as requests: flipping the
+  // response bit must not produce a decodable frame.
+  std::vector<std::byte> wire = encode(ReplicaAckRequest{1, 2});
+  wire[1] |= std::byte{0x80};
+  EXPECT_THROW(decode_response(wire), IoError);
+  ReplicateRequest rep;
+  rep.id = 1;
+  rep.epoch = 1;
+  rep.seq = 1;
+  wire = encode(rep);
+  wire[1] |= std::byte{0x80};
+  EXPECT_THROW(decode_response(wire), IoError);
+}
+
+TEST(ProtocolV2, OversizedReplicaDeltaCountRejectedBeforeAllocation) {
+  util::BinaryWriter w;
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kReplicate));
+  w.u64(1);
+  w.u64(1);           // epoch
+  w.u64(1);           // seq
+  w.u32(0xFFFFFFFF);  // promises 4 billion deltas
+  EXPECT_THROW(decode_request(w.data()), IoError);
+}
+
+TEST(ProtocolV2, V1CannotCarryReplication) {
+  EXPECT_THROW(encode(Request{ReplicaAckRequest{1, 2}}, kProtocolVersionV1),
+               util::InvariantError);
+  EXPECT_THROW(encode(Request{PromoteRequest{1, 2, 3}}, kProtocolVersionV1),
+               util::InvariantError);
+}
+
+TEST(ProtocolV2, ClusterMapCarriesReplicationFactor) {
+  cluster::ClusterMap m;
+  m.epoch = 5;
+  m.nodes = {1, 2, 3};
+  m.replicas = 2;
+  const Request req{ApplyMapRequest{1, m}};
+  const Request decoded = decode_request(encode(req));
+  EXPECT_EQ(std::get<ApplyMapRequest>(decoded).map.replicas, 2u);
+  EXPECT_EQ(decoded, req);
+
+  // An absurd replication factor (beyond any legal member count) is a
+  // malformed frame, not a map to adopt.
+  std::vector<std::byte> wire = encode(req);
+  // replicas is the trailing u32 of the map body, which ends the frame.
+  for (std::size_t i = wire.size() - 4; i < wire.size(); ++i)
+    wire[i] = std::byte{0xFF};
+  EXPECT_THROW(decode_request(wire), IoError);
 }
 
 }  // namespace
