@@ -52,20 +52,30 @@
 // (queue-wait / execute / cork) p99s from the trace histograms land in the
 // JSON document; --trace-out=FILE captures the flight recorder's span
 // JSON. The flash crowd must shed typed — and every shed must have left a
-// kShed span in the recorder — or the bench exits 1.
+// kShed span in the recorder — or the bench exits 1. A fourth, Byzantine
+// phase runs legit traffic while an adversary replays byte-identical
+// acquire frames, streams truncated bodies and refunds tokens it never
+// earned: every abuse class must draw its typed answer, and the every-key
+// §3.4 watchdog must report > 0 checks and exactly 0 violations.
 //
 // "shardedtr" is "sharded" with the flight recorder attached and every
 // batch trace-stamped (sampled 1 in --trace-sample): the pair measures the
 // recorder's overhead on the hottest no-wire path, and
-// --max-trace-overhead turns it into a CI ceiling.
+// --max-trace-overhead turns it into a CI ceiling. "shardedwd" is
+// "sharded" with the §3.4 invariant watchdog at its production sampling
+// (1 in --watchdog-sample keys); --max-watchdog-overhead is the matching
+// ceiling for the online auditor.
 //
 // Reports per-mode throughput and latency percentiles, and with --json=FILE
-// writes the BENCH_service.json document the release-bench CI job uploads.
+// writes the BENCH_service.json document the release-bench CI job uploads
+// (stamped with --git-sha and an ISO-8601 --timestamp, self-generated when
+// not passed).
 #include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <functional>
 #include <memory>
 #include <semaphore>
@@ -227,6 +237,9 @@ struct LoadConfig {
   std::size_t workers = 0;     ///< shard-owner workers (0 = one per core)
   std::size_t io_threads = 1;  ///< epoll event loops per endpoint
   std::uint64_t trace_sample = 128;  ///< flight recorder: sample 1 in N
+  std::uint64_t watchdog_sample = 64;  ///< §3.4 watchdog: audit 1 in N keys
+  std::string git_sha;    ///< stamped into the JSON (bench_snapshot passes it)
+  std::string timestamp;  ///< ISO-8601 run time, same provenance trail
 };
 
 /// Samples the engine's deepest worker queue every 2 ms while a mode runs;
@@ -940,6 +953,13 @@ struct ScenarioOutcome {
   std::uint64_t flash_shed = 0;    ///< sheds in the flash-crowd phase alone
   std::uint64_t spans = 0;         ///< spans the flight recorder kept
   std::uint64_t shed_spans = 0;    ///< kShed-decision spans in the snapshot
+  // The Byzantine phase's tallies: every abuse class must have moved its
+  // typed counter, and none of it may have dented the §3.4 invariant.
+  std::uint64_t byz_replayed = 0;        ///< replayed frames the server answered
+  std::uint64_t byz_malformed = 0;       ///< typed kMalformedBody rejections
+  std::uint64_t byz_refund_dropped = 0;  ///< refund-abuse tokens refused
+  std::uint64_t watchdog_checks = 0;     ///< §3.4 watchdog grants audited
+  std::uint64_t watchdog_violations = 0; ///< must stay 0 through the abuse
   double queue_wait_p99_us = 0;    ///< per-stage p99s from the trace
   double execute_p99_us = 0;       ///< histograms (tokend_trace_*_us)
   double cork_p99_us = 0;
@@ -970,6 +990,10 @@ void run_scenario(std::vector<ModeResult>& runs,
   // epoll decode, shard queue/execute, reply cork.
   service::ServiceConfig sharded_cfg = cfg;
   sharded_cfg.exclusive_shards = true;
+  // Audit every key: the Byzantine phase's whole point is that replay and
+  // refund abuse cannot move the watchdog's violation counter, so the
+  // watchdog must actually be watching everything the abuse touches.
+  sharded_cfg.watchdog_sample = 1;
   service::AccountTable table(sharded_cfg);
   service::ClockDriver driver(table, /*resolution_us=*/1000);
   driver.start();
@@ -983,7 +1007,9 @@ void run_scenario(std::vector<ModeResult>& runs,
   engine_opts.registry = &registry;
   engine_opts.tracer = &tracer;
   service::ShardEngine engine(table, engine_opts);
-  runtime::EpollMesh mesh(1 + load.threads, load.io_threads);
+  // Two extra endpoints past the load threads: the raw-frame adversary and
+  // the refund-abuse client of the Byzantine phase.
+  runtime::EpollMesh mesh(3 + load.threads, load.io_threads);
   mesh.register_metrics(registry);
   service::ServerOptions opts;
   opts.registry = &registry;
@@ -1099,7 +1125,7 @@ void run_scenario(std::vector<ModeResult>& runs,
     runs.push_back(std::move(res));
   };
 
-  out.phases.resize(3);
+  out.phases.resize(4);
   // Diurnal ramp: rate tracks the online fraction (roughly 0.3..0.55 over
   // the horizon), scaled to live comfortably inside the 2x budget.
   drive("scn-diurnal",
@@ -1116,7 +1142,84 @@ void run_scenario(std::vector<ModeResult>& runs,
         [&](double f) { return f < 0.3 ? 0.0 : base_rate * 5; },
         out.phases[2]);
 
+  // Byzantine-ish clients: legit traffic keeps flowing at the baseline
+  // rate while an adversary (a) replays byte-identical acquire frames, (b)
+  // streams frames whose header parses but whose body does not, and (c)
+  // refunds tokens it was never granted. Every abuse class must come back
+  // as a typed answer (a normal grant/deny for the replay — the bucket,
+  // not the frame, is the authority; kMalformedBody for the garbage; a
+  // zero-accepted refund for the abuse), the legit clients must see no
+  // untyped failure, and the every-key watchdog must find the §3.4 bound
+  // intact afterwards.
+  {
+    namespace proto = service::protocol;
+    std::atomic<bool> byz_stop{false};
+    std::atomic<std::uint64_t> replay_answered{0};
+    std::atomic<std::uint64_t> malformed_rejected{0};
+    runtime::Transport& raw = mesh.endpoint(static_cast<NodeId>(
+        1 + load.threads));
+    raw.set_handler([&](NodeId, std::vector<std::byte> payload) {
+      try {
+        const proto::Response resp = proto::decode_response(payload);
+        if (const auto* err = std::get_if<proto::ErrorResponse>(&resp)) {
+          if (err->code == proto::ErrorCode::kMalformedBody)
+            malformed_rejected.fetch_add(1, std::memory_order_relaxed);
+          // kOverloaded sheds of adversary frames are neither counted nor
+          // complained about — the valve owes an attacker nothing.
+        } else {
+          replay_answered.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const std::exception&) {
+        // Undecodable response to a hostile frame: ignore.
+      }
+    });
+    std::thread adversary([&] {
+      service::Client refunder(
+          mesh.endpoint(static_cast<NodeId>(2 + load.threads)), 0);
+      util::Rng rng(0xB12A);
+      std::uint64_t id = 1;
+      while (!byz_stop.load(std::memory_order_relaxed)) {
+        // Replay: one legit frame, byte-identical on the wire, sent twice.
+        // The second copy is indistinguishable from a fresh request and is
+        // settled against the same token bucket — over-granting through
+        // replay is structurally impossible, which the watchdog confirms.
+        const std::uint64_t key = rng.next_u64() % 64;
+        const std::vector<std::byte> frame = proto::encode(
+            proto::AcquireRequest{id++, key, 1, service::kDefaultNamespace});
+        raw.send(0, std::vector<std::byte>(frame));
+        raw.send(0, std::vector<std::byte>(frame));
+        // Malformed: a valid header riding a truncated body.
+        std::vector<std::byte> garbage = proto::encode(
+            proto::AcquireRequest{id++, key, 1, service::kDefaultNamespace});
+        garbage.resize(std::min<std::size_t>(garbage.size(), 12));
+        raw.send(0, std::move(garbage));
+        // Refund abuse: hand back tokens that were never granted. The
+        // table accepts at most what the account's grant history covers,
+        // so accepted stays 0 and the drop counter moves.
+        try {
+          const service::RefundResult r =
+              refunder.refund(service::kDefaultNamespace, 1'000'000 + key, 8);
+          out.byz_refund_dropped += static_cast<std::uint64_t>(8 - r.accepted);
+        } catch (const std::exception&) {
+          // A shed refund is fine; the abuse tally just doesn't move.
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    });
+    drive("scn-byzantine", [&](double) { return base_rate; }, out.phases[3]);
+    byz_stop.store(true, std::memory_order_relaxed);
+    adversary.join();
+    raw.set_handler({});
+    out.byz_replayed = replay_answered.load();
+    out.byz_malformed = malformed_rejected.load();
+  }
+
   engine.drain();
+  {
+    const service::TableStats tstats = table.stats();
+    out.watchdog_checks = tstats.watchdog_checks;
+    out.watchdog_violations = tstats.watchdog_violations;
+  }
   for (const ScenarioPhase& phase : out.phases) {
     out.served += phase.served;
     out.shed += phase.shed;
@@ -1143,6 +1246,14 @@ void run_scenario(std::vector<ModeResult>& runs,
       static_cast<unsigned long long>(out.spans),
       static_cast<unsigned long long>(out.shed_spans), out.queue_wait_p99_us,
       out.execute_p99_us, out.cork_p99_us);
+  std::printf(
+      "byzantine: %llu replays answered, %llu malformed rejected, %llu "
+      "refund-abuse tokens refused | watchdog %llu checks, %llu violations\n",
+      static_cast<unsigned long long>(out.byz_replayed),
+      static_cast<unsigned long long>(out.byz_malformed),
+      static_cast<unsigned long long>(out.byz_refund_dropped),
+      static_cast<unsigned long long>(out.watchdog_checks),
+      static_cast<unsigned long long>(out.watchdog_violations));
 
   driver.stop();
 }
@@ -1163,6 +1274,17 @@ void print_result(const ModeResult& res) {
                 res.queue_depth.p99_us, res.queue_depth.max_us);
   }
   std::printf("\n");
+}
+
+/// UTC wall-clock now, ISO-8601 (the JSON stamp when --timestamp is not
+/// passed in by the harness).
+std::string iso8601_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
 }
 
 std::string json_escape(const std::string& s) {
@@ -1189,8 +1311,10 @@ void write_json(const std::string& path, const std::vector<ModeResult>& runs,
   double table_ops_per_sec = 0, pipeline_ops_per_sec = 0, pipeline_p99 = 0;
   double cluster_ops_per_sec = 0, cluster1_ops_per_sec = 0;
   double sharded_ops_per_sec = 0, epoll_ops_per_sec = 0;
+  double shardedwd_ops_per_sec = 0;
   for (const ModeResult& r : runs) {
     if (r.mode == "table") table_ops_per_sec = r.ops_per_sec();
+    if (r.mode == "shardedwd") shardedwd_ops_per_sec = r.ops_per_sec();
     if (r.mode == "pipeline") {
       pipeline_ops_per_sec = r.ops_per_sec();
       pipeline_p99 = r.latency.p99_us;
@@ -1203,7 +1327,14 @@ void write_json(const std::string& path, const std::vector<ModeResult>& runs,
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"schema\": \"toka-bench-service-v2\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
-  std::fprintf(f, "  \"host_cpus\": %u, \n",
+  std::fprintf(f, "  \"git_sha\": \"%s\",\n",
+               json_escape(load.git_sha.empty() ? "unknown" : load.git_sha)
+                   .c_str());
+  std::fprintf(f, "  \"timestamp\": \"%s\",\n",
+               json_escape(load.timestamp.empty() ? iso8601_now()
+                                                  : load.timestamp)
+                   .c_str());
+  std::fprintf(f, "  \"host_cpus\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"keys\": %llu,\n",
                static_cast<unsigned long long>(load.keys));
@@ -1223,6 +1354,12 @@ void write_json(const std::string& path, const std::vector<ModeResult>& runs,
   std::fprintf(f, "  \"sharded_speedup\": %.2f,\n",
                table_ops_per_sec > 0 ? sharded_ops_per_sec / table_ops_per_sec
                                      : 0);
+  std::fprintf(f, "  \"shardedwd_ops_per_sec\": %.0f,\n",
+               shardedwd_ops_per_sec);
+  std::fprintf(f, "  \"watchdog_overhead\": %.4f,\n",
+               sharded_ops_per_sec > 0 && shardedwd_ops_per_sec > 0
+                   ? 1.0 - shardedwd_ops_per_sec / sharded_ops_per_sec
+                   : 0.0);
   std::fprintf(f, "  \"epoll_ops_per_sec\": %.0f,\n", epoll_ops_per_sec);
   std::fprintf(f, "  \"pipeline_ops_per_sec\": %.0f,\n", pipeline_ops_per_sec);
   std::fprintf(f, "  \"pipeline_p99_us\": %.2f,\n", pipeline_p99);
@@ -1291,6 +1428,15 @@ void write_json(const std::string& path, const std::vector<ModeResult>& runs,
                  "\"cork_p99_us\": %.2f,\n",
                  scenario.queue_wait_p99_us, scenario.execute_p99_us,
                  scenario.cork_p99_us);
+    std::fprintf(f,
+                 "    \"byzantine\": {\"replays_answered\": %llu, "
+                 "\"malformed_rejected\": %llu, \"refund_dropped\": %llu, "
+                 "\"watchdog_checks\": %llu, \"watchdog_violations\": %llu},\n",
+                 static_cast<unsigned long long>(scenario.byz_replayed),
+                 static_cast<unsigned long long>(scenario.byz_malformed),
+                 static_cast<unsigned long long>(scenario.byz_refund_dropped),
+                 static_cast<unsigned long long>(scenario.watchdog_checks),
+                 static_cast<unsigned long long>(scenario.watchdog_violations));
     std::fprintf(f, "    \"phases\": [\n");
     for (std::size_t i = 0; i < scenario.phases.size(); ++i) {
       const ScenarioPhase& phase = scenario.phases[i];
@@ -1386,6 +1532,10 @@ int main(int argc, char** argv) {
       std::max<std::size_t>(args.get_int("io-threads", 1), 1);
   load.trace_sample = static_cast<std::uint64_t>(
       std::max<std::int64_t>(args.get_int("trace-sample", 128), 0));
+  load.watchdog_sample = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(args.get_int("watchdog-sample", 64), 0));
+  load.git_sha = args.get_string("git-sha", "");
+  load.timestamp = args.get_string("timestamp", "");
 
   service::ServiceConfig cfg;
   cfg.shards = static_cast<std::size_t>(args.get_int("shards", 256));
@@ -1403,7 +1553,7 @@ int main(int argc, char** argv) {
       args.get_string(
           "mode",
           "preload,table,batch,open,wire,sync,pipeline,sharded,shardedtr,"
-          "epoll,cluster,overload,scenario"));
+          "shardedwd,epoll,cluster,overload,scenario"));
   std::vector<std::string> modes;
   std::stringstream modes_stream(modes_arg);
   for (std::string m; std::getline(modes_stream, m, ',');) modes.push_back(m);
@@ -1463,14 +1613,23 @@ int main(int argc, char** argv) {
                                   [&](std::size_t t) -> runtime::Transport& {
         return mesh.endpoint(static_cast<NodeId>(1 + t));
       }));
-    } else if (mode == "sharded" || mode == "shardedtr") {
+    } else if (mode == "sharded" || mode == "shardedtr" ||
+               mode == "shardedwd") {
       // The shard-per-thread plane on its own table (exclusive_shards: the
       // per-shard mutex is a no-op, workers own their shards outright).
       // "shardedtr" is the same run with the flight recorder attached and
       // every batch trace-stamped: the sharded/shardedtr ratio prices the
       // recorder on the hottest path (--max-trace-overhead gates it).
+      // "shardedwd" is the same run with the §3.4 invariant watchdog at
+      // its production sampling (--watchdog-sample, 1-in-64 keys by
+      // default): the sharded/shardedwd ratio prices the online auditor
+      // the same way (--max-watchdog-overhead gates it). The plain
+      // "sharded" baseline runs with both off so each ratio isolates one
+      // feature.
       service::ServiceConfig sharded_cfg = cfg;
       sharded_cfg.exclusive_shards = true;
+      sharded_cfg.watchdog_sample =
+          mode == "shardedwd" ? load.watchdog_sample : 0;
       service::AccountTable sharded_table(sharded_cfg);
       // Preload before the engine starts: until the workers exist the
       // table is single-owner, so direct (single-threaded) access is legal.
@@ -1655,6 +1814,25 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(scenario.flash_shed));
       return 1;
     }
+    // The Byzantine phase must have bitten (every abuse class moved its
+    // typed counter) and must not have bent the invariant: the every-key
+    // watchdog audited real grants and found the §3.4 bound intact.
+    if (scenario.byz_malformed == 0 || scenario.byz_refund_dropped == 0) {
+      std::fprintf(stderr,
+                   "FAIL: byzantine phase drew no typed rejections "
+                   "(%llu malformed, %llu refund drops)\n",
+                   static_cast<unsigned long long>(scenario.byz_malformed),
+                   static_cast<unsigned long long>(scenario.byz_refund_dropped));
+      return 1;
+    }
+    if (scenario.watchdog_checks == 0 || scenario.watchdog_violations > 0) {
+      std::fprintf(stderr,
+                   "FAIL: watchdog audited %llu grants and flagged %llu "
+                   "violations (want > 0 checks and exactly 0 violations)\n",
+                   static_cast<unsigned long long>(scenario.watchdog_checks),
+                   static_cast<unsigned long long>(scenario.watchdog_violations));
+      return 1;
+    }
   }
 
   // Release-bench CI passes --max-trace-overhead=2 (percent): the flight
@@ -1684,6 +1862,37 @@ int main(int argc, char** argv) {
     std::printf("tracing costs %.2f%% on the sharded plane "
                 "(ceiling %.2f%%): OK\n",
                 overhead_pct, max_trace_overhead);
+  }
+
+  // Release-bench CI passes --max-watchdog-overhead=2 (percent) on >= 4-core
+  // runners: the §3.4 invariant watchdog at its production sampling may not
+  // cost the sharded plane more than this against the unaudited run.
+  const double max_watchdog_overhead =
+      args.get_double("max-watchdog-overhead", 0);
+  if (max_watchdog_overhead > 0) {
+    double sharded_ops = 0, watchdog_ops = 0;
+    for (const ModeResult& r : runs) {
+      if (r.mode == "sharded") sharded_ops = r.ops_per_sec();
+      if (r.mode == "shardedwd") watchdog_ops = r.ops_per_sec();
+    }
+    if (sharded_ops <= 0 || watchdog_ops <= 0) {
+      std::fprintf(stderr,
+                   "FAIL: --max-watchdog-overhead needs both the sharded and "
+                   "the shardedwd modes in --modes\n");
+      return 1;
+    }
+    const double overhead_pct = 100.0 * (1.0 - watchdog_ops / sharded_ops);
+    if (overhead_pct > max_watchdog_overhead) {
+      std::fprintf(stderr,
+                   "FAIL: the watchdog costs %.2f%% on the sharded plane "
+                   "(%.0f -> %.0f ops/s, ceiling %.2f%%)\n",
+                   overhead_pct, sharded_ops, watchdog_ops,
+                   max_watchdog_overhead);
+      return 1;
+    }
+    std::printf("watchdog costs %.2f%% on the sharded plane "
+                "(ceiling %.2f%%): OK\n",
+                overhead_pct, max_watchdog_overhead);
   }
 
   // The overload scenario's hard promise: excess load turns into typed

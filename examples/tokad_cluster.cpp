@@ -111,7 +111,18 @@ int main(int argc, char** argv) {
   net.start();
   obs::ScrapeServer scrape(
       registry, static_cast<std::uint16_t>(args.get_int("scrape-port", 0)));
-  std::printf("scrape (node 0): curl http://127.0.0.1:%u/metrics\n",
+  // /healthz reports node 0's liveness facts: the ring epoch it serves
+  // under and whether its server object is still alive (it survives this
+  // demo's churn; the probe is what an orchestrator would poll).
+  scrape.set_health([&nodes] {
+    const bool up = nodes[0]->server != nullptr;
+    return std::string("{\"ok\":") + (up ? "true" : "false") +
+           ",\"epoch\":" +
+           std::to_string(up ? nodes[0]->server->map_epoch() : 0) +
+           "}";
+  });
+  std::printf("scrape (node 0): curl http://127.0.0.1:%u/metrics "
+              "(/healthz, /traces too)\n",
               scrape.port());
 
   std::printf("tokad: 3 nodes (%s, Δ=%lld ms, C=%lld, replicas=%u), "

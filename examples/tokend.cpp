@@ -59,7 +59,14 @@ int main(int argc, char** argv) {
   service::Server server(table, mesh.endpoint(0), server_opts);
   obs::ScrapeServer scrape(
       registry, static_cast<std::uint16_t>(args.get_int("scrape-port", 0)));
-  std::printf("scrape: curl http://127.0.0.1:%u/metrics\n", scrape.port());
+  // /healthz: a standalone node is healthy while its table answers; the
+  // probe reports the live account count as a cheap freshness signal.
+  scrape.set_health([&table] {
+    return std::string("{\"ok\":true,\"accounts\":") +
+           std::to_string(table.account_count()) + "}";
+  });
+  std::printf("scrape: curl http://127.0.0.1:%u/metrics (/healthz too)\n",
+              scrape.port());
   service::ClockDriver driver(table, /*resolution_us=*/1000);
   driver.start();
 

@@ -21,7 +21,7 @@
 #    >= 1.5x 1-node cluster scale-out floor, and (on >= 4 cores) the
 #    sharded-plane absolute and vs-table floors.
 #
-# Usage: bench_snapshot.sh [build-dir] [engine.json] [service.json] [scrape.txt] [traces.json]
+# Usage: bench_snapshot.sh [build-dir] [engine.json] [service.json] [scrape.txt] [traces.json] [tokactl.txt]
 # CI uploads the outputs as artifacts per commit.
 set -eu
 
@@ -30,6 +30,7 @@ out=${2:-BENCH_engine.json}
 service_out=${3:-BENCH_service.json}
 scrape_out=${4:-BENCH_scrape.txt}
 trace_out=${5:-BENCH_traces.json}
+tokactl_out=${6:-BENCH_tokactl.txt}
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
@@ -54,6 +55,10 @@ time_ms() {
   fi
 }
 
+# Provenance stamped into every BENCH_*.json this script produces.
+git_sha=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+run_stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
 fig4_ms=$(time_ms "$build_dir/fig4_scale" --quick)
 fig2_ms=$(time_ms "$build_dir/fig2_failure_free" --quick)
 fig3_ms=$(time_ms "$build_dir/fig3_trace" --quick)
@@ -70,8 +75,9 @@ fi
 cat > "$out" <<EOF
 {
   "schema": "toka-bench-engine-v1",
-  "timestamp": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "timestamp": "$run_stamp",
   "commit": "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)",
+  "git_sha": "$git_sha",
   "host_cpus": $(nproc 2>/dev/null || echo 1),
   "wall_ms": {
     "fig4_scale_quick": $fig4_ms,
@@ -123,11 +129,13 @@ if [ "$cpus" -ge 4 ]; then
   cluster_floor="--min-cluster-speedup=1.5"
   sharded_floor="--min-sharded-ops=250000 --min-sharded-speedup=1.0"
   trace_ceiling="--max-trace-overhead=2"
+  watchdog_ceiling="--max-watchdog-overhead=2"
   repl_floor="--enforce-replication-churn --max-replication-overhead=15"
 else
   cluster_floor=""
   sharded_floor=""
   trace_ceiling=""
+  watchdog_ceiling=""
   repl_floor=""
   echo "WARN: only ${cpus} core(s); skipping the cluster scale-out floor" \
        "(needs >= 4 cores to measure sharding, not scheduling)" >&2
@@ -135,6 +143,8 @@ else
        "(shard-owner workers need their own cores)" >&2
   echo "WARN: only ${cpus} core(s); skipping the trace-overhead ceiling" \
        "(the delta measures time-slicing, not the recorder)" >&2
+  echo "WARN: only ${cpus} core(s); skipping the watchdog-overhead ceiling" \
+       "(same rule: the delta measures time-slicing, not the auditor)" >&2
   echo "WARN: only ${cpus} core(s); skipping the replication churn floors" \
        "(follower lanes need their own cores to price the delta stream)" >&2
 fi
@@ -142,8 +152,10 @@ fi
 "$build_dir/service_load" --quick --json="$service_out" \
     --scrape-out="$scrape_out" --trace-out="$trace_out" \
     --replicas=1 \
+    --git-sha="$git_sha" --timestamp="$run_stamp" \
     --min-table-ops=100000 --min-pipeline-speedup=1.0 \
-    $cluster_floor $sharded_floor $trace_ceiling $repl_floor > /dev/null
+    $cluster_floor $sharded_floor $trace_ceiling $watchdog_ceiling \
+    $repl_floor > /dev/null
 acquire_ops=$(sed -n 's/.*"acquire_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
 sharded_ops=$(sed -n 's/.*"sharded_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
 pipeline_ops=$(sed -n 's/.*"pipeline_ops_per_sec": \([0-9]*\).*/\1/p' "$service_out")
@@ -158,3 +170,10 @@ forfeited=$(sed -n 's/.*"tokens_forfeited": \([0-9-]*\),$/\1/p' "$service_out" |
 echo "wrote $service_out (table: ${acquire_ops} ops/s, sharded: ${sharded_ops:-0} ops/s, pipelined wire: ${pipeline_ops} ops/s, epoll wire: ${epoll_ops:-0} ops/s, 3-node cluster: ${cluster_x}x one node, overload served/shed: ${served:-0}/${shed:-0}, scenario served: ${scn_served:-0}, violations: ${scn_violations:-0}, replicated failover: ${failover_ms:-n/a} ms, forfeited: ${forfeited:-0} tokens)"
 echo "wrote $scrape_out (overload-run Prometheus exposition)"
 echo "wrote $trace_out (scenario-run flight-recorder spans)"
+
+# The operator CLI against a live (in-process, kill+promote churned)
+# cluster: the merged kStats sweep and the §3.4 watchdog verdict become a
+# per-commit artifact, and a non-zero exit (sweep failed, watchdog
+# violation, no cross-node trace) fails the job.
+"$build_dir/tokactl" stats > "$tokactl_out"
+echo "wrote $tokactl_out (tokactl merged cluster stats)"

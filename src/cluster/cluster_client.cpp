@@ -533,6 +533,94 @@ std::size_t ClusterClient::configure_namespace_all(
   return acks;
 }
 
+namespace {
+
+/// protocol::StatsEntry mirrors obs::Metric field for field; this is the
+/// wire → in-memory half (kStats replies feeding merge_snapshots).
+obs::Metric to_metric(const service::protocol::StatsEntry& e) {
+  obs::Metric m;
+  m.name = e.name;
+  m.kind = static_cast<obs::Metric::Kind>(e.kind);
+  m.value = e.value;
+  m.p50 = e.p50;
+  m.p90 = e.p90;
+  m.p99 = e.p99;
+  m.max = e.max;
+  m.sum = e.sum;
+  m.buckets.reserve(e.buckets.size());
+  for (const service::protocol::StatsBucket& b : e.buckets)
+    m.buckets.push_back(obs::HistogramBucket{b.index, b.count});
+  return m;
+}
+
+}  // namespace
+
+ClusterClient::ClusterStats ClusterClient::cluster_stats() {
+  const std::vector<NodeId> nodes = routing()->map.nodes;
+  ClusterStats out;
+  std::vector<std::vector<obs::Metric>> snapshots;
+  for (const NodeId node : nodes) {
+    service::Client* client = client_for(node);
+    if (client == nullptr) break;  // mid-teardown
+    try {
+      const std::vector<service::protocol::StatsEntry> entries =
+          client->stats();
+      std::vector<obs::Metric> metrics;
+      metrics.reserve(entries.size());
+      for (const service::protocol::StatsEntry& e : entries)
+        metrics.push_back(to_metric(e));
+      snapshots.push_back(metrics);
+      out.per_node.emplace_back(node, std::move(metrics));
+    } catch (const service::protocol::RpcError&) {
+      // v1 or registry-less node: nothing to merge from it
+    } catch (const util::IoError&) {
+      // dead node: the sweep reports the survivors
+    }
+  }
+  if (out.per_node.empty()) {
+    throw util::IoError("cluster stats sweep: no node answered");
+  }
+  out.merged = obs::merge_snapshots(snapshots);
+  return out;
+}
+
+std::vector<service::protocol::TraceSpan> ClusterClient::fetch_cluster_traces(
+    std::uint64_t trace_id, std::uint32_t max_spans_per_node) {
+  const std::vector<NodeId> nodes = routing()->map.nodes;
+  std::vector<service::protocol::TraceSpan> out;
+  std::size_t answered = 0;
+  for (const NodeId node : nodes) {
+    service::Client* client = client_for(node);
+    if (client == nullptr) break;  // mid-teardown
+    try {
+      std::vector<service::protocol::TraceSpan> spans =
+          client->fetch_traces(max_spans_per_node);
+      ++answered;
+      for (service::protocol::TraceSpan& s : spans) {
+        if (trace_id != 0 && s.trace_id != trace_id) continue;
+        out.push_back(s);
+      }
+    } catch (const service::protocol::RpcError&) {
+      // tracerless or v1 node: it contributes no spans
+    } catch (const util::IoError&) {
+      // dead node: its ring died with it; the survivors' spans remain
+    }
+  }
+  if (answered == 0) {
+    throw util::IoError("cluster trace sweep: no node answered");
+  }
+  // One timeline: every node's spans interleaved by start time. Nodes'
+  // steady clocks are not synchronized across real machines — within one
+  // process (tests, demos) they are the same clock; across hosts the
+  // per-node ordering is exact and the interleave is approximate.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const service::protocol::TraceSpan& a,
+                      const service::protocol::TraceSpan& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return out;
+}
+
 std::size_t ClusterClient::push_map(const ClusterMap& map) {
   const ClusterMap current = routing()->map;
   // Newcomers first (they must hold the map before handoffs land), then

@@ -143,6 +143,35 @@ class ClusterClient {
   /// and adopts it if newer. Returns true if a fetch succeeded.
   bool refresh_map();
 
+  // ----------------------------------------------------- observability
+
+  /// One cluster-wide telemetry sweep: every live member's kStats
+  /// snapshot, plus the obs::merge_snapshots combination (counters and
+  /// cluster-total gauges summed, histograms merged bucket-wise with the
+  /// single-node ≤1/16 quantile-error bound intact).
+  struct ClusterStats {
+    /// Merged view across every node that answered.
+    std::vector<obs::Metric> merged;
+    /// Raw per-node snapshots (per-node-identity gauges — epochs, lag —
+    /// are meaningful here, not in the sum).
+    std::vector<std::pair<NodeId, std::vector<obs::Metric>>> per_node;
+  };
+
+  /// Fans kStats over every member of the current map; dead or v1 nodes
+  /// are skipped (a cluster sweep must not fail because one node is
+  /// mid-crash). Throws util::IoError only if NO node answered.
+  ClusterStats cluster_stats();
+
+  /// Fans kTraces over every member and stitches the spans into one
+  /// timeline ordered by start time. `trace_id` filters to a single
+  /// trace (0 keeps everything); `max_spans_per_node` caps each node's
+  /// reply (0 = server default). Each span's `node` field identifies the
+  /// recorder, so a redirect, handoff or promotion hop shows up as one
+  /// trace id spanning several nodes. Dead nodes are skipped; throws
+  /// util::IoError only if NO node answered.
+  std::vector<service::protocol::TraceSpan> fetch_cluster_traces(
+      std::uint64_t trace_id = 0, std::uint32_t max_spans_per_node = 0);
+
   /// The currently cached membership map.
   ClusterMap map() const;
 

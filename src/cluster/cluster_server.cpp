@@ -27,6 +27,7 @@ ClusterServer::ClusterServer(service::AccountTable& table,
       map_(std::move(map)),
       ring_(map_) {
   repl_ = std::make_unique<ReplicationEngine>(table, transport, map_);
+  repl_->set_tracer(tracer_);
   if (map_.replicas > 0) table_->enable_replication(repl_headroom_);
   if (engine_ != nullptr) {
     // Engine plane: deltas are captured at the workers' drain boundaries
@@ -119,7 +120,19 @@ NodeId ClusterServer::owner_of(service::NamespaceId ns,
   return ring_.owner(ns, key);
 }
 
+std::optional<proto::TraceContext> ClusterServer::mint_cluster_trace() {
+  if (tracer_ == nullptr) return std::nullopt;
+  // Cluster control events are rare and always worth a timeline: every
+  // minted context is sampled.
+  return proto::TraceContext{tracer_->next_trace_id(), true};
+}
+
 ApplyOutcome ClusterServer::apply_map(const ClusterMap& map) {
+  return apply_map(map, mint_cluster_trace());
+}
+
+ApplyOutcome ClusterServer::apply_map(
+    const ClusterMap& map, const std::optional<proto::TraceContext>& trace) {
   HashRing ring;
   {
     std::unique_lock lock(map_mu_);
@@ -142,6 +155,8 @@ ApplyOutcome ClusterServer::apply_map(const ClusterMap& map) {
         return ring.owner(ns, key) != self_id;
       });
   std::uint64_t sent = 0;
+  const std::int64_t t_handoff =
+      tracer_ != nullptr && trace ? obs::Tracer::now_us() : 0;
   for (const service::AccountExport& account : moved) {
     const NodeId target = ring.owner(account.ns, account.key);
     if (target == kNoNode || target == self_id) {
@@ -152,13 +167,24 @@ ApplyOutcome ClusterServer::apply_map(const ClusterMap& map) {
     }
     const std::uint64_t id =
         next_handoff_id_.fetch_add(1, std::memory_order_relaxed);
-    transport_->send(target,
-                     proto::encode(proto::HandoffRequest{
-                         id, map.epoch, account.ns, account.key,
-                         account.balance}));
+    std::vector<std::byte> frame = proto::encode(proto::HandoffRequest{
+        id, map.epoch, account.ns, account.key, account.balance});
+    // Every handoff of this adoption carries the adoption's trace context:
+    // the receivers' install spans stitch to this node's sweep span under
+    // one id, across however many nodes the ring scattered the keys to.
+    if (trace) proto::attach_trace_context(frame, *trace);
+    transport_->send(target, std::move(frame));
     ++sent;
   }
   handoffs_sent_.fetch_add(sent, std::memory_order_relaxed);
+  if (tracer_ != nullptr && trace && sent > 0) {
+    // One sender-side span for the whole extraction sweep (key = how many
+    // accounts left; per-account legs are the receivers' spans).
+    tracer_->record(obs::Stage::kHandoff, obs::Decision::kNone,
+                    trace->trace_id, sent, service::kDefaultNamespace,
+                    t_handoff, obs::Tracer::now_us() - t_handoff,
+                    /*sampled=*/true);
+  }
 
   ApplyOutcome outcome{true, map.epoch, sent};
   // Replica installs ride every map adoption: sources that fell out of
@@ -178,13 +204,21 @@ ApplyOutcome ClusterServer::apply_map(const ClusterMap& map) {
 
 PromoteOutcome ClusterServer::promote(NodeId failed,
                                       std::uint64_t expected_epoch) {
+  return promote(failed, expected_epoch, mint_cluster_trace());
+}
+
+PromoteOutcome ClusterServer::promote(
+    NodeId failed, std::uint64_t expected_epoch,
+    const std::optional<proto::TraceContext>& trace) {
   PromoteOutcome out;
+  const std::int64_t t0 =
+      tracer_ != nullptr && trace ? obs::Tracer::now_us() : 0;
   const ClusterMap cur = map();
   out.epoch = cur.epoch;
   if (failed == self() || !cur.contains(failed)) return out;
   if (expected_epoch != 0 && expected_epoch != cur.epoch) return out;
   const ClusterMap next = cur.without_node(failed);
-  const ApplyOutcome applied = apply_map(next);
+  const ApplyOutcome applied = apply_map(next, trace);
   out.epoch = applied.epoch;
   if (!applied.accepted) return out;  // lost to a newer map — fine, done
   out.accepted = true;
@@ -194,11 +228,22 @@ PromoteOutcome ClusterServer::promote(NodeId failed,
   // Broadcast the verdict: each survivor adopts the same strictly-newer
   // map and installs its own replicas of the dead node. Re-deliveries are
   // harmless (strictly-newer rule) and stale clients learn by redirect.
+  // The broadcast carries the promotion's trace context, so the survivors'
+  // adoption spans land under the coordinator's trace id.
   for (const NodeId node : next.nodes) {
     if (node == self()) continue;
     const std::uint64_t id =
         next_handoff_id_.fetch_add(1, std::memory_order_relaxed);
-    transport_->send(node, proto::encode(proto::ApplyMapRequest{id, next}));
+    std::vector<std::byte> frame =
+        proto::encode(proto::ApplyMapRequest{id, next});
+    if (trace) proto::attach_trace_context(frame, *trace);
+    transport_->send(node, std::move(frame));
+  }
+  if (tracer_ != nullptr && trace) {
+    // Coordinator-side promotion span; `key` holds the dead node's id.
+    tracer_->record(obs::Stage::kPromote, obs::Decision::kNone,
+                    trace->trace_id, failed, service::kDefaultNamespace, t0,
+                    obs::Tracer::now_us() - t0, /*sampled=*/true);
   }
   return out;
 }
@@ -229,9 +274,12 @@ void ClusterServer::on_peer_down(NodeId peer) {
   promote(peer, cur.epoch);
 }
 
-void ClusterServer::handle_handoff(NodeId from,
-                                   const proto::HandoffRequest& r) {
+void ClusterServer::handle_handoff(
+    NodeId from, const proto::HandoffRequest& r,
+    const std::optional<proto::TraceContext>& trace) {
   handoffs_received_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t t0 =
+      tracer_ != nullptr && trace ? obs::Tracer::now_us() : 0;
   bool accepted = false;
   // Install only what the current ring places here; anything else is
   // dropped (the sender already forfeited it). install_account refuses
@@ -246,6 +294,14 @@ void ClusterServer::handle_handoff(NodeId from,
     // ceased to exist anywhere. The receiver counts it — it is the one
     // node that knows the refusal happened.
     tokens_forfeited_.fetch_add(r.balance, std::memory_order_relaxed);
+  }
+  if (tracer_ != nullptr && trace) {
+    // Receiver leg of the handoff, under the sender's trace id: kError
+    // marks a refused install (a forfeit the timeline should show).
+    tracer_->record(obs::Stage::kHandoff,
+                    accepted ? obs::Decision::kNone : obs::Decision::kError,
+                    trace->trace_id, r.key, r.ns, t0,
+                    obs::Tracer::now_us() - t0, /*sampled=*/true);
   }
   transport_->send(from, proto::encode(proto::HandoffResponse{r.id, accepted}));
 }
@@ -384,8 +440,10 @@ void ClusterServer::on_frame(NodeId from, std::vector<std::byte> payload) {
   }
 
   proto::Request request;
+  std::uint8_t version = proto::kProtocolVersion;
+  std::optional<proto::TraceContext> trace;
   try {
-    request = proto::decode_request(payload);
+    request = proto::decode_request(payload, version, trace);
   } catch (const util::IoError&) {
     // Undecodable admin/cluster frame or garbage: the inner server
     // classifies it.
@@ -394,7 +452,7 @@ void ClusterServer::on_frame(NodeId from, std::vector<std::byte> payload) {
   }
 
   if (const auto* r = std::get_if<proto::HandoffRequest>(&request)) {
-    handle_handoff(from, *r);
+    handle_handoff(from, *r, trace);
     return;
   }
   if (const auto* r = std::get_if<proto::ClusterMapRequest>(&request)) {
@@ -403,14 +461,38 @@ void ClusterServer::on_frame(NodeId from, std::vector<std::byte> payload) {
     return;
   }
   if (const auto* r = std::get_if<proto::ApplyMapRequest>(&request)) {
-    const ApplyOutcome outcome = apply_map(r->map);
+    // A traced broadcast (the promotion path) keeps the coordinator's
+    // trace id end to end; an untraced one gets its own adoption trace so
+    // its handoffs still stitch.
+    const std::int64_t t0 =
+        tracer_ != nullptr && trace ? obs::Tracer::now_us() : 0;
+    const ApplyOutcome outcome =
+        apply_map(r->map, trace ? trace : mint_cluster_trace());
+    if (tracer_ != nullptr && trace) {
+      // Survivor leg of a promotion: this node's adoption under the
+      // coordinator's id (duplicate deliveries record as kError refusals).
+      tracer_->record(obs::Stage::kPromote,
+                      outcome.accepted ? obs::Decision::kNone
+                                       : obs::Decision::kError,
+                      trace->trace_id, 0, service::kDefaultNamespace, t0,
+                      obs::Tracer::now_us() - t0, /*sampled=*/true);
+    }
     transport_->send(from, proto::encode(proto::ApplyMapResponse{
                                r->id, outcome.accepted, outcome.epoch,
                                outcome.handoffs}));
     return;
   }
   if (const auto* r = std::get_if<proto::ReplicateRequest>(&request)) {
+    const std::int64_t t0 =
+        tracer_ != nullptr && trace ? obs::Tracer::now_us() : 0;
     repl_->on_replicate(from, *r);
+    if (tracer_ != nullptr && trace) {
+      // Follower leg of a sampled delta flush (`key` = deltas applied).
+      tracer_->record(obs::Stage::kReplicate, obs::Decision::kNone,
+                      trace->trace_id, r->deltas.size(),
+                      service::kDefaultNamespace, t0,
+                      obs::Tracer::now_us() - t0, /*sampled=*/true);
+    }
     return;
   }
   if (const auto* r = std::get_if<proto::ReplicaAckRequest>(&request)) {
@@ -418,7 +500,8 @@ void ClusterServer::on_frame(NodeId from, std::vector<std::byte> payload) {
     return;
   }
   if (const auto* r = std::get_if<proto::PromoteRequest>(&request)) {
-    const PromoteOutcome out = promote(r->failed, r->epoch);
+    const PromoteOutcome out =
+        promote(r->failed, r->epoch, trace ? trace : mint_cluster_trace());
     transport_->send(from, proto::encode(proto::PromoteResponse{
                                r->id, out.accepted, out.epoch, out.installed,
                                out.forfeited}));

@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -182,7 +183,21 @@ class ClusterServer {
   void on_frame(NodeId from, std::vector<std::byte> payload);
   /// Ring placement under the current map; kNoNode on an empty ring.
   NodeId owner_of(service::NamespaceId ns, std::uint64_t key) const;
-  void handle_handoff(NodeId from, const service::protocol::HandoffRequest& r);
+  void handle_handoff(NodeId from, const service::protocol::HandoffRequest& r,
+                      const std::optional<service::protocol::TraceContext>&
+                          trace);
+  /// Trace-threaded internals behind the public apply_map/promote: the
+  /// same context is stamped onto every frame a membership change fans out
+  /// (handoffs, the ApplyMap broadcast), so one trace id survives the
+  /// whole failover across nodes. Membership changes are rare, so minted
+  /// contexts are always sampled.
+  ApplyOutcome apply_map(
+      const ClusterMap& map,
+      const std::optional<service::protocol::TraceContext>& trace);
+  PromoteOutcome promote(
+      NodeId failed, std::uint64_t expected_epoch,
+      const std::optional<service::protocol::TraceContext>& trace);
+  std::optional<service::protocol::TraceContext> mint_cluster_trace();
   /// Peer-down reaction: the dead node's id-order successor promotes.
   void on_peer_down(NodeId peer);
   /// Engine-plane drain hook: streams worker `w`'s shards' dirty deltas.

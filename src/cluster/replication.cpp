@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace toka::cluster {
@@ -71,8 +72,19 @@ void ReplicationEngine::flush_shards(const std::vector<std::size_t>& shards) {
       lane.last_sent = std::max(lane.last_sent, seq);
     }
   }
+  // Replicate frames are the cluster's background hum — far too many to
+  // trace each — so flush rounds join the tracer's 1-in-N sampled set.
+  // A sampled round mints one context shared by every follower frame it
+  // fans out; the followers' receive spans stitch to the sender span
+  // below under that id.
+  std::optional<proto::TraceContext> trace;
+  if (tracer_ != nullptr && tracer_->sample_next())
+    trace = proto::TraceContext{tracer_->next_trace_id(), true};
+  const std::int64_t t_send = trace ? obs::Tracer::now_us() : 0;
+  std::uint64_t traced_accounts = 0;
   for (auto& [node, deltas] : per_target) {
     delta_accounts_sent_.fetch_add(deltas.size(), std::memory_order_relaxed);
+    if (trace) traced_accounts += deltas.size();
     // Chunk under the frame limit (a drain batch larger than 64k accounts
     // for one follower is theoretical, but the codec enforces the cap).
     std::size_t off = 0;
@@ -85,10 +97,19 @@ void ReplicationEngine::flush_shards(const std::vector<std::size_t>& shards) {
       frame.seq = seq;
       frame.deltas.assign(deltas.begin() + static_cast<std::ptrdiff_t>(off),
                           deltas.begin() + static_cast<std::ptrdiff_t>(off + n));
-      transport_->send(node, proto::encode(frame));
+      std::vector<std::byte> wire = proto::encode(frame);
+      if (trace) proto::attach_trace_context(wire, *trace);
+      transport_->send(node, std::move(wire));
       deltas_sent_.fetch_add(1, std::memory_order_relaxed);
       off += n;
     }
+  }
+  if (trace) {
+    // Sender span for the sampled round (`key` = account deltas emitted).
+    tracer_->record(obs::Stage::kReplicate, obs::Decision::kNone,
+                    trace->trace_id, traced_accounts,
+                    service::kDefaultNamespace, t_send,
+                    obs::Tracer::now_us() - t_send, /*sampled=*/true);
   }
 }
 

@@ -58,6 +58,10 @@
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
+namespace toka::obs {
+class Tracer;
+}  // namespace toka::obs
+
 namespace toka::cluster {
 
 /// Outcome of installing replicas after a membership change.
@@ -81,6 +85,12 @@ class ReplicationEngine {
 
   ReplicationEngine(const ReplicationEngine&) = delete;
   ReplicationEngine& operator=(const ReplicationEngine&) = delete;
+
+  /// Optional flight recorder: sampled flush rounds stamp one trace
+  /// context onto every follower frame of the round and record a sender
+  /// kReplicate span, so primary → follower delta legs stitch under one
+  /// id (the owning ClusterServer wires its tracer here).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   // ------------------------------------------------------- primary side
 
@@ -180,6 +190,7 @@ class ReplicationEngine {
 
   service::AccountTable* table_;
   runtime::Transport* transport_;
+  obs::Tracer* tracer_ = nullptr;
 
   /// Serializes flushes end-to-end, so emission rounds increase in frame
   /// send order on every lane (the property the ack watermark relies on).

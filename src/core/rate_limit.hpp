@@ -64,4 +64,47 @@ class RateLimitAuditor {
   std::vector<TimeUs> sends_;
 };
 
+/// Bounded-memory online variant of RateLimitAuditor, cheap enough to run
+/// inside the data plane on sampled keys: a fixed ring of the most recent
+/// grant records (coalesced per timestamp) re-checked on every grant.
+///
+/// Sound but windowed — any violation it flags is a real §3.4 violation
+/// (a retained window genuinely exceeded its bound); history that rotated
+/// out of the ring is no longer checked, so absence of violations bounds
+/// only the retained horizon. Refunds must be retracted (newest-first,
+/// like RateLimitAuditor) so the audited trace holds net admissions.
+class BurstWatchdog {
+ public:
+  /// Δ and C of the strategy under audit; `window` is the ring capacity
+  /// in distinct grant timestamps.
+  BurstWatchdog(TimeUs delta, Tokens capacity, std::size_t window = 32);
+
+  /// Records `n` grants at non-decreasing time t, then checks every
+  /// retained send-anchored window ending at t. Returns how many windows
+  /// violated the bound (0 for a clean grant).
+  std::uint64_t record(TimeUs t, Tokens n);
+
+  /// Strikes the `n` newest grants (the refund path). Clamps at what the
+  /// ring still holds — rotated-out history cannot be retracted.
+  void retract(Tokens n);
+
+  /// Windows checked / windows in violation since construction.
+  std::uint64_t checks() const { return checks_; }
+  std::uint64_t violations() const { return violations_; }
+
+ private:
+  struct Grant {
+    TimeUs t = 0;
+    Tokens count = 0;
+  };
+
+  TimeUs delta_;
+  Tokens capacity_;
+  std::vector<Grant> ring_;  ///< fixed capacity; head_ is the oldest slot
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t checks_ = 0;
+  std::uint64_t violations_ = 0;
+};
+
 }  // namespace toka::core

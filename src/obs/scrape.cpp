@@ -6,6 +6,8 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 #include <string>
@@ -17,6 +19,10 @@
 namespace toka::obs {
 
 namespace {
+
+/// One request head may not exceed this (request line + headers); a
+/// client that streams more without a blank line is dropped.
+constexpr std::size_t kMaxHeadBytes = 8192;
 
 bool send_all(int fd, const char* data, std::size_t n) {
   while (n > 0) {
@@ -35,6 +41,26 @@ bool requests_path(const std::string& req, const char* path) {
   if (req.compare(0, prefix.size(), prefix) != 0) return false;
   const char next = req.size() > prefix.size() ? req[prefix.size()] : '\0';
   return next == ' ' || next == '?' || next == '\0';
+}
+
+/// Keep-alive verdict for one request head: HTTP/1.1 defaults to
+/// keep-alive unless the client says "Connection: close"; HTTP/1.0
+/// defaults to close unless it says "Connection: keep-alive".
+bool wants_keep_alive(const std::string& head) {
+  std::string lower(head.size(), '\0');
+  std::transform(head.begin(), head.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  const bool http11 = lower.find(" http/1.1\r\n") != std::string::npos;
+  const std::size_t at = lower.find("\r\nconnection:");
+  if (at == std::string::npos) return http11;
+  const std::size_t value = at + std::strlen("\r\nconnection:");
+  const std::size_t end = lower.find("\r\n", value);
+  const std::string token =
+      lower.substr(value, end == std::string::npos ? end : end - value);
+  if (token.find("close") != std::string::npos) return false;
+  if (token.find("keep-alive") != std::string::npos) return true;
+  return http11;
 }
 
 }  // namespace
@@ -75,6 +101,21 @@ ScrapeServer::~ScrapeServer() {
   ::close(listen_fd_);
 }
 
+void ScrapeServer::set_health(std::function<std::string()> health) {
+  std::lock_guard lock(health_mu_);
+  health_ = std::move(health);
+}
+
+std::string ScrapeServer::health_body() {
+  std::function<std::string()> probe;
+  {
+    std::lock_guard lock(health_mu_);
+    probe = health_;
+  }
+  if (probe) return probe();
+  return "{\"ok\":true}";
+}
+
 void ScrapeServer::serve_loop() {
   for (;;) {
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
@@ -88,39 +129,57 @@ void ScrapeServer::serve_loop() {
     tv.tv_usec = (kConnTimeoutMs % 1000) * 1000;
     ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
     ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
-    // Drain the request line + headers; only the path and the terminating
-    // blank line matter.
-    char buf[1024];
-    std::string req;
-    bool timed_out = false;
-    while (req.find("\r\n\r\n") == std::string::npos && req.size() < 8192) {
-      const ssize_t got = ::recv(conn, buf, sizeof buf, 0);
-      if (got <= 0) {
-        timed_out = got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
-        break;
+    // Request loop: GETs carry no body, so one request is exactly one head
+    // (request line + headers + blank line). Pipelined requests land in
+    // `buf` together and are peeled off one at a time — each gets its own
+    // response, in order, as HTTP requires.
+    std::string buf;
+    char chunk[1024];
+    for (std::size_t served = 0; served < kMaxRequestsPerConn; ++served) {
+      std::size_t head_end;
+      bool alive = true;
+      while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+        if (buf.size() >= kMaxHeadBytes) {
+          alive = false;  // header flood: drop the connection
+          break;
+        }
+        const ssize_t got = ::recv(conn, chunk, sizeof chunk, 0);
+        if (got <= 0) {
+          alive = false;  // closed, errored or silent past the deadline
+          break;
+        }
+        buf.append(chunk, static_cast<std::size_t>(got));
       }
-      req.append(buf, static_cast<std::size_t>(got));
+      if (!alive) break;
+      const std::string head = buf.substr(0, head_end + 4);
+      buf.erase(0, head_end + 4);
+
+      std::string body;
+      std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+      if (tracer_ != nullptr && requests_path(head, "/traces")) {
+        body = tracer_->render_json();
+        content_type = "application/json";
+      } else if (requests_path(head, "/healthz")) {
+        body = health_body();
+        content_type = "application/json";
+      } else {
+        body = registry_->render_prometheus();
+      }
+      const bool keep = wants_keep_alive(head) &&
+                        served + 1 < kMaxRequestsPerConn;
+      const std::string resp =
+          "HTTP/1.1 200 OK\r\n"
+          "Content-Type: " +
+          content_type +
+          "\r\n"
+          "Content-Length: " +
+          std::to_string(body.size()) +
+          "\r\n"
+          "Connection: " +
+          (keep ? "keep-alive" : "close") + "\r\n\r\n" + body;
+      if (!send_all(conn, resp.data(), resp.size())) break;
+      if (!keep) break;
     }
-    if (timed_out || req.empty()) {
-      ::close(conn);  // silent or dead client: answer nothing
-      continue;
-    }
-    std::string body;
-    std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
-    if (tracer_ != nullptr && requests_path(req, "/traces")) {
-      body = tracer_->render_json();
-      content_type = "application/json";
-    } else {
-      body = registry_->render_prometheus();
-    }
-    const std::string resp =
-        "HTTP/1.0 200 OK\r\n"
-        "Content-Type: " +
-        content_type +
-        "\r\n"
-        "Content-Length: " +
-        std::to_string(body.size()) + "\r\n\r\n" + body;
-    send_all(conn, resp.data(), resp.size());
     ::close(conn);
   }
 }

@@ -1,18 +1,28 @@
-// Minimal Prometheus scrape endpoint: a single-threaded HTTP/1.0 server
+// Minimal Prometheus scrape endpoint: a single-threaded HTTP/1.1 server
 // that answers GETs with the registry's text exposition — plus, when
 // built with a Tracer, "GET /traces" with the flight recorder's JSON
-// snapshot. One connection at a time, read-render-write-close — a scrape
-// target, not a web server. Binds 127.0.0.1 (port 0 picks an ephemeral
-// port; read it back with port()).
+// snapshot, and "GET /healthz" with a liveness document (a process-wide
+// {"ok":true} by default; set_health injects the real probe — ring epoch,
+// worker liveness — from the layer that knows it). One connection at a
+// time, but each connection may carry many requests: HTTP/1.1 peers get
+// keep-alive by default (pipelined requests included), HTTP/1.0 peers get
+// one-shot close unless they ask to keep the connection, and every
+// response states its Content-Length and Connection verdict explicitly.
+// A scrape target, not a web server. Binds 127.0.0.1 (port 0 picks an
+// ephemeral port; read it back with port()).
 //
 // Every accepted connection gets a read AND a write deadline
 // (kConnTimeoutMs via SO_RCVTIMEO/SO_SNDTIMEO): a client that connects
 // and then goes silent — or stops reading the response — times out and is
 // closed, instead of wedging the serve loop forever and starving every
-// later scrape.
+// later scrape. The deadline also bounds how long one keep-alive client
+// can hold the serve loop between requests.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
 #include <thread>
 
 namespace toka::obs {
@@ -26,6 +36,11 @@ class ScrapeServer {
   /// one bounded response on a loopback or LAN hop; anything slower than
   /// this is a stuck peer, not a slow one.
   static constexpr long kConnTimeoutMs = 2000;
+
+  /// Requests served on one keep-alive connection before the server closes
+  /// it anyway — an upper bound on how long one client can monopolize the
+  /// single serve loop.
+  static constexpr std::size_t kMaxRequestsPerConn = 1000;
 
   /// Starts listening and serving immediately; throws util::IoError if the
   /// socket can't be bound. `registry` must outlive the server.
@@ -44,13 +59,21 @@ class ScrapeServer {
   /// The bound port (the ephemeral one when constructed with port 0).
   std::uint16_t port() const { return port_; }
 
+  /// Installs the /healthz document producer (a JSON object; the default
+  /// answers {"ok":true}). Called from the serve thread on every probe;
+  /// must be fast and must not throw. Safe to call while serving.
+  void set_health(std::function<std::string()> health);
+
  private:
   void serve_loop();
+  std::string health_body();
 
   const Registry* registry_;
   const Tracer* tracer_ = nullptr;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  std::mutex health_mu_;
+  std::function<std::string()> health_;  ///< guarded by health_mu_
   std::thread thread_;
 };
 

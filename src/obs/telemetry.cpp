@@ -64,6 +64,16 @@ double Histogram::bucket_mid(std::size_t i) {
   return static_cast<double>(lo) + static_cast<double>(width) / 2.0;
 }
 
+double Histogram::bucket_upper(std::size_t i) {
+  if (i < 16) return static_cast<double>(i);
+  const std::size_t b = i - 16;
+  const int g = static_cast<int>(b / kSubBuckets) + 5;
+  const std::uint64_t sub = b % kSubBuckets;
+  const std::uint64_t width = std::uint64_t{1} << (g - 5);
+  const std::uint64_t lo = (std::uint64_t{1} << (g - 1)) + sub * width;
+  return static_cast<double>(lo + width - 1);
+}
+
 void Histogram::observe(double v) {
   const std::int64_t x =
       v <= 0 ? 0 : static_cast<std::int64_t>(std::llround(v));
@@ -90,6 +100,11 @@ HistogramSnapshot Histogram::snapshot() const {
   snap.sum = static_cast<double>(sum_.load(std::memory_order_relaxed));
   snap.max = static_cast<double>(max_.load(std::memory_order_relaxed));
   if (total == 0) return snap;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] > 0)
+      snap.buckets.push_back(
+          HistogramBucket{static_cast<std::uint32_t>(i), counts[i]});
+  }
 
   const auto quantile = [&](double q) {
     const std::uint64_t rank = static_cast<std::uint64_t>(
@@ -105,6 +120,90 @@ HistogramSnapshot Histogram::snapshot() const {
   snap.p90 = quantile(0.90);
   snap.p99 = quantile(0.99);
   return snap;
+}
+
+/// Quantile over a sparse (ascending-index) bucket list: the same
+/// first-bucket-at-rank rule Histogram::snapshot uses, so a merged
+/// quantile equals what one histogram holding all the samples would say.
+static double sparse_quantile(const std::vector<HistogramBucket>& buckets,
+                              std::uint64_t total, double q, double fallback) {
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (const HistogramBucket& b : buckets) {
+    seen += b.count;
+    if (seen >= rank) return Histogram::bucket_mid(b.index);
+  }
+  return fallback;
+}
+
+std::vector<Metric> merge_snapshots(
+    const std::vector<std::vector<Metric>>& nodes) {
+  std::vector<Metric> out;
+  // Merged-histogram scratch: dense counts per bucket index, rebuilt into
+  // the sparse form once per metric at the end.
+  struct HistAcc {
+    std::vector<std::uint64_t> counts;
+    bool complete = true;  ///< every contributing entry carried buckets
+  };
+  std::vector<HistAcc> accs;
+  auto slot_of = [&](const std::string& name, Metric::Kind kind) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i].name == name) return i;
+    }
+    Metric m;
+    m.name = name;
+    m.kind = kind;
+    out.push_back(std::move(m));
+    accs.emplace_back();
+    return out.size() - 1;
+  };
+  for (const std::vector<Metric>& node : nodes) {
+    for (const Metric& m : node) {
+      const std::size_t i = slot_of(m.name, m.kind);
+      Metric& merged = out[i];
+      if (m.kind != Metric::Kind::kHistogram) {
+        merged.value += m.value;  // counters and gauges: cluster totals
+        continue;
+      }
+      merged.value += m.value;
+      merged.sum += m.sum;
+      merged.max = std::max(merged.max, m.max);
+      HistAcc& acc = accs[i];
+      if (m.buckets.empty() && m.value > 0) {
+        // A bucketless histogram entry (an old peer): its quantiles can't
+        // be re-ranked, so the merged quantiles degrade to max-over-nodes.
+        acc.complete = false;
+        merged.p50 = std::max(merged.p50, m.p50);
+        merged.p90 = std::max(merged.p90, m.p90);
+        merged.p99 = std::max(merged.p99, m.p99);
+        continue;
+      }
+      if (acc.counts.empty()) acc.counts.resize(Histogram::kBuckets, 0);
+      for (const HistogramBucket& b : m.buckets) {
+        if (b.index < Histogram::kBuckets) acc.counts[b.index] += b.count;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    Metric& merged = out[i];
+    if (merged.kind != Metric::Kind::kHistogram) continue;
+    HistAcc& acc = accs[i];
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b < acc.counts.size(); ++b) {
+      if (acc.counts[b] > 0) {
+        merged.buckets.push_back(
+            HistogramBucket{static_cast<std::uint32_t>(b), acc.counts[b]});
+        total += acc.counts[b];
+      }
+    }
+    if (total > 0 && acc.complete) {
+      merged.p50 = sparse_quantile(merged.buckets, total, 0.50, merged.max);
+      merged.p90 = sparse_quantile(merged.buckets, total, 0.90, merged.max);
+      merged.p99 = sparse_quantile(merged.buckets, total, 0.99, merged.max);
+    }
+  }
+  return out;
 }
 
 Registry::Entry& Registry::upsert(const std::string& name, Metric::Kind kind) {
@@ -168,12 +267,14 @@ std::vector<Metric> Registry::collect() const {
     m.name = e->name;
     m.kind = e->kind;
     if (e->histogram) {
-      const HistogramSnapshot snap = e->histogram->snapshot();
+      HistogramSnapshot snap = e->histogram->snapshot();
       m.value = static_cast<double>(snap.count);
       m.p50 = snap.p50;
       m.p90 = snap.p90;
       m.p99 = snap.p99;
       m.max = snap.max;
+      m.sum = snap.sum;
+      m.buckets = std::move(snap.buckets);
     } else if (e->counter) {
       m.value = static_cast<double>(e->counter->value());
     } else if (e->fn) {
@@ -197,14 +298,25 @@ std::string Registry::render_prometheus() const {
         out += "# TYPE " + m.name + " gauge\n";
         out += m.name + " " + format_value(m.value) + "\n";
         break;
-      case Metric::Kind::kHistogram:
-        out += "# TYPE " + m.name + " summary\n";
-        out += m.name + "{quantile=\"0.5\"} " + format_value(m.p50) + "\n";
-        out += m.name + "{quantile=\"0.9\"} " + format_value(m.p90) + "\n";
-        out += m.name + "{quantile=\"0.99\"} " + format_value(m.p99) + "\n";
-        out += m.name + "_max " + format_value(m.max) + "\n";
+      case Metric::Kind::kHistogram: {
+        // Native histogram exposition: cumulative le-buckets over the
+        // occupied log-linear buckets. Mergeable server-side, unlike the
+        // summary-with-quantiles form this replaced.
+        out += "# TYPE " + m.name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (const HistogramBucket& b : m.buckets) {
+          cumulative += b.count;
+          out += m.name + "_bucket{le=\"" +
+                 format_value(Histogram::bucket_upper(b.index)) + "\"} " +
+                 format_value(static_cast<double>(cumulative)) + "\n";
+        }
+        out += m.name + "_bucket{le=\"+Inf\"} " + format_value(m.value) + "\n";
+        out += m.name + "_sum " + format_value(m.sum) + "\n";
         out += m.name + "_count " + format_value(m.value) + "\n";
+        out += "# TYPE " + m.name + "_max gauge\n";
+        out += m.name + "_max " + format_value(m.max) + "\n";
         break;
+      }
     }
   }
   return out;

@@ -53,12 +53,26 @@ class Counter {
   Stripe stripes_[kStripes];
 };
 
+/// One occupied log-linear bucket: (bucket index, sample count). Snapshots
+/// carry only occupied buckets — a latency histogram typically lands in a
+/// few dozen of the 960 — so the sparse form is what travels in kStats.
+struct HistogramBucket {
+  std::uint32_t index = 0;
+  std::uint64_t count = 0;
+  friend bool operator==(const HistogramBucket&,
+                         const HistogramBucket&) = default;
+};
+
 /// Collected view of one histogram.
 struct HistogramSnapshot {
   std::uint64_t count = 0;
   double sum = 0;
   double p50 = 0, p90 = 0, p99 = 0;
   double max = 0;
+  /// Occupied buckets in ascending index order. Raw material for merging:
+  /// quantiles recomputed from any union of snapshots keep the same 1/16
+  /// relative-error bound as a single histogram's.
+  std::vector<HistogramBucket> buckets;
 };
 
 /// Log-linear histogram over non-negative values (microseconds on every
@@ -66,19 +80,22 @@ struct HistogramSnapshot {
 /// per power of two, so the quantile's relative error is bounded by 1/16.
 class Histogram {
  public:
-  void observe(double v);
-  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  HistogramSnapshot snapshot() const;
-
- private:
   // 16 exact buckets + 16 per remaining power-of-two group of an int64.
   static constexpr std::size_t kSubBuckets = 16;
   static constexpr std::size_t kBuckets = 16 + 59 * kSubBuckets;
 
-  static std::size_t bucket_index(std::int64_t v);
-  /// Midpoint of the value range bucket i covers.
-  static double bucket_mid(std::size_t i);
+  void observe(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  HistogramSnapshot snapshot() const;
 
+  /// The bucket a value lands in; inverse of the range accessors below.
+  static std::size_t bucket_index(std::int64_t v);
+  /// Midpoint of the value range bucket i covers (the quantile estimate).
+  static double bucket_mid(std::size_t i);
+  /// Largest value bucket i covers (the Prometheus `le` boundary).
+  static double bucket_upper(std::size_t i);
+
+ private:
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::int64_t> sum_{0};   ///< whole units (values are rounded)
@@ -93,7 +110,25 @@ struct Metric {
   Kind kind = Kind::kCounter;
   double value = 0;  ///< counter/gauge reading; histogram sample count
   double p50 = 0, p90 = 0, p99 = 0, max = 0;  ///< histogram only
+  double sum = 0;                             ///< histogram only
+  /// Histogram only: occupied log-linear buckets, ascending by index.
+  std::vector<HistogramBucket> buckets;
 };
+
+/// Merges N nodes' collected snapshots into one cluster-wide view, keyed
+/// by metric name (first-appearance order). Counters and gauges sum —
+/// gauges here are cluster totals (accounts, admission budget); a gauge
+/// that is really per-node identity (a map epoch) is meaningful per node,
+/// not summed, so read those from the per-node snapshots instead.
+/// Histograms merge bucket-wise and recompute p50/p90/p99 from the merged
+/// buckets, preserving the single-histogram ≤1/16 relative-error bound
+/// (bucket boundaries are global constants, so a union of bucketed
+/// snapshots is exactly the histogram a single node would have built from
+/// all samples). An entry arriving without buckets (an old peer) degrades
+/// to max-over-nodes per quantile — an upper bound, never an invented
+/// midpoint.
+std::vector<Metric> merge_snapshots(
+    const std::vector<std::vector<Metric>>& nodes);
 
 class Registry {
  public:
@@ -116,7 +151,9 @@ class Registry {
   std::vector<Metric> collect() const;
 
   /// Prometheus text exposition: counters and gauges as single samples,
-  /// histograms as summaries (precomputed quantiles + _count).
+  /// histograms as native `le`-bucket histograms (cumulative _bucket
+  /// series + _sum + _count, so server-side aggregation can merge nodes),
+  /// plus a _max gauge (the one reading buckets cannot reconstruct).
   std::string render_prometheus() const;
 
  private:

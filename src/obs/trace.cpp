@@ -8,6 +8,12 @@
 
 namespace toka::obs {
 
+namespace {
+/// Tracer instances constructed so far, process-wide. Seeds each tracer's
+/// trace-id counter into its own slice of the id space.
+std::atomic<std::uint64_t> tracer_instances{0};
+}  // namespace
+
 const char* to_string(Stage stage) {
   switch (stage) {
     case Stage::kClient: return "client";
@@ -17,6 +23,9 @@ const char* to_string(Stage stage) {
     case Stage::kCork: return "cork";
     case Stage::kRedirect: return "redirect";
     case Stage::kShed: return "shed";
+    case Stage::kHandoff: return "handoff";
+    case Stage::kPromote: return "promote";
+    case Stage::kReplicate: return "replicate";
   }
   return "unknown";
 }
@@ -40,6 +49,15 @@ Tracer::Tracer(TracerOptions opts) : opts_(opts) {
                  "tracer needs a non-empty ring capacity");
   rings_ = std::vector<Ring>(opts_.rings);
   for (Ring& ring : rings_) ring.spans.resize(opts_.ring_capacity);
+  // Partition the trace-id space per tracer. Every node in a cluster runs
+  // its own tracer, and counters minted independently from 1 would hand
+  // two unrelated requests on different nodes the SAME id — a kTraces
+  // sweep would then stitch them into one bogus cross-node trace. The
+  // first tracer keeps the friendly 1,2,3... sequence; each later one
+  // starts 2^44 higher (room for 2^44 ids per tracer, 2^19 tracers).
+  ids_.store((tracer_instances.fetch_add(1, std::memory_order_relaxed) << 44) |
+                 1,
+             std::memory_order_relaxed);
   if (opts_.registry != nullptr) register_metrics();
 }
 

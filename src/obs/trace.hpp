@@ -48,8 +48,11 @@ enum class Stage : std::uint8_t {
   kCork = 4,       ///< server: completion → reply handed to the transport
   kRedirect = 5,   ///< cluster: frame answered with a redirect
   kShed = 6,       ///< server: request refused by admission/queue limits
+  kHandoff = 7,    ///< cluster: account state moved node-to-node
+  kPromote = 8,    ///< cluster: failover map adoption (epoch bump)
+  kReplicate = 9,  ///< cluster: delta-stream frame primary → follower
 };
-inline constexpr std::uint8_t kStageCount = 7;
+inline constexpr std::uint8_t kStageCount = 10;
 
 /// The §3.4 outcome a span carries (execute/shed stages; kNone elsewhere).
 enum class Decision : std::uint8_t {
@@ -107,7 +110,10 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  /// Monotonic, never-zero trace id source.
+  /// Monotonic, never-zero trace id source. Ids are unique across every
+  /// tracer in the process (each tracer mints from its own slice of the
+  /// id space), so a cluster of per-node tracers can never hand two
+  /// unrelated requests the same id.
   std::uint64_t next_trace_id() {
     return ids_.fetch_add(1, std::memory_order_relaxed);
   }

@@ -10,6 +10,23 @@
 
 namespace toka::service {
 
+namespace {
+
+// The watchdog sample set must not correlate with shard placement, which
+// hashes splitmix64(fold_key) directly — salting the fold first gives an
+// independent bit stream, so sampled keys land on every shard.
+constexpr std::uint64_t kWatchdogSalt = 0xA24BAED4963EE407ULL;
+
+bool watchdog_samples(std::uint64_t sample_every, NamespaceId ns,
+                      std::uint64_t key) {
+  if (sample_every == 0) return false;
+  if (sample_every == 1) return true;
+  std::uint64_t state = AccountTable::fold_key(ns, key) ^ kWatchdogSalt;
+  return util::splitmix64(state) % sample_every == 0;
+}
+
+}  // namespace
+
 void CoarseClock::advance_to(TimeUs t) {
   TimeUs cur = now_.load(std::memory_order_relaxed);
   while (t > cur &&
@@ -219,9 +236,13 @@ AccountTable::Entry& AccountTable::find_or_create(
                                    /*allow_overdraft=*/false,
                                    core::RoundingMode::kRandomized,
                                    current->bucket_cap),
-                current, tick, now, nullptr};
+                current, tick, now, nullptr, 0, 0, 0, false, nullptr};
     if (current->config.audit) {
       entry.auditor = std::make_unique<core::RateLimitAuditor>(
+          current->config.delta_us, current->capacity);
+    }
+    if (watchdog_samples(config_.watchdog_sample, current->id, key)) {
+      entry.watchdog = std::make_unique<core::BurstWatchdog>(
           current->config.delta_us, current->capacity);
     }
     it = shard.accounts.emplace(account_key, std::move(entry)).first;
@@ -284,6 +305,11 @@ AcquireResult AccountTable::acquire_locked(
   if (entry.auditor) {
     for (Tokens i = 0; i < granted; ++i) entry.auditor->record(now);
   }
+  if (entry.watchdog && granted > 0) {
+    const std::uint64_t before = entry.watchdog->checks();
+    stats.watchdog_violations += entry.watchdog->record(now, granted);
+    stats.watchdog_checks += entry.watchdog->checks() - before;
+  }
   return AcquireResult{granted, entry.account.balance(), granted > banked};
 }
 
@@ -341,6 +367,7 @@ RefundResult AccountTable::refund(NamespaceId ns, std::uint64_t key,
     // <= outstanding spends == recorded sends, so retract cannot underflow.
     entry.auditor->retract(static_cast<std::size_t>(accepted));
   }
+  if (entry.watchdog) entry.watchdog->retract(accepted);
   stats.tokens_refunded += static_cast<std::uint64_t>(accepted);
   stats.tokens_refund_dropped += static_cast<std::uint64_t>(n - accepted);
   return RefundResult{accepted, entry.account.balance()};
@@ -472,11 +499,17 @@ bool AccountTable::install_account(NamespaceId ns, std::uint64_t key,
                                  /*allow_overdraft=*/false,
                                  core::RoundingMode::kRandomized,
                                  nsp->bucket_cap),
-              nsp, tick, now, nullptr};
+              nsp, tick, now, nullptr, 0, 0, 0, false, nullptr};
   if (nsp->config.audit) {
     // The trace restarts empty: the installed balance is at most C, so
     // spending it all at once still fits the fresh window's 1 + C slack.
     entry.auditor = std::make_unique<core::RateLimitAuditor>(
+        nsp->config.delta_us, nsp->capacity);
+  }
+  if (watchdog_samples(config_.watchdog_sample, ns, key)) {
+    // Same empty-trace argument as the auditor above: the installed bank
+    // fits the first window's 1 + C slack, so the watchdog restarts clean.
+    entry.watchdog = std::make_unique<core::BurstWatchdog>(
         nsp->config.delta_us, nsp->capacity);
   }
   auto slot = shard.accounts.emplace(account_key, std::move(entry)).first;
@@ -576,6 +609,8 @@ void TableStats::merge(const TableStats& other) {
   ticks_forfeited += other.ticks_forfeited;
   accounts_extracted += other.accounts_extracted;
   accounts_installed += other.accounts_installed;
+  watchdog_checks += other.watchdog_checks;
+  watchdog_violations += other.watchdog_violations;
 }
 
 TableStats AccountTable::stats() const {

@@ -142,6 +142,14 @@ struct ServiceConfig {
   /// semantics are byte-identical.
   bool exclusive_shards = false;
 
+  /// Online §3.4 invariant watchdog: audit 1-in-N keys with a bounded-ring
+  /// BurstWatchdog re-checked on every grant (0 disables). Sampling is by
+  /// key identity (a distinct hash salt from shard placement, so sampled
+  /// keys spread across shards), which keeps a key's audit trace intact
+  /// for its whole life instead of sampling individual grants. The
+  /// watchdog observes and counts; it never gates a grant.
+  std::uint64_t watchdog_sample = 64;
+
   /// The default namespace's policy as a NamespaceConfig.
   NamespaceConfig default_namespace() const {
     return NamespaceConfig{strategy,          delta_us,
@@ -194,6 +202,8 @@ struct TableStats {
   std::uint64_t ticks_forfeited = 0;    ///< elapsed ticks past the replay cap
   std::uint64_t accounts_extracted = 0; ///< removed by extract_if (handoff)
   std::uint64_t accounts_installed = 0; ///< created by install_account
+  std::uint64_t watchdog_checks = 0;     ///< §3.4 windows audited online
+  std::uint64_t watchdog_violations = 0; ///< windows over the §3.4 bound
 
   /// Adds every counter of `other` into this snapshot.
   void merge(const TableStats& other);
@@ -453,6 +463,10 @@ class AccountTable {
     Tokens repl_sent_floor = 0;         ///< floor of the last emitted delta
     std::uint64_t repl_floor_seq = 0;   ///< emission round it travelled in
     bool repl_dirty = false;            ///< queued in Shard::repl_dirty?
+    /// Online §3.4 auditor, present only on watchdog-sampled keys (see
+    /// ServiceConfig::watchdog_sample). Guarded by the shard lock like
+    /// everything else in the entry.
+    std::unique_ptr<core::BurstWatchdog> watchdog;
   };
 
   /// Padded to a cache line so neighbouring shards' mutexes don't false-

@@ -404,6 +404,15 @@ std::vector<std::byte> encode_at(const StatsResponse& m,
       w.f64(e.p90);
       w.f64(e.p99);
       w.f64(e.max);
+      w.f64(e.sum);
+      TOKA_CHECK_MSG(e.buckets.size() <= kMaxStatsBuckets,
+                     "stats entry with " << e.buckets.size()
+                                         << " buckets exceeds the limit");
+      w.u32(static_cast<std::uint32_t>(e.buckets.size()));
+      for (const StatsBucket& b : e.buckets) {
+        w.u32(b.index);
+        w.u64(b.count);
+      }
     }
   }
   return w.take();
@@ -869,6 +878,25 @@ Response decode_response(std::span<const std::byte> payload) {
           e.p90 = r.f64();
           e.p99 = r.f64();
           e.max = r.f64();
+          e.sum = r.f64();
+          const std::uint32_t nbuckets = r.u32();
+          if (nbuckets > kMaxStatsBuckets)
+            throw util::IoError("tokend frame: stats entry with " +
+                                std::to_string(nbuckets) +
+                                " buckets exceeds the limit");
+          e.buckets.reserve(nbuckets);
+          for (std::uint32_t b = 0; b < nbuckets; ++b) {
+            StatsBucket bucket;
+            bucket.index = r.u32();
+            bucket.count = r.u64();
+            if (bucket.index >= kMaxStatsBuckets)
+              throw util::IoError(
+                  "tokend frame: stats bucket index out of range");
+            if (!e.buckets.empty() && bucket.index <= e.buckets.back().index)
+              throw util::IoError(
+                  "tokend frame: stats buckets out of order");
+            e.buckets.push_back(bucket);
+          }
         }
         m.entries.push_back(std::move(e));
       }

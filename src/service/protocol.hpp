@@ -236,14 +236,30 @@ struct ErrorResponse {
 inline constexpr std::size_t kMaxStatsEntries = 4096;
 /// Upper bound on one stats entry's metric name.
 inline constexpr std::size_t kMaxStatsNameLen = 256;
+/// Upper bound on a histogram entry's occupied-bucket list — the dense
+/// bucket count of obs::Histogram, so every valid snapshot fits.
+inline constexpr std::size_t kMaxStatsBuckets = 960;
+
+/// One occupied log-linear bucket of a histogram entry (sparse form:
+/// ascending bucket index, nonzero count). Mirrors obs::HistogramBucket.
+struct StatsBucket {
+  std::uint32_t index = 0;
+  std::uint64_t count = 0;
+  friend bool operator==(const StatsBucket&, const StatsBucket&) = default;
+};
 
 /// One metric in a kStats snapshot; mirrors obs::Metric (kind 0 counter,
-/// 1 gauge, 2 histogram — histograms carry their quantiles inline).
+/// 1 gauge, 2 histogram — histograms carry their quantiles inline, plus
+/// the raw log-linear buckets that make N nodes' snapshots mergeable with
+/// the same 1/16 quantile-error bound a single histogram gives).
 struct StatsEntry {
   std::string name;
   std::uint8_t kind = 0;
   double value = 0;  ///< counter/gauge reading; histogram sample count
   double p50 = 0, p90 = 0, p99 = 0, max = 0;  ///< histogram only (kind 2)
+  double sum = 0;                             ///< histogram only (kind 2)
+  /// Histogram only: occupied buckets, strictly ascending by index.
+  std::vector<StatsBucket> buckets;
   friend bool operator==(const StatsEntry&, const StatsEntry&) = default;
 };
 

@@ -131,6 +131,15 @@ void Server::register_metrics() {
   registry_->counter_fn(add("tokend_accounts_evicted"), [this] {
     return static_cast<double>(swept_stats().accounts_evicted);
   });
+  // The online §3.4 watchdog (ServiceConfig::watchdog_sample): checks is
+  // how many send-anchored windows the sampled keys re-verified; any
+  // nonzero violations means a *real* burst-bound breach reached a client.
+  registry_->counter_fn(add("tokend_invariant_checks"), [this] {
+    return static_cast<double>(swept_stats().watchdog_checks);
+  });
+  registry_->counter_fn(add("tokend_invariant_violations"), [this] {
+    return static_cast<double>(swept_stats().watchdog_violations);
+  });
   registry_->gauge(add("tokend_hot_key_share"), [this] {
     const auto top = swept_hot_keys(1);
     const std::uint64_t acquires = swept_stats().acquires;
@@ -369,6 +378,14 @@ void Server::on_frame(NodeId from, std::vector<std::byte> payload) {
                 e.p90 = m.p90;
                 e.p99 = m.p99;
                 e.max = m.max;
+                e.sum = m.sum;
+                // Raw log-linear buckets ride along for histograms so a
+                // cluster reader can merge nodes without losing the 1/16
+                // quantile bound (occupied buckets only; <= kMaxStatsBuckets
+                // by construction — the histogram has 960 bucket slots).
+                e.buckets.reserve(m.buckets.size());
+                for (const obs::HistogramBucket& b : m.buckets)
+                  e.buckets.push_back(proto::StatsBucket{b.index, b.count});
                 resp.entries.push_back(std::move(e));
               }
             }

@@ -4,7 +4,11 @@
 // the end-to-end overload contract over a live server/client pair —
 // deterministic shedding at the budget, the typed kOverloaded error with
 // its retry-after hint, the client's backoff window, zero shed below
-// budget, and kStats/registry/scrape agreement. Runs under TSan in CI
+// budget, and kStats/registry/scrape agreement. Also the cluster-merge
+// path (bucketed snapshots merged across nodes reproduce the single
+// histogram exactly; bucketless peers degrade to max-over-nodes) and the
+// scrape server's HTTP/1.1 contract (keep-alive, Content-Length framing,
+// pipelined requests answered in order, /healthz). Runs under TSan in CI
 // (the ^test_obs regex), so the scrape-while-serving test exercises
 // concurrent collection with the race detector on.
 #include <gtest/gtest.h>
@@ -16,6 +20,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -75,6 +80,83 @@ TEST(ObsHistogram, QuantilesWithinLogLinearErrorBound) {
   EXPECT_NEAR(snap.p50, 500.0, 500.0 * 0.08);
   EXPECT_NEAR(snap.p90, 900.0, 900.0 * 0.08);
   EXPECT_NEAR(snap.p99, 990.0, 990.0 * 0.08);
+}
+
+TEST(ObsHistogram, MergedSnapshotsMatchTheSingleHistogram) {
+  // Bucket boundaries are global constants, so merging N nodes' bucketed
+  // snapshots must reproduce exactly the histogram one node would have
+  // built from all samples — same count, sum, max and quantiles, hence
+  // the same ≤1/16 relative-error bound against the true distribution.
+  constexpr int kNodes = 4;
+  std::vector<Registry> registries(kNodes);
+  Histogram reference;
+  std::uint64_t state = 12345;
+  auto next = [&state] {  // splitmix64: deterministic, well-mixed
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  for (int i = 0; i < 4000; ++i) {
+    const double v = static_cast<double>(next() % 200'000);  // 0..200ms
+    registries[i % kNodes].histogram("lat_us").observe(v);
+    reference.observe(v);
+  }
+  std::vector<std::vector<Metric>> per_node;
+  for (Registry& r : registries) per_node.push_back(r.collect());
+  const std::vector<Metric> merged = merge_snapshots(per_node);
+
+  ASSERT_EQ(merged.size(), 1u);
+  const Metric& m = merged.front();
+  EXPECT_EQ(m.name, "lat_us");
+  EXPECT_EQ(m.kind, Metric::Kind::kHistogram);
+  const HistogramSnapshot want = reference.snapshot();
+  EXPECT_EQ(static_cast<std::uint64_t>(m.value), want.count);
+  EXPECT_DOUBLE_EQ(m.sum, want.sum);
+  EXPECT_DOUBLE_EQ(m.max, want.max);
+  EXPECT_DOUBLE_EQ(m.p50, want.p50);
+  EXPECT_DOUBLE_EQ(m.p90, want.p90);
+  EXPECT_DOUBLE_EQ(m.p99, want.p99);
+  // And the error bound against the true (uniform) quantiles holds for
+  // the merged view just as it does for a single histogram.
+  EXPECT_NEAR(m.p50, 100'000.0, 100'000.0 * 0.08);
+  EXPECT_NEAR(m.p99, 198'000.0, 198'000.0 * 0.08);
+}
+
+TEST(ObsHistogram, MergeSumsCountersAndDegradesBucketlessPeers) {
+  std::vector<std::vector<Metric>> nodes(2);
+  for (int n = 0; n < 2; ++n) {
+    Metric c;
+    c.name = "reqs";
+    c.kind = Metric::Kind::kCounter;
+    c.value = 10 + n;
+    nodes[n].push_back(c);
+  }
+  // An old peer's histogram arrives without buckets: quantiles degrade to
+  // max-over-nodes (an upper bound), never an invented midpoint.
+  Metric h;
+  h.name = "lat";
+  h.kind = Metric::Kind::kHistogram;
+  h.value = 5;
+  h.p50 = 10;
+  h.p99 = 40;
+  h.max = 50;
+  h.sum = 100;
+  nodes[0].push_back(h);
+  h.p50 = 30;
+  h.p99 = 20;
+  h.max = 35;
+  nodes[1].push_back(h);
+
+  const std::vector<Metric> merged = merge_snapshots(nodes);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].value, 21.0);
+  EXPECT_DOUBLE_EQ(merged[1].value, 10.0);
+  EXPECT_DOUBLE_EQ(merged[1].p50, 30.0);
+  EXPECT_DOUBLE_EQ(merged[1].p99, 40.0);
+  EXPECT_DOUBLE_EQ(merged[1].max, 50.0);
+  EXPECT_DOUBLE_EQ(merged[1].sum, 200.0);
 }
 
 TEST(ObsSpaceSaving, HeavyHitterSurvivesNoise) {
@@ -381,6 +463,108 @@ TEST(ObsScrape, ServesPrometheusExposition) {
   registry.counter("scrape_test_requests").add(1);
   EXPECT_NE(http_get_metrics(scrape.port()).find("scrape_test_requests 6"),
             std::string::npos);
+}
+
+// Connects to `port` and returns the fd (-1 on failure).
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Reads exactly one HTTP response (headers + Content-Length body) off
+// `fd`, consuming from and refilling `buf` so pipelined responses peel
+// off one at a time. Returns head + body ("" on a short read).
+std::string read_one_response(int fd, std::string& buf) {
+  char chunk[4096];
+  std::size_t head_end;
+  while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) return {};
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::string head = buf.substr(0, head_end + 4);
+  const std::size_t at = head.find("Content-Length: ");
+  if (at == std::string::npos) return {};
+  const std::size_t body_len = std::strtoull(
+      head.c_str() + at + std::strlen("Content-Length: "), nullptr, 10);
+  while (buf.size() < head.size() + body_len) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) return {};
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::string response = buf.substr(0, head.size() + body_len);
+  buf.erase(0, head.size() + body_len);
+  return response;
+}
+
+TEST(ObsScrape, KeepAliveServesPipelinedRequestsInOrder) {
+  // Regression for the read-render-close server: one socket, three
+  // requests — the first two pipelined in a single write — and every
+  // response framed by Content-Length on the same connection.
+  Registry registry;
+  registry.counter("pipelined_reqs").add(9);
+  ScrapeServer scrape(registry, 0);
+  scrape.set_health([] { return std::string("{\"ok\":true,\"epoch\":3}"); });
+
+  const int fd = raw_connect(scrape.port());
+  ASSERT_GE(fd, 0);
+  const char pipelined[] =
+      "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+  ASSERT_EQ(::write(fd, pipelined, sizeof pipelined - 1),
+            static_cast<ssize_t>(sizeof pipelined - 1));
+
+  std::string buf;
+  const std::string first = read_one_response(fd, buf);
+  ASSERT_FALSE(first.empty());
+  EXPECT_NE(first.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(first.find("Connection: keep-alive"), std::string::npos);
+  EXPECT_NE(first.find("pipelined_reqs 9"), std::string::npos);
+
+  const std::string second = read_one_response(fd, buf);
+  ASSERT_FALSE(second.empty());
+  EXPECT_NE(second.find("Connection: keep-alive"), std::string::npos);
+  EXPECT_NE(second.find("{\"ok\":true,\"epoch\":3}"), std::string::npos);
+
+  // The connection is still alive: a third request — now updated state —
+  // answers on the same socket, and "Connection: close" is honoured.
+  registry.counter("pipelined_reqs").add(1);
+  const char last[] = "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::write(fd, last, sizeof last - 1),
+            static_cast<ssize_t>(sizeof last - 1));
+  const std::string third = read_one_response(fd, buf);
+  ASSERT_FALSE(third.empty());
+  EXPECT_NE(third.find("Connection: close"), std::string::npos);
+  EXPECT_NE(third.find("pipelined_reqs 10"), std::string::npos);
+  char extra;
+  EXPECT_EQ(::read(fd, &extra, 1), 0);  // server closed its side
+  ::close(fd);
+}
+
+TEST(ObsScrape, HealthzFallsBackWithoutAProbe) {
+  Registry registry;
+  ScrapeServer scrape(registry, 0);
+  const int fd = raw_connect(scrape.port());
+  ASSERT_GE(fd, 0);
+  const char req[] = "GET /healthz HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::write(fd, req, sizeof req - 1),
+            static_cast<ssize_t>(sizeof req - 1));
+  std::string buf;
+  const std::string response = read_one_response(fd, buf);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("{\"ok\":true}"), std::string::npos);
+  // HTTP/1.0 without a keep-alive header defaults to close.
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  ::close(fd);
 }
 
 TEST(ObsScrape, ScrapeWhileServingIsRaceFree) {

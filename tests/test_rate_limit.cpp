@@ -207,5 +207,80 @@ TEST(RateLimitAuditor, SimulatorRunObeysBurstBoundPerNode) {
   EXPECT_EQ(audited_sends, sim.counters().data_messages_sent);
 }
 
+// ------------------------------------------------- online burst watchdog
+
+TEST(BurstWatchdog, PeriodicGrantsCheckCleanly) {
+  BurstWatchdog wd(kDelta, 3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(wd.record(i * kDelta, 1), 0u);
+  EXPECT_GT(wd.checks(), 0u);
+  EXPECT_EQ(wd.violations(), 0u);
+}
+
+TEST(BurstWatchdog, InstantBurstLegalUpToCapacityPlusOne) {
+  // A single-instant window [t, t] bounds grants at 0/Δ + 1 + C.
+  constexpr Tokens kCap = 5;
+  BurstWatchdog ok(kDelta, kCap);
+  EXPECT_EQ(ok.record(1000, kCap + 1), 0u);
+  EXPECT_EQ(ok.violations(), 0u);
+
+  BurstWatchdog bad(kDelta, kCap);
+  EXPECT_EQ(bad.record(1000, kCap + 2), 1u);
+  EXPECT_EQ(bad.violations(), 1u);
+}
+
+TEST(BurstWatchdog, SustainedOverRateViolatesWideWindows) {
+  // 2 grants per period against capacity 3: short windows pass, but once
+  // the window is long enough the (t_j-t_i)/Δ + 1 + C bound must break.
+  BurstWatchdog wd(kDelta, 3);
+  for (int i = 0; i < 20; ++i) wd.record(i * kDelta / 2, 1);
+  EXPECT_GT(wd.violations(), 0u);
+}
+
+TEST(BurstWatchdog, ChecksScaleWithRetainedTimestamps) {
+  // Every record() sweeps all retained send-anchored windows, so the
+  // check counter grows ~quadratically until the ring caps retention.
+  BurstWatchdog wd(kDelta, 0, /*window=*/4);
+  for (int i = 0; i < 10; ++i) wd.record(i * kDelta, 1);
+  // First 4 records check 1+2+3+4 windows; the remaining 6 check 4 each.
+  EXPECT_EQ(wd.checks(), 1u + 2u + 3u + 4u + 6u * 4u);
+  EXPECT_EQ(wd.violations(), 0u);
+}
+
+TEST(BurstWatchdog, RetractForgivesTheRefundedGrants) {
+  constexpr Tokens kCap = 2;
+  BurstWatchdog wd(kDelta, kCap);
+  EXPECT_EQ(wd.record(1000, kCap + 1), 0u);  // at the single-instant bound
+  wd.retract(2);  // refund: those grants never counted
+  // Re-granting what was refunded stays within the same window's bound.
+  EXPECT_EQ(wd.record(1000, 2), 0u);
+  EXPECT_EQ(wd.violations(), 0u);
+  // Without the retract the identical extra grant violates.
+  BurstWatchdog unforgiven(kDelta, kCap);
+  unforgiven.record(1000, kCap + 1);
+  EXPECT_EQ(unforgiven.record(1000, 2), 1u);
+}
+
+TEST(BurstWatchdog, SameInstantGrantsCoalesceIntoOneSlot) {
+  // C grants at one instant must cost one ring slot, not C: a tiny ring
+  // still audits the whole burst window.
+  BurstWatchdog wd(kDelta, 4, /*window=*/2);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(wd.record(1000, 1), 0u);
+  EXPECT_EQ(wd.record(1000, 1), 1u);  // 6th grant at [t,t]: over 1 + C
+}
+
+TEST(BurstWatchdog, NonMonotoneTimestampsClampForward) {
+  // Like settle(), the watchdog clamps a backwards clock to the newest
+  // retained timestamp instead of corrupting window arithmetic.
+  BurstWatchdog wd(kDelta, 1);
+  wd.record(5 * kDelta, 1);
+  EXPECT_EQ(wd.record(3 * kDelta, 1), 0u);  // coalesces at t = 5Δ
+  EXPECT_EQ(wd.record(3 * kDelta, 1), 1u);  // third same-instant grant
+}
+
+TEST(BurstWatchdog, RejectsBadConstruction) {
+  EXPECT_THROW(BurstWatchdog(0, 1), util::InvariantError);
+  EXPECT_THROW(BurstWatchdog(kDelta, -1), util::InvariantError);
+}
+
 }  // namespace
 }  // namespace toka::core

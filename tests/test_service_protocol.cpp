@@ -221,6 +221,15 @@ Response random_response(Rng& rng, bool v1 = false) {
           e.p90 = static_cast<double>(rng.below(1000));
           e.p99 = static_cast<double>(rng.below(1000));
           e.max = static_cast<double>(rng.below(1000));
+          e.sum = static_cast<double>(rng.below(1 << 20));
+          // Raw log-linear buckets, strictly ascending by index (the
+          // decoder enforces the ordering).
+          std::uint32_t index = 0;
+          const std::size_t nbuckets = rng.below(7);
+          for (std::size_t b = 0; b < nbuckets; ++b) {
+            index += 1 + static_cast<std::uint32_t>(rng.below(40));
+            e.buckets.push_back(StatsBucket{index, 1 + rng.below(1 << 16)});
+          }
         }
         m.entries.push_back(std::move(e));
       }
@@ -536,10 +545,20 @@ TEST(ProtocolV2, StatsRoundTripIncludingHistogramEntries) {
   // An empty snapshot is legal (a server with no registry answers this).
   EXPECT_EQ(std::get<StatsResponse>(decode_response(encode(resp))), resp);
 
-  resp.entries.push_back({"tokend_requests_served", 0, 12345.0});
-  resp.entries.push_back({"tokend_accounts", 1, 17.0});
-  resp.entries.push_back(
-      {"tokend_request_latency_us", 2, 1000.0, 12.5, 80.0, 240.0, 1999.0});
+  resp.entries.push_back({"tokend_requests_served", 0, 12345.0, 0, 0, 0, 0,
+                          0.0, {}});
+  resp.entries.push_back({"tokend_accounts", 1, 17.0, 0, 0, 0, 0, 0.0, {}});
+  // Histogram entries carry the raw occupied buckets (strictly ascending
+  // by index) plus the running sum, so a merger can rebuild quantiles.
+  resp.entries.push_back({"tokend_request_latency_us",
+                          2,
+                          1000.0,
+                          12.5,
+                          80.0,
+                          240.0,
+                          1999.0,
+                          87654.5,
+                          {{3, 10}, {17, 500}, {40, 490}}});
   const Response decoded = decode_response(encode(resp));
   ASSERT_TRUE(std::holds_alternative<StatsResponse>(decoded));
   EXPECT_EQ(std::get<StatsResponse>(decoded), resp);
@@ -550,7 +569,7 @@ TEST(ProtocolV2, StatsRoundTripIncludingHistogramEntries) {
 TEST(ProtocolV2, StatsMalformedFramesRejected) {
   StatsResponse resp;
   resp.id = 1;
-  resp.entries.push_back({"m", 0, 1.0});
+  resp.entries.push_back({"m", 0, 1.0, 0, 0, 0, 0, 0.0, {}});
   const std::vector<std::byte> good = encode(resp);
 
   // A counter entry's tail is kind (1 byte) + value (8 bytes): corrupt the
@@ -572,8 +591,45 @@ TEST(ProtocolV2, StatsMalformedFramesRejected) {
   // Oversized entry names never make it onto the wire.
   StatsResponse long_name;
   long_name.entries.push_back(
-      {std::string(kMaxStatsNameLen + 1, 'x'), 0, 1.0});
+      {std::string(kMaxStatsNameLen + 1, 'x'), 0, 1.0, 0, 0, 0, 0, 0.0, {}});
   EXPECT_THROW(encode(long_name), util::InvariantError);
+}
+
+TEST(ProtocolV2, StatsBucketedEntriesRejectMalformedBucketLists) {
+  StatsResponse resp;
+  resp.id = 2;
+  resp.entries.push_back({"h", 2, 3.0, 1, 1, 1, 1, 6.0, {{5, 1}, {9, 2}}});
+  const std::vector<std::byte> good = encode(resp);
+  EXPECT_EQ(std::get<StatsResponse>(decode_response(good)), resp);
+
+  // The histogram tail is ... sum(8) nbuckets(4) then (idx u32, count u64)
+  // pairs. Corrupt the *last* bucket's index (bytes -12..-9) to descend
+  // below the first bucket's: out-of-order bucket lists must not decode.
+  std::vector<std::byte> out_of_order = good;
+  out_of_order[out_of_order.size() - 12] = std::byte{0x01};
+  EXPECT_THROW(decode_response(out_of_order), IoError);
+
+  // An index past the histogram's bucket universe (kMaxStatsBuckets).
+  std::vector<std::byte> bad_index = good;
+  bad_index[bad_index.size() - 12] = std::byte{0xFF};
+  bad_index[bad_index.size() - 11] = std::byte{0xFF};
+  EXPECT_THROW(decode_response(bad_index), IoError);
+
+  // Truncation pins: every prefix of the bucketed frame must throw, never
+  // crash or decode (the strict-decode rule the fuzzer relies on).
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_THROW(decode_response(
+                     std::vector<std::byte>(good.begin(), good.begin() + len)),
+                 IoError)
+        << "prefix length " << len;
+  }
+
+  // A claimed bucket count larger than the payload can hold.
+  std::vector<std::byte> bad_count = good;
+  // nbuckets sits right before the two 12-byte bucket records.
+  const std::size_t nbuckets_at = good.size() - 2 * 12 - 4;
+  bad_count[nbuckets_at] = std::byte{0x40};
+  EXPECT_THROW(decode_response(bad_count), IoError);
 }
 
 TEST(ProtocolV2, OverloadedErrorCarriesRetryAfter) {
@@ -626,6 +682,40 @@ TEST(ProtocolV2, RandomizedV2FuzzCoversNewMessages) {
     const std::vector<std::byte> resp_wire = encode(random_response(rng));
     for (std::size_t cut = 0; cut < resp_wire.size(); ++cut)
       EXPECT_THROW(decode_response(std::span(resp_wire.data(), cut)), IoError);
+  }
+}
+
+TEST(ProtocolV2, TracedFramesFuzzRoundTripAndRejectTruncation) {
+  // The cross-node trace plumbing rides every v2 request type — the
+  // cluster frames (kHandoff/kReplicate/kPromote) included, since those
+  // are how a failover's spans get stitched across nodes. A traced frame
+  // must round-trip its context exactly, and no truncation of the spliced
+  // 9 context bytes (or anything after them) may decode.
+  Rng rng(60303);
+  for (int i = 0; i < 120; ++i) {
+    const Request msg = random_request(rng);
+    const TraceContext ctx{1 + rng.next_u64() % (1ULL << 60),
+                           rng.bernoulli(0.5)};
+    std::vector<std::byte> wire = encode(msg);
+    attach_trace_context(wire, ctx);
+
+    std::uint8_t version = 0;
+    std::optional<TraceContext> seen;
+    EXPECT_EQ(decode_request(wire, version, seen), msg);
+    EXPECT_EQ(version, kProtocolVersion);
+    ASSERT_TRUE(seen.has_value());
+    EXPECT_EQ(*seen, ctx);
+
+    // Re-encoding the decoded message and re-attaching the surfaced
+    // context must reproduce the frame byte for byte.
+    std::vector<std::byte> again = encode(msg);
+    attach_trace_context(again, *seen);
+    EXPECT_EQ(again, wire);
+
+    if (i < 20) {
+      for (std::size_t cut = 0; cut < wire.size(); ++cut)
+        EXPECT_THROW(decode_request(std::span(wire.data(), cut)), IoError);
+    }
   }
 }
 
